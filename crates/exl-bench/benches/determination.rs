@@ -1,0 +1,61 @@
+//! B4 — the determination engine's raison d'être (§6): when a fraction of
+//! the elementary cubes changes, recomputation cost is proportional to the
+//! affected subgraph, not to the whole production DAG. We sweep the number
+//! of changed leaves of a 32-chain forest from 1 to all 32.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use exl_engine::ExlEngine;
+use exl_model::CubeId;
+use exl_workload::chains::{forest_program, forest_scenario};
+
+const WIDTH: usize = 32;
+const DEPTH: usize = 4;
+const QUARTERS: usize = 64;
+
+fn build_engine() -> ExlEngine {
+    let (analyzed, data) = forest_scenario(WIDTH, DEPTH, QUARTERS);
+    let mut e = ExlEngine::new();
+    e.register_program("forest", &forest_program(WIDTH, DEPTH))
+        .unwrap();
+    for id in analyzed.elementary_inputs() {
+        e.load_elementary(&id, data.data(&id).unwrap().clone())
+            .unwrap();
+    }
+    e
+}
+
+fn bench_determination(c: &mut Criterion) {
+    let mut group = c.benchmark_group("B4/incremental-recompute");
+    group.sample_size(10);
+    let mut engine = build_engine();
+    engine.run_all().unwrap();
+
+    for changed in [1usize, 4, 8, 16, 32] {
+        let leaves: Vec<CubeId> = (0..changed).map(|w| format!("F{w}_0").into()).collect();
+        group.bench_with_input(
+            BenchmarkId::new("changed-leaves", changed),
+            &leaves,
+            |b, leaves| b.iter(|| engine.recompute(leaves).unwrap()),
+        );
+    }
+    // the no-determination baseline: rerun everything regardless of change
+    group.bench_function("full-rerun", |b| b.iter(|| engine.run_all().unwrap()));
+    group.finish();
+
+    // the planning step alone (pure determination, no execution)
+    let mut group = c.benchmark_group("B4/plan-only");
+    group.sample_size(30);
+    let engine = build_engine();
+    for changed in [1usize, 16, 32] {
+        let leaves: Vec<CubeId> = (0..changed).map(|w| format!("F{w}_0").into()).collect();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(changed),
+            &leaves,
+            |b, leaves| b.iter(|| engine.plan_and_translate(leaves).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_determination);
+criterion_main!(benches);

@@ -1,0 +1,83 @@
+//! B5 — §6's parallelism claims: (a) the dispatcher runs independent
+//! subgraphs of a stage concurrently; (b) an ETL flow can pipeline its
+//! steps. Sequential vs parallel in both settings.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use exl_engine::{ExlEngine, TargetKind};
+use exl_map::generate::{generate_mapping, GenMode};
+use exl_workload::chains::{forest_program, forest_scenario};
+use exl_workload::{gdp_scenario, GdpConfig};
+
+const DEPTH: usize = 3;
+const QUARTERS: usize = 512;
+
+fn build_engine(width: usize, parallel: bool) -> ExlEngine {
+    let (analyzed, data) = forest_scenario(width, DEPTH, QUARTERS);
+    let mut e = ExlEngine::new();
+    e.parallel_dispatch = parallel;
+    e.register_program("forest", &forest_program(width, DEPTH))
+        .unwrap();
+    // one subgraph per chain: alternate affinity between two targets so
+    // the partitioner cannot merge chains
+    for w in 0..width {
+        let target = if w % 2 == 0 {
+            TargetKind::Native
+        } else {
+            TargetKind::Chase
+        };
+        for d in 1..=DEPTH {
+            let id = format!("F{w}_{d}");
+            e.catalog
+                .set_affinity(&id.as_str().into(), Some(target))
+                .unwrap();
+        }
+    }
+    for id in analyzed.elementary_inputs() {
+        e.load_elementary(&id, data.data(&id).unwrap().clone())
+            .unwrap();
+    }
+    e
+}
+
+fn bench_dispatch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("B5/dispatcher");
+    group.sample_size(10);
+    for width in [2usize, 4, 8] {
+        let mut seq = build_engine(width, false);
+        let mut par = build_engine(width, true);
+        group.bench_with_input(BenchmarkId::new("sequential", width), &(), |b, _| {
+            b.iter(|| seq.run_all().unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("parallel", width), &(), |b, _| {
+            b.iter(|| par.run_all().unwrap())
+        });
+    }
+    group.finish();
+
+    // ETL: sequential row loop vs pipeline-parallel stages on the GDP job
+    let mut group = c.benchmark_group("B5/etl-pipeline");
+    group.sample_size(10);
+    for (regions, quarters) in [(8usize, 24usize), (16, 48)] {
+        let (analyzed, data) = gdp_scenario(GdpConfig {
+            regions,
+            quarters,
+            days_per_quarter: 8,
+            seed: 42,
+        });
+        let (mapping, _) = generate_mapping(&analyzed, GenMode::Fused).unwrap();
+        let job = exl_etl::mapping_to_job(&mapping).unwrap();
+        let label = format!("{regions}rx{quarters}q");
+        group.bench_with_input(BenchmarkId::new("sequential", &label), &(), |b, _| {
+            b.iter(|| job.run(&data).unwrap())
+        });
+        group.bench_with_input(
+            BenchmarkId::new("pipeline-parallel", &label),
+            &(),
+            |b, _| b.iter(|| exl_etl::run_job_parallel(&job, &data).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dispatch);
+criterion_main!(benches);

@@ -1,0 +1,117 @@
+//! B6 — the §4.1 "simplification": fused tgds (one complex tgd per
+//! multi-operator statement) vs fully normalized one-operator-per-tgd
+//! mappings. Normalization materializes every intermediate as a real cube
+//! — extra tgds, extra tables, extra passes — which fusion avoids.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use exl_chase::{chase, ChaseMode};
+use exl_map::generate::{generate_mapping, GenMode};
+use exl_workload::chains::chain_scenario;
+
+fn bench_fusion(c: &mut Criterion) {
+    for (depth, quarters) in [(5usize, 512usize), (10, 512)] {
+        let (analyzed, data) = chain_scenario(depth, quarters);
+        let label = format!("depth{depth}-{quarters}q");
+
+        // via the chase
+        let mut group = c.benchmark_group("B6/chase");
+        group.sample_size(10);
+        for (mode, name) in [
+            (GenMode::Fused, "fused"),
+            (GenMode::Normalized, "normalized"),
+        ] {
+            let (mapping, re) = generate_mapping(&analyzed, mode).unwrap();
+            group.bench_with_input(BenchmarkId::new(name, &label), &(), |b, _| {
+                b.iter(|| chase(&mapping, &re.schemas, &data, ChaseMode::Stratified).unwrap())
+            });
+        }
+        group.finish();
+        // sanity check outside measurement: views mode agrees
+        {
+            let (mapping, re) = generate_mapping(&analyzed, GenMode::Normalized).unwrap();
+            let script =
+                exl_sqlgen::mapping_to_sql_views(&mapping, &exl_sqlgen::is_rewrite_aux).unwrap();
+            let mut engine = exl_sqlengine::Engine::new();
+            for (_, cube) in data.iter() {
+                engine
+                    .execute_script(&exl_sqlgen::create_table_sql(&cube.schema))
+                    .unwrap();
+                for stmt in exl_sqlgen::insert_data_sql(cube, 512) {
+                    engine.execute_script(&stmt).unwrap();
+                }
+            }
+            for stmt in &script {
+                engine.execute_script(stmt).unwrap();
+            }
+            let last = format!("T{depth}");
+            let got = engine
+                .db
+                .table(&last)
+                .unwrap()
+                .to_cube_data(&re.schemas[&last.as_str().into()])
+                .unwrap();
+            let want = exl_eval::run_program(&analyzed, &data).unwrap();
+            assert!(got.approx_eq(want.data(&last.as_str().into()).unwrap(), 1e-9));
+        }
+
+        // via generated SQL on the relational engine; the third series is
+        // §6's view reformulation (normalized mapping, auxiliaries as
+        // CREATE VIEW instead of materialized tables)
+        let mut group = c.benchmark_group("B6/sql");
+        group.sample_size(10);
+        for (mode, views, name) in [
+            (GenMode::Fused, false, "fused"),
+            (GenMode::Normalized, false, "normalized"),
+            (GenMode::Normalized, true, "normalized-views"),
+        ] {
+            let (mapping, _) = generate_mapping(&analyzed, mode).unwrap();
+            let script = if views {
+                exl_sqlgen::mapping_to_sql_views(&mapping, &exl_sqlgen::is_rewrite_aux).unwrap()
+            } else {
+                exl_sqlgen::mapping_to_sql(&mapping).unwrap()
+            };
+            group.bench_with_input(BenchmarkId::new(name, &label), &(), |b, _| {
+                b.iter(|| {
+                    let mut engine = exl_sqlengine::Engine::new();
+                    for (_, cube) in data.iter() {
+                        engine
+                            .execute_script(&exl_sqlgen::create_table_sql(&cube.schema))
+                            .unwrap();
+                        for stmt in exl_sqlgen::insert_data_sql(cube, 512) {
+                            engine.execute_script(&stmt).unwrap();
+                        }
+                    }
+                    for stmt in &script {
+                        engine.execute_script(stmt).unwrap();
+                    }
+                    engine
+                })
+            });
+        }
+        group.finish();
+    }
+
+    // how many tgds each mode emits (reported as a bench for the record,
+    // though it is a static property)
+    let mut group = c.benchmark_group("B6/mapping-size");
+    group.sample_size(20);
+    let (analyzed, _) = chain_scenario(10, 16);
+    for (mode, name) in [
+        (GenMode::Fused, "fused"),
+        (GenMode::Normalized, "normalized"),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                generate_mapping(&analyzed, mode)
+                    .unwrap()
+                    .0
+                    .statement_tgds
+                    .len()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fusion);
+criterion_main!(benches);

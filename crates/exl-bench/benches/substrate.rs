@@ -1,0 +1,89 @@
+//! B7 — substrate microbenchmarks grounding the system numbers: the SQL
+//! engine's join and aggregation operators, and the statistical kernels
+//! (seasonal decomposition, moving averages) at series scale.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use exl_sqlengine::Engine;
+use exl_stats::{decompose, seriesop::SeriesOp};
+
+fn setup_tables(rows: usize) -> Engine {
+    let mut e = Engine::new();
+    e.execute_script("CREATE TABLE L (K BIGINT, V DOUBLE); CREATE TABLE R (K BIGINT, W DOUBLE);")
+        .unwrap();
+    let mut l_vals = Vec::with_capacity(rows);
+    let mut r_vals = Vec::with_capacity(rows);
+    for i in 0..rows {
+        l_vals.push(format!("({i}, {})", i as f64 * 0.5));
+        r_vals.push(format!("({i}, {})", i as f64 * 0.25));
+    }
+    for chunk in l_vals.chunks(1024) {
+        e.execute_script(&format!("INSERT INTO L (K, V) VALUES {}", chunk.join(", ")))
+            .unwrap();
+    }
+    for chunk in r_vals.chunks(1024) {
+        e.execute_script(&format!("INSERT INTO R (K, W) VALUES {}", chunk.join(", ")))
+            .unwrap();
+    }
+    e
+}
+
+fn bench_substrate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("B7/sql-engine");
+    group.sample_size(10);
+    for rows in [1_000usize, 10_000, 50_000] {
+        let engine = setup_tables(rows);
+        group.throughput(Throughput::Elements(rows as u64));
+        group.bench_with_input(BenchmarkId::new("hash-join", rows), &(), |b, _| {
+            b.iter(|| {
+                engine
+                    .run_select(&match exl_sqlengine::parse_statement(
+                        "SELECT L.K, V + W AS S FROM L, R WHERE L.K = R.K",
+                    )
+                    .unwrap()
+                    {
+                        exl_sqlengine::SqlStmt::Select(s) => s,
+                        _ => unreachable!(),
+                    })
+                    .unwrap()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("group-by", rows), &(), |b, _| {
+            b.iter(|| {
+                engine
+                    .run_select(&match exl_sqlengine::parse_statement(
+                        "SELECT K / 100, SUM(V) AS S FROM L GROUP BY K / 100",
+                    )
+                    .unwrap()
+                    {
+                        exl_sqlengine::SqlStmt::Select(s) => s,
+                        _ => unreachable!(),
+                    })
+                    .unwrap()
+            })
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("B7/stats-kernels");
+    group.sample_size(20);
+    for n in [1_000usize, 10_000, 100_000] {
+        let series: Vec<f64> = (0..n)
+            .map(|i| 100.0 + i as f64 * 0.01 + ((i % 4) as f64) * 2.0)
+            .collect();
+        let indices: Vec<i64> = (0..n as i64).collect();
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("decompose", n), &(), |b, _| {
+            b.iter(|| decompose(&series, 4))
+        });
+        group.bench_with_input(BenchmarkId::new("movavg", n), &(), |b, _| {
+            b.iter(|| SeriesOp::MovAvg { window: 8 }.apply(&indices, &series, 4))
+        });
+        group.bench_with_input(BenchmarkId::new("zscore", n), &(), |b, _| {
+            b.iter(|| SeriesOp::ZScore.apply(&indices, &series, 4))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_substrate);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! # exl-bench — the benchmark harness
+//!
+//! One Criterion bench per experiment of the DESIGN.md index (B1–B7).
+//! Shared set-up helpers live here so benches measure work, not set-up.
+
+#![warn(missing_docs)]
+
+use exl_lang::analyze::AnalyzedProgram;
+use exl_model::Dataset;
+use exl_workload::{gdp_scenario, GdpConfig};
+
+/// GDP scenario at a labeled scale, for the backend comparison series.
+pub fn gdp_at_scale(regions: usize, quarters: usize) -> (AnalyzedProgram, Dataset, String) {
+    let cfg = GdpConfig {
+        regions,
+        quarters,
+        days_per_quarter: 8,
+        seed: 42,
+    };
+    let (analyzed, data) = gdp_scenario(cfg);
+    let rows = data.data(&"PDR".into()).unwrap().len() + data.data(&"RGDPPC".into()).unwrap().len();
+    (analyzed, data, format!("{regions}rx{quarters}q/{rows}rows"))
+}
+
+/// Total input tuples of a dataset (for throughput labels).
+pub fn dataset_rows(ds: &Dataset) -> usize {
+    ds.iter().map(|(_, c)| c.data.len()).sum()
+}

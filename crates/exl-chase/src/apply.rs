@@ -1,0 +1,313 @@
+//! Application of a single extended tgd to an instance — one "chase step"
+//! in the sense of §4.2.
+
+use std::collections::{BTreeMap, HashMap};
+
+use exl_map::dep::{Atom, DimTerm, MeasureTerm, Tgd};
+use exl_model::schema::CubeSchema;
+use exl_model::value::DimValue;
+use exl_model::{CubeId, DimTuple};
+
+use crate::error::ChaseError;
+use crate::instance::Instance;
+
+/// A variable binding: dimension variables bind dimension values, measure
+/// variables bind measures.
+#[derive(Debug, Clone, Default)]
+pub struct Binding {
+    dims: BTreeMap<String, DimValue>,
+    measures: BTreeMap<String, f64>,
+}
+
+impl Binding {
+    fn measure(&self, var: &str) -> f64 {
+        self.measures[var]
+    }
+}
+
+/// Outcome of one tgd application.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ApplyStats {
+    /// Homomorphisms (lhs matches) enumerated.
+    pub homomorphisms: usize,
+    /// New facts added to the target relation.
+    pub new_facts: usize,
+}
+
+/// Apply one tgd, adding all implied facts to `instance`. `schemas` is used
+/// by table-function tgds, which need the operand's dimension types.
+pub fn apply_tgd(
+    tgd: &Tgd,
+    instance: &mut Instance,
+    schemas: &BTreeMap<CubeId, CubeSchema>,
+) -> Result<ApplyStats, ChaseError> {
+    match tgd {
+        Tgd::Rule {
+            lhs,
+            rhs_relation,
+            rhs_dims,
+            rhs_measure,
+            outer_default,
+            ..
+        } => {
+            let bindings = match outer_default {
+                None => enumerate(lhs, instance)?,
+                Some(default) => enumerate_outer(lhs, instance, *default)?,
+            };
+            let homomorphisms = bindings.len();
+            let mut new_facts = 0;
+
+            match rhs_measure {
+                MeasureTerm::Scalar(expr) => {
+                    for b in &bindings {
+                        let key = rhs_key(rhs_dims, b)?;
+                        let v = expr.eval(&|name| b.measure(name));
+                        if v.is_finite() && instance.insert(rhs_relation, key, v) {
+                            new_facts += 1;
+                        }
+                    }
+                }
+                MeasureTerm::Aggregate { agg, expr } => {
+                    // group matches on the rhs dimension terms — the
+                    // semantics of §4.1's aggregation tgds
+                    let mut groups: BTreeMap<DimTuple, Vec<f64>> = BTreeMap::new();
+                    for b in &bindings {
+                        let key = rhs_key(rhs_dims, b)?;
+                        groups
+                            .entry(key)
+                            .or_default()
+                            .push(expr.eval(&|n| b.measure(n)));
+                    }
+                    for (key, bag) in groups {
+                        if let Some(v) = agg.apply(&bag) {
+                            if v.is_finite() && instance.insert(rhs_relation, key, v) {
+                                new_facts += 1;
+                            }
+                        }
+                    }
+                }
+            }
+            Ok(ApplyStats {
+                homomorphisms,
+                new_facts,
+            })
+        }
+        Tgd::TableFn {
+            source, op, target, ..
+        } => {
+            let schema = schemas
+                .get(source)
+                .ok_or_else(|| ChaseError::MissingSchema {
+                    cube: source.to_string(),
+                })?;
+            let data = match instance.relation(source) {
+                Some(rel) => {
+                    if let Some((k, a, b)) = rel.egd_violation() {
+                        return Err(ChaseError::EgdViolation {
+                            relation: source.to_string(),
+                            key: exl_model::format_tuple(&k),
+                            left: a,
+                            right: b,
+                        });
+                    }
+                    rel.to_cube_data()
+                }
+                None => exl_model::CubeData::new(),
+            };
+            let out = exl_eval::eval::apply_series_op(*op, &schema.dims, &data).map_err(|e| {
+                ChaseError::TableFn {
+                    detail: e.to_string(),
+                }
+            })?;
+            let mut new_facts = 0;
+            let homomorphisms = data.len();
+            for (k, v) in out.iter() {
+                if instance.insert(target, k.clone(), v) {
+                    new_facts += 1;
+                }
+            }
+            Ok(ApplyStats {
+                homomorphisms,
+                new_facts,
+            })
+        }
+    }
+}
+
+/// Evaluate the rhs dimension terms under a binding.
+fn rhs_key(rhs_dims: &[DimTerm], b: &Binding) -> Result<DimTuple, ChaseError> {
+    rhs_dims
+        .iter()
+        .map(|t| eval_dim_term(t, b))
+        .collect::<Result<_, _>>()
+}
+
+fn eval_dim_term(term: &DimTerm, b: &Binding) -> Result<DimValue, ChaseError> {
+    match term {
+        DimTerm::Var(v) => Ok(b.dims[v].clone()),
+        DimTerm::Shifted { var, offset } => {
+            let t = b.dims[var].as_time().ok_or_else(|| ChaseError::BadTerm {
+                detail: format!("shift applied to non-time value {}", b.dims[var]),
+            })?;
+            Ok(DimValue::Time(t.shift(*offset)))
+        }
+        DimTerm::Converted { var, target } => {
+            let t = b.dims[var].as_time().ok_or_else(|| ChaseError::BadTerm {
+                detail: format!("frequency conversion of non-time value {}", b.dims[var]),
+            })?;
+            let converted = t.convert(*target).ok_or_else(|| ChaseError::BadTerm {
+                detail: format!("cannot convert {t} to {}", target.name()),
+            })?;
+            Ok(DimValue::Time(converted))
+        }
+    }
+}
+
+/// Enumerate homomorphisms of a conjunction of atoms into the instance.
+///
+/// Standard left-to-right hash join: for each atom, facts are indexed on
+/// the positions whose variables are already bound by earlier atoms; a
+/// `Shifted` term translates between binding space and fact space via the
+/// (invertible) period shift.
+fn enumerate(lhs: &[Atom], instance: &Instance) -> Result<Vec<Binding>, ChaseError> {
+    let mut bindings = vec![Binding::default()];
+    let mut bound: Vec<String> = Vec::new();
+
+    for atom in lhs {
+        // positions of this atom whose variable is already bound
+        let bound_pos: Vec<usize> = atom
+            .dim_terms
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| bound.contains(&t.var_name().to_string()))
+            .map(|(i, _)| i)
+            .collect();
+
+        // index facts on those positions, expressed in *binding space*
+        // (un-shifting fact values so lookups are direct)
+        let facts: Vec<(DimTuple, f64)> = match instance.relation(&atom.relation) {
+            Some(rel) => rel.iter().map(|(k, v)| (k.clone(), v)).collect(),
+            None => Vec::new(),
+        };
+        let mut index: HashMap<Vec<DimValue>, Vec<usize>> = HashMap::with_capacity(facts.len());
+        'facts: for (fi, (key, _)) in facts.iter().enumerate() {
+            let mut probe = Vec::with_capacity(bound_pos.len());
+            for &p in &bound_pos {
+                match fact_to_binding_value(&atom.dim_terms[p], &key[p]) {
+                    Some(v) => probe.push(v),
+                    None => continue 'facts, // e.g. non-time value under a shift term
+                }
+            }
+            index.entry(probe).or_default().push(fi);
+        }
+
+        let mut next = Vec::new();
+        for b in &bindings {
+            let probe: Vec<DimValue> = bound_pos
+                .iter()
+                .map(|&p| b.dims[atom.dim_terms[p].var_name()].clone())
+                .collect();
+            let Some(candidates) = index.get(&probe) else {
+                continue;
+            };
+            'cand: for &fi in candidates {
+                let (key, value) = &facts[fi];
+                let mut nb = b.clone();
+                for (p, term) in atom.dim_terms.iter().enumerate() {
+                    let Some(bval) = fact_to_binding_value(term, &key[p]) else {
+                        continue 'cand;
+                    };
+                    match nb.dims.get(term.var_name()) {
+                        Some(existing) if existing != &bval => continue 'cand,
+                        Some(_) => {}
+                        None => {
+                            nb.dims.insert(term.var_name().to_string(), bval);
+                        }
+                    }
+                }
+                if let Some(existing) = nb.measures.get(&atom.measure_var) {
+                    if *existing != *value {
+                        continue 'cand;
+                    }
+                }
+                nb.measures.insert(atom.measure_var.clone(), *value);
+                next.push(nb);
+            }
+        }
+        for t in &atom.dim_terms {
+            let v = t.var_name().to_string();
+            if !bound.contains(&v) {
+                bound.push(v);
+            }
+        }
+        bindings = next;
+        if bindings.is_empty() {
+            break;
+        }
+    }
+    Ok(bindings)
+}
+
+/// Translate a fact's dimension value to binding space for a term:
+/// `Var` is identity, `Shifted{off}` inverts the shift (binding = fact −
+/// off), `Converted` cannot appear in an lhs (the generator never emits
+/// it there) — conversion is not invertible.
+fn fact_to_binding_value(term: &DimTerm, fact_val: &DimValue) -> Option<DimValue> {
+    match term {
+        DimTerm::Var(_) => Some(fact_val.clone()),
+        DimTerm::Shifted { offset, .. } => match fact_val {
+            DimValue::Time(t) => Some(DimValue::Time(t.shift(-offset))),
+            DimValue::Int(i) => Some(DimValue::Int(i - offset)),
+            _ => None,
+        },
+        DimTerm::Converted { .. } => None,
+    }
+}
+
+/// Full outer join of exactly two atoms over identical dimension term
+/// lists (the generator guarantees this shape), with a default measure for
+/// the missing side — the paper's default-value vectorial variant.
+fn enumerate_outer(
+    lhs: &[Atom],
+    instance: &Instance,
+    default: f64,
+) -> Result<Vec<Binding>, ChaseError> {
+    let [a, b] = lhs else {
+        return Err(ChaseError::BadTerm {
+            detail: "outer tgd must have exactly two atoms".into(),
+        });
+    };
+    let mut out = enumerate(lhs, instance)?;
+    let collect = |atom: &Atom| -> Vec<(DimTuple, f64)> {
+        instance
+            .relation(&atom.relation)
+            .map(|r| r.iter().map(|(k, v)| (k.clone(), v)).collect())
+            .unwrap_or_default()
+    };
+    let facts_a = collect(a);
+    let facts_b = collect(b);
+    let keys_a: std::collections::HashSet<&DimTuple> = facts_a.iter().map(|(k, _)| k).collect();
+    let keys_b: std::collections::HashSet<&DimTuple> = facts_b.iter().map(|(k, _)| k).collect();
+
+    let mk = |atom_here: &Atom, atom_missing: &Atom, key: &DimTuple, v: f64| -> Binding {
+        let mut bind = Binding::default();
+        for (t, val) in atom_here.dim_terms.iter().zip(key.iter()) {
+            bind.dims.insert(t.var_name().to_string(), val.clone());
+        }
+        bind.measures.insert(atom_here.measure_var.clone(), v);
+        bind.measures
+            .insert(atom_missing.measure_var.clone(), default);
+        bind
+    };
+    for (k, v) in &facts_a {
+        if !keys_b.contains(k) {
+            out.push(mk(a, b, k, *v));
+        }
+    }
+    for (k, v) in &facts_b {
+        if !keys_a.contains(k) {
+            out.push(mk(b, a, k, *v));
+        }
+    }
+    Ok(out)
+}

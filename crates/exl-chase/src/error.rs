@@ -1,0 +1,85 @@
+//! Chase failure modes.
+
+use std::fmt;
+
+/// Error raised by the chase.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ChaseError {
+    /// An egd is violated: the chase *fails* in the technical sense of
+    /// §4.2 (equating distinct constants).
+    EgdViolation {
+        /// Relation with two facts on the same dimension tuple.
+        relation: String,
+        /// The shared dimension tuple (formatted).
+        key: String,
+        /// First measure.
+        left: f64,
+        /// Conflicting measure.
+        right: f64,
+    },
+    /// No schema available for a relation a table-function tgd reads.
+    MissingSchema {
+        /// The relation.
+        cube: String,
+    },
+    /// A dependency term was malformed for the data it met.
+    BadTerm {
+        /// Explanation.
+        detail: String,
+    },
+    /// A table-function application failed.
+    TableFn {
+        /// Explanation.
+        detail: String,
+    },
+    /// The fair (unstratified) chase exceeded its pass budget without
+    /// reaching a fixpoint — a termination guard, not an expected outcome.
+    NoFixpoint {
+        /// Number of passes executed.
+        passes: usize,
+    },
+}
+
+impl fmt::Display for ChaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ChaseError::EgdViolation {
+                relation,
+                key,
+                left,
+                right,
+            } => write!(
+                f,
+                "chase failure: egd violated on {relation}({key}): {left} vs {right}"
+            ),
+            ChaseError::MissingSchema { cube } => write!(f, "no schema for relation {cube}"),
+            ChaseError::BadTerm { detail } => write!(f, "malformed dependency term: {detail}"),
+            ChaseError::TableFn { detail } => write!(f, "table function failed: {detail}"),
+            ChaseError::NoFixpoint { passes } => {
+                write!(
+                    f,
+                    "fair chase did not reach a fixpoint after {passes} passes"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ChaseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        let e = ChaseError::EgdViolation {
+            relation: "GDP".into(),
+            key: "2020-Q1".into(),
+            left: 1.0,
+            right: 2.0,
+        };
+        assert!(e.to_string().contains("egd violated"));
+        assert!(e.to_string().contains("GDP"));
+    }
+}

@@ -1,0 +1,216 @@
+//! Running instances for the chase.
+//!
+//! Unlike [`exl_model::CubeData`] — which is a map and therefore functional
+//! *by construction* — a chase [`Instance`] stores raw fact sets per
+//! relation. Functionality is a constraint to be **checked** (the egds of
+//! §4.1), so the paper's "the chase does not fail" argument is genuinely
+//! exercised: a buggy rule, an unstratified application order, or
+//! non-functional base data produce real, detectable egd violations.
+
+use std::collections::btree_map::Entry;
+use std::collections::BTreeMap;
+
+use exl_model::schema::CubeId;
+use exl_model::value::Measure;
+use exl_model::{Cube, CubeData, CubeSchema, Dataset, DimTuple};
+
+/// A fact: a dimension tuple plus its measure.
+pub type Fact = (DimTuple, f64);
+
+/// Facts of one relation, with set semantics (re-deriving an identical
+/// fact is a no-op) and conflict detection.
+#[derive(Debug, Clone, Default)]
+pub struct Relation {
+    /// `dims -> set of distinct measures derived for them`. A functional
+    /// relation has exactly one measure per key; more means an egd
+    /// violation.
+    facts: BTreeMap<DimTuple, Vec<Measure>>,
+    len: usize,
+}
+
+impl Relation {
+    /// Insert a fact. Returns `true` when the fact is new (not already
+    /// present with the same measure).
+    pub fn insert(&mut self, key: DimTuple, value: f64) -> bool {
+        let m = Measure(value);
+        match self.facts.entry(key) {
+            Entry::Vacant(e) => {
+                e.insert(vec![m]);
+                self.len += 1;
+                true
+            }
+            Entry::Occupied(mut e) => {
+                if e.get().contains(&m) {
+                    false
+                } else {
+                    e.get_mut().push(m);
+                    self.len += 1;
+                    true
+                }
+            }
+        }
+    }
+
+    /// Number of distinct facts.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the relation holds no facts.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Iterate all facts (each key may yield several measures when the
+    /// relation is non-functional).
+    pub fn iter(&self) -> impl Iterator<Item = (&DimTuple, f64)> {
+        self.facts
+            .iter()
+            .flat_map(|(k, ms)| ms.iter().map(move |m| (k, m.0)))
+    }
+
+    /// The first egd violation, if any: a key with two distinct measures.
+    pub fn egd_violation(&self) -> Option<(DimTuple, f64, f64)> {
+        self.facts
+            .iter()
+            .find(|(_, ms)| ms.len() > 1)
+            .map(|(k, ms)| (k.clone(), ms[0].0, ms[1].0))
+    }
+
+    /// Convert to functional cube data. Panics on a non-functional
+    /// relation — call [`Relation::egd_violation`] first.
+    pub fn to_cube_data(&self) -> CubeData {
+        let mut out = CubeData::new();
+        for (k, ms) in &self.facts {
+            assert_eq!(ms.len(), 1, "relation is not functional");
+            out.insert_overwrite(k.clone(), ms[0].0);
+        }
+        out
+    }
+}
+
+/// A chase instance: relations keyed by name.
+#[derive(Debug, Clone, Default)]
+pub struct Instance {
+    relations: BTreeMap<CubeId, Relation>,
+}
+
+impl Instance {
+    /// Empty instance.
+    pub fn new() -> Instance {
+        Instance::default()
+    }
+
+    /// Build a source instance from a dataset.
+    pub fn from_dataset(ds: &Dataset) -> Instance {
+        let mut inst = Instance::new();
+        for (id, cube) in ds.iter() {
+            let rel = inst.relations.entry(id.clone()).or_default();
+            for (k, v) in cube.data.iter() {
+                rel.insert(k.clone(), v);
+            }
+        }
+        inst
+    }
+
+    /// The relation with the given name (empty if never touched).
+    pub fn relation(&self, id: &CubeId) -> Option<&Relation> {
+        self.relations.get(id)
+    }
+
+    /// Mutable relation access, creating it if needed.
+    pub fn relation_mut(&mut self, id: &CubeId) -> &mut Relation {
+        self.relations.entry(id.clone()).or_default()
+    }
+
+    /// Insert a fact into a relation. Returns `true` when new.
+    pub fn insert(&mut self, id: &CubeId, key: DimTuple, value: f64) -> bool {
+        self.relation_mut(id).insert(key, value)
+    }
+
+    /// Total fact count.
+    pub fn total_facts(&self) -> usize {
+        self.relations.values().map(|r| r.len()).sum()
+    }
+
+    /// First egd violation across all relations.
+    pub fn egd_violation(&self) -> Option<(CubeId, DimTuple, f64, f64)> {
+        for (id, rel) in &self.relations {
+            if let Some((k, a, b)) = rel.egd_violation() {
+                return Some((id.clone(), k, a, b));
+            }
+        }
+        None
+    }
+
+    /// Convert to a dataset using the provided schemas. Relations without a
+    /// schema are skipped; panics on non-functional relations.
+    pub fn to_dataset(&self, schemas: &BTreeMap<CubeId, CubeSchema>) -> Dataset {
+        let mut ds = Dataset::new();
+        for (id, rel) in &self.relations {
+            if let Some(schema) = schemas.get(id) {
+                ds.put(Cube::new(schema.clone(), rel.to_cube_data()));
+            }
+        }
+        ds
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use exl_model::value::DimValue;
+
+    fn k(i: i64) -> DimTuple {
+        vec![DimValue::Int(i)]
+    }
+
+    #[test]
+    fn set_semantics() {
+        let mut r = Relation::default();
+        assert!(r.insert(k(1), 2.0));
+        assert!(!r.insert(k(1), 2.0));
+        assert_eq!(r.len(), 1);
+        assert!(r.egd_violation().is_none());
+    }
+
+    #[test]
+    fn conflicting_facts_are_recorded_not_rejected() {
+        let mut r = Relation::default();
+        r.insert(k(1), 2.0);
+        assert!(r.insert(k(1), 3.0));
+        assert_eq!(r.len(), 2);
+        let (key, a, b) = r.egd_violation().unwrap();
+        assert_eq!(key, k(1));
+        assert_eq!((a, b), (2.0, 3.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "not functional")]
+    fn to_cube_data_panics_on_violation() {
+        let mut r = Relation::default();
+        r.insert(k(1), 2.0);
+        r.insert(k(1), 3.0);
+        let _ = r.to_cube_data();
+    }
+
+    #[test]
+    fn instance_round_trip_via_dataset() {
+        use exl_model::schema::{CubeKind, Dimension};
+        use exl_model::value::DimType;
+        let schema = CubeSchema::new(
+            "A",
+            vec![Dimension::new("k", DimType::Int)],
+            CubeKind::Elementary,
+        );
+        let data = CubeData::from_tuples(vec![(k(1), 5.0), (k(2), 6.0)]).unwrap();
+        let mut ds = Dataset::new();
+        ds.put(Cube::new(schema.clone(), data));
+        let inst = Instance::from_dataset(&ds);
+        assert_eq!(inst.total_facts(), 2);
+        let mut schemas = BTreeMap::new();
+        schemas.insert(CubeId::new("A"), schema);
+        let back = inst.to_dataset(&schemas);
+        assert!(ds.approx_eq_report(&back, 0.0).is_ok());
+    }
+}

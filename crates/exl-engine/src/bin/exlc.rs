@@ -1,0 +1,175 @@
+//! `exlc` — a command-line front to the EXLEngine pipeline.
+//!
+//! ```text
+//! exlc check <program.exl>                 parse + analyze, print schemas
+//! exlc tgds <program.exl>                  print the generated schema mapping
+//! exlc translate <target> <program.exl>    print the target translation
+//!                                          (targets: sql r matlab etl native chase)
+//! exlc run <program.exl> <data.json> [target]
+//!                                          execute (natively unless a target
+//!                                          is named); print derived cubes as
+//!                                          JSON on stdout
+//! exlc run <program.exl> <data-dir/> [target]
+//!                                          same, loading one <CUBE>.csv per
+//!                                          elementary cube from the directory
+//! ```
+//!
+//! `data.json` holds `{ "CUBE": [ [[dims…], measure], … ], … }` — dimension
+//! values use the serde encoding of `exl_model::DimValue`. CSV files use the
+//! flat format of `exl_model::csv` (header = dimensions + measure).
+
+use std::collections::BTreeMap;
+use std::io::Write;
+use std::process::ExitCode;
+
+/// Print a line to stdout, exiting quietly if the pipe is closed (e.g.
+/// `exlc tgds p.exl | head`).
+macro_rules! out {
+    ($($arg:tt)*) => {
+        if writeln!(std::io::stdout(), $($arg)*).is_err() {
+            std::process::exit(0);
+        }
+    };
+}
+
+use exl_engine::{translate, TargetKind};
+use exl_lang::{analyze, parse_program};
+use exl_model::{Cube, CubeData, Dataset, DimTuple};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("exlc: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let usage = "usage: exlc <check|tgds|translate|run> …  (see crate docs)";
+    match args {
+        [cmd, rest @ ..] => match cmd.as_str() {
+            "check" => check(rest),
+            "tgds" => tgds(rest),
+            "translate" => do_translate(rest),
+            "run" => do_run(rest),
+            other => Err(format!("unknown command `{other}`\n{usage}")),
+        },
+        _ => Err(usage.to_string()),
+    }
+}
+
+fn load_program(path: &str) -> Result<exl_lang::AnalyzedProgram, String> {
+    let source = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let program = parse_program(&source).map_err(|e| format!("{path}: {e}"))?;
+    analyze(&program, &[]).map_err(|e| format!("{path}: {e}"))
+}
+
+fn check(args: &[String]) -> Result<(), String> {
+    let [path] = args else {
+        return Err("usage: exlc check <program.exl>".into());
+    };
+    let analyzed = load_program(path)?;
+    out!("ok: {} statements", analyzed.program.statements.len());
+    for (id, schema) in &analyzed.schemas {
+        let kind = match schema.kind {
+            exl_model::CubeKind::Elementary => "elementary",
+            exl_model::CubeKind::Derived => "derived",
+        };
+        out!("  {kind:>10}  {schema}");
+        let _ = id;
+    }
+    Ok(())
+}
+
+fn tgds(args: &[String]) -> Result<(), String> {
+    let [path] = args else {
+        return Err("usage: exlc tgds <program.exl>".into());
+    };
+    let analyzed = load_program(path)?;
+    let (mapping, _) =
+        exl_map::generate_mapping(&analyzed, exl_map::GenMode::Fused).map_err(|e| e.to_string())?;
+    out!("{}", mapping.display_tgds());
+    for egd in &mapping.egds {
+        out!("[egd] {egd}");
+    }
+    Ok(())
+}
+
+fn parse_target(name: &str) -> Result<TargetKind, String> {
+    TargetKind::ALL
+        .into_iter()
+        .find(|t| t.name() == name)
+        .ok_or_else(|| {
+            format!(
+                "unknown target `{name}` (expected one of: {})",
+                TargetKind::ALL.map(|t| t.name()).join(", ")
+            )
+        })
+}
+
+fn do_translate(args: &[String]) -> Result<(), String> {
+    let [target, path] = args else {
+        return Err("usage: exlc translate <target> <program.exl>".into());
+    };
+    let analyzed = load_program(path)?;
+    let code = translate(&analyzed, parse_target(target)?).map_err(|e| e.to_string())?;
+    out!("{}", code.listing());
+    Ok(())
+}
+
+type JsonCube = Vec<(DimTuple, f64)>;
+
+fn do_run(args: &[String]) -> Result<(), String> {
+    let (path, data_path, target) = match args {
+        [p, d] => (p, d, TargetKind::Native),
+        [p, d, t] => (p, d, parse_target(t)?),
+        _ => return Err("usage: exlc run <program.exl> <data.json|dir> [target]".into()),
+    };
+    let analyzed = load_program(path)?;
+    let mut input = Dataset::new();
+    if std::fs::metadata(data_path)
+        .map(|m| m.is_dir())
+        .unwrap_or(false)
+    {
+        // directory of <CUBE>.csv files, one per elementary input
+        for id in analyzed.elementary_inputs() {
+            let file = std::path::Path::new(data_path).join(format!("{id}.csv"));
+            let text =
+                std::fs::read_to_string(&file).map_err(|e| format!("{}: {e}", file.display()))?;
+            let schema = analyzed.schemas[&id].clone();
+            let data = exl_model::csv::from_csv(&text, &schema)
+                .map_err(|e| format!("{}: {e}", file.display()))?;
+            input.put(Cube::new(schema, data));
+        }
+    } else {
+        let raw = std::fs::read_to_string(data_path).map_err(|e| format!("{data_path}: {e}"))?;
+        let cubes: BTreeMap<String, JsonCube> =
+            serde_json::from_str(&raw).map_err(|e| format!("{data_path}: {e}"))?;
+        for (name, tuples) in cubes {
+            let schema = analyzed
+                .schemas
+                .get(&name.as_str().into())
+                .ok_or_else(|| format!("data for unknown cube {name}"))?
+                .clone();
+            let data = CubeData::from_tuples(tuples).map_err(|e| e.to_string())?;
+            input
+                .put_validated(Cube::new(schema, data))
+                .map_err(|e| e.to_string())?;
+        }
+    }
+
+    let output =
+        exl_engine::run_on_target(&analyzed, &input, target).map_err(|e| e.to_string())?;
+    let mut result: BTreeMap<String, JsonCube> = BTreeMap::new();
+    for id in analyzed.program.derived_ids() {
+        result.insert(id.to_string(), output.data(&id).unwrap().to_tuples());
+    }
+    out!(
+        "{}",
+        serde_json::to_string_pretty(&result).map_err(|e| e.to_string())?
+    );
+    Ok(())
+}

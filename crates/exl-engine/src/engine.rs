@@ -1,0 +1,366 @@
+//! EXLEngine proper: the orchestration of Fig. 2.
+//!
+//! Programs are registered against the catalog; data loads create new
+//! cube versions; on change, the determination engine builds the plan,
+//! the translation engine produces per-subgraph executables (offline, in
+//! the sense that it touches no data), and the dispatcher assigns each
+//! subgraph to its target engine — sequentially or with stage-level
+//! parallelism — moving cube data between engines as needed.
+
+use exl_model::schema::{CubeId, CubeKind};
+use exl_model::CubeData;
+
+use crate::catalog::Catalog;
+use crate::determination::{GlobalGraph, Subgraph};
+use crate::error::EngineError;
+use crate::target::{execute, input_schemas, subprogram, translate, TargetCode, TargetKind};
+
+/// The engine.
+#[derive(Debug, Clone)]
+pub struct ExlEngine {
+    /// The metadata catalog (schemas, affinities, versions, programs).
+    pub catalog: Catalog,
+    graph: GlobalGraph,
+    /// Target used when a cube has no affinity.
+    pub default_target: TargetKind,
+    /// Dispatch independent subgraphs of a stage on separate threads.
+    pub parallel_dispatch: bool,
+}
+
+/// What happened to one subgraph during a run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SubgraphReport {
+    /// Target that executed the subgraph.
+    pub target: TargetKind,
+    /// True when the requested target declined (unsupported operator) and
+    /// the dispatcher fell back to the native engine.
+    pub fallback: bool,
+    /// Cubes the subgraph computed.
+    pub cubes: Vec<CubeId>,
+}
+
+/// Report of one recomputation run.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct RunReport {
+    /// Per-subgraph outcomes, in dispatch order.
+    pub subgraphs: Vec<SubgraphReport>,
+    /// Number of dispatch stages (1 = fully sequential dependencies).
+    pub stages: usize,
+    /// All cubes recomputed, in plan order.
+    pub computed: Vec<CubeId>,
+}
+
+impl Default for ExlEngine {
+    fn default() -> Self {
+        ExlEngine {
+            catalog: Catalog::new(),
+            graph: GlobalGraph::new(),
+            default_target: TargetKind::Native,
+            parallel_dispatch: false,
+        }
+    }
+}
+
+impl ExlEngine {
+    /// Fresh engine with an empty catalog.
+    pub fn new() -> ExlEngine {
+        ExlEngine::default()
+    }
+
+    /// Register an EXL program: parse, analyze against the catalog's
+    /// schemas, record every schema (declared elementary and inferred
+    /// derived), and extend the global dependency graph. Returns the
+    /// derived cube ids the program defines.
+    pub fn register_program(
+        &mut self,
+        name: &str,
+        source: &str,
+    ) -> Result<Vec<CubeId>, EngineError> {
+        let program =
+            exl_lang::parse_program(source).map_err(|e| EngineError::Lang(e.to_string()))?;
+        // catalog cubes are visible to the program, except those it
+        // (re-)declares itself — re-declaration is checked against the
+        // catalog below, so two programs may declare the same elementary
+        // cube as long as the schemas agree
+        let external: Vec<_> = self
+            .catalog
+            .cube_ids()
+            .iter()
+            .filter(|id| !program.decls.iter().any(|d| &&d.id == id))
+            .map(|id| self.catalog.schema(id).expect("listed").clone())
+            .collect();
+        let analyzed =
+            exl_lang::analyze(&program, &external).map_err(|e| EngineError::Lang(e.to_string()))?;
+        // record schemas: declared elementary cubes and derived cubes
+        for decl in &program.decls {
+            self.catalog
+                .register_schema(exl_lang::analyze::decl_to_schema(decl))?;
+        }
+        for id in analyzed.program.derived_ids() {
+            self.catalog
+                .register_schema(analyzed.schemas[&id].clone())?;
+        }
+        self.graph.add_program(&analyzed)?;
+        self.catalog.register_program_source(name, source)?;
+        Ok(analyzed.program.derived_ids())
+    }
+
+    /// Load (a new version of) an elementary cube's data.
+    pub fn load_elementary(&mut self, id: &CubeId, data: CubeData) -> Result<u64, EngineError> {
+        match self.catalog.schema(id) {
+            Some(s) if s.kind == CubeKind::Elementary => {}
+            Some(_) => {
+                return Err(EngineError::Catalog(format!(
+                    "cube {id} is derived; its data is computed, not loaded"
+                )))
+            }
+            None => return Err(EngineError::Catalog(format!("unknown cube {id}"))),
+        }
+        self.catalog.store(id, data)
+    }
+
+    /// Current data of a cube.
+    pub fn data(&self, id: &CubeId) -> Option<&CubeData> {
+        self.catalog.current(id)
+    }
+
+    /// Historicity: a consistent snapshot of the given cubes as of a
+    /// logical time (each cube's latest version ≤ `at`). Cubes with no
+    /// version at that time are absent from the snapshot.
+    pub fn snapshot_as_of(&self, ids: &[CubeId], at: u64) -> exl_model::Dataset {
+        let mut ds = exl_model::Dataset::new();
+        for id in ids {
+            if let (Some(meta), Some(data)) = (self.catalog.meta(id), self.catalog.as_of(id, at)) {
+                ds.put(exl_model::Cube::new(meta.schema.clone(), data.clone()));
+            }
+        }
+        ds
+    }
+
+    /// The global dependency graph (read-only).
+    pub fn graph(&self) -> &GlobalGraph {
+        &self.graph
+    }
+
+    /// §6's operator-specificity heuristic: suggest the most suitable
+    /// target for one statement. Whole-series statistical operators favor
+    /// the vector-oriented engines; joins and aggregations favor the
+    /// relational engine; the default-value variant needs the ETL engine's
+    /// outer merge; plain scalar work stays native.
+    pub fn suggest_affinity(stmt: &exl_lang::Statement) -> TargetKind {
+        fn scan(expr: &exl_lang::Expr) -> (bool, bool, bool, usize) {
+            // (has_series, has_outer, has_aggregate, cube_refs)
+            match expr {
+                exl_lang::Expr::SeriesFn { arg, .. } => {
+                    let (_, o, a, n) = scan(arg);
+                    (true, o, a, n)
+                }
+                exl_lang::Expr::Binary { policy, lhs, rhs, .. } => {
+                    let (s1, o1, a1, n1) = scan(lhs);
+                    let (s2, o2, a2, n2) = scan(rhs);
+                    let outer = matches!(policy, exl_lang::JoinPolicy::Outer { .. });
+                    (s1 || s2, o1 || o2 || outer, a1 || a2, n1 + n2)
+                }
+                exl_lang::Expr::Aggregate { arg, .. } => {
+                    let (se, o, _, n) = scan(arg);
+                    (se, o, true, n)
+                }
+                exl_lang::Expr::Unary { arg, .. } | exl_lang::Expr::Shift { arg, .. } => scan(arg),
+                exl_lang::Expr::Cube(_) => (false, false, false, 1),
+                exl_lang::Expr::Number(_) => (false, false, false, 0),
+            }
+        }
+        let (series, outer, aggregate, refs) = scan(&stmt.expr);
+        if outer {
+            TargetKind::Etl
+        } else if series {
+            TargetKind::R
+        } else if aggregate || refs > 1 {
+            TargetKind::Sql
+        } else {
+            TargetKind::Native
+        }
+    }
+
+    /// Apply [`ExlEngine::suggest_affinity`] to every derived cube that
+    /// has no explicit affinity yet. Returns the assignments made.
+    pub fn apply_suggested_affinities(&mut self) -> Result<Vec<(CubeId, TargetKind)>, EngineError> {
+        let suggestions: Vec<(CubeId, TargetKind)> = self
+            .graph
+            .statements()
+            .iter()
+            .filter(|s| {
+                self.catalog
+                    .meta(&s.target)
+                    .map(|m| m.affinity.is_none())
+                    .unwrap_or(false)
+            })
+            .map(|s| (s.target.clone(), Self::suggest_affinity(s)))
+            .collect();
+        for (id, target) in &suggestions {
+            self.catalog.set_affinity(id, Some(*target))?;
+        }
+        Ok(suggestions)
+    }
+
+    fn affinity_of(&self, id: &CubeId) -> TargetKind {
+        self.catalog
+            .meta(id)
+            .and_then(|m| m.affinity)
+            .unwrap_or(self.default_target)
+    }
+
+    /// The offline half of a run: determine and translate, touching no
+    /// data. Returns each subgraph with its executable code (B1 measures
+    /// exactly this step).
+    pub fn plan_and_translate(
+        &self,
+        changed: &[CubeId],
+    ) -> Result<Vec<(Subgraph, TargetCode, bool)>, EngineError> {
+        let plan = self.graph.determine(changed);
+        let subgraphs = self.graph.partition(&plan, &|id| self.affinity_of(id));
+        let mut out = Vec::with_capacity(subgraphs.len());
+        for sub in subgraphs {
+            let statements: Vec<_> = sub
+                .statements
+                .iter()
+                .map(|&i| self.graph.statements()[i].clone())
+                .collect();
+            let inputs = input_schemas(&statements, &|id| self.catalog.schema(id).cloned())?;
+            let analyzed = subprogram(&statements, &inputs)?;
+            let (code, fallback) = match translate(&analyzed, sub.target) {
+                Ok(code) => (code, false),
+                // §5: not every operator is supported on every target —
+                // the dispatcher reroutes the subgraph to the native
+                // engine and reports the fallback
+                Err(EngineError::Unsupported { .. }) => {
+                    (translate(&analyzed, TargetKind::Native)?, true)
+                }
+                Err(other) => return Err(other),
+            };
+            out.push((sub, code, fallback));
+        }
+        Ok(out)
+    }
+
+    /// Recompute everything downstream of the changed cubes. Results are
+    /// stored in the catalog as new versions.
+    pub fn recompute(&mut self, changed: &[CubeId]) -> Result<RunReport, EngineError> {
+        let translated = self.plan_and_translate(changed)?;
+        if translated.is_empty() {
+            return Ok(RunReport::default());
+        }
+        let subgraphs: Vec<Subgraph> = translated.iter().map(|(s, _, _)| s.clone()).collect();
+        let stages = self.graph.stages(&subgraphs);
+
+        let mut report = RunReport {
+            stages: stages.len(),
+            ..RunReport::default()
+        };
+        // keep per-subgraph reports in dispatch order
+        let mut sub_reports: Vec<Option<SubgraphReport>> = vec![None; translated.len()];
+
+        for stage in &stages {
+            // each subgraph's inputs are satisfied by earlier stages
+            let mut results: Vec<(usize, exl_model::Dataset)> = Vec::with_capacity(stage.len());
+            if self.parallel_dispatch && stage.len() > 1 {
+                let jobs: Vec<_> = stage
+                    .iter()
+                    .map(|&si| {
+                        let (sub, code, _) = &translated[si];
+                        let prepared = self.prepare_inputs(sub)?;
+                        Ok((si, code.clone(), prepared, self.targets_of(sub)))
+                    })
+                    .collect::<Result<_, EngineError>>()?;
+                let outputs = std::thread::scope(|scope| {
+                    let handles: Vec<_> = jobs
+                        .into_iter()
+                        .map(|(si, code, input, wanted)| {
+                            scope.spawn(move || (si, execute(&code, &input, &wanted)))
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("dispatch thread panicked"))
+                        .collect::<Vec<_>>()
+                });
+                for (si, r) in outputs {
+                    results.push((si, r?));
+                }
+            } else {
+                for &si in stage {
+                    let (sub, code, _) = &translated[si];
+                    let input = self.prepare_inputs(sub)?;
+                    let wanted = self.targets_of(sub);
+                    results.push((si, execute(code, &input, &wanted)?));
+                }
+            }
+            // store stage results (new catalog versions)
+            results.sort_by_key(|(si, _)| *si);
+            for (si, ds) in results {
+                let (sub, _, fallback) = &translated[si];
+                let wanted = self.targets_of(sub);
+                for id in &wanted {
+                    let data = ds
+                        .data(id)
+                        .ok_or_else(|| {
+                            EngineError::Execution(format!("target produced no data for {id}"))
+                        })?
+                        .clone();
+                    self.catalog.store(id, data)?;
+                    report.computed.push(id.clone());
+                }
+                sub_reports[si] = Some(SubgraphReport {
+                    target: if *fallback {
+                        TargetKind::Native
+                    } else {
+                        sub.target
+                    },
+                    fallback: *fallback,
+                    cubes: wanted,
+                });
+            }
+        }
+        report.subgraphs = sub_reports.into_iter().flatten().collect();
+        Ok(report)
+    }
+
+    /// Recompute every derived cube from all loaded elementary cubes.
+    pub fn run_all(&mut self) -> Result<RunReport, EngineError> {
+        let changed: Vec<CubeId> = self
+            .catalog
+            .elementary_ids()
+            .into_iter()
+            .filter(|id| self.catalog.current(id).is_some())
+            .collect();
+        self.recompute(&changed)
+    }
+
+    fn targets_of(&self, sub: &Subgraph) -> Vec<CubeId> {
+        sub.statements
+            .iter()
+            .map(|&i| self.graph.statements()[i].target.clone())
+            .collect()
+    }
+
+    /// Snapshot the inputs a subgraph reads (cross-engine data movement:
+    /// the dispatcher "can provide them with the data they have to operate
+    /// on", §6).
+    fn prepare_inputs(&self, sub: &Subgraph) -> Result<exl_model::Dataset, EngineError> {
+        let statements: Vec<_> = sub
+            .statements
+            .iter()
+            .map(|&i| self.graph.statements()[i].clone())
+            .collect();
+        let schemas = input_schemas(&statements, &|id| self.catalog.schema(id).cloned())?;
+        let ids: Vec<CubeId> = schemas.iter().map(|s| s.id.clone()).collect();
+        let mut ds = self.catalog.snapshot(&ids)?;
+        // the executors treat subgraph inputs as base data
+        let mut fixed = exl_model::Dataset::new();
+        for schema in schemas {
+            let cube = ds.remove(&schema.id).expect("snapshot covered ids");
+            fixed.put(exl_model::Cube::new(schema, cube.data));
+        }
+        Ok(fixed)
+    }
+}

@@ -1,0 +1,63 @@
+//! Engine-level errors, aggregating every subsystem's failures.
+
+use std::fmt;
+
+/// Error raised by EXLEngine.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EngineError {
+    /// EXL frontend failure.
+    Lang(String),
+    /// Mapping generation failure.
+    Mapping(String),
+    /// Translation failure that is *not* an unsupported-operator case.
+    Translation(String),
+    /// A target cannot run an operator ("not all operators are natively
+    /// supported by all systems", §5) — the dispatcher may reroute.
+    Unsupported {
+        /// The target that declined.
+        target: String,
+        /// Why.
+        reason: String,
+    },
+    /// Execution failure on a target engine.
+    Execution(String),
+    /// Catalog inconsistency (unknown cube, duplicate definition, …).
+    Catalog(String),
+    /// Persistence (serde) failure.
+    Persistence(String),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Lang(m) => write!(f, "language error: {m}"),
+            EngineError::Mapping(m) => write!(f, "mapping error: {m}"),
+            EngineError::Translation(m) => write!(f, "translation error: {m}"),
+            EngineError::Unsupported { target, reason } => {
+                write!(f, "unsupported on target {target}: {reason}")
+            }
+            EngineError::Execution(m) => write!(f, "execution error: {m}"),
+            EngineError::Catalog(m) => write!(f, "catalog error: {m}"),
+            EngineError::Persistence(m) => write!(f, "persistence error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        let e = EngineError::Unsupported {
+            target: "sql".into(),
+            reason: "outer join".into(),
+        };
+        assert!(e.to_string().contains("sql"));
+        assert!(EngineError::Catalog("x".into())
+            .to_string()
+            .contains("catalog"));
+    }
+}

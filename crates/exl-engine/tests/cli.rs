@@ -1,0 +1,144 @@
+//! End-to-end tests for the `exlc` command-line tool.
+
+use std::process::Command;
+
+fn exlc(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_exlc"))
+        .args(args)
+        .output()
+        .expect("spawn exlc")
+}
+
+fn write_tmp(name: &str, content: &str) -> std::path::PathBuf {
+    let path = std::env::temp_dir().join(format!("exlc-test-{}-{name}", std::process::id()));
+    std::fs::write(&path, content).unwrap();
+    path
+}
+
+const PROGRAM: &str = r#"
+cube A(q: time[quarter]) -> y;
+B := 2 * A;
+C := cumsum(B);
+"#;
+
+#[test]
+fn check_reports_schemas() {
+    let p = write_tmp("check.exl", PROGRAM);
+    let out = exlc(&["check", p.to_str().unwrap()]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("ok: 2 statements"), "{stdout}");
+    assert!(stdout.contains("elementary"), "{stdout}");
+    assert!(stdout.contains("derived"), "{stdout}");
+}
+
+#[test]
+fn tgds_prints_the_mapping() {
+    let p = write_tmp("tgds.exl", PROGRAM);
+    let out = exlc(&["tgds", p.to_str().unwrap()]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("A(q, y) -> B(q, 2 * y)"), "{stdout}");
+    assert!(stdout.contains("[egd]"), "{stdout}");
+}
+
+#[test]
+fn translate_every_target() {
+    let p = write_tmp("tr.exl", PROGRAM);
+    for target in ["sql", "r", "matlab", "etl", "native", "chase"] {
+        let out = exlc(&["translate", target, p.to_str().unwrap()]);
+        assert!(out.status.success(), "{target}");
+        assert!(!out.stdout.is_empty(), "{target}");
+    }
+    let out = exlc(&["translate", "cobol", p.to_str().unwrap()]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8(out.stderr)
+        .unwrap()
+        .contains("unknown target"));
+}
+
+#[test]
+fn run_executes_with_json_data() {
+    let p = write_tmp("run.exl", PROGRAM);
+    let d = write_tmp(
+        "run.json",
+        r#"{ "A": [
+            [[{"Time": {"Quarter": {"year": 2020, "quarter": 1}}}], 1.5],
+            [[{"Time": {"Quarter": {"year": 2020, "quarter": 2}}}], 2.5]
+        ]}"#,
+    );
+    let out = exlc(&["run", p.to_str().unwrap(), d.to_str().unwrap()]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    let parsed: serde_json::Value = serde_json::from_str(&stdout).unwrap();
+    // C = cumsum(2*A) = [3, 8]
+    let c = parsed["C"].as_array().unwrap();
+    assert_eq!(c.len(), 2);
+    assert_eq!(c[1][1].as_f64(), Some(8.0));
+}
+
+#[test]
+fn run_accepts_a_target_argument() {
+    let p = write_tmp("tgt.exl", PROGRAM);
+    let d = write_tmp(
+        "tgt.json",
+        r#"{ "A": [
+            [[{"Time": {"Quarter": {"year": 2020, "quarter": 1}}}], 1.5],
+            [[{"Time": {"Quarter": {"year": 2020, "quarter": 2}}}], 2.5]
+        ]}"#,
+    );
+    for target in ["sql", "r", "matlab", "etl", "chase"] {
+        let out = exlc(&["run", p.to_str().unwrap(), d.to_str().unwrap(), target]);
+        assert!(
+            out.status.success(),
+            "{target}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let parsed: serde_json::Value =
+            serde_json::from_str(&String::from_utf8(out.stdout).unwrap()).unwrap();
+        assert_eq!(parsed["C"][1][1].as_f64(), Some(8.0), "{target}");
+    }
+}
+
+#[test]
+fn run_executes_with_csv_directory() {
+    let p = write_tmp("csv.exl", PROGRAM);
+    let dir = std::env::temp_dir().join(format!("exlc-csv-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    std::fs::write(dir.join("A.csv"), "q,y\n2020-Q1,1.5\n2020-Q2,2.5\n").unwrap();
+    let out = exlc(&["run", p.to_str().unwrap(), dir.to_str().unwrap()]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let parsed: serde_json::Value =
+        serde_json::from_str(&String::from_utf8(out.stdout).unwrap()).unwrap();
+    assert_eq!(parsed["C"][1][1].as_f64(), Some(8.0));
+    // a malformed CSV is reported with its file and row
+    std::fs::write(dir.join("A.csv"), "q,y\n2020-Q9,1.5\n").unwrap();
+    let out = exlc(&["run", p.to_str().unwrap(), dir.to_str().unwrap()]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8(out.stderr).unwrap().contains("row 2"));
+}
+
+#[test]
+fn errors_are_reported_with_nonzero_exit() {
+    let bad = write_tmp("bad.exl", "B := B + 1;");
+    let out = exlc(&["check", bad.to_str().unwrap()]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8(out.stderr).unwrap().contains("exlc:"));
+
+    let out = exlc(&["check", "/nonexistent/file.exl"]);
+    assert!(!out.status.success());
+
+    let out = exlc(&["frobnicate"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8(out.stderr)
+        .unwrap()
+        .contains("unknown command"));
+}

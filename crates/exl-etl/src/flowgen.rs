@@ -1,0 +1,208 @@
+//! Generating ETL flows from tgds (§5.3 and Fig. 1).
+//!
+//! "For each atom in the lhs there is a data source step in the flow. Data
+//! streams coming from these steps are merged on the basis of dimensions,
+//! while their measures are combined with the calculation step." Multi-
+//! tuple operators add an aggregation step or a user-defined (series)
+//! step; the output step writes the result back.
+
+use std::collections::BTreeMap;
+
+use exl_map::dep::{DimTerm, Mapping, MeasureTerm, Tgd};
+use exl_model::schema::CubeSchema;
+use exl_model::TimePoint;
+
+use crate::flow::{
+    DataSourceStep, EtlError, Flow, Job, JoinKind, MergeJoinStep, OutputStep, TransformStep,
+};
+
+/// Prefix for synthesized output fields, keeping them clear of tgd
+/// variable names.
+fn out_field(name: &str) -> String {
+    format!("__out_{name}")
+}
+
+/// Build the flow for one tgd.
+pub fn tgd_to_flow(
+    tgd: &Tgd,
+    target_schema: &CubeSchema,
+    schema_of: &dyn Fn(&exl_model::CubeId) -> Option<CubeSchema>,
+) -> Result<Flow, EtlError> {
+    match tgd {
+        Tgd::TableFn {
+            id,
+            source,
+            op,
+            target,
+        } => {
+            let src =
+                schema_of(source).ok_or_else(|| EtlError(format!("no schema for {source}")))?;
+            let time_dims = src.time_dims();
+            let [tdim] = time_dims.as_slice() else {
+                return Err(EtlError(format!(
+                    "{source} must have exactly one time dimension"
+                )));
+            };
+            let time_field = src.dims[*tdim].name.clone();
+            let freq = src.dims[*tdim].ty.frequency().expect("time dim");
+            let slice_fields: Vec<String> = src
+                .dims
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| i != tdim)
+                .map(|(_, d)| d.name.clone())
+                .collect();
+            let measure_field = src.measure.clone();
+            Ok(Flow {
+                id: id.clone(),
+                sources: vec![DataSourceStep {
+                    relation: source.clone(),
+                    dim_fields: src.dims.iter().map(|d| (d.name.clone(), 0)).collect(),
+                    measure_field: measure_field.clone(),
+                }],
+                merges: Vec::new(),
+                transforms: vec![TransformStep::Series {
+                    op: *op,
+                    time_field,
+                    slice_fields,
+                    measure_field: measure_field.clone(),
+                    period: TimePoint::periods_per_year(freq),
+                }],
+                output: OutputStep {
+                    relation: target.clone(),
+                    dim_fields: target_schema.dims.iter().map(|d| d.name.clone()).collect(),
+                    measure_field,
+                },
+            })
+        }
+        Tgd::Rule {
+            id,
+            lhs,
+            rhs_relation,
+            rhs_dims,
+            rhs_measure,
+            outer_default,
+        } => {
+            // data sources: field = variable; undo shifts at the source
+            let sources: Vec<DataSourceStep> = lhs
+                .iter()
+                .map(|atom| DataSourceStep {
+                    relation: atom.relation.clone(),
+                    dim_fields: atom
+                        .dim_terms
+                        .iter()
+                        .map(|t| match t {
+                            DimTerm::Var(v) => (v.clone(), 0),
+                            // column = var + off ⇒ var = column − off
+                            DimTerm::Shifted { var, offset } => (var.clone(), -offset),
+                            DimTerm::Converted { var, .. } => (var.clone(), 0),
+                        })
+                        .collect(),
+                    measure_field: atom.measure_var.clone(),
+                })
+                .collect();
+
+            // merges on the shared dimension variables
+            let keys: Vec<String> = lhs[0]
+                .dim_terms
+                .iter()
+                .map(|t| t.var_name().to_string())
+                .collect();
+            let kind = match outer_default {
+                None => JoinKind::Inner,
+                Some(d) => {
+                    let mut defaults = BTreeMap::new();
+                    for atom in lhs {
+                        defaults.insert(atom.measure_var.clone(), *d);
+                    }
+                    JoinKind::FullOuter { defaults }
+                }
+            };
+            let merges = (1..lhs.len())
+                .map(|_| MergeJoinStep {
+                    keys: keys.clone(),
+                    kind: kind.clone(),
+                })
+                .collect();
+
+            // calculation + finiteness filter
+            let m_out = out_field(&target_schema.measure);
+            let expr = match rhs_measure {
+                MeasureTerm::Scalar(e) | MeasureTerm::Aggregate { expr: e, .. } => e.clone(),
+            };
+            let mut transforms = vec![
+                TransformStep::Calculator {
+                    output: m_out.clone(),
+                    expr,
+                },
+                TransformStep::FiniteFilter {
+                    field: m_out.clone(),
+                },
+            ];
+
+            // result dimensions
+            let mut out_dim_fields = Vec::with_capacity(rhs_dims.len());
+            for (term, dim) in rhs_dims.iter().zip(&target_schema.dims) {
+                let o = out_field(&dim.name);
+                let step = match term {
+                    DimTerm::Var(v) => TransformStep::RenameDim {
+                        output: o.clone(),
+                        input: v.clone(),
+                    },
+                    DimTerm::Shifted { var, offset } => TransformStep::ShiftDim {
+                        output: o.clone(),
+                        input: var.clone(),
+                        offset: *offset,
+                    },
+                    DimTerm::Converted { var, target } => TransformStep::ConvertDim {
+                        output: o.clone(),
+                        input: var.clone(),
+                        target: *target,
+                    },
+                };
+                transforms.push(step);
+                out_dim_fields.push(o);
+            }
+
+            // aggregation step when the measure term aggregates
+            if let MeasureTerm::Aggregate { agg, .. } = rhs_measure {
+                transforms.push(TransformStep::Aggregator {
+                    keys: out_dim_fields.clone(),
+                    agg: *agg,
+                    input: m_out.clone(),
+                    output: m_out.clone(),
+                });
+            }
+
+            Ok(Flow {
+                id: id.clone(),
+                sources,
+                merges,
+                transforms,
+                output: OutputStep {
+                    relation: rhs_relation.clone(),
+                    dim_fields: out_dim_fields,
+                    measure_field: m_out,
+                },
+            })
+        }
+    }
+}
+
+/// Build the complete job for a mapping: one flow per statement tgd, in
+/// tgd total order, "tailored into a more comprising job" (§5.3).
+pub fn mapping_to_job(mapping: &Mapping) -> Result<Job, EtlError> {
+    let mut flows = Vec::with_capacity(mapping.statement_tgds.len());
+    let mut schemas = BTreeMap::new();
+    for s in mapping.target.iter().chain(mapping.source.iter()) {
+        schemas.insert(s.id.clone(), s.clone());
+    }
+    for tgd in &mapping.statement_tgds {
+        let schema = mapping
+            .schema(tgd.target_relation())
+            .ok_or_else(|| EtlError(format!("no schema for {}", tgd.target_relation())))?;
+        let lookup = |id: &exl_model::CubeId| mapping.schema(id).cloned();
+        flows.push(tgd_to_flow(tgd, schema, &lookup)?);
+    }
+    Ok(Job { flows, schemas })
+}

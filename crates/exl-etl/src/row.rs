@@ -1,0 +1,122 @@
+//! Rows flowing through ETL streams.
+
+use std::collections::BTreeMap;
+
+use exl_model::value::DimValue;
+
+/// A field value: a dimension value or a numeric measure.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Field {
+    /// Dimension value.
+    Dim(DimValue),
+    /// Numeric measure.
+    Num(f64),
+}
+
+impl Field {
+    /// Numeric view.
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            Field::Num(n) => Some(*n),
+            Field::Dim(DimValue::Int(i)) => Some(*i as f64),
+            _ => None,
+        }
+    }
+
+    /// Dimension view.
+    pub fn as_dim(&self) -> Option<&DimValue> {
+        match self {
+            Field::Dim(d) => Some(d),
+            _ => None,
+        }
+    }
+}
+
+/// One row of an ETL stream: named fields.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Row {
+    fields: BTreeMap<String, Field>,
+}
+
+impl Row {
+    /// Empty row.
+    pub fn new() -> Row {
+        Row::default()
+    }
+
+    /// Set a field.
+    pub fn set(&mut self, name: impl Into<String>, value: Field) {
+        self.fields.insert(name.into(), value);
+    }
+
+    /// Get a field.
+    pub fn get(&self, name: &str) -> Option<&Field> {
+        self.fields.get(name)
+    }
+
+    /// Stable string key over the named fields (for joins/grouping).
+    pub fn key_of(&self, names: &[String]) -> Option<String> {
+        let mut out = String::new();
+        for n in names {
+            let f = self.fields.get(n)?;
+            match f {
+                Field::Dim(d) => out.push_str(&format!("d{d}")),
+                Field::Num(v) => out.push_str(&format!("n{v}")),
+            }
+            out.push('\u{1}');
+        }
+        Some(out)
+    }
+
+    /// Merge another row's fields into this one (right wins on clashes).
+    pub fn absorb(&mut self, other: &Row) {
+        for (k, v) in &other.fields {
+            self.fields.insert(k.clone(), v.clone());
+        }
+    }
+
+    /// Field names, sorted.
+    pub fn names(&self) -> Vec<&str> {
+        self.fields.keys().map(|s| s.as_str()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_and_views() {
+        let mut r = Row::new();
+        r.set("q", Field::Dim(DimValue::Int(3)));
+        r.set("m", Field::Num(1.5));
+        assert_eq!(r.get("m").unwrap().as_num(), Some(1.5));
+        assert_eq!(r.get("q").unwrap().as_num(), Some(3.0));
+        assert_eq!(r.get("q").unwrap().as_dim(), Some(&DimValue::Int(3)));
+        assert!(r.get("zzz").is_none());
+        assert_eq!(r.names(), vec!["m", "q"]);
+    }
+
+    #[test]
+    fn key_of_is_stable_and_total() {
+        let mut a = Row::new();
+        a.set("q", Field::Dim(DimValue::str("x")));
+        a.set("r", Field::Num(2.0));
+        let k1 = a.key_of(&["q".into(), "r".into()]).unwrap();
+        let k2 = a.key_of(&["q".into(), "r".into()]).unwrap();
+        assert_eq!(k1, k2);
+        assert!(a.key_of(&["missing".into()]).is_none());
+    }
+
+    #[test]
+    fn absorb_merges_fields() {
+        let mut a = Row::new();
+        a.set("x", Field::Num(1.0));
+        let mut b = Row::new();
+        b.set("x", Field::Num(9.0));
+        b.set("y", Field::Num(2.0));
+        a.absorb(&b);
+        assert_eq!(a.get("x").unwrap().as_num(), Some(9.0));
+        assert_eq!(a.get("y").unwrap().as_num(), Some(2.0));
+    }
+}

@@ -1,0 +1,68 @@
+//! Runtime errors of the reference interpreter.
+
+use std::fmt;
+
+use exl_model::ModelError;
+
+/// Error raised while evaluating an EXL program.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EvalError {
+    /// An elementary cube referenced by the program is absent from the
+    /// input dataset.
+    MissingInput {
+        /// The missing cube.
+        cube: String,
+    },
+    /// Input data violates the data model (non-functional base data,
+    /// arity/type mismatches).
+    Model(ModelError),
+    /// A time operation was applied to a value it is undefined on (e.g.
+    /// an internal inconsistency between schema and data).
+    BadTimeValue {
+        /// Offending cube.
+        cube: String,
+        /// Explanation.
+        detail: String,
+    },
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::MissingInput { cube } => {
+                write!(
+                    f,
+                    "elementary cube {cube} is missing from the input dataset"
+                )
+            }
+            EvalError::Model(e) => write!(f, "data model error: {e}"),
+            EvalError::BadTimeValue { cube, detail } => {
+                write!(f, "bad time value in cube {cube}: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+impl From<ModelError> for EvalError {
+    fn from(e: ModelError) -> Self {
+        EvalError::Model(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let e = EvalError::MissingInput { cube: "PDR".into() };
+        assert!(e.to_string().contains("PDR"));
+        let e = EvalError::BadTimeValue {
+            cube: "X".into(),
+            detail: "not a time point".into(),
+        };
+        assert!(e.to_string().contains("not a time point"));
+    }
+}

@@ -1,0 +1,597 @@
+//! Expression and program evaluation.
+
+use std::collections::BTreeMap;
+
+use exl_lang::analyze::AnalyzedProgram;
+use exl_lang::ast::{Expr, GroupKey, JoinPolicy, Statement};
+use exl_model::schema::Dimension;
+use exl_model::time::Frequency;
+use exl_model::value::DimValue;
+use exl_model::{Cube, CubeData, Dataset, DimTuple};
+use exl_stats::seriesop::SeriesOp;
+
+use crate::error::EvalError;
+
+/// Evaluation result of an expression: a bare scalar or cube data with its
+/// dimensions.
+enum Val {
+    Scalar(f64),
+    Cube {
+        dims: Vec<Dimension>,
+        data: CubeData,
+    },
+}
+
+/// Seasonal period implied by a time frequency, shared by every backend so
+/// that `stl_*` means the same thing everywhere.
+pub fn series_period(freq: Frequency) -> usize {
+    exl_model::TimePoint::periods_per_year(freq)
+}
+
+/// Run an analyzed program over an input dataset.
+///
+/// Returns a dataset containing the input cubes plus every derived cube
+/// (including normalization temporaries, when the program was normalized).
+/// Fails when an elementary input is missing or base data is malformed.
+pub fn run_program(analyzed: &AnalyzedProgram, input: &Dataset) -> Result<Dataset, EvalError> {
+    let mut env = Dataset::new();
+    // load and validate elementary inputs
+    for id in analyzed.elementary_inputs() {
+        let cube = input.get(&id).ok_or_else(|| EvalError::MissingInput {
+            cube: id.to_string(),
+        })?;
+        let mut checked = cube.clone();
+        checked.schema = analyzed.schemas[&id].clone();
+        checked.validate()?;
+        env.put(checked);
+    }
+    for stmt in &analyzed.program.statements {
+        let data = eval_statement(stmt, &env)?;
+        let schema = analyzed.schemas[&stmt.target].clone();
+        env.put(Cube::new(schema, data));
+    }
+    Ok(env)
+}
+
+/// Evaluate one statement against an environment that already contains its
+/// operands (the stratified evaluation order of §4.2).
+pub fn eval_statement(stmt: &Statement, env: &Dataset) -> Result<CubeData, EvalError> {
+    match eval_expr(&stmt.expr, env)? {
+        Val::Cube { data, .. } => Ok(data),
+        Val::Scalar(_) => unreachable!("analysis rejects constant statements"),
+    }
+}
+
+fn eval_expr(expr: &Expr, env: &Dataset) -> Result<Val, EvalError> {
+    match expr {
+        Expr::Number(n) => Ok(Val::Scalar(*n)),
+        Expr::Cube(id) => {
+            let cube = env.get(id).ok_or_else(|| EvalError::MissingInput {
+                cube: id.to_string(),
+            })?;
+            Ok(Val::Cube {
+                dims: cube.schema.dims.clone(),
+                data: cube.data.clone(),
+            })
+        }
+        Expr::Unary { op, arg } => match eval_expr(arg, env)? {
+            Val::Scalar(v) => Ok(Val::Scalar(op.apply(v))),
+            Val::Cube { dims, data } => {
+                let mut out = CubeData::new();
+                for (k, v) in data.iter() {
+                    store_if_finite(&mut out, k.clone(), op.apply(v));
+                }
+                Ok(Val::Cube { dims, data: out })
+            }
+        },
+        Expr::Binary {
+            op,
+            policy,
+            lhs,
+            rhs,
+        } => {
+            let l = eval_expr(lhs, env)?;
+            let r = eval_expr(rhs, env)?;
+            match (l, r) {
+                (Val::Scalar(a), Val::Scalar(b)) => Ok(Val::Scalar(op.apply(a, b))),
+                (Val::Scalar(a), Val::Cube { dims, data }) => {
+                    let mut out = CubeData::new();
+                    for (k, v) in data.iter() {
+                        store_if_finite(&mut out, k.clone(), op.apply(a, v));
+                    }
+                    Ok(Val::Cube { dims, data: out })
+                }
+                (Val::Cube { dims, data }, Val::Scalar(b)) => {
+                    let mut out = CubeData::new();
+                    for (k, v) in data.iter() {
+                        store_if_finite(&mut out, k.clone(), op.apply(v, b));
+                    }
+                    Ok(Val::Cube { dims, data: out })
+                }
+                (Val::Cube { dims, data: a }, Val::Cube { data: b, .. }) => {
+                    let mut out = CubeData::new();
+                    match policy {
+                        JoinPolicy::Inner => {
+                            for (k, va) in a.iter() {
+                                if let Some(vb) = b.get(k) {
+                                    store_if_finite(&mut out, k.clone(), op.apply(va, vb));
+                                }
+                            }
+                        }
+                        JoinPolicy::Outer { default } => {
+                            for (k, va) in a.iter() {
+                                let vb = b.get(k).unwrap_or(*default);
+                                store_if_finite(&mut out, k.clone(), op.apply(va, vb));
+                            }
+                            for (k, vb) in b.iter() {
+                                if a.get(k).is_none() {
+                                    store_if_finite(&mut out, k.clone(), op.apply(*default, vb));
+                                }
+                            }
+                        }
+                    }
+                    Ok(Val::Cube { dims, data: out })
+                }
+            }
+        }
+        Expr::Shift { arg, offset, dim } => {
+            let Val::Cube { dims, data } = eval_expr(arg, env)? else {
+                unreachable!("analysis rejects shift on scalars")
+            };
+            let idx = resolve_time_index(&dims, dim.as_deref());
+            let mut out = CubeData::new();
+            for (k, v) in data.iter() {
+                let mut nk = k.clone();
+                nk[idx] = match &nk[idx] {
+                    DimValue::Time(t) => DimValue::Time(t.shift(*offset)),
+                    // §3: shift is "a sum on the values of a numeric dimension"
+                    DimValue::Int(i) => DimValue::Int(i + offset),
+                    other => {
+                        return Err(EvalError::BadTimeValue {
+                            cube: "<shift operand>".into(),
+                            detail: format!("value {other} cannot be shifted"),
+                        })
+                    }
+                };
+                // shift is injective on its axis, so no conflicts
+                out.insert(nk, v)?;
+            }
+            Ok(Val::Cube { dims, data: out })
+        }
+        Expr::Aggregate { agg, arg, group_by } => {
+            let Val::Cube { dims, data } = eval_expr(arg, env)? else {
+                unreachable!("analysis rejects aggregation of scalars")
+            };
+            let out_dims = aggregate_out_dims(&dims, group_by);
+            let key_fns = group_key_extractors(&dims, group_by);
+            let mut groups: BTreeMap<DimTuple, Vec<f64>> = BTreeMap::new();
+            for (k, v) in data.iter() {
+                let out_key: DimTuple = key_fns.iter().map(|f| f(k)).collect();
+                groups.entry(out_key).or_default().push(v);
+            }
+            let mut out = CubeData::new();
+            for (k, bag) in groups {
+                if let Some(v) = agg.apply(&bag) {
+                    store_if_finite(&mut out, k, v);
+                }
+            }
+            Ok(Val::Cube {
+                dims: out_dims,
+                data: out,
+            })
+        }
+        Expr::SeriesFn { op, arg } => {
+            let Val::Cube { dims, data } = eval_expr(arg, env)? else {
+                unreachable!("analysis rejects series operators on scalars")
+            };
+            let data = apply_series_op(*op, &dims, &data)?;
+            Ok(Val::Cube { dims, data })
+        }
+    }
+}
+
+/// Apply a black-box series operator to cube data: slice on the non-time
+/// dimensions, run the operator positionally over each chronologically
+/// sorted slice. Shared with the chase (which applies the same function for
+/// table-function tgds).
+pub fn apply_series_op(
+    op: SeriesOp,
+    dims: &[Dimension],
+    data: &CubeData,
+) -> Result<CubeData, EvalError> {
+    let time_idx = resolve_time_index(dims, None);
+    let freq = dims[time_idx]
+        .ty
+        .frequency()
+        .expect("analysis guarantees a time dimension");
+    let period = series_period(freq);
+
+    // group rows by their non-time dimension values
+    let mut slices: BTreeMap<DimTuple, Vec<(i64, DimTuple, f64)>> = BTreeMap::new();
+    for (k, v) in data.iter() {
+        let slice_key: DimTuple = k
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != time_idx)
+            .map(|(_, d)| d.clone())
+            .collect();
+        let t = k[time_idx]
+            .as_time()
+            .ok_or_else(|| EvalError::BadTimeValue {
+                cube: "<series operand>".into(),
+                detail: format!("value {} is not a time point", k[time_idx]),
+            })?;
+        slices
+            .entry(slice_key)
+            .or_default()
+            .push((t.index(), k.clone(), v));
+    }
+
+    let mut out = CubeData::new();
+    for (_, mut rows) in slices {
+        rows.sort_by_key(|(t, _, _)| *t);
+        let indices: Vec<i64> = rows.iter().map(|(t, _, _)| *t).collect();
+        let values: Vec<f64> = rows.iter().map(|(_, _, v)| *v).collect();
+        let result = op.apply(&indices, &values, period);
+        for ((_, key, _), v) in rows.into_iter().zip(result) {
+            store_if_finite(&mut out, key, v);
+        }
+    }
+    Ok(out)
+}
+
+/// Output dimensions of an aggregation (also used by mapping generation).
+pub fn aggregate_out_dims(dims: &[Dimension], group_by: &[GroupKey]) -> Vec<Dimension> {
+    group_by
+        .iter()
+        .map(|k| match k {
+            GroupKey::Dim(name) => dims
+                .iter()
+                .find(|d| &d.name == name)
+                .expect("analysis validated keys")
+                .clone(),
+            GroupKey::TimeMap { target, alias, .. } => {
+                Dimension::new(alias.clone(), exl_model::DimType::Time(*target))
+            }
+        })
+        .collect()
+}
+
+type KeyFn = Box<dyn Fn(&DimTuple) -> DimValue>;
+
+/// Build per-key extractor closures mapping an input tuple to one output
+/// dimension value.
+fn group_key_extractors(dims: &[Dimension], group_by: &[GroupKey]) -> Vec<KeyFn> {
+    group_by
+        .iter()
+        .map(|k| -> KeyFn {
+            match k {
+                GroupKey::Dim(name) => {
+                    let idx = dims
+                        .iter()
+                        .position(|d| &d.name == name)
+                        .expect("validated");
+                    Box::new(move |t: &DimTuple| t[idx].clone())
+                }
+                GroupKey::TimeMap { target, dim, .. } => {
+                    let idx = dims.iter().position(|d| &d.name == dim).expect("validated");
+                    let target = *target;
+                    Box::new(move |t: &DimTuple| {
+                        let tp = t[idx].as_time().expect("validated time dimension");
+                        DimValue::Time(tp.convert(target).expect("coarsening validated"))
+                    })
+                }
+            }
+        })
+        .collect()
+}
+
+/// Index of the time dimension an operator acts on (validated upstream).
+pub fn resolve_time_index(dims: &[Dimension], named: Option<&str>) -> usize {
+    match named {
+        Some(name) => dims.iter().position(|d| d.name == name).expect("validated"),
+        None => dims
+            .iter()
+            .position(|d| d.ty.is_time())
+            .expect("analysis guarantees a time dimension"),
+    }
+}
+
+/// Store a measure unless it is non-finite (partial operator semantics).
+fn store_if_finite(out: &mut CubeData, key: DimTuple, v: f64) {
+    if v.is_finite() {
+        out.insert_overwrite(key, v);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use exl_lang::{analyze, parse_program};
+    use exl_model::schema::CubeId;
+    use exl_model::time::{Date, TimePoint};
+
+    fn q(y: i32, n: u32) -> DimValue {
+        DimValue::Time(TimePoint::Quarter {
+            year: y,
+            quarter: n,
+        })
+    }
+
+    fn day(y: i32, m: u32, d: u32) -> DimValue {
+        DimValue::Time(TimePoint::Day(Date::from_ymd(y, m, d).unwrap()))
+    }
+
+    fn run(src: &str, cubes: Vec<(&str, Vec<(DimTuple, f64)>)>) -> Dataset {
+        let analyzed = analyze(&parse_program(src).unwrap(), &[]).unwrap();
+        let mut input = Dataset::new();
+        for (name, tuples) in cubes {
+            let schema = analyzed.schemas[&CubeId::new(name)].clone();
+            let data = CubeData::from_tuples(tuples).unwrap();
+            input.put(Cube::new(schema, data));
+        }
+        run_program(&analyzed, &input).unwrap()
+    }
+
+    fn get(out: &Dataset, cube: &str, key: &[DimValue]) -> Option<f64> {
+        out.data(&CubeId::new(cube)).unwrap().get(key)
+    }
+
+    #[test]
+    fn scalar_multiplication() {
+        let out = run(
+            "cube A(q: quarter); B := 3 * A;",
+            vec![("A", vec![(vec![q(2020, 1)], 2.0), (vec![q(2020, 2)], -1.0)])],
+        );
+        assert_eq!(get(&out, "B", &[q(2020, 1)]), Some(6.0));
+        assert_eq!(get(&out, "B", &[q(2020, 2)]), Some(-3.0));
+    }
+
+    #[test]
+    fn vectorial_sum_intersects_domains() {
+        let out = run(
+            "cube A(q: quarter); cube B(q: quarter); C := A + B;",
+            vec![
+                ("A", vec![(vec![q(2020, 1)], 1.0), (vec![q(2020, 2)], 2.0)]),
+                (
+                    "B",
+                    vec![(vec![q(2020, 2)], 10.0), (vec![q(2020, 3)], 20.0)],
+                ),
+            ],
+        );
+        let c = out.data(&CubeId::new("C")).unwrap();
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.get(&[q(2020, 2)]), Some(12.0));
+    }
+
+    #[test]
+    fn outer_sum_uses_default() {
+        let out = run(
+            "cube A(q: quarter); cube B(q: quarter); C := addz(A, B);",
+            vec![
+                ("A", vec![(vec![q(2020, 1)], 1.0)]),
+                ("B", vec![(vec![q(2020, 2)], 10.0)]),
+            ],
+        );
+        let c = out.data(&CubeId::new("C")).unwrap();
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.get(&[q(2020, 1)]), Some(1.0));
+        assert_eq!(c.get(&[q(2020, 2)]), Some(10.0));
+    }
+
+    #[test]
+    fn division_by_zero_drops_tuple() {
+        let out = run(
+            "cube A(q: quarter); cube B(q: quarter); C := A / B;",
+            vec![
+                ("A", vec![(vec![q(2020, 1)], 1.0), (vec![q(2020, 2)], 4.0)]),
+                ("B", vec![(vec![q(2020, 1)], 0.0), (vec![q(2020, 2)], 2.0)]),
+            ],
+        );
+        let c = out.data(&CubeId::new("C")).unwrap();
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.get(&[q(2020, 2)]), Some(2.0));
+    }
+
+    #[test]
+    fn ln_of_nonpositive_drops_tuple() {
+        let out = run(
+            "cube A(q: quarter); B := ln(A);",
+            vec![("A", vec![(vec![q(2020, 1)], -1.0), (vec![q(2020, 2)], 1.0)])],
+        );
+        let b = out.data(&CubeId::new("B")).unwrap();
+        assert_eq!(b.len(), 1);
+        assert_eq!(b.get(&[q(2020, 2)]), Some(0.0));
+    }
+
+    #[test]
+    fn shift_moves_time_dimension() {
+        let out = run(
+            "cube A(q: quarter); B := shift(A, 1);",
+            vec![("A", vec![(vec![q(2020, 4)], 7.0)])],
+        );
+        let b = out.data(&CubeId::new("B")).unwrap();
+        assert_eq!(b.get(&[q(2021, 1)]), Some(7.0));
+        assert_eq!(b.get(&[q(2020, 4)]), None);
+    }
+
+    #[test]
+    fn shift_on_named_dim_with_other_dims_fixed() {
+        let out = run(
+            "cube A(q: quarter, r: text); B := shift(A, -1, q);",
+            vec![(
+                "A",
+                vec![
+                    (vec![q(2020, 2), DimValue::str("n")], 5.0),
+                    (vec![q(2020, 2), DimValue::str("s")], 6.0),
+                ],
+            )],
+        );
+        let b = out.data(&CubeId::new("B")).unwrap();
+        assert_eq!(b.get(&[q(2020, 1), DimValue::str("n")]), Some(5.0));
+        assert_eq!(b.get(&[q(2020, 1), DimValue::str("s")]), Some(6.0));
+    }
+
+    #[test]
+    fn aggregation_with_frequency_conversion() {
+        // statement (1) of the paper: daily population averaged by quarter
+        let out = run(
+            "cube PDR(d: day, r: text) -> p; PQR := avg(PDR, group by quarter(d) as q, r);",
+            vec![(
+                "PDR",
+                vec![
+                    (vec![day(2020, 1, 1), DimValue::str("n")], 10.0),
+                    (vec![day(2020, 2, 1), DimValue::str("n")], 20.0),
+                    (vec![day(2020, 4, 1), DimValue::str("n")], 99.0),
+                    (vec![day(2020, 1, 1), DimValue::str("s")], 4.0),
+                ],
+            )],
+        );
+        let pqr = out.data(&CubeId::new("PQR")).unwrap();
+        assert_eq!(pqr.len(), 3);
+        assert_eq!(pqr.get(&[q(2020, 1), DimValue::str("n")]), Some(15.0));
+        assert_eq!(pqr.get(&[q(2020, 2), DimValue::str("n")]), Some(99.0));
+        assert_eq!(pqr.get(&[q(2020, 1), DimValue::str("s")]), Some(4.0));
+    }
+
+    #[test]
+    fn aggregation_sum_over_regions() {
+        let out = run(
+            "cube RGDP(q: quarter, r: text); GDP := sum(RGDP, group by q);",
+            vec![(
+                "RGDP",
+                vec![
+                    (vec![q(2020, 1), DimValue::str("n")], 1.0),
+                    (vec![q(2020, 1), DimValue::str("s")], 2.0),
+                    (vec![q(2020, 2), DimValue::str("n")], 5.0),
+                ],
+            )],
+        );
+        let gdp = out.data(&CubeId::new("GDP")).unwrap();
+        assert_eq!(gdp.get(&[q(2020, 1)]), Some(3.0));
+        assert_eq!(gdp.get(&[q(2020, 2)]), Some(5.0));
+    }
+
+    #[test]
+    fn series_op_applied_per_slice() {
+        // cumsum over a cube with a region dimension: each region
+        // accumulates independently
+        let out = run(
+            "cube A(q: quarter, r: text); B := cumsum(A);",
+            vec![(
+                "A",
+                vec![
+                    (vec![q(2020, 1), DimValue::str("n")], 1.0),
+                    (vec![q(2020, 2), DimValue::str("n")], 2.0),
+                    (vec![q(2020, 1), DimValue::str("s")], 10.0),
+                    (vec![q(2020, 2), DimValue::str("s")], 20.0),
+                ],
+            )],
+        );
+        let b = out.data(&CubeId::new("B")).unwrap();
+        assert_eq!(b.get(&[q(2020, 2), DimValue::str("n")]), Some(3.0));
+        assert_eq!(b.get(&[q(2020, 2), DimValue::str("s")]), Some(30.0));
+    }
+
+    #[test]
+    fn stl_trend_on_time_series_preserves_domain() {
+        let tuples: Vec<(DimTuple, f64)> = (0..16)
+            .map(|i| {
+                (
+                    vec![q(2018 + i / 4, (i % 4 + 1) as u32)],
+                    100.0 + i as f64 * 2.0 + [3.0, -1.0, -3.0, 1.0][(i % 4) as usize],
+                )
+            })
+            .collect();
+        let out = run(
+            "cube GDP(q: quarter); GDPT := stl_trend(GDP);",
+            vec![("GDP", tuples)],
+        );
+        let t = out.data(&CubeId::new("GDPT")).unwrap();
+        assert_eq!(t.len(), 16);
+        // interior trend should be close to the linear component
+        let v = t.get(&[q(2019, 1)]).unwrap();
+        assert!((v - 108.0).abs() < 1.5, "{v}");
+    }
+
+    #[test]
+    fn full_gdp_program_end_to_end() {
+        let src = r#"
+            cube PDR(d: day, r: text) -> p;
+            cube RGDPPC(q: quarter, r: text) -> g;
+            PQR := avg(PDR, group by quarter(d) as q, r);
+            RGDP := RGDPPC * PQR;
+            GDP := sum(RGDP, group by q);
+            GDPT := stl_trend(GDP);
+            PCHNG := 100 * (GDPT - shift(GDPT, 1)) / GDPT;
+        "#;
+        let mut pdr = Vec::new();
+        let mut rgdppc = Vec::new();
+        for yq in 0..8 {
+            let (y, qu) = (2019 + yq / 4, (yq % 4 + 1) as u32);
+            for r in ["north", "south"] {
+                // two sample days per quarter
+                let m = (qu - 1) * 3 + 1;
+                pdr.push((vec![day(y, m, 1), DimValue::str(r)], 100.0 + yq as f64));
+                pdr.push((vec![day(y, m, 15), DimValue::str(r)], 102.0 + yq as f64));
+                rgdppc.push((
+                    vec![q(y, qu), DimValue::str(r)],
+                    30.0 + yq as f64 + if r == "north" { 5.0 } else { 0.0 },
+                ));
+            }
+        }
+        let out = run(src, vec![("PDR", pdr), ("RGDPPC", rgdppc)]);
+        let gdp = out.data(&CubeId::new("GDP")).unwrap();
+        assert_eq!(gdp.len(), 8);
+        // GDP(2019-Q1) = (101 * 35) + (101 * 30)
+        assert_eq!(gdp.get(&[q(2019, 1)]), Some(101.0 * 65.0));
+        let pchng = out.data(&CubeId::new("PCHNG")).unwrap();
+        // PCHNG has no value for the first quarter (no predecessor)
+        assert_eq!(pchng.len(), 7);
+        assert!(pchng.get(&[q(2019, 1)]).is_none());
+        for (_, v) in pchng.iter() {
+            assert!(v.is_finite());
+        }
+    }
+
+    #[test]
+    fn missing_input_is_reported() {
+        let analyzed =
+            analyze(&parse_program("cube A(k: int); B := 2 * A;").unwrap(), &[]).unwrap();
+        let err = run_program(&analyzed, &Dataset::new()).unwrap_err();
+        assert!(matches!(err, EvalError::MissingInput { .. }));
+    }
+
+    #[test]
+    fn plain_copy_statement() {
+        let out = run(
+            "cube A(k: int); B := A;",
+            vec![("A", vec![(vec![DimValue::Int(1)], 5.0)])],
+        );
+        assert_eq!(get(&out, "B", &[DimValue::Int(1)]), Some(5.0));
+    }
+
+    #[test]
+    fn normalized_program_matches_original() {
+        let src = r#"
+            cube A(q: quarter);
+            B := 100 * (A - shift(A, 1)) / A;
+        "#;
+        let prog = parse_program(src).unwrap();
+        let analyzed = analyze(&prog, &[]).unwrap();
+        let norm = analyze(&exl_lang::normalize(&prog), &[]).unwrap();
+        let mut input = Dataset::new();
+        let tuples: Vec<(DimTuple, f64)> = (1..5)
+            .map(|i| (vec![q(2020, i)], 10.0 * i as f64))
+            .collect();
+        input.put(Cube::new(
+            analyzed.schemas[&CubeId::new("A")].clone(),
+            CubeData::from_tuples(tuples).unwrap(),
+        ));
+        let out1 = run_program(&analyzed, &input).unwrap();
+        let out2 = run_program(&norm, &input).unwrap();
+        let b1 = out1.data(&CubeId::new("B")).unwrap();
+        let b2 = out2.data(&CubeId::new("B")).unwrap();
+        assert!(b1.approx_eq(b2, 1e-12), "{:?}", b1.diff(b2, 1e-12));
+    }
+}

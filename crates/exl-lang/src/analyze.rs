@@ -1,0 +1,603 @@
+//! Semantic analysis and schema inference for EXL programs.
+//!
+//! Enforces the static discipline of §3 of the paper:
+//!
+//! * derived cubes are defined by **exactly one** statement (a cube is a
+//!   function, so multiple defining rules à la Datalog are rejected);
+//! * a statement may reference only elementary cubes and derived cubes
+//!   defined by **earlier** statements — no recursion, no forward
+//!   references, so the program order is a valid stratification (§4.2);
+//! * operator typing: vectorial operators require identical dimension
+//!   lists, `shift` needs an unambiguous time dimension, aggregation keys
+//!   must name dimensions of the operand (or coarsen a finer time
+//!   dimension), series operators need exactly one time dimension.
+//!
+//! The analyzer also *infers* the schema of every derived cube, which
+//! downstream consumers (mapping generation, all code generators, the
+//! engines) rely on.
+
+use std::collections::BTreeMap;
+
+use exl_model::schema::{CubeId, CubeKind, CubeSchema, Dimension};
+use exl_model::value::DimType;
+
+use crate::ast::{CubeDecl, Expr, GroupKey, JoinPolicy, Program, Statement};
+use crate::error::{LangError, Pos};
+
+/// Result of analysis: the program plus a complete schema environment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnalyzedProgram {
+    /// The analyzed program (unchanged).
+    pub program: Program,
+    /// Schema for every cube mentioned: declared elementary cubes,
+    /// externally supplied elementary cubes, and inferred derived cubes.
+    pub schemas: BTreeMap<CubeId, CubeSchema>,
+}
+
+impl AnalyzedProgram {
+    /// Schema of a cube.
+    pub fn schema(&self, id: &CubeId) -> Option<&CubeSchema> {
+        self.schemas.get(id)
+    }
+
+    /// Schemas of the derived cubes in statement (stratification) order.
+    pub fn derived_schemas(&self) -> Vec<&CubeSchema> {
+        self.program
+            .statements
+            .iter()
+            .map(|s| &self.schemas[&s.target])
+            .collect()
+    }
+
+    /// Ids of the elementary cubes the program actually reads.
+    pub fn elementary_inputs(&self) -> Vec<CubeId> {
+        let mut out = Vec::new();
+        for s in &self.program.statements {
+            for r in s.expr.cube_refs() {
+                if self.schemas[&r].kind == CubeKind::Elementary && !out.contains(&r) {
+                    out.push(r);
+                }
+            }
+        }
+        out.sort();
+        out
+    }
+}
+
+/// The inferred type of an expression: a bare scalar or a cube with
+/// dimensions and a measure name.
+#[derive(Debug, Clone, PartialEq)]
+enum Inferred {
+    Scalar,
+    Cube(Vec<Dimension>),
+}
+
+/// Analyze a program. `external` supplies schemas for elementary cubes not
+/// declared in the source (the catalog-provided metadata of the paper's
+/// engine).
+pub fn analyze(program: &Program, external: &[CubeSchema]) -> Result<AnalyzedProgram, LangError> {
+    let mut schemas: BTreeMap<CubeId, CubeSchema> = BTreeMap::new();
+
+    for ext in external {
+        let mut s = ext.clone();
+        s.kind = CubeKind::Elementary;
+        if schemas.insert(s.id.clone(), s).is_some() {
+            return Err(LangError::analyze(
+                Pos::default(),
+                format!("duplicate external schema for cube {}", ext.id),
+            ));
+        }
+    }
+
+    for decl in &program.decls {
+        let schema = decl_to_schema(decl);
+        validate_decl(decl)?;
+        if schemas.insert(decl.id.clone(), schema).is_some() {
+            return Err(LangError::analyze(
+                decl.pos,
+                format!("cube {} is declared more than once", decl.id),
+            ));
+        }
+    }
+
+    for stmt in &program.statements {
+        if let Some(existing) = schemas.get(&stmt.target) {
+            let what = match existing.kind {
+                CubeKind::Elementary => "an elementary cube",
+                CubeKind::Derived => {
+                    "already defined (a cube identifier must not appear as lhs more than once)"
+                }
+            };
+            return Err(LangError::analyze(
+                stmt.pos,
+                format!("cube {} is {what}", stmt.target),
+            ));
+        }
+        let dims = match infer(&stmt.expr, &schemas, stmt)? {
+            Inferred::Cube(dims) => dims,
+            Inferred::Scalar => {
+                return Err(LangError::analyze(
+                    stmt.pos,
+                    format!(
+                        "the definition of {} is a constant, not a cube expression",
+                        stmt.target
+                    ),
+                ))
+            }
+        };
+        // the measure column must not collide with a dimension name
+        // (possible when a group-by alias is literally "m")
+        let mut measure = "m".to_string();
+        while dims.iter().any(|d| d.name == measure) {
+            measure.push('_');
+        }
+        let schema =
+            CubeSchema::new(stmt.target.clone(), dims, CubeKind::Derived).with_measure(measure);
+        schemas.insert(stmt.target.clone(), schema);
+    }
+
+    Ok(AnalyzedProgram {
+        program: program.clone(),
+        schemas,
+    })
+}
+
+/// Convert a source declaration into a schema.
+pub fn decl_to_schema(decl: &CubeDecl) -> CubeSchema {
+    let dims = decl
+        .dims
+        .iter()
+        .map(|(n, t)| Dimension::new(n.clone(), *t))
+        .collect();
+    let mut s = CubeSchema::new(decl.id.clone(), dims, CubeKind::Elementary);
+    if let Some(m) = &decl.measure {
+        s.measure = m.clone();
+    }
+    s
+}
+
+fn validate_decl(decl: &CubeDecl) -> Result<(), LangError> {
+    let mut seen = Vec::new();
+    for (n, _) in &decl.dims {
+        if seen.contains(&n) {
+            return Err(LangError::analyze(
+                decl.pos,
+                format!("cube {}: duplicate dimension name `{n}`", decl.id),
+            ));
+        }
+        if Some(n) == decl.measure.as_ref() {
+            return Err(LangError::analyze(
+                decl.pos,
+                format!(
+                    "cube {}: measure name `{n}` collides with a dimension name",
+                    decl.id
+                ),
+            ));
+        }
+        seen.push(n);
+    }
+    if decl.dims.is_empty() {
+        return Err(LangError::analyze(
+            decl.pos,
+            format!("cube {} must have at least one dimension", decl.id),
+        ));
+    }
+    Ok(())
+}
+
+fn infer(
+    expr: &Expr,
+    schemas: &BTreeMap<CubeId, CubeSchema>,
+    stmt: &Statement,
+) -> Result<Inferred, LangError> {
+    match expr {
+        Expr::Number(_) => Ok(Inferred::Scalar),
+        Expr::Cube(id) => match schemas.get(id) {
+            Some(s) => Ok(Inferred::Cube(s.dims.clone())),
+            None => Err(LangError::analyze(
+                stmt.pos,
+                format!(
+                    "in the definition of {}: cube {id} is not defined yet (only elementary cubes and previously defined derived cubes may be used)",
+                    stmt.target
+                ),
+            )),
+        },
+        Expr::Unary { arg, .. } => infer(arg, schemas, stmt),
+        Expr::Binary { policy, lhs, rhs, op } => {
+            let l = infer(lhs, schemas, stmt)?;
+            let r = infer(rhs, schemas, stmt)?;
+            match (l, r) {
+                (Inferred::Scalar, Inferred::Scalar) => Ok(Inferred::Scalar),
+                (Inferred::Cube(d), Inferred::Scalar) | (Inferred::Scalar, Inferred::Cube(d)) => {
+                    if let JoinPolicy::Outer { .. } = policy {
+                        return Err(LangError::analyze(
+                            stmt.pos,
+                            format!(
+                                "in the definition of {}: default-value variant of `{}` needs two cube operands",
+                                stmt.target,
+                                op.symbol()
+                            ),
+                        ));
+                    }
+                    Ok(Inferred::Cube(d))
+                }
+                (Inferred::Cube(a), Inferred::Cube(b)) => {
+                    if a != b {
+                        return Err(LangError::analyze(
+                            stmt.pos,
+                            format!(
+                                "in the definition of {}: vectorial `{}` requires operands with the same dimensions, got ({}) vs ({})",
+                                stmt.target,
+                                op.symbol(),
+                                dims_str(&a),
+                                dims_str(&b)
+                            ),
+                        ));
+                    }
+                    Ok(Inferred::Cube(a))
+                }
+            }
+        }
+        Expr::Shift { arg, dim, .. } => {
+            let t = infer(arg, schemas, stmt)?;
+            let Inferred::Cube(dims) = t else {
+                return Err(LangError::analyze(
+                    stmt.pos,
+                    format!("in the definition of {}: shift needs a cube operand", stmt.target),
+                ));
+            };
+            resolve_shift_dim(&dims, dim.as_deref(), stmt)?;
+            Ok(Inferred::Cube(dims))
+        }
+        Expr::Aggregate { arg, group_by, .. } => {
+            let t = infer(arg, schemas, stmt)?;
+            let Inferred::Cube(dims) = t else {
+                return Err(LangError::analyze(
+                    stmt.pos,
+                    format!("in the definition of {}: aggregation needs a cube operand", stmt.target),
+                ));
+            };
+            let mut out_dims: Vec<Dimension> = Vec::with_capacity(group_by.len());
+            for key in group_by {
+                let d = match key {
+                    GroupKey::Dim(name) => dims
+                        .iter()
+                        .find(|d| &d.name == name)
+                        .cloned()
+                        .ok_or_else(|| {
+                            LangError::analyze(
+                                stmt.pos,
+                                format!(
+                                    "in the definition of {}: group-by key `{name}` is not a dimension of the operand ({})",
+                                    stmt.target,
+                                    dims_str(&dims)
+                                ),
+                            )
+                        })?,
+                    GroupKey::TimeMap { target, dim, alias } => {
+                        let src = dims.iter().find(|d| &d.name == dim).ok_or_else(|| {
+                            LangError::analyze(
+                                stmt.pos,
+                                format!(
+                                    "in the definition of {}: `{}({dim})` refers to a missing dimension",
+                                    stmt.target,
+                                    target.name()
+                                ),
+                            )
+                        })?;
+                        let Some(src_freq) = src.ty.frequency() else {
+                            return Err(LangError::analyze(
+                                stmt.pos,
+                                format!(
+                                    "in the definition of {}: `{}({dim})` requires a time dimension, `{dim}` is {}",
+                                    stmt.target,
+                                    target.name(),
+                                    src.ty
+                                ),
+                            ));
+                        };
+                        if !src_freq.is_finer_than(*target) {
+                            return Err(LangError::analyze(
+                                stmt.pos,
+                                format!(
+                                    "in the definition of {}: cannot coarsen `{dim}` from {src_freq} to {target}",
+                                    stmt.target
+                                ),
+                            ));
+                        }
+                        Dimension::new(alias.clone(), DimType::Time(*target))
+                    }
+                };
+                if out_dims.iter().any(|o| o.name == d.name) {
+                    return Err(LangError::analyze(
+                        stmt.pos,
+                        format!(
+                            "in the definition of {}: duplicate result dimension `{}` in group by",
+                            stmt.target, d.name
+                        ),
+                    ));
+                }
+                out_dims.push(d);
+            }
+            Ok(Inferred::Cube(out_dims))
+        }
+        Expr::SeriesFn { op, arg } => {
+            let t = infer(arg, schemas, stmt)?;
+            let Inferred::Cube(dims) = t else {
+                return Err(LangError::analyze(
+                    stmt.pos,
+                    format!(
+                        "in the definition of {}: {} needs a cube operand",
+                        stmt.target,
+                        op.name()
+                    ),
+                ));
+            };
+            resolve_time_dim(&dims, None, stmt, op.name())?;
+            Ok(Inferred::Cube(dims))
+        }
+    }
+}
+
+/// Find the dimension a `shift` acts on: §3 allows "a sum on the values
+/// of a numeric dimension or … a time dimension". A *named* dimension may
+/// be integer or time; the unnamed form requires a unique time dimension
+/// (the common case).
+pub(crate) fn resolve_shift_dim(
+    dims: &[Dimension],
+    named: Option<&str>,
+    stmt: &Statement,
+) -> Result<usize, LangError> {
+    if let Some(name) = named {
+        let idx = dims.iter().position(|d| d.name == name).ok_or_else(|| {
+            LangError::analyze(
+                stmt.pos,
+                format!(
+                    "in the definition of {}: shift names dimension `{name}`, which the operand does not have",
+                    stmt.target
+                ),
+            )
+        })?;
+        if dims[idx].ty.is_time() || dims[idx].ty == DimType::Int {
+            return Ok(idx);
+        }
+        return Err(LangError::analyze(
+            stmt.pos,
+            format!(
+                "in the definition of {}: shift requires a time or integer dimension, `{name}` is {}",
+                stmt.target, dims[idx].ty
+            ),
+        ));
+    }
+    resolve_time_dim(dims, None, stmt, "shift")
+}
+
+/// Find the time dimension an operator acts on: the named one, or the
+/// unique time dimension of the operand.
+pub(crate) fn resolve_time_dim(
+    dims: &[Dimension],
+    named: Option<&str>,
+    stmt: &Statement,
+    op_name: &str,
+) -> Result<usize, LangError> {
+    if let Some(name) = named {
+        let idx = dims.iter().position(|d| d.name == name).ok_or_else(|| {
+            LangError::analyze(
+                stmt.pos,
+                format!(
+                    "in the definition of {}: {op_name} names dimension `{name}`, which the operand does not have",
+                    stmt.target
+                ),
+            )
+        })?;
+        if !dims[idx].ty.is_time() {
+            return Err(LangError::analyze(
+                stmt.pos,
+                format!(
+                    "in the definition of {}: {op_name} requires a time dimension, `{name}` is {}",
+                    stmt.target, dims[idx].ty
+                ),
+            ));
+        }
+        return Ok(idx);
+    }
+    let time_dims: Vec<usize> = dims
+        .iter()
+        .enumerate()
+        .filter(|(_, d)| d.ty.is_time())
+        .map(|(i, _)| i)
+        .collect();
+    match time_dims.as_slice() {
+        [one] => Ok(*one),
+        [] => Err(LangError::analyze(
+            stmt.pos,
+            format!(
+                "in the definition of {}: {op_name} requires a time dimension, the operand has none",
+                stmt.target
+            ),
+        )),
+        _ => Err(LangError::analyze(
+            stmt.pos,
+            format!(
+                "in the definition of {}: {op_name} is ambiguous, the operand has several time dimensions — name one explicitly",
+                stmt.target
+            ),
+        )),
+    }
+}
+
+fn dims_str(dims: &[Dimension]) -> String {
+    dims.iter()
+        .map(|d| d.to_string())
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+    use exl_model::time::Frequency;
+
+    const GDP_SRC: &str = r#"
+        cube PDR(d: time[day], r: text) -> p;
+        cube RGDPPC(q: time[quarter], r: text) -> g;
+        PQR := avg(PDR, group by quarter(d) as q, r);
+        RGDP := RGDPPC * PQR;
+        GDP := sum(RGDP, group by q);
+        GDPT := stl_trend(GDP);
+        PCHNG := 100 * (GDPT - shift(GDPT, 1)) / GDPT;
+    "#;
+
+    fn analyze_src(src: &str) -> Result<AnalyzedProgram, LangError> {
+        analyze(&parse_program(src).unwrap(), &[])
+    }
+
+    #[test]
+    fn gdp_program_schemas_inferred() {
+        let a = analyze_src(GDP_SRC).unwrap();
+        let pqr = a.schema(&CubeId::new("PQR")).unwrap();
+        assert_eq!(pqr.dims.len(), 2);
+        assert_eq!(pqr.dims[0].name, "q");
+        assert_eq!(pqr.dims[0].ty, DimType::Time(Frequency::Quarterly));
+        assert_eq!(pqr.dims[1].name, "r");
+        assert_eq!(pqr.kind, CubeKind::Derived);
+
+        let gdp = a.schema(&CubeId::new("GDP")).unwrap();
+        assert!(gdp.is_time_series());
+
+        let pchng = a.schema(&CubeId::new("PCHNG")).unwrap();
+        assert!(pchng.is_time_series());
+
+        assert_eq!(
+            a.elementary_inputs(),
+            vec![CubeId::new("PDR"), CubeId::new("RGDPPC")]
+        );
+    }
+
+    #[test]
+    fn forward_reference_rejected() {
+        let err = analyze_src("cube A(k: int); B := C * A; C := 2 * A;").unwrap_err();
+        assert!(err.message.contains("not defined yet"), "{err}");
+    }
+
+    #[test]
+    fn recursion_rejected() {
+        let err = analyze_src("cube A(k: int); B := B + A;").unwrap_err();
+        assert!(err.message.contains("not defined yet"), "{err}");
+    }
+
+    #[test]
+    fn double_definition_rejected() {
+        let err = analyze_src("cube A(k: int); B := 2 * A; B := 3 * A;").unwrap_err();
+        assert!(err.message.contains("more than once"), "{err}");
+    }
+
+    #[test]
+    fn redefining_elementary_rejected() {
+        let err = analyze_src("cube A(k: int); A := 2 * A;").unwrap_err();
+        assert!(err.message.contains("elementary"), "{err}");
+    }
+
+    #[test]
+    fn constant_definition_rejected() {
+        let err = analyze_src("cube A(k: int); B := 1 + 2;").unwrap_err();
+        assert!(err.message.contains("constant"), "{err}");
+    }
+
+    #[test]
+    fn vectorial_dim_mismatch_rejected() {
+        let err = analyze_src("cube A(k: int); cube B(j: int); C := A + B;").unwrap_err();
+        assert!(err.message.contains("same dimensions"), "{err}");
+    }
+
+    #[test]
+    fn shift_needs_unambiguous_time_dim() {
+        let err = analyze_src("cube A(k: int); B := shift(A, 1);").unwrap_err();
+        assert!(err.message.contains("has none"), "{err}");
+
+        let err = analyze_src("cube A(d: day, e: day); B := shift(A, 1);").unwrap_err();
+        assert!(err.message.contains("ambiguous"), "{err}");
+
+        analyze_src("cube A(d: day, e: day); B := shift(A, 1, e);").unwrap();
+
+        let err = analyze_src("cube A(d: day, r: text); B := shift(A, 1, r);").unwrap_err();
+        assert!(err.message.contains("time or integer dimension"), "{err}");
+        // §3: shift on a *numeric* dimension is allowed when named
+        analyze_src("cube A(d: day, k: int); B := shift(A, 1, k);").unwrap();
+    }
+
+    #[test]
+    fn aggregate_key_errors() {
+        let err = analyze_src("cube A(d: day, r: text); B := sum(A, group by z);").unwrap_err();
+        assert!(err.message.contains("not a dimension"), "{err}");
+
+        let err =
+            analyze_src("cube A(d: day, r: text); B := sum(A, group by quarter(r));").unwrap_err();
+        assert!(err.message.contains("time dimension"), "{err}");
+
+        let err = analyze_src("cube A(q: quarter, r: text); B := sum(A, group by day(q) as d);")
+            .unwrap_err();
+        assert!(err.message.contains("cannot coarsen"), "{err}");
+
+        let err = analyze_src("cube A(d: day, r: text); B := sum(A, group by quarter(d) as r, r);")
+            .unwrap_err();
+        assert!(err.message.contains("duplicate result dimension"), "{err}");
+    }
+
+    #[test]
+    fn series_fn_requires_single_time_dim() {
+        let err = analyze_src("cube A(k: int); B := stl_trend(A);").unwrap_err();
+        assert!(err.message.contains("has none"), "{err}");
+        // one time dim plus other dims is fine: applied per slice
+        analyze_src("cube A(q: quarter, r: text); B := stl_trend(A);").unwrap();
+    }
+
+    #[test]
+    fn external_schemas_supply_elementary_cubes() {
+        let prog = parse_program("B := 2 * A;").unwrap();
+        let ext = CubeSchema::new(
+            "A",
+            vec![Dimension::new("k", DimType::Int)],
+            CubeKind::Derived, // kind is overridden to Elementary
+        );
+        let a = analyze(&prog, &[ext]).unwrap();
+        assert_eq!(
+            a.schema(&CubeId::new("A")).unwrap().kind,
+            CubeKind::Elementary
+        );
+        assert_eq!(a.schema(&CubeId::new("B")).unwrap().dims.len(), 1);
+    }
+
+    #[test]
+    fn duplicate_declarations_rejected() {
+        let err = analyze_src("cube A(k: int); cube A(k: int);").unwrap_err();
+        assert!(err.message.contains("declared more than once"), "{err}");
+        let err = analyze_src("cube A(k: int, k: text);").unwrap_err();
+        assert!(err.message.contains("duplicate dimension"), "{err}");
+        let err = analyze_src("cube A(m: int, r: text) -> m;").unwrap_err();
+        assert!(err.message.contains("collides"), "{err}");
+        let prog = parse_program("B := 2 * A;").unwrap();
+        let ext = CubeSchema::new(
+            "A",
+            vec![Dimension::new("k", DimType::Int)],
+            CubeKind::Elementary,
+        );
+        assert!(analyze(&prog, &[ext.clone(), ext]).is_err());
+    }
+
+    #[test]
+    fn outer_policy_requires_two_cubes() {
+        let err = analyze_src("cube A(k: int); B := addz(A, 3);").unwrap_err();
+        assert!(err.message.contains("two cube operands"), "{err}");
+        analyze_src("cube A(k: int); cube C(k: int); B := addz(A, C);").unwrap();
+    }
+
+    #[test]
+    fn scalar_on_either_side() {
+        let a = analyze_src("cube A(k: int); B := 3 * A; C := A * 3; D := ln(A) + 1;").unwrap();
+        for id in ["B", "C", "D"] {
+            assert_eq!(a.schema(&CubeId::new(id)).unwrap().dims.len(), 1);
+        }
+    }
+}

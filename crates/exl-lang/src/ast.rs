@@ -1,0 +1,423 @@
+//! Abstract syntax of EXL programs.
+//!
+//! An EXL *program* (paper §3) is a list of cube declarations (the
+//! elementary cubes, playing the role of base tables) followed by a list of
+//! *statements* — assignments whose left-hand side is a derived cube
+//! identifier and whose right-hand side is an expression over previously
+//! available cubes.
+
+use exl_model::schema::CubeId;
+use exl_model::time::Frequency;
+use exl_model::value::DimType;
+use exl_stats::descriptive::AggFn;
+use exl_stats::seriesop::SeriesOp;
+
+use crate::error::Pos;
+
+/// Binary tuple-level operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// Addition.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication.
+    Mul,
+    /// Division (undefined — tuple dropped — where the divisor is 0).
+    Div,
+    /// Exponentiation.
+    Pow,
+}
+
+impl BinOp {
+    /// Surface symbol.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Pow => "^",
+        }
+    }
+
+    /// Apply to two measures. Division by zero and other non-finite results
+    /// surface as non-finite values, which the evaluation layer drops
+    /// (partiality per §3 of the paper).
+    pub fn apply(self, a: f64, b: f64) -> f64 {
+        match self {
+            BinOp::Add => a + b,
+            BinOp::Sub => a - b,
+            BinOp::Mul => a * b,
+            BinOp::Div => a / b,
+            BinOp::Pow => a.powf(b),
+        }
+    }
+}
+
+/// How a vectorial (cube ⊛ cube) operator matches operand domains.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum JoinPolicy {
+    /// Result defined only on dimension tuples present in *both* operands —
+    /// the paper's "simplest" version.
+    Inner,
+    /// Missing tuples assume a default value (the paper's variant: "in the
+    /// sum operator, we could have zero as the default value"); the result
+    /// is defined on the union of the domains.
+    Outer {
+        /// Value assumed for a tuple missing from one operand.
+        default: f64,
+    },
+}
+
+/// Unary tuple-level scalar functions on the measure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnaryFn {
+    /// Negation.
+    Neg,
+    /// Natural logarithm.
+    Ln,
+    /// Exponential.
+    Exp,
+    /// Square root.
+    Sqrt,
+    /// Absolute value.
+    Abs,
+    /// Sine.
+    Sin,
+    /// Cosine.
+    Cos,
+}
+
+impl UnaryFn {
+    /// Surface name (prefix `-` for negation).
+    pub fn name(self) -> &'static str {
+        match self {
+            UnaryFn::Neg => "-",
+            UnaryFn::Ln => "ln",
+            UnaryFn::Exp => "exp",
+            UnaryFn::Sqrt => "sqrt",
+            UnaryFn::Abs => "abs",
+            UnaryFn::Sin => "sin",
+            UnaryFn::Cos => "cos",
+        }
+    }
+
+    /// Parse a named unary function (not negation).
+    pub fn parse(name: &str) -> Option<UnaryFn> {
+        match name {
+            "ln" => Some(UnaryFn::Ln),
+            "exp" => Some(UnaryFn::Exp),
+            "sqrt" => Some(UnaryFn::Sqrt),
+            "abs" => Some(UnaryFn::Abs),
+            "sin" => Some(UnaryFn::Sin),
+            "cos" => Some(UnaryFn::Cos),
+            _ => None,
+        }
+    }
+
+    /// Apply to a measure. Out-of-domain arguments produce non-finite
+    /// values which evaluation drops.
+    pub fn apply(self, v: f64) -> f64 {
+        match self {
+            UnaryFn::Neg => -v,
+            UnaryFn::Ln => v.ln(),
+            UnaryFn::Exp => v.exp(),
+            UnaryFn::Sqrt => v.sqrt(),
+            UnaryFn::Abs => v.abs(),
+            UnaryFn::Sin => v.sin(),
+            UnaryFn::Cos => v.cos(),
+        }
+    }
+}
+
+/// A key in an aggregation's `group by` list.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GroupKey {
+    /// An existing dimension of the operand, kept as is.
+    Dim(String),
+    /// A frequency-conversion function applied to a time dimension, as in
+    /// `quarter(d)` of statement (1) — coarsens `dim` to `target` and names
+    /// the resulting dimension `alias`.
+    TimeMap {
+        /// Target frequency (the function name: `quarter`, `month`, `year`).
+        target: Frequency,
+        /// Operand dimension being converted.
+        dim: String,
+        /// Name of the resulting dimension (defaults to the function name).
+        alias: String,
+    },
+}
+
+impl GroupKey {
+    /// Name of the dimension this key produces in the result cube.
+    pub fn out_name(&self) -> &str {
+        match self {
+            GroupKey::Dim(d) => d,
+            GroupKey::TimeMap { alias, .. } => alias,
+        }
+    }
+}
+
+/// An EXL expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Cube literal.
+    Cube(CubeId),
+    /// Numeric constant (meaningful only combined with a cube).
+    Number(f64),
+    /// Unary scalar operator.
+    Unary {
+        /// The function.
+        op: UnaryFn,
+        /// Operand.
+        arg: Box<Expr>,
+    },
+    /// Binary operator: scalar when one side is a number, vectorial when
+    /// both are cube-valued.
+    Binary {
+        /// The operator.
+        op: BinOp,
+        /// Domain-matching policy for the vectorial case.
+        policy: JoinPolicy,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+    },
+    /// Time shift: result defined on `t + offset` where the operand is
+    /// defined on `t` (on dimension `dim`, or the unique time dimension).
+    Shift {
+        /// Operand.
+        arg: Box<Expr>,
+        /// Shift amount in periods.
+        offset: i64,
+        /// Explicit time dimension (for multi-time-dimension cubes).
+        dim: Option<String>,
+    },
+    /// Aggregation with `group by`.
+    Aggregate {
+        /// Aggregation function.
+        agg: AggFn,
+        /// Operand.
+        arg: Box<Expr>,
+        /// Grouping keys (the result's dimensions, in order).
+        group_by: Vec<GroupKey>,
+    },
+    /// Whole-series black-box operator.
+    SeriesFn {
+        /// The operator.
+        op: SeriesOp,
+        /// Operand.
+        arg: Box<Expr>,
+    },
+}
+
+impl Expr {
+    /// Cube literal helper.
+    pub fn cube(id: impl Into<CubeId>) -> Expr {
+        Expr::Cube(id.into())
+    }
+
+    /// Binary with the default inner policy.
+    pub fn binary(op: BinOp, lhs: Expr, rhs: Expr) -> Expr {
+        Expr::Binary {
+            op,
+            policy: JoinPolicy::Inner,
+            lhs: Box::new(lhs),
+            rhs: Box::new(rhs),
+        }
+    }
+
+    /// True for the base case of the expression grammar.
+    pub fn is_cube_literal(&self) -> bool {
+        matches!(self, Expr::Cube(_))
+    }
+
+    /// True for a numeric constant.
+    pub fn is_number(&self) -> bool {
+        matches!(self, Expr::Number(_))
+    }
+
+    /// All cube identifiers mentioned, in first-occurrence order without
+    /// duplicates.
+    pub fn cube_refs(&self) -> Vec<CubeId> {
+        let mut out = Vec::new();
+        self.collect_refs(&mut out);
+        out
+    }
+
+    fn collect_refs(&self, out: &mut Vec<CubeId>) {
+        match self {
+            Expr::Cube(id) => {
+                if !out.contains(id) {
+                    out.push(id.clone());
+                }
+            }
+            Expr::Number(_) => {}
+            Expr::Unary { arg, .. } | Expr::Shift { arg, .. } | Expr::SeriesFn { arg, .. } => {
+                arg.collect_refs(out)
+            }
+            Expr::Aggregate { arg, .. } => arg.collect_refs(out),
+            Expr::Binary { lhs, rhs, .. } => {
+                lhs.collect_refs(out);
+                rhs.collect_refs(out);
+            }
+        }
+    }
+
+    /// Count of operator applications (cube and number literals cost 0).
+    pub fn operator_count(&self) -> usize {
+        match self {
+            Expr::Cube(_) | Expr::Number(_) => 0,
+            Expr::Unary { arg, .. } | Expr::Shift { arg, .. } | Expr::SeriesFn { arg, .. } => {
+                1 + arg.operator_count()
+            }
+            Expr::Aggregate { arg, .. } => 1 + arg.operator_count(),
+            Expr::Binary { lhs, rhs, .. } => 1 + lhs.operator_count() + rhs.operator_count(),
+        }
+    }
+}
+
+/// Declaration of an elementary cube inside the program text:
+/// `cube PDR(d: time[day], r: text);`
+#[derive(Debug, Clone, PartialEq)]
+pub struct CubeDecl {
+    /// Declared cube id.
+    pub id: CubeId,
+    /// Declared dimensions.
+    pub dims: Vec<(String, DimType)>,
+    /// Optional measure name (`-> p`).
+    pub measure: Option<String>,
+    /// Source position.
+    pub pos: Pos,
+}
+
+/// One EXL statement: `TARGET := expr;`
+#[derive(Debug, Clone, PartialEq)]
+pub struct Statement {
+    /// The derived cube being defined.
+    pub target: CubeId,
+    /// Defining expression.
+    pub expr: Expr,
+    /// Source position of the target identifier.
+    pub pos: Pos,
+}
+
+/// A parsed EXL program.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Program {
+    /// Elementary cube declarations, in source order.
+    pub decls: Vec<CubeDecl>,
+    /// Statements, in source order (the order is semantically meaningful:
+    /// it is the stratification order of §4.2).
+    pub statements: Vec<Statement>,
+}
+
+impl Program {
+    /// Ids of all derived cubes, in definition order.
+    pub fn derived_ids(&self) -> Vec<CubeId> {
+        self.statements.iter().map(|s| s.target.clone()).collect()
+    }
+
+    /// Ids of all declared elementary cubes.
+    pub fn elementary_ids(&self) -> Vec<CubeId> {
+        self.decls.iter().map(|d| d.id.clone()).collect()
+    }
+
+    /// The statement defining `id`, if any.
+    pub fn statement_for(&self, id: &CubeId) -> Option<&Statement> {
+        self.statements.iter().find(|s| &s.target == id)
+    }
+
+    /// Total operator count across statements (the paper's measure of
+    /// program complexity for translation).
+    pub fn operator_count(&self) -> usize {
+        self.statements
+            .iter()
+            .map(|s| s.expr.operator_count())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binop_apply() {
+        assert_eq!(BinOp::Add.apply(2.0, 3.0), 5.0);
+        assert_eq!(BinOp::Sub.apply(2.0, 3.0), -1.0);
+        assert_eq!(BinOp::Mul.apply(2.0, 3.0), 6.0);
+        assert_eq!(BinOp::Div.apply(6.0, 3.0), 2.0);
+        assert!(BinOp::Div.apply(1.0, 0.0).is_infinite());
+        assert_eq!(BinOp::Pow.apply(2.0, 10.0), 1024.0);
+    }
+
+    #[test]
+    fn unary_apply_and_parse() {
+        assert_eq!(UnaryFn::Neg.apply(3.0), -3.0);
+        assert!((UnaryFn::Ln.apply(std::f64::consts::E) - 1.0).abs() < 1e-12);
+        assert_eq!(UnaryFn::Sqrt.apply(9.0), 3.0);
+        assert!(UnaryFn::Sqrt.apply(-1.0).is_nan());
+        assert_eq!(UnaryFn::parse("exp"), Some(UnaryFn::Exp));
+        assert_eq!(UnaryFn::parse("neg"), None);
+    }
+
+    #[test]
+    fn cube_refs_dedup_in_order() {
+        // 100 * (GDPT - shift(GDPT,1)) / GDPT
+        let e = Expr::binary(
+            BinOp::Div,
+            Expr::binary(
+                BinOp::Mul,
+                Expr::Number(100.0),
+                Expr::binary(
+                    BinOp::Sub,
+                    Expr::cube("GDPT"),
+                    Expr::Shift {
+                        arg: Box::new(Expr::cube("GDPT")),
+                        offset: 1,
+                        dim: None,
+                    },
+                ),
+            ),
+            Expr::cube("GDPT"),
+        );
+        assert_eq!(e.cube_refs(), vec![CubeId::new("GDPT")]);
+        assert_eq!(e.operator_count(), 4);
+    }
+
+    #[test]
+    fn group_key_out_name() {
+        assert_eq!(GroupKey::Dim("r".into()).out_name(), "r");
+        let k = GroupKey::TimeMap {
+            target: Frequency::Quarterly,
+            dim: "d".into(),
+            alias: "q".into(),
+        };
+        assert_eq!(k.out_name(), "q");
+    }
+
+    #[test]
+    fn program_queries() {
+        let p = Program {
+            decls: vec![CubeDecl {
+                id: CubeId::new("A"),
+                dims: vec![("k".into(), DimType::Int)],
+                measure: None,
+                pos: Pos::default(),
+            }],
+            statements: vec![Statement {
+                target: CubeId::new("B"),
+                expr: Expr::binary(BinOp::Mul, Expr::Number(2.0), Expr::cube("A")),
+                pos: Pos::default(),
+            }],
+        };
+        assert_eq!(p.elementary_ids(), vec![CubeId::new("A")]);
+        assert_eq!(p.derived_ids(), vec![CubeId::new("B")]);
+        assert!(p.statement_for(&CubeId::new("B")).is_some());
+        assert!(p.statement_for(&CubeId::new("A")).is_none());
+        assert_eq!(p.operator_count(), 1);
+    }
+}

@@ -1,0 +1,101 @@
+//! Diagnostics for the EXL frontend.
+
+use std::fmt;
+
+/// A source position (1-based line and column).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Pos {
+    /// Line number, starting at 1.
+    pub line: u32,
+    /// Column number, starting at 1.
+    pub col: u32,
+}
+
+impl fmt::Display for Pos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// Phase of the frontend that produced an error.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// Tokenization.
+    Lex,
+    /// Parsing.
+    Parse,
+    /// Semantic analysis / schema inference.
+    Analyze,
+}
+
+impl fmt::Display for Phase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Phase::Lex => "lex",
+            Phase::Parse => "parse",
+            Phase::Analyze => "analyze",
+        })
+    }
+}
+
+/// An EXL frontend error with position and phase.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LangError {
+    /// Which phase failed.
+    pub phase: Phase,
+    /// Position of the offending construct (best effort for analysis).
+    pub pos: Pos,
+    /// Human-readable message.
+    pub message: String,
+}
+
+impl LangError {
+    /// Lexer error.
+    pub fn lex(pos: Pos, message: impl Into<String>) -> LangError {
+        LangError {
+            phase: Phase::Lex,
+            pos,
+            message: message.into(),
+        }
+    }
+
+    /// Parser error.
+    pub fn parse(pos: Pos, message: impl Into<String>) -> LangError {
+        LangError {
+            phase: Phase::Parse,
+            pos,
+            message: message.into(),
+        }
+    }
+
+    /// Semantic error.
+    pub fn analyze(pos: Pos, message: impl Into<String>) -> LangError {
+        LangError {
+            phase: Phase::Analyze,
+            pos,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for LangError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} error at {}: {}", self.phase, self.pos, self.message)
+    }
+}
+
+impl std::error::Error for LangError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_contains_position_and_phase() {
+        let e = LangError::parse(Pos { line: 3, col: 7 }, "expected `)`");
+        let s = e.to_string();
+        assert!(s.contains("3:7"));
+        assert!(s.contains("parse"));
+        assert!(s.contains("expected"));
+    }
+}

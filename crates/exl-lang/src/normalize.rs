@@ -1,0 +1,249 @@
+//! Statement normalization: one operator per statement.
+//!
+//! §4.1 of the paper assumes "that the expressions in EXL statements
+//! include one operator … we could add additional statements and auxiliary
+//! cubes to handle intermediate results", illustrating with the rewrite of
+//! statement (5) into (5a)–(5d). This module implements that rewrite: every
+//! statement of the normalized program applies exactly one operator to
+//! cube-literal (or numeric) operands, so mapping generation can emit one
+//! plain tgd per statement. The inverse trade-off — keeping multi-operator
+//! statements and emitting one *fused* tgd — lives in `exl-map::fuse` and
+//! is compared in the B6 ablation benchmark.
+
+use std::collections::BTreeSet;
+
+use exl_model::schema::CubeId;
+
+use crate::ast::{Expr, Program, Statement};
+
+/// True when the statement's expression applies (at most) one operator to
+/// atomic operands — the normal form of §4.1.
+pub fn is_simple(expr: &Expr) -> bool {
+    fn atom(e: &Expr) -> bool {
+        matches!(e, Expr::Cube(_) | Expr::Number(_))
+    }
+    match expr {
+        Expr::Cube(_) => true, // plain copy
+        Expr::Number(_) => false,
+        Expr::Unary { arg, .. } | Expr::Shift { arg, .. } | Expr::SeriesFn { arg, .. } => atom(arg),
+        Expr::Aggregate { arg, .. } => atom(arg),
+        Expr::Binary { lhs, rhs, .. } => atom(lhs) && atom(rhs),
+    }
+}
+
+/// Constant-fold a scalar subtree, if it is one.
+fn fold_const(expr: &Expr) -> Option<f64> {
+    match expr {
+        Expr::Number(n) => Some(*n),
+        Expr::Unary { op, arg } => fold_const(arg).map(|v| op.apply(v)),
+        Expr::Binary { op, lhs, rhs, .. } => {
+            let a = fold_const(lhs)?;
+            let b = fold_const(rhs)?;
+            Some(op.apply(a, b))
+        }
+        _ => None,
+    }
+}
+
+/// Normalize a whole program. Statement order (and hence stratification) is
+/// preserved; auxiliary statements are inserted immediately before the
+/// statement they serve, named `<TARGET>__tN`.
+pub fn normalize(program: &Program) -> Program {
+    let mut used: BTreeSet<CubeId> = program.elementary_ids().into_iter().collect();
+    used.extend(program.derived_ids());
+
+    let mut out = Program {
+        decls: program.decls.clone(),
+        statements: Vec::with_capacity(program.statements.len()),
+    };
+
+    for stmt in &program.statements {
+        let mut aux = Vec::new();
+        let expr = normalize_expr(&stmt.expr, &stmt.target, &mut aux, &mut used, true);
+        out.statements.extend(aux);
+        out.statements.push(Statement {
+            target: stmt.target.clone(),
+            expr,
+            pos: stmt.pos,
+        });
+    }
+    out
+}
+
+/// Normalize one expression tree. When `top` is true the node itself may
+/// keep its operator (it becomes the statement's single operator);
+/// otherwise the node must reduce to an atom, materializing a temp cube.
+fn normalize_expr(
+    expr: &Expr,
+    target: &CubeId,
+    aux: &mut Vec<Statement>,
+    used: &mut BTreeSet<CubeId>,
+    top: bool,
+) -> Expr {
+    if let Some(v) = fold_const(expr) {
+        return Expr::Number(v);
+    }
+    let one_op = |expr: &Expr, aux: &mut Vec<Statement>, used: &mut BTreeSet<CubeId>| -> Expr {
+        match expr {
+            Expr::Cube(_) | Expr::Number(_) => expr.clone(),
+            Expr::Unary { op, arg } => Expr::Unary {
+                op: *op,
+                arg: Box::new(normalize_expr(arg, target, aux, used, false)),
+            },
+            Expr::Shift { arg, offset, dim } => Expr::Shift {
+                arg: Box::new(normalize_expr(arg, target, aux, used, false)),
+                offset: *offset,
+                dim: dim.clone(),
+            },
+            Expr::SeriesFn { op, arg } => Expr::SeriesFn {
+                op: *op,
+                arg: Box::new(normalize_expr(arg, target, aux, used, false)),
+            },
+            Expr::Aggregate { agg, arg, group_by } => Expr::Aggregate {
+                agg: *agg,
+                arg: Box::new(normalize_expr(arg, target, aux, used, false)),
+                group_by: group_by.clone(),
+            },
+            Expr::Binary {
+                op,
+                policy,
+                lhs,
+                rhs,
+            } => Expr::Binary {
+                op: *op,
+                policy: *policy,
+                lhs: Box::new(normalize_expr(lhs, target, aux, used, false)),
+                rhs: Box::new(normalize_expr(rhs, target, aux, used, false)),
+            },
+        }
+    };
+
+    match expr {
+        Expr::Cube(_) | Expr::Number(_) => expr.clone(),
+        _ if top => one_op(expr, aux, used),
+        _ => {
+            // interior operator: materialize as an auxiliary cube
+            let simple = one_op(expr, aux, used);
+            let tmp = fresh_name(target, used);
+            aux.push(Statement {
+                target: tmp.clone(),
+                expr: simple,
+                pos: Default::default(),
+            });
+            Expr::Cube(tmp)
+        }
+    }
+}
+
+fn fresh_name(target: &CubeId, used: &mut BTreeSet<CubeId>) -> CubeId {
+    let mut n = 1;
+    loop {
+        let candidate = CubeId::new(format!("{}__t{n}", target.as_str()));
+        if used.insert(candidate.clone()) {
+            return candidate;
+        }
+        n += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyze::analyze;
+    use crate::parser::parse_program;
+
+    const GDP_SRC: &str = r#"
+        cube PDR(d: time[day], r: text) -> p;
+        cube RGDPPC(q: time[quarter], r: text) -> g;
+        PQR := avg(PDR, group by quarter(d) as q, r);
+        RGDP := RGDPPC * PQR;
+        GDP := sum(RGDP, group by q);
+        GDPT := stl_trend(GDP);
+        PCHNG := 100 * (GDPT - shift(GDPT, 1)) / GDPT;
+    "#;
+
+    #[test]
+    fn gdp_statement_five_splits_like_the_paper() {
+        let p = parse_program(GDP_SRC).unwrap();
+        let n = normalize(&p);
+        // statements 1-4 are already simple; statement 5 has 4 operators
+        // and becomes 4 statements (3 aux + the final), exactly the paper's
+        // (5a)-(5d) decomposition.
+        assert_eq!(n.statements.len(), 4 + 4);
+        for s in &n.statements {
+            assert!(is_simple(&s.expr), "not simple: {:?}", s.expr);
+        }
+        // the final statement still defines PCHNG
+        assert_eq!(n.statements.last().unwrap().target, CubeId::new("PCHNG"));
+        // normalized program still analyzes, and PCHNG keeps its schema
+        let a0 = analyze(&p, &[]).unwrap();
+        let a1 = analyze(&n, &[]).unwrap();
+        assert_eq!(
+            a0.schema(&CubeId::new("PCHNG")).unwrap().dims,
+            a1.schema(&CubeId::new("PCHNG")).unwrap().dims
+        );
+    }
+
+    #[test]
+    fn simple_statements_unchanged() {
+        let p = parse_program("cube A(k: int); B := 2 * A; C := sum(B, group by k);").unwrap();
+        let n = normalize(&p);
+        assert_eq!(p, n);
+    }
+
+    #[test]
+    fn constant_subtrees_folded_not_materialized() {
+        let p = parse_program("cube A(k: int); B := A * (2 + 3);").unwrap();
+        let n = normalize(&p);
+        assert_eq!(n.statements.len(), 1);
+        match &n.statements[0].expr {
+            Expr::Binary { rhs, .. } => assert_eq!(**rhs, Expr::Number(5.0)),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn temp_names_avoid_collisions() {
+        // a cube literally named B__t1 already exists; normalization of B
+        // must skip to B__t2
+        let p = parse_program("cube A(k: int); B__t1 := 2 * A; B := ln(A) + exp(A);").unwrap();
+        let n = normalize(&p);
+        let names: Vec<String> = n.statements.iter().map(|s| s.target.to_string()).collect();
+        assert!(names.contains(&"B__t2".to_string()), "{names:?}");
+        assert!(names.contains(&"B__t3".to_string()), "{names:?}");
+    }
+
+    #[test]
+    fn is_simple_classification() {
+        let p = |s: &str| crate::parser::parse_expr(s).unwrap();
+        assert!(is_simple(&p("A")));
+        assert!(is_simple(&p("2 * A")));
+        assert!(is_simple(&p("A + B")));
+        assert!(is_simple(&p("shift(A, 1)")));
+        assert!(is_simple(&p("sum(A, group by k)")));
+        assert!(is_simple(&p("stl_trend(A)")));
+        assert!(!is_simple(&p("2 * A + B")));
+        assert!(!is_simple(&p("shift(A + B, 1)")));
+        assert!(!is_simple(&p("sum(2 * A, group by k)")));
+    }
+
+    #[test]
+    fn deep_chain_normalizes_to_linear_statements() {
+        let p = parse_program("cube A(k: int); B := ln(exp(sqrt(abs(A))));").unwrap();
+        let n = normalize(&p);
+        assert_eq!(n.statements.len(), 4);
+        for s in &n.statements {
+            assert!(is_simple(&s.expr));
+        }
+        analyze(&n, &[]).unwrap();
+    }
+
+    #[test]
+    fn stratification_preserved() {
+        let p = parse_program("cube A(k: int); B := 2 * A + A; C := B / (A + B);").unwrap();
+        let n = normalize(&p);
+        // every cube reference must point to an earlier statement or an
+        // elementary cube — analyze() enforces exactly that
+        analyze(&n, &[]).unwrap();
+    }
+}

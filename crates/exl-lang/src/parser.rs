@@ -1,0 +1,686 @@
+//! Recursive-descent parser for EXL.
+//!
+//! Grammar (EBNF, `group`, `by`, `as`, `cube`, `time` are contextual
+//! keywords):
+//!
+//! ```text
+//! program   = { decl | statement } ;
+//! decl      = "cube" IDENT "(" dim { "," dim } ")" [ "->" IDENT ] [ ";" ] ;
+//! dim       = IDENT ":" type ;
+//! type      = "int" | "text" | "time" "[" freq "]" | freq ;
+//! statement = IDENT ":=" expr [ ";" ] ;
+//! expr      = term { ("+" | "-") term } ;
+//! term      = power { ("*" | "/") power } ;
+//! power     = unary [ "^" unary ] ;
+//! unary     = "-" unary | primary ;
+//! primary   = NUMBER | IDENT | call | "(" expr ")" ;
+//! call      = IDENT "(" ... ")" ;   (* dispatched on the identifier *)
+//! ```
+//!
+//! Calls are dispatched by name: aggregation functions take
+//! `(expr, group by key {, key})`; `shift(expr, n [, dim])`;
+//! `movavg(expr, w)`; the black-box series operators take a single operand;
+//! `log(e)` is the natural log, `log(b, e)` is desugared to `ln(e)/ln(b)`;
+//! `addz`/`subz` are the outer-join (default-0) variants of `+`/`-`
+//! mentioned in §3 of the paper, with an optional third argument giving a
+//! different default.
+
+use exl_model::schema::CubeId;
+use exl_model::time::Frequency;
+use exl_model::value::DimType;
+use exl_stats::descriptive::AggFn;
+use exl_stats::seriesop::SeriesOp;
+
+use crate::ast::{BinOp, CubeDecl, Expr, GroupKey, JoinPolicy, Program, Statement, UnaryFn};
+use crate::error::{LangError, Pos};
+use crate::token::{lex, Spanned, Tok};
+
+/// Parse a full EXL program.
+pub fn parse_program(src: &str) -> Result<Program, LangError> {
+    let toks = lex(src)?;
+    let mut p = Parser { toks, at: 0 };
+    p.program()
+}
+
+/// Parse a single expression (used by tooling and tests).
+pub fn parse_expr(src: &str) -> Result<Expr, LangError> {
+    let toks = lex(src)?;
+    let mut p = Parser { toks, at: 0 };
+    let e = p.expr()?;
+    p.expect(Tok::Eof)?;
+    Ok(e)
+}
+
+struct Parser {
+    toks: Vec<Spanned>,
+    at: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Tok {
+        &self.toks[self.at].tok
+    }
+
+    fn pos(&self) -> Pos {
+        self.toks[self.at].pos
+    }
+
+    fn bump(&mut self) -> Tok {
+        let t = self.toks[self.at].tok.clone();
+        if self.at + 1 < self.toks.len() {
+            self.at += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, t: &Tok) -> bool {
+        if self.peek() == t {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, t: Tok) -> Result<(), LangError> {
+        if self.peek() == &t {
+            self.bump();
+            Ok(())
+        } else {
+            Err(LangError::parse(
+                self.pos(),
+                format!("expected {t}, found {}", self.peek()),
+            ))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, LangError> {
+        match self.peek().clone() {
+            Tok::Ident(s) => {
+                self.bump();
+                Ok(s)
+            }
+            other => Err(LangError::parse(
+                self.pos(),
+                format!("expected identifier, found {other}"),
+            )),
+        }
+    }
+
+    fn number(&mut self) -> Result<f64, LangError> {
+        let neg = self.eat(&Tok::Minus);
+        match self.peek().clone() {
+            Tok::Number(n) => {
+                self.bump();
+                Ok(if neg { -n } else { n })
+            }
+            other => Err(LangError::parse(
+                self.pos(),
+                format!("expected number, found {other}"),
+            )),
+        }
+    }
+
+    fn program(&mut self) -> Result<Program, LangError> {
+        let mut prog = Program::default();
+        loop {
+            match self.peek() {
+                Tok::Eof => break,
+                Tok::Ident(id) if id == "cube" => prog.decls.push(self.decl()?),
+                Tok::Ident(_) => prog.statements.push(self.statement()?),
+                other => {
+                    return Err(LangError::parse(
+                        self.pos(),
+                        format!("expected declaration or statement, found {other}"),
+                    ))
+                }
+            }
+        }
+        Ok(prog)
+    }
+
+    fn decl(&mut self) -> Result<CubeDecl, LangError> {
+        let pos = self.pos();
+        self.bump(); // `cube`
+        let id = self.ident()?;
+        self.expect(Tok::LParen)?;
+        let mut dims = Vec::new();
+        loop {
+            let name = self.ident()?;
+            self.expect(Tok::Colon)?;
+            let ty = self.dim_type()?;
+            dims.push((name, ty));
+            if !self.eat(&Tok::Comma) {
+                break;
+            }
+        }
+        self.expect(Tok::RParen)?;
+        let measure = if self.eat(&Tok::Arrow) {
+            Some(self.ident()?)
+        } else {
+            None
+        };
+        self.eat(&Tok::Semi);
+        Ok(CubeDecl {
+            id: CubeId::new(id),
+            dims,
+            measure,
+            pos,
+        })
+    }
+
+    fn dim_type(&mut self) -> Result<DimType, LangError> {
+        let pos = self.pos();
+        let name = self.ident()?;
+        match name.as_str() {
+            "int" => Ok(DimType::Int),
+            "text" | "str" => Ok(DimType::Str),
+            "time" => {
+                self.expect(Tok::LBracket)?;
+                let f = self.ident()?;
+                let freq = Frequency::parse(&f)
+                    .ok_or_else(|| LangError::parse(pos, format!("unknown frequency `{f}`")))?;
+                self.expect(Tok::RBracket)?;
+                Ok(DimType::Time(freq))
+            }
+            other => Frequency::parse(other)
+                .map(DimType::Time)
+                .ok_or_else(|| LangError::parse(pos, format!("unknown dimension type `{other}`"))),
+        }
+    }
+
+    fn statement(&mut self) -> Result<Statement, LangError> {
+        let pos = self.pos();
+        let target = self.ident()?;
+        self.expect(Tok::Assign)?;
+        let expr = self.expr()?;
+        self.eat(&Tok::Semi);
+        Ok(Statement {
+            target: CubeId::new(target),
+            expr,
+            pos,
+        })
+    }
+
+    fn expr(&mut self) -> Result<Expr, LangError> {
+        let mut lhs = self.term()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Plus => BinOp::Add,
+                Tok::Minus => BinOp::Sub,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.term()?;
+            lhs = Expr::binary(op, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn term(&mut self) -> Result<Expr, LangError> {
+        let mut lhs = self.power()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Star => BinOp::Mul,
+                Tok::Slash => BinOp::Div,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.power()?;
+            lhs = Expr::binary(op, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn power(&mut self) -> Result<Expr, LangError> {
+        let base = self.unary()?;
+        if self.eat(&Tok::Caret) {
+            let exp = self.unary()?;
+            Ok(Expr::binary(BinOp::Pow, base, exp))
+        } else {
+            Ok(base)
+        }
+    }
+
+    fn unary(&mut self) -> Result<Expr, LangError> {
+        if self.eat(&Tok::Minus) {
+            let e = self.unary()?;
+            // fold negation of literals so `-1` is a number, not an op
+            if let Expr::Number(n) = e {
+                return Ok(Expr::Number(-n));
+            }
+            return Ok(Expr::Unary {
+                op: UnaryFn::Neg,
+                arg: Box::new(e),
+            });
+        }
+        self.primary()
+    }
+
+    fn primary(&mut self) -> Result<Expr, LangError> {
+        let pos = self.pos();
+        match self.peek().clone() {
+            Tok::Number(n) => {
+                self.bump();
+                Ok(Expr::Number(n))
+            }
+            Tok::LParen => {
+                self.bump();
+                let e = self.expr()?;
+                self.expect(Tok::RParen)?;
+                Ok(e)
+            }
+            Tok::Ident(name) => {
+                self.bump();
+                if self.peek() == &Tok::LParen {
+                    self.call(&name, pos)
+                } else {
+                    Ok(Expr::cube(name))
+                }
+            }
+            other => Err(LangError::parse(
+                pos,
+                format!("expected expression, found {other}"),
+            )),
+        }
+    }
+
+    fn call(&mut self, name: &str, pos: Pos) -> Result<Expr, LangError> {
+        self.expect(Tok::LParen)?;
+        // aggregation: aggr(e, group by keys)
+        if let Some(agg) = AggFn::parse(name) {
+            let arg = self.expr()?;
+            self.expect(Tok::Comma)?;
+            self.keyword("group")?;
+            self.keyword("by")?;
+            let mut keys = vec![self.group_key()?];
+            while self.eat(&Tok::Comma) {
+                keys.push(self.group_key()?);
+            }
+            self.expect(Tok::RParen)?;
+            return Ok(Expr::Aggregate {
+                agg,
+                arg: Box::new(arg),
+                group_by: keys,
+            });
+        }
+        // simple series ops
+        if let Some(op) = SeriesOp::parse_simple(name) {
+            let arg = self.expr()?;
+            self.expect(Tok::RParen)?;
+            return Ok(Expr::SeriesFn {
+                op,
+                arg: Box::new(arg),
+            });
+        }
+        match name {
+            "shift" => {
+                let arg = self.expr()?;
+                self.expect(Tok::Comma)?;
+                let n = self.number()?;
+                if n.fract() != 0.0 {
+                    return Err(LangError::parse(pos, "shift offset must be an integer"));
+                }
+                let dim = if self.eat(&Tok::Comma) {
+                    Some(self.ident()?)
+                } else {
+                    None
+                };
+                self.expect(Tok::RParen)?;
+                Ok(Expr::Shift {
+                    arg: Box::new(arg),
+                    offset: n as i64,
+                    dim,
+                })
+            }
+            "movavg" => {
+                let arg = self.expr()?;
+                self.expect(Tok::Comma)?;
+                let w = self.number()?;
+                if w.fract() != 0.0 || w < 1.0 {
+                    return Err(LangError::parse(
+                        pos,
+                        "movavg window must be a positive integer",
+                    ));
+                }
+                self.expect(Tok::RParen)?;
+                Ok(Expr::SeriesFn {
+                    op: SeriesOp::MovAvg { window: w as usize },
+                    arg: Box::new(arg),
+                })
+            }
+            "log" => {
+                // log(e) = ln(e); log(b, e) = ln(e)/ln(b) with literal base
+                let first = self.expr()?;
+                if self.eat(&Tok::Comma) {
+                    let base = match first {
+                        Expr::Number(b) if b > 0.0 && b != 1.0 => b,
+                        _ => {
+                            return Err(LangError::parse(
+                                pos,
+                                "log base must be a positive literal ≠ 1",
+                            ))
+                        }
+                    };
+                    let arg = self.expr()?;
+                    self.expect(Tok::RParen)?;
+                    Ok(Expr::binary(
+                        BinOp::Div,
+                        Expr::Unary {
+                            op: UnaryFn::Ln,
+                            arg: Box::new(arg),
+                        },
+                        Expr::Number(base.ln()),
+                    ))
+                } else {
+                    self.expect(Tok::RParen)?;
+                    Ok(Expr::Unary {
+                        op: UnaryFn::Ln,
+                        arg: Box::new(first),
+                    })
+                }
+            }
+            "power" => {
+                let a = self.expr()?;
+                self.expect(Tok::Comma)?;
+                let b = self.expr()?;
+                self.expect(Tok::RParen)?;
+                Ok(Expr::binary(BinOp::Pow, a, b))
+            }
+            "addz" | "subz" => {
+                let op = if name == "addz" {
+                    BinOp::Add
+                } else {
+                    BinOp::Sub
+                };
+                let a = self.expr()?;
+                self.expect(Tok::Comma)?;
+                let b = self.expr()?;
+                let default = if self.eat(&Tok::Comma) {
+                    self.number()?
+                } else {
+                    0.0
+                };
+                self.expect(Tok::RParen)?;
+                Ok(Expr::Binary {
+                    op,
+                    policy: JoinPolicy::Outer { default },
+                    lhs: Box::new(a),
+                    rhs: Box::new(b),
+                })
+            }
+            other => {
+                if let Some(u) = UnaryFn::parse(other) {
+                    let arg = self.expr()?;
+                    self.expect(Tok::RParen)?;
+                    return Ok(Expr::Unary {
+                        op: u,
+                        arg: Box::new(arg),
+                    });
+                }
+                Err(LangError::parse(pos, format!("unknown function `{other}`")))
+            }
+        }
+    }
+
+    fn keyword(&mut self, kw: &str) -> Result<(), LangError> {
+        let pos = self.pos();
+        let id = self.ident()?;
+        if id == kw {
+            Ok(())
+        } else {
+            Err(LangError::parse(
+                pos,
+                format!("expected `{kw}`, found `{id}`"),
+            ))
+        }
+    }
+
+    fn group_key(&mut self) -> Result<GroupKey, LangError> {
+        let pos = self.pos();
+        let first = self.ident()?;
+        if let Some(freq) = Frequency::parse(&first) {
+            if self.peek() == &Tok::LParen {
+                self.bump();
+                let dim = self.ident()?;
+                self.expect(Tok::RParen)?;
+                let alias = if self.peek_is_ident("as") {
+                    self.bump();
+                    self.ident()?
+                } else {
+                    first.clone()
+                };
+                return Ok(GroupKey::TimeMap {
+                    target: freq,
+                    dim,
+                    alias,
+                });
+            }
+        }
+        if self.peek_is_ident("as") {
+            return Err(LangError::parse(
+                pos,
+                "`as` alias is only allowed on frequency-converted keys",
+            ));
+        }
+        Ok(GroupKey::Dim(first))
+    }
+
+    fn peek_is_ident(&self, s: &str) -> bool {
+        matches!(self.peek(), Tok::Ident(i) if i == s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_gdp_program() {
+        let src = r#"
+            cube PDR(d: time[day], r: text) -> p;
+            cube RGDPPC(q: time[quarter], r: text) -> g;
+            PQR := avg(PDR, group by quarter(d) as q, r);
+            RGDP := RGDPPC * PQR;
+            GDP := sum(RGDP, group by q);
+            GDPT := stl_trend(GDP);
+            PCHNG := 100 * (GDPT - shift(GDPT, 1)) / GDPT;
+        "#;
+        let p = parse_program(src).unwrap();
+        assert_eq!(p.decls.len(), 2);
+        assert_eq!(p.statements.len(), 5);
+        assert_eq!(p.decls[0].measure.as_deref(), Some("p"));
+        assert_eq!(
+            p.derived_ids(),
+            vec![
+                CubeId::new("PQR"),
+                CubeId::new("RGDP"),
+                CubeId::new("GDP"),
+                CubeId::new("GDPT"),
+                CubeId::new("PCHNG")
+            ]
+        );
+        // statement 1 is an aggregation with a frequency-mapped key
+        match &p.statements[0].expr {
+            Expr::Aggregate { agg, group_by, .. } => {
+                assert_eq!(*agg, AggFn::Avg);
+                assert_eq!(group_by.len(), 2);
+                assert_eq!(group_by[0].out_name(), "q");
+                assert!(matches!(
+                    group_by[0],
+                    GroupKey::TimeMap {
+                        target: Frequency::Quarterly,
+                        ..
+                    }
+                ));
+            }
+            other => panic!("expected aggregate, got {other:?}"),
+        }
+        assert_eq!(p.statements[4].expr.operator_count(), 4);
+    }
+
+    #[test]
+    fn precedence_mul_over_add() {
+        let e = parse_expr("A + B * C").unwrap();
+        match e {
+            Expr::Binary {
+                op: BinOp::Add,
+                rhs,
+                ..
+            } => {
+                assert!(matches!(*rhs, Expr::Binary { op: BinOp::Mul, .. }));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parens_override_precedence() {
+        let e = parse_expr("(A + B) * C").unwrap();
+        assert!(matches!(e, Expr::Binary { op: BinOp::Mul, .. }));
+    }
+
+    #[test]
+    fn division_left_associative() {
+        let e = parse_expr("A / B / C").unwrap();
+        match e {
+            Expr::Binary {
+                op: BinOp::Div,
+                lhs,
+                ..
+            } => {
+                assert!(matches!(*lhs, Expr::Binary { op: BinOp::Div, .. }));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn unary_minus_folds_on_literals() {
+        assert_eq!(parse_expr("-3").unwrap(), Expr::Number(-3.0));
+        assert!(matches!(
+            parse_expr("-A").unwrap(),
+            Expr::Unary {
+                op: UnaryFn::Neg,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn shift_with_negative_offset_and_dim() {
+        let e = parse_expr("shift(A, -4, d)").unwrap();
+        match e {
+            Expr::Shift { offset, dim, .. } => {
+                assert_eq!(offset, -4);
+                assert_eq!(dim.as_deref(), Some("d"));
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(parse_expr("shift(A, 1.5)").is_err());
+    }
+
+    #[test]
+    fn log_forms() {
+        assert!(matches!(
+            parse_expr("log(A)").unwrap(),
+            Expr::Unary {
+                op: UnaryFn::Ln,
+                ..
+            }
+        ));
+        // log(2, A) desugars to ln(A)/ln(2)
+        match parse_expr("log(2, A)").unwrap() {
+            Expr::Binary {
+                op: BinOp::Div,
+                rhs,
+                ..
+            } => match *rhs {
+                Expr::Number(n) => assert!((n - 2f64.ln()).abs() < 1e-15),
+                other => panic!("{other:?}"),
+            },
+            other => panic!("{other:?}"),
+        }
+        assert!(parse_expr("log(B, A)").is_err());
+        assert!(parse_expr("log(1, A)").is_err());
+    }
+
+    #[test]
+    fn outer_variants() {
+        match parse_expr("addz(A, B)").unwrap() {
+            Expr::Binary {
+                op: BinOp::Add,
+                policy,
+                ..
+            } => {
+                assert_eq!(policy, JoinPolicy::Outer { default: 0.0 })
+            }
+            other => panic!("{other:?}"),
+        }
+        match parse_expr("subz(A, B, 1)").unwrap() {
+            Expr::Binary {
+                op: BinOp::Sub,
+                policy,
+                ..
+            } => {
+                assert_eq!(policy, JoinPolicy::Outer { default: 1.0 })
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn movavg_window_validation() {
+        assert!(parse_expr("movavg(A, 4)").is_ok());
+        assert!(parse_expr("movavg(A, 0)").is_err());
+        assert!(parse_expr("movavg(A, 2.5)").is_err());
+    }
+
+    #[test]
+    fn plain_dim_key_and_alias_restrictions() {
+        let e = parse_expr("sum(A, group by r)").unwrap();
+        match e {
+            Expr::Aggregate { group_by, .. } => {
+                assert_eq!(group_by, vec![GroupKey::Dim("r".into())])
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(parse_expr("sum(A, group by r as x)").is_err());
+    }
+
+    #[test]
+    fn error_positions_and_messages() {
+        let err = parse_program("X := ;").unwrap_err();
+        assert!(err.to_string().contains("expected expression"));
+        let err = parse_program("X := unknown_fn(A);").unwrap_err();
+        assert!(err.to_string().contains("unknown function"));
+        let err = parse_program("cube A(x: float);").unwrap_err();
+        assert!(err.to_string().contains("unknown dimension type"));
+    }
+
+    #[test]
+    fn decl_without_measure_or_semi() {
+        let p = parse_program("cube A(k: int)\nB := 2 * A").unwrap();
+        assert_eq!(p.decls[0].measure, None);
+        assert_eq!(p.statements.len(), 1);
+    }
+
+    #[test]
+    fn bare_frequency_type_shortcut() {
+        let p = parse_program("cube A(d: day, q: quarter)").unwrap();
+        assert_eq!(p.decls[0].dims[0].1, DimType::Time(Frequency::Daily));
+        assert_eq!(p.decls[0].dims[1].1, DimType::Time(Frequency::Quarterly));
+    }
+
+    #[test]
+    fn power_forms() {
+        assert!(matches!(
+            parse_expr("A ^ 2").unwrap(),
+            Expr::Binary { op: BinOp::Pow, .. }
+        ));
+        assert!(matches!(
+            parse_expr("power(A, 2)").unwrap(),
+            Expr::Binary { op: BinOp::Pow, .. }
+        ));
+    }
+}

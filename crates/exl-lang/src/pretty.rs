@@ -1,0 +1,300 @@
+//! Pretty-printing of EXL programs back to parseable source.
+//!
+//! The invariant — checked by property tests — is that printing and
+//! re-parsing yields the same AST, so the printer is a faithful concrete
+//! syntax for everything the parser can produce.
+
+use crate::ast::{BinOp, CubeDecl, Expr, GroupKey, JoinPolicy, Program, Statement, UnaryFn};
+use exl_model::value::DimType;
+use exl_stats::seriesop::SeriesOp;
+
+/// Binding strength used to decide parenthesization.
+fn precedence(e: &Expr) -> u8 {
+    match e {
+        Expr::Binary { op, policy, .. } => match policy {
+            JoinPolicy::Outer { .. } => 4, // printed as a function call
+            JoinPolicy::Inner => match op {
+                BinOp::Add | BinOp::Sub => 1,
+                BinOp::Mul | BinOp::Div => 2,
+                BinOp::Pow => 3,
+            },
+        },
+        Expr::Unary {
+            op: UnaryFn::Neg, ..
+        } => 3,
+        _ => 4, // literals and calls never need parens
+    }
+}
+
+/// Render an expression.
+pub fn expr_to_string(e: &Expr) -> String {
+    let mut s = String::new();
+    write_expr(&mut s, e);
+    s
+}
+
+fn write_child(out: &mut String, child: &Expr, parent_prec: u8, is_right: bool) {
+    let cp = precedence(child);
+    // left-associative operators: the right child needs parens at equal
+    // precedence (A - (B - C)), the left does not.
+    let needs = cp < parent_prec || (cp == parent_prec && is_right);
+    if needs {
+        out.push('(');
+        write_expr(out, child);
+        out.push(')');
+    } else {
+        write_expr(out, child);
+    }
+}
+
+fn write_expr(out: &mut String, e: &Expr) {
+    match e {
+        Expr::Cube(id) => out.push_str(id.as_str()),
+        Expr::Number(n) => {
+            out.push_str(&format_number(*n));
+        }
+        Expr::Unary {
+            op: UnaryFn::Neg,
+            arg,
+        } => {
+            out.push('-');
+            write_child(out, arg, 3, true);
+        }
+        Expr::Unary { op, arg } => {
+            out.push_str(op.name());
+            out.push('(');
+            write_expr(out, arg);
+            out.push(')');
+        }
+        Expr::Binary {
+            op,
+            policy,
+            lhs,
+            rhs,
+        } => match policy {
+            JoinPolicy::Inner => {
+                let p = precedence(e);
+                write_child(out, lhs, p, false);
+                out.push(' ');
+                out.push_str(op.symbol());
+                out.push(' ');
+                write_child(out, rhs, p, true);
+            }
+            JoinPolicy::Outer { default } => {
+                let name = match op {
+                    BinOp::Add => "addz",
+                    BinOp::Sub => "subz",
+                    other => panic!("no surface syntax for outer {other:?}"),
+                };
+                out.push_str(name);
+                out.push('(');
+                write_expr(out, lhs);
+                out.push_str(", ");
+                write_expr(out, rhs);
+                if *default != 0.0 {
+                    out.push_str(", ");
+                    out.push_str(&format_number(*default));
+                }
+                out.push(')');
+            }
+        },
+        Expr::Shift { arg, offset, dim } => {
+            out.push_str("shift(");
+            write_expr(out, arg);
+            out.push_str(&format!(", {offset}"));
+            if let Some(d) = dim {
+                out.push_str(", ");
+                out.push_str(d);
+            }
+            out.push(')');
+        }
+        Expr::Aggregate { agg, arg, group_by } => {
+            out.push_str(agg.name());
+            out.push('(');
+            write_expr(out, arg);
+            out.push_str(", group by ");
+            for (i, k) in group_by.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                match k {
+                    GroupKey::Dim(d) => out.push_str(d),
+                    GroupKey::TimeMap { target, dim, alias } => {
+                        out.push_str(target.name());
+                        out.push('(');
+                        out.push_str(dim);
+                        out.push(')');
+                        if alias != target.name() {
+                            out.push_str(" as ");
+                            out.push_str(alias);
+                        }
+                    }
+                }
+            }
+            out.push(')');
+        }
+        Expr::SeriesFn { op, arg } => {
+            match op {
+                SeriesOp::MovAvg { window } => {
+                    out.push_str("movavg(");
+                    write_expr(out, arg);
+                    out.push_str(&format!(", {window})"));
+                }
+                simple => {
+                    out.push_str(simple.name());
+                    out.push('(');
+                    write_expr(out, arg);
+                    out.push(')');
+                }
+            };
+        }
+    }
+}
+
+/// Format a numeric literal so it re-parses to the same value. Negative
+/// numbers are printed with a leading minus, which the parser folds back.
+fn format_number(n: f64) -> String {
+    if n == n.trunc() && n.abs() < 1e15 {
+        format!("{}", n as i64)
+    } else {
+        // `{:?}` gives a round-trippable shortest representation
+        format!("{n:?}")
+    }
+}
+
+/// Render a declaration.
+pub fn decl_to_string(d: &CubeDecl) -> String {
+    let dims: Vec<String> = d
+        .dims
+        .iter()
+        .map(|(n, t)| match t {
+            DimType::Time(f) => format!("{n}: time[{f}]"),
+            other => format!("{n}: {other}"),
+        })
+        .collect();
+    let mut s = format!("cube {}({})", d.id, dims.join(", "));
+    if let Some(m) = &d.measure {
+        s.push_str(&format!(" -> {m}"));
+    }
+    s.push(';');
+    s
+}
+
+/// Render a statement.
+pub fn statement_to_string(s: &Statement) -> String {
+    format!("{} := {};", s.target, expr_to_string(&s.expr))
+}
+
+/// Render a whole program.
+pub fn program_to_string(p: &Program) -> String {
+    let mut out = String::new();
+    for d in &p.decls {
+        out.push_str(&decl_to_string(d));
+        out.push('\n');
+    }
+    for s in &p.statements {
+        out.push_str(&statement_to_string(s));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse_expr, parse_program};
+
+    fn round_trip(src: &str) {
+        let e = parse_expr(src).unwrap();
+        let printed = expr_to_string(&e);
+        let e2 = parse_expr(&printed).unwrap_or_else(|err| panic!("reparse `{printed}`: {err}"));
+        assert_eq!(e, e2, "printed form: `{printed}`");
+    }
+
+    #[test]
+    fn round_trips() {
+        for src in [
+            "A + B * C",
+            "(A + B) * C",
+            "A - (B - C)",
+            "A / B / C",
+            "100 * (GDPT - shift(GDPT, 1)) / GDPT",
+            "sum(RGDP, group by q)",
+            "avg(PDR, group by quarter(d) as q, r)",
+            "stl_trend(GDP)",
+            "movavg(A, 4)",
+            "addz(A, B)",
+            "subz(A, B, 1)",
+            "ln(A) ^ 2",
+            "-A + 3",
+            "exp(sqrt(abs(A)))",
+            "min(A, group by year(d), r)",
+            "A ^ 2 * B",
+            "2.5 * A - 1e-3",
+        ] {
+            round_trip(src);
+        }
+    }
+
+    #[test]
+    fn minimal_parens() {
+        let e = parse_expr("A + B * C").unwrap();
+        assert_eq!(expr_to_string(&e), "A + B * C");
+        let e = parse_expr("(A + B) * C").unwrap();
+        assert_eq!(expr_to_string(&e), "(A + B) * C");
+        let e = parse_expr("A - (B - C)").unwrap();
+        assert_eq!(expr_to_string(&e), "A - (B - C)");
+        let e = parse_expr("A - B - C").unwrap();
+        assert_eq!(expr_to_string(&e), "A - B - C");
+    }
+
+    #[test]
+    fn program_round_trip() {
+        let src = r#"
+cube PDR(d: time[day], r: text) -> p;
+cube RGDPPC(q: time[quarter], r: text) -> g;
+PQR := avg(PDR, group by quarter(d) as q, r);
+RGDP := RGDPPC * PQR;
+GDP := sum(RGDP, group by q);
+GDPT := stl_trend(GDP);
+PCHNG := 100 * (GDPT - shift(GDPT, 1)) / GDPT;
+"#;
+        let p = parse_program(src).unwrap();
+        let printed = program_to_string(&p);
+        let p2 = parse_program(&printed).unwrap();
+        // positions legitimately differ; the printed form is the AST identity
+        assert_eq!(printed, program_to_string(&p2));
+        for (a, b) in p.statements.iter().zip(&p2.statements) {
+            assert_eq!(a.target, b.target);
+            assert_eq!(a.expr, b.expr);
+        }
+        assert_eq!(
+            p.decls
+                .iter()
+                .map(|d| (&d.id, &d.dims, &d.measure))
+                .collect::<Vec<_>>(),
+            p2.decls
+                .iter()
+                .map(|d| (&d.id, &d.dims, &d.measure))
+                .collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn number_formatting() {
+        assert_eq!(format_number(100.0), "100");
+        assert_eq!(format_number(-4.0), "-4");
+        assert_eq!(format_number(2.5), "2.5");
+        let tricky = 0.1 + 0.2;
+        let s = format_number(tricky);
+        assert_eq!(s.parse::<f64>().unwrap(), tricky);
+    }
+
+    #[test]
+    fn alias_printed_only_when_needed() {
+        let e = parse_expr("sum(A, group by quarter(d))").unwrap();
+        assert_eq!(expr_to_string(&e), "sum(A, group by quarter(d))");
+        let e = parse_expr("sum(A, group by quarter(d) as q)").unwrap();
+        assert_eq!(expr_to_string(&e), "sum(A, group by quarter(d) as q)");
+    }
+}

@@ -1,0 +1,342 @@
+//! Lexical analysis for EXL source text.
+
+use std::fmt;
+
+use crate::error::{LangError, Pos};
+
+/// One lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    /// Identifier (cube names, dimension names, function names, keywords
+    /// are distinguished by the parser).
+    Ident(String),
+    /// Numeric literal.
+    Number(f64),
+    /// String literal in double quotes (used in cube data literals and
+    /// dimension values in tooling contexts).
+    Str(String),
+    /// `:=`
+    Assign,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `,`
+    Comma,
+    /// `;`
+    Semi,
+    /// `:`
+    Colon,
+    /// `->`
+    Arrow,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `^`
+    Caret,
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "identifier `{s}`"),
+            Tok::Number(n) => write!(f, "number `{n}`"),
+            Tok::Str(s) => write!(f, "string \"{s}\""),
+            Tok::Assign => f.write_str("`:=`"),
+            Tok::LParen => f.write_str("`(`"),
+            Tok::RParen => f.write_str("`)`"),
+            Tok::LBracket => f.write_str("`[`"),
+            Tok::RBracket => f.write_str("`]`"),
+            Tok::Comma => f.write_str("`,`"),
+            Tok::Semi => f.write_str("`;`"),
+            Tok::Colon => f.write_str("`:`"),
+            Tok::Arrow => f.write_str("`->`"),
+            Tok::Plus => f.write_str("`+`"),
+            Tok::Minus => f.write_str("`-`"),
+            Tok::Star => f.write_str("`*`"),
+            Tok::Slash => f.write_str("`/`"),
+            Tok::Caret => f.write_str("`^`"),
+            Tok::Eof => f.write_str("end of input"),
+        }
+    }
+}
+
+/// A token paired with its source position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Spanned {
+    /// The token.
+    pub tok: Tok,
+    /// Where it starts.
+    pub pos: Pos,
+}
+
+/// Tokenize EXL source. Comments run from `#` or `//` to end of line.
+pub fn lex(src: &str) -> Result<Vec<Spanned>, LangError> {
+    let mut out = Vec::new();
+    let bytes = src.as_bytes();
+    let mut i = 0;
+    let mut line = 1u32;
+    let mut col = 1u32;
+
+    macro_rules! push {
+        ($tok:expr, $len:expr) => {{
+            out.push(Spanned {
+                tok: $tok,
+                pos: Pos { line, col },
+            });
+            i += $len;
+            col += $len as u32;
+        }};
+    }
+
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            '\n' => {
+                i += 1;
+                line += 1;
+                col = 1;
+            }
+            ' ' | '\t' | '\r' => {
+                i += 1;
+                col += 1;
+            }
+            '#' => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '/' if i + 1 < bytes.len() && bytes[i + 1] == b'/' => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            ':' if i + 1 < bytes.len() && bytes[i + 1] == b'=' => push!(Tok::Assign, 2),
+            ':' => push!(Tok::Colon, 1),
+            '-' if i + 1 < bytes.len() && bytes[i + 1] == b'>' => push!(Tok::Arrow, 2),
+            '(' => push!(Tok::LParen, 1),
+            ')' => push!(Tok::RParen, 1),
+            '[' => push!(Tok::LBracket, 1),
+            ']' => push!(Tok::RBracket, 1),
+            ',' => push!(Tok::Comma, 1),
+            ';' => push!(Tok::Semi, 1),
+            '+' => push!(Tok::Plus, 1),
+            '-' => push!(Tok::Minus, 1),
+            '*' => push!(Tok::Star, 1),
+            '/' => push!(Tok::Slash, 1),
+            '^' => push!(Tok::Caret, 1),
+            '"' => {
+                let start = i + 1;
+                let mut j = start;
+                while j < bytes.len() && bytes[j] != b'"' {
+                    if bytes[j] == b'\n' {
+                        return Err(LangError::lex(
+                            Pos { line, col },
+                            "unterminated string literal",
+                        ));
+                    }
+                    j += 1;
+                }
+                if j >= bytes.len() {
+                    return Err(LangError::lex(
+                        Pos { line, col },
+                        "unterminated string literal",
+                    ));
+                }
+                let s = src[start..j].to_string();
+                let len = j + 1 - i;
+                push!(Tok::Str(s), len);
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                let mut j = i;
+                while j < bytes.len() && (bytes[j] as char).is_ascii_digit() {
+                    j += 1;
+                }
+                if j < bytes.len()
+                    && bytes[j] == b'.'
+                    && j + 1 < bytes.len()
+                    && (bytes[j + 1] as char).is_ascii_digit()
+                {
+                    j += 1;
+                    while j < bytes.len() && (bytes[j] as char).is_ascii_digit() {
+                        j += 1;
+                    }
+                }
+                // exponent
+                if j < bytes.len() && (bytes[j] == b'e' || bytes[j] == b'E') {
+                    let mut k = j + 1;
+                    if k < bytes.len() && (bytes[k] == b'+' || bytes[k] == b'-') {
+                        k += 1;
+                    }
+                    if k < bytes.len() && (bytes[k] as char).is_ascii_digit() {
+                        j = k;
+                        while j < bytes.len() && (bytes[j] as char).is_ascii_digit() {
+                            j += 1;
+                        }
+                    }
+                }
+                let text = &src[start..j];
+                let n: f64 = text.parse().map_err(|_| {
+                    LangError::lex(Pos { line, col }, format!("bad number `{text}`"))
+                })?;
+                let len = j - start;
+                push!(Tok::Number(n), len);
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                let mut j = i;
+                while j < bytes.len()
+                    && ((bytes[j] as char).is_ascii_alphanumeric() || bytes[j] == b'_')
+                {
+                    j += 1;
+                }
+                let text = src[start..j].to_string();
+                let len = j - start;
+                push!(Tok::Ident(text), len);
+            }
+            other => {
+                return Err(LangError::lex(
+                    Pos { line, col },
+                    format!("unexpected character `{other}`"),
+                ));
+            }
+        }
+    }
+    out.push(Spanned {
+        tok: Tok::Eof,
+        pos: Pos { line, col },
+    });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|s| s.tok).collect()
+    }
+
+    #[test]
+    fn assignment_statement() {
+        assert_eq!(
+            toks("GDP := sum(RGDP, group by q);"),
+            vec![
+                Tok::Ident("GDP".into()),
+                Tok::Assign,
+                Tok::Ident("sum".into()),
+                Tok::LParen,
+                Tok::Ident("RGDP".into()),
+                Tok::Comma,
+                Tok::Ident("group".into()),
+                Tok::Ident("by".into()),
+                Tok::Ident("q".into()),
+                Tok::RParen,
+                Tok::Semi,
+                Tok::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(
+            toks("1 2.5 100 3e2 1.5E-3"),
+            vec![
+                Tok::Number(1.0),
+                Tok::Number(2.5),
+                Tok::Number(100.0),
+                Tok::Number(300.0),
+                Tok::Number(0.0015),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn operators_and_punctuation() {
+        assert_eq!(
+            toks("+ - * / ^ ( ) [ ] , ; : := ->"),
+            vec![
+                Tok::Plus,
+                Tok::Minus,
+                Tok::Star,
+                Tok::Slash,
+                Tok::Caret,
+                Tok::LParen,
+                Tok::RParen,
+                Tok::LBracket,
+                Tok::RBracket,
+                Tok::Comma,
+                Tok::Semi,
+                Tok::Colon,
+                Tok::Assign,
+                Tok::Arrow,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(
+            toks("A # trailing\n:= // other\nB"),
+            vec![
+                Tok::Ident("A".into()),
+                Tok::Assign,
+                Tok::Ident("B".into()),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn string_literals() {
+        assert_eq!(
+            toks("\"north west\""),
+            vec![Tok::Str("north west".into()), Tok::Eof]
+        );
+        assert!(lex("\"unterminated").is_err());
+        assert!(lex("\"no\nnewlines\"").is_err());
+    }
+
+    #[test]
+    fn positions_track_lines_and_columns() {
+        let ts = lex("A\n  B").unwrap();
+        assert_eq!(ts[0].pos, Pos { line: 1, col: 1 });
+        assert_eq!(ts[1].pos, Pos { line: 2, col: 3 });
+    }
+
+    #[test]
+    fn minus_vs_arrow() {
+        assert_eq!(
+            toks("a - b -> c"),
+            vec![
+                Tok::Ident("a".into()),
+                Tok::Minus,
+                Tok::Ident("b".into()),
+                Tok::Arrow,
+                Tok::Ident("c".into()),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn unexpected_character_errors() {
+        assert!(lex("a ? b").is_err());
+        assert!(lex("€").is_err());
+    }
+}

@@ -1,0 +1,516 @@
+//! The dependency language: extended tgds and egds.
+//!
+//! §4.1 of the paper extends classical source-to-target/target dependencies
+//! in three ways, all represented here:
+//!
+//! * **scalar terms** in atoms and in the rhs measure (`3 × y`,
+//!   `(r1 − r2) × 100 / r1`, `quarter(t)`, `q − 1`);
+//! * **aggregate terms** in the rhs measure (`avg(p)`, `sum(g)`), whose
+//!   semantics groups the lhs matches on the rhs dimension terms;
+//! * **table-function tgds** (`GDP → GDPT(stl_T(GDP))`) whose rhs is
+//!   computed from the operand relation *as a whole* — "we use no variables
+//!   in tgd (4)".
+//!
+//! All tgds are *full* (no existential variables): every generated value is
+//! a constant, the property §4.2's termination argument rests on.
+
+use std::fmt;
+
+use exl_lang::ast::{BinOp, UnaryFn};
+use exl_model::schema::{CubeId, CubeSchema};
+use exl_model::time::Frequency;
+use exl_stats::descriptive::AggFn;
+use exl_stats::seriesop::SeriesOp;
+
+/// A term appearing in a dimension position of an atom.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DimTerm {
+    /// A universally quantified variable.
+    Var(String),
+    /// A time variable shifted by a constant number of periods
+    /// (`q − 1` in the paper's tgd (5)).
+    Shifted {
+        /// The variable.
+        var: String,
+        /// Periods added to the variable's value.
+        offset: i64,
+    },
+    /// A frequency-conversion function applied to a time variable
+    /// (`quarter(t)` in tgd (1)).
+    Converted {
+        /// The variable.
+        var: String,
+        /// Target frequency.
+        target: Frequency,
+    },
+}
+
+impl DimTerm {
+    /// The underlying variable name.
+    pub fn var_name(&self) -> &str {
+        match self {
+            DimTerm::Var(v)
+            | DimTerm::Shifted { var: v, .. }
+            | DimTerm::Converted { var: v, .. } => v,
+        }
+    }
+}
+
+impl fmt::Display for DimTerm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DimTerm::Var(v) => f.write_str(v),
+            DimTerm::Shifted { var, offset } => {
+                if *offset >= 0 {
+                    write!(f, "{var}+{offset}")
+                } else {
+                    write!(f, "{var}-{}", -offset)
+                }
+            }
+            DimTerm::Converted { var, target } => write!(f, "{}({var})", target.name()),
+        }
+    }
+}
+
+/// A scalar expression over measure variables and constants — the rhs
+/// measure calculus of extended tgds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScalarExpr {
+    /// A measure variable bound by an lhs atom.
+    Var(String),
+    /// A numeric constant.
+    Const(f64),
+    /// Unary application.
+    Unary(UnaryFn, Box<ScalarExpr>),
+    /// Binary application.
+    Binary(BinOp, Box<ScalarExpr>, Box<ScalarExpr>),
+}
+
+impl ScalarExpr {
+    /// Variables referenced, in first-use order.
+    pub fn vars(&self) -> Vec<&str> {
+        let mut out = Vec::new();
+        self.collect_vars(&mut out);
+        out
+    }
+
+    fn collect_vars<'a>(&'a self, out: &mut Vec<&'a str>) {
+        match self {
+            ScalarExpr::Var(v) => {
+                if !out.contains(&v.as_str()) {
+                    out.push(v);
+                }
+            }
+            ScalarExpr::Const(_) => {}
+            ScalarExpr::Unary(_, a) => a.collect_vars(out),
+            ScalarExpr::Binary(_, a, b) => {
+                a.collect_vars(out);
+                b.collect_vars(out);
+            }
+        }
+    }
+
+    /// Evaluate under a variable binding.
+    pub fn eval(&self, lookup: &dyn Fn(&str) -> f64) -> f64 {
+        match self {
+            ScalarExpr::Var(v) => lookup(v),
+            ScalarExpr::Const(c) => *c,
+            ScalarExpr::Unary(op, a) => op.apply(a.eval(lookup)),
+            ScalarExpr::Binary(op, a, b) => op.apply(a.eval(lookup), b.eval(lookup)),
+        }
+    }
+}
+
+impl fmt::Display for ScalarExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn prec(e: &ScalarExpr) -> u8 {
+            match e {
+                ScalarExpr::Binary(BinOp::Add | BinOp::Sub, ..) => 1,
+                ScalarExpr::Binary(BinOp::Mul | BinOp::Div, ..) => 2,
+                ScalarExpr::Binary(BinOp::Pow, ..) => 3,
+                _ => 4,
+            }
+        }
+        fn go(e: &ScalarExpr, f: &mut fmt::Formatter<'_>, parent: u8, right: bool) -> fmt::Result {
+            let p = prec(e);
+            let need = p < parent || (p == parent && right && p < 4);
+            if need {
+                f.write_str("(")?;
+            }
+            match e {
+                ScalarExpr::Var(v) => f.write_str(v)?,
+                ScalarExpr::Const(c) => write!(f, "{c}")?,
+                ScalarExpr::Unary(UnaryFn::Neg, a) => {
+                    f.write_str("-")?;
+                    go(a, f, 4, true)?;
+                }
+                ScalarExpr::Unary(op, a) => {
+                    write!(f, "{}(", op.name())?;
+                    go(a, f, 0, false)?;
+                    f.write_str(")")?;
+                }
+                ScalarExpr::Binary(op, a, b) => {
+                    go(a, f, p, false)?;
+                    write!(f, " {} ", op.symbol())?;
+                    go(b, f, p, true)?;
+                }
+            }
+            if need {
+                f.write_str(")")?;
+            }
+            Ok(())
+        }
+        go(self, f, 0, false)
+    }
+}
+
+/// An atom in the lhs of a rule: a relation over dimension terms plus a
+/// measure variable.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Atom {
+    /// The relation (cube).
+    pub relation: CubeId,
+    /// One term per dimension, in schema order.
+    pub dim_terms: Vec<DimTerm>,
+    /// The variable bound to the measure.
+    pub measure_var: String,
+}
+
+impl fmt::Display for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.relation)?;
+        for t in &self.dim_terms {
+            write!(f, "{t}, ")?;
+        }
+        write!(f, "{})", self.measure_var)
+    }
+}
+
+/// The rhs measure of a rule tgd.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MeasureTerm {
+    /// A tuple-level scalar expression.
+    Scalar(ScalarExpr),
+    /// An aggregate of a scalar expression over the matches that agree on
+    /// the rhs dimension terms (the paper's `avg(p)`, `sum(g)`).
+    Aggregate {
+        /// Aggregation function.
+        agg: AggFn,
+        /// Aggregated expression (usually a single variable).
+        expr: ScalarExpr,
+    },
+}
+
+impl MeasureTerm {
+    /// True when this is an aggregate term.
+    pub fn is_aggregate(&self) -> bool {
+        matches!(self, MeasureTerm::Aggregate { .. })
+    }
+}
+
+impl fmt::Display for MeasureTerm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MeasureTerm::Scalar(e) => write!(f, "{e}"),
+            MeasureTerm::Aggregate { agg, expr } => write!(f, "{agg}({expr})"),
+        }
+    }
+}
+
+/// An extended tuple-generating dependency.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tgd {
+    /// Conjunctive rule with scalar/aggregate rhs — covers copy tgds,
+    /// tuple-level tgds and aggregation tgds.
+    Rule {
+        /// Identifier (for display and EXPERIMENTS cross-references).
+        id: String,
+        /// Lhs atoms. Repeated variables express the join.
+        lhs: Vec<Atom>,
+        /// Target relation.
+        rhs_relation: CubeId,
+        /// Target dimension terms (over lhs variables).
+        rhs_dims: Vec<DimTerm>,
+        /// Target measure term.
+        rhs_measure: MeasureTerm,
+        /// `Some(default)` turns a two-atom rule into the paper's
+        /// default-value (outer) variant of a vectorial operator.
+        outer_default: Option<f64>,
+    },
+    /// Whole-relation table-function tgd, e.g. `GDP → GDPT(stl_T(GDP))`.
+    TableFn {
+        /// Identifier.
+        id: String,
+        /// Operand relation.
+        source: CubeId,
+        /// The black-box operator.
+        op: SeriesOp,
+        /// Target relation.
+        target: CubeId,
+    },
+}
+
+impl Tgd {
+    /// The tgd identifier.
+    pub fn id(&self) -> &str {
+        match self {
+            Tgd::Rule { id, .. } | Tgd::TableFn { id, .. } => id,
+        }
+    }
+
+    /// The relation the tgd populates.
+    pub fn target_relation(&self) -> &CubeId {
+        match self {
+            Tgd::Rule { rhs_relation, .. } => rhs_relation,
+            Tgd::TableFn { target, .. } => target,
+        }
+    }
+
+    /// Relations read by the tgd.
+    pub fn source_relations(&self) -> Vec<CubeId> {
+        match self {
+            Tgd::Rule { lhs, .. } => {
+                let mut out = Vec::new();
+                for a in lhs {
+                    if !out.contains(&a.relation) {
+                        out.push(a.relation.clone());
+                    }
+                }
+                out
+            }
+            Tgd::TableFn { source, .. } => vec![source.clone()],
+        }
+    }
+
+    /// True when the rhs aggregates (multi-tuple without being a table
+    /// function).
+    pub fn is_aggregate(&self) -> bool {
+        matches!(
+            self,
+            Tgd::Rule {
+                rhs_measure: MeasureTerm::Aggregate { .. },
+                ..
+            }
+        )
+    }
+}
+
+impl fmt::Display for Tgd {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tgd::Rule {
+                lhs,
+                rhs_relation,
+                rhs_dims,
+                rhs_measure,
+                outer_default,
+                ..
+            } => {
+                for (i, a) in lhs.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(" ∧ ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                f.write_str(" -> ")?;
+                write!(f, "{rhs_relation}(")?;
+                for t in rhs_dims {
+                    write!(f, "{t}, ")?;
+                }
+                write!(f, "{rhs_measure})")?;
+                if let Some(d) = outer_default {
+                    write!(f, " [default {d}]")?;
+                }
+                Ok(())
+            }
+            Tgd::TableFn {
+                source, op, target, ..
+            } => {
+                write!(f, "{source} -> {target}({}({source}))", op.name())
+            }
+        }
+    }
+}
+
+/// An equality-generating dependency enforcing cube functionality:
+/// `F(x̄, y1) ∧ F(x̄, y2) → y1 = y2`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Egd {
+    /// The constrained relation.
+    pub relation: CubeId,
+    /// Number of dimensions (for display).
+    pub dims: usize,
+}
+
+impl fmt::Display for Egd {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let vars: Vec<String> = (1..=self.dims).map(|i| format!("x{i}")).collect();
+        let xs = vars.join(", ");
+        write!(
+            f,
+            "{r}({xs}, y1) ∧ {r}({xs}, y2) -> (y1 = y2)",
+            r = self.relation
+        )
+    }
+}
+
+/// A complete schema mapping `M = (S, T, Σst, Σt)` generated from an EXL
+/// program (§4.1), plus the schema environment the translators need.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Mapping {
+    /// Source schema: the elementary cubes.
+    pub source: Vec<CubeSchema>,
+    /// Target schema: copies of the elementary cubes plus all derived
+    /// cubes. (As in the paper, we keep the same relation names and leave
+    /// the renaming implicit.)
+    pub target: Vec<CubeSchema>,
+    /// Σst: the copy tgds from each source relation to its target copy.
+    pub copy_tgds: Vec<Tgd>,
+    /// Σt: one tgd per (normalized or fused) statement, in stratification
+    /// order — this order *is* the chase order of §4.2.
+    pub statement_tgds: Vec<Tgd>,
+    /// The functionality egds, one per target relation.
+    pub egds: Vec<Egd>,
+}
+
+impl Mapping {
+    /// Schema of a relation in the mapping.
+    pub fn schema(&self, id: &CubeId) -> Option<&CubeSchema> {
+        self.target
+            .iter()
+            .chain(self.source.iter())
+            .find(|s| &s.id == id)
+    }
+
+    /// Render all statement tgds, one per line, in the paper's notation.
+    pub fn display_tgds(&self) -> String {
+        self.statement_tgds
+            .iter()
+            .map(|t| format!("({}) {t}", t.id()))
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn atom(rel: &str, dims: &[&str], m: &str) -> Atom {
+        Atom {
+            relation: CubeId::new(rel),
+            dim_terms: dims.iter().map(|d| DimTerm::Var(d.to_string())).collect(),
+            measure_var: m.to_string(),
+        }
+    }
+
+    #[test]
+    fn display_tuple_level_tgd() {
+        // tgd (2) of the paper
+        let tgd = Tgd::Rule {
+            id: "2".into(),
+            lhs: vec![
+                atom("PQR", &["q", "r"], "p"),
+                atom("RGDPPC", &["q", "r"], "g"),
+            ],
+            rhs_relation: CubeId::new("RGDP"),
+            rhs_dims: vec![DimTerm::Var("q".into()), DimTerm::Var("r".into())],
+            rhs_measure: MeasureTerm::Scalar(ScalarExpr::Binary(
+                BinOp::Mul,
+                Box::new(ScalarExpr::Var("p".into())),
+                Box::new(ScalarExpr::Var("g".into())),
+            )),
+            outer_default: None,
+        };
+        assert_eq!(
+            tgd.to_string(),
+            "PQR(q, r, p) ∧ RGDPPC(q, r, g) -> RGDP(q, r, p * g)"
+        );
+        assert_eq!(tgd.source_relations().len(), 2);
+        assert!(!tgd.is_aggregate());
+    }
+
+    #[test]
+    fn display_aggregation_tgd() {
+        // tgd (1): PDR(t, r, p) -> PQR(quarter(t), r, avg(p))
+        let tgd = Tgd::Rule {
+            id: "1".into(),
+            lhs: vec![atom("PDR", &["t", "r"], "p")],
+            rhs_relation: CubeId::new("PQR"),
+            rhs_dims: vec![
+                DimTerm::Converted {
+                    var: "t".into(),
+                    target: Frequency::Quarterly,
+                },
+                DimTerm::Var("r".into()),
+            ],
+            rhs_measure: MeasureTerm::Aggregate {
+                agg: AggFn::Avg,
+                expr: ScalarExpr::Var("p".into()),
+            },
+            outer_default: None,
+        };
+        assert_eq!(
+            tgd.to_string(),
+            "PDR(t, r, p) -> PQR(quarter(t), r, avg(p))"
+        );
+        assert!(tgd.is_aggregate());
+    }
+
+    #[test]
+    fn display_table_fn_tgd() {
+        let tgd = Tgd::TableFn {
+            id: "4".into(),
+            source: CubeId::new("GDP"),
+            op: SeriesOp::StlTrend,
+            target: CubeId::new("GDPT"),
+        };
+        assert_eq!(tgd.to_string(), "GDP -> GDPT(stl_trend(GDP))");
+        assert_eq!(tgd.target_relation(), &CubeId::new("GDPT"));
+    }
+
+    #[test]
+    fn display_shifted_dim_term() {
+        let t = DimTerm::Shifted {
+            var: "q".into(),
+            offset: -1,
+        };
+        assert_eq!(t.to_string(), "q-1");
+        let t = DimTerm::Shifted {
+            var: "q".into(),
+            offset: 2,
+        };
+        assert_eq!(t.to_string(), "q+2");
+    }
+
+    #[test]
+    fn display_egd() {
+        let egd = Egd {
+            relation: CubeId::new("GDP"),
+            dims: 1,
+        };
+        assert_eq!(egd.to_string(), "GDP(x1, y1) ∧ GDP(x1, y2) -> (y1 = y2)");
+    }
+
+    #[test]
+    fn scalar_expr_eval_and_vars() {
+        // (r1 - r2) * 100 / r1
+        let e = ScalarExpr::Binary(
+            BinOp::Div,
+            Box::new(ScalarExpr::Binary(
+                BinOp::Mul,
+                Box::new(ScalarExpr::Binary(
+                    BinOp::Sub,
+                    Box::new(ScalarExpr::Var("r1".into())),
+                    Box::new(ScalarExpr::Var("r2".into())),
+                )),
+                Box::new(ScalarExpr::Const(100.0)),
+            )),
+            Box::new(ScalarExpr::Var("r1".into())),
+        );
+        assert_eq!(e.vars(), vec!["r1", "r2"]);
+        let v = e.eval(&|n| if n == "r1" { 110.0 } else { 100.0 });
+        assert!((v - 10.0 / 1.1).abs() < 1e-12);
+        assert_eq!(e.to_string(), "(r1 - r2) * 100 / r1");
+    }
+}

@@ -1,0 +1,559 @@
+//! Generation of schema mappings from EXL programs (§4.1).
+//!
+//! Two generation modes reproduce the two granularities the paper
+//! discusses:
+//!
+//! * [`GenMode::Normalized`] — first rewrite the program so every statement
+//!   has one operator (the (5a)–(5d) decomposition), then emit one plain
+//!   tgd per statement;
+//! * [`GenMode::Fused`] — "in practice, our tool is able to simplify them":
+//!   keep tuple-level operator *trees* inside a single tgd (producing the
+//!   paper's single tgd (5) with two atoms and a complex rhs expression),
+//!   materializing auxiliary cubes only around multi-tuple operators.
+//!
+//! The B6 benchmark compares the two modes end to end.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use exl_lang::analyze::{analyze, AnalyzedProgram};
+use exl_lang::ast::{Expr, GroupKey, JoinPolicy, Program, Statement};
+use exl_lang::normalize::normalize;
+use exl_model::schema::{CubeId, CubeKind, CubeSchema};
+
+use crate::dep::{Atom, DimTerm, Egd, Mapping, MeasureTerm, ScalarExpr, Tgd};
+
+/// Mapping-generation granularity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GenMode {
+    /// One operator per statement, one plain tgd each.
+    Normalized,
+    /// Fused tuple-level trees, one (complex) tgd per fused statement.
+    Fused,
+}
+
+/// Error raised during mapping generation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MapError(pub String);
+
+impl fmt::Display for MapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "mapping generation error: {}", self.0)
+    }
+}
+
+impl std::error::Error for MapError {}
+
+/// Generate the schema mapping `M = (S, T, Σst, Σt)` for an analyzed
+/// program. The returned mapping's statement tgds are in stratification
+/// order. The analyzed program *after* the mode's rewriting is also
+/// returned, since downstream consumers need schemas for the auxiliary
+/// cubes the rewriting may introduce.
+pub fn generate_mapping(
+    analyzed: &AnalyzedProgram,
+    mode: GenMode,
+) -> Result<(Mapping, AnalyzedProgram), MapError> {
+    let rewritten: Program = match mode {
+        GenMode::Normalized => normalize(&analyzed.program),
+        GenMode::Fused => partial_normalize(&analyzed.program),
+    };
+    // external schemas: those not declared in source
+    let external: Vec<CubeSchema> = analyzed
+        .schemas
+        .values()
+        .filter(|s| {
+            s.kind == CubeKind::Elementary && !analyzed.program.decls.iter().any(|d| d.id == s.id)
+        })
+        .cloned()
+        .collect();
+    let re_analyzed = analyze(&rewritten, &external)
+        .map_err(|e| MapError(format!("rewritten program failed analysis: {e}")))?;
+
+    let source: Vec<CubeSchema> = re_analyzed
+        .schemas
+        .values()
+        .filter(|s| s.kind == CubeKind::Elementary)
+        .cloned()
+        .collect();
+    let target: Vec<CubeSchema> = re_analyzed.schemas.values().cloned().collect();
+
+    let copy_tgds = source.iter().map(copy_tgd).collect();
+    let egds = target
+        .iter()
+        .map(|s| Egd {
+            relation: s.id.clone(),
+            dims: s.arity(),
+        })
+        .collect();
+
+    let mut statement_tgds = Vec::with_capacity(rewritten.statements.len());
+    for (i, stmt) in rewritten.statements.iter().enumerate() {
+        let id = format!("{}", i + 1);
+        statement_tgds.push(statement_to_tgd(&id, stmt, &re_analyzed)?);
+    }
+
+    Ok((
+        Mapping {
+            source,
+            target,
+            copy_tgds,
+            statement_tgds,
+            egds,
+        },
+        re_analyzed,
+    ))
+}
+
+/// The Σst copy tgd for a source relation.
+fn copy_tgd(schema: &CubeSchema) -> Tgd {
+    let dim_terms: Vec<DimTerm> = schema
+        .dims
+        .iter()
+        .map(|d| DimTerm::Var(d.name.clone()))
+        .collect();
+    Tgd::Rule {
+        id: format!("copy-{}", schema.id),
+        lhs: vec![Atom {
+            relation: schema.id.clone(),
+            dim_terms: dim_terms.clone(),
+            measure_var: schema.measure.clone(),
+        }],
+        rhs_relation: schema.id.clone(),
+        rhs_dims: dim_terms,
+        rhs_measure: MeasureTerm::Scalar(ScalarExpr::Var(schema.measure.clone())),
+        outer_default: None,
+    }
+}
+
+/// Translate one statement (in one of the shapes produced by
+/// `normalize`/`partial_normalize`) into a tgd.
+pub fn statement_to_tgd(
+    id: &str,
+    stmt: &Statement,
+    analyzed: &AnalyzedProgram,
+) -> Result<Tgd, MapError> {
+    let target_schema = analyzed
+        .schema(&stmt.target)
+        .ok_or_else(|| MapError(format!("no schema for {}", stmt.target)))?;
+    match &stmt.expr {
+        // whole-series black box: GDP -> GDPT(stl_T(GDP))
+        Expr::SeriesFn { op, arg } => match arg.as_ref() {
+            Expr::Cube(src) => Ok(Tgd::TableFn {
+                id: id.to_string(),
+                source: src.clone(),
+                op: *op,
+                target: stmt.target.clone(),
+            }),
+            other => Err(MapError(format!(
+                "series operator operand must be a cube literal after rewriting, got {other:?}"
+            ))),
+        },
+        // aggregation over a tuple-level tree
+        Expr::Aggregate { agg, arg, group_by } => {
+            let operand_dims = operand_dims(arg, analyzed)?;
+            let mut builder = TreeBuilder::new(&operand_dims, analyzed);
+            let expr = builder.build(arg, &BTreeMap::new())?;
+            let (lhs, renames) = builder.finish();
+            let expr = apply_renames(&expr, &renames);
+            let rhs_dims = group_by
+                .iter()
+                .map(|k| match k {
+                    GroupKey::Dim(name) => DimTerm::Var(name.clone()),
+                    GroupKey::TimeMap { target, dim, .. } => DimTerm::Converted {
+                        var: dim.clone(),
+                        target: *target,
+                    },
+                })
+                .collect();
+            Ok(Tgd::Rule {
+                id: id.to_string(),
+                lhs,
+                rhs_relation: stmt.target.clone(),
+                rhs_dims,
+                rhs_measure: MeasureTerm::Aggregate { agg: *agg, expr },
+                outer_default: None,
+            })
+        }
+        // outer-policy binary: exactly two cube operands
+        Expr::Binary {
+            op,
+            policy: JoinPolicy::Outer { default },
+            lhs,
+            rhs,
+        } => {
+            let (Expr::Cube(a), Expr::Cube(b)) = (lhs.as_ref(), rhs.as_ref()) else {
+                return Err(MapError(
+                    "outer-policy operands must be cube literals after rewriting".into(),
+                ));
+            };
+            let dims = &target_schema.dims;
+            let dim_terms: Vec<DimTerm> =
+                dims.iter().map(|d| DimTerm::Var(d.name.clone())).collect();
+            let mut ma = measure_name(analyzed, a, 1);
+            let mut mb = measure_name(analyzed, b, 2);
+            if ma == mb {
+                ma.push('1');
+                mb.push('2');
+            }
+            Ok(Tgd::Rule {
+                id: id.to_string(),
+                lhs: vec![
+                    Atom {
+                        relation: a.clone(),
+                        dim_terms: dim_terms.clone(),
+                        measure_var: ma.clone(),
+                    },
+                    Atom {
+                        relation: b.clone(),
+                        dim_terms: dim_terms.clone(),
+                        measure_var: mb.clone(),
+                    },
+                ],
+                rhs_relation: stmt.target.clone(),
+                rhs_dims: dim_terms,
+                rhs_measure: MeasureTerm::Scalar(ScalarExpr::Binary(
+                    *op,
+                    Box::new(ScalarExpr::Var(ma)),
+                    Box::new(ScalarExpr::Var(mb)),
+                )),
+                outer_default: Some(*default),
+            })
+        }
+        // tuple-level tree (including the plain copy `B := A`)
+        tree => {
+            let dims = target_schema.dims.clone();
+            let mut builder = TreeBuilder::new(&dims, analyzed);
+            let expr = builder.build(tree, &BTreeMap::new())?;
+            let (lhs, renames) = builder.finish();
+            let expr = apply_renames(&expr, &renames);
+            let rhs_dims = dims.iter().map(|d| DimTerm::Var(d.name.clone())).collect();
+            Ok(Tgd::Rule {
+                id: id.to_string(),
+                lhs,
+                rhs_relation: stmt.target.clone(),
+                rhs_dims,
+                rhs_measure: MeasureTerm::Scalar(expr),
+                outer_default: None,
+            })
+        }
+    }
+}
+
+fn measure_name(analyzed: &AnalyzedProgram, cube: &CubeId, fallback_idx: usize) -> String {
+    analyzed
+        .schema(cube)
+        .map(|s| s.measure.clone())
+        .unwrap_or_else(|| format!("y{fallback_idx}"))
+}
+
+/// Dimension list of a tuple-level operand tree: the dims of any cube leaf
+/// (they all agree after analysis).
+fn operand_dims(
+    expr: &Expr,
+    analyzed: &AnalyzedProgram,
+) -> Result<Vec<exl_model::schema::Dimension>, MapError> {
+    let refs = expr.cube_refs();
+    let first = refs
+        .first()
+        .ok_or_else(|| MapError("operand tree has no cube reference".into()))?;
+    Ok(analyzed
+        .schema(first)
+        .ok_or_else(|| MapError(format!("no schema for {first}")))?
+        .dims
+        .clone())
+}
+
+/// Builds the atom set and scalar expression for a tuple-level tree.
+///
+/// Variables are the result's dimension names; a `shift(…, k)` under the
+/// tree turns into an offset on the relevant time variable in the *leaf
+/// atoms below it*: the value of `shift(e, k)` at point `t` is the value of
+/// `e` at `t − k`, exactly the paper's
+/// `GDPT(q, r1) ∧ GDPT(q−1, r2) → PCHNG(q, …)`.
+struct TreeBuilder<'a> {
+    dims: &'a [exl_model::schema::Dimension],
+    analyzed: &'a AnalyzedProgram,
+    /// memoized atoms keyed by (cube, per-dim offsets)
+    atoms: Vec<(CubeId, BTreeMap<usize, i64>, Atom)>,
+}
+
+impl<'a> TreeBuilder<'a> {
+    fn new(dims: &'a [exl_model::schema::Dimension], analyzed: &'a AnalyzedProgram) -> Self {
+        TreeBuilder {
+            dims,
+            analyzed,
+            atoms: Vec::new(),
+        }
+    }
+
+    fn build(
+        &mut self,
+        expr: &Expr,
+        offsets: &BTreeMap<usize, i64>,
+    ) -> Result<ScalarExpr, MapError> {
+        match expr {
+            Expr::Number(n) => Ok(ScalarExpr::Const(*n)),
+            Expr::Cube(id) => Ok(ScalarExpr::Var(self.atom_for(id, offsets))),
+            Expr::Unary { op, arg } => Ok(ScalarExpr::Unary(
+                *op,
+                Box::new(self.build(arg, offsets)?),
+            )),
+            Expr::Binary {
+                op,
+                policy: JoinPolicy::Inner,
+                lhs,
+                rhs,
+            } => Ok(ScalarExpr::Binary(
+                *op,
+                Box::new(self.build(lhs, offsets)?),
+                Box::new(self.build(rhs, offsets)?),
+            )),
+            Expr::Binary { .. } => Err(MapError(
+                "outer-policy operator inside a fused tree is not supported; it is materialized by rewriting".into(),
+            )),
+            Expr::Shift { arg, offset, dim } => {
+                let idx = self.shift_dim_index(dim.as_deref())?;
+                let mut inner = offsets.clone();
+                *inner.entry(idx).or_insert(0) -= offset;
+                self.build(arg, &inner)
+            }
+            Expr::Aggregate { .. } | Expr::SeriesFn { .. } => Err(MapError(
+                "multi-tuple operator inside a tuple-level tree; rewriting must materialize it first".into(),
+            )),
+        }
+    }
+
+    fn shift_dim_index(&self, named: Option<&str>) -> Result<usize, MapError> {
+        match named {
+            // analysis has already validated the dimension's type (time
+            // or integer — §3's numeric-dimension shift)
+            Some(name) => self
+                .dims
+                .iter()
+                .position(|d| d.name == name)
+                .ok_or_else(|| MapError(format!("shift names unknown dimension `{name}`"))),
+            None => self
+                .dims
+                .iter()
+                .position(|d| d.ty.is_time())
+                .ok_or_else(|| MapError("shift needs a time dimension".into())),
+        }
+    }
+
+    /// Get (or create) the atom for `cube` under the given offsets and
+    /// return its measure variable.
+    fn atom_for(&mut self, cube: &CubeId, offsets: &BTreeMap<usize, i64>) -> String {
+        if let Some((_, _, atom)) = self
+            .atoms
+            .iter()
+            .find(|(c, o, _)| c == cube && o == offsets)
+        {
+            return atom.measure_var.clone();
+        }
+        let dim_terms: Vec<DimTerm> = self
+            .dims
+            .iter()
+            .enumerate()
+            .map(|(i, d)| match offsets.get(&i) {
+                Some(&off) if off != 0 => DimTerm::Shifted {
+                    var: d.name.clone(),
+                    offset: off,
+                },
+                _ => DimTerm::Var(d.name.clone()),
+            })
+            .collect();
+        let base = measure_name(self.analyzed, cube, self.atoms.len() + 1);
+        let measure_var = format!("{base}#{}", self.atoms.len()); // uniquified in finish()
+        self.atoms.push((
+            cube.clone(),
+            offsets.clone(),
+            Atom {
+                relation: cube.clone(),
+                dim_terms,
+                measure_var,
+            },
+        ));
+        self.atoms.last().unwrap().2.measure_var.clone()
+    }
+
+    /// Final atom list with pretty, unique measure variable names: bases
+    /// used once keep their name; bases used several times are numbered
+    /// (`r1`, `r2`, … as in the paper's tgd (5)). Returns the atoms plus
+    /// the rename map to apply to the rhs scalar expression.
+    fn finish(mut self) -> (Vec<Atom>, BTreeMap<String, String>) {
+        let bases: Vec<String> = self
+            .atoms
+            .iter()
+            .map(|(_, _, a)| a.measure_var.split('#').next().unwrap().to_string())
+            .collect();
+        let mut renames: BTreeMap<String, String> = BTreeMap::new();
+        let mut counters: BTreeMap<String, usize> = BTreeMap::new();
+        for (i, base) in bases.iter().enumerate() {
+            let uses = bases.iter().filter(|b| *b == base).count();
+            let new = if uses == 1 {
+                base.clone()
+            } else {
+                let c = counters.entry(base.clone()).or_insert(0);
+                *c += 1;
+                format!("{base}{c}")
+            };
+            renames.insert(self.atoms[i].2.measure_var.clone(), new);
+        }
+        for (_, _, atom) in &mut self.atoms {
+            atom.measure_var = renames[&atom.measure_var].clone();
+        }
+        (self.atoms.into_iter().map(|(_, _, a)| a).collect(), renames)
+    }
+}
+
+/// Apply a variable rename map to a scalar expression.
+fn apply_renames(expr: &ScalarExpr, renames: &BTreeMap<String, String>) -> ScalarExpr {
+    match expr {
+        ScalarExpr::Var(v) => ScalarExpr::Var(renames.get(v).cloned().unwrap_or_else(|| v.clone())),
+        ScalarExpr::Const(c) => ScalarExpr::Const(*c),
+        ScalarExpr::Unary(op, a) => ScalarExpr::Unary(*op, Box::new(apply_renames(a, renames))),
+        ScalarExpr::Binary(op, a, b) => ScalarExpr::Binary(
+            *op,
+            Box::new(apply_renames(a, renames)),
+            Box::new(apply_renames(b, renames)),
+        ),
+    }
+}
+
+/// Partial normalization: keep tuple-level trees intact, materialize only
+/// multi-tuple operators (aggregations, series functions, outer-policy
+/// binaries) that appear in interior positions, plus non-cube operands of
+/// series functions and outer binaries.
+pub fn partial_normalize(program: &Program) -> Program {
+    use std::collections::BTreeSet;
+
+    let mut used: BTreeSet<CubeId> = program.elementary_ids().into_iter().collect();
+    used.extend(program.derived_ids());
+
+    let mut out = Program {
+        decls: program.decls.clone(),
+        statements: Vec::with_capacity(program.statements.len()),
+    };
+
+    for stmt in &program.statements {
+        let mut aux = Vec::new();
+        let expr = partialize_top(&stmt.expr, &stmt.target, &mut aux, &mut used);
+        out.statements.extend(aux);
+        out.statements.push(Statement {
+            target: stmt.target.clone(),
+            expr,
+            pos: stmt.pos,
+        });
+    }
+    out
+}
+
+fn fresh(target: &CubeId, used: &mut std::collections::BTreeSet<CubeId>) -> CubeId {
+    let mut n = 1;
+    loop {
+        let candidate = CubeId::new(format!("{}__f{n}", target.as_str()));
+        if used.insert(candidate.clone()) {
+            return candidate;
+        }
+        n += 1;
+    }
+}
+
+/// Rewrite the top of a statement into one of the accepted shapes.
+fn partialize_top(
+    expr: &Expr,
+    target: &CubeId,
+    aux: &mut Vec<Statement>,
+    used: &mut std::collections::BTreeSet<CubeId>,
+) -> Expr {
+    match expr {
+        Expr::SeriesFn { op, arg } => {
+            let arg = materialize_to_cube(arg, target, aux, used);
+            Expr::SeriesFn {
+                op: *op,
+                arg: Box::new(arg),
+            }
+        }
+        Expr::Aggregate { agg, arg, group_by } => Expr::Aggregate {
+            agg: *agg,
+            arg: Box::new(partialize_tree(arg, target, aux, used)),
+            group_by: group_by.clone(),
+        },
+        Expr::Binary {
+            op,
+            policy: policy @ JoinPolicy::Outer { .. },
+            lhs,
+            rhs,
+        } => Expr::Binary {
+            op: *op,
+            policy: *policy,
+            lhs: Box::new(materialize_to_cube(lhs, target, aux, used)),
+            rhs: Box::new(materialize_to_cube(rhs, target, aux, used)),
+        },
+        tree => partialize_tree(tree, target, aux, used),
+    }
+}
+
+/// Rewrite a tuple-level tree, materializing interior multi-tuple nodes.
+fn partialize_tree(
+    expr: &Expr,
+    target: &CubeId,
+    aux: &mut Vec<Statement>,
+    used: &mut std::collections::BTreeSet<CubeId>,
+) -> Expr {
+    match expr {
+        Expr::Cube(_) | Expr::Number(_) => expr.clone(),
+        Expr::Unary { op, arg } => Expr::Unary {
+            op: *op,
+            arg: Box::new(partialize_tree(arg, target, aux, used)),
+        },
+        Expr::Shift { arg, offset, dim } => Expr::Shift {
+            arg: Box::new(partialize_tree(arg, target, aux, used)),
+            offset: *offset,
+            dim: dim.clone(),
+        },
+        Expr::Binary {
+            op,
+            policy: JoinPolicy::Inner,
+            lhs,
+            rhs,
+        } => Expr::binary(
+            *op,
+            partialize_tree(lhs, target, aux, used),
+            partialize_tree(rhs, target, aux, used),
+        ),
+        // interior multi-tuple (or outer) node: materialize
+        multi => materialize(multi, target, aux, used),
+    }
+}
+
+/// Materialize an expression as an auxiliary cube statement and return a
+/// reference to it.
+fn materialize(
+    expr: &Expr,
+    target: &CubeId,
+    aux: &mut Vec<Statement>,
+    used: &mut std::collections::BTreeSet<CubeId>,
+) -> Expr {
+    let shaped = partialize_top(expr, target, aux, used);
+    let tmp = fresh(target, used);
+    aux.push(Statement {
+        target: tmp.clone(),
+        expr: shaped,
+        pos: Default::default(),
+    });
+    Expr::Cube(tmp)
+}
+
+/// Like [`materialize`] but leaves plain cube literals untouched.
+fn materialize_to_cube(
+    expr: &Expr,
+    target: &CubeId,
+    aux: &mut Vec<Statement>,
+    used: &mut std::collections::BTreeSet<CubeId>,
+) -> Expr {
+    match expr {
+        Expr::Cube(_) => expr.clone(),
+        other => materialize(other, target, aux, used),
+    }
+}

@@ -1,0 +1,24 @@
+//! # exl-map — executable schema mappings
+//!
+//! The paper's central device (§4): every EXL program is reformulated as a
+//! schema mapping `M = (S, T, Σst, Σt)` whose dependencies are *extended*
+//! tgds (scalar terms, aggregate terms, whole-relation table functions)
+//! plus functionality egds. The mapping is the implementation-independent
+//! hub from which every executable translation (SQL, R, Matlab, ETL) is
+//! generated, and the object the chase of `exl-chase` executes.
+//!
+//! * [`dep`] — the dependency language and its display (the paper's
+//!   notation, used in golden tests against the §2 listings);
+//! * [`generate`] — mapping generation from analyzed programs in the two
+//!   granularities of §4.1 (fully normalized vs. fused).
+
+#![warn(missing_docs)]
+
+pub mod dep;
+pub mod generate;
+
+pub use dep::{Atom, DimTerm, Egd, Mapping, MeasureTerm, ScalarExpr, Tgd};
+pub use generate::{generate_mapping, partial_normalize, statement_to_tgd, GenMode, MapError};
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,241 @@
+//! Unit tests for mapping generation, pinned to the paper's §2 listings.
+
+use exl_lang::{analyze, parse_program};
+use exl_model::schema::CubeId;
+
+use crate::dep::{MeasureTerm, Tgd};
+use crate::generate::{generate_mapping, partial_normalize, GenMode};
+
+const GDP_SRC: &str = r#"
+    cube PDR(d: time[day], r: text) -> p;
+    cube RGDPPC(q: time[quarter], r: text) -> g;
+    PQR := avg(PDR, group by quarter(d) as q, r);
+    RGDP := RGDPPC * PQR;
+    GDP := sum(RGDP, group by q);
+    GDPT := stl_trend(GDP);
+    PCHNG := 100 * (GDPT - shift(GDPT, 1)) / GDPT;
+"#;
+
+fn gdp_mapping(mode: GenMode) -> crate::dep::Mapping {
+    let analyzed = analyze(&parse_program(GDP_SRC).unwrap(), &[]).unwrap();
+    generate_mapping(&analyzed, mode).unwrap().0
+}
+
+#[test]
+fn fused_gdp_mapping_matches_paper_tgds() {
+    // The five tgds of the Overview (§2), in the paper's notation — modulo
+    // our variable naming (operand measure names) and the avg/sum argument.
+    let m = gdp_mapping(GenMode::Fused);
+    let tgds: Vec<String> = m.statement_tgds.iter().map(|t| t.to_string()).collect();
+    assert_eq!(tgds.len(), 5);
+    assert_eq!(tgds[0], "PDR(d, r, p) -> PQR(quarter(d), r, avg(p))");
+    assert_eq!(
+        tgds[1],
+        "RGDPPC(q, r, g) ∧ PQR(q, r, m) -> RGDP(q, r, g * m)"
+    );
+    assert_eq!(tgds[2], "RGDP(q, r, m) -> GDP(q, sum(m))");
+    assert_eq!(tgds[3], "GDP -> GDPT(stl_trend(GDP))");
+    // tgd (5): two atoms over GDPT, one shifted — the paper's
+    // GDPT(q, r1) ∧ GDPT(q−1, r2) → PCHNG(q, (r1−r2)×100/r1)
+    assert_eq!(
+        tgds[4],
+        "GDPT(q, m1) ∧ GDPT(q-1, m2) -> PCHNG(q, 100 * (m1 - m2) / m1)"
+    );
+}
+
+#[test]
+fn normalized_gdp_mapping_has_one_operator_per_tgd() {
+    let m = gdp_mapping(GenMode::Normalized);
+    // statements 1-4 stay; statement 5 splits into 4 (the (5a)-(5d) rewrite)
+    assert_eq!(m.statement_tgds.len(), 8);
+    for tgd in &m.statement_tgds {
+        if let Tgd::Rule {
+            lhs, rhs_measure, ..
+        } = tgd
+        {
+            // single-operator rule: at most 2 atoms, shallow measure term
+            assert!(lhs.len() <= 2, "{tgd}");
+            if let MeasureTerm::Scalar(e) = rhs_measure {
+                assert!(depth(e) <= 2, "{tgd}");
+            }
+        }
+    }
+}
+
+fn depth(e: &crate::dep::ScalarExpr) -> usize {
+    use crate::dep::ScalarExpr::*;
+    match e {
+        Var(_) | Const(_) => 0,
+        Unary(_, a) => 1 + depth(a),
+        Binary(_, a, b) => 1 + depth(a).max(depth(b)),
+    }
+}
+
+#[test]
+fn copy_tgds_cover_all_sources() {
+    let m = gdp_mapping(GenMode::Fused);
+    assert_eq!(m.copy_tgds.len(), 2);
+    let ids: Vec<&str> = m.copy_tgds.iter().map(|t| t.id()).collect();
+    assert!(ids.contains(&"copy-PDR"));
+    assert!(ids.contains(&"copy-RGDPPC"));
+    for t in &m.copy_tgds {
+        assert_eq!(t.source_relations(), vec![t.target_relation().clone()]);
+    }
+}
+
+#[test]
+fn egds_cover_all_target_relations() {
+    let m = gdp_mapping(GenMode::Fused);
+    // 2 elementary + 5 derived
+    assert_eq!(m.egds.len(), 7);
+    let gdp_egd = m
+        .egds
+        .iter()
+        .find(|e| e.relation == CubeId::new("GDP"))
+        .unwrap();
+    assert_eq!(gdp_egd.dims, 1);
+}
+
+#[test]
+fn scalar_examples_from_section_4_1() {
+    // C2 := 3 * C1 ; C5 := C3 + C4 ; C7 := shift(C6, 1)
+    let src = r#"
+        cube C1(x1: int, x2: int) -> y;
+        cube C3(x1: int, x2: int) -> y;
+        cube C4(x1: int, x2: int) -> y;
+        cube C6(t: quarter) -> y;
+        C2 := 3 * C1;
+        C5 := C3 + C4;
+        C7 := shift(C6, 1);
+    "#;
+    let analyzed = analyze(&parse_program(src).unwrap(), &[]).unwrap();
+    let (m, _) = generate_mapping(&analyzed, GenMode::Fused).unwrap();
+    let tgds: Vec<String> = m.statement_tgds.iter().map(|t| t.to_string()).collect();
+    assert_eq!(tgds[0], "C1(x1, x2, y) -> C2(x1, x2, 3 * y)");
+    assert_eq!(
+        tgds[1],
+        "C3(x1, x2, y1) ∧ C4(x1, x2, y2) -> C5(x1, x2, y1 + y2)"
+    );
+    // our tgd reads: the value at t comes from C6 at t−1 (equivalently the
+    // paper's C6(t,y) → C7(t+1,y) stated from the source side)
+    assert_eq!(tgds[2], "C6(t-1, y) -> C7(t, y)");
+}
+
+#[test]
+fn duplicate_cube_reference_reuses_one_atom() {
+    let src = "cube A(q: quarter) -> y; B := A * A;";
+    let analyzed = analyze(&parse_program(src).unwrap(), &[]).unwrap();
+    let (m, _) = generate_mapping(&analyzed, GenMode::Fused).unwrap();
+    assert_eq!(m.statement_tgds[0].to_string(), "A(q, y) -> B(q, y * y)");
+}
+
+#[test]
+fn distinct_offsets_create_distinct_atoms() {
+    let src = "cube A(q: quarter) -> y; B := shift(A, 1) + shift(A, 2);";
+    let analyzed = analyze(&parse_program(src).unwrap(), &[]).unwrap();
+    let (m, _) = generate_mapping(&analyzed, GenMode::Fused).unwrap();
+    assert_eq!(
+        m.statement_tgds[0].to_string(),
+        "A(q-1, y1) ∧ A(q-2, y2) -> B(q, y1 + y2)"
+    );
+}
+
+#[test]
+fn nested_shift_offsets_accumulate() {
+    let src = "cube A(q: quarter) -> y; B := shift(shift(A, 1), -3);";
+    let analyzed = analyze(&parse_program(src).unwrap(), &[]).unwrap();
+    let (m, _) = generate_mapping(&analyzed, GenMode::Fused).unwrap();
+    assert_eq!(m.statement_tgds[0].to_string(), "A(q+2, y) -> B(q, y)");
+}
+
+#[test]
+fn partial_normalize_materializes_only_multituple_interiors() {
+    // sum over a tuple-level tree stays one statement; stl inside an
+    // arithmetic expression is materialized
+    let src = r#"
+        cube A(q: quarter, r: text) -> y;
+        B := sum(2 * A, group by q);
+        C := B - stl_trend(B);
+    "#;
+    let p = parse_program(src).unwrap();
+    analyze(&p, &[]).unwrap();
+    let pn = partial_normalize(&p);
+    // B unchanged, C becomes: C__f1 := stl_trend(B); C := B - C__f1
+    assert_eq!(pn.statements.len(), 3);
+    assert_eq!(pn.statements[0].target, CubeId::new("B"));
+    assert_eq!(pn.statements[1].target, CubeId::new("C__f1"));
+    assert_eq!(pn.statements[2].target, CubeId::new("C"));
+    analyze(&pn, &[]).unwrap();
+}
+
+#[test]
+fn partial_normalize_handles_nested_aggregates() {
+    let src = r#"
+        cube A(d: day, r: text) -> y;
+        B := sum(avg(A, group by quarter(d) as q, r), group by q);
+    "#;
+    let p = parse_program(src).unwrap();
+    analyze(&p, &[]).unwrap();
+    let pn = partial_normalize(&p);
+    assert_eq!(pn.statements.len(), 2);
+    analyze(&pn, &[]).unwrap();
+    let analyzed = analyze(&p, &[]).unwrap();
+    let (m, _) = generate_mapping(&analyzed, GenMode::Fused).unwrap();
+    assert_eq!(m.statement_tgds.len(), 2);
+    assert!(m.statement_tgds.iter().all(|t| t.is_aggregate()));
+}
+
+#[test]
+fn series_fn_over_expression_materializes_operand() {
+    let src = "cube A(q: quarter) -> y; B := stl_trend(2 * A);";
+    let analyzed = analyze(&parse_program(src).unwrap(), &[]).unwrap();
+    let (m, _) = generate_mapping(&analyzed, GenMode::Fused).unwrap();
+    assert_eq!(m.statement_tgds.len(), 2);
+    assert!(matches!(m.statement_tgds[1], Tgd::TableFn { .. }));
+}
+
+#[test]
+fn outer_policy_tgd_carries_default() {
+    let src = "cube A(q: quarter) -> y; cube B(q: quarter) -> z; C := addz(A, B);";
+    let analyzed = analyze(&parse_program(src).unwrap(), &[]).unwrap();
+    let (m, _) = generate_mapping(&analyzed, GenMode::Fused).unwrap();
+    match &m.statement_tgds[0] {
+        Tgd::Rule {
+            outer_default, lhs, ..
+        } => {
+            assert_eq!(*outer_default, Some(0.0));
+            assert_eq!(lhs.len(), 2);
+        }
+        other => panic!("{other:?}"),
+    }
+    assert!(m.statement_tgds[0].to_string().ends_with("[default 0]"));
+}
+
+#[test]
+fn mapping_schema_lookup_and_display() {
+    let m = gdp_mapping(GenMode::Fused);
+    assert!(m.schema(&CubeId::new("GDP")).is_some());
+    assert!(m.schema(&CubeId::new("PDR")).is_some());
+    assert!(m.schema(&CubeId::new("NOPE")).is_none());
+    let listing = m.display_tgds();
+    assert!(listing.contains("(1) PDR"));
+    assert!(listing.contains("(5) GDPT"));
+}
+
+#[test]
+fn both_modes_preserve_final_targets() {
+    for mode in [GenMode::Normalized, GenMode::Fused] {
+        let m = gdp_mapping(mode);
+        let targets: Vec<&CubeId> = m
+            .statement_tgds
+            .iter()
+            .map(|t| t.target_relation())
+            .collect();
+        for want in ["PQR", "RGDP", "GDP", "GDPT", "PCHNG"] {
+            assert!(
+                targets.contains(&&CubeId::new(want)),
+                "{mode:?} missing {want}"
+            );
+        }
+    }
+}

@@ -1,0 +1,38 @@
+//! Errors of the mini-Matlab interpreter.
+
+use std::fmt;
+
+/// Error raised while parsing or evaluating Matlab code.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MatError {
+    /// Phase: "parse" or "eval".
+    pub phase: &'static str,
+    /// Message.
+    pub message: String,
+}
+
+impl MatError {
+    /// Parse-phase error.
+    pub fn parse(message: impl Into<String>) -> MatError {
+        MatError {
+            phase: "parse",
+            message: message.into(),
+        }
+    }
+
+    /// Evaluation-phase error.
+    pub fn eval(message: impl Into<String>) -> MatError {
+        MatError {
+            phase: "eval",
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for MatError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Matlab {} error: {}", self.phase, self.message)
+    }
+}
+
+impl std::error::Error for MatError {}

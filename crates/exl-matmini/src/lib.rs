@@ -1,0 +1,22 @@
+//! # exl-matmini — an interpreter for the generated Matlab subset
+//!
+//! The paper's §5.2 shows Matlab as the second matrix-oriented target,
+//! assuming "a trend isolating library … acting on vectors". The
+//! reproduction cannot assume a Matlab installation, so this crate
+//! implements, from scratch, the numeric-matrix language the generator
+//! emits: `join`, element-wise operators (`.*`, `./`), horizontal
+//! concatenation, logical indexing, `aggregate`, the series library
+//! (`isolateTrend` and friends), and `convertTime` for frequency
+//! conversion over index-encoded calendars. Textual dimensions are
+//! dictionary-encoded through [`MatSession`]; time values are stored as
+//! period indices so that the EXL `shift` is plain addition.
+
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod interp;
+pub mod matrix;
+
+pub use error::MatError;
+pub use interp::MatInterp;
+pub use matrix::{MatSession, Matrix};

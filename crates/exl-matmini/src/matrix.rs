@@ -1,0 +1,353 @@
+//! Numeric matrices and the cube ↔ matrix codec.
+//!
+//! Matlab is "matrix oriented" (§5.2): everything is a numeric matrix. A
+//! cube becomes a matrix with one column per dimension plus a trailing
+//! measure column, under a *numeric encoding*:
+//!
+//! * integer dimensions are stored as-is;
+//! * time dimensions are stored as their sequential period index
+//!   ([`exl_model::TimePoint::index`]), which makes `shift` plain
+//!   addition — exactly how production Matlab pipelines handle regular
+//!   calendars;
+//! * textual dimensions are dictionary-encoded through a session-wide
+//!   [`MatSession`], which also decodes results back to cube data.
+
+use std::collections::BTreeMap;
+
+use exl_model::schema::CubeSchema;
+use exl_model::value::{DimType, DimValue};
+use exl_model::{Cube, CubeData, TimePoint};
+
+use crate::error::MatError;
+
+/// A dense, row-major numeric matrix.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Matrix {
+    /// Rows; all rows have equal length.
+    pub rows: Vec<Vec<f64>>,
+    /// Number of columns (meaningful even with zero rows).
+    pub ncols: usize,
+}
+
+impl Matrix {
+    /// Empty matrix with a fixed column count.
+    pub fn new(ncols: usize) -> Matrix {
+        Matrix {
+            rows: Vec::new(),
+            ncols,
+        }
+    }
+
+    /// A column vector.
+    pub fn column(values: Vec<f64>) -> Matrix {
+        Matrix {
+            rows: values.into_iter().map(|v| vec![v]).collect(),
+            ncols: 1,
+        }
+    }
+
+    /// A 1×1 matrix.
+    pub fn scalar(v: f64) -> Matrix {
+        Matrix {
+            rows: vec![vec![v]],
+            ncols: 1,
+        }
+    }
+
+    /// Row count.
+    pub fn nrows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Extract column `c` (0-based) as a vector of values.
+    pub fn col(&self, c: usize) -> Result<Vec<f64>, MatError> {
+        if c >= self.ncols {
+            return Err(MatError::eval(format!(
+                "column index {} out of bounds (matrix has {})",
+                c + 1,
+                self.ncols
+            )));
+        }
+        Ok(self.rows.iter().map(|r| r[c]).collect())
+    }
+
+    /// Append a row, checking width.
+    pub fn push_row(&mut self, row: Vec<f64>) -> Result<(), MatError> {
+        if row.len() != self.ncols {
+            return Err(MatError::eval(format!(
+                "row width {} does not match matrix width {}",
+                row.len(),
+                self.ncols
+            )));
+        }
+        self.rows.push(row);
+        Ok(())
+    }
+
+    /// Horizontal concatenation.
+    pub fn hcat(parts: &[Matrix]) -> Result<Matrix, MatError> {
+        let Some(first) = parts.first() else {
+            return Ok(Matrix::default());
+        };
+        let n = first.nrows();
+        if parts.iter().any(|p| p.nrows() != n) {
+            return Err(MatError::eval(
+                "horizontal concatenation: row counts differ",
+            ));
+        }
+        let ncols = parts.iter().map(|p| p.ncols).sum();
+        let mut out = Matrix::new(ncols);
+        for i in 0..n {
+            let mut row = Vec::with_capacity(ncols);
+            for p in parts {
+                row.extend(p.rows[i].iter().copied());
+            }
+            out.rows.push(row);
+        }
+        Ok(out)
+    }
+
+    /// Keep the rows where `mask[i] != 0` (Matlab logical indexing).
+    pub fn filter_rows(&self, mask: &[f64]) -> Result<Matrix, MatError> {
+        if mask.len() != self.nrows() {
+            return Err(MatError::eval(format!(
+                "logical index length {} does not match {} rows",
+                mask.len(),
+                self.nrows()
+            )));
+        }
+        let mut out = Matrix::new(self.ncols);
+        for (i, r) in self.rows.iter().enumerate() {
+            if mask[i] != 0.0 {
+                out.rows.push(r.clone());
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// Session-wide dictionary encoding of textual dimension values.
+#[derive(Debug, Clone, Default)]
+pub struct MatSession {
+    codes: BTreeMap<String, f64>,
+    rev: Vec<String>,
+}
+
+impl MatSession {
+    /// Fresh session.
+    pub fn new() -> MatSession {
+        MatSession::default()
+    }
+
+    /// Code for a string, allocating one on first use.
+    pub fn encode_str(&mut self, s: &str) -> f64 {
+        if let Some(&c) = self.codes.get(s) {
+            return c;
+        }
+        let c = self.rev.len() as f64;
+        self.codes.insert(s.to_string(), c);
+        self.rev.push(s.to_string());
+        c
+    }
+
+    /// String for a code, if allocated.
+    pub fn decode_str(&self, code: f64) -> Option<&str> {
+        if code.fract() != 0.0 || code < 0.0 {
+            return None;
+        }
+        self.rev.get(code as usize).map(|s| s.as_str())
+    }
+
+    /// Encode a cube into a matrix (dims in schema order, measure last).
+    pub fn encode(&mut self, cube: &Cube) -> Matrix {
+        let mut m = Matrix::new(cube.schema.arity() + 1);
+        for (k, v) in cube.data.iter() {
+            let mut row: Vec<f64> = k
+                .iter()
+                .map(|d| match d {
+                    DimValue::Int(i) => *i as f64,
+                    DimValue::Str(s) => self.encode_str(s),
+                    DimValue::Time(t) => t.index() as f64,
+                })
+                .collect();
+            row.push(v);
+            m.rows.push(row);
+        }
+        m
+    }
+
+    /// Decode a matrix back into cube data for `schema`. Rows with
+    /// non-finite measures are skipped (dropped tuples).
+    pub fn decode(&self, m: &Matrix, schema: &CubeSchema) -> Result<CubeData, MatError> {
+        if m.ncols != schema.arity() + 1 {
+            return Err(MatError::eval(format!(
+                "matrix has {} columns, schema {} needs {}",
+                m.ncols,
+                schema.id,
+                schema.arity() + 1
+            )));
+        }
+        let mut data = CubeData::new();
+        for row in &m.rows {
+            let measure = row[schema.arity()];
+            if !measure.is_finite() {
+                continue;
+            }
+            let mut key = Vec::with_capacity(schema.arity());
+            for (i, dim) in schema.dims.iter().enumerate() {
+                let raw = row[i];
+                let v = match dim.ty {
+                    DimType::Int => {
+                        if raw.fract() != 0.0 {
+                            return Err(MatError::eval(format!(
+                                "non-integer code {raw} in integer dimension {}",
+                                dim.name
+                            )));
+                        }
+                        DimValue::Int(raw as i64)
+                    }
+                    DimType::Str => DimValue::Str(
+                        self.decode_str(raw)
+                            .ok_or_else(|| {
+                                MatError::eval(format!(
+                                    "unknown text code {raw} in dimension {}",
+                                    dim.name
+                                ))
+                            })?
+                            .to_string(),
+                    ),
+                    DimType::Time(f) => {
+                        if raw.fract() != 0.0 {
+                            return Err(MatError::eval(format!(
+                                "non-integer time index {raw} in dimension {}",
+                                dim.name
+                            )));
+                        }
+                        DimValue::Time(TimePoint::from_index(f, raw as i64))
+                    }
+                };
+                key.push(v);
+            }
+            data.insert(key, measure)
+                .map_err(|e| MatError::eval(e.to_string()))?;
+        }
+        Ok(data)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use exl_model::schema::{CubeKind, Dimension};
+    use exl_model::Frequency;
+
+    fn sample_cube() -> Cube {
+        let schema = CubeSchema::new(
+            "T",
+            vec![
+                Dimension::new("q", DimType::Time(Frequency::Quarterly)),
+                Dimension::new("r", DimType::Str),
+                Dimension::new("k", DimType::Int),
+            ],
+            CubeKind::Elementary,
+        );
+        let data = CubeData::from_tuples(vec![
+            (
+                vec![
+                    DimValue::Time(TimePoint::Quarter {
+                        year: 2020,
+                        quarter: 1,
+                    }),
+                    DimValue::str("north"),
+                    DimValue::Int(7),
+                ],
+                1.5,
+            ),
+            (
+                vec![
+                    DimValue::Time(TimePoint::Quarter {
+                        year: 2020,
+                        quarter: 2,
+                    }),
+                    DimValue::str("south"),
+                    DimValue::Int(8),
+                ],
+                2.5,
+            ),
+        ])
+        .unwrap();
+        Cube::new(schema, data)
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let cube = sample_cube();
+        let mut s = MatSession::new();
+        let m = s.encode(&cube);
+        assert_eq!(m.ncols, 4);
+        assert_eq!(m.nrows(), 2);
+        let back = s.decode(&m, &cube.schema).unwrap();
+        assert!(back.approx_eq(&cube.data, 0.0));
+    }
+
+    #[test]
+    fn dictionary_is_shared_and_stable() {
+        let mut s = MatSession::new();
+        let a = s.encode_str("north");
+        let b = s.encode_str("south");
+        assert_eq!(s.encode_str("north"), a);
+        assert_ne!(a, b);
+        assert_eq!(s.decode_str(a), Some("north"));
+        assert_eq!(s.decode_str(99.0), None);
+        assert_eq!(s.decode_str(0.5), None);
+    }
+
+    #[test]
+    fn decode_skips_non_finite_measures() {
+        let cube = sample_cube();
+        let mut s = MatSession::new();
+        let mut m = s.encode(&cube);
+        m.rows[0][3] = f64::INFINITY;
+        let back = s.decode(&m, &cube.schema).unwrap();
+        assert_eq!(back.len(), 1);
+    }
+
+    #[test]
+    fn decode_errors() {
+        let cube = sample_cube();
+        let mut s = MatSession::new();
+        let m = s.encode(&cube);
+        let mut wrong = m.clone();
+        wrong.ncols = 3;
+        for r in &mut wrong.rows {
+            r.pop();
+        }
+        assert!(s.decode(&wrong, &cube.schema).is_err());
+        let mut bad_code = m.clone();
+        bad_code.rows[0][1] = 1234.0; // no such string code
+        assert!(s.decode(&bad_code, &cube.schema).is_err());
+        let mut bad_int = m;
+        bad_int.rows[0][2] = 1.5;
+        assert!(s.decode(&bad_int, &cube.schema).is_err());
+    }
+
+    #[test]
+    fn matrix_primitives() {
+        let a = Matrix::column(vec![1.0, 2.0]);
+        let b = Matrix::column(vec![10.0, 20.0]);
+        let c = Matrix::hcat(&[a.clone(), b]).unwrap();
+        assert_eq!(c.ncols, 2);
+        assert_eq!(c.rows[1], vec![2.0, 20.0]);
+        assert_eq!(c.col(0).unwrap(), vec![1.0, 2.0]);
+        assert!(c.col(5).is_err());
+        let filtered = c.filter_rows(&[0.0, 1.0]).unwrap();
+        assert_eq!(filtered.nrows(), 1);
+        assert!(c.filter_rows(&[1.0]).is_err());
+        assert!(
+            Matrix::hcat(&[Matrix::column(vec![1.0]), Matrix::column(vec![1.0, 2.0])]).is_err()
+        );
+        let mut m = Matrix::new(2);
+        m.push_row(vec![1.0, 2.0]).unwrap();
+        assert!(m.push_row(vec![1.0]).is_err());
+    }
+}

@@ -1,0 +1,332 @@
+//! CSV import/export for cube data.
+//!
+//! Statistical collection pipelines overwhelmingly exchange flat files;
+//! this module gives cubes a plain-text representation without external
+//! dependencies. The format is one header row naming the dimensions (in
+//! schema order) plus the measure, then one row per cube tuple:
+//!
+//! ```csv
+//! q,r,m
+//! 2020-Q1,north,100.5
+//! 2020-Q1,"south, east",50.25
+//! ```
+//!
+//! Time values use the same literals as the rest of the system
+//! (`YYYY-MM-DD`, `YYYY-Mmm`, `YYYY-Qq`, `YYYY`); fields containing commas
+//! or quotes are double-quoted with `""` escaping.
+
+use crate::cube::{Cube, CubeData};
+use crate::schema::CubeSchema;
+use crate::time::{Date, Frequency, TimePoint};
+use crate::value::{DimType, DimValue};
+
+/// Error raised by CSV conversion.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsvError {
+    /// 1-based row (0 for the header or structural problems).
+    pub row: usize,
+    /// Explanation.
+    pub message: String,
+}
+
+impl std::fmt::Display for CsvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "CSV error at row {}: {}", self.row, self.message)
+    }
+}
+
+impl std::error::Error for CsvError {}
+
+fn err(row: usize, message: impl Into<String>) -> CsvError {
+    CsvError {
+        row,
+        message: message.into(),
+    }
+}
+
+/// Serialize a cube to CSV (header + one row per tuple, sorted).
+pub fn to_csv(cube: &Cube) -> String {
+    let mut out = String::new();
+    let header: Vec<&str> = cube
+        .schema
+        .dims
+        .iter()
+        .map(|d| d.name.as_str())
+        .chain(std::iter::once(cube.schema.measure.as_str()))
+        .collect();
+    out.push_str(&header.join(","));
+    out.push('\n');
+    for (k, v) in cube.data.iter() {
+        let mut fields: Vec<String> = k.iter().map(|d| escape(&d.to_string())).collect();
+        fields.push(format!("{v:?}"));
+        out.push_str(&fields.join(","));
+        out.push('\n');
+    }
+    out
+}
+
+/// Parse CSV text into cube data for `schema`. The header must name the
+/// schema's dimensions (in order) and the measure; rows are type-checked
+/// against the schema.
+pub fn from_csv(text: &str, schema: &CubeSchema) -> Result<CubeData, CsvError> {
+    let mut lines = text.lines().enumerate();
+    let Some((_, header)) = lines.next() else {
+        return Err(err(0, "empty input"));
+    };
+    let header_fields = split_row(header).map_err(|m| err(0, m))?;
+    let expected: Vec<&str> = schema
+        .dims
+        .iter()
+        .map(|d| d.name.as_str())
+        .chain(std::iter::once(schema.measure.as_str()))
+        .collect();
+    if header_fields != expected {
+        return Err(err(
+            0,
+            format!(
+                "header [{}] does not match schema columns [{}]",
+                header_fields.join(", "),
+                expected.join(", ")
+            ),
+        ));
+    }
+
+    let mut data = CubeData::new();
+    for (i, line) in lines {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let row_no = i + 1;
+        let fields = split_row(line).map_err(|m| err(row_no, m))?;
+        if fields.len() != expected.len() {
+            return Err(err(
+                row_no,
+                format!("expected {} fields, found {}", expected.len(), fields.len()),
+            ));
+        }
+        let mut key = Vec::with_capacity(schema.dims.len());
+        for (dim, raw) in schema.dims.iter().zip(&fields) {
+            key.push(parse_dim(raw, dim.ty).ok_or_else(|| {
+                err(
+                    row_no,
+                    format!(
+                        "`{raw}` is not a valid {} for dimension {}",
+                        dim.ty, dim.name
+                    ),
+                )
+            })?);
+        }
+        let measure: f64 = fields[schema.dims.len()].parse().map_err(|_| {
+            err(
+                row_no,
+                format!("bad measure `{}`", fields[schema.dims.len()]),
+            )
+        })?;
+        data.insert(key, measure)
+            .map_err(|e| err(row_no, e.to_string()))?;
+    }
+    Ok(data)
+}
+
+/// Parse one dimension value from its textual form.
+pub fn parse_dim(raw: &str, ty: DimType) -> Option<DimValue> {
+    match ty {
+        DimType::Int => raw.parse().ok().map(DimValue::Int),
+        DimType::Str => Some(DimValue::Str(raw.to_string())),
+        DimType::Time(freq) => parse_time(raw, freq).map(DimValue::Time),
+    }
+}
+
+fn parse_time(raw: &str, freq: Frequency) -> Option<TimePoint> {
+    match freq {
+        Frequency::Daily => {
+            let mut it = raw.split('-');
+            let y: i32 = it.next()?.parse().ok()?;
+            let m: u32 = it.next()?.parse().ok()?;
+            let d: u32 = it.next()?.parse().ok()?;
+            if it.next().is_some() {
+                return None;
+            }
+            Date::from_ymd(y, m, d).map(TimePoint::Day)
+        }
+        Frequency::Monthly => {
+            let (y, rest) = raw.split_once("-M")?;
+            TimePoint::month(y.parse().ok()?, rest.parse().ok()?)
+        }
+        Frequency::Quarterly => {
+            let (y, rest) = raw.split_once("-Q")?;
+            TimePoint::quarter(y.parse().ok()?, rest.parse().ok()?)
+        }
+        Frequency::Yearly => raw.parse().ok().map(TimePoint::Year),
+    }
+}
+
+fn escape(field: &str) -> String {
+    if field.contains(',') || field.contains('"') || field.contains('\n') {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_string()
+    }
+}
+
+/// Split one CSV row, honoring double-quoted fields with `""` escapes.
+fn split_row(line: &str) -> Result<Vec<String>, String> {
+    let mut fields = Vec::new();
+    let mut cur = String::new();
+    let mut chars = line.chars().peekable();
+    let mut quoted = false;
+    loop {
+        match chars.next() {
+            None => {
+                if quoted {
+                    return Err("unterminated quoted field".into());
+                }
+                fields.push(cur);
+                return Ok(fields);
+            }
+            Some('"') if quoted => {
+                if chars.peek() == Some(&'"') {
+                    chars.next();
+                    cur.push('"');
+                } else {
+                    quoted = false;
+                }
+            }
+            Some('"') if cur.is_empty() && !quoted => quoted = true,
+            Some(',') if !quoted => {
+                fields.push(std::mem::take(&mut cur));
+            }
+            Some(c) => cur.push(c),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{CubeKind, Dimension};
+
+    fn schema() -> CubeSchema {
+        CubeSchema::new(
+            "T",
+            vec![
+                Dimension::new("q", DimType::Time(Frequency::Quarterly)),
+                Dimension::new("r", DimType::Str),
+            ],
+            CubeKind::Elementary,
+        )
+        .with_measure("v")
+    }
+
+    fn sample_cube() -> Cube {
+        let data = CubeData::from_tuples(vec![
+            (
+                vec![
+                    DimValue::Time(TimePoint::Quarter {
+                        year: 2020,
+                        quarter: 1,
+                    }),
+                    DimValue::str("north"),
+                ],
+                100.5,
+            ),
+            (
+                vec![
+                    DimValue::Time(TimePoint::Quarter {
+                        year: 2020,
+                        quarter: 2,
+                    }),
+                    DimValue::str("south, east"),
+                ],
+                -2.25,
+            ),
+        ])
+        .unwrap();
+        Cube::new(schema(), data)
+    }
+
+    #[test]
+    fn round_trip() {
+        let cube = sample_cube();
+        let csv = to_csv(&cube);
+        assert!(csv.starts_with("q,r,v\n"), "{csv}");
+        assert!(csv.contains("\"south, east\""), "{csv}");
+        let back = from_csv(&csv, &cube.schema).unwrap();
+        assert!(back.approx_eq(&cube.data, 0.0));
+    }
+
+    #[test]
+    fn all_time_frequencies_parse() {
+        assert_eq!(
+            parse_dim("2020-05-03", DimType::Time(Frequency::Daily)),
+            Some(DimValue::Time(TimePoint::Day(
+                Date::from_ymd(2020, 5, 3).unwrap()
+            )))
+        );
+        assert_eq!(
+            parse_dim("2020-M07", DimType::Time(Frequency::Monthly)),
+            TimePoint::month(2020, 7).map(DimValue::Time)
+        );
+        assert_eq!(
+            parse_dim("2020-Q4", DimType::Time(Frequency::Quarterly)),
+            TimePoint::quarter(2020, 4).map(DimValue::Time)
+        );
+        assert_eq!(
+            parse_dim("1999", DimType::Time(Frequency::Yearly)),
+            Some(DimValue::Time(TimePoint::Year(1999)))
+        );
+        assert_eq!(
+            parse_dim("2020-Q5", DimType::Time(Frequency::Quarterly)),
+            None
+        );
+    }
+
+    #[test]
+    fn header_mismatch_rejected() {
+        let e = from_csv("a,b,c\n", &schema()).unwrap_err();
+        assert_eq!(e.row, 0);
+        assert!(e.message.contains("does not match"));
+    }
+
+    #[test]
+    fn bad_rows_carry_row_numbers() {
+        let text = "q,r,v\n2020-Q1,north,1.0\n2020-Q9,south,2.0\n";
+        let e = from_csv(text, &schema()).unwrap_err();
+        assert_eq!(e.row, 3); // 1-based file line: header is line 1
+        assert!(e.message.contains("2020-Q9"), "{e}");
+
+        let text = "q,r,v\n2020-Q1,north,abc\n";
+        let e = from_csv(text, &schema()).unwrap_err();
+        assert!(e.message.contains("bad measure"), "{e}");
+
+        let text = "q,r,v\n2020-Q1,north\n";
+        let e = from_csv(text, &schema()).unwrap_err();
+        assert!(e.message.contains("expected 3 fields"), "{e}");
+    }
+
+    #[test]
+    fn duplicate_keys_rejected() {
+        let text = "q,r,v\n2020-Q1,north,1.0\n2020-Q1,north,2.0\n";
+        let e = from_csv(text, &schema()).unwrap_err();
+        assert!(e.message.contains("functional violation"), "{e}");
+    }
+
+    #[test]
+    fn quoting_edge_cases() {
+        assert_eq!(split_row(r#"a,"b,c",d"#).unwrap(), vec!["a", "b,c", "d"]);
+        assert_eq!(
+            split_row(r#""he said ""hi""""#).unwrap(),
+            vec![r#"he said "hi""#]
+        );
+        assert!(split_row(r#""unterminated"#).is_err());
+        assert_eq!(split_row("").unwrap(), vec![""]);
+    }
+
+    #[test]
+    fn blank_lines_skipped_empty_input_rejected() {
+        let text = "q,r,v\n\n2020-Q1,north,1.0\n\n";
+        let data = from_csv(text, &schema()).unwrap();
+        assert_eq!(data.len(), 1);
+        assert!(from_csv("", &schema()).is_err());
+    }
+}

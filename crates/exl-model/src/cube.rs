@@ -1,0 +1,352 @@
+//! Cube instances: finite, functional sets of cube tuples.
+//!
+//! A [`CubeData`] stores the graph of the partial function the cube denotes:
+//! a `BTreeMap` from dimension tuples to the measure. The map representation
+//! makes the functional egd of §4 hold *by construction* — the chase crate
+//! deliberately does not use this type for its running instance, so that egd
+//! checking is real work there.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::error::ModelError;
+use crate::schema::CubeSchema;
+use crate::value::DimValue;
+
+/// A dimension tuple — the point of the cube's domain.
+pub type DimTuple = Vec<DimValue>;
+
+/// The data of one cube: a finite partial function from dimension tuples to
+/// an `f64` measure.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct CubeData {
+    entries: BTreeMap<DimTuple, f64>,
+}
+
+impl CubeData {
+    /// Empty cube.
+    pub fn new() -> CubeData {
+        CubeData::default()
+    }
+
+    /// Build from an iterator of `(dimension tuple, measure)` pairs.
+    ///
+    /// Later pairs with a duplicate dimension tuple are rejected — a cube is
+    /// a function, so base data containing two measures for one point is a
+    /// functional (egd) violation.
+    pub fn from_tuples<I>(tuples: I) -> Result<CubeData, ModelError>
+    where
+        I: IntoIterator<Item = (DimTuple, f64)>,
+    {
+        let mut data = CubeData::new();
+        for (k, v) in tuples {
+            data.insert(k, v)?;
+        }
+        Ok(data)
+    }
+
+    /// Insert one tuple. Fails with [`ModelError::FunctionalViolation`] when
+    /// the point is already defined with a *different* measure; re-inserting
+    /// the identical measure is a no-op (set semantics).
+    pub fn insert(&mut self, key: DimTuple, value: f64) -> Result<(), ModelError> {
+        match self.entries.get(&key) {
+            Some(&old) if old.to_bits() != value.to_bits() => {
+                Err(ModelError::FunctionalViolation {
+                    key: format_tuple(&key),
+                    old,
+                    new: value,
+                })
+            }
+            Some(_) => Ok(()),
+            None => {
+                self.entries.insert(key, value);
+                Ok(())
+            }
+        }
+    }
+
+    /// Insert, silently overwriting any previous value. Used by data
+    /// loading paths that model "latest observation wins" revisions.
+    pub fn insert_overwrite(&mut self, key: DimTuple, value: f64) {
+        self.entries.insert(key, value);
+    }
+
+    /// Measure at a point, if defined.
+    pub fn get(&self, key: &[DimValue]) -> Option<f64> {
+        self.entries.get(key).copied()
+    }
+
+    /// Number of points on which the cube is defined.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the cube is defined nowhere.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterate in deterministic (sorted) order.
+    pub fn iter(&self) -> impl Iterator<Item = (&DimTuple, f64)> {
+        self.entries.iter().map(|(k, &v)| (k, v))
+    }
+
+    /// Sorted list of `(tuple, measure)` pairs, cloning keys.
+    pub fn to_tuples(&self) -> Vec<(DimTuple, f64)> {
+        self.entries.iter().map(|(k, &v)| (k.clone(), v)).collect()
+    }
+
+    /// Project keys on the given dimension indices, deduplicating.
+    pub fn project_keys(&self, indices: &[usize]) -> Vec<DimTuple> {
+        let mut out: Vec<DimTuple> = self
+            .entries
+            .keys()
+            .map(|k| indices.iter().map(|&i| k[i].clone()).collect())
+            .collect();
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    /// Compare to another cube with relative tolerance on measures: same
+    /// domain, approximately equal values. Used for cross-backend checks.
+    pub fn approx_eq(&self, other: &CubeData, rel_tol: f64) -> bool {
+        if self.entries.len() != other.entries.len() {
+            return false;
+        }
+        self.entries
+            .iter()
+            .all(|(k, &v)| match other.entries.get(k) {
+                Some(&w) => crate::value::approx_eq(v, w, rel_tol),
+                None => false,
+            })
+    }
+
+    /// A human-readable diff against another cube, for test failure
+    /// messages. Returns `None` when `approx_eq` holds.
+    pub fn diff(&self, other: &CubeData, rel_tol: f64) -> Option<String> {
+        if self.approx_eq(other, rel_tol) {
+            return None;
+        }
+        let mut lines = Vec::new();
+        for (k, &v) in &self.entries {
+            match other.entries.get(k) {
+                None => lines.push(format!("  only left : {} -> {v}", format_tuple(k))),
+                Some(&w) if !crate::value::approx_eq(v, w, rel_tol) => {
+                    lines.push(format!("  differs   : {} -> {v} vs {w}", format_tuple(k)))
+                }
+                _ => {}
+            }
+        }
+        for k in other.entries.keys() {
+            if !self.entries.contains_key(k) {
+                lines.push(format!(
+                    "  only right: {} -> {}",
+                    format_tuple(k),
+                    other.entries[k]
+                ));
+            }
+        }
+        Some(lines.join("\n"))
+    }
+}
+
+impl serde::Serialize for CubeData {
+    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        // JSON objects cannot key on tuples; serialize as a pair list
+        serializer.collect_seq(self.entries.iter())
+    }
+}
+
+impl<'de> serde::Deserialize<'de> for CubeData {
+    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let pairs: Vec<(DimTuple, f64)> = Vec::deserialize(deserializer)?;
+        CubeData::from_tuples(pairs).map_err(serde::de::Error::custom)
+    }
+}
+
+impl fmt::Display for CubeData {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (k, v) in self.iter() {
+            writeln!(f, "({}) -> {v}", format_tuple(k))?;
+        }
+        Ok(())
+    }
+}
+
+/// Format a dimension tuple for diagnostics.
+pub fn format_tuple(t: &[DimValue]) -> String {
+    t.iter()
+        .map(|v| v.to_string())
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+/// A schema together with its data — the unit that moves between engines.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Cube {
+    /// The cube's schema.
+    pub schema: CubeSchema,
+    /// The cube's tuples.
+    pub data: CubeData,
+}
+
+impl Cube {
+    /// Pair a schema with (already validated) data.
+    pub fn new(schema: CubeSchema, data: CubeData) -> Cube {
+        Cube { schema, data }
+    }
+
+    /// Validate that every tuple's arity and dimension types match the
+    /// schema. Data created through typed constructors is valid by
+    /// construction; this guards cross-engine imports.
+    pub fn validate(&self) -> Result<(), ModelError> {
+        for (k, _) in self.data.iter() {
+            if k.len() != self.schema.arity() {
+                return Err(ModelError::ArityMismatch {
+                    cube: self.schema.id.to_string(),
+                    expected: self.schema.arity(),
+                    got: k.len(),
+                });
+            }
+            for (dim, val) in self.schema.dims.iter().zip(k.iter()) {
+                if val.dim_type() != dim.ty {
+                    return Err(ModelError::TypeMismatch {
+                        cube: self.schema.id.to_string(),
+                        dim: dim.name.clone(),
+                        expected: dim.ty.to_string(),
+                        got: val.dim_type().to_string(),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{CubeKind, Dimension};
+    use crate::time::{Frequency, TimePoint};
+    use crate::value::DimType;
+
+    fn q(y: i32, n: u32) -> DimValue {
+        DimValue::Time(TimePoint::Quarter {
+            year: y,
+            quarter: n,
+        })
+    }
+
+    #[test]
+    fn insert_and_get() {
+        let mut c = CubeData::new();
+        c.insert(vec![q(2020, 1), DimValue::str("north")], 10.0)
+            .unwrap();
+        assert_eq!(c.get(&[q(2020, 1), DimValue::str("north")]), Some(10.0));
+        assert_eq!(c.get(&[q(2020, 2), DimValue::str("north")]), None);
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn duplicate_same_value_is_noop() {
+        let mut c = CubeData::new();
+        c.insert(vec![DimValue::Int(1)], 2.0).unwrap();
+        c.insert(vec![DimValue::Int(1)], 2.0).unwrap();
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn functional_violation_detected() {
+        let mut c = CubeData::new();
+        c.insert(vec![DimValue::Int(1)], 2.0).unwrap();
+        let err = c.insert(vec![DimValue::Int(1)], 3.0).unwrap_err();
+        assert!(matches!(err, ModelError::FunctionalViolation { .. }));
+    }
+
+    #[test]
+    fn overwrite_bypasses_functionality() {
+        let mut c = CubeData::new();
+        c.insert_overwrite(vec![DimValue::Int(1)], 2.0);
+        c.insert_overwrite(vec![DimValue::Int(1)], 3.0);
+        assert_eq!(c.get(&[DimValue::Int(1)]), Some(3.0));
+    }
+
+    #[test]
+    fn iteration_is_sorted() {
+        let mut c = CubeData::new();
+        c.insert(vec![DimValue::Int(3)], 1.0).unwrap();
+        c.insert(vec![DimValue::Int(1)], 1.0).unwrap();
+        c.insert(vec![DimValue::Int(2)], 1.0).unwrap();
+        let keys: Vec<i64> = c.iter().map(|(k, _)| k[0].as_int().unwrap()).collect();
+        assert_eq!(keys, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn project_keys_dedups() {
+        let mut c = CubeData::new();
+        c.insert(vec![q(2020, 1), DimValue::str("a")], 1.0).unwrap();
+        c.insert(vec![q(2020, 1), DimValue::str("b")], 2.0).unwrap();
+        c.insert(vec![q(2020, 2), DimValue::str("a")], 3.0).unwrap();
+        let quarters = c.project_keys(&[0]);
+        assert_eq!(quarters.len(), 2);
+        let regions = c.project_keys(&[1]);
+        assert_eq!(regions.len(), 2);
+    }
+
+    #[test]
+    fn approx_eq_and_diff() {
+        let a = CubeData::from_tuples(vec![(vec![DimValue::Int(1)], 1.0)]).unwrap();
+        let b = CubeData::from_tuples(vec![(vec![DimValue::Int(1)], 1.0 + 1e-13)]).unwrap();
+        assert!(a.approx_eq(&b, 1e-9));
+        assert!(a.diff(&b, 1e-9).is_none());
+        let c = CubeData::from_tuples(vec![(vec![DimValue::Int(2)], 1.0)]).unwrap();
+        assert!(!a.approx_eq(&c, 1e-9));
+        let d = a.diff(&c, 1e-9).unwrap();
+        assert!(d.contains("only left"), "{d}");
+        assert!(d.contains("only right"), "{d}");
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let mut c = CubeData::new();
+        c.insert(vec![q(2020, 1), DimValue::str("n")], 1.5).unwrap();
+        c.insert(vec![q(2020, 2), DimValue::str("s")], -2.0)
+            .unwrap();
+        let json = serde_json::to_string(&c).unwrap();
+        let back: CubeData = serde_json::from_str(&json).unwrap();
+        assert_eq!(c, back);
+    }
+
+    #[test]
+    fn validate_checks_arity_and_types() {
+        let schema = CubeSchema::new(
+            "C",
+            vec![Dimension::new("q", DimType::Time(Frequency::Quarterly))],
+            CubeKind::Elementary,
+        );
+        let good = Cube::new(
+            schema.clone(),
+            CubeData::from_tuples(vec![(vec![q(2020, 1)], 1.0)]).unwrap(),
+        );
+        good.validate().unwrap();
+
+        let bad_arity = Cube::new(
+            schema.clone(),
+            CubeData::from_tuples(vec![(vec![q(2020, 1), DimValue::Int(1)], 1.0)]).unwrap(),
+        );
+        assert!(matches!(
+            bad_arity.validate(),
+            Err(ModelError::ArityMismatch { .. })
+        ));
+
+        let bad_type = Cube::new(
+            schema,
+            CubeData::from_tuples(vec![(vec![DimValue::Int(1)], 1.0)]).unwrap(),
+        );
+        assert!(matches!(
+            bad_type.validate(),
+            Err(ModelError::TypeMismatch { .. })
+        ));
+    }
+}

@@ -1,0 +1,211 @@
+//! Datasets: named collections of cubes, the instances programs run over.
+
+use std::collections::BTreeMap;
+
+use crate::cube::{Cube, CubeData};
+use crate::error::ModelError;
+use crate::schema::{CubeId, CubeSchema};
+
+/// A collection of cubes keyed by identifier.
+///
+/// A `Dataset` plays the role of a database instance: the input of an EXL
+/// program is a dataset containing the elementary cubes; the output extends
+/// it with the derived cubes.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Dataset {
+    cubes: BTreeMap<CubeId, Cube>,
+}
+
+impl Dataset {
+    /// Empty dataset.
+    pub fn new() -> Dataset {
+        Dataset::default()
+    }
+
+    /// Insert or replace a cube.
+    pub fn put(&mut self, cube: Cube) {
+        self.cubes.insert(cube.schema.id.clone(), cube);
+    }
+
+    /// Insert a cube, validating its data against its schema first.
+    pub fn put_validated(&mut self, cube: Cube) -> Result<(), ModelError> {
+        cube.validate()?;
+        self.put(cube);
+        Ok(())
+    }
+
+    /// The cube with the given id, if present.
+    pub fn get(&self, id: &CubeId) -> Option<&Cube> {
+        self.cubes.get(id)
+    }
+
+    /// The cube's data, if present.
+    pub fn data(&self, id: &CubeId) -> Option<&CubeData> {
+        self.cubes.get(id).map(|c| &c.data)
+    }
+
+    /// The cube's schema, if present.
+    pub fn schema(&self, id: &CubeId) -> Option<&CubeSchema> {
+        self.cubes.get(id).map(|c| &c.schema)
+    }
+
+    /// Remove a cube, returning it.
+    pub fn remove(&mut self, id: &CubeId) -> Option<Cube> {
+        self.cubes.remove(id)
+    }
+
+    /// True when a cube with this id is present.
+    pub fn contains(&self, id: &CubeId) -> bool {
+        self.cubes.contains_key(id)
+    }
+
+    /// Iterate cubes in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (&CubeId, &Cube)> {
+        self.cubes.iter()
+    }
+
+    /// All cube ids, sorted.
+    pub fn ids(&self) -> Vec<CubeId> {
+        self.cubes.keys().cloned().collect()
+    }
+
+    /// Number of cubes.
+    pub fn len(&self) -> usize {
+        self.cubes.len()
+    }
+
+    /// True when no cubes are present.
+    pub fn is_empty(&self) -> bool {
+        self.cubes.is_empty()
+    }
+
+    /// Restrict to the cubes with the given ids (missing ids are skipped).
+    pub fn restrict(&self, ids: &[CubeId]) -> Dataset {
+        let mut out = Dataset::new();
+        for id in ids {
+            if let Some(c) = self.cubes.get(id) {
+                out.put(c.clone());
+            }
+        }
+        out
+    }
+
+    /// Merge another dataset into this one; cubes in `other` win on clashes.
+    pub fn absorb(&mut self, other: Dataset) {
+        for (_, cube) in other.cubes {
+            self.put(cube);
+        }
+    }
+
+    /// Compare two datasets cube-by-cube with relative tolerance, returning
+    /// a human-readable report of the first difference found.
+    pub fn approx_eq_report(&self, other: &Dataset, rel_tol: f64) -> Result<(), String> {
+        for (id, cube) in &self.cubes {
+            let Some(o) = other.cubes.get(id) else {
+                return Err(format!("cube {id} missing from right dataset"));
+            };
+            if let Some(diff) = cube.data.diff(&o.data, rel_tol) {
+                return Err(format!("cube {id} differs:\n{diff}"));
+            }
+        }
+        for id in other.cubes.keys() {
+            if !self.cubes.contains_key(id) {
+                return Err(format!("cube {id} missing from left dataset"));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl FromIterator<Cube> for Dataset {
+    fn from_iter<T: IntoIterator<Item = Cube>>(iter: T) -> Self {
+        let mut d = Dataset::new();
+        for c in iter {
+            d.put(c);
+        }
+        d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{CubeKind, Dimension};
+    use crate::value::{DimType, DimValue};
+
+    fn cube(name: &str, v: f64) -> Cube {
+        let schema = CubeSchema::new(
+            name,
+            vec![Dimension::new("k", DimType::Int)],
+            CubeKind::Elementary,
+        );
+        let data = CubeData::from_tuples(vec![(vec![DimValue::Int(0)], v)]).unwrap();
+        Cube::new(schema, data)
+    }
+
+    #[test]
+    fn put_get_remove() {
+        let mut d = Dataset::new();
+        d.put(cube("A", 1.0));
+        assert!(d.contains(&CubeId::new("A")));
+        assert_eq!(d.data(&CubeId::new("A")).unwrap().len(), 1);
+        assert!(d.schema(&CubeId::new("A")).is_some());
+        assert!(d.remove(&CubeId::new("A")).is_some());
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn restrict_and_absorb() {
+        let d: Dataset = [cube("A", 1.0), cube("B", 2.0), cube("C", 3.0)]
+            .into_iter()
+            .collect();
+        let r = d.restrict(&[CubeId::new("A"), CubeId::new("C"), CubeId::new("Z")]);
+        assert_eq!(r.ids(), vec![CubeId::new("A"), CubeId::new("C")]);
+
+        let mut left: Dataset = [cube("A", 1.0)].into_iter().collect();
+        left.absorb([cube("A", 9.0), cube("B", 2.0)].into_iter().collect());
+        assert_eq!(
+            left.data(&CubeId::new("A"))
+                .unwrap()
+                .get(&[DimValue::Int(0)]),
+            Some(9.0)
+        );
+        assert_eq!(left.len(), 2);
+    }
+
+    #[test]
+    fn approx_eq_report_finds_differences() {
+        let a: Dataset = [cube("A", 1.0)].into_iter().collect();
+        let b: Dataset = [cube("A", 1.0)].into_iter().collect();
+        assert!(a.approx_eq_report(&b, 1e-9).is_ok());
+
+        let c: Dataset = [cube("A", 2.0)].into_iter().collect();
+        assert!(a
+            .approx_eq_report(&c, 1e-9)
+            .unwrap_err()
+            .contains("differs"));
+
+        let d: Dataset = [cube("A", 1.0), cube("B", 1.0)].into_iter().collect();
+        assert!(a
+            .approx_eq_report(&d, 1e-9)
+            .unwrap_err()
+            .contains("missing from left"));
+        assert!(d
+            .approx_eq_report(&a, 1e-9)
+            .unwrap_err()
+            .contains("missing from right"));
+    }
+
+    #[test]
+    fn put_validated_rejects_bad_data() {
+        let schema = CubeSchema::new(
+            "A",
+            vec![Dimension::new("k", DimType::Int)],
+            CubeKind::Elementary,
+        );
+        let data = CubeData::from_tuples(vec![(vec![DimValue::str("oops")], 1.0)]).unwrap();
+        let mut d = Dataset::new();
+        assert!(d.put_validated(Cube::new(schema, data)).is_err());
+        assert!(d.is_empty());
+    }
+}

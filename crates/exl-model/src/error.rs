@@ -1,0 +1,99 @@
+//! Errors raised by the data model layer.
+
+use std::fmt;
+
+/// Error type for cube/dataset operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ModelError {
+    /// Two different measures for the same dimension tuple — a violation of
+    /// the functional egd that makes a cube a function.
+    FunctionalViolation {
+        /// Formatted dimension tuple.
+        key: String,
+        /// The measure already stored.
+        old: f64,
+        /// The conflicting new measure.
+        new: f64,
+    },
+    /// A tuple's arity does not match the schema.
+    ArityMismatch {
+        /// Cube name.
+        cube: String,
+        /// Arity declared by the schema.
+        expected: usize,
+        /// Arity of the offending tuple.
+        got: usize,
+    },
+    /// A dimension value's type does not match the schema.
+    TypeMismatch {
+        /// Cube name.
+        cube: String,
+        /// Dimension name.
+        dim: String,
+        /// Declared type.
+        expected: String,
+        /// Actual type.
+        got: String,
+    },
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::FunctionalViolation { key, old, new } => write!(
+                f,
+                "functional violation: point ({key}) already has measure {old}, got {new}"
+            ),
+            ModelError::ArityMismatch {
+                cube,
+                expected,
+                got,
+            } => {
+                write!(f, "cube {cube}: expected arity {expected}, tuple has {got}")
+            }
+            ModelError::TypeMismatch {
+                cube,
+                dim,
+                expected,
+                got,
+            } => write!(
+                f,
+                "cube {cube}: dimension {dim} expects {expected}, value has type {got}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = ModelError::FunctionalViolation {
+            key: "2020-Q1, north".into(),
+            old: 1.0,
+            new: 2.0,
+        };
+        let s = e.to_string();
+        assert!(s.contains("2020-Q1"));
+        assert!(s.contains('1') && s.contains('2'));
+
+        let e = ModelError::ArityMismatch {
+            cube: "C".into(),
+            expected: 2,
+            got: 3,
+        };
+        assert!(e.to_string().contains("arity"));
+
+        let e = ModelError::TypeMismatch {
+            cube: "C".into(),
+            dim: "q".into(),
+            expected: "time[quarter]".into(),
+            got: "int".into(),
+        };
+        assert!(e.to_string().contains("time[quarter]"));
+    }
+}

@@ -1,0 +1,37 @@
+//! # exl-model — the Matrix data model substrate
+//!
+//! Data model for the EXLEngine reproduction: statistical *cubes* in the
+//! style of the Bank of Italy's Matrix model (paper §3). A cube is a finite
+//! partial function from tuples of typed dimension values to a numeric
+//! measure; a *time series* is a cube with exactly one (time) dimension.
+//!
+//! The crate provides:
+//!
+//! * [`time`] — calendar dates, time points at four frequencies, frequency
+//!   conversion and period shifting;
+//! * [`value`] — dimension values ([`DimValue`]) and hashable measures;
+//! * [`schema`] — cube schemas with named, typed dimensions and the
+//!   elementary/derived split;
+//! * [`cube`] — functional cube instances with deterministic iteration;
+//! * [`dataset`] — named cube collections, the instances programs run over;
+//! * [`csv`] — flat-file import/export for cube data.
+//!
+//! Everything downstream (the EXL language, the schema-mapping generator,
+//! the chase, and all five execution backends) is defined over these types.
+
+#![warn(missing_docs)]
+
+pub mod csv;
+pub mod cube;
+pub mod dataset;
+pub mod error;
+pub mod schema;
+pub mod time;
+pub mod value;
+
+pub use cube::{format_tuple, Cube, CubeData, DimTuple};
+pub use dataset::Dataset;
+pub use error::ModelError;
+pub use schema::{CubeId, CubeKind, CubeSchema, Dimension};
+pub use time::{Date, Frequency, TimePoint};
+pub use value::{approx_eq, DimType, DimValue, Measure};

@@ -1,0 +1,607 @@
+//! Time points and frequencies for the Matrix data model.
+//!
+//! Statistical cubes distinguish *time dimensions* from ordinary ones
+//! (paper, §3). A time dimension carries a [`Frequency`] (daily, monthly,
+//! quarterly, yearly) and its values are [`TimePoint`]s. The model supports
+//! the two operations EXL needs:
+//!
+//! * **frequency conversion** (e.g. `quarter(d)` maps a day to the quarter
+//!   containing it) — used by aggregations that change sampling frequency,
+//!   as in statement (1) of the paper's GDP example;
+//! * **shift** — the time-shift operator of §3, `shift(e, s)`, which moves a
+//!   point `s` periods at its own frequency.
+//!
+//! Calendar arithmetic is implemented from scratch using the proleptic
+//! Gregorian civil calendar (Howard Hinnant's `days_from_civil` algorithm),
+//! so no external date crate is required.
+
+use std::fmt;
+
+/// Sampling frequency of a time dimension.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
+)]
+pub enum Frequency {
+    /// One observation per civil day.
+    Daily,
+    /// One observation per calendar month.
+    Monthly,
+    /// One observation per calendar quarter.
+    Quarterly,
+    /// One observation per calendar year.
+    Yearly,
+}
+
+impl Frequency {
+    /// All frequencies, coarsest last.
+    pub const ALL: [Frequency; 4] = [
+        Frequency::Daily,
+        Frequency::Monthly,
+        Frequency::Quarterly,
+        Frequency::Yearly,
+    ];
+
+    /// True when `self` is strictly finer grained than `other`
+    /// (e.g. `Daily` is finer than `Quarterly`).
+    pub fn is_finer_than(self, other: Frequency) -> bool {
+        self.rank() < other.rank()
+    }
+
+    fn rank(self) -> u8 {
+        match self {
+            Frequency::Daily => 0,
+            Frequency::Monthly => 1,
+            Frequency::Quarterly => 2,
+            Frequency::Yearly => 3,
+        }
+    }
+
+    /// Short lowercase name used in EXL source and diagnostics.
+    pub fn name(self) -> &'static str {
+        match self {
+            Frequency::Daily => "day",
+            Frequency::Monthly => "month",
+            Frequency::Quarterly => "quarter",
+            Frequency::Yearly => "year",
+        }
+    }
+
+    /// Parse a frequency from its EXL keyword.
+    pub fn parse(s: &str) -> Option<Frequency> {
+        match s {
+            "day" | "daily" => Some(Frequency::Daily),
+            "month" | "monthly" => Some(Frequency::Monthly),
+            "quarter" | "quarterly" => Some(Frequency::Quarterly),
+            "year" | "yearly" | "annual" => Some(Frequency::Yearly),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Frequency {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A civil (proleptic Gregorian) date.
+///
+/// Internally a day count from the epoch 1970-01-01 so that ordering,
+/// shifting and hashing are trivial.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
+)]
+pub struct Date {
+    days: i32,
+}
+
+impl Date {
+    /// Construct from a year/month/day triple.
+    ///
+    /// Returns `None` when the triple is not a valid civil date.
+    pub fn from_ymd(year: i32, month: u32, day: u32) -> Option<Date> {
+        if !(1..=12).contains(&month) {
+            return None;
+        }
+        if day < 1 || day > days_in_month(year, month) {
+            return None;
+        }
+        Some(Date {
+            days: days_from_civil(year, month, day),
+        })
+    }
+
+    /// Construct from a day count since 1970-01-01.
+    pub fn from_epoch_days(days: i32) -> Date {
+        Date { days }
+    }
+
+    /// Days since 1970-01-01 (can be negative).
+    pub fn epoch_days(self) -> i32 {
+        self.days
+    }
+
+    /// Decompose into (year, month, day).
+    pub fn ymd(self) -> (i32, u32, u32) {
+        civil_from_days(self.days)
+    }
+
+    /// Calendar year.
+    pub fn year(self) -> i32 {
+        self.ymd().0
+    }
+
+    /// Calendar month, 1..=12.
+    pub fn month(self) -> u32 {
+        self.ymd().1
+    }
+
+    /// Day of month, 1..=31.
+    pub fn day(self) -> u32 {
+        self.ymd().2
+    }
+
+    /// Quarter of year, 1..=4.
+    pub fn quarter(self) -> u32 {
+        (self.month() - 1) / 3 + 1
+    }
+
+    /// Shift by a number of days (negative shifts go back in time).
+    pub fn shift_days(self, n: i32) -> Date {
+        Date {
+            days: self.days + n,
+        }
+    }
+}
+
+impl fmt::Display for Date {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let (y, m, d) = self.ymd();
+        write!(f, "{y:04}-{m:02}-{d:02}")
+    }
+}
+
+/// Days in `month` of `year`, accounting for leap years.
+pub fn days_in_month(year: i32, month: u32) -> u32 {
+    match month {
+        1 | 3 | 5 | 7 | 8 | 10 | 12 => 31,
+        4 | 6 | 9 | 11 => 30,
+        2 => {
+            if is_leap(year) {
+                29
+            } else {
+                28
+            }
+        }
+        _ => 0,
+    }
+}
+
+/// Gregorian leap-year rule.
+pub fn is_leap(year: i32) -> bool {
+    (year % 4 == 0 && year % 100 != 0) || year % 400 == 0
+}
+
+/// Hinnant's `days_from_civil`: days since 1970-01-01 for a civil date.
+fn days_from_civil(y: i32, m: u32, d: u32) -> i32 {
+    let y = if m <= 2 { y - 1 } else { y };
+    let era = if y >= 0 { y } else { y - 399 } / 400;
+    let yoe = (y - era * 400) as u32; // [0, 399]
+    let mp = (m + 9) % 12; // [0, 11], Mar=0
+    let doy = (153 * mp + 2) / 5 + d - 1; // [0, 365]
+    let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy; // [0, 146096]
+    era * 146_097 + doe as i32 - 719_468
+}
+
+/// Hinnant's `civil_from_days`: inverse of [`days_from_civil`].
+fn civil_from_days(z: i32) -> (i32, u32, u32) {
+    let z = z + 719_468;
+    let era = if z >= 0 { z } else { z - 146_096 } / 146_097;
+    let doe = (z - era * 146_097) as u32; // [0, 146096]
+    let yoe = (doe - doe / 1460 + doe / 36524 - doe / 146_096) / 365; // [0, 399]
+    let y = yoe as i32 + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100); // [0, 365]
+    let mp = (5 * doy + 2) / 153; // [0, 11]
+    let d = doy - (153 * mp + 2) / 5 + 1; // [1, 31]
+    let m = if mp < 10 { mp + 3 } else { mp - 9 }; // [1, 12]
+    (if m <= 2 { y + 1 } else { y }, m, d)
+}
+
+/// A point on a time axis, at one of the supported frequencies.
+///
+/// `TimePoint`s of different frequencies never compare equal; ordering sorts
+/// first by frequency, then chronologically, giving the total order that
+/// cube storage needs.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
+)]
+pub enum TimePoint {
+    /// A single civil day.
+    Day(Date),
+    /// A calendar month: year plus month 1..=12.
+    Month {
+        /// Calendar year.
+        year: i32,
+        /// Month of year, 1..=12.
+        month: u32,
+    },
+    /// A calendar quarter: year plus quarter 1..=4.
+    Quarter {
+        /// Calendar year.
+        year: i32,
+        /// Quarter of year, 1..=4.
+        quarter: u32,
+    },
+    /// A calendar year.
+    Year(i32),
+}
+
+impl TimePoint {
+    /// Frequency this point belongs to.
+    pub fn frequency(self) -> Frequency {
+        match self {
+            TimePoint::Day(_) => Frequency::Daily,
+            TimePoint::Month { .. } => Frequency::Monthly,
+            TimePoint::Quarter { .. } => Frequency::Quarterly,
+            TimePoint::Year(_) => Frequency::Yearly,
+        }
+    }
+
+    /// Construct a month point, validating the month number.
+    pub fn month(year: i32, month: u32) -> Option<TimePoint> {
+        (1..=12)
+            .contains(&month)
+            .then_some(TimePoint::Month { year, month })
+    }
+
+    /// Construct a quarter point, validating the quarter number.
+    pub fn quarter(year: i32, quarter: u32) -> Option<TimePoint> {
+        (1..=4)
+            .contains(&quarter)
+            .then_some(TimePoint::Quarter { year, quarter })
+    }
+
+    /// Convert this point to a (coarser or equal) `target` frequency: the
+    /// enclosing month / quarter / year. Converting to a *finer* frequency
+    /// is undefined and returns `None` — EXL changes frequency only through
+    /// aggregation, which coarsens.
+    pub fn convert(self, target: Frequency) -> Option<TimePoint> {
+        if target.is_finer_than(self.frequency()) {
+            return None;
+        }
+        Some(match (self, target) {
+            (p, f) if p.frequency() == f => p,
+            (TimePoint::Day(d), Frequency::Monthly) => TimePoint::Month {
+                year: d.year(),
+                month: d.month(),
+            },
+            (TimePoint::Day(d), Frequency::Quarterly) => TimePoint::Quarter {
+                year: d.year(),
+                quarter: d.quarter(),
+            },
+            (TimePoint::Day(d), Frequency::Yearly) => TimePoint::Year(d.year()),
+            (TimePoint::Month { year, month }, Frequency::Quarterly) => TimePoint::Quarter {
+                year,
+                quarter: (month - 1) / 3 + 1,
+            },
+            (TimePoint::Month { year, .. }, Frequency::Yearly) => TimePoint::Year(year),
+            (TimePoint::Quarter { year, .. }, Frequency::Yearly) => TimePoint::Year(year),
+            _ => return None,
+        })
+    }
+
+    /// Shift by `n` periods at this point's own frequency.
+    ///
+    /// This is the semantics of the EXL `shift` operator (§3): the result
+    /// cube is defined on `t + s` wherever the operand is defined on `t`.
+    pub fn shift(self, n: i64) -> TimePoint {
+        match self {
+            TimePoint::Day(d) => TimePoint::Day(d.shift_days(n as i32)),
+            TimePoint::Month { year, month } => {
+                let idx = year as i64 * 12 + (month as i64 - 1) + n;
+                TimePoint::Month {
+                    year: idx.div_euclid(12) as i32,
+                    month: (idx.rem_euclid(12) + 1) as u32,
+                }
+            }
+            TimePoint::Quarter { year, quarter } => {
+                let idx = year as i64 * 4 + (quarter as i64 - 1) + n;
+                TimePoint::Quarter {
+                    year: idx.div_euclid(4) as i32,
+                    quarter: (idx.rem_euclid(4) + 1) as u32,
+                }
+            }
+            TimePoint::Year(y) => TimePoint::Year((y as i64 + n) as i32),
+        }
+    }
+
+    /// Sequential index of the point on its own axis (days / months /
+    /// quarters / years since the epoch). Points of the same frequency are
+    /// chronologically ordered by this index and consecutive periods differ
+    /// by exactly one — the property time-series operators rely on to
+    /// detect gaps.
+    pub fn index(self) -> i64 {
+        match self {
+            TimePoint::Day(d) => d.epoch_days() as i64,
+            TimePoint::Month { year, month } => year as i64 * 12 + month as i64 - 1,
+            TimePoint::Quarter { year, quarter } => year as i64 * 4 + quarter as i64 - 1,
+            TimePoint::Year(y) => y as i64,
+        }
+    }
+
+    /// Inverse of [`TimePoint::index`]: reconstruct the point at `freq`
+    /// with the given sequential index. Used by numeric encodings (the
+    /// Matlab target stores time as its index).
+    pub fn from_index(freq: Frequency, index: i64) -> TimePoint {
+        match freq {
+            Frequency::Daily => TimePoint::Day(Date::from_epoch_days(index as i32)),
+            Frequency::Monthly => TimePoint::Month {
+                year: index.div_euclid(12) as i32,
+                month: (index.rem_euclid(12) + 1) as u32,
+            },
+            Frequency::Quarterly => TimePoint::Quarter {
+                year: index.div_euclid(4) as i32,
+                quarter: (index.rem_euclid(4) + 1) as u32,
+            },
+            Frequency::Yearly => TimePoint::Year(index as i32),
+        }
+    }
+
+    /// Number of sub-periods of `sub` frequency a point of this frequency
+    /// contains on average — used by statistical operators to pick a
+    /// seasonal period (e.g. 4 quarters per year).
+    pub fn periods_per_year(freq: Frequency) -> usize {
+        match freq {
+            Frequency::Daily => 365,
+            Frequency::Monthly => 12,
+            Frequency::Quarterly => 4,
+            Frequency::Yearly => 1,
+        }
+    }
+}
+
+impl fmt::Display for TimePoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TimePoint::Day(d) => write!(f, "{d}"),
+            TimePoint::Month { year, month } => write!(f, "{year:04}-M{month:02}"),
+            TimePoint::Quarter { year, quarter } => write!(f, "{year:04}-Q{quarter}"),
+            TimePoint::Year(y) => write!(f, "{y:04}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoch_is_day_zero() {
+        let d = Date::from_ymd(1970, 1, 1).unwrap();
+        assert_eq!(d.epoch_days(), 0);
+        assert_eq!(d.ymd(), (1970, 1, 1));
+    }
+
+    #[test]
+    fn civil_round_trip_across_leap_years() {
+        for days in (-400_000..400_000).step_by(97) {
+            let d = Date::from_epoch_days(days);
+            let (y, m, dd) = d.ymd();
+            assert_eq!(Date::from_ymd(y, m, dd), Some(d), "round trip for {days}");
+        }
+    }
+
+    #[test]
+    fn leap_year_rules() {
+        assert!(is_leap(2000));
+        assert!(!is_leap(1900));
+        assert!(is_leap(2024));
+        assert!(!is_leap(2023));
+        assert_eq!(days_in_month(2024, 2), 29);
+        assert_eq!(days_in_month(2023, 2), 28);
+    }
+
+    #[test]
+    fn invalid_dates_rejected() {
+        assert!(Date::from_ymd(2023, 2, 29).is_none());
+        assert!(Date::from_ymd(2023, 13, 1).is_none());
+        assert!(Date::from_ymd(2023, 0, 1).is_none());
+        assert!(Date::from_ymd(2023, 4, 31).is_none());
+        assert!(Date::from_ymd(2023, 4, 0).is_none());
+    }
+
+    #[test]
+    fn quarter_of_months() {
+        for (m, q) in [
+            (1, 1),
+            (3, 1),
+            (4, 2),
+            (6, 2),
+            (7, 3),
+            (9, 3),
+            (10, 4),
+            (12, 4),
+        ] {
+            assert_eq!(Date::from_ymd(2020, m, 15).unwrap().quarter(), q);
+        }
+    }
+
+    #[test]
+    fn day_converts_to_coarser_frequencies() {
+        let d = TimePoint::Day(Date::from_ymd(2021, 8, 17).unwrap());
+        assert_eq!(
+            d.convert(Frequency::Monthly),
+            Some(TimePoint::Month {
+                year: 2021,
+                month: 8
+            })
+        );
+        assert_eq!(
+            d.convert(Frequency::Quarterly),
+            Some(TimePoint::Quarter {
+                year: 2021,
+                quarter: 3
+            })
+        );
+        assert_eq!(d.convert(Frequency::Yearly), Some(TimePoint::Year(2021)));
+        assert_eq!(d.convert(Frequency::Daily), Some(d));
+    }
+
+    #[test]
+    fn conversion_to_finer_frequency_is_undefined() {
+        let q = TimePoint::Quarter {
+            year: 2021,
+            quarter: 2,
+        };
+        assert_eq!(q.convert(Frequency::Daily), None);
+        assert_eq!(q.convert(Frequency::Monthly), None);
+        assert_eq!(q.convert(Frequency::Yearly), Some(TimePoint::Year(2021)));
+    }
+
+    #[test]
+    fn shift_wraps_month_and_quarter_boundaries() {
+        let q4 = TimePoint::Quarter {
+            year: 2020,
+            quarter: 4,
+        };
+        assert_eq!(
+            q4.shift(1),
+            TimePoint::Quarter {
+                year: 2021,
+                quarter: 1
+            }
+        );
+        assert_eq!(
+            q4.shift(-4),
+            TimePoint::Quarter {
+                year: 2019,
+                quarter: 4
+            }
+        );
+        let m12 = TimePoint::Month {
+            year: 2020,
+            month: 12,
+        };
+        assert_eq!(
+            m12.shift(2),
+            TimePoint::Month {
+                year: 2021,
+                month: 2
+            }
+        );
+        assert_eq!(
+            m12.shift(-13),
+            TimePoint::Month {
+                year: 2019,
+                month: 11
+            }
+        );
+    }
+
+    #[test]
+    fn shift_is_invertible() {
+        let pts = [
+            TimePoint::Day(Date::from_ymd(2022, 3, 1).unwrap()),
+            TimePoint::Month {
+                year: 2022,
+                month: 7,
+            },
+            TimePoint::Quarter {
+                year: 2022,
+                quarter: 1,
+            },
+            TimePoint::Year(2022),
+        ];
+        for p in pts {
+            for n in [-17i64, -1, 0, 1, 9, 100] {
+                assert_eq!(p.shift(n).shift(-n), p);
+            }
+        }
+    }
+
+    #[test]
+    fn from_index_inverts_index() {
+        let pts = [
+            TimePoint::Day(Date::from_ymd(2022, 3, 1).unwrap()),
+            TimePoint::Month {
+                year: 2022,
+                month: 7,
+            },
+            TimePoint::Quarter {
+                year: 1999,
+                quarter: 4,
+            },
+            TimePoint::Year(-5),
+        ];
+        for p in pts {
+            assert_eq!(TimePoint::from_index(p.frequency(), p.index()), p);
+        }
+    }
+
+    #[test]
+    fn index_is_consecutive_within_frequency() {
+        let q = TimePoint::Quarter {
+            year: 2020,
+            quarter: 4,
+        };
+        assert_eq!(q.shift(1).index(), q.index() + 1);
+        let d = TimePoint::Day(Date::from_ymd(2020, 2, 28).unwrap());
+        assert_eq!(d.shift(1).index(), d.index() + 1);
+        let m = TimePoint::Month {
+            year: 1999,
+            month: 12,
+        };
+        assert_eq!(m.shift(1).index(), m.index() + 1);
+    }
+
+    #[test]
+    fn ordering_is_chronological_within_frequency() {
+        let a = TimePoint::Quarter {
+            year: 2020,
+            quarter: 4,
+        };
+        let b = TimePoint::Quarter {
+            year: 2021,
+            quarter: 1,
+        };
+        assert!(a < b);
+        let d1 = TimePoint::Day(Date::from_ymd(2020, 12, 31).unwrap());
+        let d2 = TimePoint::Day(Date::from_ymd(2021, 1, 1).unwrap());
+        assert!(d1 < d2);
+    }
+
+    #[test]
+    fn frequency_parse_and_display() {
+        for f in Frequency::ALL {
+            assert_eq!(Frequency::parse(f.name()), Some(f));
+        }
+        assert_eq!(Frequency::parse("weekly"), None);
+        assert!(Frequency::Daily.is_finer_than(Frequency::Yearly));
+        assert!(!Frequency::Yearly.is_finer_than(Frequency::Yearly));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(
+            TimePoint::Day(Date::from_ymd(2021, 1, 5).unwrap()).to_string(),
+            "2021-01-05"
+        );
+        assert_eq!(
+            TimePoint::Month {
+                year: 2021,
+                month: 3
+            }
+            .to_string(),
+            "2021-M03"
+        );
+        assert_eq!(
+            TimePoint::Quarter {
+                year: 2021,
+                quarter: 3
+            }
+            .to_string(),
+            "2021-Q3"
+        );
+        assert_eq!(TimePoint::Year(2021).to_string(), "2021");
+    }
+}

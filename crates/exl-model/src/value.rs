@@ -1,0 +1,301 @@
+//! Dimension and measure values.
+//!
+//! The Matrix model (paper, §3) makes cubes *functions* from dimension
+//! tuples to a numeric measure. Dimension values need a total order (for
+//! deterministic storage and iteration) and hashing (for joins); measures
+//! are numeric (`f64`) but must still be comparable and hashable so that
+//! the chase's egd check can compare generated facts. [`Measure`] wraps an
+//! `f64` with bit-level equality after NaN normalization.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+
+use crate::time::{Frequency, TimePoint};
+
+/// A value along one dimension of a cube.
+#[derive(
+    Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
+)]
+pub enum DimValue {
+    /// Integer-coded dimension (codes, counters, numeric categories).
+    Int(i64),
+    /// Textual dimension (region names, instrument codes, …).
+    Str(String),
+    /// Time dimension value at some frequency.
+    Time(TimePoint),
+}
+
+impl DimValue {
+    /// Shorthand for a textual value.
+    pub fn str(s: impl Into<String>) -> DimValue {
+        DimValue::Str(s.into())
+    }
+
+    /// The [`DimType`] this value inhabits.
+    pub fn dim_type(&self) -> DimType {
+        match self {
+            DimValue::Int(_) => DimType::Int,
+            DimValue::Str(_) => DimType::Str,
+            DimValue::Time(t) => DimType::Time(t.frequency()),
+        }
+    }
+
+    /// The contained time point, if this is a time value.
+    pub fn as_time(&self) -> Option<TimePoint> {
+        match self {
+            DimValue::Time(t) => Some(*t),
+            _ => None,
+        }
+    }
+
+    /// The contained integer, if this is an integer value.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            DimValue::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// The contained string slice, if this is a textual value.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            DimValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for DimValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DimValue::Int(i) => write!(f, "{i}"),
+            DimValue::Str(s) => write!(f, "{s}"),
+            DimValue::Time(t) => write!(f, "{t}"),
+        }
+    }
+}
+
+impl From<i64> for DimValue {
+    fn from(v: i64) -> Self {
+        DimValue::Int(v)
+    }
+}
+
+impl From<&str> for DimValue {
+    fn from(v: &str) -> Self {
+        DimValue::Str(v.to_string())
+    }
+}
+
+impl From<TimePoint> for DimValue {
+    fn from(v: TimePoint) -> Self {
+        DimValue::Time(v)
+    }
+}
+
+/// Type of a dimension.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
+)]
+pub enum DimType {
+    /// Integer-coded.
+    Int,
+    /// Textual.
+    Str,
+    /// Time at the given frequency.
+    Time(Frequency),
+}
+
+impl DimType {
+    /// True when the type is a time type (at any frequency).
+    pub fn is_time(self) -> bool {
+        matches!(self, DimType::Time(_))
+    }
+
+    /// The frequency, when this is a time type.
+    pub fn frequency(self) -> Option<Frequency> {
+        match self {
+            DimType::Time(f) => Some(f),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for DimType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DimType::Int => f.write_str("int"),
+            DimType::Str => f.write_str("text"),
+            DimType::Time(freq) => write!(f, "time[{freq}]"),
+        }
+    }
+}
+
+/// A measure value: an `f64` with total ordering and hashing.
+///
+/// Equality is bit-exact after canonicalizing NaN and `-0.0`; ordering is
+/// the IEEE total order restricted to non-NaN values with NaN greatest.
+/// Operators never *store* NaN in cubes (partiality drops those tuples, §3
+/// of the paper), but intermediate computations may produce it, and the egd
+/// checker must be able to compare whatever facts a (buggy or adversarial)
+/// source produced.
+#[derive(Debug, Clone, Copy, serde::Serialize, serde::Deserialize)]
+pub struct Measure(pub f64);
+
+impl Measure {
+    /// Canonical bit pattern for equality/hashing.
+    fn canonical_bits(self) -> u64 {
+        if self.0.is_nan() {
+            f64::NAN.to_bits()
+        } else if self.0 == 0.0 {
+            0u64 // collapse -0.0 and +0.0
+        } else {
+            self.0.to_bits()
+        }
+    }
+
+    /// True when the value is finite (cube-storable).
+    pub fn is_storable(self) -> bool {
+        self.0.is_finite()
+    }
+}
+
+impl PartialEq for Measure {
+    fn eq(&self, other: &Self) -> bool {
+        self.canonical_bits() == other.canonical_bits()
+    }
+}
+
+impl Eq for Measure {}
+
+impl Hash for Measure {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.canonical_bits().hash(state);
+    }
+}
+
+impl PartialOrd for Measure {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Measure {
+    fn cmp(&self, other: &Self) -> Ordering {
+        match (self.0.is_nan(), other.0.is_nan()) {
+            (true, true) => Ordering::Equal,
+            (true, false) => Ordering::Greater,
+            (false, true) => Ordering::Less,
+            (false, false) => self.0.partial_cmp(&other.0).expect("non-NaN comparison"),
+        }
+    }
+}
+
+impl fmt::Display for Measure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<f64> for Measure {
+    fn from(v: f64) -> Self {
+        Measure(v)
+    }
+}
+
+/// Approximate comparison used throughout tests and cross-backend
+/// equivalence checks: different evaluation orders (SQL grouping vs. R
+/// vector folds) legitimately differ in the last ulps.
+pub fn approx_eq(a: f64, b: f64, rel_tol: f64) -> bool {
+    if a == b {
+        return true;
+    }
+    if a.is_nan() || b.is_nan() {
+        return a.is_nan() && b.is_nan();
+    }
+    let scale = a.abs().max(b.abs()).max(1.0);
+    (a - b).abs() <= rel_tol * scale
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::Date;
+
+    #[test]
+    fn dim_value_types() {
+        assert_eq!(DimValue::Int(4).dim_type(), DimType::Int);
+        assert_eq!(DimValue::str("north").dim_type(), DimType::Str);
+        let q = TimePoint::Quarter {
+            year: 2020,
+            quarter: 1,
+        };
+        assert_eq!(
+            DimValue::Time(q).dim_type(),
+            DimType::Time(Frequency::Quarterly)
+        );
+    }
+
+    #[test]
+    fn dim_value_accessors() {
+        assert_eq!(DimValue::Int(7).as_int(), Some(7));
+        assert_eq!(DimValue::Int(7).as_str(), None);
+        assert_eq!(DimValue::str("x").as_str(), Some("x"));
+        let t = TimePoint::Year(1999);
+        assert_eq!(DimValue::Time(t).as_time(), Some(t));
+        assert_eq!(DimValue::str("x").as_time(), None);
+    }
+
+    #[test]
+    fn dim_value_ordering_is_total_and_deterministic() {
+        let mut vs = vec![
+            DimValue::str("b"),
+            DimValue::Int(2),
+            DimValue::str("a"),
+            DimValue::Int(-1),
+            DimValue::Time(TimePoint::Day(Date::from_ymd(2020, 1, 1).unwrap())),
+        ];
+        vs.sort();
+        let again = {
+            let mut v = vs.clone();
+            v.sort();
+            v
+        };
+        assert_eq!(vs, again);
+    }
+
+    #[test]
+    fn measure_equality_canonicalizes() {
+        assert_eq!(Measure(0.0), Measure(-0.0));
+        assert_eq!(Measure(f64::NAN), Measure(f64::NAN));
+        assert_ne!(Measure(1.0), Measure(1.0 + f64::EPSILON));
+    }
+
+    #[test]
+    fn measure_ordering_puts_nan_last() {
+        let mut v = [Measure(f64::NAN), Measure(1.0), Measure(-3.0)];
+        v.sort();
+        assert_eq!(v[0], Measure(-3.0));
+        assert_eq!(v[1], Measure(1.0));
+        assert!(v[2].0.is_nan());
+    }
+
+    #[test]
+    fn storability() {
+        assert!(Measure(1.5).is_storable());
+        assert!(!Measure(f64::NAN).is_storable());
+        assert!(!Measure(f64::INFINITY).is_storable());
+        assert!(!Measure(f64::NEG_INFINITY).is_storable());
+    }
+
+    #[test]
+    fn approx_eq_scales() {
+        assert!(approx_eq(1.0, 1.0 + 1e-12, 1e-9));
+        assert!(approx_eq(1e12, 1e12 + 1.0, 1e-9));
+        assert!(!approx_eq(1.0, 1.001, 1e-9));
+        assert!(approx_eq(f64::NAN, f64::NAN, 1e-9));
+        assert!(!approx_eq(f64::NAN, 1.0, 1e-9));
+        assert!(approx_eq(0.0, 0.0, 1e-9));
+    }
+}

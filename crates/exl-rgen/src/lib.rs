@@ -1,0 +1,313 @@
+//! # exl-rgen — translating tgds into R (§5.2)
+//!
+//! Each tgd becomes a short R script over data frames, following the
+//! paper's idioms:
+//!
+//! * joins via `merge(x, y, by=c(…))` (the §5.2 listing for tgd (2));
+//! * tuple-level measures via column arithmetic (`tmp$i <- tmp$p * tmp$g`);
+//! * partiality via an `is.finite` row filter (R produces `Inf`/`NaN`
+//!   where EXL drops the tuple);
+//! * aggregations via `aggregate(…, by=c(…), FUN="…")`;
+//! * seasonal decomposition via the paper's exact two-line idiom
+//!   `X <- stl(SRC, "periodic"); TARGET <- X$time.series[, "trend"]`;
+//! * other black boxes via the `series(SRC, "op")` helper.
+//!
+//! The emitted dialect is exactly what `exl-rmini` interprets, so every
+//! generated script is executable and checked against the reference
+//! semantics. The default-value (outer) vectorial variant would need
+//! `merge(all=TRUE)`, which the mini interpreter does not model; it is
+//! reported as unsupported (§5's point that not every operator is natively
+//! supported on every target).
+
+#![warn(missing_docs)]
+
+use std::fmt;
+
+use exl_lang::ast::{BinOp, UnaryFn};
+use exl_map::dep::{DimTerm, Mapping, MeasureTerm, ScalarExpr, Tgd};
+use exl_model::schema::{CubeKind, CubeSchema};
+use exl_stats::seriesop::SeriesOp;
+
+/// R generation failure.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RGenError {
+    /// No translation on this target.
+    Unsupported {
+        /// Which tgd.
+        tgd: String,
+        /// Why.
+        reason: String,
+    },
+    /// Internal inconsistency.
+    Internal(String),
+}
+
+impl fmt::Display for RGenError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RGenError::Unsupported { tgd, reason } => {
+                write!(f, "tgd ({tgd}) not supported on the R target: {reason}")
+            }
+            RGenError::Internal(m) => write!(f, "R generation error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for RGenError {}
+
+/// Translate one tgd into an R script fragment. `schema_of` resolves
+/// relation schemas (column naming); `target_schema` is the schema of the
+/// tgd's target relation.
+pub fn tgd_to_r(
+    tgd: &Tgd,
+    target_schema: &CubeSchema,
+    schema_of: &dyn Fn(&exl_model::CubeId) -> Option<CubeSchema>,
+) -> Result<String, RGenError> {
+    let mut out = String::new();
+    out.push_str(&format!("# tgd ({}): {}\n", tgd.id(), tgd));
+    match tgd {
+        Tgd::TableFn {
+            source, op, target, ..
+        } => {
+            let src_schema = schema_of(source)
+                .ok_or_else(|| RGenError::Internal(format!("no schema for {source}")))?;
+            match op {
+                SeriesOp::StlTrend | SeriesOp::StlSeasonal | SeriesOp::StlRemainder => {
+                    let component = match op {
+                        SeriesOp::StlTrend => "trend",
+                        SeriesOp::StlSeasonal => "seasonal",
+                        _ => "remainder",
+                    };
+                    out.push_str(&format!("{target}C <- stl({source}, \"periodic\")\n"));
+                    out.push_str(&format!(
+                        "{target} <- {target}C$time.series[ , \"{component}\"]\n"
+                    ));
+                }
+                SeriesOp::MovAvg { window } => {
+                    out.push_str(&format!(
+                        "{target} <- series({source}, \"movavg\", {window})\n"
+                    ));
+                }
+                simple => {
+                    out.push_str(&format!(
+                        "{target} <- series({source}, \"{}\")\n",
+                        simple.name()
+                    ));
+                }
+            }
+            // align the measure column name with the target schema
+            if src_schema.measure != target_schema.measure {
+                out.push_str(&format!(
+                    "{target}${} <- {target}${}\n{target} <- {target}[-c(\"{}\")]\n",
+                    target_schema.measure, src_schema.measure, src_schema.measure
+                ));
+            }
+            Ok(out)
+        }
+        Tgd::Rule {
+            id,
+            lhs,
+            rhs_relation,
+            rhs_dims,
+            rhs_measure,
+            outer_default,
+        } => {
+            if outer_default.is_some() {
+                return Err(RGenError::Unsupported {
+                    tgd: id.clone(),
+                    reason: "default-value variants need merge(all=TRUE)".into(),
+                });
+            }
+
+            // 1. per-atom frames: copy, rename the measure column to the
+            //    measure *variable*, un-shift shifted dimensions
+            let multi = lhs.len() > 1;
+            let mut frame_names = Vec::with_capacity(lhs.len());
+            for (i, atom) in lhs.iter().enumerate() {
+                let fname = if multi {
+                    format!("t{}", i + 1)
+                } else {
+                    "tmp".to_string()
+                };
+                out.push_str(&format!("{fname} <- {}\n", atom.relation));
+                let src_schema = schema_of(&atom.relation).ok_or_else(|| {
+                    RGenError::Internal(format!("no schema for {}", atom.relation))
+                })?;
+                if atom.measure_var != src_schema.measure {
+                    out.push_str(&format!(
+                        "{fname}${} <- {fname}${}\n{fname} <- {fname}[-c(\"{}\")]\n",
+                        atom.measure_var, src_schema.measure, src_schema.measure
+                    ));
+                }
+                for term in &atom.dim_terms {
+                    if let DimTerm::Shifted { var, offset } = term {
+                        // column value = var + offset → var = column − offset
+                        out.push_str(&format!(
+                            "{fname}${var} <- shift.time({fname}${var}, {})\n",
+                            -offset
+                        ));
+                    }
+                }
+                frame_names.push(fname);
+            }
+
+            // 2. join all atoms on the (shared) dimension variables
+            let dim_vars: Vec<String> = lhs[0]
+                .dim_terms
+                .iter()
+                .map(|t| t.var_name().to_string())
+                .collect();
+            if multi {
+                let by = dim_vars
+                    .iter()
+                    .map(|d| format!("\"{d}\""))
+                    .collect::<Vec<_>>()
+                    .join(",");
+                out.push_str(&format!(
+                    "tmp <- merge({}, {}, by=c({by}))\n",
+                    frame_names[0], frame_names[1]
+                ));
+                for f in &frame_names[2..] {
+                    out.push_str(&format!("tmp <- merge(tmp, {f}, by=c({by}))\n"));
+                }
+            }
+
+            // 3. measure computation + finiteness filter — into a
+            //    dot-prefixed scratch column, which no tgd variable can
+            //    shadow (EXL identifiers cannot start with a dot)
+            let expr = match rhs_measure {
+                MeasureTerm::Scalar(e) | MeasureTerm::Aggregate { expr: e, .. } => e,
+            };
+            out.push_str(&format!("tmp$.v <- {}\n", scalar_r(expr)));
+            out.push_str("tmp <- tmp[is.finite(tmp$.v), ]\n");
+
+            // 4. result dimension columns into scratch names (conversions
+            //    / shifts applied); reading happens before any overwrite
+            for (i, term) in rhs_dims.iter().enumerate() {
+                let rhs = match term {
+                    DimTerm::Var(v) => format!("tmp${v}"),
+                    DimTerm::Shifted { var, offset } => {
+                        format!("shift.time(tmp${var}, {offset})")
+                    }
+                    DimTerm::Converted { var, target } => {
+                        format!("{}(tmp${var})", target.name())
+                    }
+                };
+                out.push_str(&format!("tmp$.d{i} <- {rhs}\n"));
+            }
+
+            // 5. aggregate or project on the scratch columns, then rename
+            //    to the target schema's column names
+            let scratch: Vec<String> = (0..rhs_dims.len())
+                .map(|i| format!("\".d{i}\""))
+                .chain(std::iter::once("\".v\"".to_string()))
+                .collect();
+            let scratch_list = scratch.join(",");
+            match rhs_measure {
+                MeasureTerm::Scalar(_) => {
+                    out.push_str(&format!("tmp <- tmp[c({scratch_list})]\n"));
+                }
+                MeasureTerm::Aggregate { agg, .. } => {
+                    let by = (0..rhs_dims.len())
+                        .map(|i| format!("\".d{i}\""))
+                        .collect::<Vec<_>>()
+                        .join(",");
+                    out.push_str(&format!(
+                        "tmp <- aggregate(tmp[c({scratch_list})], by=c({by}), FUN=\"{}\")\n",
+                        agg.name()
+                    ));
+                }
+            }
+            let mut final_cols = Vec::with_capacity(rhs_dims.len() + 1);
+            for (i, dim) in target_schema.dims.iter().enumerate() {
+                out.push_str(&format!("tmp${} <- tmp$.d{i}\n", dim.name));
+                final_cols.push(format!("\"{}\"", dim.name));
+            }
+            out.push_str(&format!("tmp${} <- tmp$.v\n", target_schema.measure));
+            final_cols.push(format!("\"{}\"", target_schema.measure));
+            out.push_str(&format!(
+                "{rhs_relation} <- tmp[c({})]\n",
+                final_cols.join(",")
+            ));
+            Ok(out)
+        }
+    }
+}
+
+/// Translate a whole mapping into one R script, one fragment per statement
+/// tgd in stratification order. Elementary frames are assumed bound in the
+/// interpreter environment under their relation names.
+pub fn mapping_to_r(mapping: &Mapping) -> Result<String, RGenError> {
+    let mut out = String::new();
+    for tgd in &mapping.statement_tgds {
+        let schema = mapping.schema(tgd.target_relation()).ok_or_else(|| {
+            RGenError::Internal(format!("no schema for {}", tgd.target_relation()))
+        })?;
+        let lookup = |id: &exl_model::CubeId| mapping.schema(id).cloned();
+        out.push_str(&tgd_to_r(tgd, schema, &lookup)?);
+        out.push('\n');
+    }
+    Ok(out)
+}
+
+/// Relations whose frames must be bound before running the script.
+pub fn required_inputs(mapping: &Mapping) -> Vec<exl_model::CubeId> {
+    mapping
+        .source
+        .iter()
+        .filter(|s| s.kind == CubeKind::Elementary)
+        .map(|s| s.id.clone())
+        .collect()
+}
+
+fn scalar_r(e: &ScalarExpr) -> String {
+    match e {
+        ScalarExpr::Var(v) => format!("tmp${v}"),
+        ScalarExpr::Const(c) => {
+            if *c < 0.0 {
+                format!("({c})")
+            } else {
+                format!("{c}")
+            }
+        }
+        ScalarExpr::Unary(op, a) => {
+            let inner = scalar_r(a);
+            match op {
+                UnaryFn::Neg => format!("-({inner})"),
+                UnaryFn::Ln => format!("log({inner})"),
+                UnaryFn::Exp => format!("exp({inner})"),
+                UnaryFn::Sqrt => format!("sqrt({inner})"),
+                UnaryFn::Abs => format!("abs({inner})"),
+                UnaryFn::Sin => format!("sin({inner})"),
+                UnaryFn::Cos => format!("cos({inner})"),
+            }
+        }
+        ScalarExpr::Binary(op, a, b) => {
+            let l = wrap(a);
+            let r = wrap(b);
+            format!("{l} {} {r}", op_symbol(*op))
+        }
+    }
+}
+
+fn wrap(e: &ScalarExpr) -> String {
+    let s = scalar_r(e);
+    if matches!(e, ScalarExpr::Binary(..)) {
+        format!("({s})")
+    } else {
+        s
+    }
+}
+
+fn op_symbol(op: BinOp) -> &'static str {
+    match op {
+        BinOp::Add => "+",
+        BinOp::Sub => "-",
+        BinOp::Mul => "*",
+        BinOp::Div => "/",
+        BinOp::Pow => "^",
+    }
+}
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,38 @@
+//! Errors of the mini-R interpreter.
+
+use std::fmt;
+
+/// Error raised while parsing or evaluating R code.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RError {
+    /// Phase: "parse" or "eval".
+    pub phase: &'static str,
+    /// Message.
+    pub message: String,
+}
+
+impl RError {
+    /// Parse-phase error.
+    pub fn parse(message: impl Into<String>) -> RError {
+        RError {
+            phase: "parse",
+            message: message.into(),
+        }
+    }
+
+    /// Evaluation-phase error.
+    pub fn eval(message: impl Into<String>) -> RError {
+        RError {
+            phase: "eval",
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for RError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "R {} error: {}", self.phase, self.message)
+    }
+}
+
+impl std::error::Error for RError {}

@@ -1,0 +1,436 @@
+//! Data frames — the R-side representation of cubes.
+
+use std::collections::BTreeMap;
+
+use exl_model::schema::CubeSchema;
+use exl_model::time::TimePoint;
+use exl_model::value::DimValue;
+use exl_model::{Cube, CubeData};
+
+use crate::error::RError;
+
+/// One cell of a data-frame column.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Cell {
+    /// Numeric (R double).
+    Num(f64),
+    /// Character.
+    Str(String),
+    /// Temporal value (frequency-aware, the Matrix extension the Bank's R
+    /// environment provides for time-indexed frames).
+    Time(TimePoint),
+    /// Logical.
+    Bool(bool),
+}
+
+impl Cell {
+    /// Numeric view.
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            Cell::Num(n) => Some(*n),
+            Cell::Bool(b) => Some(*b as i64 as f64),
+            _ => None,
+        }
+    }
+
+    /// Truthiness for row masks.
+    pub fn truthy(&self) -> bool {
+        match self {
+            Cell::Bool(b) => *b,
+            Cell::Num(n) => *n != 0.0,
+            _ => false,
+        }
+    }
+
+    /// Convert a cube dimension value.
+    pub fn from_dim(v: &DimValue) -> Cell {
+        match v {
+            DimValue::Int(i) => Cell::Num(*i as f64),
+            DimValue::Str(s) => Cell::Str(s.clone()),
+            DimValue::Time(t) => Cell::Time(*t),
+        }
+    }
+
+    /// Convert back to a cube dimension value; integers are recovered from
+    /// whole doubles.
+    pub fn to_dim(&self) -> Option<DimValue> {
+        match self {
+            Cell::Num(n) if n.fract() == 0.0 => Some(DimValue::Int(*n as i64)),
+            Cell::Str(s) => Some(DimValue::Str(s.clone())),
+            Cell::Time(t) => Some(DimValue::Time(*t)),
+            _ => None,
+        }
+    }
+
+    /// Grouping key string (stable textual encoding).
+    pub fn key(&self) -> String {
+        match self {
+            Cell::Num(n) => format!("n{n}"),
+            Cell::Str(s) => format!("s{s}"),
+            Cell::Time(t) => format!("t{t}"),
+            Cell::Bool(b) => format!("b{b}"),
+        }
+    }
+}
+
+/// A named-column data frame; all columns have equal length.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Frame {
+    /// Columns in order: (name, cells).
+    pub cols: Vec<(String, Vec<Cell>)>,
+}
+
+impl Frame {
+    /// Number of rows.
+    pub fn nrow(&self) -> usize {
+        self.cols.first().map(|(_, c)| c.len()).unwrap_or(0)
+    }
+
+    /// Column by name.
+    pub fn col(&self, name: &str) -> Option<&Vec<Cell>> {
+        self.cols.iter().find(|(n, _)| n == name).map(|(_, c)| c)
+    }
+
+    /// Column names in order.
+    pub fn names(&self) -> Vec<&str> {
+        self.cols.iter().map(|(n, _)| n.as_str()).collect()
+    }
+
+    /// Set (or add) a column; must match the row count unless the frame is
+    /// empty of columns.
+    pub fn set_col(&mut self, name: &str, cells: Vec<Cell>) -> Result<(), RError> {
+        if !self.cols.is_empty() && cells.len() != self.nrow() {
+            return Err(RError::eval(format!(
+                "replacement column `{name}` has {} rows, frame has {}",
+                cells.len(),
+                self.nrow()
+            )));
+        }
+        match self.cols.iter_mut().find(|(n, _)| n == name) {
+            Some((_, c)) => *c = cells,
+            None => self.cols.push((name.to_string(), cells)),
+        }
+        Ok(())
+    }
+
+    /// Project onto the named columns (R `df[c("a","b")]`).
+    pub fn select(&self, names: &[String]) -> Result<Frame, RError> {
+        let mut out = Frame::default();
+        for n in names {
+            let col = self
+                .col(n)
+                .ok_or_else(|| RError::eval(format!("undefined column `{n}` selected")))?;
+            out.cols.push((n.clone(), col.clone()));
+        }
+        Ok(out)
+    }
+
+    /// Drop the named columns (R `df[-c("a","b")]`).
+    pub fn drop(&self, names: &[String]) -> Frame {
+        Frame {
+            cols: self
+                .cols
+                .iter()
+                .filter(|(n, _)| !names.contains(n))
+                .cloned()
+                .collect(),
+        }
+    }
+
+    /// Keep only the rows where `mask` is truthy (R `df[mask, ]`).
+    pub fn filter_rows(&self, mask: &[Cell]) -> Result<Frame, RError> {
+        if mask.len() != self.nrow() {
+            return Err(RError::eval(format!(
+                "row mask has {} entries, frame has {} rows",
+                mask.len(),
+                self.nrow()
+            )));
+        }
+        let keep: Vec<usize> = mask
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.truthy())
+            .map(|(i, _)| i)
+            .collect();
+        Ok(Frame {
+            cols: self
+                .cols
+                .iter()
+                .map(|(n, c)| (n.clone(), keep.iter().map(|&i| c[i].clone()).collect()))
+                .collect(),
+        })
+    }
+
+    /// One row as cells.
+    pub fn row(&self, i: usize) -> Vec<Cell> {
+        self.cols.iter().map(|(_, c)| c[i].clone()).collect()
+    }
+}
+
+/// Inner-join two frames on the `by` columns, suffixing clashing non-key
+/// column names with `.x`/`.y` like R's `merge`.
+pub fn merge(x: &Frame, y: &Frame, by: &[String]) -> Result<Frame, RError> {
+    for b in by {
+        if x.col(b).is_none() || y.col(b).is_none() {
+            return Err(RError::eval(format!("merge: `by` column `{b}` missing")));
+        }
+    }
+    // index y rows by key
+    let mut index: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+    for i in 0..y.nrow() {
+        let key: String = by
+            .iter()
+            .map(|b| y.col(b).unwrap()[i].key())
+            .collect::<Vec<_>>()
+            .join("\u{1}");
+        index.entry(key).or_default().push(i);
+    }
+    // output schema: by columns, then x's others, then y's others
+    let x_rest: Vec<&str> = x
+        .names()
+        .into_iter()
+        .filter(|n| !by.contains(&n.to_string()))
+        .collect();
+    let y_rest: Vec<&str> = y
+        .names()
+        .into_iter()
+        .filter(|n| !by.contains(&n.to_string()))
+        .collect();
+    let suffix = |n: &str, other: &[&str], sfx: &str| -> String {
+        if other.contains(&n) {
+            format!("{n}{sfx}")
+        } else {
+            n.to_string()
+        }
+    };
+    let mut out = Frame::default();
+    for b in by {
+        out.cols.push((b.clone(), Vec::new()));
+    }
+    for n in &x_rest {
+        out.cols.push((suffix(n, &y_rest, ".x"), Vec::new()));
+    }
+    for n in &y_rest {
+        out.cols.push((suffix(n, &x_rest, ".y"), Vec::new()));
+    }
+    for i in 0..x.nrow() {
+        let key: String = by
+            .iter()
+            .map(|b| x.col(b).unwrap()[i].key())
+            .collect::<Vec<_>>()
+            .join("\u{1}");
+        let Some(matches) = index.get(&key) else {
+            continue;
+        };
+        for &j in matches {
+            let mut c = 0;
+            for b in by {
+                out.cols[c].1.push(x.col(b).unwrap()[i].clone());
+                c += 1;
+            }
+            for n in &x_rest {
+                out.cols[c].1.push(x.col(n).unwrap()[i].clone());
+                c += 1;
+            }
+            for n in &y_rest {
+                out.cols[c].1.push(y.col(n).unwrap()[j].clone());
+                c += 1;
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Build a frame from a cube: dimension columns then the measure column.
+pub fn frame_from_cube(cube: &Cube) -> Frame {
+    let mut cols: Vec<(String, Vec<Cell>)> = cube
+        .schema
+        .dims
+        .iter()
+        .map(|d| (d.name.clone(), Vec::new()))
+        .collect();
+    cols.push((cube.schema.measure.clone(), Vec::new()));
+    let mut f = Frame { cols };
+    for (k, v) in cube.data.iter() {
+        for (i, d) in k.iter().enumerate() {
+            f.cols[i].1.push(Cell::from_dim(d));
+        }
+        let last = f.cols.len() - 1;
+        f.cols[last].1.push(Cell::Num(v));
+    }
+    f
+}
+
+/// Read a frame back as cube data for `schema`. Rows with non-finite
+/// measures are skipped (dropped tuples).
+pub fn frame_to_cube_data(frame: &Frame, schema: &CubeSchema) -> Result<CubeData, RError> {
+    let dim_cols: Vec<&Vec<Cell>> = schema
+        .dims
+        .iter()
+        .map(|d| {
+            frame
+                .col(&d.name)
+                .ok_or_else(|| RError::eval(format!("frame lacks dimension column `{}`", d.name)))
+        })
+        .collect::<Result<_, _>>()?;
+    let measure = frame
+        .col(&schema.measure)
+        .ok_or_else(|| RError::eval(format!("frame lacks measure column `{}`", schema.measure)))?;
+    let mut data = CubeData::new();
+    for i in 0..frame.nrow() {
+        let Some(m) = measure[i].as_num() else {
+            continue;
+        };
+        if !m.is_finite() {
+            continue;
+        }
+        let mut key = Vec::with_capacity(dim_cols.len());
+        let mut ok = true;
+        for (col, dim) in dim_cols.iter().zip(&schema.dims) {
+            match cell_to_dim(&col[i], dim.ty) {
+                Some(d) => key.push(d),
+                None => {
+                    ok = false;
+                    break;
+                }
+            }
+        }
+        if ok {
+            data.insert(key, m)
+                .map_err(|e| RError::eval(e.to_string()))?;
+        }
+    }
+    Ok(data)
+}
+
+fn cell_to_dim(cell: &Cell, ty: exl_model::value::DimType) -> Option<DimValue> {
+    use exl_model::value::DimType;
+    match (cell, ty) {
+        (Cell::Num(n), DimType::Int) if n.fract() == 0.0 => Some(DimValue::Int(*n as i64)),
+        (Cell::Str(s), DimType::Str) => Some(DimValue::Str(s.clone())),
+        (Cell::Time(t), DimType::Time(f)) if t.frequency() == f => Some(DimValue::Time(*t)),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use exl_model::schema::{CubeKind, Dimension};
+    use exl_model::value::DimType;
+    use exl_model::Frequency;
+
+    fn q(y: i32, n: u32) -> Cell {
+        Cell::Time(TimePoint::Quarter {
+            year: y,
+            quarter: n,
+        })
+    }
+
+    fn sample_frame() -> Frame {
+        Frame {
+            cols: vec![
+                ("q".into(), vec![q(2020, 1), q(2020, 2)]),
+                (
+                    "r".into(),
+                    vec![Cell::Str("n".into()), Cell::Str("n".into())],
+                ),
+                ("p".into(), vec![Cell::Num(1.0), Cell::Num(2.0)]),
+            ],
+        }
+    }
+
+    #[test]
+    fn select_drop_filter() {
+        let f = sample_frame();
+        let s = f.select(&["q".into(), "p".into()]).unwrap();
+        assert_eq!(s.names(), vec!["q", "p"]);
+        assert!(f.select(&["zzz".into()]).is_err());
+        let d = f.drop(&["p".into()]);
+        assert_eq!(d.names(), vec!["q", "r"]);
+        let m = vec![Cell::Bool(true), Cell::Bool(false)];
+        let filtered = f.filter_rows(&m).unwrap();
+        assert_eq!(filtered.nrow(), 1);
+        assert!(f.filter_rows(&[Cell::Bool(true)]).is_err());
+    }
+
+    #[test]
+    fn merge_inner_join_with_suffixes() {
+        let x = sample_frame();
+        let y = Frame {
+            cols: vec![
+                ("q".into(), vec![q(2020, 2), q(2020, 3)]),
+                (
+                    "r".into(),
+                    vec![Cell::Str("n".into()), Cell::Str("n".into())],
+                ),
+                ("p".into(), vec![Cell::Num(10.0), Cell::Num(20.0)]),
+            ],
+        };
+        let m = merge(&x, &y, &["q".into(), "r".into()]).unwrap();
+        assert_eq!(m.nrow(), 1);
+        assert_eq!(m.names(), vec!["q", "r", "p.x", "p.y"]);
+        assert_eq!(m.col("p.x").unwrap()[0], Cell::Num(2.0));
+        assert_eq!(m.col("p.y").unwrap()[0], Cell::Num(10.0));
+        assert!(merge(&x, &y, &["zzz".into()]).is_err());
+    }
+
+    #[test]
+    fn cube_frame_round_trip() {
+        let schema = CubeSchema::new(
+            "T",
+            vec![
+                Dimension::new("q", DimType::Time(Frequency::Quarterly)),
+                Dimension::new("r", DimType::Str),
+            ],
+            CubeKind::Elementary,
+        )
+        .with_measure("p");
+        let data = CubeData::from_tuples(vec![(
+            vec![
+                DimValue::Time(TimePoint::Quarter {
+                    year: 2020,
+                    quarter: 1,
+                }),
+                DimValue::str("n"),
+            ],
+            5.0,
+        )])
+        .unwrap();
+        let cube = Cube::new(schema.clone(), data);
+        let f = frame_from_cube(&cube);
+        assert_eq!(f.nrow(), 1);
+        let back = frame_to_cube_data(&f, &schema).unwrap();
+        assert!(back.approx_eq(&cube.data, 0.0));
+    }
+
+    #[test]
+    fn non_finite_measures_dropped_on_export() {
+        let schema = CubeSchema::new(
+            "T",
+            vec![Dimension::new("k", DimType::Int)],
+            CubeKind::Elementary,
+        );
+        let f = Frame {
+            cols: vec![
+                ("k".into(), vec![Cell::Num(1.0), Cell::Num(2.0)]),
+                ("m".into(), vec![Cell::Num(f64::INFINITY), Cell::Num(3.0)]),
+            ],
+        };
+        let data = frame_to_cube_data(&f, &schema).unwrap();
+        assert_eq!(data.len(), 1);
+    }
+
+    #[test]
+    fn set_col_validates_length() {
+        let mut f = sample_frame();
+        assert!(f.set_col("new", vec![Cell::Num(0.0)]).is_err());
+        f.set_col("new", vec![Cell::Num(0.0), Cell::Num(1.0)])
+            .unwrap();
+        assert_eq!(f.names().len(), 4);
+        // overwrite existing
+        f.set_col("p", vec![Cell::Num(9.0), Cell::Num(9.0)])
+            .unwrap();
+        assert_eq!(f.col("p").unwrap()[0], Cell::Num(9.0));
+    }
+}

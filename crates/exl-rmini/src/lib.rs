@@ -1,0 +1,23 @@
+//! # exl-rmini — an interpreter for the generated R subset
+//!
+//! The paper's second target family is "specialized languages … typically
+//! vector or matrix oriented" (§5.2), with R as the lead example. The
+//! reproduction cannot assume an R installation, so this crate implements,
+//! from scratch, an interpreter for exactly the R dialect `exl-rgen`
+//! emits — data frames, `merge`, column arithmetic with recycling,
+//! `aggregate`, `stl(x, "periodic")$time.series[, "trend"]`, negative
+//! column selection, `is.finite` row masks — so the generated scripts are
+//! *executed*, not just printed, and their results are compared against
+//! the reference interpreter.
+
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod frame;
+pub mod interp;
+pub mod syntax;
+
+pub use error::RError;
+pub use frame::{frame_from_cube, frame_to_cube_data, merge, Cell, Frame};
+pub use interp::{apply_series, RInterp, RValue};
+pub use syntax::{parse, RExpr, RStmt};

@@ -1,0 +1,601 @@
+//! Lexer and parser for the R subset the generator emits.
+//!
+//! Statements are assignments (`x <- expr`, `x$col <- expr`, `x = expr`)
+//! or bare expressions; `#` comments run to end of line. Identifiers may
+//! contain dots (`is.finite`, `shift.time`, `time.series`), as in R.
+
+use crate::error::RError;
+
+/// An R token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RTok {
+    /// Identifier (dots allowed).
+    Ident(String),
+    /// Numeric literal.
+    Num(f64),
+    /// String literal (single or double quoted).
+    Str(String),
+    /// Punctuation or operator.
+    Sym(&'static str),
+    /// Statement separator (newline or `;`).
+    Sep,
+    /// End of input.
+    Eof,
+}
+
+/// Tokenize R source.
+pub fn lex(src: &str) -> Result<Vec<RTok>, RError> {
+    let b = src.as_bytes();
+    let mut i = 0;
+    let mut out: Vec<RTok> = Vec::new();
+    while i < b.len() {
+        let c = b[i] as char;
+        match c {
+            '\n' | ';' => {
+                if !matches!(out.last(), Some(RTok::Sep) | None) {
+                    out.push(RTok::Sep);
+                }
+                i += 1;
+            }
+            ' ' | '\t' | '\r' => i += 1,
+            '#' => {
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '<' if i + 1 < b.len() && b[i + 1] == b'-' => {
+                out.push(RTok::Sym("<-"));
+                i += 2;
+            }
+            '=' => {
+                out.push(RTok::Sym("="));
+                i += 1;
+            }
+            '(' | ')' | '[' | ']' | ',' | '$' | '+' | '-' | '*' | '/' | '^' => {
+                out.push(RTok::Sym(match c {
+                    '(' => "(",
+                    ')' => ")",
+                    '[' => "[",
+                    ']' => "]",
+                    ',' => ",",
+                    '$' => "$",
+                    '+' => "+",
+                    '-' => "-",
+                    '*' => "*",
+                    '/' => "/",
+                    _ => "^",
+                }));
+                i += 1;
+            }
+            '"' | '\'' => {
+                let quote = b[i];
+                let mut j = i + 1;
+                while j < b.len() && b[j] != quote {
+                    j += 1;
+                }
+                if j >= b.len() {
+                    return Err(RError::parse("unterminated string"));
+                }
+                out.push(RTok::Str(src[i + 1..j].to_string()));
+                i = j + 1;
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                while i < b.len() && ((b[i] as char).is_ascii_digit() || b[i] == b'.') {
+                    i += 1;
+                }
+                if i < b.len() && (b[i] == b'e' || b[i] == b'E') {
+                    let mut k = i + 1;
+                    if k < b.len() && (b[k] == b'+' || b[k] == b'-') {
+                        k += 1;
+                    }
+                    if k < b.len() && (b[k] as char).is_ascii_digit() {
+                        i = k;
+                        while i < b.len() && (b[i] as char).is_ascii_digit() {
+                            i += 1;
+                        }
+                    }
+                }
+                let text = &src[start..i];
+                out.push(RTok::Num(
+                    text.parse()
+                        .map_err(|_| RError::parse(format!("bad number `{text}`")))?,
+                ));
+            }
+            c if c.is_ascii_alphabetic() || c == '.' || c == '_' => {
+                let start = i;
+                while i < b.len()
+                    && ((b[i] as char).is_ascii_alphanumeric() || b[i] == b'.' || b[i] == b'_')
+                {
+                    i += 1;
+                }
+                out.push(RTok::Ident(src[start..i].to_string()));
+            }
+            other => return Err(RError::parse(format!("unexpected character `{other}`"))),
+        }
+    }
+    out.push(RTok::Eof);
+    Ok(out)
+}
+
+/// An R expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RExpr {
+    /// Numeric literal.
+    Num(f64),
+    /// String literal.
+    Str(String),
+    /// Variable reference.
+    Ident(String),
+    /// Function call; arguments optionally named (`by=c(...)`).
+    Call {
+        /// Function name.
+        func: String,
+        /// Arguments: optional name + value.
+        args: Vec<(Option<String>, RExpr)>,
+    },
+    /// `$` component access.
+    Dollar {
+        /// Object.
+        obj: Box<RExpr>,
+        /// Component name.
+        field: String,
+    },
+    /// Single-bracket indexing: `df[cols]`, `df[mask, ]`, `m[, "trend"]`.
+    Index {
+        /// Object.
+        obj: Box<RExpr>,
+        /// Row selector, when present (`df[mask, ]`).
+        row: Option<Box<RExpr>>,
+        /// Column selector, when present.
+        col: Option<Box<RExpr>>,
+        /// True for the `[x, y]` two-slot form.
+        two_slot: bool,
+    },
+    /// Binary arithmetic.
+    Binary {
+        /// Operator: `+ - * / ^`.
+        op: char,
+        /// Left operand.
+        l: Box<RExpr>,
+        /// Right operand.
+        r: Box<RExpr>,
+    },
+    /// Unary minus.
+    Neg(Box<RExpr>),
+}
+
+/// An R statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RStmt {
+    /// `x <- expr` or `x = expr`.
+    Assign {
+        /// Target variable.
+        var: String,
+        /// `Some(col)` for `x$col <- expr`.
+        col: Option<String>,
+        /// Value expression.
+        expr: RExpr,
+    },
+    /// Bare expression (evaluated for effect; useless in this subset but
+    /// accepted).
+    Expr(RExpr),
+}
+
+/// Parse an R script into statements.
+pub fn parse(src: &str) -> Result<Vec<RStmt>, RError> {
+    let toks = lex(src)?;
+    let mut p = P { toks, at: 0 };
+    let mut out = Vec::new();
+    loop {
+        while p.eat(&RTok::Sep) {}
+        if p.peek() == &RTok::Eof {
+            break;
+        }
+        out.push(p.statement()?);
+        if !matches!(p.peek(), RTok::Sep | RTok::Eof) {
+            return Err(RError::parse(format!(
+                "expected end of statement, found {:?}",
+                p.peek()
+            )));
+        }
+    }
+    Ok(out)
+}
+
+struct P {
+    toks: Vec<RTok>,
+    at: usize,
+}
+
+impl P {
+    fn peek(&self) -> &RTok {
+        &self.toks[self.at]
+    }
+
+    fn peek2(&self) -> &RTok {
+        self.toks.get(self.at + 1).unwrap_or(&RTok::Eof)
+    }
+
+    fn bump(&mut self) -> RTok {
+        let t = self.toks[self.at].clone();
+        if self.at + 1 < self.toks.len() {
+            self.at += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, t: &RTok) -> bool {
+        if self.peek() == t {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_sym(&mut self, s: &'static str) -> Result<(), RError> {
+        if self.eat(&RTok::Sym(s)) {
+            Ok(())
+        } else {
+            Err(RError::parse(format!(
+                "expected `{s}`, found {:?}",
+                self.peek()
+            )))
+        }
+    }
+
+    fn statement(&mut self) -> Result<RStmt, RError> {
+        // lookahead for assignment forms
+        if let RTok::Ident(var) = self.peek().clone() {
+            // x <- e | x = e
+            if matches!(self.peek2(), RTok::Sym("<-") | RTok::Sym("=")) {
+                self.bump();
+                self.bump();
+                let expr = self.expr()?;
+                return Ok(RStmt::Assign {
+                    var,
+                    col: None,
+                    expr,
+                });
+            }
+            // x$col <- e
+            if self.peek2() == &RTok::Sym("$") {
+                let save = self.at;
+                self.bump(); // var
+                self.bump(); // $
+                if let RTok::Ident(col) = self.peek().clone() {
+                    if matches!(self.peek2(), RTok::Sym("<-") | RTok::Sym("=")) {
+                        self.bump(); // col
+                        self.bump(); // <-
+                        let expr = self.expr()?;
+                        return Ok(RStmt::Assign {
+                            var,
+                            col: Some(col),
+                            expr,
+                        });
+                    }
+                }
+                self.at = save;
+            }
+        }
+        Ok(RStmt::Expr(self.expr()?))
+    }
+
+    fn expr(&mut self) -> Result<RExpr, RError> {
+        let mut lhs = self.term()?;
+        loop {
+            let op = if self.eat(&RTok::Sym("+")) {
+                '+'
+            } else if self.eat(&RTok::Sym("-")) {
+                '-'
+            } else {
+                break;
+            };
+            let rhs = self.term()?;
+            lhs = RExpr::Binary {
+                op,
+                l: Box::new(lhs),
+                r: Box::new(rhs),
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn term(&mut self) -> Result<RExpr, RError> {
+        let mut lhs = self.power()?;
+        loop {
+            let op = if self.eat(&RTok::Sym("*")) {
+                '*'
+            } else if self.eat(&RTok::Sym("/")) {
+                '/'
+            } else {
+                break;
+            };
+            let rhs = self.power()?;
+            lhs = RExpr::Binary {
+                op,
+                l: Box::new(lhs),
+                r: Box::new(rhs),
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn power(&mut self) -> Result<RExpr, RError> {
+        let base = self.unary()?;
+        if self.eat(&RTok::Sym("^")) {
+            let e = self.unary()?;
+            return Ok(RExpr::Binary {
+                op: '^',
+                l: Box::new(base),
+                r: Box::new(e),
+            });
+        }
+        Ok(base)
+    }
+
+    fn unary(&mut self) -> Result<RExpr, RError> {
+        if self.eat(&RTok::Sym("-")) {
+            let e = self.unary()?;
+            if let RExpr::Num(n) = e {
+                return Ok(RExpr::Num(-n));
+            }
+            return Ok(RExpr::Neg(Box::new(e)));
+        }
+        self.postfix()
+    }
+
+    fn postfix(&mut self) -> Result<RExpr, RError> {
+        let mut e = self.primary()?;
+        loop {
+            if self.eat(&RTok::Sym("$")) {
+                let field = match self.bump() {
+                    RTok::Ident(f) => f,
+                    other => {
+                        return Err(RError::parse(format!(
+                            "expected field name, found {other:?}"
+                        )))
+                    }
+                };
+                e = RExpr::Dollar {
+                    obj: Box::new(e),
+                    field,
+                };
+            } else if self.eat(&RTok::Sym("[")) {
+                // forms: [expr] | [expr, ] | [, expr] | [expr, expr]
+                if self.eat(&RTok::Sym(",")) {
+                    let col = self.expr()?;
+                    self.expect_sym("]")?;
+                    e = RExpr::Index {
+                        obj: Box::new(e),
+                        row: None,
+                        col: Some(Box::new(col)),
+                        two_slot: true,
+                    };
+                } else {
+                    let first = self.expr()?;
+                    if self.eat(&RTok::Sym(",")) {
+                        if self.eat(&RTok::Sym("]")) {
+                            e = RExpr::Index {
+                                obj: Box::new(e),
+                                row: Some(Box::new(first)),
+                                col: None,
+                                two_slot: true,
+                            };
+                        } else {
+                            let col = self.expr()?;
+                            self.expect_sym("]")?;
+                            e = RExpr::Index {
+                                obj: Box::new(e),
+                                row: Some(Box::new(first)),
+                                col: Some(Box::new(col)),
+                                two_slot: true,
+                            };
+                        }
+                    } else {
+                        self.expect_sym("]")?;
+                        e = RExpr::Index {
+                            obj: Box::new(e),
+                            row: None,
+                            col: Some(Box::new(first)),
+                            two_slot: false,
+                        };
+                    }
+                }
+            } else {
+                break;
+            }
+        }
+        Ok(e)
+    }
+
+    fn primary(&mut self) -> Result<RExpr, RError> {
+        match self.bump() {
+            RTok::Num(n) => Ok(RExpr::Num(n)),
+            RTok::Str(s) => Ok(RExpr::Str(s)),
+            RTok::Sym("(") => {
+                let e = self.expr()?;
+                self.expect_sym(")")?;
+                Ok(e)
+            }
+            RTok::Ident(name) => {
+                if self.eat(&RTok::Sym("(")) {
+                    let mut args = Vec::new();
+                    if !self.eat(&RTok::Sym(")")) {
+                        loop {
+                            // named argument?
+                            let arg_name = if let (RTok::Ident(n), RTok::Sym("=")) =
+                                (self.peek().clone(), self.peek2().clone())
+                            {
+                                self.bump();
+                                self.bump();
+                                Some(n)
+                            } else {
+                                None
+                            };
+                            let value = self.expr()?;
+                            args.push((arg_name, value));
+                            if !self.eat(&RTok::Sym(",")) {
+                                break;
+                            }
+                        }
+                        self.expect_sym(")")?;
+                    }
+                    Ok(RExpr::Call { func: name, args })
+                } else {
+                    Ok(RExpr::Ident(name))
+                }
+            }
+            other => Err(RError::parse(format!(
+                "expected expression, found {other:?}"
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_paper_tgd2_script() {
+        // the §5.2 R translation of tgd (2)
+        let src = r#"
+tmp <- merge(PQR,RGDPPC,by=c("q","r"))
+tmp$i <- tmp["p"] * tmp["g"]
+TGDP <- tmp[-c("p","g")]
+"#;
+        let stmts = parse(src).unwrap();
+        assert_eq!(stmts.len(), 3);
+        match &stmts[0] {
+            RStmt::Assign {
+                var,
+                col: None,
+                expr,
+            } => {
+                assert_eq!(var, "tmp");
+                match expr {
+                    RExpr::Call { func, args } => {
+                        assert_eq!(func, "merge");
+                        assert_eq!(args.len(), 3);
+                        assert_eq!(args[2].0.as_deref(), Some("by"));
+                    }
+                    other => panic!("{other:?}"),
+                }
+            }
+            other => panic!("{other:?}"),
+        }
+        match &stmts[1] {
+            RStmt::Assign {
+                var, col: Some(c), ..
+            } => {
+                assert_eq!(var, "tmp");
+                assert_eq!(c, "i");
+            }
+            other => panic!("{other:?}"),
+        }
+        match &stmts[2] {
+            RStmt::Assign { expr, .. } => {
+                assert!(matches!(expr, RExpr::Index { col: Some(_), .. }));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_paper_tgd4_script() {
+        // GDPC=stl(GDP,"periodic"); GDPDT=GDPC$time.series[ ,"trend"]
+        let src = "GDPC=stl(GDP,\"periodic\")\nGDPDT=GDPC$time.series[ ,\"trend\"]";
+        let stmts = parse(src).unwrap();
+        assert_eq!(stmts.len(), 2);
+        match &stmts[1] {
+            RStmt::Assign { expr, .. } => match expr {
+                RExpr::Index {
+                    obj,
+                    row: None,
+                    col: Some(_),
+                    two_slot: true,
+                } => {
+                    assert!(
+                        matches!(obj.as_ref(), RExpr::Dollar { field, .. } if field == "time.series")
+                    );
+                }
+                other => panic!("{other:?}"),
+            },
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn dotted_identifiers() {
+        let stmts = parse("x <- is.finite(y)").unwrap();
+        match &stmts[0] {
+            RStmt::Assign {
+                expr: RExpr::Call { func, .. },
+                ..
+            } => assert_eq!(func, "is.finite"),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn row_mask_indexing() {
+        let stmts = parse("x <- df[is.finite(df$m), ]").unwrap();
+        match &stmts[0] {
+            RStmt::Assign {
+                expr:
+                    RExpr::Index {
+                        row: Some(_),
+                        col: None,
+                        two_slot: true,
+                        ..
+                    },
+                ..
+            } => {}
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn arithmetic_precedence() {
+        let stmts = parse("x <- a + b * c").unwrap();
+        match &stmts[0] {
+            RStmt::Assign {
+                expr: RExpr::Binary { op: '+', r, .. },
+                ..
+            } => {
+                assert!(matches!(r.as_ref(), RExpr::Binary { op: '*', .. }));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn negative_column_selection() {
+        let stmts = parse("x <- df[-c(\"p\")]").unwrap();
+        match &stmts[0] {
+            RStmt::Assign {
+                expr: RExpr::Index { col: Some(c), .. },
+                ..
+            } => {
+                assert!(matches!(c.as_ref(), RExpr::Neg(_)));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn errors() {
+        assert!(parse("x <- ").is_err());
+        assert!(parse("x <- 'unterminated").is_err());
+        assert!(parse("x <- df[").is_err());
+        assert!(parse("x <- ?").is_err());
+        assert!(parse("f(a) g(b)").is_err()); // two statements on one line
+    }
+
+    #[test]
+    fn semicolon_separates_statements() {
+        assert_eq!(parse("a <- 1; b <- 2").unwrap().len(), 2);
+    }
+}

@@ -1,0 +1,36 @@
+//! SQL engine errors.
+
+use std::fmt;
+
+/// Error raised by the SQL engine.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SqlError {
+    /// Lexing/parsing error.
+    Parse(String),
+    /// Runtime error (unknown table/column, arity mismatch, …).
+    Execution(String),
+}
+
+impl fmt::Display for SqlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SqlError::Parse(m) => write!(f, "SQL parse error: {m}"),
+            SqlError::Execution(m) => write!(f, "SQL execution error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for SqlError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert!(SqlError::Parse("x".into()).to_string().contains("parse"));
+        assert!(SqlError::Execution("y".into())
+            .to_string()
+            .contains("execution"));
+    }
+}

@@ -1,0 +1,283 @@
+//! Tabular (table-valued) functions — the extended-SQL mechanism §5.1 uses
+//! for black-box multi-tuple operators: "Tabular functions take in input
+//! one or more tables and return another table whose tuples are obtained by
+//! an arbitrarily complex elaboration of the input tuples."
+//!
+//! The built-in registry exposes the series operators of `exl-stats` under
+//! their SQL spellings (`STL_TREND(GDP)`, `MOVAVG(T, 4)`, …). The input
+//! table must follow the cube naming convention: exactly one temporal
+//! column (the series axis), any number of other dimension columns (the
+//! slices), and a trailing numeric measure column.
+
+use std::collections::BTreeMap;
+
+use exl_model::time::TimePoint;
+use exl_stats::seriesop::SeriesOp;
+
+use crate::catalog::{Database, Table};
+use crate::error::SqlError;
+use crate::parser::TableFnArg;
+use crate::value::{SqlType, SqlValue};
+
+/// Resolve a tabular function name plus arguments to a series operator and
+/// its operand table name.
+pub fn resolve(func: &str, args: &[TableFnArg]) -> Result<(SeriesOp, String), SqlError> {
+    let table = match args.first() {
+        Some(TableFnArg::Table(t)) => t.clone(),
+        _ => {
+            return Err(SqlError::Execution(format!(
+                "tabular function {func} needs a table argument"
+            )))
+        }
+    };
+    let op = match func {
+        "STL_TREND" | "STL_T" => SeriesOp::StlTrend,
+        "STL_SEASONAL" | "STL_S" => SeriesOp::StlSeasonal,
+        "STL_REMAINDER" | "STL_R" => SeriesOp::StlRemainder,
+        "CUMSUM" => SeriesOp::CumSum,
+        "ZSCORE" => SeriesOp::ZScore,
+        "LIN_TREND" => SeriesOp::LinTrend,
+        "MOVAVG" => {
+            let w = match args.get(1) {
+                Some(TableFnArg::Number(n)) if n.fract() == 0.0 && *n >= 1.0 => *n as usize,
+                _ => {
+                    return Err(SqlError::Execution(
+                        "MOVAVG needs a positive integer window argument".into(),
+                    ))
+                }
+            };
+            SeriesOp::MovAvg { window: w }
+        }
+        other => {
+            return Err(SqlError::Execution(format!(
+                "unknown tabular function {other}"
+            )))
+        }
+    };
+    if func == "MOVAVG" {
+        if args.len() != 2 {
+            return Err(SqlError::Execution("MOVAVG takes (table, window)".into()));
+        }
+    } else if args.len() != 1 {
+        return Err(SqlError::Execution(format!(
+            "{func} takes exactly one table"
+        )));
+    }
+    Ok((op, table))
+}
+
+/// Apply a tabular function, producing a result table with the operand's
+/// columns.
+pub fn apply(db: &Database, func: &str, args: &[TableFnArg]) -> Result<Table, SqlError> {
+    let (op, table_name) = resolve(func, args)?;
+    let table = db
+        .table(&table_name)
+        .ok_or_else(|| SqlError::Execution(format!("unknown table {table_name}")))?;
+
+    // locate the unique temporal column
+    let time_cols: Vec<usize> = table
+        .columns
+        .iter()
+        .enumerate()
+        .filter(|(_, c)| matches!(c.ty, SqlType::Time(_)))
+        .map(|(i, _)| i)
+        .collect();
+    let [time_idx] = time_cols.as_slice() else {
+        return Err(SqlError::Execution(format!(
+            "{func}: table {table_name} must have exactly one temporal column, found {}",
+            time_cols.len()
+        )));
+    };
+    let time_idx = *time_idx;
+    let SqlType::Time(freq) = table.columns[time_idx].ty else {
+        unreachable!()
+    };
+    let period = TimePoint::periods_per_year(freq);
+
+    // measure column: the last DOUBLE column
+    let measure_idx = table
+        .columns
+        .iter()
+        .rposition(|c| c.ty == SqlType::Double)
+        .ok_or_else(|| {
+            SqlError::Execution(format!("{func}: table {table_name} has no measure column"))
+        })?;
+
+    // slice the rows on the remaining columns
+    type SliceKey = Vec<String>;
+    let mut slices: BTreeMap<SliceKey, Vec<(i64, usize)>> = BTreeMap::new();
+    for (ri, row) in table.rows.iter().enumerate() {
+        let t = row[time_idx]
+            .as_time()
+            .ok_or_else(|| SqlError::Execution(format!("{func}: NULL time value in row {ri}")))?;
+        let key: SliceKey = row
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != time_idx && *i != measure_idx)
+            .map(|(_, v)| v.to_string())
+            .collect();
+        slices.entry(key).or_default().push((t.index(), ri));
+    }
+
+    let mut out = Table::new(func.to_string(), table.columns.clone());
+    for (_, mut rows) in slices {
+        rows.sort_by_key(|(t, _)| *t);
+        let indices: Vec<i64> = rows.iter().map(|(t, _)| *t).collect();
+        let values: Vec<f64> = rows
+            .iter()
+            .map(|(_, ri)| table.rows[*ri][measure_idx].as_f64().unwrap_or(f64::NAN))
+            .collect();
+        if values.iter().any(|v| v.is_nan()) {
+            return Err(SqlError::Execution(format!(
+                "{func}: NULL measure in operand table {table_name}"
+            )));
+        }
+        let result = op.apply(&indices, &values, period);
+        for ((_, ri), v) in rows.into_iter().zip(result) {
+            let mut row = table.rows[ri].clone();
+            row[measure_idx] = SqlValue::double(v);
+            out.rows.push(row);
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::Column;
+    use exl_model::time::Frequency;
+
+    fn quarterly_table() -> Table {
+        let mut t = Table::new(
+            "GDP",
+            vec![
+                Column {
+                    name: "Q".into(),
+                    ty: SqlType::Time(Frequency::Quarterly),
+                },
+                Column {
+                    name: "G".into(),
+                    ty: SqlType::Double,
+                },
+            ],
+        );
+        for i in 0..12u32 {
+            t.rows.push(vec![
+                SqlValue::Time(TimePoint::Quarter {
+                    year: 2018 + (i / 4) as i32,
+                    quarter: i % 4 + 1,
+                }),
+                SqlValue::Double(100.0 + i as f64),
+            ]);
+        }
+        t
+    }
+
+    #[test]
+    fn stl_trend_runs_and_preserves_shape() {
+        let mut db = Database::new();
+        db.put_table(quarterly_table());
+        let out = apply(&db, "STL_TREND", &[TableFnArg::Table("GDP".into())]).unwrap();
+        assert_eq!(out.len(), 12);
+        assert_eq!(out.columns.len(), 2);
+        assert!(out.rows.iter().all(|r| !r[1].is_null()));
+    }
+
+    #[test]
+    fn cumsum_matches_direct_computation() {
+        let mut db = Database::new();
+        db.put_table(quarterly_table());
+        let out = apply(&db, "CUMSUM", &[TableFnArg::Table("GDP".into())]).unwrap();
+        let rows = out.sorted_rows();
+        assert_eq!(rows[0][1].as_f64(), Some(100.0));
+        assert_eq!(rows[1][1].as_f64(), Some(201.0));
+    }
+
+    #[test]
+    fn movavg_window_argument() {
+        let mut db = Database::new();
+        db.put_table(quarterly_table());
+        let out = apply(
+            &db,
+            "MOVAVG",
+            &[TableFnArg::Table("GDP".into()), TableFnArg::Number(2.0)],
+        )
+        .unwrap();
+        let rows = out.sorted_rows();
+        assert_eq!(rows[1][1].as_f64(), Some(100.5));
+        assert!(apply(&db, "MOVAVG", &[TableFnArg::Table("GDP".into())]).is_err());
+    }
+
+    #[test]
+    fn errors_for_bad_inputs() {
+        let mut db = Database::new();
+        db.put_table(quarterly_table());
+        assert!(apply(&db, "NOPE", &[TableFnArg::Table("GDP".into())]).is_err());
+        assert!(apply(&db, "STL_TREND", &[TableFnArg::Table("MISSING".into())]).is_err());
+        assert!(apply(&db, "STL_TREND", &[]).is_err());
+        // table with two time columns is ambiguous
+        let mut t2 = quarterly_table();
+        t2.name = "T2".into();
+        t2.columns.push(Column {
+            name: "Q2".into(),
+            ty: SqlType::Time(Frequency::Yearly),
+        });
+        for r in &mut t2.rows {
+            r.push(SqlValue::Time(TimePoint::Year(2020)));
+        }
+        db.put_table(t2);
+        let err = apply(&db, "STL_TREND", &[TableFnArg::Table("T2".into())]).unwrap_err();
+        assert!(err.to_string().contains("exactly one temporal column"));
+    }
+
+    #[test]
+    fn slices_processed_independently() {
+        let mut t = Table::new(
+            "X",
+            vec![
+                Column {
+                    name: "Q".into(),
+                    ty: SqlType::Time(Frequency::Quarterly),
+                },
+                Column {
+                    name: "R".into(),
+                    ty: SqlType::Text,
+                },
+                Column {
+                    name: "V".into(),
+                    ty: SqlType::Double,
+                },
+            ],
+        );
+        for r in ["a", "b"] {
+            for i in 0..4u32 {
+                t.rows.push(vec![
+                    SqlValue::Time(TimePoint::Quarter {
+                        year: 2020,
+                        quarter: i + 1,
+                    }),
+                    SqlValue::Text(r.into()),
+                    SqlValue::Double(if r == "a" { 1.0 } else { 10.0 }),
+                ]);
+            }
+        }
+        let mut db = Database::new();
+        db.put_table(t);
+        let out = apply(&db, "CUMSUM", &[TableFnArg::Table("X".into())]).unwrap();
+        let rows = out.sorted_rows();
+        // within slice "a" cumsum reaches 4, within "b" it reaches 40
+        let max_a = rows
+            .iter()
+            .filter(|r| r[1] == SqlValue::Text("a".into()))
+            .filter_map(|r| r[2].as_f64())
+            .fold(f64::MIN, f64::max);
+        let max_b = rows
+            .iter()
+            .filter(|r| r[1] == SqlValue::Text("b".into()))
+            .filter_map(|r| r[2].as_f64())
+            .fold(f64::MIN, f64::max);
+        assert_eq!(max_a, 4.0);
+        assert_eq!(max_b, 40.0);
+    }
+}

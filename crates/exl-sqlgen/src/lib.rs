@@ -1,0 +1,818 @@
+//! # exl-sqlgen — translating tgds into SQL (§5.1)
+//!
+//! Each tgd is translated independently into an `INSERT INTO … SELECT`
+//! statement (the paper's observation that a script generating all tuples
+//! implied by one tgd is a self-contained chase step):
+//!
+//! * the conjunction of lhs atoms becomes a join, with equality conditions
+//!   generated from repeated variables (shifted occurrences produce
+//!   temporal arithmetic in the join condition, as in the paper's PCHNG
+//!   statement);
+//! * tuple-level rhs expressions become scalar SELECT expressions;
+//! * aggregate rhs terms become `GROUP BY` queries (tgd (3));
+//! * table-function tgds use the tabular-function dialect
+//!   (`SELECT … FROM STL_TREND(GDP)`, tgd (4)).
+//!
+//! The paper notes that "it is not the case that all operators are natively
+//! supported by all systems": the default-value (outer) vectorial variant
+//! has no translation in this SQL subset and reports
+//! [`SqlGenError::Unsupported`], which the engine's dispatcher uses to
+//! route such cubes to a different target.
+
+#![warn(missing_docs)]
+
+use exl_lang::ast::{BinOp, UnaryFn};
+use exl_map::dep::{Atom, DimTerm, Mapping, MeasureTerm, ScalarExpr, Tgd};
+use exl_model::schema::{CubeKind, CubeSchema};
+use exl_model::Cube;
+use std::fmt;
+
+/// SQL generation failure.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SqlGenError {
+    /// The tgd uses an operator this target has no translation for.
+    Unsupported {
+        /// Which tgd.
+        tgd: String,
+        /// Why.
+        reason: String,
+    },
+    /// Internal inconsistency (unbound variable etc.).
+    Internal(String),
+}
+
+impl fmt::Display for SqlGenError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SqlGenError::Unsupported { tgd, reason } => {
+                write!(f, "tgd ({tgd}) not supported on the SQL target: {reason}")
+            }
+            SqlGenError::Internal(m) => write!(f, "SQL generation error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for SqlGenError {}
+
+/// `CREATE TABLE` statement for a cube schema: one typed column per
+/// dimension plus a DOUBLE measure column.
+pub fn create_table_sql(schema: &CubeSchema) -> String {
+    let mut cols: Vec<String> = schema
+        .dims
+        .iter()
+        .map(|d| {
+            format!(
+                "{} {}",
+                d.name,
+                exl_sqlengine::SqlType::from_dim_type(d.ty).sql_name()
+            )
+        })
+        .collect();
+    cols.push(format!("{} DOUBLE", schema.measure));
+    format!("CREATE TABLE {} ({})", schema.id, cols.join(", "))
+}
+
+/// `INSERT … VALUES` statements loading a cube's data, batched
+/// `rows_per_stmt` tuples per statement.
+pub fn insert_data_sql(cube: &Cube, rows_per_stmt: usize) -> Vec<String> {
+    let cols: Vec<&str> = cube
+        .schema
+        .dims
+        .iter()
+        .map(|d| d.name.as_str())
+        .chain(std::iter::once(cube.schema.measure.as_str()))
+        .collect();
+    let tuples: Vec<String> = cube
+        .data
+        .iter()
+        .map(|(k, v)| {
+            let mut lits: Vec<String> = k
+                .iter()
+                .map(|d| exl_sqlengine::SqlValue::from_dim(d).to_literal())
+                .collect();
+            lits.push(format!("{v:?}"));
+            format!("({})", lits.join(", "))
+        })
+        .collect();
+    tuples
+        .chunks(rows_per_stmt.max(1))
+        .map(|chunk| {
+            format!(
+                "INSERT INTO {} ({}) VALUES {}",
+                cube.schema.id,
+                cols.join(", "),
+                chunk.join(", ")
+            )
+        })
+        .collect()
+}
+
+/// Translate one tgd into an `INSERT INTO … SELECT` statement.
+///
+/// `target_schema` supplies the result column names; `source_schema` is
+/// needed by table-function tgds whose operand uses different column
+/// names.
+pub fn tgd_to_sql(
+    tgd: &Tgd,
+    target_schema: &CubeSchema,
+    source_schema: Option<&CubeSchema>,
+) -> Result<String, SqlGenError> {
+    let (cols, select) = tgd_select_sql(tgd, target_schema, source_schema)?;
+    Ok(format!(
+        "INSERT INTO {target}({cols})\n{select}",
+        target = tgd.target_relation(),
+        cols = cols.join(", "),
+    ))
+}
+
+/// The SELECT body of a tgd's translation plus the target column list —
+/// shared by the INSERT form and the `CREATE VIEW` form.
+pub fn tgd_select_sql(
+    tgd: &Tgd,
+    target_schema: &CubeSchema,
+    source_schema: Option<&CubeSchema>,
+) -> Result<(Vec<String>, String), SqlGenError> {
+    match tgd {
+        Tgd::TableFn { source, op, .. } => {
+            let src = source_schema.ok_or_else(|| {
+                SqlGenError::Internal(format!("table function needs the schema of {source}"))
+            })?;
+            let mut tcols = target_columns(target_schema);
+            tcols.push(target_schema.measure.clone());
+            let mut scols: Vec<String> = src.dims.iter().map(|d| d.name.clone()).collect();
+            scols.push(src.measure.clone());
+            let items: Vec<String> = scols
+                .iter()
+                .zip(&tcols)
+                .map(|(s, t)| {
+                    if s == t {
+                        s.clone()
+                    } else {
+                        format!("{s} AS {t}")
+                    }
+                })
+                .collect();
+            let select = format!(
+                "SELECT {items}\nFROM {call}",
+                items = items.join(", "),
+                call = table_fn_call(op, source.as_str()),
+            );
+            Ok((tcols, select))
+        }
+        Tgd::Rule {
+            id,
+            lhs,
+            rhs_relation,
+            rhs_dims,
+            rhs_measure,
+            outer_default,
+        } => {
+            if outer_default.is_some() {
+                return Err(SqlGenError::Unsupported {
+                    tgd: id.clone(),
+                    reason: "default-value (outer) vectorial operators need FULL OUTER JOIN".into(),
+                });
+            }
+            let ctx = JoinContext::build(lhs)?;
+            let dim_cols = target_columns(target_schema);
+
+            let mut select_items = Vec::with_capacity(dim_cols.len() + 1);
+            for (term, col) in rhs_dims.iter().zip(&dim_cols) {
+                select_items.push(format!("{} AS {col}", ctx.dim_term_sql(term)?));
+            }
+
+            let (measure_sql, group_by) = match rhs_measure {
+                MeasureTerm::Scalar(e) => (ctx.scalar_sql(e)?, None),
+                MeasureTerm::Aggregate { agg, expr } => {
+                    let inner = ctx.scalar_sql(expr)?;
+                    let keys: Vec<String> = rhs_dims
+                        .iter()
+                        .map(|t| ctx.dim_term_sql(t))
+                        .collect::<Result<_, _>>()?;
+                    (format!("{}({inner})", agg.sql_name()), Some(keys))
+                }
+            };
+            select_items.push(format!("{measure_sql} AS {}", target_schema.measure));
+
+            let mut all_cols = dim_cols;
+            all_cols.push(target_schema.measure.clone());
+            let mut sql = format!(
+                "SELECT {items}\nFROM {from}",
+                items = select_items.join(", "),
+                from = ctx.sql_from(),
+            );
+            if !ctx.conditions.is_empty() {
+                sql.push_str("\nWHERE ");
+                sql.push_str(&ctx.conditions.join(" AND "));
+            }
+            if let Some(keys) = group_by {
+                sql.push_str("\nGROUP BY ");
+                sql.push_str(&keys.join(", "));
+            }
+            let _ = rhs_relation;
+            Ok((all_cols, sql))
+        }
+    }
+}
+
+/// Like [`mapping_to_sql`], but intermediate cubes (per `is_temp`) become
+/// `CREATE VIEW` definitions instead of materialized tables — the §6
+/// reformulation "in terms of creation of relational views … for
+/// temporary cubes". Final cubes are still materialized with INSERTs.
+pub fn mapping_to_sql_views(
+    mapping: &Mapping,
+    is_temp: &dyn Fn(&exl_model::CubeId) -> bool,
+) -> Result<Vec<String>, SqlGenError> {
+    let mut out = Vec::new();
+    // CREATE TABLE only for non-temp derived relations
+    for schema in &mapping.target {
+        if schema.kind == CubeKind::Derived && !is_temp(&schema.id) {
+            out.push(create_table_sql(schema));
+        }
+    }
+    for tgd in &mapping.statement_tgds {
+        let target = tgd.target_relation();
+        let schema = mapping
+            .schema(target)
+            .ok_or_else(|| SqlGenError::Internal(format!("no schema for {target}")))?;
+        let source_schema = match tgd {
+            Tgd::TableFn { source, .. } => mapping.schema(source),
+            _ => None,
+        };
+        let (cols, select) = tgd_select_sql(tgd, schema, source_schema)?;
+        if is_temp(target) {
+            out.push(format!("CREATE VIEW {target} AS\n{select}"));
+        } else {
+            out.push(format!(
+                "INSERT INTO {target}({cols})\n{select}",
+                cols = cols.join(", ")
+            ));
+        }
+    }
+    Ok(out)
+}
+
+/// Default temp-cube predicate: rewriting auxiliaries carry a `__`
+/// separator in their generated names.
+pub fn is_rewrite_aux(id: &exl_model::CubeId) -> bool {
+    id.as_str().contains("__")
+}
+
+/// Translate a whole mapping into an ordered SQL script: `CREATE TABLE`
+/// for every derived relation, then one INSERT per statement tgd, in
+/// stratification order. (Source tables are created/loaded separately via
+/// [`create_table_sql`]/[`insert_data_sql`].)
+pub fn mapping_to_sql(mapping: &Mapping) -> Result<Vec<String>, SqlGenError> {
+    let mut out = Vec::new();
+    for schema in &mapping.target {
+        if schema.kind == CubeKind::Derived {
+            out.push(create_table_sql(schema));
+        }
+    }
+    for tgd in &mapping.statement_tgds {
+        let schema = mapping.schema(tgd.target_relation()).ok_or_else(|| {
+            SqlGenError::Internal(format!("no schema for {}", tgd.target_relation()))
+        })?;
+        let source_schema = match tgd {
+            Tgd::TableFn { source, .. } => mapping.schema(source),
+            _ => None,
+        };
+        out.push(tgd_to_sql(tgd, schema, source_schema)?);
+    }
+    Ok(out)
+}
+
+fn target_columns(schema: &CubeSchema) -> Vec<String> {
+    schema.dims.iter().map(|d| d.name.clone()).collect()
+}
+
+/// The tabular-function invocation for a series operator.
+fn table_fn_call(op: &exl_stats::seriesop::SeriesOp, source: &str) -> String {
+    use exl_stats::seriesop::SeriesOp::*;
+    match op {
+        StlTrend => format!("STL_TREND({source})"),
+        StlSeasonal => format!("STL_SEASONAL({source})"),
+        StlRemainder => format!("STL_REMAINDER({source})"),
+        CumSum => format!("CUMSUM({source})"),
+        ZScore => format!("ZSCORE({source})"),
+        LinTrend => format!("LIN_TREND({source})"),
+        MovAvg { window } => format!("MOVAVG({source}, {window})"),
+    }
+}
+
+/// Where a variable is bound: alias + column + shift offset
+/// (column value = variable value + offset).
+struct VarSite {
+    alias: String,
+    column: String,
+    offset: i64,
+}
+
+struct JoinContext {
+    /// FROM entries: (relation, alias) — alias omitted for single atoms.
+    atoms: Vec<(String, Option<String>)>,
+    /// Join/selection conditions from repeated variables.
+    conditions: Vec<String>,
+    /// Canonical site per variable (dimension and measure variables).
+    sites: std::collections::BTreeMap<String, VarSite>,
+}
+
+impl JoinContext {
+    fn build(lhs: &[Atom]) -> Result<JoinContext, SqlGenError> {
+        let single = lhs.len() == 1;
+        let mut ctx = JoinContext {
+            atoms: Vec::new(),
+            conditions: Vec::new(),
+            sites: std::collections::BTreeMap::new(),
+        };
+        for (i, atom) in lhs.iter().enumerate() {
+            let alias = if single {
+                None
+            } else {
+                Some(format!("C{}", i + 1))
+            };
+            let qual = alias.clone().unwrap_or_else(|| atom.relation.to_string());
+            ctx.atoms.push((atom.relation.to_string(), alias));
+
+            // the generator names each atom's dimension terms after the
+            // relation's column names, so the term's variable stem doubles
+            // as the column name
+            for term in &atom.dim_terms {
+                let var = term.var_name().to_string();
+                let (column, offset) = match term {
+                    DimTerm::Var(_) => (var.clone(), 0),
+                    DimTerm::Shifted { offset, .. } => (var.clone(), *offset),
+                    DimTerm::Converted { .. } => {
+                        return Err(SqlGenError::Internal(
+                            "frequency conversion cannot appear in an lhs atom".into(),
+                        ))
+                    }
+                };
+                let site = VarSite {
+                    alias: qual.clone(),
+                    column,
+                    offset,
+                };
+                match ctx.sites.get(&var) {
+                    None => {
+                        ctx.sites.insert(var, site);
+                    }
+                    Some(first) => {
+                        // column_new − off_new = column_first − off_first
+                        let lhs_expr = format!("{}.{}", site.alias, site.column);
+                        let rhs_expr = offset_expr(
+                            &format!("{}.{}", first.alias, first.column),
+                            site.offset - first.offset,
+                        );
+                        ctx.conditions.push(format!("{lhs_expr} = {rhs_expr}"));
+                    }
+                }
+            }
+            let column = measure_column_of(lhs, i);
+            ctx.sites.insert(
+                atom.measure_var.clone(),
+                VarSite {
+                    alias: qual,
+                    column,
+                    offset: 0,
+                },
+            );
+        }
+        Ok(ctx)
+    }
+
+    fn sql_from(&self) -> String {
+        self.atoms
+            .iter()
+            .map(|(rel, alias)| match alias {
+                Some(a) => format!("{rel} {a}"),
+                None => rel.clone(),
+            })
+            .collect::<Vec<_>>()
+            .join(", ")
+    }
+
+    fn var_sql(&self, var: &str) -> Result<String, SqlGenError> {
+        let site = self
+            .sites
+            .get(var)
+            .ok_or_else(|| SqlGenError::Internal(format!("unbound variable {var}")))?;
+        // variable value = column − offset
+        Ok(offset_expr(
+            &format!("{}.{}", site.alias, site.column),
+            -site.offset,
+        ))
+    }
+
+    fn dim_term_sql(&self, term: &DimTerm) -> Result<String, SqlGenError> {
+        match term {
+            DimTerm::Var(v) => self.var_sql(v),
+            DimTerm::Shifted { var, offset } => Ok(offset_expr(&self.var_sql(var)?, *offset)),
+            DimTerm::Converted { var, target } => {
+                let f = match target {
+                    exl_model::Frequency::Monthly => "MONTH",
+                    exl_model::Frequency::Quarterly => "QUARTER",
+                    exl_model::Frequency::Yearly => "YEAR",
+                    exl_model::Frequency::Daily => {
+                        return Err(SqlGenError::Internal(
+                            "cannot convert to a finer frequency".into(),
+                        ))
+                    }
+                };
+                Ok(format!("{f}({})", self.var_sql(var)?))
+            }
+        }
+    }
+
+    fn scalar_sql(&self, e: &ScalarExpr) -> Result<String, SqlGenError> {
+        Ok(match e {
+            ScalarExpr::Var(v) => self.var_sql(v)?,
+            ScalarExpr::Const(c) => {
+                if *c < 0.0 {
+                    format!("({c})")
+                } else {
+                    format!("{c}")
+                }
+            }
+            ScalarExpr::Unary(op, a) => {
+                let inner = self.scalar_sql(a)?;
+                match op {
+                    UnaryFn::Neg => format!("-({inner})"),
+                    UnaryFn::Ln => format!("LN({inner})"),
+                    UnaryFn::Exp => format!("EXP({inner})"),
+                    UnaryFn::Sqrt => format!("SQRT({inner})"),
+                    UnaryFn::Abs => format!("ABS({inner})"),
+                    UnaryFn::Sin => format!("SIN({inner})"),
+                    UnaryFn::Cos => format!("COS({inner})"),
+                }
+            }
+            ScalarExpr::Binary(op, a, b) => {
+                let l = self.scalar_sql(a)?;
+                let r = self.scalar_sql(b)?;
+                match op {
+                    BinOp::Pow => format!("POWER({l}, {r})"),
+                    _ => {
+                        let lw = if paren(a) { format!("({l})") } else { l };
+                        let rw = if paren(b) { format!("({r})") } else { r };
+                        format!("{lw} {} {rw}", op.symbol())
+                    }
+                }
+            }
+        })
+    }
+}
+
+/// Conservative parenthesization: wrap any nested binary expression.
+fn paren(e: &ScalarExpr) -> bool {
+    matches!(e, ScalarExpr::Binary(..))
+}
+
+fn offset_expr(base: &str, offset: i64) -> String {
+    match offset.cmp(&0) {
+        std::cmp::Ordering::Equal => base.to_string(),
+        std::cmp::Ordering::Greater => format!("{base} + {offset}"),
+        std::cmp::Ordering::Less => format!("{base} - {}", -offset),
+    }
+}
+
+/// The measure column name for atom `i`: the atom's measure variable,
+/// stripped of the uniquifying numeric suffix the generator adds when a
+/// measure-name stem is shared by several atoms.
+fn measure_column_of(lhs: &[Atom], i: usize) -> String {
+    let var = &lhs[i].measure_var;
+    let stem: String = var
+        .trim_end_matches(|c: char| c.is_ascii_digit())
+        .to_string();
+    if stem.is_empty() || var == &stem {
+        return var.clone();
+    }
+    let stem_shared = lhs.iter().enumerate().any(|(j, a)| {
+        j != i && a.measure_var.trim_end_matches(|c: char| c.is_ascii_digit()) == stem
+    });
+    if stem_shared {
+        stem
+    } else {
+        var.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use exl_lang::{analyze, parse_program};
+    use exl_map::generate::{generate_mapping, GenMode};
+
+    const GDP_SRC: &str = r#"
+        cube PDR(d: time[day], r: text) -> p;
+        cube RGDPPC(q: time[quarter], r: text) -> g;
+        PQR := avg(PDR, group by quarter(d) as q, r);
+        RGDP := RGDPPC * PQR;
+        GDP := sum(RGDP, group by q);
+        GDPT := stl_trend(GDP);
+        PCHNG := 100 * (GDPT - shift(GDPT, 1)) / GDPT;
+    "#;
+
+    fn gdp_sql() -> Vec<String> {
+        let analyzed = analyze(&parse_program(GDP_SRC).unwrap(), &[]).unwrap();
+        let (mapping, _) = generate_mapping(&analyzed, GenMode::Fused).unwrap();
+        mapping_to_sql(&mapping).unwrap()
+    }
+
+    #[test]
+    fn gdp_script_shape() {
+        let stmts = gdp_sql();
+        // 5 CREATE TABLE (derived) + 5 INSERT
+        assert_eq!(stmts.len(), 10);
+        assert!(stmts[0].starts_with("CREATE TABLE"));
+        assert!(stmts[5].starts_with("INSERT INTO PQR"));
+    }
+
+    /// tgd (1): aggregation with frequency conversion.
+    #[test]
+    fn tgd1_sql_uses_quarter_and_group_by() {
+        let sql = &gdp_sql()[5];
+        assert_eq!(
+            sql,
+            "INSERT INTO PQR(q, r, m)\n\
+             SELECT QUARTER(PDR.d) AS q, PDR.r AS r, AVG(PDR.p) AS m\n\
+             FROM PDR\n\
+             GROUP BY QUARTER(PDR.d), PDR.r"
+        );
+    }
+
+    /// tgd (2): the paper's join translation.
+    #[test]
+    fn tgd2_sql_joins_on_shared_dims() {
+        let sql = &gdp_sql()[6];
+        assert_eq!(
+            sql,
+            "INSERT INTO RGDP(q, r, m)\n\
+             SELECT C1.q AS q, C1.r AS r, C1.g * C2.m AS m\n\
+             FROM RGDPPC C1, PQR C2\n\
+             WHERE C2.q = C1.q AND C2.r = C1.r"
+        );
+    }
+
+    /// tgd (3): plain GROUP BY aggregation.
+    #[test]
+    fn tgd3_sql_group_by_sum() {
+        let sql = &gdp_sql()[7];
+        assert_eq!(
+            sql,
+            "INSERT INTO GDP(q, m)\n\
+             SELECT RGDP.q AS q, SUM(RGDP.m) AS m\n\
+             FROM RGDP\n\
+             GROUP BY RGDP.q"
+        );
+    }
+
+    /// tgd (4): tabular function.
+    #[test]
+    fn tgd4_sql_tabular_function() {
+        let sql = &gdp_sql()[8];
+        assert_eq!(
+            sql,
+            "INSERT INTO GDPT(q, m)\nSELECT q, m\nFROM STL_TREND(GDP)"
+        );
+    }
+
+    /// tgd (5): self join with temporal arithmetic in the condition.
+    #[test]
+    fn tgd5_sql_self_join() {
+        let sql = &gdp_sql()[9];
+        assert_eq!(
+            sql,
+            "INSERT INTO PCHNG(q, m)\n\
+             SELECT C1.q AS q, (100 * (C1.m - C2.m)) / C1.m AS m\n\
+             FROM GDPT C1, GDPT C2\n\
+             WHERE C2.q = C1.q - 1"
+        );
+    }
+
+    #[test]
+    fn normalized_shift_tgd_sql() {
+        let src = "cube A(q: quarter) -> y; B := shift(A, 1);";
+        let analyzed = analyze(&parse_program(src).unwrap(), &[]).unwrap();
+        let (mapping, _) = generate_mapping(&analyzed, GenMode::Normalized).unwrap();
+        let sql = mapping_to_sql(&mapping).unwrap();
+        assert_eq!(
+            sql[1],
+            "INSERT INTO B(q, m)\nSELECT A.q + 1 AS q, A.y AS m\nFROM A"
+        );
+    }
+
+    #[test]
+    fn movavg_table_fn_sql() {
+        let src = "cube A(q: quarter) -> y; B := movavg(A, 4);";
+        let analyzed = analyze(&parse_program(src).unwrap(), &[]).unwrap();
+        let (mapping, _) = generate_mapping(&analyzed, GenMode::Fused).unwrap();
+        let sql = mapping_to_sql(&mapping).unwrap();
+        assert!(sql[1].contains("FROM MOVAVG(A, 4)"), "{}", sql[1]);
+    }
+
+    #[test]
+    fn create_and_load_round_trip_through_engine() {
+        use exl_model::schema::{CubeKind, Dimension};
+        use exl_model::value::{DimType, DimValue};
+        use exl_model::{CubeData, TimePoint};
+        let schema = CubeSchema::new(
+            "T",
+            vec![
+                Dimension::new("q", DimType::Time(exl_model::Frequency::Quarterly)),
+                Dimension::new("r", DimType::Str),
+            ],
+            CubeKind::Elementary,
+        )
+        .with_measure("v");
+        let data = CubeData::from_tuples(vec![
+            (
+                vec![
+                    DimValue::Time(TimePoint::Quarter {
+                        year: 2020,
+                        quarter: 1,
+                    }),
+                    DimValue::str("n"),
+                ],
+                1.5,
+            ),
+            (
+                vec![
+                    DimValue::Time(TimePoint::Quarter {
+                        year: 2020,
+                        quarter: 2,
+                    }),
+                    DimValue::str("s"),
+                ],
+                -2.5,
+            ),
+        ])
+        .unwrap();
+        let cube = Cube::new(schema.clone(), data);
+
+        let mut engine = exl_sqlengine::Engine::new();
+        engine.execute_script(&create_table_sql(&schema)).unwrap();
+        for stmt in insert_data_sql(&cube, 1) {
+            engine.execute_script(&stmt).unwrap();
+        }
+        let back = engine.db.table("T").unwrap().to_cube_data(&schema).unwrap();
+        assert!(
+            back.approx_eq(&cube.data, 0.0),
+            "{:?}",
+            back.diff(&cube.data, 0.0)
+        );
+    }
+
+    /// The §6 view reformulation: normalized mappings with every auxiliary
+    /// cube as a CREATE VIEW produce the same final cubes as full
+    /// materialization.
+    #[test]
+    fn views_mode_matches_materialized_mode() {
+        use exl_model::value::DimValue;
+        use exl_model::{CubeData, Dataset, TimePoint};
+
+        let src = "cube A(q: quarter) -> y; B := 100 * (A - shift(A, 1)) / A;";
+        let analyzed = analyze(&parse_program(src).unwrap(), &[]).unwrap();
+        let (mapping, re) = generate_mapping(&analyzed, GenMode::Normalized).unwrap();
+
+        let mut input = Dataset::new();
+        let tuples: Vec<(Vec<DimValue>, f64)> = (1..=6)
+            .map(|i| {
+                (
+                    vec![DimValue::Time(TimePoint::Quarter {
+                        year: 2020 + i / 5,
+                        quarter: ((i - 1) % 4 + 1) as u32,
+                    })],
+                    10.0 * i as f64,
+                )
+            })
+            .collect();
+        input.put(Cube::new(
+            re.schemas[&"A".into()].clone(),
+            CubeData::from_tuples(tuples).unwrap(),
+        ));
+
+        let run = |script: Vec<String>| -> exl_model::CubeData {
+            let mut engine = exl_sqlengine::Engine::new();
+            for (_, cube) in input.iter() {
+                engine
+                    .execute_script(&create_table_sql(&cube.schema))
+                    .unwrap();
+                for stmt in insert_data_sql(cube, 64) {
+                    engine.execute_script(&stmt).unwrap();
+                }
+            }
+            for stmt in &script {
+                engine.execute_script(stmt).unwrap();
+            }
+            engine
+                .db
+                .table("B")
+                .unwrap()
+                .to_cube_data(&re.schemas[&"B".into()])
+                .unwrap()
+        };
+
+        let materialized = run(mapping_to_sql(&mapping).unwrap());
+        let views_script = mapping_to_sql_views(&mapping, &is_rewrite_aux).unwrap();
+        // the aux cubes became views, not tables
+        assert!(
+            views_script
+                .iter()
+                .any(|s| s.starts_with("CREATE VIEW B__t")),
+            "{views_script:?}"
+        );
+        assert!(!views_script
+            .iter()
+            .any(|s| s.starts_with("CREATE TABLE B__t")));
+        let via_views = run(views_script);
+        assert!(via_views.approx_eq(&materialized, 1e-12));
+    }
+
+    #[test]
+    fn outer_variant_reports_unsupported() {
+        let src = "cube A(k: int) -> y; cube B(k: int) -> z; C := addz(A, B);";
+        let analyzed = analyze(&parse_program(src).unwrap(), &[]).unwrap();
+        let (mapping, _) = generate_mapping(&analyzed, GenMode::Fused).unwrap();
+        let err = mapping_to_sql(&mapping).unwrap_err();
+        assert!(matches!(err, SqlGenError::Unsupported { .. }), "{err}");
+    }
+
+    /// End-to-end: generated SQL executes on the engine and reproduces the
+    /// reference interpreter's result for the full GDP program.
+    #[test]
+    fn generated_sql_executes_and_matches_reference() {
+        use exl_model::value::DimValue;
+        use exl_model::{CubeData, Dataset, TimePoint};
+
+        let analyzed = analyze(&parse_program(GDP_SRC).unwrap(), &[]).unwrap();
+        let (mapping, re) = generate_mapping(&analyzed, GenMode::Fused).unwrap();
+
+        let mut input = Dataset::new();
+        let mut pdr = Vec::new();
+        let mut rgdppc = Vec::new();
+        for yq in 0..8i64 {
+            let (y, qu) = ((2019 + yq / 4) as i32, (yq % 4 + 1) as u32);
+            let m = (qu - 1) * 3 + 1;
+            for r in ["north", "south"] {
+                let d1 = exl_model::Date::from_ymd(y, m, 1).unwrap();
+                let d2 = exl_model::Date::from_ymd(y, m, 15).unwrap();
+                pdr.push((
+                    vec![DimValue::Time(TimePoint::Day(d1)), DimValue::str(r)],
+                    100.0 + yq as f64,
+                ));
+                pdr.push((
+                    vec![DimValue::Time(TimePoint::Day(d2)), DimValue::str(r)],
+                    102.0 + yq as f64,
+                ));
+                rgdppc.push((
+                    vec![
+                        DimValue::Time(TimePoint::Quarter {
+                            year: y,
+                            quarter: qu,
+                        }),
+                        DimValue::str(r),
+                    ],
+                    30.0 + yq as f64 + if r == "north" { 5.0 } else { 0.0 },
+                ));
+            }
+        }
+        input.put(Cube::new(
+            re.schemas[&"PDR".into()].clone(),
+            CubeData::from_tuples(pdr).unwrap(),
+        ));
+        input.put(Cube::new(
+            re.schemas[&"RGDPPC".into()].clone(),
+            CubeData::from_tuples(rgdppc).unwrap(),
+        ));
+
+        let mut engine = exl_sqlengine::Engine::new();
+        for (_, cube) in input.iter() {
+            engine
+                .execute_script(&create_table_sql(&cube.schema))
+                .unwrap();
+            for stmt in insert_data_sql(cube, 100) {
+                engine.execute_script(&stmt).unwrap();
+            }
+        }
+        for stmt in mapping_to_sql(&mapping).unwrap() {
+            engine.execute_script(&stmt).unwrap();
+        }
+
+        let reference = exl_eval::run_program(&analyzed, &input).unwrap();
+        for id in analyzed.program.derived_ids() {
+            let schema = &re.schemas[&id];
+            let got = engine
+                .db
+                .table(id.as_str())
+                .unwrap()
+                .to_cube_data(schema)
+                .unwrap();
+            let want = reference.data(&id).unwrap();
+            assert!(
+                got.approx_eq(want, 1e-9),
+                "{id}: {:?}",
+                got.diff(want, 1e-9)
+            );
+        }
+    }
+}

@@ -1,0 +1,204 @@
+//! Seasonal decomposition of time series.
+//!
+//! The paper's running example uses `stl_T`, the trend component of a
+//! seasonal decomposition (§2, footnote 2: the operator splits a series into
+//! trend, seasonal and remainder components). We implement the *classical
+//! additive decomposition* — the moving-average method STL refines — from
+//! scratch:
+//!
+//! 1. **trend** = centered moving average over one seasonal period (2×m MA
+//!    for even periods), with edges filled by linear extrapolation so the
+//!    component is total on the input domain;
+//! 2. **seasonal** = per-phase means of the detrended series, centered to
+//!    sum to zero over a period;
+//! 3. **remainder** = series − trend − seasonal.
+//!
+//! `trend + seasonal + remainder` reconstructs the input exactly, the
+//! invariant the property tests pin down.
+
+use crate::moving::{centered_moving_average, extrapolate_edges, two_by_m_moving_average};
+
+/// The three additive components of a decomposed series.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Decomposition {
+    /// Medium/long-term movement.
+    pub trend: Vec<f64>,
+    /// Repeating within-period pattern, zero-mean over one period.
+    pub seasonal: Vec<f64>,
+    /// What is left: `value − trend − seasonal`.
+    pub remainder: Vec<f64>,
+}
+
+/// Decompose `values` (a regular series, one observation per period phase,
+/// phases given by `phase[i] = i mod period` implicitly) with seasonal
+/// `period`. A `period` of 0 or 1, or a series shorter than two periods,
+/// yields a seasonal component of zero and a pure moving-average trend.
+pub fn decompose(values: &[f64], period: usize) -> Decomposition {
+    let n = values.len();
+    if n == 0 {
+        return Decomposition {
+            trend: vec![],
+            seasonal: vec![],
+            remainder: vec![],
+        };
+    }
+    let seasonal_active = period >= 2 && n >= 2 * period;
+
+    let mut trend = if !seasonal_active {
+        let w = if period >= 2 {
+            period | 1
+        } else {
+            3.min(n) | 1
+        };
+        centered_moving_average(values, w)
+    } else if period.is_multiple_of(2) {
+        two_by_m_moving_average(values, period)
+    } else {
+        centered_moving_average(values, period)
+    };
+    extrapolate_edges(&mut trend);
+
+    let seasonal = if seasonal_active {
+        seasonal_component(values, &trend, period)
+    } else {
+        vec![0.0; n]
+    };
+
+    let remainder = (0..n).map(|i| values[i] - trend[i] - seasonal[i]).collect();
+
+    Decomposition {
+        trend,
+        seasonal,
+        remainder,
+    }
+}
+
+/// Per-phase means of the detrended series, centered to zero mean.
+fn seasonal_component(values: &[f64], trend: &[f64], period: usize) -> Vec<f64> {
+    let n = values.len();
+    let mut phase_sum = vec![0.0; period];
+    let mut phase_cnt = vec![0usize; period];
+    for (i, (v, t)) in values.iter().zip(trend).enumerate() {
+        phase_sum[i % period] += v - t;
+        phase_cnt[i % period] += 1;
+    }
+    let mut phase_mean: Vec<f64> = (0..period)
+        .map(|p| {
+            if phase_cnt[p] == 0 {
+                0.0
+            } else {
+                phase_sum[p] / phase_cnt[p] as f64
+            }
+        })
+        .collect();
+    let grand = phase_mean.iter().sum::<f64>() / period as f64;
+    for m in &mut phase_mean {
+        *m -= grand;
+    }
+    (0..n).map(|i| phase_mean[i % period]).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::needless_range_loop)] // parallel-array assertions
+
+    use super::*;
+
+    fn synthetic(n: usize, period: usize) -> Vec<f64> {
+        // trend 0.5*i + seasonal pattern + nothing else
+        let season: Vec<f64> = (0..period)
+            .map(|p| ((p as f64) * std::f64::consts::TAU / period as f64).sin() * 3.0)
+            .collect();
+        (0..n)
+            .map(|i| 0.5 * i as f64 + season[i % period])
+            .collect()
+    }
+
+    #[test]
+    fn components_reconstruct_input_exactly() {
+        let v = synthetic(40, 4);
+        let d = decompose(&v, 4);
+        for i in 0..v.len() {
+            let sum = d.trend[i] + d.seasonal[i] + d.remainder[i];
+            assert!((sum - v[i]).abs() < 1e-9, "i={i}");
+        }
+    }
+
+    #[test]
+    fn seasonal_is_periodic_and_zero_mean() {
+        let v = synthetic(48, 4);
+        let d = decompose(&v, 4);
+        for i in 0..(48 - 4) {
+            assert!((d.seasonal[i] - d.seasonal[i + 4]).abs() < 1e-9);
+        }
+        let period_sum: f64 = d.seasonal[..4].iter().sum();
+        assert!(period_sum.abs() < 1e-9);
+    }
+
+    #[test]
+    fn trend_of_linear_plus_seasonal_is_nearly_linear() {
+        let v = synthetic(60, 4);
+        let d = decompose(&v, 4);
+        // away from the edges, trend should match 0.5*i closely
+        for i in 6..54 {
+            assert!(
+                (d.trend[i] - 0.5 * i as f64).abs() < 0.2,
+                "i={i} t={}",
+                d.trend[i]
+            );
+        }
+    }
+
+    #[test]
+    fn remainder_small_for_noiseless_input() {
+        let v = synthetic(60, 4);
+        let d = decompose(&v, 4);
+        for i in 8..52 {
+            assert!(d.remainder[i].abs() < 0.5, "i={i} r={}", d.remainder[i]);
+        }
+    }
+
+    #[test]
+    fn odd_period_uses_plain_centered_ma() {
+        let season = [1.0, -2.0, 1.0];
+        let v: Vec<f64> = (0..30).map(|i| i as f64 + season[i % 3]).collect();
+        let d = decompose(&v, 3);
+        for i in 0..27 {
+            assert!((d.seasonal[i] - d.seasonal[i + 3]).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn short_series_degrades_gracefully() {
+        let v = [1.0, 2.0, 3.0];
+        let d = decompose(&v, 4); // n < 2*period
+        assert_eq!(d.seasonal, vec![0.0; 3]);
+        for i in 0..3 {
+            assert!((d.trend[i] + d.remainder[i] - v[i]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn period_one_means_no_seasonality() {
+        let v = [4.0, 5.0, 6.0, 7.0];
+        let d = decompose(&v, 1);
+        assert_eq!(d.seasonal, vec![0.0; 4]);
+    }
+
+    #[test]
+    fn empty_series() {
+        let d = decompose(&[], 4);
+        assert!(d.trend.is_empty() && d.seasonal.is_empty() && d.remainder.is_empty());
+    }
+
+    #[test]
+    fn constant_series_has_constant_trend_zero_rest() {
+        let v = [3.0; 16];
+        let d = decompose(&v, 4);
+        for i in 0..16 {
+            assert!((d.trend[i] - 3.0).abs() < 1e-12);
+            assert!(d.seasonal[i].abs() < 1e-12);
+            assert!(d.remainder[i].abs() < 1e-12);
+        }
+    }
+}

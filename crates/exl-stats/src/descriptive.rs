@@ -1,0 +1,247 @@
+//! Descriptive statistics and the shared aggregation-function semantics.
+//!
+//! Every backend (reference interpreter, chase, SQL engine, R/Matlab minis,
+//! ETL) evaluates EXL aggregations through [`AggFn::apply`], so that "the
+//! same aggregation" means bit-for-bit the same fold everywhere and the
+//! cross-backend equivalence experiments compare real work, not divergent
+//! definitions.
+
+use std::fmt;
+
+/// An EXL aggregation operator (paper §3: "sum, max, min, or average" plus
+/// the other aggregations commonly adopted for statistical analysis:
+/// median, standard deviation, count).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AggFn {
+    /// Sum of the bag.
+    Sum,
+    /// Arithmetic mean.
+    Avg,
+    /// Minimum.
+    Min,
+    /// Maximum.
+    Max,
+    /// Number of elements.
+    Count,
+    /// Median (mean of the two central elements for even sizes).
+    Median,
+    /// Sample standard deviation (n−1 denominator); 0 for singletons.
+    StdDev,
+    /// Product of the bag.
+    Product,
+}
+
+impl AggFn {
+    /// All aggregation functions.
+    pub const ALL: [AggFn; 8] = [
+        AggFn::Sum,
+        AggFn::Avg,
+        AggFn::Min,
+        AggFn::Max,
+        AggFn::Count,
+        AggFn::Median,
+        AggFn::StdDev,
+        AggFn::Product,
+    ];
+
+    /// Lowercase EXL name.
+    pub fn name(self) -> &'static str {
+        match self {
+            AggFn::Sum => "sum",
+            AggFn::Avg => "avg",
+            AggFn::Min => "min",
+            AggFn::Max => "max",
+            AggFn::Count => "count",
+            AggFn::Median => "median",
+            AggFn::StdDev => "stddev",
+            AggFn::Product => "product",
+        }
+    }
+
+    /// Parse from the EXL name.
+    pub fn parse(s: &str) -> Option<AggFn> {
+        AggFn::ALL.into_iter().find(|a| a.name() == s)
+    }
+
+    /// SQL spelling (the subset engine supports all of these natively).
+    pub fn sql_name(self) -> &'static str {
+        match self {
+            AggFn::Sum => "SUM",
+            AggFn::Avg => "AVG",
+            AggFn::Min => "MIN",
+            AggFn::Max => "MAX",
+            AggFn::Count => "COUNT",
+            AggFn::Median => "MEDIAN",
+            AggFn::StdDev => "STDDEV",
+            AggFn::Product => "PRODUCT",
+        }
+    }
+
+    /// Apply to a bag of values. Returns `None` on the empty bag — the
+    /// paper's aggregation semantics creates a result tuple only when the
+    /// bag `V` is non-empty (§3).
+    pub fn apply(self, values: &[f64]) -> Option<f64> {
+        if values.is_empty() {
+            return None;
+        }
+        Some(match self {
+            AggFn::Sum => values.iter().sum(),
+            AggFn::Avg => values.iter().sum::<f64>() / values.len() as f64,
+            AggFn::Min => values.iter().copied().fold(f64::INFINITY, f64::min),
+            AggFn::Max => values.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+            AggFn::Count => values.len() as f64,
+            AggFn::Median => median(values),
+            AggFn::StdDev => stddev_sample(values),
+            AggFn::Product => values.iter().product(),
+        })
+    }
+}
+
+impl fmt::Display for AggFn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Arithmetic mean. Returns NaN on empty input.
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return f64::NAN;
+    }
+    values.iter().sum::<f64>() / values.len() as f64
+}
+
+/// Median: middle element of the sorted bag, or the mean of the two middle
+/// elements for even sizes. Returns NaN on empty input.
+pub fn median(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return f64::NAN;
+    }
+    let mut v = values.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("no NaN in measures"));
+    let n = v.len();
+    if n % 2 == 1 {
+        v[n / 2]
+    } else {
+        (v[n / 2 - 1] + v[n / 2]) / 2.0
+    }
+}
+
+/// Sample variance (n−1 denominator), 0 for singletons, NaN for empty.
+pub fn variance_sample(values: &[f64]) -> f64 {
+    let n = values.len();
+    if n == 0 {
+        return f64::NAN;
+    }
+    if n == 1 {
+        return 0.0;
+    }
+    let m = mean(values);
+    values.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / (n as f64 - 1.0)
+}
+
+/// Sample standard deviation.
+pub fn stddev_sample(values: &[f64]) -> f64 {
+    variance_sample(values).sqrt()
+}
+
+/// Population variance (n denominator).
+pub fn variance_population(values: &[f64]) -> f64 {
+    let n = values.len();
+    if n == 0 {
+        return f64::NAN;
+    }
+    let m = mean(values);
+    values.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / n as f64
+}
+
+/// Linear-interpolation percentile, `p` in `[0, 100]`.
+pub fn percentile(values: &[f64], p: f64) -> f64 {
+    if values.is_empty() {
+        return f64::NAN;
+    }
+    let mut v = values.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("no NaN in measures"));
+    let rank = (p / 100.0) * (v.len() as f64 - 1.0);
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        v[lo]
+    } else {
+        let w = rank - lo as f64;
+        v[lo] * (1.0 - w) + v[hi] * w
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const V: [f64; 5] = [3.0, 1.0, 4.0, 1.0, 5.0];
+
+    #[test]
+    fn agg_fns_on_sample() {
+        assert_eq!(AggFn::Sum.apply(&V), Some(14.0));
+        assert_eq!(AggFn::Avg.apply(&V), Some(2.8));
+        assert_eq!(AggFn::Min.apply(&V), Some(1.0));
+        assert_eq!(AggFn::Max.apply(&V), Some(5.0));
+        assert_eq!(AggFn::Count.apply(&V), Some(5.0));
+        assert_eq!(AggFn::Median.apply(&V), Some(3.0));
+        assert_eq!(AggFn::Product.apply(&V), Some(60.0));
+    }
+
+    #[test]
+    fn empty_bag_yields_no_tuple() {
+        for a in AggFn::ALL {
+            assert_eq!(a.apply(&[]), None, "{a}");
+        }
+    }
+
+    #[test]
+    fn median_even_size() {
+        assert_eq!(median(&[1.0, 2.0, 3.0, 4.0]), 2.5);
+        assert_eq!(median(&[2.0, 1.0]), 1.5);
+        assert_eq!(median(&[7.0]), 7.0);
+    }
+
+    #[test]
+    fn stddev_known_value() {
+        // sample stddev of [2,4,4,4,5,5,7,9] with n-1: sqrt(32/7)
+        let v = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let s = stddev_sample(&v);
+        assert!((s - (32.0f64 / 7.0).sqrt()).abs() < 1e-12);
+        assert_eq!(stddev_sample(&[42.0]), 0.0);
+    }
+
+    #[test]
+    fn population_vs_sample_variance() {
+        let v = [1.0, 2.0, 3.0];
+        assert!((variance_sample(&v) - 1.0).abs() < 1e-12);
+        assert!((variance_population(&v) - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let v = [10.0, 20.0, 30.0, 40.0];
+        assert_eq!(percentile(&v, 0.0), 10.0);
+        assert_eq!(percentile(&v, 100.0), 40.0);
+        assert!((percentile(&v, 50.0) - 25.0).abs() < 1e-12);
+        assert!((percentile(&v, 25.0) - 17.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn names_round_trip() {
+        for a in AggFn::ALL {
+            assert_eq!(AggFn::parse(a.name()), Some(a));
+        }
+        assert_eq!(AggFn::parse("mode"), None);
+    }
+
+    #[test]
+    fn mean_median_of_empty_are_nan() {
+        assert!(mean(&[]).is_nan());
+        assert!(median(&[]).is_nan());
+        assert!(variance_sample(&[]).is_nan());
+        assert!(percentile(&[], 50.0).is_nan());
+    }
+}

@@ -1,0 +1,202 @@
+//! Moving-window and cumulative transforms over regular series.
+
+/// Centered moving average of odd window `w`; at the edges the window
+/// shrinks symmetrically so the output has the same length as the input and
+/// is defined everywhere (total black-box semantics, see `SeriesOp`).
+pub fn centered_moving_average(values: &[f64], window: usize) -> Vec<f64> {
+    assert!(window >= 1, "window must be positive");
+    let half = window / 2;
+    let n = values.len();
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        let k = half.min(i).min(n - 1 - i);
+        let lo = i - k;
+        let hi = i + k;
+        let slice = &values[lo..=hi];
+        out.push(slice.iter().sum::<f64>() / slice.len() as f64);
+    }
+    out
+}
+
+/// The classical 2×m moving average used by seasonal decomposition for even
+/// periods: an m-term average of two offset m-term averages, centered.
+/// Inputs shorter than `period + 1` fall back to the global mean.
+pub fn two_by_m_moving_average(values: &[f64], period: usize) -> Vec<f64> {
+    let n = values.len();
+    if n < period + 1 {
+        let m = crate::descriptive::mean(values);
+        return values.iter().map(|_| m).collect();
+    }
+    let half = period / 2;
+    let mut out = vec![f64::NAN; n];
+    for (i, slot) in out.iter_mut().enumerate().take(n - half).skip(half) {
+        // weights: 1/2 at the two extremes, 1 elsewhere, normalized by period
+        let mut acc = 0.5 * values[i - half] + 0.5 * values[i + half];
+        acc += values[(i - half + 1)..(i + half)].iter().sum::<f64>();
+        *slot = acc / period as f64;
+    }
+    extrapolate_edges(&mut out);
+    out
+}
+
+/// Trailing moving average: mean of the last `window` values (or as many as
+/// exist). Output is total, same length as input.
+pub fn trailing_moving_average(values: &[f64], window: usize) -> Vec<f64> {
+    assert!(window >= 1, "window must be positive");
+    let mut out = Vec::with_capacity(values.len());
+    let mut acc = 0.0;
+    for (i, v) in values.iter().enumerate() {
+        acc += v;
+        if i >= window {
+            acc -= values[i - window];
+        }
+        let n = (i + 1).min(window);
+        out.push(acc / n as f64);
+    }
+    out
+}
+
+/// Cumulative sum.
+pub fn cumsum(values: &[f64]) -> Vec<f64> {
+    let mut acc = 0.0;
+    values
+        .iter()
+        .map(|v| {
+            acc += v;
+            acc
+        })
+        .collect()
+}
+
+/// Replace NaN runs at either edge by linearly extrapolating from the two
+/// nearest defined points (or holding constant when only one exists).
+/// Interior NaNs are interpolated linearly. Panics if everything is NaN —
+/// callers guarantee at least one defined value.
+#[allow(clippy::needless_range_loop)] // windowed slice mutation reads clearer indexed
+pub fn extrapolate_edges(values: &mut [f64]) {
+    let n = values.len();
+    let defined: Vec<usize> = (0..n).filter(|&i| !values[i].is_nan()).collect();
+    assert!(
+        !defined.is_empty(),
+        "series must have at least one defined value"
+    );
+    let (first, last) = (defined[0], *defined.last().unwrap());
+    if defined.len() == 1 {
+        let v = values[first];
+        for x in values.iter_mut() {
+            *x = v;
+        }
+        return;
+    }
+    // leading edge: extrapolate from the first two defined points
+    let slope_head = values[defined[1]] - values[defined[0]];
+    let gap_head = (defined[1] - defined[0]) as f64;
+    for i in 0..first {
+        values[i] = values[first] - slope_head / gap_head * (first - i) as f64;
+    }
+    // trailing edge
+    let slope_tail = values[last] - values[defined[defined.len() - 2]];
+    let gap_tail = (last - defined[defined.len() - 2]) as f64;
+    for i in (last + 1)..n {
+        values[i] = values[last] + slope_tail / gap_tail * (i - last) as f64;
+    }
+    // interior gaps: linear interpolation between neighbours
+    for w in defined.windows(2) {
+        let (a, b) = (w[0], w[1]);
+        if b > a + 1 {
+            let va = values[a];
+            let vb = values[b];
+            for i in (a + 1)..b {
+                let t = (i - a) as f64 / (b - a) as f64;
+                values[i] = va + t * (vb - va);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn centered_ma_window_one_is_identity() {
+        let v = [1.0, 2.0, 3.0];
+        assert_eq!(centered_moving_average(&v, 1), v.to_vec());
+    }
+
+    #[test]
+    fn centered_ma_smooths_interior() {
+        let v = [0.0, 3.0, 0.0, 3.0, 0.0];
+        let out = centered_moving_average(&v, 3);
+        assert_eq!(out[2], 2.0); // (3+0+3)/3
+        assert_eq!(out[0], 0.0); // edge: window shrinks to the point itself
+        assert_eq!(out.len(), v.len());
+    }
+
+    #[test]
+    fn two_by_m_on_constant_is_constant() {
+        let v = [5.0; 12];
+        let out = two_by_m_moving_average(&v, 4);
+        for x in out {
+            assert!((x - 5.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn two_by_m_removes_pure_seasonality() {
+        // period-4 seasonal pattern with zero mean riding on a linear trend
+        let season = [2.0, -1.0, -3.0, 2.0];
+        let v: Vec<f64> = (0..24).map(|i| i as f64 + season[i % 4]).collect();
+        let out = two_by_m_moving_average(&v, 4);
+        // interior values should track the trend i closely
+        for (i, x) in out.iter().enumerate().take(20).skip(4) {
+            assert!((x - i as f64).abs() < 1e-9, "i={i} x={x}");
+        }
+        assert!(out.iter().all(|x| !x.is_nan()));
+    }
+
+    #[test]
+    fn two_by_m_short_series_falls_back_to_mean() {
+        let v = [1.0, 2.0, 3.0];
+        let out = two_by_m_moving_average(&v, 4);
+        for x in out {
+            assert!((x - 2.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn trailing_ma() {
+        let v = [1.0, 2.0, 3.0, 4.0];
+        let out = trailing_moving_average(&v, 2);
+        assert_eq!(out, vec![1.0, 1.5, 2.5, 3.5]);
+        let out1 = trailing_moving_average(&v, 10);
+        assert_eq!(out1[3], 2.5);
+    }
+
+    #[test]
+    fn cumsum_works() {
+        assert_eq!(cumsum(&[1.0, 2.0, 3.0]), vec![1.0, 3.0, 6.0]);
+        assert!(cumsum(&[]).is_empty());
+    }
+
+    #[test]
+    fn extrapolate_fills_edges_linearly() {
+        let mut v = vec![f64::NAN, f64::NAN, 2.0, 3.0, f64::NAN];
+        extrapolate_edges(&mut v);
+        assert_eq!(v, vec![0.0, 1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn extrapolate_interior_gap() {
+        let mut v = vec![0.0, f64::NAN, f64::NAN, 3.0];
+        extrapolate_edges(&mut v);
+        assert_eq!(v, vec![0.0, 1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn extrapolate_single_point_holds_constant() {
+        let mut v = vec![f64::NAN, 7.0, f64::NAN];
+        extrapolate_edges(&mut v);
+        assert_eq!(v, vec![7.0, 7.0, 7.0]);
+    }
+}

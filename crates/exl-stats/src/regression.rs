@@ -1,0 +1,140 @@
+//! Ordinary least squares on a single regressor.
+//!
+//! EXL's statistical operator set includes linear regression (paper §3).
+//! We implement simple OLS from scratch: fit `y = a + b·x`, expose the
+//! fitted line, residuals and R².
+
+/// A fitted simple linear regression `y = intercept + slope·x`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinearFit {
+    /// Intercept `a`.
+    pub intercept: f64,
+    /// Slope `b`.
+    pub slope: f64,
+    /// Coefficient of determination.
+    pub r_squared: f64,
+}
+
+impl LinearFit {
+    /// Predicted value at `x`.
+    pub fn predict(&self, x: f64) -> f64 {
+        self.intercept + self.slope * x
+    }
+}
+
+/// Fit OLS over paired observations. Returns `None` when fewer than two
+/// points are given or all `x` coincide (the slope is then undefined).
+pub fn fit(xs: &[f64], ys: &[f64]) -> Option<LinearFit> {
+    assert_eq!(xs.len(), ys.len(), "paired observations required");
+    let n = xs.len();
+    if n < 2 {
+        return None;
+    }
+    let nf = n as f64;
+    let mx = xs.iter().sum::<f64>() / nf;
+    let my = ys.iter().sum::<f64>() / nf;
+    let mut sxx = 0.0;
+    let mut sxy = 0.0;
+    let mut syy = 0.0;
+    for i in 0..n {
+        let dx = xs[i] - mx;
+        let dy = ys[i] - my;
+        sxx += dx * dx;
+        sxy += dx * dy;
+        syy += dy * dy;
+    }
+    if sxx == 0.0 {
+        return None;
+    }
+    let slope = sxy / sxx;
+    let intercept = my - slope * mx;
+    let r_squared = if syy == 0.0 {
+        1.0
+    } else {
+        (sxy * sxy) / (sxx * syy)
+    };
+    Some(LinearFit {
+        intercept,
+        slope,
+        r_squared,
+    })
+}
+
+/// Fitted values of the OLS line through `(index, value)` pairs — the
+/// `lin_trend` black-box operator: a linear approximation of the trend.
+pub fn fitted_line(xs: &[f64], ys: &[f64]) -> Vec<f64> {
+    match fit(xs, ys) {
+        Some(f) => xs.iter().map(|&x| f.predict(x)).collect(),
+        // Degenerate series: the best constant predictor is the mean.
+        None => {
+            let m = crate::descriptive::mean(ys);
+            ys.iter().map(|_| m).collect()
+        }
+    }
+}
+
+/// Residuals `y − ŷ` of the OLS fit.
+pub fn residuals(xs: &[f64], ys: &[f64]) -> Vec<f64> {
+    let fitted = fitted_line(xs, ys);
+    ys.iter().zip(fitted).map(|(y, f)| y - f).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_line_recovered() {
+        let xs: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 3.0 + 2.0 * x).collect();
+        let f = fit(&xs, &ys).unwrap();
+        assert!((f.intercept - 3.0).abs() < 1e-12);
+        assert!((f.slope - 2.0).abs() < 1e-12);
+        assert!((f.r_squared - 1.0).abs() < 1e-12);
+        assert!((f.predict(100.0) - 203.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn noisy_line_r_squared_below_one() {
+        let xs = [0.0, 1.0, 2.0, 3.0];
+        let ys = [0.0, 1.2, 1.8, 3.1];
+        let f = fit(&xs, &ys).unwrap();
+        assert!(f.r_squared > 0.9 && f.r_squared < 1.0);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert!(fit(&[1.0], &[2.0]).is_none());
+        assert!(fit(&[], &[]).is_none());
+        assert!(fit(&[2.0, 2.0, 2.0], &[1.0, 2.0, 3.0]).is_none());
+    }
+
+    #[test]
+    fn constant_y_has_full_r_squared() {
+        let f = fit(&[0.0, 1.0, 2.0], &[5.0, 5.0, 5.0]).unwrap();
+        assert_eq!(f.slope, 0.0);
+        assert_eq!(f.intercept, 5.0);
+        assert_eq!(f.r_squared, 1.0);
+    }
+
+    #[test]
+    fn fitted_line_falls_back_to_mean() {
+        let ys = [1.0, 3.0];
+        let out = fitted_line(&[4.0, 4.0], &ys);
+        assert_eq!(out, vec![2.0, 2.0]);
+    }
+
+    #[test]
+    fn residuals_sum_to_zero_for_ols() {
+        let xs: Vec<f64> = (0..20).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 1.0 + 0.5 * x + (x * 7.0).sin()).collect();
+        let r = residuals(&xs, &ys);
+        assert!(r.iter().sum::<f64>().abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "paired")]
+    fn mismatched_lengths_panic() {
+        let _ = fit(&[1.0], &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,192 @@
+//! Black-box (multi-tuple, whole-series) operators.
+//!
+//! The paper's second operator class contains operators whose every output
+//! value "is a function of all tuples of the operand" (§2, tgd (4) for
+//! `stl_T`). All backends apply these operators through [`SeriesOp::apply`],
+//! which maps a regular series to a same-length series — the *total,
+//! functional* black-box contract §4.2 assumes.
+//!
+//! A multi-dimensional cube with one time dimension is handled upstream by
+//! slicing on the non-time dimensions and applying the operator per slice.
+
+use crate::decompose::decompose;
+use crate::moving::{cumsum, trailing_moving_average};
+use crate::regression::fitted_line;
+
+/// A whole-series operator. Parameterized variants carry their scalar
+/// arguments (EXL allows "additional arguments … scalar parameters", §3).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SeriesOp {
+    /// Trend component of the seasonal decomposition (`stl_T` in the paper).
+    StlTrend,
+    /// Seasonal component.
+    StlSeasonal,
+    /// Remainder component.
+    StlRemainder,
+    /// Trailing moving average over `window` periods.
+    MovAvg {
+        /// Window width in periods, ≥ 1.
+        window: usize,
+    },
+    /// Cumulative sum from the start of the series.
+    CumSum,
+    /// Standardization: `(x − mean) / stddev` (z-scores); zero when the
+    /// series is constant.
+    ZScore,
+    /// OLS fitted line over the time index — a linear trend.
+    LinTrend,
+}
+
+impl SeriesOp {
+    /// EXL surface name of the operator.
+    pub fn name(self) -> &'static str {
+        match self {
+            SeriesOp::StlTrend => "stl_trend",
+            SeriesOp::StlSeasonal => "stl_seasonal",
+            SeriesOp::StlRemainder => "stl_remainder",
+            SeriesOp::MovAvg { .. } => "movavg",
+            SeriesOp::CumSum => "cumsum",
+            SeriesOp::ZScore => "zscore",
+            SeriesOp::LinTrend => "lin_trend",
+        }
+    }
+
+    /// Parse a parameterless series operator by name. `movavg` requires a
+    /// window argument and is constructed explicitly.
+    pub fn parse_simple(name: &str) -> Option<SeriesOp> {
+        match name {
+            "stl_trend" | "stl_t" => Some(SeriesOp::StlTrend),
+            "stl_seasonal" | "stl_s" => Some(SeriesOp::StlSeasonal),
+            "stl_remainder" | "stl_r" => Some(SeriesOp::StlRemainder),
+            "cumsum" => Some(SeriesOp::CumSum),
+            "zscore" => Some(SeriesOp::ZScore),
+            "lin_trend" => Some(SeriesOp::LinTrend),
+            _ => None,
+        }
+    }
+
+    /// Apply to a series given in chronological order.
+    ///
+    /// `indices` are the consecutive period indices of the observations
+    /// (used as the regression abscissa and to derive seasonal phases);
+    /// `period` is the seasonal period implied by the series frequency
+    /// (e.g. 4 for quarterly data).
+    ///
+    /// The output has the same length as the input: these operators are
+    /// total on their domain, matching the paper's requirement that black
+    /// boxes "are all defined in a functional way" (§4.2).
+    pub fn apply(self, indices: &[i64], values: &[f64], period: usize) -> Vec<f64> {
+        assert_eq!(indices.len(), values.len(), "paired series required");
+        match self {
+            SeriesOp::StlTrend => decompose(values, period).trend,
+            SeriesOp::StlSeasonal => decompose(values, period).seasonal,
+            SeriesOp::StlRemainder => decompose(values, period).remainder,
+            SeriesOp::MovAvg { window } => trailing_moving_average(values, window.max(1)),
+            SeriesOp::CumSum => cumsum(values),
+            SeriesOp::ZScore => zscore(values),
+            SeriesOp::LinTrend => {
+                let xs: Vec<f64> = indices.iter().map(|&i| i as f64).collect();
+                fitted_line(&xs, values)
+            }
+        }
+    }
+}
+
+fn zscore(values: &[f64]) -> Vec<f64> {
+    let m = crate::descriptive::mean(values);
+    let s = crate::descriptive::stddev_sample(values);
+    if s == 0.0 || s.is_nan() {
+        return vec![0.0; values.len()];
+    }
+    values.iter().map(|v| (v - m) / s).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idx(n: usize) -> Vec<i64> {
+        (0..n as i64).collect()
+    }
+
+    #[test]
+    fn stl_components_sum_to_input() {
+        let v: Vec<f64> = (0..24).map(|i| (i % 4) as f64 + i as f64 * 0.3).collect();
+        let t = SeriesOp::StlTrend.apply(&idx(24), &v, 4);
+        let s = SeriesOp::StlSeasonal.apply(&idx(24), &v, 4);
+        let r = SeriesOp::StlRemainder.apply(&idx(24), &v, 4);
+        for i in 0..24 {
+            assert!((t[i] + s[i] + r[i] - v[i]).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn movavg_window_clamped_to_one() {
+        let v = [1.0, 2.0, 3.0];
+        assert_eq!(
+            SeriesOp::MovAvg { window: 0 }.apply(&idx(3), &v, 4),
+            v.to_vec()
+        );
+    }
+
+    #[test]
+    fn cumsum_series_op() {
+        let out = SeriesOp::CumSum.apply(&idx(3), &[1.0, 1.0, 1.0], 4);
+        assert_eq!(out, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn zscore_zero_mean_unit_sd() {
+        let v = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let z = SeriesOp::ZScore.apply(&idx(5), &v, 4);
+        let mean = z.iter().sum::<f64>() / 5.0;
+        assert!(mean.abs() < 1e-12);
+        let sd = crate::descriptive::stddev_sample(&z);
+        assert!((sd - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zscore_constant_series_is_zero() {
+        let z = SeriesOp::ZScore.apply(&idx(3), &[2.0, 2.0, 2.0], 4);
+        assert_eq!(z, vec![0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn lin_trend_recovers_line() {
+        let v: Vec<f64> = (0..10).map(|i| 2.0 * i as f64 + 1.0).collect();
+        let out = SeriesOp::LinTrend.apply(&idx(10), &v, 4);
+        for i in 0..10 {
+            assert!((out[i] - v[i]).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn outputs_are_total_on_domain() {
+        let v: Vec<f64> = (0..17).map(|i| (i as f64).sin()).collect();
+        for op in [
+            SeriesOp::StlTrend,
+            SeriesOp::StlSeasonal,
+            SeriesOp::StlRemainder,
+            SeriesOp::MovAvg { window: 5 },
+            SeriesOp::CumSum,
+            SeriesOp::ZScore,
+            SeriesOp::LinTrend,
+        ] {
+            let out = op.apply(&idx(17), &v, 4);
+            assert_eq!(out.len(), 17, "{op:?}");
+            assert!(out.iter().all(|x| x.is_finite()), "{op:?}");
+        }
+    }
+
+    #[test]
+    fn parse_simple_names() {
+        assert_eq!(
+            SeriesOp::parse_simple("stl_trend"),
+            Some(SeriesOp::StlTrend)
+        );
+        assert_eq!(SeriesOp::parse_simple("stl_t"), Some(SeriesOp::StlTrend));
+        assert_eq!(SeriesOp::parse_simple("cumsum"), Some(SeriesOp::CumSum));
+        assert_eq!(SeriesOp::parse_simple("movavg"), None); // needs a window
+        assert_eq!(SeriesOp::parse_simple("nope"), None);
+    }
+}

@@ -1,0 +1,124 @@
+//! Property tests for the statistical kernels.
+#![allow(clippy::needless_range_loop)] // parallel-array assertions
+
+use exl_stats::decompose::decompose;
+use exl_stats::descriptive::{self, AggFn};
+use exl_stats::moving::{cumsum, trailing_moving_average};
+use exl_stats::regression;
+use exl_stats::seriesop::SeriesOp;
+use proptest::prelude::*;
+
+fn arb_series() -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(-1e6f64..1e6, 1..200)
+}
+
+proptest! {
+    /// The decomposition identity: trend + seasonal + remainder = input.
+    #[test]
+    fn decomposition_reconstructs(values in arb_series(), period in 1usize..13) {
+        let d = decompose(&values, period);
+        for i in 0..values.len() {
+            let sum = d.trend[i] + d.seasonal[i] + d.remainder[i];
+            prop_assert!((sum - values[i]).abs() <= 1e-6 * (1.0 + values[i].abs()), "i={i}");
+        }
+    }
+
+    /// Seasonal component sums to ~0 over one period (when active).
+    #[test]
+    fn seasonal_zero_mean(values in proptest::collection::vec(-1e4f64..1e4, 24..100), period in 2usize..7) {
+        let d = decompose(&values, period);
+        if values.len() >= 2 * period {
+            let s: f64 = d.seasonal[..period].iter().sum();
+            prop_assert!(s.abs() < 1e-6, "{s}");
+        }
+    }
+
+    /// Aggregations: sum of group sums equals the total sum under any
+    /// partition of the bag.
+    #[test]
+    fn aggregation_partition_invariant(values in arb_series(), split in 0usize..200) {
+        let split = split.min(values.len());
+        let (a, b) = values.split_at(split);
+        let total = AggFn::Sum.apply(&values).unwrap();
+        let parts = AggFn::Sum.apply(a).unwrap_or(0.0) + AggFn::Sum.apply(b).unwrap_or(0.0);
+        prop_assert!((total - parts).abs() <= 1e-6 * (1.0 + total.abs()));
+        // min/max distribute over partitions as well
+        let mn = AggFn::Min.apply(&values).unwrap();
+        let mn_parts = [AggFn::Min.apply(a), AggFn::Min.apply(b)]
+            .into_iter()
+            .flatten()
+            .fold(f64::INFINITY, f64::min);
+        prop_assert_eq!(mn, mn_parts);
+    }
+
+    /// Mean is translation-equivariant and stddev translation-invariant.
+    #[test]
+    fn mean_stddev_translation(values in proptest::collection::vec(-1e5f64..1e5, 2..100), c in -1e4f64..1e4) {
+        let shifted: Vec<f64> = values.iter().map(|v| v + c).collect();
+        let m0 = descriptive::mean(&values);
+        let m1 = descriptive::mean(&shifted);
+        prop_assert!((m1 - (m0 + c)).abs() <= 1e-6 * (1.0 + m0.abs() + c.abs()));
+        let s0 = descriptive::stddev_sample(&values);
+        let s1 = descriptive::stddev_sample(&shifted);
+        prop_assert!((s0 - s1).abs() <= 1e-5 * (1.0 + s0.abs()));
+    }
+
+    /// Median lies between min and max and is permutation-invariant.
+    #[test]
+    fn median_bounds(mut values in arb_series()) {
+        let med = descriptive::median(&values);
+        let mn = values.iter().copied().fold(f64::INFINITY, f64::min);
+        let mx = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(med >= mn && med <= mx);
+        values.reverse();
+        prop_assert_eq!(descriptive::median(&values), med);
+    }
+
+    /// The OLS fitted line passes through the centroid and its residuals
+    /// sum to zero.
+    #[test]
+    fn ols_centroid_and_residuals(n in 2usize..100, slope in -100.0f64..100.0, icept in -100.0f64..100.0, noise in proptest::collection::vec(-1.0f64..1.0, 100)) {
+        let xs: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().enumerate().map(|(i, x)| icept + slope * x + noise[i % noise.len()]).collect();
+        if let Some(fit) = regression::fit(&xs, &ys) {
+            let mx = descriptive::mean(&xs);
+            let my = descriptive::mean(&ys);
+            prop_assert!((fit.predict(mx) - my).abs() < 1e-6 * (1.0 + my.abs()));
+            let resid: f64 = regression::residuals(&xs, &ys).iter().sum();
+            prop_assert!(resid.abs() < 1e-5 * (1.0 + ys.iter().map(|v| v.abs()).sum::<f64>()));
+        }
+    }
+
+    /// cumsum's last element is the total sum; movavg of a constant series
+    /// is that constant.
+    #[test]
+    fn cumsum_and_movavg_identities(values in arb_series(), w in 1usize..20, c in -1e3f64..1e3) {
+        let cs = cumsum(&values);
+        let total: f64 = values.iter().sum();
+        prop_assert!((cs.last().unwrap() - total).abs() <= 1e-6 * (1.0 + total.abs()));
+        let constant = vec![c; values.len()];
+        for v in trailing_moving_average(&constant, w) {
+            prop_assert!((v - c).abs() <= 1e-9 * (1.0 + c.abs()));
+        }
+    }
+
+    /// Every series operator is total (same-length, finite output) on
+    /// finite input.
+    #[test]
+    fn series_ops_total(values in proptest::collection::vec(-1e5f64..1e5, 1..120), period in 1usize..13) {
+        let indices: Vec<i64> = (0..values.len() as i64).collect();
+        for op in [
+            SeriesOp::StlTrend,
+            SeriesOp::StlSeasonal,
+            SeriesOp::StlRemainder,
+            SeriesOp::MovAvg { window: period },
+            SeriesOp::CumSum,
+            SeriesOp::ZScore,
+            SeriesOp::LinTrend,
+        ] {
+            let out = op.apply(&indices, &values, period);
+            prop_assert_eq!(out.len(), values.len());
+            prop_assert!(out.iter().all(|v| v.is_finite()), "{:?}", op);
+        }
+    }
+}

@@ -1,0 +1,137 @@
+//! Deep statement chains for the translation and fusion benchmarks.
+
+use exl_lang::analyze::{analyze, AnalyzedProgram};
+use exl_lang::parser::parse_program;
+use exl_model::value::DimValue;
+use exl_model::{Cube, CubeData, Dataset, TimePoint};
+
+/// A linear chain of `depth` multi-operator tuple-level statements over a
+/// quarterly series:
+///
+/// ```text
+/// cube T0(q: time[quarter]) -> y;
+/// T1 := 2 * (T0 - shift(T0, 1)) / T0 + 3;
+/// T2 := 2 * (T1 - shift(T1, 1)) / T1 + 3;
+/// …
+/// ```
+///
+/// Each statement has several operators, so the fused generator emits one
+/// complex tgd per statement while the normalized generator splits each
+/// into four — the B6 ablation's contrast.
+pub fn chain_program(depth: usize) -> String {
+    let mut src = String::from("cube T0(q: time[quarter]) -> y;\n");
+    for i in 1..=depth {
+        let prev = format!("T{}", i - 1);
+        src.push_str(&format!(
+            "T{i} := 2 * ({prev} - shift({prev}, 1)) / {prev} + 3;\n"
+        ));
+    }
+    src
+}
+
+/// The analyzed chain program plus a quarterly series of `quarters`
+/// observations (strictly positive, trending, so divisions stay defined).
+pub fn chain_scenario(depth: usize, quarters: usize) -> (AnalyzedProgram, Dataset) {
+    let src = chain_program(depth);
+    let analyzed =
+        analyze(&parse_program(&src).expect("chain parses"), &[]).expect("chain analyzes");
+    let mut data = CubeData::new();
+    for qi in 0..quarters {
+        data.insert_overwrite(
+            vec![DimValue::Time(TimePoint::Quarter {
+                year: 2000 + (qi / 4) as i32,
+                quarter: (qi % 4 + 1) as u32,
+            })],
+            100.0 + qi as f64 * 1.5 + ((qi * 7) % 13) as f64 * 0.25,
+        );
+    }
+    let mut ds = Dataset::new();
+    ds.put(Cube::new(analyzed.schemas[&"T0".into()].clone(), data));
+    (analyzed, ds)
+}
+
+/// A forest of `width` independent chains of `depth` statements each,
+/// sharing no cubes — the workload for the parallel-dispatch benchmark
+/// (B5) and the determination benchmark (B4).
+pub fn forest_program(width: usize, depth: usize) -> String {
+    let mut src = String::new();
+    for w in 0..width {
+        src.push_str(&format!("cube F{w}_0(q: time[quarter]) -> y;\n"));
+    }
+    for w in 0..width {
+        for i in 1..=depth {
+            let prev = format!("F{w}_{}", i - 1);
+            src.push_str(&format!("F{w}_{i} := ({prev} + {}) * 2 / 3;\n", w + 1));
+        }
+    }
+    src
+}
+
+/// Analyzed forest plus data for every root.
+pub fn forest_scenario(width: usize, depth: usize, quarters: usize) -> (AnalyzedProgram, Dataset) {
+    let src = forest_program(width, depth);
+    let analyzed =
+        analyze(&parse_program(&src).expect("forest parses"), &[]).expect("forest analyzes");
+    let mut ds = Dataset::new();
+    for w in 0..width {
+        let mut data = CubeData::new();
+        for qi in 0..quarters {
+            data.insert_overwrite(
+                vec![DimValue::Time(TimePoint::Quarter {
+                    year: 2000 + (qi / 4) as i32,
+                    quarter: (qi % 4 + 1) as u32,
+                })],
+                10.0 + w as f64 + qi as f64,
+            );
+        }
+        let id = format!("F{w}_0");
+        ds.put(Cube::new(
+            analyzed.schemas[&id.as_str().into()].clone(),
+            data,
+        ));
+    }
+    (analyzed, ds)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chain_runs_at_various_depths() {
+        for depth in [1, 5, 20] {
+            let (analyzed, ds) = chain_scenario(depth, 16);
+            let out = exl_eval::run_program(&analyzed, &ds).unwrap();
+            let last = format!("T{depth}");
+            let c = out.data(&last.as_str().into()).unwrap();
+            // each chained statement loses one quarter to the shift
+            assert_eq!(c.len(), 16 - depth.min(16), "depth {depth}");
+        }
+    }
+
+    #[test]
+    fn chain_operator_count_grows_linearly() {
+        let (a5, _) = chain_scenario(5, 8);
+        let (a10, _) = chain_scenario(10, 8);
+        assert_eq!(
+            a10.program.operator_count(),
+            2 * a5.program.operator_count()
+        );
+    }
+
+    #[test]
+    fn forest_chains_are_independent() {
+        let (analyzed, ds) = forest_scenario(3, 4, 8);
+        let out = exl_eval::run_program(&analyzed, &ds).unwrap();
+        for w in 0..3 {
+            let last = format!("F{w}_4");
+            assert_eq!(out.data(&last.as_str().into()).unwrap().len(), 8);
+        }
+        // no statement of chain 0 references chain 1's cubes
+        for stmt in &analyzed.program.statements {
+            let refs = stmt.expr.cube_refs();
+            let own_prefix = &stmt.target.as_str()[..2];
+            assert!(refs.iter().all(|r| r.as_str().starts_with(own_prefix)));
+        }
+    }
+}

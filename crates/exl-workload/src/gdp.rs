@@ -1,0 +1,158 @@
+//! The paper's GDP scenario (§2) at configurable scale.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use exl_lang::analyze::{analyze, AnalyzedProgram};
+use exl_lang::parser::parse_program;
+use exl_model::value::DimValue;
+use exl_model::{Cube, CubeData, Dataset, Date, TimePoint};
+
+/// The EXL source of the paper's running example.
+pub const GDP_PROGRAM: &str = r#"
+cube PDR(d: time[day], r: text) -> p;
+cube RGDPPC(q: time[quarter], r: text) -> g;
+PQR := avg(PDR, group by quarter(d) as q, r);
+RGDP := RGDPPC * PQR;
+GDP := sum(RGDP, group by q);
+GDPT := stl_trend(GDP);
+PCHNG := 100 * (GDPT - shift(GDPT, 1)) / GDPT;
+"#;
+
+/// Scale parameters for the GDP scenario.
+#[derive(Debug, Clone, Copy)]
+pub struct GdpConfig {
+    /// Number of regions.
+    pub regions: usize,
+    /// Number of quarters of history (starting 2015-Q1).
+    pub quarters: usize,
+    /// Population observations per region per quarter (sample days).
+    pub days_per_quarter: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for GdpConfig {
+    fn default() -> Self {
+        GdpConfig {
+            regions: 4,
+            quarters: 12,
+            days_per_quarter: 8,
+            seed: 42,
+        }
+    }
+}
+
+/// Region names, `r00` … `rNN`.
+fn region_names(n: usize) -> Vec<String> {
+    (0..n).map(|i| format!("r{i:02}")).collect()
+}
+
+/// Generate the elementary cubes (PDR, RGDPPC) for a configuration. The
+/// population carries a slow trend and weekly noise; per-capita GDP
+/// carries trend + quarterly seasonality + noise, so the downstream
+/// seasonal decomposition has real work to do.
+pub fn gdp_dataset(cfg: GdpConfig, analyzed: &AnalyzedProgram) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let regions = region_names(cfg.regions);
+    let season = [1.5, -0.5, -1.8, 0.8];
+
+    let mut pdr = CubeData::new();
+    let mut rgdppc = CubeData::new();
+    for qi in 0..cfg.quarters {
+        let year = 2015 + (qi / 4) as i32;
+        let quarter = (qi % 4 + 1) as u32;
+        let first_month = (quarter - 1) * 3 + 1;
+        for (ri, region) in regions.iter().enumerate() {
+            let base_pop = 1000.0 + ri as f64 * 250.0;
+            for di in 0..cfg.days_per_quarter {
+                // spread sample days across the quarter's months
+                let month = first_month + (di % 3) as u32;
+                let day = 1 + (di / 3) as u32 * 7 + (di as u32 % 3);
+                let date = Date::from_ymd(year, month, day.min(28)).expect("valid day");
+                let pop = base_pop + qi as f64 * 2.0 + rng.gen_range(-3.0..3.0);
+                pdr.insert_overwrite(
+                    vec![
+                        DimValue::Time(TimePoint::Day(date)),
+                        DimValue::str(region.clone()),
+                    ],
+                    pop,
+                );
+            }
+            let gdp_pc = 30.0
+                + ri as f64 * 2.0
+                + qi as f64 * 0.4
+                + season[qi % 4]
+                + rng.gen_range(-0.5..0.5);
+            rgdppc.insert_overwrite(
+                vec![
+                    DimValue::Time(TimePoint::Quarter { year, quarter }),
+                    DimValue::str(region.clone()),
+                ],
+                gdp_pc,
+            );
+        }
+    }
+
+    let mut ds = Dataset::new();
+    ds.put(Cube::new(analyzed.schemas[&"PDR".into()].clone(), pdr));
+    ds.put(Cube::new(
+        analyzed.schemas[&"RGDPPC".into()].clone(),
+        rgdppc,
+    ));
+    ds
+}
+
+/// The analyzed GDP program plus a dataset at the given scale.
+pub fn gdp_scenario(cfg: GdpConfig) -> (AnalyzedProgram, Dataset) {
+    let analyzed = analyze(
+        &parse_program(GDP_PROGRAM).expect("GDP program parses"),
+        &[],
+    )
+    .expect("GDP program analyzes");
+    let data = gdp_dataset(cfg, &analyzed);
+    (analyzed, data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scenario_is_deterministic() {
+        let (_, a) = gdp_scenario(GdpConfig::default());
+        let (_, b) = gdp_scenario(GdpConfig::default());
+        assert!(a.approx_eq_report(&b, 0.0).is_ok());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let (_, a) = gdp_scenario(GdpConfig::default());
+        let (_, b) = gdp_scenario(GdpConfig {
+            seed: 7,
+            ..GdpConfig::default()
+        });
+        assert!(a.approx_eq_report(&b, 0.0).is_err());
+    }
+
+    #[test]
+    fn sizes_match_configuration() {
+        let cfg = GdpConfig {
+            regions: 3,
+            quarters: 8,
+            days_per_quarter: 5,
+            seed: 1,
+        };
+        let (_, ds) = gdp_scenario(cfg);
+        assert_eq!(ds.data(&"RGDPPC".into()).unwrap().len(), 3 * 8);
+        assert_eq!(ds.data(&"PDR".into()).unwrap().len(), 3 * 8 * 5);
+    }
+
+    #[test]
+    fn scenario_runs_end_to_end() {
+        let (analyzed, ds) = gdp_scenario(GdpConfig::default());
+        let out = exl_eval::run_program(&analyzed, &ds).unwrap();
+        let pchng = out.data(&"PCHNG".into()).unwrap();
+        assert_eq!(pchng.len(), GdpConfig::default().quarters - 1);
+    }
+}

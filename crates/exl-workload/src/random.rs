@@ -1,0 +1,292 @@
+//! Seeded random statistical programs with matching data.
+//!
+//! Used by property tests (chase ≡ interpreter ≡ every backend on
+//! arbitrary programs, §4.2's theorem beyond the worked example) and by
+//! the chase benchmarks. Programs draw from the full operator menu —
+//! scalar and vectorial arithmetic, shift, aggregation with frequency
+//! conversion, black-box series operators — over panel `(q, r)` and series
+//! `(q)` shaped cubes.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use exl_lang::analyze::{analyze, AnalyzedProgram};
+use exl_lang::parser::parse_program;
+use exl_model::value::DimValue;
+use exl_model::{Cube, CubeData, Dataset, TimePoint};
+
+/// Configuration for random scenario generation.
+#[derive(Debug, Clone, Copy)]
+pub struct RandomConfig {
+    /// Number of derived-cube statements.
+    pub statements: usize,
+    /// Number of regions in panel cubes.
+    pub regions: usize,
+    /// Number of quarters of history.
+    pub quarters: usize,
+    /// RNG seed (also varies program structure).
+    pub seed: u64,
+    /// Allow multi-tuple operators (aggregations, series functions).
+    pub multituple: bool,
+}
+
+impl Default for RandomConfig {
+    fn default() -> Self {
+        RandomConfig {
+            statements: 6,
+            regions: 3,
+            quarters: 12,
+            seed: 0,
+            multituple: true,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Shape {
+    /// `(q: quarter, r: text)`
+    Panel,
+    /// `(q: quarter)`
+    Series,
+    /// `(mo: month, r: text)` — feeds frequency conversions
+    MonthlyPanel,
+}
+
+/// Generate a random program (source text) plus matching input data.
+///
+/// The program always analyzes successfully, never uses the outer
+/// (default-value) variant, and its data is strictly positive so that
+/// `ln`/`sqrt` stay defined almost everywhere (division can still drop
+/// tuples when subtraction produces zeros — that is intended, all
+/// backends must agree on it).
+pub fn random_scenario(cfg: RandomConfig) -> (AnalyzedProgram, Dataset) {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+
+    let mut src = String::from(
+        "cube P0(q: time[quarter], r: text) -> y;\n\
+         cube P1(q: time[quarter], r: text) -> y;\n\
+         cube S0(q: time[quarter]) -> y;\n\
+         cube M0(mo: time[month], r: text) -> y;\n",
+    );
+    let mut cubes: Vec<(String, Shape)> = vec![
+        ("P0".into(), Shape::Panel),
+        ("P1".into(), Shape::Panel),
+        ("S0".into(), Shape::Series),
+        ("M0".into(), Shape::MonthlyPanel),
+    ];
+
+    for i in 0..cfg.statements {
+        let target = format!("D{i}");
+        let pick = |rng: &mut StdRng, cubes: &[(String, Shape)], shape: Shape| -> String {
+            let options: Vec<&(String, Shape)> =
+                cubes.iter().filter(|(_, s)| *s == shape).collect();
+            options[rng.gen_range(0..options.len())].0.clone()
+        };
+        // choose an operator family
+        let family = if cfg.multituple {
+            rng.gen_range(0..7)
+        } else {
+            rng.gen_range(0..4)
+        };
+        let (expr, shape) = match family {
+            // scalar arithmetic with a constant
+            0 => {
+                let shape = if rng.gen_bool(0.5) {
+                    Shape::Panel
+                } else {
+                    Shape::Series
+                };
+                let a = pick(&mut rng, &cubes, shape);
+                let c = rng.gen_range(2..9);
+                let form = rng.gen_range(0..3);
+                let e = match form {
+                    0 => format!("{c} * {a}"),
+                    1 => format!("{a} + {c}"),
+                    _ => format!("{a} / {c}"),
+                };
+                (e, shape)
+            }
+            // vectorial arithmetic between two same-shape cubes
+            1 => {
+                let shape = if rng.gen_bool(0.5) {
+                    Shape::Panel
+                } else {
+                    Shape::Series
+                };
+                let a = pick(&mut rng, &cubes, shape);
+                let b = pick(&mut rng, &cubes, shape);
+                let op = ["+", "*", "-"][rng.gen_range(0..3)];
+                (format!("{a} {op} {b}"), shape)
+            }
+            // unary function
+            2 => {
+                let shape = if rng.gen_bool(0.5) {
+                    Shape::Panel
+                } else {
+                    Shape::Series
+                };
+                let a = pick(&mut rng, &cubes, shape);
+                let f = ["abs", "sqrt", "ln"][rng.gen_range(0..3)];
+                (format!("{f}({a} + 1)"), shape)
+            }
+            // shift
+            3 => {
+                let shape = if rng.gen_bool(0.5) {
+                    Shape::Panel
+                } else {
+                    Shape::Series
+                };
+                let a = pick(&mut rng, &cubes, shape);
+                let k: i64 = [-2, -1, 1, 2][rng.gen_range(0..4)];
+                (format!("shift({a}, {k})"), shape)
+            }
+            // aggregation: panel → series
+            4 => {
+                let a = pick(&mut rng, &cubes, Shape::Panel);
+                let agg = ["sum", "avg", "min", "max"][rng.gen_range(0..4)];
+                (format!("{agg}({a}, group by q)"), Shape::Series)
+            }
+            // series operator
+            5 => {
+                let a = pick(&mut rng, &cubes, Shape::Series);
+                let form = rng.gen_range(0..4);
+                let e = match form {
+                    0 => format!("stl_trend({a})"),
+                    1 => format!("cumsum({a})"),
+                    2 => format!("movavg({a}, {})", rng.gen_range(2..5)),
+                    _ => format!("lin_trend({a})"),
+                };
+                (e, Shape::Series)
+            }
+            // frequency conversion: monthly panel → quarterly panel
+            _ => {
+                let a = pick(&mut rng, &cubes, Shape::MonthlyPanel);
+                let agg = ["sum", "avg"][rng.gen_range(0..2)];
+                (
+                    format!("{agg}({a}, group by quarter(mo) as q, r)"),
+                    Shape::Panel,
+                )
+            }
+        };
+        src.push_str(&format!("{target} := {expr};\n"));
+        cubes.push((target, shape));
+    }
+
+    let analyzed = analyze(&parse_program(&src).expect("generated program parses"), &[])
+        .unwrap_or_else(|e| panic!("generated program analyzes: {e}\n{src}"));
+
+    // data: strictly positive, with trend and variation
+    let mut ds = Dataset::new();
+    for name in ["P0", "P1"] {
+        let mut data = CubeData::new();
+        for qi in 0..cfg.quarters {
+            for ri in 0..cfg.regions {
+                data.insert_overwrite(
+                    vec![
+                        DimValue::Time(TimePoint::Quarter {
+                            year: 2015 + (qi / 4) as i32,
+                            quarter: (qi % 4 + 1) as u32,
+                        }),
+                        DimValue::Str(format!("r{ri:02}")),
+                    ],
+                    5.0 + qi as f64 * 0.5 + ri as f64 + rng.gen_range(0.0..4.0),
+                );
+            }
+        }
+        ds.put(Cube::new(analyzed.schemas[&name.into()].clone(), data));
+    }
+    let mut m0 = CubeData::new();
+    for mi in 0..cfg.quarters * 3 {
+        for ri in 0..cfg.regions {
+            m0.insert_overwrite(
+                vec![
+                    DimValue::Time(TimePoint::Month {
+                        year: 2015 + (mi / 12) as i32,
+                        month: (mi % 12 + 1) as u32,
+                    }),
+                    DimValue::Str(format!("r{ri:02}")),
+                ],
+                3.0 + mi as f64 * 0.2 + ri as f64 + rng.gen_range(0.0..2.0),
+            );
+        }
+    }
+    ds.put(Cube::new(analyzed.schemas[&"M0".into()].clone(), m0));
+
+    let mut s0 = CubeData::new();
+    for qi in 0..cfg.quarters {
+        s0.insert_overwrite(
+            vec![DimValue::Time(TimePoint::Quarter {
+                year: 2015 + (qi / 4) as i32,
+                quarter: (qi % 4 + 1) as u32,
+            })],
+            10.0 + qi as f64 + rng.gen_range(0.0..3.0),
+        );
+    }
+    ds.put(Cube::new(analyzed.schemas[&"S0".into()].clone(), s0));
+
+    (analyzed, ds)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let (a1, d1) = random_scenario(RandomConfig::default());
+        let (a2, d2) = random_scenario(RandomConfig::default());
+        assert_eq!(
+            exl_lang::program_to_string(&a1.program),
+            exl_lang::program_to_string(&a2.program)
+        );
+        assert!(d1.approx_eq_report(&d2, 0.0).is_ok());
+    }
+
+    #[test]
+    fn seeds_vary_programs() {
+        let sources: Vec<String> = (0..5)
+            .map(|seed| {
+                let (a, _) = random_scenario(RandomConfig {
+                    seed,
+                    ..RandomConfig::default()
+                });
+                exl_lang::program_to_string(&a.program)
+            })
+            .collect();
+        let distinct: std::collections::BTreeSet<&String> = sources.iter().collect();
+        assert!(distinct.len() >= 3, "{sources:?}");
+    }
+
+    #[test]
+    fn many_seeds_analyze_and_evaluate() {
+        for seed in 0..30 {
+            let (analyzed, ds) = random_scenario(RandomConfig {
+                seed,
+                statements: 8,
+                ..RandomConfig::default()
+            });
+            let out = exl_eval::run_program(&analyzed, &ds)
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            // every derived cube must exist (possibly empty, e.g. after
+            // aggressive shifting out of range)
+            for id in analyzed.program.derived_ids() {
+                assert!(out.contains(&id), "seed {seed}: missing {id}");
+            }
+        }
+    }
+
+    #[test]
+    fn tuple_level_only_mode() {
+        let (analyzed, _) = random_scenario(RandomConfig {
+            multituple: false,
+            statements: 10,
+            seed: 3,
+            ..RandomConfig::default()
+        });
+        for stmt in &analyzed.program.statements {
+            let has_multi = format!("{:?}", stmt.expr).contains("Aggregate")
+                || format!("{:?}", stmt.expr).contains("SeriesFn");
+            assert!(!has_multi, "{:?}", stmt.expr);
+        }
+    }
+}

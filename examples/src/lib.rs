@@ -1,0 +1,1 @@
+//! Example binaries are in examples/examples/*.rs.

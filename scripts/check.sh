@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Full quality gate: formatting, lints, docs, tests.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== fmt =="
+cargo fmt --all -- --check
+
+echo "== clippy =="
+cargo clippy --workspace --tests -- -D warnings
+
+echo "== docs =="
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps
+
+echo "== tests =="
+cargo test --workspace
+
+echo "== examples =="
+for ex in quickstart multi_target production_pipeline data_exchange seasonal_adjustment; do
+    cargo run -q -p exl-examples --example "$ex" > /dev/null
+    echo "example $ex: ok"
+done
+
+echo "all checks passed"

@@ -1,0 +1,47 @@
+#!/usr/bin/env python3
+"""Collect Criterion results into the EXPERIMENTS.md tables.
+
+Reads target/criterion/**/new/estimates.json and prints one markdown table
+per benchmark group (B1..B7), using the median point estimate.
+
+Usage: python3 scripts/collect_bench.py [criterion_dir]
+"""
+import json
+import pathlib
+import sys
+from collections import defaultdict
+
+
+def fmt(ns: float) -> str:
+    for unit, scale in [("s", 1e9), ("ms", 1e6), ("µs", 1e3)]:
+        if ns >= scale:
+            return f"{ns / scale:.2f} {unit}"
+    return f"{ns:.0f} ns"
+
+
+def main() -> None:
+    root = pathlib.Path(sys.argv[1] if len(sys.argv) > 1 else "target/criterion")
+    groups: dict[str, list[tuple[str, float]]] = defaultdict(list)
+    for est in sorted(root.glob("**/new/estimates.json")):
+        bench_dir = est.parent.parent
+        rel = bench_dir.relative_to(root)
+        parts = rel.parts
+        if not parts:
+            continue
+        group = parts[0]
+        name = "/".join(parts[1:])
+        with open(est) as f:
+            data = json.load(f)
+        median = data["median"]["point_estimate"]
+        groups[group].append((name, median))
+
+    for group in sorted(groups):
+        print(f"\n### {group}\n")
+        print("| benchmark | median |")
+        print("|---|---|")
+        for name, median in groups[group]:
+            print(f"| `{name}` | {fmt(median)} |")
+
+
+if __name__ == "__main__":
+    main()

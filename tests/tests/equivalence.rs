@@ -1,0 +1,153 @@
+//! C5 — the §4.2 theorem, empirically: for arbitrary programs and data,
+//! the solution of the data exchange problem (found by the stratified
+//! chase) equals the output of the EXL program, the chase terminates with
+//! a genuine fixpoint, and the functionality egds are never violated.
+
+use exl_chase::{chase, is_fixpoint, ChaseMode};
+use exl_map::generate::{generate_mapping, GenMode};
+use exl_workload::{random_scenario, RandomConfig};
+use proptest::prelude::*;
+
+fn check_equivalence(seed: u64, statements: usize, multituple: bool) {
+    let (analyzed, input) = random_scenario(RandomConfig {
+        seed,
+        statements,
+        multituple,
+        ..RandomConfig::default()
+    });
+    let reference = exl_eval::run_program(&analyzed, &input)
+        .unwrap_or_else(|e| panic!("seed {seed}: eval failed: {e}"));
+
+    for mode in [GenMode::Fused, GenMode::Normalized] {
+        let (mapping, re) = generate_mapping(&analyzed, mode)
+            .unwrap_or_else(|e| panic!("seed {seed} {mode:?}: {e}"));
+        let result =
+            chase(&mapping, &re.schemas, &input, ChaseMode::Stratified).unwrap_or_else(|e| {
+                panic!(
+                    "seed {seed} {mode:?}: chase failed: {e}\nprogram:\n{}",
+                    exl_lang::program_to_string(&analyzed.program)
+                )
+            });
+        // the solution is a real fixpoint: re-applying any tgd adds nothing
+        assert!(
+            is_fixpoint(&mapping, &re.schemas, &result.solution).unwrap(),
+            "seed {seed} {mode:?}: not a fixpoint"
+        );
+        // and it coincides with the program output on every derived cube
+        for id in analyzed.program.derived_ids() {
+            let want = reference.data(&id).unwrap();
+            let got = result
+                .solution
+                .data(&id)
+                .unwrap_or_else(|| panic!("seed {seed} {mode:?}: missing {id}"));
+            assert!(
+                got.approx_eq(want, 1e-9),
+                "seed {seed} {mode:?} {id}:\n{}\n{:?}",
+                exl_lang::program_to_string(&analyzed.program),
+                got.diff(want, 1e-9)
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random full-menu programs: chase ≡ interpreter in both generation
+    /// modes.
+    #[test]
+    fn chase_equals_interpreter(seed in 0u64..5000, statements in 3usize..10) {
+        check_equivalence(seed, statements, true);
+    }
+
+    /// Random tuple-level-only programs (the classically-chaseable
+    /// fragment): additionally, the *fair* chase agrees with the
+    /// stratified one.
+    #[test]
+    fn fair_chase_agrees_on_tuple_level_fragment(seed in 0u64..5000, statements in 3usize..8) {
+        let (analyzed, input) = random_scenario(RandomConfig {
+            seed,
+            statements,
+            multituple: false,
+            ..RandomConfig::default()
+        });
+        let (mapping, re) = generate_mapping(&analyzed, GenMode::Fused).unwrap();
+        let strat = chase(&mapping, &re.schemas, &input, ChaseMode::Stratified).unwrap();
+        let fair = chase(&mapping, &re.schemas, &input, ChaseMode::Fair).unwrap();
+        prop_assert!(strat.solution.approx_eq_report(&fair.solution, 1e-12).is_ok());
+    }
+
+    /// The parser round-trips through the pretty printer on random
+    /// generated programs (frontend sanity over a much wider space than
+    /// the unit tests).
+    #[test]
+    fn pretty_print_round_trip(seed in 0u64..5000, statements in 1usize..12) {
+        let (analyzed, _) = random_scenario(RandomConfig {
+            seed,
+            statements,
+            ..RandomConfig::default()
+        });
+        let printed = exl_lang::program_to_string(&analyzed.program);
+        let reparsed = exl_lang::parse_program(&printed).unwrap();
+        prop_assert_eq!(printed.clone(), exl_lang::program_to_string(&reparsed), "{}", printed);
+    }
+
+    /// Normalization preserves semantics on random programs.
+    #[test]
+    fn normalization_preserves_semantics(seed in 0u64..5000, statements in 2usize..8) {
+        let (analyzed, input) = random_scenario(RandomConfig {
+            seed,
+            statements,
+            ..RandomConfig::default()
+        });
+        let normalized = exl_lang::normalize(&analyzed.program);
+        let re = exl_lang::analyze(&normalized, &[]).unwrap();
+        let a = exl_eval::run_program(&analyzed, &input).unwrap();
+        let b = exl_eval::run_program(&re, &input).unwrap();
+        for id in analyzed.program.derived_ids() {
+            let want = a.data(&id).unwrap();
+            let got = b.data(&id).unwrap();
+            prop_assert!(got.approx_eq(want, 1e-9), "{id}: {:?}", got.diff(want, 1e-9));
+        }
+    }
+}
+
+/// Fixed-seed smoke versions of the properties, so plain `cargo test`
+/// failures are easy to reproduce without proptest shrinking.
+#[test]
+fn chase_equals_interpreter_fixed_seeds() {
+    for seed in [0, 1, 7, 42, 1234] {
+        check_equivalence(seed, 8, true);
+    }
+}
+
+/// Chase statistics are meaningful: more data means more homomorphisms.
+#[test]
+fn chase_stats_scale_with_data() {
+    let small = {
+        let (analyzed, input) = random_scenario(RandomConfig {
+            seed: 3,
+            quarters: 8,
+            ..RandomConfig::default()
+        });
+        let (mapping, re) = generate_mapping(&analyzed, GenMode::Fused).unwrap();
+        chase(&mapping, &re.schemas, &input, ChaseMode::Stratified)
+            .unwrap()
+            .stats
+    };
+    let large = {
+        let (analyzed, input) = random_scenario(RandomConfig {
+            seed: 3,
+            quarters: 32,
+            ..RandomConfig::default()
+        });
+        let (mapping, re) = generate_mapping(&analyzed, GenMode::Fused).unwrap();
+        chase(&mapping, &re.schemas, &input, ChaseMode::Stratified)
+            .unwrap()
+            .stats
+    };
+    assert!(large.homomorphisms > small.homomorphisms);
+    assert!(large.facts_generated > small.facts_generated);
+    assert_eq!(small.passes, 1);
+    assert_eq!(large.passes, 1);
+}
