@@ -5,8 +5,8 @@
 //! rule until the fixpoint is *detected* rather than known.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use exl_bench::gdp_at_scale;
-use exl_chase::{chase, ChaseMode};
+use exl_bench::{gdp_at_scale, write_bench_metrics};
+use exl_chase::{chase, chase_recorded, ChaseMode};
 use exl_map::generate::{generate_mapping, GenMode};
 use exl_workload::{random_scenario, RandomConfig};
 
@@ -46,6 +46,21 @@ fn bench_chase(c: &mut Criterion) {
         });
     }
     group.finish();
+
+    // one instrumented pass at the largest GDP scale: span data and chase
+    // counters for the B3 section of the collected report
+    let registry = exl_obs::MetricsRegistry::new();
+    let (analyzed, data, _) = gdp_at_scale(16, 48);
+    let (mapping, re) = generate_mapping(&analyzed, GenMode::Fused).unwrap();
+    chase_recorded(
+        &mapping,
+        &re.schemas,
+        &data,
+        ChaseMode::Stratified,
+        &registry,
+    )
+    .unwrap();
+    write_bench_metrics("B3", &registry);
 }
 
 criterion_group!(benches, bench_chase);

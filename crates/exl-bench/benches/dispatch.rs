@@ -77,6 +77,22 @@ fn bench_dispatch(c: &mut Criterion) {
         );
     }
     group.finish();
+
+    // one instrumented pass: per-subgraph spans from the dispatcher plus
+    // ETL row counters, written for the B5 section of the collected report
+    let mut e = build_engine(4, true);
+    let registry = e.enable_metrics();
+    e.run_all().unwrap();
+    let (analyzed, data) = gdp_scenario(GdpConfig {
+        regions: 8,
+        quarters: 24,
+        days_per_quarter: 8,
+        seed: 42,
+    });
+    let (mapping, _) = generate_mapping(&analyzed, GenMode::Fused).unwrap();
+    let job = exl_etl::mapping_to_job(&mapping).unwrap();
+    exl_etl::run_job_parallel_recorded(&job, &data, registry.as_ref()).unwrap();
+    exl_bench::write_bench_metrics("B5", &registry);
 }
 
 criterion_group!(benches, bench_dispatch);

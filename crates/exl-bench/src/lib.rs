@@ -26,3 +26,24 @@ pub fn gdp_at_scale(regions: usize, quarters: usize) -> (AnalyzedProgram, Datase
 pub fn dataset_rows(ds: &Dataset) -> usize {
     ds.iter().map(|(_, c)| c.data.len()).sum()
 }
+
+/// Write a bench's recorded metrics next to its Criterion estimates, as
+/// `target/criterion/<group>/metrics.json`, so `scripts/collect_bench.py`
+/// can fold span data and counters into the B-series tables. Does nothing
+/// if the target directory cannot be located.
+pub fn write_bench_metrics(group: &str, registry: &exl_obs::MetricsRegistry) {
+    let Some(dir) = criterion_dir() else { return };
+    let dir = dir.join(group);
+    if std::fs::create_dir_all(&dir).is_err() {
+        return;
+    }
+    let _ = std::fs::write(dir.join("metrics.json"), registry.to_json());
+}
+
+fn criterion_dir() -> Option<std::path::PathBuf> {
+    let exe = std::env::current_exe().ok()?;
+    let target = exe
+        .ancestors()
+        .find(|p| p.file_name().is_some_and(|n| n == "target"))?;
+    Some(target.join("criterion"))
+}

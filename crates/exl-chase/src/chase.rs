@@ -63,6 +63,37 @@ pub fn chase(
     source: &Dataset,
     mode: ChaseMode,
 ) -> Result<ChaseResult, ChaseError> {
+    chase_recorded(mapping, schemas, source, mode, &exl_obs::NoopRecorder)
+}
+
+/// [`chase`] with observability: the run is timed under the
+/// `chase.run` span and the [`ChaseStats`] counters are mirrored into
+/// the recorder as `chase.applications` / `chase.homomorphisms` /
+/// `chase.facts_generated` / `chase.passes`.
+pub fn chase_recorded(
+    mapping: &Mapping,
+    schemas: &BTreeMap<CubeId, CubeSchema>,
+    source: &Dataset,
+    mode: ChaseMode,
+    recorder: &dyn exl_obs::Recorder,
+) -> Result<ChaseResult, ChaseError> {
+    let _span = exl_obs::span(recorder, "chase.run");
+    let result = chase_inner(mapping, schemas, source, mode);
+    if let Ok(r) = &result {
+        recorder.incr_counter("chase.applications", r.stats.applications as u64);
+        recorder.incr_counter("chase.homomorphisms", r.stats.homomorphisms as u64);
+        recorder.incr_counter("chase.facts_generated", r.stats.facts_generated as u64);
+        recorder.incr_counter("chase.passes", r.stats.passes as u64);
+    }
+    result
+}
+
+fn chase_inner(
+    mapping: &Mapping,
+    schemas: &BTreeMap<CubeId, CubeSchema>,
+    source: &Dataset,
+    mode: ChaseMode,
+) -> Result<ChaseResult, ChaseError> {
     // The running instance starts as ⟨I, ∅⟩; applying Σst copies the
     // source relations into their target counterparts. We keep source and
     // target relations in one namespace, as the paper does after noting

@@ -20,6 +20,8 @@ pub mod chase;
 pub mod error;
 pub mod instance;
 
-pub use chase::{chase, is_fixpoint, restrict_solution, ChaseMode, ChaseResult, ChaseStats};
+pub use chase::{
+    chase, chase_recorded, is_fixpoint, restrict_solution, ChaseMode, ChaseResult, ChaseStats,
+};
 pub use error::ChaseError;
 pub use instance::{Fact, Instance, Relation};

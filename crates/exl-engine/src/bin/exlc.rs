@@ -14,6 +14,10 @@
 //!                                          elementary cube from the directory
 //! ```
 //!
+//! The global option `--metrics <path>` (before or after the subcommand)
+//! records structured run metrics — spans, counters, gauges — and writes
+//! them to `<path>` as JSON when the command finishes.
+//!
 //! `data.json` holds `{ "CUBE": [ [[dims…], measure], … ], … }` — dimension
 //! values use the serde encoding of `exl_model::DimValue`. CSV files use the
 //! flat format of `exl_model::csv` (header = dimensions + measure).
@@ -33,12 +37,32 @@ macro_rules! out {
 }
 
 use exl_engine::{translate, TargetKind};
-use exl_lang::{analyze, parse_program};
 use exl_model::{Cube, CubeData, Dataset, DimTuple};
+use exl_obs::{MetricsRegistry, NoopRecorder, Recorder};
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    match run(&args) {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let metrics_path = match extract_metrics_path(&mut args) {
+        Ok(p) => p,
+        Err(msg) => {
+            eprintln!("exlc: {msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let registry = MetricsRegistry::new();
+    let recorder: &dyn Recorder = if metrics_path.is_some() {
+        &registry
+    } else {
+        &NoopRecorder
+    };
+    let outcome = run(&args, recorder);
+    if let Some(path) = metrics_path {
+        if let Err(e) = std::fs::write(&path, registry.to_json()) {
+            eprintln!("exlc: cannot write metrics to {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    match outcome {
         Ok(()) => ExitCode::SUCCESS,
         Err(msg) => {
             eprintln!("exlc: {msg}");
@@ -47,31 +71,45 @@ fn main() -> ExitCode {
     }
 }
 
-fn run(args: &[String]) -> Result<(), String> {
-    let usage = "usage: exlc <check|tgds|translate|run> …  (see crate docs)";
+/// Pull `--metrics <path>` (anywhere on the command line) out of `args`.
+fn extract_metrics_path(args: &mut Vec<String>) -> Result<Option<String>, String> {
+    let Some(i) = args.iter().position(|a| a == "--metrics") else {
+        return Ok(None);
+    };
+    if i + 1 >= args.len() {
+        return Err("--metrics requires a file path argument".into());
+    }
+    let path = args.remove(i + 1);
+    args.remove(i);
+    Ok(Some(path))
+}
+
+fn run(args: &[String], recorder: &dyn Recorder) -> Result<(), String> {
+    let usage = "usage: exlc [--metrics <path>] <check|tgds|translate|run> …  (see crate docs)";
     match args {
         [cmd, rest @ ..] => match cmd.as_str() {
-            "check" => check(rest),
-            "tgds" => tgds(rest),
-            "translate" => do_translate(rest),
-            "run" => do_run(rest),
+            "check" => check(rest, recorder),
+            "tgds" => tgds(rest, recorder),
+            "translate" => do_translate(rest, recorder),
+            "run" => do_run(rest, recorder),
             other => Err(format!("unknown command `{other}`\n{usage}")),
         },
         _ => Err(usage.to_string()),
     }
 }
 
-fn load_program(path: &str) -> Result<exl_lang::AnalyzedProgram, String> {
+fn load_program(path: &str, recorder: &dyn Recorder) -> Result<exl_lang::AnalyzedProgram, String> {
     let source = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
-    let program = parse_program(&source).map_err(|e| format!("{path}: {e}"))?;
-    analyze(&program, &[]).map_err(|e| format!("{path}: {e}"))
+    let program =
+        exl_lang::parse_program_recorded(&source, recorder).map_err(|e| format!("{path}: {e}"))?;
+    exl_lang::analyze_recorded(&program, &[], recorder).map_err(|e| format!("{path}: {e}"))
 }
 
-fn check(args: &[String]) -> Result<(), String> {
+fn check(args: &[String], recorder: &dyn Recorder) -> Result<(), String> {
     let [path] = args else {
         return Err("usage: exlc check <program.exl>".into());
     };
-    let analyzed = load_program(path)?;
+    let analyzed = load_program(path, recorder)?;
     out!("ok: {} statements", analyzed.program.statements.len());
     for (id, schema) in &analyzed.schemas {
         let kind = match schema.kind {
@@ -84,11 +122,11 @@ fn check(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn tgds(args: &[String]) -> Result<(), String> {
+fn tgds(args: &[String], recorder: &dyn Recorder) -> Result<(), String> {
     let [path] = args else {
         return Err("usage: exlc tgds <program.exl>".into());
     };
-    let analyzed = load_program(path)?;
+    let analyzed = load_program(path, recorder)?;
     let (mapping, _) =
         exl_map::generate_mapping(&analyzed, exl_map::GenMode::Fused).map_err(|e| e.to_string())?;
     out!("{}", mapping.display_tgds());
@@ -110,11 +148,11 @@ fn parse_target(name: &str) -> Result<TargetKind, String> {
         })
 }
 
-fn do_translate(args: &[String]) -> Result<(), String> {
+fn do_translate(args: &[String], recorder: &dyn Recorder) -> Result<(), String> {
     let [target, path] = args else {
         return Err("usage: exlc translate <target> <program.exl>".into());
     };
-    let analyzed = load_program(path)?;
+    let analyzed = load_program(path, recorder)?;
     let code = translate(&analyzed, parse_target(target)?).map_err(|e| e.to_string())?;
     out!("{}", code.listing());
     Ok(())
@@ -122,13 +160,13 @@ fn do_translate(args: &[String]) -> Result<(), String> {
 
 type JsonCube = Vec<(DimTuple, f64)>;
 
-fn do_run(args: &[String]) -> Result<(), String> {
+fn do_run(args: &[String], recorder: &dyn Recorder) -> Result<(), String> {
     let (path, data_path, target) = match args {
         [p, d] => (p, d, TargetKind::Native),
         [p, d, t] => (p, d, parse_target(t)?),
         _ => return Err("usage: exlc run <program.exl> <data.json|dir> [target]".into()),
     };
-    let analyzed = load_program(path)?;
+    let analyzed = load_program(path, recorder)?;
     let mut input = Dataset::new();
     if std::fs::metadata(data_path)
         .map(|m| m.is_dir())
@@ -161,11 +199,18 @@ fn do_run(args: &[String]) -> Result<(), String> {
         }
     }
 
-    let output =
-        exl_engine::run_on_target(&analyzed, &input, target).map_err(|e| e.to_string())?;
+    let output = {
+        // the whole program runs as one subgraph on the chosen target
+        let _span = exl_obs::span(recorder, format!("engine.subgraph.{target}"));
+        exl_engine::run_on_target_recorded(&analyzed, &input, target, recorder)
+            .map_err(|e| e.to_string())?
+    };
     let mut result: BTreeMap<String, JsonCube> = BTreeMap::new();
     for id in analyzed.program.derived_ids() {
-        result.insert(id.to_string(), output.data(&id).unwrap().to_tuples());
+        let data = output
+            .data(&id)
+            .ok_or_else(|| format!("target produced no data for {id}"))?;
+        result.insert(id.to_string(), data.to_tuples());
     }
     out!(
         "{}",

@@ -7,13 +7,18 @@
 //! subgraph to its target engine — sequentially or with stage-level
 //! parallelism — moving cube data between engines as needed.
 
+use std::sync::Arc;
+
 use exl_model::schema::{CubeId, CubeKind};
 use exl_model::CubeData;
+use exl_obs::{MetricsRegistry, MetricsSnapshot, NoopRecorder, Recorder};
 
 use crate::catalog::Catalog;
 use crate::determination::{GlobalGraph, Subgraph};
 use crate::error::EngineError;
-use crate::target::{execute, input_schemas, subprogram, translate, TargetCode, TargetKind};
+use crate::target::{
+    execute_recorded, input_schemas, subprogram, translate, TargetCode, TargetKind,
+};
 
 /// The engine.
 #[derive(Debug, Clone)]
@@ -25,6 +30,10 @@ pub struct ExlEngine {
     pub default_target: TargetKind,
     /// Dispatch independent subgraphs of a stage on separate threads.
     pub parallel_dispatch: bool,
+    /// Metrics registry, populated when observability is enabled via
+    /// [`ExlEngine::enable_metrics`]. When `None` every instrumented path
+    /// uses the no-op recorder, adding no overhead.
+    metrics: Option<Arc<MetricsRegistry>>,
 }
 
 /// What happened to one subgraph during a run.
@@ -48,6 +57,9 @@ pub struct RunReport {
     pub stages: usize,
     /// All cubes recomputed, in plan order.
     pub computed: Vec<CubeId>,
+    /// Metrics gathered during the run (empty unless the engine has
+    /// observability enabled via [`ExlEngine::enable_metrics`]).
+    pub metrics: MetricsSnapshot,
 }
 
 impl Default for ExlEngine {
@@ -57,14 +69,33 @@ impl Default for ExlEngine {
             graph: GlobalGraph::new(),
             default_target: TargetKind::Native,
             parallel_dispatch: false,
+            metrics: None,
         }
     }
 }
+
+/// Shared no-op recorder used when metrics are disabled.
+static NOOP: NoopRecorder = NoopRecorder;
 
 impl ExlEngine {
     /// Fresh engine with an empty catalog.
     pub fn new() -> ExlEngine {
         ExlEngine::default()
+    }
+
+    /// Turn on observability: every subsequent run records spans and
+    /// counters into the returned registry, and [`RunReport::metrics`]
+    /// carries a snapshot of it. The registry accumulates across runs.
+    pub fn enable_metrics(&mut self) -> Arc<MetricsRegistry> {
+        let registry = self
+            .metrics
+            .get_or_insert_with(|| Arc::new(MetricsRegistry::new()));
+        Arc::clone(registry)
+    }
+
+    /// The engine's metrics registry, if observability is enabled.
+    pub fn metrics(&self) -> Option<&Arc<MetricsRegistry>> {
+        self.metrics.as_ref()
     }
 
     /// Register an EXL program: parse, analyze against the catalog's
@@ -155,7 +186,9 @@ impl ExlEngine {
                     let (_, o, a, n) = scan(arg);
                     (true, o, a, n)
                 }
-                exl_lang::Expr::Binary { policy, lhs, rhs, .. } => {
+                exl_lang::Expr::Binary {
+                    policy, lhs, rhs, ..
+                } => {
                     let (s1, o1, a1, n1) = scan(lhs);
                     let (s2, o2, a2, n2) = scan(rhs);
                     let outer = matches!(policy, exl_lang::JoinPolicy::Outer { .. });
@@ -246,12 +279,43 @@ impl ExlEngine {
     /// Recompute everything downstream of the changed cubes. Results are
     /// stored in the catalog as new versions.
     pub fn recompute(&mut self, changed: &[CubeId]) -> Result<RunReport, EngineError> {
-        let translated = self.plan_and_translate(changed)?;
+        // hold the registry in a local so the recorder borrow does not
+        // pin `self` while the catalog is mutated below
+        let registry = self.metrics.clone();
+        let recorder: &dyn Recorder = match &registry {
+            Some(r) => r.as_ref(),
+            None => &NOOP,
+        };
+        let mut report = {
+            let _run_span = exl_obs::span(recorder, "engine.recompute");
+            self.recompute_recorded(changed, recorder)?
+        };
+        if let Some(registry) = &registry {
+            report.metrics = registry.snapshot();
+        }
+        Ok(report)
+    }
+
+    fn recompute_recorded(
+        &mut self,
+        changed: &[CubeId],
+        recorder: &dyn Recorder,
+    ) -> Result<RunReport, EngineError> {
+        let translated = {
+            let _span = exl_obs::span(recorder, "engine.plan_and_translate");
+            self.plan_and_translate(changed)?
+        };
         if translated.is_empty() {
             return Ok(RunReport::default());
         }
+        recorder.incr_counter("engine.subgraphs", translated.len() as u64);
+        recorder.incr_counter(
+            "engine.fallbacks",
+            translated.iter().filter(|(_, _, f)| *f).count() as u64,
+        );
         let subgraphs: Vec<Subgraph> = translated.iter().map(|(s, _, _)| s.clone()).collect();
         let stages = self.graph.stages(&subgraphs);
+        recorder.incr_counter("engine.stages", stages.len() as u64);
 
         let mut report = RunReport {
             stages: stages.len(),
@@ -267,16 +331,25 @@ impl ExlEngine {
                 let jobs: Vec<_> = stage
                     .iter()
                     .map(|&si| {
-                        let (sub, code, _) = &translated[si];
+                        let (sub, code, fallback) = &translated[si];
                         let prepared = self.prepare_inputs(sub)?;
-                        Ok((si, code.clone(), prepared, self.targets_of(sub)))
+                        let ran_on = if *fallback {
+                            TargetKind::Native
+                        } else {
+                            sub.target
+                        };
+                        Ok((si, code.clone(), prepared, self.targets_of(sub), ran_on))
                     })
                     .collect::<Result<_, EngineError>>()?;
                 let outputs = std::thread::scope(|scope| {
                     let handles: Vec<_> = jobs
                         .into_iter()
-                        .map(|(si, code, input, wanted)| {
-                            scope.spawn(move || (si, execute(&code, &input, &wanted)))
+                        .map(|(si, code, input, wanted, ran_on)| {
+                            scope.spawn(move || {
+                                let _span =
+                                    exl_obs::span(recorder, format!("engine.subgraph.{ran_on}"));
+                                (si, execute_recorded(&code, &input, &wanted, recorder))
+                            })
                         })
                         .collect();
                     handles
@@ -289,10 +362,16 @@ impl ExlEngine {
                 }
             } else {
                 for &si in stage {
-                    let (sub, code, _) = &translated[si];
+                    let (sub, code, fallback) = &translated[si];
                     let input = self.prepare_inputs(sub)?;
                     let wanted = self.targets_of(sub);
-                    results.push((si, execute(code, &input, &wanted)?));
+                    let ran_on = if *fallback {
+                        TargetKind::Native
+                    } else {
+                        sub.target
+                    };
+                    let _span = exl_obs::span(recorder, format!("engine.subgraph.{ran_on}"));
+                    results.push((si, execute_recorded(code, &input, &wanted, recorder)?));
                 }
             }
             // store stage results (new catalog versions)

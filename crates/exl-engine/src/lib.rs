@@ -28,7 +28,10 @@ pub use catalog::{Catalog, CubeMeta, CubeVersion};
 pub use determination::{GlobalGraph, Subgraph};
 pub use engine::{ExlEngine, RunReport, SubgraphReport};
 pub use error::EngineError;
-pub use target::{run_on_target, translate, TargetCode, TargetKind};
+pub use target::{
+    execute, execute_recorded, run_on_target, run_on_target_recorded, translate, TargetCode,
+    TargetKind,
+};
 
 #[cfg(test)]
 mod tests {
@@ -287,14 +290,17 @@ mod tests {
         assert_eq!(get("GDP"), TargetKind::Sql); // aggregation
         assert_eq!(get("GDPT"), TargetKind::R); // whole-series black box
         assert_eq!(get("PCHNG"), TargetKind::Sql); // self-join via shift
-        // outer variants go to the ETL engine
+                                                   // outer variants go to the ETL engine
         let stmt = exl_lang::parse_program("C := addz(A, B);")
             .unwrap()
             .statements
             .remove(0);
         assert_eq!(ExlEngine::suggest_affinity(&stmt), TargetKind::Etl);
         // plain scalar work stays native
-        let stmt = exl_lang::parse_program("C := 2 * A;").unwrap().statements.remove(0);
+        let stmt = exl_lang::parse_program("C := 2 * A;")
+            .unwrap()
+            .statements
+            .remove(0);
         assert_eq!(ExlEngine::suggest_affinity(&stmt), TargetKind::Native);
 
         let report = e.run_all().unwrap();

@@ -10,7 +10,7 @@
 
 use std::collections::BTreeMap;
 
-use exl_chase::{chase, ChaseMode};
+use exl_chase::{chase_recorded, ChaseMode};
 use exl_lang::analyze::{analyze, AnalyzedProgram};
 use exl_lang::ast::{Program, Statement};
 use exl_map::dep::Mapping;
@@ -121,6 +121,22 @@ pub enum TargetCode {
 }
 
 impl TargetCode {
+    /// Name of the target system this code runs on (matches
+    /// [`TargetKind::name`]).
+    pub fn target_name(&self) -> &'static str {
+        match self {
+            TargetCode::Native { .. } => "native",
+            TargetCode::Chase { .. } => "chase",
+            TargetCode::Sql { .. } => "sql",
+            TargetCode::R { .. } => "r",
+            TargetCode::Matlab { .. } => "matlab",
+            TargetCode::Etl {
+                parallel: false, ..
+            } => "etl",
+            TargetCode::Etl { parallel: true, .. } => "etl-parallel",
+        }
+    }
+
     /// A printable form of the generated artifact (for the examples and
     /// EXPERIMENTS documentation).
     pub fn listing(&self) -> String {
@@ -247,11 +263,24 @@ pub fn execute(
     input: &Dataset,
     wanted: &[CubeId],
 ) -> Result<Dataset, EngineError> {
+    execute_recorded(code, input, wanted, &exl_obs::NoopRecorder)
+}
+
+/// [`execute`] with per-backend timing: the whole call runs under the
+/// `target.execute.<name>` span, and the chase / parallel-ETL backends
+/// additionally emit their own counters to `recorder`.
+pub fn execute_recorded(
+    code: &TargetCode,
+    input: &Dataset,
+    wanted: &[CubeId],
+    recorder: &dyn exl_obs::Recorder,
+) -> Result<Dataset, EngineError> {
+    let _span = exl_obs::span(recorder, format!("target.execute.{}", code.target_name()));
     let full = match code {
         TargetCode::Native { analyzed } => exl_eval::run_program(analyzed, input)
             .map_err(|e| EngineError::Execution(e.to_string()))?,
         TargetCode::Chase { mapping, schemas } => {
-            let result = chase(mapping, schemas, input, ChaseMode::Stratified)
+            let result = chase_recorded(mapping, schemas, input, ChaseMode::Stratified, recorder)
                 .map_err(|e| EngineError::Execution(e.to_string()))?;
             let mut solution = result.solution;
             // relations the chase never derived a fact for are still part
@@ -352,7 +381,7 @@ pub fn execute(
         }
         TargetCode::Etl { job, parallel } => {
             let run = if *parallel {
-                exl_etl::run_job_parallel(job, input)
+                exl_etl::run_job_parallel_recorded(job, input, recorder)
             } else {
                 job.run(input)
             };
@@ -369,7 +398,21 @@ pub fn run_on_target(
     input: &Dataset,
     target: TargetKind,
 ) -> Result<Dataset, EngineError> {
-    let code = translate(analyzed, target)?;
+    run_on_target_recorded(analyzed, input, target, &exl_obs::NoopRecorder)
+}
+
+/// [`run_on_target`] with translation timed under `engine.translate` and
+/// execution instrumented via [`execute_recorded`].
+pub fn run_on_target_recorded(
+    analyzed: &AnalyzedProgram,
+    input: &Dataset,
+    target: TargetKind,
+    recorder: &dyn exl_obs::Recorder,
+) -> Result<Dataset, EngineError> {
+    let code = {
+        let _span = exl_obs::span(recorder, "engine.translate");
+        translate(analyzed, target)?
+    };
     let wanted = analyzed.program.derived_ids();
     // the executors read only the cubes the program needs
     let inputs: Vec<CubeId> = analyzed.elementary_inputs();
@@ -381,7 +424,7 @@ pub fn run_on_target(
             )));
         }
     }
-    execute(&code, &restricted, &wanted)
+    execute_recorded(&code, &restricted, &wanted, recorder)
 }
 
 /// Schemas for a statement subset's *external inputs*: every cube the

@@ -127,6 +127,95 @@ fn run_executes_with_csv_directory() {
 }
 
 #[test]
+fn metrics_flag_writes_registry_json() {
+    let p = write_tmp("metrics.exl", PROGRAM);
+    let d = write_tmp(
+        "metrics.json",
+        r#"{ "A": [
+            [[{"Time": {"Quarter": {"year": 2020, "quarter": 1}}}], 1.5],
+            [[{"Time": {"Quarter": {"year": 2020, "quarter": 2}}}], 2.5]
+        ]}"#,
+    );
+    for (target, expect_counter) in [
+        ("chase", "chase.applications"),
+        ("etl-parallel", "etl.rows.source"),
+    ] {
+        let m = std::env::temp_dir().join(format!(
+            "exlc-test-{}-metrics-{target}.out.json",
+            std::process::id()
+        ));
+        let out = exlc(&[
+            "--metrics",
+            m.to_str().unwrap(),
+            "run",
+            p.to_str().unwrap(),
+            d.to_str().unwrap(),
+            target,
+        ]);
+        assert!(
+            out.status.success(),
+            "{target}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let metrics: serde_json::Value =
+            serde_json::from_str(&std::fs::read_to_string(&m).unwrap()).unwrap();
+        // parser/analyzer spans, per-subgraph timing, per-backend timing
+        assert!(metrics["spans"]["lang.parse"]["count"].as_u64() >= Some(1));
+        assert!(metrics["spans"]["lang.analyze"]["total_ns"].as_u64() > Some(0));
+        assert!(
+            metrics["spans"][format!("engine.subgraph.{target}").as_str()]["count"].as_u64()
+                >= Some(1),
+            "{target}: {metrics:?}"
+        );
+        assert!(
+            metrics["spans"][format!("target.execute.{target}").as_str()]["total_ns"].as_u64()
+                > Some(0),
+            "{target}: {metrics:?}"
+        );
+        // backend-specific counters (chase counters / ETL row counts)
+        assert!(
+            metrics["counters"][expect_counter].as_u64() > Some(0),
+            "{target}: {metrics:?}"
+        );
+    }
+}
+
+#[test]
+fn metrics_flag_without_path_is_an_error() {
+    let out = exlc(&["--metrics"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8(out.stderr)
+        .unwrap()
+        .contains("--metrics requires"));
+}
+
+#[test]
+fn malformed_program_and_data_exit_nonzero_with_diagnostic() {
+    // syntactically broken program
+    let bad = write_tmp("malformed.exl", "cube A(k: int -> ;;");
+    let out = exlc(&["check", bad.to_str().unwrap()]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("exlc:"), "{stderr}");
+    assert!(!stderr.is_empty());
+
+    // well-formed program, malformed JSON data
+    let p = write_tmp("malformed-ok.exl", PROGRAM);
+    let d = write_tmp("malformed.json", "{ not json ");
+    let out = exlc(&["run", p.to_str().unwrap(), d.to_str().unwrap()]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8(out.stderr).unwrap().contains("exlc:"));
+
+    // data for a cube the program does not declare
+    let d = write_tmp("malformed-unknown.json", r#"{ "ZZZ": [] }"#);
+    let out = exlc(&["run", p.to_str().unwrap(), d.to_str().unwrap()]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8(out.stderr)
+        .unwrap()
+        .contains("unknown cube"));
+}
+
+#[test]
 fn errors_are_reported_with_nonzero_exit() {
     let bad = write_tmp("bad.exl", "B := B + 1;");
     let out = exlc(&["check", bad.to_str().unwrap()]);

@@ -18,7 +18,9 @@ pub use flow::{
     DataSourceStep, EtlError, Flow, Job, JoinKind, MergeJoinStep, OutputStep, TransformStep,
 };
 pub use flowgen::{mapping_to_job, tgd_to_flow};
-pub use parallel::{run_flow_parallel, run_job_parallel};
+pub use parallel::{
+    run_flow_parallel, run_flow_parallel_recorded, run_job_parallel, run_job_parallel_recorded,
+};
 pub use row::{Field, Row};
 
 #[cfg(test)]
@@ -189,6 +191,67 @@ mod tests {
         assert!(err.to_string().contains("missing input cube"), "{err}");
         let err = run_job_parallel(&job, &Dataset::new()).unwrap_err();
         assert!(err.to_string().contains("missing input cube"), "{err}");
+    }
+
+    /// A failing stage must fail the whole flow even while another source
+    /// is producing far more rows than a bounded channel holds: the error
+    /// travels in-band to the output stage and the receiver drops cascade
+    /// upstream, so nothing stays blocked on a full channel. (Regression:
+    /// the old runner parked errors in a side slot and could return after
+    /// draining partial streams.)
+    #[test]
+    fn stage_error_fails_flow_under_backpressure() {
+        let src = "cube A(k: int) -> y; cube B(k: int) -> z; C := A * B;";
+        let analyzed = analyze(&parse_program(src).unwrap(), &[]).unwrap();
+        let (mapping, re) = generate_mapping(&analyzed, GenMode::Fused).unwrap();
+        // A has several channel-capacities worth of rows; B is missing, so
+        // its source stage errors immediately.
+        let mut input = Dataset::new();
+        let a_rows: Vec<_> = (0..5000i64)
+            .map(|k| (vec![DimValue::Int(k)], k as f64))
+            .collect();
+        input.put(Cube::new(
+            re.schemas[&"A".into()].clone(),
+            CubeData::from_tuples(a_rows).unwrap(),
+        ));
+        let job = mapping_to_job(&mapping).unwrap();
+        let err = run_job_parallel(&job, &input).unwrap_err();
+        assert!(err.to_string().contains("missing input cube"), "{err}");
+    }
+
+    /// A flow without sources is rejected instead of panicking.
+    #[test]
+    fn zero_source_flow_rejected() {
+        let flow = Flow {
+            id: "empty".into(),
+            sources: vec![],
+            merges: vec![],
+            transforms: vec![],
+            output: OutputStep {
+                relation: "X".into(),
+                dim_fields: vec![],
+                measure_field: "v".into(),
+            },
+        };
+        let err = run_flow_parallel(&flow, &Dataset::new()).unwrap_err();
+        assert!(err.to_string().contains("no data sources"), "{err}");
+    }
+
+    /// The recorded runner emits per-step row counters, the flow count,
+    /// and the job span.
+    #[test]
+    fn parallel_runner_records_row_counters() {
+        let (_, mapping, _, input) = gdp_setup();
+        let job = mapping_to_job(&mapping).unwrap();
+        let registry = exl_obs::MetricsRegistry::new();
+        let out = run_job_parallel_recorded(&job, &input, &registry).unwrap();
+        assert!(out.data(&"GDP".into()).is_some());
+        let snap = registry.snapshot();
+        assert!(snap.counter("etl.rows.source") > 0);
+        assert!(snap.counter("etl.rows.transform") > 0);
+        assert!(snap.counter("etl.rows.output") > 0);
+        assert_eq!(snap.counter("etl.flows"), job.flows.len() as u64);
+        assert!(snap.span_total_nanos("etl.job") > 0);
     }
 
     #[test]

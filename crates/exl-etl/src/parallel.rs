@@ -8,11 +8,17 @@
 //! is still being produced, tuple-level transforms stream row by row, and
 //! blocking steps (aggregator, series) buffer only where semantics demand
 //! it. The B5 benchmark compares this runner against the sequential one.
-
-use std::sync::Mutex;
+//!
+//! Errors travel **in-band**: every channel carries `Result<Row, EtlError>`,
+//! so the first failure anywhere in the pipeline flows downstream to the
+//! output stage and fails the whole flow. Once the output stage stops
+//! consuming, its receiver drops, upstream `send`s start failing, and the
+//! stages unwind in cascade — no stage is ever left blocked on a full
+//! bounded channel, and no partial [`CubeData`] is returned as success.
 
 use crossbeam::channel::{bounded, Receiver, Sender};
 use exl_model::{CubeData, Dataset};
+use exl_obs::{NoopRecorder, Recorder};
 
 use crate::flow::{
     apply_transform, merge_rows, read_source, write_output, EtlError, Flow, Job, TransformStep,
@@ -21,30 +27,48 @@ use crate::row::Row;
 
 const CHANNEL_CAP: usize = 1024;
 
+/// Sample the occupancy gauge once per this many rows sent, so the
+/// instrumented path stays O(1) amortized per row.
+const OCCUPANCY_SAMPLE_EVERY: u64 = 64;
+
+/// What flows through a stage channel: a row, or the error that killed
+/// the producing stage.
+type RowResult = Result<Row, EtlError>;
+
 /// Execute a flow with one thread per step.
 pub fn run_flow_parallel(flow: &Flow, data: &Dataset) -> Result<CubeData, EtlError> {
-    let error: Mutex<Option<EtlError>> = Mutex::new(None);
-    let record = |e: EtlError| {
-        let mut slot = error.lock().expect("error mutex");
-        slot.get_or_insert(e);
-    };
+    run_flow_parallel_recorded(flow, data, &NoopRecorder)
+}
 
-    let result = std::thread::scope(|scope| -> Option<CubeData> {
+/// [`run_flow_parallel`] with per-step row counters (`etl.rows.source`,
+/// `etl.rows.merge`, `etl.rows.transform`, `etl.rows.output`) and a
+/// channel-occupancy gauge (`etl.channel.depth`) emitted to `recorder`.
+pub fn run_flow_parallel_recorded(
+    flow: &Flow,
+    data: &Dataset,
+    recorder: &dyn Recorder,
+) -> Result<CubeData, EtlError> {
+    if flow.sources.is_empty() {
+        return Err(EtlError(format!("flow {}: no data sources", flow.id)));
+    }
+
+    std::thread::scope(|scope| -> Result<CubeData, EtlError> {
         // source stages
-        let mut stream_rx: Vec<Receiver<Row>> = Vec::with_capacity(flow.sources.len());
+        let mut stream_rx: Vec<Receiver<RowResult>> = Vec::with_capacity(flow.sources.len());
         for source in &flow.sources {
-            let (tx, rx) = bounded::<Row>(CHANNEL_CAP);
+            let (tx, rx) = bounded::<RowResult>(CHANNEL_CAP);
             stream_rx.push(rx);
-            let record = &record;
-            scope.spawn(move || match read_source(source, data) {
-                Ok(rows) => {
-                    for row in rows {
-                        if tx.send(row).is_err() {
-                            break;
-                        }
+            scope.spawn(move || {
+                let mut sent = 0u64;
+                match read_source(source, data) {
+                    Ok(rows) => {
+                        send_rows(&tx, rows, recorder, &mut sent);
+                    }
+                    Err(e) => {
+                        let _ = tx.send(Err(e));
                     }
                 }
-                Err(e) => record(e),
+                recorder.incr_counter("etl.rows.source", sent);
             });
         }
 
@@ -52,83 +76,108 @@ pub fn run_flow_parallel(flow: &Flow, data: &Dataset) -> Result<CubeData, EtlErr
         // source stream
         let mut acc = stream_rx.remove(0);
         for (merge, right_rx) in flow.merges.iter().zip(stream_rx) {
-            let (tx, rx) = bounded::<Row>(CHANNEL_CAP);
+            let (tx, rx) = bounded::<RowResult>(CHANNEL_CAP);
             let left_rx = acc;
             acc = rx;
-            let record = &record;
             scope.spawn(move || {
                 // build from the right stream, then probe with the left
-                let right: Vec<Row> = right_rx.iter().collect();
-                let left: Vec<Row> = left_rx.iter().collect();
-                match merge_rows(left, right, merge) {
+                let mut sent = 0u64;
+                let merged = collect_rows(right_rx)
+                    .and_then(|right| collect_rows(left_rx).map(|left| (left, right)))
+                    .and_then(|(left, right)| merge_rows(left, right, merge));
+                match merged {
                     Ok(rows) => {
-                        for row in rows {
-                            if tx.send(row).is_err() {
-                                break;
-                            }
-                        }
+                        send_rows(&tx, rows, recorder, &mut sent);
                     }
-                    Err(e) => record(e),
+                    Err(e) => {
+                        let _ = tx.send(Err(e));
+                    }
                 }
+                recorder.incr_counter("etl.rows.merge", sent);
             });
         }
 
         // transform stages
         for t in &flow.transforms {
-            let (tx, rx) = bounded::<Row>(CHANNEL_CAP);
+            let (tx, rx) = bounded::<RowResult>(CHANNEL_CAP);
             let input = acc;
             acc = rx;
-            let record = &record;
             scope.spawn(move || {
+                let mut sent = 0u64;
                 if is_streaming(t) {
                     // row-at-a-time
-                    for row in input.iter() {
-                        match apply_transform(t, vec![row]) {
-                            Ok(rows) => {
-                                for r in rows {
-                                    if tx.send(r).is_err() {
-                                        return;
+                    loop {
+                        match input.recv() {
+                            Ok(Ok(row)) => match apply_transform(t, vec![row]) {
+                                Ok(rows) => {
+                                    if !send_rows(&tx, rows, recorder, &mut sent) {
+                                        break;
                                     }
                                 }
+                                Err(e) => {
+                                    let _ = tx.send(Err(e));
+                                    break;
+                                }
+                            },
+                            Ok(Err(e)) => {
+                                let _ = tx.send(Err(e));
+                                break;
                             }
-                            Err(e) => {
-                                record(e);
-                                return;
-                            }
+                            Err(_) => break, // upstream finished cleanly
                         }
                     }
                 } else {
                     // blocking: buffer the whole stream
-                    let rows: Vec<Row> = input.iter().collect();
-                    match apply_transform(t, rows) {
+                    match collect_rows(input).and_then(|rows| apply_transform(t, rows)) {
                         Ok(rows) => {
-                            for r in rows {
-                                if tx.send(r).is_err() {
-                                    return;
-                                }
-                            }
+                            send_rows(&tx, rows, recorder, &mut sent);
                         }
-                        Err(e) => record(e),
+                        Err(e) => {
+                            let _ = tx.send(Err(e));
+                        }
                     }
                 }
+                recorder.incr_counter("etl.rows.transform", sent);
             });
         }
 
-        // output stage (on this thread)
-        let rows: Vec<Row> = acc.iter().collect();
-        match write_output(&flow.output, rows) {
-            Ok(data) => Some(data),
-            Err(e) => {
-                record(e);
-                None
-            }
-        }
-    });
+        // output stage (on this thread); a failure here drops every
+        // receiver we still hold, which cascades the shutdown upstream
+        let rows = collect_rows(acc)?;
+        recorder.incr_counter("etl.rows.output", rows.len() as u64);
+        write_output(&flow.output, rows)
+    })
+}
 
-    if let Some(e) = error.into_inner().expect("error mutex") {
-        return Err(e);
+/// Drain a stage's input completely, or stop at the first in-band error
+/// (dropping the receiver, which unblocks the producer).
+fn collect_rows(rx: Receiver<RowResult>) -> Result<Vec<Row>, EtlError> {
+    let mut rows = Vec::new();
+    for item in rx.iter() {
+        rows.push(item?);
     }
-    result.ok_or_else(|| EtlError("parallel flow produced no output".into()))
+    Ok(rows)
+}
+
+/// Send rows downstream, counting them and sampling channel occupancy.
+/// Returns `false` when the receiver hung up (downstream failed or
+/// stopped consuming) — the caller should wind down quietly.
+fn send_rows(
+    tx: &Sender<RowResult>,
+    rows: impl IntoIterator<Item = Row>,
+    recorder: &dyn Recorder,
+    sent: &mut u64,
+) -> bool {
+    for row in rows {
+        if tx.send(Ok(row)).is_err() {
+            return false;
+        }
+        *sent += 1;
+        if (*sent).is_multiple_of(OCCUPANCY_SAMPLE_EVERY) {
+            recorder.set_gauge("etl.channel.depth", tx.len() as i64);
+        }
+    }
+    true
 }
 
 /// True for steps that can process one row at a time.
@@ -142,9 +191,20 @@ fn is_streaming(t: &TransformStep) -> bool {
 /// Run a whole job with pipeline-parallel flows (flows still execute in
 /// tgd total order, since later flows read earlier results).
 pub fn run_job_parallel(job: &Job, input: &Dataset) -> Result<Dataset, EtlError> {
+    run_job_parallel_recorded(job, input, &NoopRecorder)
+}
+
+/// [`run_job_parallel`] with the whole job timed under the `etl.job` span
+/// and per-step row counters emitted to `recorder`.
+pub fn run_job_parallel_recorded(
+    job: &Job,
+    input: &Dataset,
+    recorder: &dyn Recorder,
+) -> Result<Dataset, EtlError> {
+    let _span = exl_obs::span(recorder, "etl.job");
     let mut ds = input.clone();
     for flow in &job.flows {
-        let data = run_flow_parallel(flow, &ds)?;
+        let data = run_flow_parallel_recorded(flow, &ds, recorder)?;
         let schema = job
             .schemas
             .get(&flow.output.relation)
@@ -152,8 +212,9 @@ pub fn run_job_parallel(job: &Job, input: &Dataset) -> Result<Dataset, EtlError>
             .clone();
         ds.put(exl_model::Cube::new(schema, data));
     }
+    recorder.incr_counter("etl.flows", job.flows.len() as u64);
     Ok(ds)
 }
 
 /// A sender/receiver pair alias kept public for tests of backpressure.
-pub type RowChannel = (Sender<Row>, Receiver<Row>);
+pub type RowChannel = (Sender<RowResult>, Receiver<RowResult>);

@@ -84,7 +84,13 @@ fn write_expr(out: &mut String, e: &Expr) {
                 let name = match op {
                     BinOp::Add => "addz",
                     BinOp::Sub => "subz",
-                    other => panic!("no surface syntax for outer {other:?}"),
+                    // the parser only produces outer add/sub; ASTs built
+                    // programmatically with other operators still print
+                    // (in the same `<op>z` scheme), they just have no
+                    // parseable surface form
+                    BinOp::Mul => "mulz",
+                    BinOp::Div => "divz",
+                    BinOp::Pow => "powz",
                 };
                 out.push_str(name);
                 out.push('(');

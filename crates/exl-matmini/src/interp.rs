@@ -1077,10 +1077,8 @@ mod tests {
     fn remaining_series_builtins() {
         let m = mat(&[&[0.0, 2.0], &[1.0, 4.0], &[2.0, 6.0], &[3.0, 8.0]]);
         let mut i = interp_with(vec![("M", m)]);
-        i.run(
-            "Z = zscoreSeries(M, 1)\nL = linTrendSeries(M, 1)\nA = movavgSeries(M, 1, 2)",
-        )
-        .unwrap();
+        i.run("Z = zscoreSeries(M, 1)\nL = linTrendSeries(M, 1)\nA = movavgSeries(M, 1, 2)")
+            .unwrap();
         let z = i.matrix("Z").unwrap();
         let mean: f64 = z.rows.iter().map(|r| r[1]).sum::<f64>() / 4.0;
         assert!(mean.abs() < 1e-12);
@@ -1096,7 +1094,8 @@ mod tests {
     #[test]
     fn math_functions_and_scalars() {
         let mut i = interp_with(vec![("M", mat(&[&[1.0, 4.0]]))]);
-        i.run("S = sqrt(M(:,2))\nE = exp(0)\nA = abs(0 - 3)").unwrap();
+        i.run("S = sqrt(M(:,2))\nE = exp(0)\nA = abs(0 - 3)")
+            .unwrap();
         assert_eq!(i.matrix("S").unwrap().rows[0][0], 2.0);
         assert_eq!(i.matrix("E").unwrap().rows[0][0], 1.0);
         assert_eq!(i.matrix("A").unwrap().rows[0][0], 3.0);

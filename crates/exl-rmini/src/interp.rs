@@ -340,6 +340,10 @@ impl RInterp {
                     .into_iter()
                     .map(|c| match c {
                         Cell::Time(t) => Ok(Cell::Time(t.shift(n as i64))),
+                        // integer dimensions arrive as numeric cells;
+                        // shifting them is plain addition, as on every
+                        // other backend
+                        Cell::Num(v) => Ok(Cell::Num(v + n)),
                         other => Err(RError::eval(format!(
                             "shift.time: non-temporal cell {other:?}"
                         ))),
@@ -870,7 +874,9 @@ OUT <- X[is.finite(X$m), ]
             cols: vec![
                 (
                     "d".into(),
-                    vec![Cell::Time(TimePoint::Day(Date::from_ymd(2021, 11, 9).unwrap()))],
+                    vec![Cell::Time(TimePoint::Day(
+                        Date::from_ymd(2021, 11, 9).unwrap(),
+                    ))],
                 ),
                 ("m".into(), vec![Cell::Num(1.0)]),
             ],
@@ -880,7 +886,10 @@ OUT <- X[is.finite(X$m), ]
         let a = i.frame("A").unwrap();
         assert_eq!(
             a.col("mo").unwrap()[0],
-            Cell::Time(TimePoint::Month { year: 2021, month: 11 })
+            Cell::Time(TimePoint::Month {
+                year: 2021,
+                month: 11
+            })
         );
         assert_eq!(a.col("yr").unwrap()[0], Cell::Time(TimePoint::Year(2021)));
         // converting to a finer frequency fails

@@ -12,8 +12,8 @@ cargo clippy --workspace --tests -- -D warnings
 echo "== docs =="
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps
 
-echo "== tests =="
-cargo test --workspace
+echo "== tier-1 =="
+cargo build --release && cargo test -q
 
 echo "== examples =="
 for ex in quickstart multi_target production_pipeline data_exchange seasonal_adjustment; do

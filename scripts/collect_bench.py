@@ -2,7 +2,9 @@
 """Collect Criterion results into the EXPERIMENTS.md tables.
 
 Reads target/criterion/**/new/estimates.json and prints one markdown table
-per benchmark group (B1..B7), using the median point estimate.
+per benchmark group (B1..B7), using the median point estimate. Benches
+that record structured run metrics (via exl-obs) drop a metrics.json next
+to their estimates; those spans and counters are printed as extra tables.
 
 Usage: python3 scripts/collect_bench.py [criterion_dir]
 """
@@ -41,6 +43,32 @@ def main() -> None:
         print("|---|---|")
         for name, median in groups[group]:
             print(f"| `{name}` | {fmt(median)} |")
+
+    print_metrics(root)
+
+
+def print_metrics(root: pathlib.Path) -> None:
+    """Print span/counter tables from exl-obs metrics.json files."""
+    for mfile in sorted(root.glob("**/metrics.json")):
+        rel = mfile.parent.relative_to(root).as_posix() or mfile.parent.name
+        with open(mfile) as f:
+            data = json.load(f)
+        spans = data.get("spans", {})
+        counters = data.get("counters", {})
+        if not spans and not counters:
+            continue
+        print(f"\n### {rel} — recorded metrics\n")
+        if spans:
+            print("| span | count | total |")
+            print("|---|---|---|")
+            for name in sorted(spans):
+                s = spans[name]
+                print(f"| `{name}` | {s['count']} | {fmt(s['total_ns'])} |")
+        if counters:
+            print("\n| counter | value |")
+            print("|---|---|")
+            for name in sorted(counters):
+                print(f"| `{name}` | {counters[name]} |")
 
 
 if __name__ == "__main__":

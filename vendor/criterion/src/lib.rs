@@ -1,0 +1,325 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the benchmark-definition API this workspace uses
+//! (`criterion_group!` / `criterion_main!`, `benchmark_group`,
+//! `bench_function`, `bench_with_input`, `Bencher::iter`) with a simple
+//! wall-clock measurement loop. Results are written in criterion's
+//! on-disk layout — `target/criterion/<id>/new/estimates.json` with a
+//! `median.point_estimate` in nanoseconds — which is what
+//! `scripts/collect_bench.py` consumes. Passing `--test` (as
+//! `cargo bench -- --test` does in CI) runs every benchmark body once
+//! and skips measurement entirely.
+
+use std::fmt::Display;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+/// Hint to the optimizer that `value` is used.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Throughput annotation (recorded but not used by the stand-in's
+/// reporting).
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier, `function/parameter` style.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Combine a function name and a parameter into `name/param`.
+    pub fn new(function: impl Display, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{function}/{parameter}"),
+        }
+    }
+
+    /// Use the parameter alone as the identifier.
+    pub fn from_parameter(parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Conversion into a [`BenchmarkId`], so `bench_function` accepts plain
+/// strings too.
+pub trait IntoBenchmarkId {
+    /// Perform the conversion.
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId { id: self.into() }
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId { id: self }
+    }
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    test_mode: bool,
+    out_root: PathBuf,
+}
+
+impl Criterion {
+    /// Build from the process arguments; recognizes `--test` (smoke
+    /// mode) and ignores the other flags cargo/criterion pass.
+    pub fn from_args() -> Criterion {
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion {
+            test_mode,
+            out_root: criterion_dir(),
+        }
+    }
+
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 10,
+        }
+    }
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion::from_args()
+    }
+}
+
+/// Locate `target/criterion` relative to the running bench executable
+/// (which lives in `target/<profile>/deps/`).
+fn criterion_dir() -> PathBuf {
+    if let Ok(exe) = std::env::current_exe() {
+        for dir in exe.ancestors() {
+            if dir.file_name().is_some_and(|n| n == "target") {
+                return dir.join("criterion");
+            }
+        }
+    }
+    PathBuf::from("target/criterion")
+}
+
+/// A group of benchmarks sharing a name prefix and sample size.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set how many timed samples to take per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Record the per-iteration throughput (accepted, not reported).
+    pub fn throughput(&mut self, _throughput: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Run a benchmark that takes an input by reference.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run(id, |b| f(b, input));
+        self
+    }
+
+    /// Run a benchmark with no input.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run(id.into_benchmark_id(), |b| f(b));
+        self
+    }
+
+    /// Mark the group complete (kept for API compatibility).
+    pub fn finish(self) {}
+
+    fn run(&mut self, id: BenchmarkId, mut f: impl FnMut(&mut Bencher)) {
+        let full_id = format!("{}/{}", self.name, id.id);
+        if self.criterion.test_mode {
+            eprintln!("Testing {full_id}");
+            let mut b = Bencher {
+                mode: Mode::Once,
+                samples: Vec::new(),
+            };
+            f(&mut b);
+            eprintln!("Success");
+            return;
+        }
+        eprintln!("Benchmarking {full_id}");
+        let mut b = Bencher {
+            mode: Mode::Measure {
+                samples_wanted: self.sample_size,
+            },
+            samples: Vec::new(),
+        };
+        f(&mut b);
+        if b.samples.is_empty() {
+            return;
+        }
+        b.samples.sort_by(f64::total_cmp);
+        let median = b.samples[b.samples.len() / 2];
+        let mean = b.samples.iter().sum::<f64>() / b.samples.len() as f64;
+        eprintln!(
+            "{full_id}: median {median:.1} ns/iter over {} samples",
+            b.samples.len()
+        );
+        self.write_estimates(&full_id, median, mean);
+    }
+
+    fn write_estimates(&self, full_id: &str, median_ns: f64, mean_ns: f64) {
+        let mut dir = self.criterion.out_root.clone();
+        for part in full_id.split('/') {
+            dir.push(sanitize(part));
+        }
+        dir.push("new");
+        if std::fs::create_dir_all(&dir).is_err() {
+            return;
+        }
+        let json = format!(
+            "{{\"median\":{{\"point_estimate\":{median_ns}}},\
+               \"mean\":{{\"point_estimate\":{mean_ns}}}}}"
+        );
+        let _ = std::fs::write(dir.join("estimates.json"), json);
+    }
+}
+
+/// Replace path-hostile characters in a benchmark id component, the way
+/// criterion does for its output directories.
+fn sanitize(part: &str) -> String {
+    part.chars()
+        .map(|c| match c {
+            '?' | '"' | ':' | '<' | '>' | '*' | '|' | '\\' => '_',
+            c => c,
+        })
+        .collect()
+}
+
+enum Mode {
+    Once,
+    Measure { samples_wanted: usize },
+}
+
+/// Passed to each benchmark body; `iter` runs and times the closure.
+pub struct Bencher {
+    mode: Mode,
+    samples: Vec<f64>,
+}
+
+impl Bencher {
+    /// Run `f` repeatedly and record per-iteration wall time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        match self.mode {
+            Mode::Once => {
+                black_box(f());
+            }
+            Mode::Measure { samples_wanted } => {
+                // Warm up and size the per-sample iteration count so a
+                // sample lasts roughly a millisecond.
+                let start = Instant::now();
+                black_box(f());
+                let once = start.elapsed().max(Duration::from_nanos(1));
+                let iters_per_sample =
+                    (Duration::from_millis(1).as_nanos() / once.as_nanos()).clamp(1, 10_000) as u64;
+                // Cap total measurement time per benchmark.
+                let deadline = Instant::now() + Duration::from_millis(500);
+                self.samples.clear();
+                for _ in 0..samples_wanted {
+                    let start = Instant::now();
+                    for _ in 0..iters_per_sample {
+                        black_box(f());
+                    }
+                    let elapsed = start.elapsed();
+                    self.samples
+                        .push(elapsed.as_nanos() as f64 / iters_per_sample as f64);
+                    if Instant::now() > deadline {
+                        break;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Group benchmark functions under one entry point.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emit `main` running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 3).id, "f/3");
+        assert_eq!(BenchmarkId::from_parameter("x").id, "x");
+    }
+
+    #[test]
+    fn sanitize_replaces_separators() {
+        assert_eq!(sanitize("a:b*c"), "a_b_c");
+        assert_eq!(sanitize("plain-name"), "plain-name");
+    }
+
+    #[test]
+    fn test_mode_runs_body_once() {
+        let mut calls = 0;
+        let mut b = Bencher {
+            mode: Mode::Once,
+            samples: Vec::new(),
+        };
+        b.iter(|| calls += 1);
+        assert_eq!(calls, 1);
+        assert!(b.samples.is_empty());
+    }
+}

@@ -1,0 +1,255 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! The workspace only uses `crossbeam::channel::{bounded, Sender,
+//! Receiver}`; this vendored replacement implements bounded MPMC channels
+//! with the same disconnect semantics (send fails once every receiver is
+//! gone, receive fails once every sender is gone and the buffer drains)
+//! on top of `Mutex` + `Condvar`. Throughput is lower than the lock-free
+//! original, but behaviour — including backpressure and shutdown — is
+//! equivalent, which is what the pipeline-parallel ETL runner relies on.
+
+/// Multi-producer multi-consumer channels.
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::fmt;
+    use std::sync::{Arc, Condvar, Mutex};
+
+    struct State<T> {
+        queue: VecDeque<T>,
+        senders: usize,
+        receivers: usize,
+    }
+
+    struct Shared<T> {
+        state: Mutex<State<T>>,
+        cap: usize,
+        not_empty: Condvar,
+        not_full: Condvar,
+    }
+
+    /// Sending half of a bounded channel.
+    pub struct Sender<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// Receiving half of a bounded channel.
+    pub struct Receiver<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// Error returned by [`Sender::send`] when all receivers are gone; the
+    /// unsent message is handed back.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    impl<T> fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("sending on a disconnected channel")
+        }
+    }
+
+    /// Error returned by [`Receiver::recv`] when the channel is empty and
+    /// all senders are gone.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    impl fmt::Display for RecvError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("receiving on an empty and disconnected channel")
+        }
+    }
+
+    /// Create a bounded channel with the given capacity.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                queue: VecDeque::with_capacity(cap.min(1024)),
+                senders: 1,
+                receivers: 1,
+            }),
+            cap: cap.max(1),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+        });
+        (
+            Sender {
+                shared: Arc::clone(&shared),
+            },
+            Receiver { shared },
+        )
+    }
+
+    impl<T> Sender<T> {
+        /// Block until the message is enqueued or every receiver is gone.
+        pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+            let mut state = self.shared.state.lock().expect("channel mutex");
+            loop {
+                if state.receivers == 0 {
+                    return Err(SendError(msg));
+                }
+                if state.queue.len() < self.shared.cap {
+                    state.queue.push_back(msg);
+                    self.shared.not_empty.notify_one();
+                    return Ok(());
+                }
+                state = self.shared.not_full.wait(state).expect("channel mutex");
+            }
+        }
+
+        /// Number of messages currently buffered.
+        pub fn len(&self) -> usize {
+            self.shared.state.lock().expect("channel mutex").queue.len()
+        }
+
+        /// True when no messages are buffered.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Block until a message arrives or every sender is gone and the
+        /// buffer is drained.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut state = self.shared.state.lock().expect("channel mutex");
+            loop {
+                if let Some(msg) = state.queue.pop_front() {
+                    self.shared.not_full.notify_one();
+                    return Ok(msg);
+                }
+                if state.senders == 0 {
+                    return Err(RecvError);
+                }
+                state = self.shared.not_empty.wait(state).expect("channel mutex");
+            }
+        }
+
+        /// Blocking iterator that ends when the channel disconnects.
+        pub fn iter(&self) -> Iter<'_, T> {
+            Iter { receiver: self }
+        }
+
+        /// Number of messages currently buffered.
+        pub fn len(&self) -> usize {
+            self.shared.state.lock().expect("channel mutex").queue.len()
+        }
+
+        /// True when no messages are buffered.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.shared.state.lock().expect("channel mutex").senders += 1;
+            Sender {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.shared.state.lock().expect("channel mutex").receivers += 1;
+            Receiver {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut state = self.shared.state.lock().expect("channel mutex");
+            state.senders -= 1;
+            if state.senders == 0 {
+                // wake readers blocked on an empty queue so they observe EOF
+                self.shared.not_empty.notify_all();
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            let mut state = self.shared.state.lock().expect("channel mutex");
+            state.receivers -= 1;
+            if state.receivers == 0 {
+                // wake writers blocked on a full queue so they observe the
+                // disconnect instead of deadlocking
+                self.shared.not_full.notify_all();
+            }
+        }
+    }
+
+    /// Iterator over received messages.
+    pub struct Iter<'a, T> {
+        receiver: &'a Receiver<T>,
+    }
+
+    impl<T> Iterator for Iter<'_, T> {
+        type Item = T;
+
+        fn next(&mut self) -> Option<T> {
+            self.receiver.recv().ok()
+        }
+    }
+
+    impl<'a, T> IntoIterator for &'a Receiver<T> {
+        type Item = T;
+        type IntoIter = Iter<'a, T>;
+
+        fn into_iter(self) -> Iter<'a, T> {
+            self.iter()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::bounded;
+
+    #[test]
+    fn round_trip_in_order() {
+        let (tx, rx) = bounded(4);
+        std::thread::scope(|s| {
+            s.spawn(move || {
+                for i in 0..100 {
+                    tx.send(i).unwrap();
+                }
+            });
+            let got: Vec<i32> = rx.iter().collect();
+            assert_eq!(got, (0..100).collect::<Vec<_>>());
+        });
+    }
+
+    #[test]
+    fn send_fails_after_receiver_drop() {
+        let (tx, rx) = bounded(2);
+        tx.send(1).unwrap();
+        drop(rx);
+        assert!(tx.send(2).is_err());
+    }
+
+    #[test]
+    fn blocked_sender_unblocks_on_receiver_drop() {
+        let (tx, rx) = bounded::<u64>(1);
+        tx.send(0).unwrap(); // fill the buffer
+        std::thread::scope(|s| {
+            let h = s.spawn(move || tx.send(1)); // blocks on full channel
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            drop(rx);
+            assert!(h.join().unwrap().is_err());
+        });
+    }
+
+    #[test]
+    fn recv_drains_before_reporting_disconnect() {
+        let (tx, rx) = bounded(8);
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        drop(tx);
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.recv(), Ok(2));
+        assert!(rx.recv().is_err());
+    }
+}

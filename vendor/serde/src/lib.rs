@@ -1,0 +1,457 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The build environment has no registry access, so the workspace vendors a
+//! small serde-compatible data model. The design collapses serde's visitor
+//! machinery into one in-memory [`Value`] tree: `Serialize` renders into a
+//! `Value`, `Deserialize` reads back out of one, and serializers /
+//! deserializers only have to move whole `Value`s. The public trait
+//! *signatures* mirror real serde (`serialize<S: Serializer>`,
+//! `deserialize<D: Deserializer<'de>>`, `serde::de::Error::custom`, …) so
+//! crate code written against serde 1.x compiles unchanged, and the derive
+//! macros re-exported from `serde_derive` emit the externally-tagged enum
+//! representation serde_json users expect.
+
+mod value;
+
+pub use value::{Number, Value, ValueError};
+
+// Derive macros; same names as the traits, different namespace — exactly
+// like real serde with the `derive` feature.
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Serialization error bound, mirroring `serde::ser`.
+pub mod ser {
+    use std::fmt::Display;
+
+    /// Trait for serialization error types.
+    pub trait Error: Sized {
+        /// Build an error from any displayable message.
+        fn custom<T: Display>(msg: T) -> Self;
+    }
+}
+
+/// Deserialization error bound, mirroring `serde::de`.
+pub mod de {
+    use std::fmt::Display;
+
+    /// Trait for deserialization error types.
+    pub trait Error: Sized {
+        /// Build an error from any displayable message.
+        fn custom<T: Display>(msg: T) -> Self;
+    }
+}
+
+impl ser::Error for ValueError {
+    fn custom<T: std::fmt::Display>(msg: T) -> Self {
+        ValueError::msg(msg)
+    }
+}
+
+impl de::Error for ValueError {
+    fn custom<T: std::fmt::Display>(msg: T) -> Self {
+        ValueError::msg(msg)
+    }
+}
+
+/// A data format that can consume one [`Value`].
+pub trait Serializer: Sized {
+    /// Output of a successful serialization.
+    type Ok;
+    /// Error type of the format.
+    type Error: ser::Error;
+
+    /// Consume an already-rendered value tree.
+    fn serialize_value(self, v: Value) -> Result<Self::Ok, Self::Error>;
+
+    /// Serialize the items of an iterator as an array.
+    fn collect_seq<I>(self, iter: I) -> Result<Self::Ok, Self::Error>
+    where
+        I: IntoIterator,
+        I::Item: Serialize,
+    {
+        let mut items = Vec::new();
+        for item in iter {
+            items.push(to_value(&item).map_err(|e| <Self::Error as ser::Error>::custom(e))?);
+        }
+        self.serialize_value(Value::Array(items))
+    }
+}
+
+/// A data format that can produce one [`Value`].
+///
+/// The lifetime parameter exists for signature compatibility with real
+/// serde; this vendored model always produces owned values.
+pub trait Deserializer<'de>: Sized {
+    /// Error type of the format.
+    type Error: de::Error;
+
+    /// Produce the full value tree.
+    fn take_value(self) -> Result<Value, Self::Error>;
+}
+
+/// A type renderable into a [`Value`] via some [`Serializer`].
+pub trait Serialize {
+    /// Serialize `self` into the given format.
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>;
+}
+
+/// A type reconstructible from a [`Value`] via some [`Deserializer`].
+pub trait Deserialize<'de>: Sized {
+    /// Deserialize an instance from the given format.
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+/// Types deserializable independent of any input lifetime.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}
+
+/// Serializer that materializes the [`Value`] tree itself.
+pub struct ValueSerializer;
+
+impl Serializer for ValueSerializer {
+    type Ok = Value;
+    type Error = ValueError;
+
+    fn serialize_value(self, v: Value) -> Result<Value, ValueError> {
+        Ok(v)
+    }
+}
+
+/// Deserializer that reads from an in-memory [`Value`] tree.
+pub struct ValueDeserializer(pub Value);
+
+impl<'de> Deserializer<'de> for ValueDeserializer {
+    type Error = ValueError;
+
+    fn take_value(self) -> Result<Value, ValueError> {
+        Ok(self.0)
+    }
+}
+
+/// Render any serializable type into a [`Value`].
+pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Result<Value, ValueError> {
+    value.serialize(ValueSerializer)
+}
+
+/// Rebuild any deserializable type from a [`Value`].
+pub fn from_value<T: DeserializeOwned>(value: Value) -> Result<T, ValueError> {
+    T::deserialize(ValueDeserializer(value))
+}
+
+// ---------------------------------------------------------------------------
+// Serialize impls for std types
+// ---------------------------------------------------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(serializer)
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(serializer)
+    }
+}
+
+macro_rules! serialize_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                serializer.serialize_value(Value::Number(Number::from_u64(*self as u64)))
+            }
+        }
+    )*};
+}
+
+macro_rules! serialize_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                serializer.serialize_value(Value::Number(Number::from_i64(*self as i64)))
+            }
+        }
+    )*};
+}
+
+serialize_uint!(u8, u16, u32, u64, usize);
+serialize_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(Value::Number(Number::Float(*self)))
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(Value::Number(Number::Float(*self as f64)))
+    }
+}
+
+impl Serialize for bool {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(Value::Bool(*self))
+    }
+}
+
+impl Serialize for str {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(Value::String(self.to_string()))
+    }
+}
+
+impl Serialize for String {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(Value::String(self.clone()))
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        match self {
+            None => serializer.serialize_value(Value::Null),
+            Some(v) => v.serialize(serializer),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        self.as_slice().serialize(serializer)
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.collect_seq(self.iter())
+    }
+}
+
+macro_rules! serialize_tuple {
+    ($(($($name:ident . $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                let items = vec![
+                    $(to_value(&self.$idx)
+                        .map_err(|e| <S::Error as ser::Error>::custom(e))?),+
+                ];
+                serializer.serialize_value(Value::Array(items))
+            }
+        }
+    )*};
+}
+
+serialize_tuple! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+}
+
+fn key_to_string(v: Value) -> Result<String, ValueError> {
+    match v {
+        Value::String(s) => Ok(s),
+        Value::Number(n) => Ok(n.to_string()),
+        other => Err(ValueError::msg(format!(
+            "map key must serialize to a string, got {}",
+            other.kind()
+        ))),
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let mut out = std::collections::BTreeMap::new();
+        for (k, v) in self {
+            let key = to_value(k)
+                .and_then(key_to_string)
+                .map_err(|e| <S::Error as ser::Error>::custom(e))?;
+            let val = to_value(v).map_err(|e| <S::Error as ser::Error>::custom(e))?;
+            out.insert(key, val);
+        }
+        serializer.serialize_value(Value::Object(out))
+    }
+}
+
+impl Serialize for Value {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(self.clone())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Deserialize impls for std types
+// ---------------------------------------------------------------------------
+
+fn take<'de, D: Deserializer<'de>>(d: D) -> Result<Value, D::Error> {
+    d.take_value()
+}
+
+fn reerr<E: de::Error>(e: ValueError) -> E {
+    E::custom(e)
+}
+
+macro_rules! deserialize_int {
+    ($($t:ty => $name:literal),*) => {$(
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+                let v = take(d)?;
+                let n = v
+                    .as_i128()
+                    .ok_or_else(|| ValueError::msg(concat!("expected ", $name)))
+                    .map_err(reerr::<D::Error>)?;
+                <$t>::try_from(n)
+                    .map_err(|_| ValueError::msg(concat!($name, " out of range")))
+                    .map_err(reerr::<D::Error>)
+            }
+        }
+    )*};
+}
+
+deserialize_int! {
+    u8 => "u8", u16 => "u16", u32 => "u32", u64 => "u64", usize => "usize",
+    i8 => "i8", i16 => "i16", i32 => "i32", i64 => "i64", isize => "isize"
+}
+
+impl<'de> Deserialize<'de> for f64 {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match take(d)? {
+            Value::Number(n) => Ok(n.as_f64()),
+            other => Err(reerr(ValueError::msg(format!(
+                "expected number, got {}",
+                other.kind()
+            )))),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for f32 {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        f64::deserialize(d).map(|v| v as f32)
+    }
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match take(d)? {
+            Value::Bool(b) => Ok(b),
+            other => Err(reerr(ValueError::msg(format!(
+                "expected bool, got {}",
+                other.kind()
+            )))),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match take(d)? {
+            Value::String(s) => Ok(s),
+            other => Err(reerr(ValueError::msg(format!(
+                "expected string, got {}",
+                other.kind()
+            )))),
+        }
+    }
+}
+
+impl<'de, T: DeserializeOwned> Deserialize<'de> for Option<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match take(d)? {
+            Value::Null => Ok(None),
+            v => from_value(v).map(Some).map_err(reerr),
+        }
+    }
+}
+
+impl<'de, T: DeserializeOwned> Deserialize<'de> for Vec<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match take(d)? {
+            Value::Array(items) => items
+                .into_iter()
+                .map(|v| from_value(v))
+                .collect::<Result<Vec<T>, ValueError>>()
+                .map_err(reerr),
+            other => Err(reerr(ValueError::msg(format!(
+                "expected array, got {}",
+                other.kind()
+            )))),
+        }
+    }
+}
+
+macro_rules! deserialize_tuple {
+    ($(($len:literal; $($name:ident),+))*) => {$(
+        impl<'de, $($name: DeserializeOwned),+> Deserialize<'de> for ($($name,)+) {
+            fn deserialize<__D: Deserializer<'de>>(d: __D) -> Result<Self, __D::Error> {
+                match take(d)? {
+                    Value::Array(items) => {
+                        if items.len() != $len {
+                            return Err(reerr(ValueError::msg(format!(
+                                "expected array of length {}, got {}",
+                                $len,
+                                items.len()
+                            ))));
+                        }
+                        let mut it = items.into_iter();
+                        Ok(($(from_value::<$name>(it.next().expect("length checked"))
+                            .map_err(reerr::<__D::Error>)?,)+))
+                    }
+                    other => Err(reerr(ValueError::msg(format!(
+                        "expected array, got {}",
+                        other.kind()
+                    )))),
+                }
+            }
+        }
+    )*};
+}
+
+deserialize_tuple! {
+    (1; A)
+    (2; A, B)
+    (3; A, B, C)
+    (4; A, B, C, D)
+}
+
+impl<'de, K, V> Deserialize<'de> for std::collections::BTreeMap<K, V>
+where
+    K: DeserializeOwned + Ord,
+    V: DeserializeOwned,
+{
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match take(d)? {
+            Value::Object(map) => {
+                let mut out = std::collections::BTreeMap::new();
+                for (k, v) in map {
+                    // keys arrive as JSON strings; integer-keyed maps fall
+                    // back to parsing the text as a number
+                    let key = match from_value::<K>(Value::String(k.clone())) {
+                        Ok(key) => key,
+                        Err(first) => k
+                            .parse::<f64>()
+                            .ok()
+                            .and_then(|n| {
+                                from_value::<K>(Value::Number(Number::parsed(&k, n))).ok()
+                            })
+                            .ok_or(first)
+                            .map_err(reerr::<D::Error>)?,
+                    };
+                    out.insert(key, from_value(v).map_err(reerr::<D::Error>)?);
+                }
+                Ok(out)
+            }
+            other => Err(reerr(ValueError::msg(format!(
+                "expected object, got {}",
+                other.kind()
+            )))),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for Value {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        take(d)
+    }
+}

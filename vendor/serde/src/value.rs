@@ -1,0 +1,246 @@
+//! The in-memory JSON-shaped value tree shared by the vendored serde stack.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A JSON number, keeping the integer/float distinction so integer-typed
+/// fields round-trip exactly.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Number {
+    /// Non-negative integer.
+    PosInt(u64),
+    /// Negative integer.
+    NegInt(i64),
+    /// Anything written with a fraction or exponent.
+    Float(f64),
+}
+
+impl Number {
+    /// Classify from an i64.
+    pub fn from_i64(v: i64) -> Number {
+        if v >= 0 {
+            Number::PosInt(v as u64)
+        } else {
+            Number::NegInt(v)
+        }
+    }
+
+    /// Classify from a u64.
+    pub fn from_u64(v: u64) -> Number {
+        Number::PosInt(v)
+    }
+
+    /// Classify a number parsed from JSON text: integer-looking lexemes
+    /// that fit an integer stay integers.
+    pub fn parsed(text: &str, approx: f64) -> Number {
+        if !text.contains(['.', 'e', 'E']) {
+            if let Ok(v) = text.parse::<u64>() {
+                return Number::PosInt(v);
+            }
+            if let Ok(v) = text.parse::<i64>() {
+                return Number::NegInt(v);
+            }
+        }
+        Number::Float(approx)
+    }
+
+    /// Lossy conversion to f64.
+    pub fn as_f64(self) -> f64 {
+        match self {
+            Number::PosInt(v) => v as f64,
+            Number::NegInt(v) => v as f64,
+            Number::Float(v) => v,
+        }
+    }
+
+    /// Exact integer value, when the number is an integer (or an f64 with
+    /// zero fraction that fits).
+    pub fn as_i128(self) -> Option<i128> {
+        match self {
+            Number::PosInt(v) => Some(v as i128),
+            Number::NegInt(v) => Some(v as i128),
+            Number::Float(v) => {
+                if v.fract() == 0.0 && v.abs() < 9.0e18 {
+                    Some(v as i128)
+                } else {
+                    None
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Display for Number {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Number::PosInt(v) => write!(f, "{v}"),
+            Number::NegInt(v) => write!(f, "{v}"),
+            Number::Float(v) if v.is_finite() => write!(f, "{v:?}"),
+            // JSON has no non-finite literals; match serde_json by writing
+            // null for them
+            Number::Float(_) => f.write_str("null"),
+        }
+    }
+}
+
+/// A JSON-shaped value.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum Value {
+    /// `null`
+    #[default]
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// A number.
+    Number(Number),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object (sorted keys, like default serde_json).
+    Object(BTreeMap<String, Value>),
+}
+
+static NULL: Value = Value::Null;
+
+impl Value {
+    /// Short description of the value's kind, for diagnostics.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Number(_) => "number",
+            Value::String(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+
+    /// Numeric view, when this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(n.as_f64()),
+            _ => None,
+        }
+    }
+
+    /// Exact integer view, when this is an integral number.
+    pub fn as_i64(&self) -> Option<i64> {
+        self.as_i128().and_then(|v| i64::try_from(v).ok())
+    }
+
+    /// Exact unsigned view, when this is a non-negative integral number.
+    pub fn as_u64(&self) -> Option<u64> {
+        self.as_i128().and_then(|v| u64::try_from(v).ok())
+    }
+
+    pub(crate) fn as_i128(&self) -> Option<i128> {
+        match self {
+            Value::Number(n) => n.as_i128(),
+            _ => None,
+        }
+    }
+
+    /// String view, when this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Bool view, when this is a bool.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Array view, when this is an array.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// Object view, when this is an object.
+    pub fn as_object(&self) -> Option<&BTreeMap<String, Value>> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// True when the value is `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Object member lookup.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object().and_then(|m| m.get(key))
+    }
+
+    /// Consume into the object's map, when this is an object.
+    pub fn into_object(self) -> Option<BTreeMap<String, Value>> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Consume into the array's items, when this is an array.
+    pub fn into_array(self) -> Option<Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+}
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+
+    fn index(&self, key: &str) -> &Value {
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl std::ops::Index<usize> for Value {
+    type Output = Value;
+
+    fn index(&self, idx: usize) -> &Value {
+        self.as_array().and_then(|a| a.get(idx)).unwrap_or(&NULL)
+    }
+}
+
+/// Error produced while converting between values and Rust types.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ValueError {
+    message: String,
+}
+
+impl ValueError {
+    /// Build from any displayable message.
+    pub fn msg(message: impl fmt::Display) -> ValueError {
+        ValueError {
+            message: message.to_string(),
+        }
+    }
+
+    /// Prefix the message with a location, e.g. a struct field path.
+    pub fn context(mut self, what: &str) -> ValueError {
+        self.message = format!("{what}: {}", self.message);
+        self
+    }
+}
+
+impl fmt::Display for ValueError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for ValueError {}

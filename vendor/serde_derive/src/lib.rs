@@ -1,0 +1,521 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Emits `Serialize`/`Deserialize` impls against the vendored Value-based
+//! serde. Because the registry (and therefore `syn`/`quote`) is
+//! unavailable, the item is parsed by walking raw `proc_macro` token trees
+//! and the impl is emitted as a formatted string. Supported shapes are the
+//! ones this workspace derives on: non-generic named structs, tuple
+//! structs, unit structs, and enums with unit / newtype / tuple / struct
+//! variants, using serde's externally-tagged enum representation.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum Fields {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+#[derive(Debug)]
+enum Item {
+    Struct {
+        name: String,
+        fields: Fields,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+/// Derive `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_serialize)
+}
+
+/// Derive `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_deserialize)
+}
+
+fn expand(input: TokenStream, gen: fn(&Item) -> String) -> TokenStream {
+    let code = match parse_item(input) {
+        Ok(item) => gen(&item),
+        Err(msg) => format!("compile_error!({msg:?});"),
+    };
+    code.parse().unwrap_or_else(|e| {
+        format!("compile_error!(\"serde_derive stub emitted invalid code: {e}\");")
+            .parse()
+            .expect("literal compile_error parses")
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_item(ts: TokenStream) -> Result<Item, String> {
+    let toks: Vec<TokenTree> = ts.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&toks, &mut i);
+    let kw = expect_ident(&toks, &mut i)?;
+    match kw.as_str() {
+        "struct" => {
+            let name = expect_ident(&toks, &mut i)?;
+            reject_generics(&toks, i, &name)?;
+            match toks.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Ok(Item::Struct {
+                        name,
+                        fields: Fields::Named(parse_named_fields(g.stream())?),
+                    })
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Ok(Item::Struct {
+                        name,
+                        fields: Fields::Tuple(tuple_arity(g.stream())),
+                    })
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Ok(Item::Struct {
+                    name,
+                    fields: Fields::Unit,
+                }),
+                other => Err(format!("unsupported struct body for {name}: {other:?}")),
+            }
+        }
+        "enum" => {
+            let name = expect_ident(&toks, &mut i)?;
+            reject_generics(&toks, i, &name)?;
+            match toks.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Ok(Item::Enum {
+                    name,
+                    variants: parse_variants(g.stream())?,
+                }),
+                other => Err(format!("expected enum body for {name}, got {other:?}")),
+            }
+        }
+        other => Err(format!(
+            "serde derive stub supports struct/enum only, got `{other}`"
+        )),
+    }
+}
+
+fn reject_generics(toks: &[TokenTree], i: usize, name: &str) -> Result<(), String> {
+    if let Some(TokenTree::Punct(p)) = toks.get(i) {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "serde derive stub does not support generic type {name}"
+            ));
+        }
+    }
+    Ok(())
+}
+
+fn skip_attrs_and_vis(toks: &[TokenTree], i: &mut usize) {
+    loop {
+        match toks.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 1;
+                if matches!(toks.get(*i), Some(TokenTree::Group(_))) {
+                    *i += 1;
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if let Some(TokenTree::Group(g)) = toks.get(*i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        *i += 1; // pub(crate) etc.
+                    }
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+fn expect_ident(toks: &[TokenTree], i: &mut usize) -> Result<String, String> {
+    match toks.get(*i) {
+        Some(TokenTree::Ident(id)) => {
+            *i += 1;
+            Ok(id.to_string())
+        }
+        other => Err(format!("expected identifier, got {other:?}")),
+    }
+}
+
+/// Advance past a type, stopping after a top-level `,` (or at end of
+/// input). Tracks `<`/`>` nesting; delimited groups arrive as single
+/// token trees so only angle brackets need counting.
+fn skip_type(toks: &[TokenTree], i: &mut usize) {
+    let mut angle = 0i32;
+    let mut prev_dash = false;
+    while *i < toks.len() {
+        if let TokenTree::Punct(p) = &toks[*i] {
+            let c = p.as_char();
+            if c == ',' && angle == 0 {
+                *i += 1;
+                return;
+            }
+            if c == '<' {
+                angle += 1;
+            } else if c == '>' && !prev_dash {
+                angle -= 1;
+            }
+            prev_dash = c == '-';
+        } else {
+            prev_dash = false;
+        }
+        *i += 1;
+    }
+}
+
+fn parse_named_fields(ts: TokenStream) -> Result<Vec<String>, String> {
+    let toks: Vec<TokenTree> = ts.into_iter().collect();
+    let mut i = 0;
+    let mut names = Vec::new();
+    while i < toks.len() {
+        skip_attrs_and_vis(&toks, &mut i);
+        if i >= toks.len() {
+            break;
+        }
+        let name = expect_ident(&toks, &mut i)?;
+        match toks.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => return Err(format!("expected `:` after field {name}, got {other:?}")),
+        }
+        skip_type(&toks, &mut i);
+        names.push(name);
+    }
+    Ok(names)
+}
+
+/// Count the fields of a tuple struct / tuple variant body.
+fn tuple_arity(ts: TokenStream) -> usize {
+    let toks: Vec<TokenTree> = ts.into_iter().collect();
+    let mut i = 0;
+    let mut arity = 0;
+    while i < toks.len() {
+        skip_attrs_and_vis(&toks, &mut i);
+        if i >= toks.len() {
+            break;
+        }
+        skip_type(&toks, &mut i);
+        arity += 1;
+    }
+    arity
+}
+
+fn parse_variants(ts: TokenStream) -> Result<Vec<Variant>, String> {
+    let toks: Vec<TokenTree> = ts.into_iter().collect();
+    let mut i = 0;
+    let mut variants = Vec::new();
+    while i < toks.len() {
+        skip_attrs_and_vis(&toks, &mut i);
+        if i >= toks.len() {
+            break;
+        }
+        let name = expect_ident(&toks, &mut i)?;
+        let fields = match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                Fields::Tuple(tuple_arity(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Fields::Named(parse_named_fields(g.stream())?)
+            }
+            _ => Fields::Unit,
+        };
+        // skip any discriminant, then the separating comma
+        while i < toks.len() {
+            if let TokenTree::Punct(p) = &toks[i] {
+                if p.as_char() == ',' {
+                    i += 1;
+                    break;
+                }
+            }
+            i += 1;
+        }
+        variants.push(Variant { name, fields });
+    }
+    Ok(variants)
+}
+
+// ---------------------------------------------------------------------------
+// Codegen
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    let (name, build) = match item {
+        Item::Struct { name, fields } => (name, ser_struct_body(name, fields)),
+        Item::Enum { name, variants } => (name, ser_enum_body(name, variants)),
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn serialize<__S: ::serde::Serializer>(&self, _s: __S) \
+                 -> ::std::result::Result<__S::Ok, __S::Error> {{\n\
+                 let _build = || -> ::std::result::Result<::serde::Value, ::serde::ValueError> {{\n\
+                     {build}\n\
+                 }};\n\
+                 match _build() {{\n\
+                     ::std::result::Result::Ok(_v) => _s.serialize_value(_v),\n\
+                     ::std::result::Result::Err(_e) => ::std::result::Result::Err(\n\
+                         <__S::Error as ::serde::ser::Error>::custom::<::serde::ValueError>(_e)),\n\
+                 }}\n\
+             }}\n\
+         }}"
+    )
+}
+
+fn ser_struct_body(name: &str, fields: &Fields) -> String {
+    match fields {
+        Fields::Unit => "::std::result::Result::Ok(::serde::Value::Null)".to_string(),
+        Fields::Tuple(1) => "::serde::to_value(&self.0)".to_string(),
+        Fields::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::to_value(&self.{i})?"))
+                .collect();
+            format!(
+                "::std::result::Result::Ok(::serde::Value::Array(::std::vec![{}]))",
+                items.join(", ")
+            )
+        }
+        Fields::Named(names) => {
+            let mut out = String::from("let mut _m = ::std::collections::BTreeMap::new();\n");
+            for f in names {
+                out.push_str(&format!(
+                    "_m.insert({f:?}.to_string(), ::serde::to_value(&self.{f})\
+                     .map_err(|_e| _e.context(\"{name}.{f}\"))?);\n"
+                ));
+            }
+            out.push_str("::std::result::Result::Ok(::serde::Value::Object(_m))");
+            out
+        }
+    }
+}
+
+fn ser_enum_body(name: &str, variants: &[Variant]) -> String {
+    let mut arms = String::new();
+    for v in variants {
+        let vn = &v.name;
+        match &v.fields {
+            Fields::Unit => arms.push_str(&format!(
+                "{name}::{vn} => ::serde::Value::String({vn:?}.to_string()),\n"
+            )),
+            Fields::Tuple(1) => arms.push_str(&format!(
+                "{name}::{vn}(_f0) => {{\n\
+                     let mut _m = ::std::collections::BTreeMap::new();\n\
+                     _m.insert({vn:?}.to_string(), ::serde::to_value(_f0)\
+                         .map_err(|_e| _e.context(\"{name}::{vn}\"))?);\n\
+                     ::serde::Value::Object(_m)\n\
+                 }}\n"
+            )),
+            Fields::Tuple(n) => {
+                let pats: Vec<String> = (0..*n).map(|i| format!("_f{i}")).collect();
+                let items: Vec<String> = (0..*n)
+                    .map(|i| format!("::serde::to_value(_f{i})?"))
+                    .collect();
+                arms.push_str(&format!(
+                    "{name}::{vn}({pats}) => {{\n\
+                         let mut _m = ::std::collections::BTreeMap::new();\n\
+                         _m.insert({vn:?}.to_string(), \
+                             ::serde::Value::Array(::std::vec![{items}]));\n\
+                         ::serde::Value::Object(_m)\n\
+                     }}\n",
+                    pats = pats.join(", "),
+                    items = items.join(", "),
+                ));
+            }
+            Fields::Named(fields) => {
+                let pats: Vec<String> = fields
+                    .iter()
+                    .enumerate()
+                    .map(|(i, f)| format!("{f}: _f{i}"))
+                    .collect();
+                let mut inner =
+                    String::from("let mut _inner = ::std::collections::BTreeMap::new();\n");
+                for (i, f) in fields.iter().enumerate() {
+                    inner.push_str(&format!(
+                        "_inner.insert({f:?}.to_string(), ::serde::to_value(_f{i})\
+                         .map_err(|_e| _e.context(\"{name}::{vn}.{f}\"))?);\n"
+                    ));
+                }
+                arms.push_str(&format!(
+                    "{name}::{vn} {{ {pats} }} => {{\n\
+                         {inner}\
+                         let mut _m = ::std::collections::BTreeMap::new();\n\
+                         _m.insert({vn:?}.to_string(), ::serde::Value::Object(_inner));\n\
+                         ::serde::Value::Object(_m)\n\
+                     }}\n",
+                    pats = pats.join(", "),
+                ));
+            }
+        }
+    }
+    format!("::std::result::Result::Ok(match self {{\n{arms}}})")
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let (name, build) = match item {
+        Item::Struct { name, fields } => (name, de_struct_body(name, fields)),
+        Item::Enum { name, variants } => (name, de_enum_body(name, variants)),
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+             fn deserialize<__D: ::serde::Deserializer<'de>>(_d: __D) \
+                 -> ::std::result::Result<Self, __D::Error> {{\n\
+                 let _v = ::serde::Deserializer::take_value(_d)?;\n\
+                 let _build = move || -> ::std::result::Result<{name}, ::serde::ValueError> {{\n\
+                     {build}\n\
+                 }};\n\
+                 _build().map_err(<__D::Error as ::serde::de::Error>::custom::<::serde::ValueError>)\n\
+             }}\n\
+         }}"
+    )
+}
+
+fn de_struct_body(name: &str, fields: &Fields) -> String {
+    match fields {
+        Fields::Unit => format!(
+            "match _v {{\n\
+                 ::serde::Value::Null => ::std::result::Result::Ok({name}),\n\
+                 _other => ::std::result::Result::Err(::serde::ValueError::msg(\n\
+                     ::std::format!(\"expected null for unit struct {name}, got {{}}\", _other.kind()))),\n\
+             }}"
+        ),
+        Fields::Tuple(1) => format!(
+            "::serde::from_value(_v).map({name}).map_err(|_e| _e.context({name:?}))"
+        ),
+        Fields::Tuple(n) => {
+            let gets: Vec<String> = (0..*n)
+                .map(|_| {
+                    "::serde::from_value(_it.next().expect(\"length checked\"))?".to_string()
+                })
+                .collect();
+            format!(
+                "let _a = _v.into_array().ok_or_else(|| \
+                     ::serde::ValueError::msg(\"expected array for tuple struct {name}\"))?;\n\
+                 if _a.len() != {n} {{\n\
+                     return ::std::result::Result::Err(::serde::ValueError::msg(\n\
+                         ::std::format!(\"expected {n} fields for {name}, got {{}}\", _a.len())));\n\
+                 }}\n\
+                 let mut _it = _a.into_iter();\n\
+                 ::std::result::Result::Ok({name}({gets}))",
+                gets = gets.join(", ")
+            )
+        }
+        Fields::Named(names) => {
+            let fields_src: Vec<String> = names
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::from_value(_m.remove({f:?})\
+                         .unwrap_or(::serde::Value::Null))\
+                         .map_err(|_e| _e.context(\"{name}.{f}\"))?"
+                    )
+                })
+                .collect();
+            format!(
+                "let mut _m = _v.into_object().ok_or_else(|| \
+                     ::serde::ValueError::msg(\"expected object for struct {name}\"))?;\n\
+                 ::std::result::Result::Ok({name} {{ {fields} }})",
+                fields = fields_src.join(", ")
+            )
+        }
+    }
+}
+
+fn de_enum_body(name: &str, variants: &[Variant]) -> String {
+    let mut unit_arms = String::new();
+    let mut keyed_arms = String::new();
+    for v in variants {
+        let vn = &v.name;
+        match &v.fields {
+            Fields::Unit => unit_arms.push_str(&format!(
+                "{vn:?} => ::std::result::Result::Ok({name}::{vn}),\n"
+            )),
+            Fields::Tuple(1) => keyed_arms.push_str(&format!(
+                "{vn:?} => ::serde::from_value(_inner).map({name}::{vn})\
+                     .map_err(|_e| _e.context(\"{name}::{vn}\")),\n"
+            )),
+            Fields::Tuple(n) => {
+                let gets: Vec<String> = (0..*n)
+                    .map(|_| {
+                        "::serde::from_value(_it.next().expect(\"length checked\"))?".to_string()
+                    })
+                    .collect();
+                keyed_arms.push_str(&format!(
+                    "{vn:?} => {{\n\
+                         let _a = _inner.into_array().ok_or_else(|| \
+                             ::serde::ValueError::msg(\"expected array for {name}::{vn}\"))?;\n\
+                         if _a.len() != {n} {{\n\
+                             return ::std::result::Result::Err(::serde::ValueError::msg(\n\
+                                 ::std::format!(\"expected {n} fields for {name}::{vn}, got {{}}\", _a.len())));\n\
+                         }}\n\
+                         let mut _it = _a.into_iter();\n\
+                         ::std::result::Result::Ok({name}::{vn}({gets}))\n\
+                     }}\n",
+                    gets = gets.join(", ")
+                ));
+            }
+            Fields::Named(fields) => {
+                let fields_src: Vec<String> = fields
+                    .iter()
+                    .map(|f| {
+                        format!(
+                            "{f}: ::serde::from_value(_o.remove({f:?})\
+                             .unwrap_or(::serde::Value::Null))\
+                             .map_err(|_e| _e.context(\"{name}::{vn}.{f}\"))?"
+                        )
+                    })
+                    .collect();
+                keyed_arms.push_str(&format!(
+                    "{vn:?} => {{\n\
+                         let mut _o = _inner.into_object().ok_or_else(|| \
+                             ::serde::ValueError::msg(\"expected object for {name}::{vn}\"))?;\n\
+                         ::std::result::Result::Ok({name}::{vn} {{ {fields} }})\n\
+                     }}\n",
+                    fields = fields_src.join(", ")
+                ));
+            }
+        }
+    }
+    format!(
+        "match _v {{\n\
+             ::serde::Value::String(_s) => match _s.as_str() {{\n\
+                 {unit_arms}\
+                 _other => ::std::result::Result::Err(::serde::ValueError::msg(\n\
+                     ::std::format!(\"unknown variant `{{}}` of {name}\", _other))),\n\
+             }},\n\
+             ::serde::Value::Object(_m) => {{\n\
+                 let mut _entries = _m.into_iter();\n\
+                 let (_k, _inner) = match (_entries.next(), _entries.next()) {{\n\
+                     (::std::option::Option::Some(_kv), ::std::option::Option::None) => _kv,\n\
+                     _ => return ::std::result::Result::Err(::serde::ValueError::msg(\n\
+                         \"expected single-key object for enum {name}\")),\n\
+                 }};\n\
+                 match _k.as_str() {{\n\
+                     {keyed_arms}\
+                     _other => {{\n\
+                         let _ = _inner;\n\
+                         ::std::result::Result::Err(::serde::ValueError::msg(\n\
+                             ::std::format!(\"unknown variant `{{}}` of {name}\", _other)))\n\
+                     }}\n\
+                 }}\n\
+             }}\n\
+             _other => ::std::result::Result::Err(::serde::ValueError::msg(\n\
+                 ::std::format!(\"expected string or object for enum {name}, got {{}}\", _other.kind()))),\n\
+         }}"
+    )
+}

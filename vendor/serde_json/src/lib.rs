@@ -1,0 +1,478 @@
+//! Offline stand-in for `serde_json`.
+//!
+//! Provides `to_string`, `to_string_pretty`, and `from_str` over the
+//! vendored serde's in-memory [`Value`] tree, with a hand-written JSON
+//! text parser and printer. The subset implemented is exactly what this
+//! workspace uses; the output format matches serde_json conventions
+//! (sorted object keys via `BTreeMap`, shortest round-trip floats,
+//! `null` for non-finite numbers).
+
+use std::fmt;
+
+pub use serde::{Number, Value};
+
+/// Error produced while parsing or printing JSON.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    message: String,
+    /// 1-based line of the error, when produced by the parser.
+    line: Option<usize>,
+}
+
+impl Error {
+    fn msg(message: impl fmt::Display) -> Error {
+        Error {
+            message: message.to_string(),
+            line: None,
+        }
+    }
+
+    fn at(message: impl fmt::Display, line: usize) -> Error {
+        Error {
+            message: message.to_string(),
+            line: Some(line),
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.line {
+            Some(line) => write!(f, "{} at line {line}", self.message),
+            None => f.write_str(&self.message),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl serde::ser::Error for Error {
+    fn custom<T: fmt::Display>(msg: T) -> Error {
+        Error::msg(msg)
+    }
+}
+
+impl serde::de::Error for Error {
+    fn custom<T: fmt::Display>(msg: T) -> Error {
+        Error::msg(msg)
+    }
+}
+
+/// Result alias matching serde_json's.
+pub type Result<T> = std::result::Result<T, Error>;
+
+// ---------------------------------------------------------------------------
+// Serialization
+// ---------------------------------------------------------------------------
+
+/// Serialize `value` to compact JSON text.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String> {
+    let v = serde::to_value(value).map_err(Error::msg)?;
+    let mut out = String::new();
+    write_value(&mut out, &v, None, 0);
+    Ok(out)
+}
+
+/// Serialize `value` to pretty-printed JSON text (2-space indent).
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String> {
+    let v = serde::to_value(value).map_err(Error::msg)?;
+    let mut out = String::new();
+    write_value(&mut out, &v, Some(2), 0);
+    Ok(out)
+}
+
+/// Convert `value` to a [`Value`] tree.
+pub fn to_value<T: serde::Serialize + ?Sized>(value: &T) -> Result<Value> {
+    serde::to_value(value).map_err(Error::msg)
+}
+
+/// Convert a [`Value`] tree to a `T`.
+pub fn from_value<T: for<'de> serde::Deserialize<'de>>(value: Value) -> Result<T> {
+    serde::from_value(value).map_err(Error::msg)
+}
+
+fn write_value(out: &mut String, v: &Value, indent: Option<usize>, depth: usize) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::Number(n) => out.push_str(&n.to_string()),
+        Value::String(s) => write_json_string(out, s),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write_value(out, item, indent, depth + 1);
+            }
+            newline_indent(out, indent, depth);
+            out.push(']');
+        }
+        Value::Object(map) => {
+            if map.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (k, item)) in map.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write_json_string(out, k);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, item, indent, depth + 1);
+            }
+            newline_indent(out, indent, depth);
+            out.push('}');
+        }
+    }
+}
+
+fn newline_indent(out: &mut String, indent: Option<usize>, depth: usize) {
+    if let Some(width) = indent {
+        out.push('\n');
+        for _ in 0..width * depth {
+            out.push(' ');
+        }
+    }
+}
+
+fn write_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// ---------------------------------------------------------------------------
+// Deserialization
+// ---------------------------------------------------------------------------
+
+/// Parse JSON text and convert to a `T`.
+pub fn from_str<T: for<'de> serde::Deserialize<'de>>(text: &str) -> Result<T> {
+    let value = parse(text)?;
+    serde::from_value(value).map_err(Error::msg)
+}
+
+fn parse(text: &str) -> Result<Value> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+        line: 1,
+    };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos < p.bytes.len() {
+        return Err(Error::at("trailing characters after JSON value", p.line));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    line: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            match b {
+                b'\n' => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                b' ' | b'\t' | b'\r' => self.pos += 1,
+                _ => return,
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<()> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::at(
+                format!("expected `{}`", char::from(b)),
+                self.line,
+            ))
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(kw.as_bytes()) {
+            self.pos += kw.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn value(&mut self) -> Result<Value> {
+        match self.peek() {
+            None => Err(Error::at("unexpected end of input", self.line)),
+            Some(b'n') if self.eat_keyword("null") => Ok(Value::Null),
+            Some(b't') if self.eat_keyword("true") => Ok(Value::Bool(true)),
+            Some(b'f') if self.eat_keyword("false") => Ok(Value::Bool(false)),
+            Some(b'"') => Ok(Value::String(self.string()?)),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.number(),
+            Some(b) => Err(Error::at(
+                format!("unexpected character `{}`", char::from(b)),
+                self.line,
+            )),
+        }
+    }
+
+    fn array(&mut self) -> Result<Value> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(Error::at("expected `,` or `]` in array", self.line)),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value> {
+        self.expect(b'{')?;
+        let mut map = std::collections::BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let val = self.value()?;
+            map.insert(key, val);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(map));
+                }
+                _ => return Err(Error::at("expected `,` or `}` in object", self.line)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            // fast path: run of plain bytes
+            while let Some(&b) = self.bytes.get(self.pos) {
+                if b == b'"' || b == b'\\' || b < 0x20 {
+                    break;
+                }
+                self.pos += 1;
+            }
+            out.push_str(
+                std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| Error::at("invalid UTF-8 in string", self.line))?,
+            );
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self
+                        .peek()
+                        .ok_or_else(|| Error::at("unterminated escape", self.line))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b't' => out.push('\t'),
+                        b'r' => out.push('\r'),
+                        b'b' => out.push('\u{08}'),
+                        b'f' => out.push('\u{0c}'),
+                        b'u' => {
+                            let code = self.hex4()?;
+                            if (0xD800..0xDC00).contains(&code) {
+                                // high surrogate: require a paired \uXXXX
+                                if !(self.eat_keyword("\\u")) {
+                                    return Err(Error::at(
+                                        "unpaired surrogate in string",
+                                        self.line,
+                                    ));
+                                }
+                                let low = self.hex4()?;
+                                if !(0xDC00..0xE000).contains(&low) {
+                                    return Err(Error::at(
+                                        "invalid low surrogate in string",
+                                        self.line,
+                                    ));
+                                }
+                                let c = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+                                out.push(char::from_u32(c).ok_or_else(|| {
+                                    Error::at("invalid surrogate pair", self.line)
+                                })?);
+                            } else {
+                                out.push(
+                                    char::from_u32(code).ok_or_else(|| {
+                                        Error::at("invalid \\u escape", self.line)
+                                    })?,
+                                );
+                            }
+                        }
+                        other => {
+                            return Err(Error::at(
+                                format!("invalid escape `\\{}`", char::from(other)),
+                                self.line,
+                            ))
+                        }
+                    }
+                }
+                Some(_) => return Err(Error::at("control character in string", self.line)),
+                None => return Err(Error::at("unterminated string", self.line)),
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32> {
+        if self.pos + 4 > self.bytes.len() {
+            return Err(Error::at("truncated \\u escape", self.line));
+        }
+        let hex = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
+            .map_err(|_| Error::at("invalid \\u escape", self.line))?;
+        let code =
+            u32::from_str_radix(hex, 16).map_err(|_| Error::at("invalid \\u escape", self.line))?;
+        self.pos += 4;
+        Ok(code)
+    }
+
+    fn number(&mut self) -> Result<Value> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b) if b.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            while matches!(self.peek(), Some(b) if b.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e') | Some(b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+') | Some(b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(b) if b.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| Error::at("invalid number", self.line))?;
+        let approx: f64 = text
+            .parse()
+            .map_err(|_| Error::at(format!("invalid number `{text}`"), self.line))?;
+        Ok(Value::Number(Number::parsed(text, approx)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_compact() {
+        let v: Value = from_str(r#"{"a": [1, 2.5, -3], "b": null, "c": "x\ny"}"#).unwrap();
+        let text = to_string(&v).unwrap();
+        assert_eq!(text, r#"{"a":[1,2.5,-3],"b":null,"c":"x\ny"}"#);
+        let back: Value = from_str(&text).unwrap();
+        assert_eq!(v, back);
+    }
+
+    #[test]
+    fn pretty_prints_with_indent() {
+        let v: Value = from_str(r#"{"k":[1]}"#).unwrap();
+        let text = to_string_pretty(&v).unwrap();
+        assert_eq!(text, "{\n  \"k\": [\n    1\n  ]\n}");
+    }
+
+    #[test]
+    fn integers_stay_integers() {
+        let v: Value = from_str("9007199254740993").unwrap();
+        assert_eq!(v.as_u64(), Some(9007199254740993));
+        assert_eq!(to_string(&v).unwrap(), "9007199254740993");
+    }
+
+    #[test]
+    fn floats_round_trip() {
+        let v: Value = from_str("0.1").unwrap();
+        assert_eq!(v.as_f64(), Some(0.1));
+        assert_eq!(to_string(&v).unwrap(), "0.1");
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        let err = from_str::<Value>("{\n  \"a\": ]\n}").unwrap_err();
+        assert!(err.to_string().contains("line 2"), "{err}");
+    }
+
+    #[test]
+    fn typed_round_trip_via_derive_free_impls() {
+        let data: Vec<(String, f64)> = vec![("a".into(), 1.0), ("b".into(), -2.5)];
+        let text = to_string(&data).unwrap();
+        let back: Vec<(String, f64)> = from_str(&text).unwrap();
+        assert_eq!(data, back);
+    }
+}
