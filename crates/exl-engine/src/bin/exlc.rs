@@ -16,7 +16,17 @@
 //!
 //! The global option `--metrics <path>` (before or after the subcommand)
 //! records structured run metrics — spans, counters, gauges — and writes
-//! them to `<path>` as JSON when the command finishes.
+//! them to `<path>` as JSON when the command finishes. The path is
+//! validated (created or opened for writing) **before** anything runs, so
+//! a bad path fails fast instead of after a long computation.
+//!
+//! Fault-handling options for `run` (accepted anywhere on the line):
+//!
+//! * `--retries <n>` — re-execute up to `n` times after a retryable
+//!   failure (backend error, timeout, contained panic);
+//! * `--subgraph-timeout-ms <n>` — deadline per execution attempt;
+//! * `--keep-going` — degradation mode: complete everything not
+//!   downstream of a failure (meaningful for multi-subgraph runs).
 //!
 //! `data.json` holds `{ "CUBE": [ [[dims…], measure], … ], … }` — dimension
 //! values use the serde encoding of `exl_model::DimValue`. CSV files use the
@@ -36,26 +46,43 @@ macro_rules! out {
     };
 }
 
-use exl_engine::{translate, TargetKind};
+use std::sync::Arc;
+
+use exl_engine::{translate, DispatchPolicy, TargetKind};
 use exl_model::{Cube, CubeData, Dataset, DimTuple};
 use exl_obs::{MetricsRegistry, NoopRecorder, Recorder};
 
 fn main() -> ExitCode {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
-    let metrics_path = match extract_metrics_path(&mut args) {
-        Ok(p) => p,
-        Err(msg) => {
-            eprintln!("exlc: {msg}");
+    let (metrics_path, policy) =
+        match extract_metrics_path(&mut args).and_then(|m| Ok((m, extract_policy(&mut args)?))) {
+            Ok(v) => v,
+            Err(msg) => {
+                eprintln!("exlc: {msg}");
+                return ExitCode::FAILURE;
+            }
+        };
+    // fail fast on an unwritable metrics path: better a diagnostic now
+    // than a lost run later
+    if let Some(path) = &metrics_path {
+        if let Err(e) = std::fs::OpenOptions::new()
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(path)
+        {
+            eprintln!("exlc: metrics path {path} is not writable: {e}");
             return ExitCode::FAILURE;
         }
-    };
-    let registry = MetricsRegistry::new();
+    }
+    let registry = Arc::new(MetricsRegistry::new());
     let recorder: &dyn Recorder = if metrics_path.is_some() {
-        &registry
+        registry.as_ref()
     } else {
         &NoopRecorder
     };
-    let outcome = run(&args, recorder);
+    let metrics = metrics_path.is_some().then_some(&registry);
+    let outcome = run(&args, recorder, metrics, &policy);
     if let Some(path) = metrics_path {
         if let Err(e) = std::fs::write(&path, registry.to_json()) {
             eprintln!("exlc: cannot write metrics to {path}: {e}");
@@ -84,14 +111,60 @@ fn extract_metrics_path(args: &mut Vec<String>) -> Result<Option<String>, String
     Ok(Some(path))
 }
 
-fn run(args: &[String], recorder: &dyn Recorder) -> Result<(), String> {
-    let usage = "usage: exlc [--metrics <path>] <check|tgds|translate|run> …  (see crate docs)";
+/// Pull the fault-handling flags out of `args`. Returns the default
+/// policy (fail fast, no retry, no deadline) with a `None` marker when no
+/// flag was given; `Some` means `run` should go through the supervisor.
+fn extract_policy(args: &mut Vec<String>) -> Result<Option<DispatchPolicy>, String> {
+    let mut policy = DispatchPolicy::default();
+    let mut any = false;
+    if let Some(v) = extract_value_flag(args, "--retries")? {
+        policy.retries = v
+            .parse()
+            .map_err(|_| format!("--retries: `{v}` is not a count"))?;
+        any = true;
+    }
+    if let Some(v) = extract_value_flag(args, "--subgraph-timeout-ms")? {
+        let ms: u64 = v
+            .parse()
+            .map_err(|_| format!("--subgraph-timeout-ms: `{v}` is not a number of milliseconds"))?;
+        policy.subgraph_timeout = Some(std::time::Duration::from_millis(ms));
+        any = true;
+    }
+    if let Some(i) = args.iter().position(|a| a == "--keep-going") {
+        args.remove(i);
+        policy.keep_going = true;
+        any = true;
+    }
+    Ok(any.then_some(policy))
+}
+
+/// Pull `<flag> <value>` out of `args`.
+fn extract_value_flag(args: &mut Vec<String>, flag: &str) -> Result<Option<String>, String> {
+    let Some(i) = args.iter().position(|a| a == flag) else {
+        return Ok(None);
+    };
+    if i + 1 >= args.len() {
+        return Err(format!("{flag} requires a value"));
+    }
+    let value = args.remove(i + 1);
+    args.remove(i);
+    Ok(Some(value))
+}
+
+fn run(
+    args: &[String],
+    recorder: &dyn Recorder,
+    metrics: Option<&Arc<MetricsRegistry>>,
+    policy: &Option<DispatchPolicy>,
+) -> Result<(), String> {
+    let usage = "usage: exlc [--metrics <path>] [--retries <n>] [--subgraph-timeout-ms <n>] \
+                 [--keep-going] <check|tgds|translate|run> …  (see crate docs)";
     match args {
         [cmd, rest @ ..] => match cmd.as_str() {
             "check" => check(rest, recorder),
             "tgds" => tgds(rest, recorder),
             "translate" => do_translate(rest, recorder),
-            "run" => do_run(rest, recorder),
+            "run" => do_run(rest, recorder, metrics, policy),
             other => Err(format!("unknown command `{other}`\n{usage}")),
         },
         _ => Err(usage.to_string()),
@@ -160,7 +233,12 @@ fn do_translate(args: &[String], recorder: &dyn Recorder) -> Result<(), String> 
 
 type JsonCube = Vec<(DimTuple, f64)>;
 
-fn do_run(args: &[String], recorder: &dyn Recorder) -> Result<(), String> {
+fn do_run(
+    args: &[String],
+    recorder: &dyn Recorder,
+    metrics: Option<&Arc<MetricsRegistry>>,
+    policy: &Option<DispatchPolicy>,
+) -> Result<(), String> {
     let (path, data_path, target) = match args {
         [p, d] => (p, d, TargetKind::Native),
         [p, d, t] => (p, d, parse_target(t)?),
@@ -199,7 +277,17 @@ fn do_run(args: &[String], recorder: &dyn Recorder) -> Result<(), String> {
         }
     }
 
-    let output = {
+    let output = if let Some(policy) = policy {
+        // fault-handling flags were given: run under the dispatch
+        // supervisor (which records the subgraph span per attempt)
+        let (output, attempts) =
+            exl_engine::run_on_target_supervised(&analyzed, &input, target, policy, metrics)
+                .map_err(|e| e.to_string())?;
+        if attempts.len() > 1 {
+            eprintln!("exlc: run succeeded after {} attempts", attempts.len());
+        }
+        output
+    } else {
         // the whole program runs as one subgraph on the chosen target
         let _span = exl_obs::span(recorder, format!("engine.subgraph.{target}"));
         exl_engine::run_on_target_recorded(&analyzed, &input, target, recorder)

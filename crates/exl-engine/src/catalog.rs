@@ -151,6 +151,28 @@ impl Catalog {
         Ok(clock)
     }
 
+    /// Commit a batch of new versions **atomically**: either every entry
+    /// is stored (in order, each under its own version number) or — when
+    /// any cube is unknown — none is, and the catalog is untouched. This
+    /// is the transactional commit the dispatch supervisor uses: a run's
+    /// results are staged outside the catalog and land here only once the
+    /// run's policy is satisfied.
+    pub fn commit_versions(
+        &mut self,
+        items: Vec<(CubeId, CubeData)>,
+    ) -> Result<Vec<u64>, EngineError> {
+        if let Some((id, _)) = items.iter().find(|(id, _)| !self.cubes.contains_key(id)) {
+            return Err(EngineError::Catalog(format!(
+                "cannot commit run: unknown cube {id}"
+            )));
+        }
+        let mut versions = Vec::with_capacity(items.len());
+        for (id, data) in items {
+            versions.push(self.store(&id, data)?);
+        }
+        Ok(versions)
+    }
+
     /// Latest data of a cube.
     pub fn current(&self, id: &CubeId) -> Option<&CubeData> {
         self.cubes.get(id).and_then(|m| m.current())

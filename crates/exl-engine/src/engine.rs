@@ -7,6 +7,7 @@
 //! subgraph to its target engine — sequentially or with stage-level
 //! parallelism — moving cube data between engines as needed.
 
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
 use exl_model::schema::{CubeId, CubeKind};
@@ -16,9 +17,8 @@ use exl_obs::{MetricsRegistry, MetricsSnapshot, NoopRecorder, Recorder};
 use crate::catalog::Catalog;
 use crate::determination::{GlobalGraph, Subgraph};
 use crate::error::EngineError;
-use crate::target::{
-    execute_recorded, input_schemas, subprogram, translate, TargetCode, TargetKind,
-};
+use crate::supervise::{run_supervised, Attempt, DispatchPolicy, SubgraphStatus};
+use crate::target::{input_schemas, subprogram, translate, TargetCode, TargetKind};
 
 /// The engine.
 #[derive(Debug, Clone)]
@@ -30,6 +30,9 @@ pub struct ExlEngine {
     pub default_target: TargetKind,
     /// Dispatch independent subgraphs of a stage on separate threads.
     pub parallel_dispatch: bool,
+    /// Fault-handling policy for dispatch (retries, deadlines, fallback,
+    /// degradation mode).
+    pub policy: DispatchPolicy,
     /// Metrics registry, populated when observability is enabled via
     /// [`ExlEngine::enable_metrics`]. When `None` every instrumented path
     /// uses the no-op recorder, adding no overhead.
@@ -46,6 +49,12 @@ pub struct SubgraphReport {
     pub fallback: bool,
     /// Cubes the subgraph computed.
     pub cubes: Vec<CubeId>,
+    /// Final status under the dispatch supervisor.
+    pub status: SubgraphStatus,
+    /// Execution attempts, in order (empty for skipped subgraphs).
+    pub attempts: Vec<Attempt>,
+    /// The error that failed the subgraph, when it failed.
+    pub error: Option<String>,
 }
 
 /// Report of one recomputation run.
@@ -57,6 +66,12 @@ pub struct RunReport {
     pub stages: usize,
     /// All cubes recomputed, in plan order.
     pub computed: Vec<CubeId>,
+    /// Cubes not computed because an upstream subgraph failed (only
+    /// populated under [`DispatchPolicy::keep_going`]).
+    pub skipped: Vec<CubeId>,
+    /// Cubes whose subgraph failed every attempt (only populated under
+    /// [`DispatchPolicy::keep_going`]; without it the run aborts).
+    pub failed: Vec<CubeId>,
     /// Metrics gathered during the run (empty unless the engine has
     /// observability enabled via [`ExlEngine::enable_metrics`]).
     pub metrics: MetricsSnapshot,
@@ -69,6 +84,7 @@ impl Default for ExlEngine {
             graph: GlobalGraph::new(),
             default_target: TargetKind::Native,
             parallel_dispatch: false,
+            policy: DispatchPolicy::default(),
             metrics: None,
         }
     }
@@ -276,8 +292,16 @@ impl ExlEngine {
         Ok(out)
     }
 
-    /// Recompute everything downstream of the changed cubes. Results are
-    /// stored in the catalog as new versions.
+    /// Recompute everything downstream of the changed cubes.
+    ///
+    /// The run is **transactional**: every subgraph's results are staged
+    /// outside the catalog and committed atomically (new versions) only
+    /// when the run's [`DispatchPolicy`] is satisfied. Under the default
+    /// policy any failure rolls the whole run back — the catalog is left
+    /// byte-identical — and the error is returned; under
+    /// [`DispatchPolicy::keep_going`] every subgraph not downstream of a
+    /// failure still commits, and the report lists the failed and skipped
+    /// cubes.
     pub fn recompute(&mut self, changed: &[CubeId]) -> Result<RunReport, EngineError> {
         // hold the registry in a local so the recorder borrow does not
         // pin `self` while the catalog is mutated below
@@ -288,7 +312,7 @@ impl ExlEngine {
         };
         let mut report = {
             let _run_span = exl_obs::span(recorder, "engine.recompute");
-            self.recompute_recorded(changed, recorder)?
+            self.recompute_recorded(changed, registry.as_ref(), recorder)?
         };
         if let Some(registry) = &registry {
             report.metrics = registry.snapshot();
@@ -299,6 +323,7 @@ impl ExlEngine {
     fn recompute_recorded(
         &mut self,
         changed: &[CubeId],
+        registry: Option<&Arc<MetricsRegistry>>,
         recorder: &dyn Recorder,
     ) -> Result<RunReport, EngineError> {
         let translated = {
@@ -313,6 +338,23 @@ impl ExlEngine {
             "engine.fallbacks",
             translated.iter().filter(|(_, _, f)| *f).count() as u64,
         );
+        // the runtime fallback chain re-runs a failing subgraph on the
+        // native engine: translate the native variant up front (offline,
+        // like all translation)
+        let natives: Vec<Option<TargetCode>> = if self.policy.runtime_fallback {
+            translated
+                .iter()
+                .map(|(sub, code, _)| {
+                    if code.target_kind() == TargetKind::Native {
+                        Ok(None)
+                    } else {
+                        self.native_code_for(sub).map(Some)
+                    }
+                })
+                .collect::<Result<_, EngineError>>()?
+        } else {
+            vec![None; translated.len()]
+        };
         let subgraphs: Vec<Subgraph> = translated.iter().map(|(s, _, _)| s.clone()).collect();
         let stages = self.graph.stages(&subgraphs);
         recorder.incr_counter("engine.stages", stages.len() as u64);
@@ -323,85 +365,199 @@ impl ExlEngine {
         };
         // keep per-subgraph reports in dispatch order
         let mut sub_reports: Vec<Option<SubgraphReport>> = vec![None; translated.len()];
+        // the run's transaction: results live here, not in the catalog,
+        // until the end-of-run atomic commit
+        let mut staged: BTreeMap<CubeId, CubeData> = BTreeMap::new();
+        let mut commit_order: Vec<CubeId> = Vec::new();
+        // cubes produced by failed or skipped subgraphs: anything reading
+        // them is skipped in turn (keep_going degradation)
+        let mut poisoned: BTreeSet<CubeId> = BTreeSet::new();
+        let policy = self.policy.clone();
 
         for stage in &stages {
             // each subgraph's inputs are satisfied by earlier stages
-            let mut results: Vec<(usize, exl_model::Dataset)> = Vec::with_capacity(stage.len());
-            if self.parallel_dispatch && stage.len() > 1 {
-                let jobs: Vec<_> = stage
-                    .iter()
-                    .map(|&si| {
-                        let (sub, code, fallback) = &translated[si];
-                        let prepared = self.prepare_inputs(sub)?;
-                        let ran_on = if *fallback {
-                            TargetKind::Native
-                        } else {
-                            sub.target
-                        };
-                        Ok((si, code.clone(), prepared, self.targets_of(sub), ran_on))
-                    })
-                    .collect::<Result<_, EngineError>>()?;
+            let mut results: Vec<(usize, Result<exl_model::Dataset, EngineError>, Vec<Attempt>)> =
+                Vec::with_capacity(stage.len());
+            let mut jobs: Vec<(usize, exl_model::Dataset, Vec<CubeId>)> = Vec::new();
+            for &si in stage {
+                let (sub, _, _) = &translated[si];
+                let wanted = self.targets_of(sub);
+                let input_ids = self.input_ids_of(sub)?;
+                if input_ids.iter().any(|id| poisoned.contains(id)) {
+                    recorder.incr_counter("engine.subgraphs_skipped", 1);
+                    poisoned.extend(wanted.iter().cloned());
+                    report.skipped.extend(wanted.iter().cloned());
+                    sub_reports[si] = Some(self.make_report(
+                        si,
+                        &translated,
+                        SubgraphStatus::Skipped,
+                        Vec::new(),
+                        None,
+                    ));
+                    continue;
+                }
+                match self.prepare_inputs_staged(sub, &staged) {
+                    Ok(prepared) => jobs.push((si, prepared, wanted)),
+                    // a missing input is a deterministic failure of this
+                    // subgraph, not of the whole run
+                    Err(e) => results.push((si, Err(e), Vec::new())),
+                }
+            }
+            if self.parallel_dispatch && jobs.len() > 1 {
                 let outputs = std::thread::scope(|scope| {
                     let handles: Vec<_> = jobs
                         .into_iter()
-                        .map(|(si, code, input, wanted, ran_on)| {
+                        .map(|(si, input, wanted)| {
+                            let (_, code, _) = &translated[si];
+                            let native = natives[si].as_ref();
+                            let policy = &policy;
                             scope.spawn(move || {
-                                let _span =
-                                    exl_obs::span(recorder, format!("engine.subgraph.{ran_on}"));
-                                (si, execute_recorded(&code, &input, &wanted, recorder))
+                                let (r, attempts) =
+                                    run_supervised(code, native, &input, &wanted, policy, registry);
+                                (si, r, attempts)
                             })
                         })
                         .collect();
                     handles
                         .into_iter()
-                        .map(|h| h.join().expect("dispatch thread panicked"))
+                        .map(|h| {
+                            h.join().unwrap_or_else(|payload| {
+                                // the supervisor catches backend panics;
+                                // this guards the dispatcher itself
+                                let message = crate::supervise::panic_message(payload);
+                                (
+                                    usize::MAX,
+                                    Err(EngineError::Panic {
+                                        target: "dispatcher".to_string(),
+                                        message,
+                                    }),
+                                    Vec::new(),
+                                )
+                            })
+                        })
                         .collect::<Vec<_>>()
                 });
-                for (si, r) in outputs {
-                    results.push((si, r?));
-                }
+                results.extend(outputs);
             } else {
-                for &si in stage {
-                    let (sub, code, fallback) = &translated[si];
-                    let input = self.prepare_inputs(sub)?;
-                    let wanted = self.targets_of(sub);
-                    let ran_on = if *fallback {
-                        TargetKind::Native
-                    } else {
-                        sub.target
-                    };
-                    let _span = exl_obs::span(recorder, format!("engine.subgraph.{ran_on}"));
-                    results.push((si, execute_recorded(code, &input, &wanted, recorder)?));
+                for (si, input, wanted) in jobs {
+                    let (_, code, _) = &translated[si];
+                    let (r, attempts) = run_supervised(
+                        code,
+                        natives[si].as_ref(),
+                        &input,
+                        &wanted,
+                        &policy,
+                        registry,
+                    );
+                    results.push((si, r, attempts));
                 }
             }
-            // store stage results (new catalog versions)
-            results.sort_by_key(|(si, _)| *si);
-            for (si, ds) in results {
-                let (sub, _, fallback) = &translated[si];
-                let wanted = self.targets_of(sub);
-                for id in &wanted {
-                    let data = ds
-                        .data(id)
-                        .ok_or_else(|| {
-                            EngineError::Execution(format!("target produced no data for {id}"))
-                        })?
-                        .clone();
-                    self.catalog.store(id, data)?;
-                    report.computed.push(id.clone());
+            // stage the results (dispatch order) — nothing touches the
+            // catalog yet
+            results.sort_by_key(|(si, _, _)| *si);
+            for (si, outcome, attempts) in results {
+                if si == usize::MAX {
+                    // dispatcher-side panic: not attributable to a
+                    // subgraph, always fatal
+                    recorder.incr_counter("engine.rollbacks", 1);
+                    return outcome.map(|_| RunReport::default());
                 }
-                sub_reports[si] = Some(SubgraphReport {
-                    target: if *fallback {
-                        TargetKind::Native
-                    } else {
-                        sub.target
-                    },
-                    fallback: *fallback,
-                    cubes: wanted,
+                let (sub, _, _) = &translated[si];
+                let wanted = self.targets_of(sub);
+                let staging = outcome.and_then(|ds| {
+                    let mut out = Vec::with_capacity(wanted.len());
+                    for id in &wanted {
+                        let data = ds.data(id).ok_or_else(|| {
+                            EngineError::Execution(format!("target produced no data for {id}"))
+                        })?;
+                        out.push((id.clone(), data.clone()));
+                    }
+                    Ok(out)
                 });
+                match staging {
+                    Ok(items) => {
+                        for (id, data) in items {
+                            staged.insert(id.clone(), data);
+                            commit_order.push(id.clone());
+                            report.computed.push(id);
+                        }
+                        sub_reports[si] = Some(self.make_report(
+                            si,
+                            &translated,
+                            SubgraphStatus::Computed,
+                            attempts,
+                            None,
+                        ));
+                    }
+                    Err(e) if policy.keep_going => {
+                        recorder.incr_counter("engine.subgraphs_failed", 1);
+                        poisoned.extend(wanted.iter().cloned());
+                        report.failed.extend(wanted.iter().cloned());
+                        sub_reports[si] = Some(self.make_report(
+                            si,
+                            &translated,
+                            SubgraphStatus::Failed,
+                            attempts,
+                            Some(e.to_string()),
+                        ));
+                    }
+                    Err(e) => {
+                        // default policy: abort the run; the staged
+                        // results are dropped and the catalog is untouched
+                        recorder.incr_counter("engine.rollbacks", 1);
+                        return Err(e);
+                    }
+                }
             }
         }
+        // the transactional commit: all-or-nothing, in dispatch order
+        let items: Vec<(CubeId, CubeData)> = commit_order
+            .into_iter()
+            .map(|id| {
+                let data = staged.get(&id).cloned().expect("staged all commits");
+                (id, data)
+            })
+            .collect();
+        self.catalog.commit_versions(items)?;
         report.subgraphs = sub_reports.into_iter().flatten().collect();
         Ok(report)
+    }
+
+    /// Build one subgraph's report entry.
+    fn make_report(
+        &self,
+        si: usize,
+        translated: &[(Subgraph, TargetCode, bool)],
+        status: SubgraphStatus,
+        attempts: Vec<Attempt>,
+        error: Option<String>,
+    ) -> SubgraphReport {
+        let (sub, _, fallback) = &translated[si];
+        SubgraphReport {
+            target: if *fallback {
+                TargetKind::Native
+            } else {
+                sub.target
+            },
+            fallback: *fallback,
+            cubes: self.targets_of(sub),
+            status,
+            attempts,
+            error,
+        }
+    }
+
+    /// Translate a subgraph for the native engine (the runtime fallback
+    /// chain's last resort).
+    fn native_code_for(&self, sub: &Subgraph) -> Result<TargetCode, EngineError> {
+        let statements: Vec<_> = sub
+            .statements
+            .iter()
+            .map(|&i| self.graph.statements()[i].clone())
+            .collect();
+        let inputs = input_schemas(&statements, &|id| self.catalog.schema(id).cloned())?;
+        let analyzed = subprogram(&statements, &inputs)?;
+        translate(&analyzed, TargetKind::Native)
     }
 
     /// Recompute every derived cube from all loaded elementary cubes.
@@ -422,23 +578,42 @@ impl ExlEngine {
             .collect()
     }
 
-    /// Snapshot the inputs a subgraph reads (cross-engine data movement:
-    /// the dispatcher "can provide them with the data they have to operate
-    /// on", §6).
-    fn prepare_inputs(&self, sub: &Subgraph) -> Result<exl_model::Dataset, EngineError> {
+    /// Ids of the external cubes a subgraph reads.
+    fn input_ids_of(&self, sub: &Subgraph) -> Result<Vec<CubeId>, EngineError> {
         let statements: Vec<_> = sub
             .statements
             .iter()
             .map(|&i| self.graph.statements()[i].clone())
             .collect();
         let schemas = input_schemas(&statements, &|id| self.catalog.schema(id).cloned())?;
-        let ids: Vec<CubeId> = schemas.iter().map(|s| s.id.clone()).collect();
-        let mut ds = self.catalog.snapshot(&ids)?;
+        Ok(schemas.into_iter().map(|s| s.id).collect())
+    }
+
+    /// Snapshot the inputs a subgraph reads (cross-engine data movement:
+    /// the dispatcher "can provide them with the data they have to operate
+    /// on", §6). Results of earlier subgraphs in the same run come from
+    /// the run's staging area — they are not in the catalog until the
+    /// end-of-run commit.
+    fn prepare_inputs_staged(
+        &self,
+        sub: &Subgraph,
+        staged: &BTreeMap<CubeId, CubeData>,
+    ) -> Result<exl_model::Dataset, EngineError> {
+        let statements: Vec<_> = sub
+            .statements
+            .iter()
+            .map(|&i| self.graph.statements()[i].clone())
+            .collect();
+        let schemas = input_schemas(&statements, &|id| self.catalog.schema(id).cloned())?;
         // the executors treat subgraph inputs as base data
         let mut fixed = exl_model::Dataset::new();
         for schema in schemas {
-            let cube = ds.remove(&schema.id).expect("snapshot covered ids");
-            fixed.put(exl_model::Cube::new(schema, cube.data));
+            let data = staged
+                .get(&schema.id)
+                .or_else(|| self.catalog.current(&schema.id))
+                .ok_or_else(|| EngineError::Catalog(format!("cube {} has no data yet", schema.id)))?
+                .clone();
+            fixed.put(exl_model::Cube::new(schema, data));
         }
         Ok(fixed)
     }

@@ -21,10 +21,39 @@ pub enum EngineError {
     },
     /// Execution failure on a target engine.
     Execution(String),
+    /// A subgraph execution exceeded its deadline (the worker is
+    /// abandoned; its eventual result is discarded).
+    Timeout {
+        /// The target that stalled.
+        target: String,
+        /// The deadline that was exceeded, in milliseconds.
+        millis: u64,
+    },
+    /// A backend panicked; the panic was contained by the dispatch
+    /// supervisor's fault boundary.
+    Panic {
+        /// The target that panicked.
+        target: String,
+        /// The panic payload, when it was a string.
+        message: String,
+    },
     /// Catalog inconsistency (unknown cube, duplicate definition, …).
     Catalog(String),
     /// Persistence (serde) failure.
     Persistence(String),
+}
+
+impl EngineError {
+    /// Whether the dispatch supervisor may retry after this error.
+    /// Execution failures, timeouts, and contained panics are presumed
+    /// transient (a backend hiccup); language, mapping, translation, and
+    /// catalog errors are deterministic and retrying cannot help.
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self,
+            EngineError::Execution(_) | EngineError::Timeout { .. } | EngineError::Panic { .. }
+        )
+    }
 }
 
 impl fmt::Display for EngineError {
@@ -37,6 +66,12 @@ impl fmt::Display for EngineError {
                 write!(f, "unsupported on target {target}: {reason}")
             }
             EngineError::Execution(m) => write!(f, "execution error: {m}"),
+            EngineError::Timeout { target, millis } => {
+                write!(f, "target {target} exceeded the {millis} ms deadline")
+            }
+            EngineError::Panic { target, message } => {
+                write!(f, "target {target} panicked: {message}")
+            }
             EngineError::Catalog(m) => write!(f, "catalog error: {m}"),
             EngineError::Persistence(m) => write!(f, "persistence error: {m}"),
         }

@@ -14,7 +14,10 @@
 //!   of the target engines;
 //! * [`engine`] — the dispatcher tying it together: plan, translate
 //!   (offline), execute per subgraph with cross-engine data movement and
-//!   optional stage-level parallelism, store results as new versions.
+//!   optional stage-level parallelism, store results as new versions;
+//! * [`supervise`] — the fault boundary around dispatch: panic
+//!   containment, per-subgraph deadlines, retries with backoff, the
+//!   runtime fallback chain, and the `keep_going` degradation mode.
 
 #![warn(missing_docs)]
 
@@ -22,12 +25,17 @@ pub mod catalog;
 pub mod determination;
 pub mod engine;
 pub mod error;
+pub mod supervise;
 pub mod target;
 
 pub use catalog::{Catalog, CubeMeta, CubeVersion};
 pub use determination::{GlobalGraph, Subgraph};
 pub use engine::{ExlEngine, RunReport, SubgraphReport};
 pub use error::EngineError;
+pub use supervise::{
+    run_on_target_supervised, run_supervised, Attempt, AttemptOutcome, DispatchPolicy,
+    SubgraphStatus,
+};
 pub use target::{
     execute, execute_recorded, run_on_target, run_on_target_recorded, translate, TargetCode,
     TargetKind,

@@ -137,6 +137,21 @@ impl TargetCode {
         }
     }
 
+    /// The [`TargetKind`] this code runs on.
+    pub fn target_kind(&self) -> TargetKind {
+        match self {
+            TargetCode::Native { .. } => TargetKind::Native,
+            TargetCode::Chase { .. } => TargetKind::Chase,
+            TargetCode::Sql { .. } => TargetKind::Sql,
+            TargetCode::R { .. } => TargetKind::R,
+            TargetCode::Matlab { .. } => TargetKind::Matlab,
+            TargetCode::Etl {
+                parallel: false, ..
+            } => TargetKind::Etl,
+            TargetCode::Etl { parallel: true, .. } => TargetKind::EtlParallel,
+        }
+    }
+
     /// A printable form of the generated artifact (for the examples and
     /// EXPERIMENTS documentation).
     pub fn listing(&self) -> String {
@@ -276,6 +291,9 @@ pub fn execute_recorded(
     recorder: &dyn exl_obs::Recorder,
 ) -> Result<Dataset, EngineError> {
     let _span = exl_obs::span(recorder, format!("target.execute.{}", code.target_name()));
+    // chaos hook: `exec.<target>` covers the whole backend execution
+    exl_fault::check(&format!("exec.{}", code.target_name()))
+        .map_err(|e| EngineError::Execution(e.to_string()))?;
     let full = match code {
         TargetCode::Native { analyzed } => exl_eval::run_program(analyzed, input)
             .map_err(|e| EngineError::Execution(e.to_string()))?,

@@ -231,3 +231,57 @@ fn errors_are_reported_with_nonzero_exit() {
         .unwrap()
         .contains("unknown command"));
 }
+
+const RUN_DATA: &str = r#"{ "A": [
+    [[{"Time": {"Quarter": {"year": 2020, "quarter": 1}}}], 1.5],
+    [[{"Time": {"Quarter": {"year": 2020, "quarter": 2}}}], 2.5]
+]}"#;
+
+#[test]
+fn unwritable_metrics_path_fails_before_running() {
+    let p = write_tmp("mval.exl", PROGRAM);
+    let out = exlc(&[
+        "--metrics",
+        "/nonexistent-dir/metrics.json",
+        "check",
+        p.to_str().unwrap(),
+    ]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("not writable"), "{stderr}");
+    // the diagnostic comes before anything ran: no program output at all
+    assert!(out.stdout.is_empty());
+}
+
+#[test]
+fn fault_flags_run_through_the_supervisor() {
+    let p = write_tmp("sup.exl", PROGRAM);
+    let d = write_tmp("sup.json", RUN_DATA);
+    for flags in [
+        &["--retries", "2"][..],
+        &["--subgraph-timeout-ms", "60000"][..],
+        &["--keep-going"][..],
+    ] {
+        let mut args: Vec<&str> = flags.to_vec();
+        args.extend(["run", p.to_str().unwrap(), d.to_str().unwrap()]);
+        let out = exlc(&args);
+        assert!(
+            out.status.success(),
+            "{flags:?}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let parsed: serde_json::Value =
+            serde_json::from_str(&String::from_utf8(out.stdout).unwrap()).unwrap();
+        assert_eq!(parsed["C"][1][1].as_f64(), Some(8.0), "{flags:?}");
+    }
+    // malformed values are rejected with a diagnostic
+    let out = exlc(&[
+        "--retries",
+        "many",
+        "run",
+        p.to_str().unwrap(),
+        d.to_str().unwrap(),
+    ]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8(out.stderr).unwrap().contains("--retries"));
+}

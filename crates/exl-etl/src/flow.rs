@@ -175,6 +175,10 @@ impl Flow {
     /// Execute the flow sequentially against a dataset, returning the
     /// produced cube data.
     pub fn run(&self, data: &Dataset) -> Result<CubeData, EtlError> {
+        if self.sources.is_empty() {
+            return Err(EtlError(format!("flow {}: no data sources", self.id)));
+        }
+        exl_fault::check("etl.flow").map_err(|e| EtlError(e.to_string()))?;
         // sources
         let mut streams: Vec<Vec<Row>> = Vec::with_capacity(self.sources.len());
         for s in &self.sources {
@@ -319,11 +323,10 @@ pub(crate) fn apply_transform(t: &TransformStep, rows: Vec<Row>) -> Result<Vec<R
                         return Err(EtlError(format!("calculator: missing field {name}")));
                     }
                 }
-                let v = expr.eval(&|name| {
-                    row.get(name)
-                        .and_then(|f| f.as_num())
-                        .expect("validated above")
-                });
+                // validated above; NaN (absorbed downstream by the finite
+                // filter) beats a panic if a row ever slips through
+                let v =
+                    expr.eval(&|name| row.get(name).and_then(|f| f.as_num()).unwrap_or(f64::NAN));
                 row.set(output.clone(), Field::Num(v));
                 Ok(row)
             })

@@ -44,7 +44,11 @@ pub fn tgd_to_flow(
                 )));
             };
             let time_field = src.dims[*tdim].name.clone();
-            let freq = src.dims[*tdim].ty.frequency().expect("time dim");
+            let freq = src.dims[*tdim].ty.frequency().ok_or_else(|| {
+                EtlError(format!(
+                    "{source}: dimension {time_field} has no time frequency"
+                ))
+            })?;
             let slice_fields: Vec<String> = src
                 .dims
                 .iter()
@@ -103,7 +107,10 @@ pub fn tgd_to_flow(
                 .collect();
 
             // merges on the shared dimension variables
-            let keys: Vec<String> = lhs[0]
+            let first = lhs
+                .first()
+                .ok_or_else(|| EtlError(format!("tgd {id}: empty body")))?;
+            let keys: Vec<String> = first
                 .dim_terms
                 .iter()
                 .map(|t| t.var_name().to_string())

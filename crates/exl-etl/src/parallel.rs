@@ -51,6 +51,7 @@ pub fn run_flow_parallel_recorded(
     if flow.sources.is_empty() {
         return Err(EtlError(format!("flow {}: no data sources", flow.id)));
     }
+    exl_fault::check("etl.flow").map_err(|e| EtlError(e.to_string()))?;
 
     std::thread::scope(|scope| -> Result<CubeData, EtlError> {
         // source stages

@@ -1,0 +1,384 @@
+//! # exl-fault — deterministic, seed-driven fault injection
+//!
+//! Chaos testing for the dispatch path: the engine, the parallel ETL
+//! runner, and the mini interpreters call [`check`] at named *sites*
+//! (e.g. `exec.sql`, `etl.flow`, `rmini.run`). In production the check is
+//! a single relaxed atomic load and nothing else. In a chaos test, a
+//! [`FaultPlan`] is [`install`]ed — "make the *Nth* execution of site *S*
+//! fail / panic / stall" — and the chosen executions misbehave exactly as
+//! planned, so every chaos run is reproducible from its seed.
+//!
+//! Installation is process-global (the instrumented code must not carry
+//! an injector through every signature), therefore [`install`] serializes
+//! installers: the returned [`FaultGuard`] holds a global lock, so two
+//! chaos tests in one test binary never see each other's plan. Dropping
+//! the guard disarms injection.
+//!
+//! The known sites are listed in [`SITES`]; [`FaultPlan::from_seed`]
+//! picks one site, occurrence, and action from a seed (splitmix64, no
+//! RNG dependency), which is what `scripts/chaos.sh` sweeps.
+
+#![warn(missing_docs)]
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, MutexGuard, PoisonError};
+use std::time::Duration;
+
+/// Injection sites instrumented across the workspace. Seed-driven plans
+/// draw from this list; ad-hoc plans may name any site string.
+pub const SITES: &[&str] = &[
+    "exec.native",
+    "exec.chase",
+    "exec.sql",
+    "exec.r",
+    "exec.matlab",
+    "exec.etl",
+    "exec.etl-parallel",
+    "etl.flow",
+    "rmini.run",
+    "matmini.run",
+    "sqlengine.execute",
+];
+
+/// What an armed site does to the execution that trips it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Return an injected error from the site.
+    Error,
+    /// Panic at the site (exercises panic isolation).
+    Panic,
+    /// Sleep for the given number of milliseconds, then continue
+    /// (exercises deadlines); the execution itself succeeds.
+    Delay(u64),
+}
+
+impl FaultAction {
+    fn name(&self) -> &'static str {
+        match self {
+            FaultAction::Error => "error",
+            FaultAction::Panic => "panic",
+            FaultAction::Delay(_) => "delay",
+        }
+    }
+}
+
+/// One planned fault: the `nth` execution (1-based) of `site` performs
+/// `action`. `nth == 0` arms *every* execution of the site.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultSpec {
+    /// Site name, as passed to [`check`].
+    pub site: String,
+    /// 1-based occurrence to trip, or 0 for every occurrence.
+    pub nth: u64,
+    /// What happens.
+    pub action: FaultAction,
+}
+
+/// A set of planned faults, installed together.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// The planned faults.
+    pub specs: Vec<FaultSpec>,
+}
+
+impl FaultPlan {
+    /// Empty plan (installing it still counts site executions).
+    pub fn new() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// Plan one injected error on the first execution of `site`.
+    pub fn fail_once(site: &str) -> FaultPlan {
+        FaultPlan::one(site, 1, FaultAction::Error)
+    }
+
+    /// Plan one panic on the first execution of `site`.
+    pub fn panic_once(site: &str) -> FaultPlan {
+        FaultPlan::one(site, 1, FaultAction::Panic)
+    }
+
+    /// Plan a delay of `millis` on the first execution of `site`.
+    pub fn delay_once(site: &str, millis: u64) -> FaultPlan {
+        FaultPlan::one(site, 1, FaultAction::Delay(millis))
+    }
+
+    /// Plan an injected error on *every* execution of `site` (a backend
+    /// that is down, not merely flaky).
+    pub fn fail_always(site: &str) -> FaultPlan {
+        FaultPlan::one(site, 0, FaultAction::Error)
+    }
+
+    /// Plan a single fault.
+    pub fn one(site: &str, nth: u64, action: FaultAction) -> FaultPlan {
+        FaultPlan {
+            specs: vec![FaultSpec {
+                site: site.to_string(),
+                nth,
+                action,
+            }],
+        }
+    }
+
+    /// Add another fault to the plan.
+    pub fn and(mut self, site: &str, nth: u64, action: FaultAction) -> FaultPlan {
+        self.specs.push(FaultSpec {
+            site: site.to_string(),
+            nth,
+            action,
+        });
+        self
+    }
+
+    /// Derive a one-fault plan deterministically from a seed: pick a site
+    /// from `sites`, an occurrence in `1..=3`, and an error-or-panic
+    /// action. The same seed always yields the same plan.
+    pub fn from_seed(seed: u64, sites: &[&str]) -> FaultPlan {
+        assert!(!sites.is_empty(), "from_seed needs at least one site");
+        let mut s = seed;
+        let site = sites[(splitmix64(&mut s) % sites.len() as u64) as usize];
+        let nth = 1 + splitmix64(&mut s) % 3;
+        let action = if splitmix64(&mut s).is_multiple_of(2) {
+            FaultAction::Error
+        } else {
+            FaultAction::Panic
+        };
+        FaultPlan::one(site, nth, action)
+    }
+}
+
+/// The standard 64-bit splitmix step — deterministic, dependency-free.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The error an armed site returns. Backends wrap it into their own
+/// error types; the supervisor treats it as a retryable execution error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultError {
+    /// The site that fired.
+    pub site: String,
+}
+
+impl fmt::Display for FaultError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "injected fault at {}", self.site)
+    }
+}
+
+impl std::error::Error for FaultError {}
+
+/// A fault that actually fired during the installed plan's lifetime.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FiredFault {
+    /// Site name.
+    pub site: String,
+    /// Which execution tripped (1-based).
+    pub occurrence: u64,
+    /// Action name: `error`, `panic`, or `delay`.
+    pub action: &'static str,
+}
+
+#[derive(Debug, Default)]
+struct ActiveState {
+    specs: Vec<FaultSpec>,
+    counts: BTreeMap<String, u64>,
+    fired: Vec<FiredFault>,
+}
+
+static ARMED: AtomicBool = AtomicBool::new(false);
+static STATE: Mutex<Option<ActiveState>> = Mutex::new(None);
+/// Serializes installers so concurrent chaos tests cannot interleave.
+static INSTALL_LOCK: Mutex<()> = Mutex::new(());
+
+fn state() -> MutexGuard<'static, Option<ActiveState>> {
+    // a panic while holding the state lock is an injected panic, not a
+    // corrupted state: keep going
+    STATE.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Arms a [`FaultPlan`]; disarms and releases the installer lock on drop.
+#[must_use = "the plan is disarmed when the guard drops"]
+pub struct FaultGuard {
+    _lock: MutexGuard<'static, ()>,
+}
+
+impl FaultGuard {
+    /// Faults that have fired so far under this installation.
+    pub fn fired(&self) -> Vec<FiredFault> {
+        state()
+            .as_ref()
+            .map(|s| s.fired.clone())
+            .unwrap_or_default()
+    }
+
+    /// Number of faults fired so far.
+    pub fn fired_count(&self) -> usize {
+        state().as_ref().map(|s| s.fired.len()).unwrap_or(0)
+    }
+}
+
+impl Drop for FaultGuard {
+    fn drop(&mut self) {
+        ARMED.store(false, Ordering::SeqCst);
+        *state() = None;
+    }
+}
+
+/// Install a fault plan process-wide. Blocks until any previously
+/// installed plan is dropped; injection stays armed until the returned
+/// guard drops.
+pub fn install(plan: FaultPlan) -> FaultGuard {
+    let lock = INSTALL_LOCK.lock().unwrap_or_else(PoisonError::into_inner);
+    *state() = Some(ActiveState {
+        specs: plan.specs,
+        counts: BTreeMap::new(),
+        fired: Vec::new(),
+    });
+    ARMED.store(true, Ordering::SeqCst);
+    FaultGuard { _lock: lock }
+}
+
+/// The per-site hook the instrumented code calls. Free when no plan is
+/// installed (one atomic load). With a plan armed: counts the execution,
+/// and if a spec matches this occurrence, performs its action — returns
+/// `Err` for [`FaultAction::Error`], panics for [`FaultAction::Panic`],
+/// sleeps then returns `Ok` for [`FaultAction::Delay`].
+pub fn check(site: &str) -> Result<(), FaultError> {
+    if !ARMED.load(Ordering::Relaxed) {
+        return Ok(());
+    }
+    let action = {
+        let mut guard = state();
+        let Some(active) = guard.as_mut() else {
+            return Ok(());
+        };
+        let count = active.counts.entry(site.to_string()).or_insert(0);
+        *count += 1;
+        let occurrence = *count;
+        let Some(spec) = active
+            .specs
+            .iter()
+            .find(|s| s.site == site && (s.nth == 0 || s.nth == occurrence))
+        else {
+            return Ok(());
+        };
+        let action = spec.action.clone();
+        active.fired.push(FiredFault {
+            site: site.to_string(),
+            occurrence,
+            action: action.name(),
+        });
+        action
+        // the state lock drops here — never panic or sleep under it
+    };
+    match action {
+        FaultAction::Error => Err(FaultError {
+            site: site.to_string(),
+        }),
+        FaultAction::Panic => panic!("injected panic at {site}"),
+        FaultAction::Delay(millis) => {
+            std::thread::sleep(Duration::from_millis(millis));
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disarmed_check_is_free() {
+        assert_eq!(check("exec.native"), Ok(()));
+    }
+
+    #[test]
+    fn nth_occurrence_fires_once() {
+        let guard = install(FaultPlan::one("s", 2, FaultAction::Error));
+        assert!(check("s").is_ok()); // 1st
+        let err = check("s").unwrap_err(); // 2nd
+        assert_eq!(err.site, "s");
+        assert!(err.to_string().contains("injected fault"));
+        assert!(check("s").is_ok()); // 3rd
+        assert!(check("other").is_ok());
+        let fired = guard.fired();
+        assert_eq!(fired.len(), 1);
+        assert_eq!(fired[0].occurrence, 2);
+        assert_eq!(fired[0].action, "error");
+    }
+
+    #[test]
+    fn always_spec_fires_every_time() {
+        let guard = install(FaultPlan::fail_always("down"));
+        assert!(check("down").is_err());
+        assert!(check("down").is_err());
+        assert_eq!(guard.fired_count(), 2);
+    }
+
+    #[test]
+    fn guard_drop_disarms() {
+        {
+            let _guard = install(FaultPlan::fail_once("s"));
+            assert!(check("s").is_err());
+        }
+        assert!(check("s").is_ok());
+    }
+
+    #[test]
+    fn injected_panic_propagates() {
+        let _guard = install(FaultPlan::panic_once("p"));
+        let caught = std::panic::catch_unwind(|| check("p"));
+        let msg = *caught.unwrap_err().downcast::<String>().unwrap();
+        assert!(msg.contains("injected panic at p"), "{msg}");
+    }
+
+    #[test]
+    fn delay_sleeps_then_succeeds() {
+        let _guard = install(FaultPlan::delay_once("d", 20));
+        let start = std::time::Instant::now();
+        assert!(check("d").is_ok());
+        assert!(start.elapsed() >= Duration::from_millis(20));
+        // second execution is undelayed
+        let start = std::time::Instant::now();
+        assert!(check("d").is_ok());
+        assert!(start.elapsed() < Duration::from_millis(20));
+    }
+
+    #[test]
+    fn seeded_plans_are_deterministic_and_cover_sites() {
+        let mut distinct = std::collections::BTreeSet::new();
+        for seed in 0..64 {
+            let a = FaultPlan::from_seed(seed, SITES);
+            let b = FaultPlan::from_seed(seed, SITES);
+            assert_eq!(a, b);
+            assert_eq!(a.specs.len(), 1);
+            assert!(SITES.contains(&a.specs[0].site.as_str()));
+            assert!((1..=3).contains(&a.specs[0].nth));
+            distinct.insert(a.specs[0].site.clone());
+        }
+        // 64 seeds reach a healthy spread of sites
+        assert!(distinct.len() >= SITES.len() / 2, "{distinct:?}");
+    }
+
+    #[test]
+    fn install_serializes_concurrent_plans() {
+        let t = std::thread::spawn(|| {
+            let _g = install(FaultPlan::fail_once("a"));
+            assert!(check("a").is_err());
+            std::thread::sleep(Duration::from_millis(10));
+            // still our plan: "b" does not fire
+            assert!(check("b").is_ok());
+        });
+        std::thread::sleep(Duration::from_millis(2));
+        let g2 = install(FaultPlan::fail_once("b")); // blocks until t's guard drops
+        assert!(check("b").is_err());
+        drop(g2);
+        t.join().unwrap();
+    }
+}

@@ -449,6 +449,7 @@ impl MatInterp {
 
     /// Run a script.
     pub fn run(&mut self, src: &str) -> Result<(), MatError> {
+        exl_fault::check("matmini.run").map_err(|e| MatError::eval(e.to_string()))?;
         for stmt in parse(src)? {
             self.exec(&stmt)?;
         }

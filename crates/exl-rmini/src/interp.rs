@@ -71,6 +71,7 @@ impl RInterp {
 
     /// Run a script.
     pub fn run(&mut self, src: &str) -> Result<(), RError> {
+        exl_fault::check("rmini.run").map_err(|e| RError::eval(e.to_string()))?;
         for stmt in parse(src)? {
             self.exec(&stmt)?;
         }

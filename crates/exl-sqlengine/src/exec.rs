@@ -27,6 +27,7 @@ impl Engine {
 
     /// Execute one SQL statement; `Some(table)` is returned for SELECT.
     pub fn execute(&mut self, sql: &str) -> Result<Option<Table>, SqlError> {
+        exl_fault::check("sqlengine.execute").map_err(|e| SqlError::Execution(e.to_string()))?;
         let mut last = None;
         for stmt in parse_script(sql)? {
             last = self.execute_stmt(stmt)?;

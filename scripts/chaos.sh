@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Chaos matrix: run the fault-injection test suite across a set of seeds.
+#
+# Each seed drives exl_fault::FaultPlan::from_seed, which picks a backend
+# execution site, an occurrence (1..=3), and an error-or-panic action
+# deterministically. The seeded test requires the engine to converge to
+# the reference result under retries no matter where the fault lands; the
+# rest of the chaos suite (atomicity, keep_going, panic containment,
+# deadlines, fallback) runs alongside it on every seed.
+#
+# Usage: scripts/chaos.sh [seed ...]    (default: 0..7)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+seeds=("$@")
+if [ ${#seeds[@]} -eq 0 ]; then
+    seeds=(0 1 2 3 4 5 6 7)
+fi
+
+for seed in "${seeds[@]}"; do
+    echo "== chaos seed $seed =="
+    CHAOS_SEED="$seed" cargo test -q -p exl-integration-tests --test chaos
+done
+
+echo "chaos matrix passed (${#seeds[@]} seeds)"

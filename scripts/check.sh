@@ -8,12 +8,16 @@ cargo fmt --all -- --check
 
 echo "== clippy =="
 cargo clippy --workspace --tests -- -D warnings
+cargo clippy --workspace -- -D warnings
 
 echo "== docs =="
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps
 
 echo "== tier-1 =="
 cargo build --release && cargo test -q
+
+echo "== chaos =="
+scripts/chaos.sh 0 1 2 3
 
 echo "== examples =="
 for ex in quickstart multi_target production_pipeline data_exchange seasonal_adjustment; do
