@@ -77,8 +77,30 @@ pub fn chase_recorded(
     mode: ChaseMode,
     recorder: &dyn exl_obs::Recorder,
 ) -> Result<ChaseResult, ChaseError> {
+    chase_traced(
+        mapping,
+        schemas,
+        source,
+        mode,
+        recorder,
+        &exl_obs::Span::disabled(),
+    )
+}
+
+/// [`chase_recorded`] with hierarchical tracing: each tgd application
+/// becomes a `chase.tgd` child span of `trace`, carrying the target
+/// relation, its dependency relations, and the homomorphism/fact counts
+/// of that step — the chase's contribution to the run's lineage tree.
+pub fn chase_traced(
+    mapping: &Mapping,
+    schemas: &BTreeMap<CubeId, CubeSchema>,
+    source: &Dataset,
+    mode: ChaseMode,
+    recorder: &dyn exl_obs::Recorder,
+    trace: &exl_obs::Span,
+) -> Result<ChaseResult, ChaseError> {
     let _span = exl_obs::span(recorder, "chase.run");
-    let result = chase_inner(mapping, schemas, source, mode);
+    let result = chase_inner(mapping, schemas, source, mode, trace);
     if let Ok(r) = &result {
         recorder.incr_counter("chase.applications", r.stats.applications as u64);
         recorder.incr_counter("chase.homomorphisms", r.stats.homomorphisms as u64);
@@ -88,11 +110,39 @@ pub fn chase_recorded(
     result
 }
 
+/// Apply one statement tgd under a `chase.tgd` span recording the step's
+/// provenance: which relation it populates, which it reads, and how much
+/// work the application did.
+fn apply_tgd_traced(
+    tgd: &exl_map::dep::Tgd,
+    instance: &mut Instance,
+    schemas: &BTreeMap<CubeId, CubeSchema>,
+    trace: &exl_obs::Span,
+) -> Result<crate::apply::ApplyStats, ChaseError> {
+    let span = trace.child("chase.tgd");
+    if span.is_enabled() {
+        span.set_attr("cube", tgd.target_relation().to_string());
+        let deps: Vec<String> = tgd
+            .source_relations()
+            .iter()
+            .map(|r| r.to_string())
+            .collect();
+        span.set_attr("reads", deps.join(","));
+    }
+    let applied = apply_tgd(tgd, instance, schemas)?;
+    if span.is_enabled() {
+        span.set_attr("homomorphisms", applied.homomorphisms as u64);
+        span.set_attr("new_facts", applied.new_facts as u64);
+    }
+    Ok(applied)
+}
+
 fn chase_inner(
     mapping: &Mapping,
     schemas: &BTreeMap<CubeId, CubeSchema>,
     source: &Dataset,
     mode: ChaseMode,
+    trace: &exl_obs::Span,
 ) -> Result<ChaseResult, ChaseError> {
     // The running instance starts as ⟨I, ∅⟩; applying Σst copies the
     // source relations into their target counterparts. We keep source and
@@ -112,7 +162,7 @@ fn chase_inner(
         ChaseMode::Stratified => {
             stats.passes = 1;
             for tgd in &mapping.statement_tgds {
-                let a = apply_tgd(tgd, &mut instance, schemas)?;
+                let a = apply_tgd_traced(tgd, &mut instance, schemas, trace)?;
                 stats.applications += 1;
                 stats.homomorphisms += a.homomorphisms;
                 stats.facts_generated += a.new_facts;
@@ -133,7 +183,7 @@ fn chase_inner(
                 }
                 let mut added = 0;
                 for tgd in &mapping.statement_tgds {
-                    let a = apply_tgd(tgd, &mut instance, schemas)?;
+                    let a = apply_tgd_traced(tgd, &mut instance, schemas, trace)?;
                     stats.applications += 1;
                     stats.homomorphisms += a.homomorphisms;
                     stats.facts_generated += a.new_facts;

@@ -14,11 +14,22 @@
 //!                                          elementary cube from the directory
 //! ```
 //!
+//! ```text
+//! exlc explain <program.exl> <data.json|dir> <cube>
+//!                                          run traced, then print the
+//!                                          derivation chain of one cube
+//! ```
+//!
 //! The global option `--metrics <path>` (before or after the subcommand)
 //! records structured run metrics — spans, counters, gauges — and writes
 //! them to `<path>` as JSON when the command finishes. The path is
 //! validated (created or opened for writing) **before** anything runs, so
-//! a bad path fails fast instead of after a long computation.
+//! a bad path fails fast instead of after a long computation. Likewise
+//! `--trace <path>` records the hierarchical span tree of the run and
+//! writes it as Chrome trace-event JSON (loadable in Perfetto / Chrome's
+//! `about:tracing`; see `docs/TRACING.md`), and `--progress` prints one
+//! stderr line per completed subgraph. Every global flag may be given at
+//! most once; repeats are rejected with a diagnostic.
 //!
 //! Fault-handling options for `run` (accepted anywhere on the line):
 //!
@@ -48,44 +59,69 @@ macro_rules! out {
 
 use std::sync::Arc;
 
-use exl_engine::{translate, DispatchPolicy, TargetKind};
+use exl_engine::{
+    translate, DispatchPolicy, ExlEngine, LineageReport, ProgressSink, SubgraphStatus, TargetKind,
+};
 use exl_model::{Cube, CubeData, Dataset, DimTuple};
-use exl_obs::{MetricsRegistry, NoopRecorder, Recorder};
+use exl_obs::{MetricsRegistry, NoopRecorder, Recorder, Tracer};
+
+/// Everything pulled off the command line before the subcommand runs.
+struct Globals {
+    metrics_path: Option<String>,
+    trace_path: Option<String>,
+    progress: bool,
+    policy: Option<DispatchPolicy>,
+}
 
 fn main() -> ExitCode {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
-    let (metrics_path, policy) =
-        match extract_metrics_path(&mut args).and_then(|m| Ok((m, extract_policy(&mut args)?))) {
-            Ok(v) => v,
-            Err(msg) => {
-                eprintln!("exlc: {msg}");
+    let globals = match extract_globals(&mut args) {
+        Ok(g) => g,
+        Err(msg) => {
+            eprintln!("exlc: {msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // fail fast on an unwritable output path: better a diagnostic now
+    // than a lost run later
+    for (path, what) in [
+        (&globals.metrics_path, "metrics"),
+        (&globals.trace_path, "trace"),
+    ] {
+        if let Some(path) = path {
+            if let Err(e) = std::fs::OpenOptions::new()
+                .write(true)
+                .create(true)
+                .truncate(false)
+                .open(path)
+            {
+                eprintln!("exlc: {what} path {path} is not writable: {e}");
                 return ExitCode::FAILURE;
             }
-        };
-    // fail fast on an unwritable metrics path: better a diagnostic now
-    // than a lost run later
-    if let Some(path) = &metrics_path {
-        if let Err(e) = std::fs::OpenOptions::new()
-            .write(true)
-            .create(true)
-            .truncate(false)
-            .open(path)
-        {
-            eprintln!("exlc: metrics path {path} is not writable: {e}");
-            return ExitCode::FAILURE;
         }
     }
     let registry = Arc::new(MetricsRegistry::new());
-    let recorder: &dyn Recorder = if metrics_path.is_some() {
+    let recorder: &dyn Recorder = if globals.metrics_path.is_some() {
         registry.as_ref()
     } else {
         &NoopRecorder
     };
-    let metrics = metrics_path.is_some().then_some(&registry);
-    let outcome = run(&args, recorder, metrics, &policy);
-    if let Some(path) = metrics_path {
-        if let Err(e) = std::fs::write(&path, registry.to_json()) {
+    let metrics = globals.metrics_path.is_some().then_some(&registry);
+    let tracer = if globals.trace_path.is_some() {
+        Tracer::new()
+    } else {
+        Tracer::disabled()
+    };
+    let outcome = run(&args, recorder, metrics, &globals, &tracer);
+    if let Some(path) = &globals.metrics_path {
+        if let Err(e) = std::fs::write(path, registry.to_json()) {
             eprintln!("exlc: cannot write metrics to {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    if let Some(path) = &globals.trace_path {
+        if let Err(e) = std::fs::write(path, tracer.snapshot().to_chrome_json()) {
+            eprintln!("exlc: cannot write trace to {path}: {e}");
             return ExitCode::FAILURE;
         }
     }
@@ -98,17 +134,19 @@ fn main() -> ExitCode {
     }
 }
 
-/// Pull `--metrics <path>` (anywhere on the command line) out of `args`.
-fn extract_metrics_path(args: &mut Vec<String>) -> Result<Option<String>, String> {
-    let Some(i) = args.iter().position(|a| a == "--metrics") else {
-        return Ok(None);
-    };
-    if i + 1 >= args.len() {
-        return Err("--metrics requires a file path argument".into());
-    }
-    let path = args.remove(i + 1);
-    args.remove(i);
-    Ok(Some(path))
+/// Pull every global flag (accepted anywhere on the line) out of `args`,
+/// leaving only the subcommand and its positional arguments.
+fn extract_globals(args: &mut Vec<String>) -> Result<Globals, String> {
+    let metrics_path = extract_value_flag(args, "--metrics")?;
+    let trace_path = extract_value_flag(args, "--trace")?;
+    let progress = extract_bool_flag(args, "--progress")?;
+    let policy = extract_policy(args)?;
+    Ok(Globals {
+        metrics_path,
+        trace_path,
+        progress,
+        policy,
+    })
 }
 
 /// Pull the fault-handling flags out of `args`. Returns the default
@@ -130,15 +168,15 @@ fn extract_policy(args: &mut Vec<String>) -> Result<Option<DispatchPolicy>, Stri
         policy.subgraph_timeout = Some(std::time::Duration::from_millis(ms));
         any = true;
     }
-    if let Some(i) = args.iter().position(|a| a == "--keep-going") {
-        args.remove(i);
+    if extract_bool_flag(args, "--keep-going")? {
         policy.keep_going = true;
         any = true;
     }
     Ok(any.then_some(policy))
 }
 
-/// Pull `<flag> <value>` out of `args`.
+/// Pull `<flag> <value>` out of `args`. A repeated flag is rejected: the
+/// two occurrences would silently shadow each other otherwise.
 fn extract_value_flag(args: &mut Vec<String>, flag: &str) -> Result<Option<String>, String> {
     let Some(i) = args.iter().position(|a| a == flag) else {
         return Ok(None);
@@ -148,23 +186,46 @@ fn extract_value_flag(args: &mut Vec<String>, flag: &str) -> Result<Option<Strin
     }
     let value = args.remove(i + 1);
     args.remove(i);
+    if args.iter().any(|a| a == flag) {
+        return Err(format!(
+            "duplicate {flag} flag (it was given more than once; keep exactly one)"
+        ));
+    }
     Ok(Some(value))
+}
+
+/// Pull a boolean `<flag>` out of `args`, rejecting repeats like
+/// [`extract_value_flag`].
+fn extract_bool_flag(args: &mut Vec<String>, flag: &str) -> Result<bool, String> {
+    let Some(i) = args.iter().position(|a| a == flag) else {
+        return Ok(false);
+    };
+    args.remove(i);
+    if args.iter().any(|a| a == flag) {
+        return Err(format!(
+            "duplicate {flag} flag (it was given more than once; keep exactly one)"
+        ));
+    }
+    Ok(true)
 }
 
 fn run(
     args: &[String],
     recorder: &dyn Recorder,
     metrics: Option<&Arc<MetricsRegistry>>,
-    policy: &Option<DispatchPolicy>,
+    globals: &Globals,
+    tracer: &Tracer,
 ) -> Result<(), String> {
-    let usage = "usage: exlc [--metrics <path>] [--retries <n>] [--subgraph-timeout-ms <n>] \
-                 [--keep-going] <check|tgds|translate|run> …  (see crate docs)";
+    let usage = "usage: exlc [--metrics <path>] [--trace <path>] [--progress] [--retries <n>] \
+                 [--subgraph-timeout-ms <n>] [--keep-going] <check|tgds|translate|run|explain> …  \
+                 (see crate docs)";
     match args {
         [cmd, rest @ ..] => match cmd.as_str() {
             "check" => check(rest, recorder),
             "tgds" => tgds(rest, recorder),
             "translate" => do_translate(rest, recorder),
-            "run" => do_run(rest, recorder, metrics, policy),
+            "run" => do_run(rest, recorder, metrics, globals, tracer),
+            "explain" => explain(rest, recorder, metrics, globals, tracer),
             other => Err(format!("unknown command `{other}`\n{usage}")),
         },
         _ => Err(usage.to_string()),
@@ -233,18 +294,9 @@ fn do_translate(args: &[String], recorder: &dyn Recorder) -> Result<(), String> 
 
 type JsonCube = Vec<(DimTuple, f64)>;
 
-fn do_run(
-    args: &[String],
-    recorder: &dyn Recorder,
-    metrics: Option<&Arc<MetricsRegistry>>,
-    policy: &Option<DispatchPolicy>,
-) -> Result<(), String> {
-    let (path, data_path, target) = match args {
-        [p, d] => (p, d, TargetKind::Native),
-        [p, d, t] => (p, d, parse_target(t)?),
-        _ => return Err("usage: exlc run <program.exl> <data.json|dir> [target]".into()),
-    };
-    let analyzed = load_program(path, recorder)?;
+/// Load the input dataset for a program: either a JSON file of cube
+/// tuples, or a directory holding one `<CUBE>.csv` per elementary input.
+fn load_input(data_path: &str, analyzed: &exl_lang::AnalyzedProgram) -> Result<Dataset, String> {
     let mut input = Dataset::new();
     if std::fs::metadata(data_path)
         .map(|m| m.is_dir())
@@ -276,33 +328,151 @@ fn do_run(
                 .map_err(|e| e.to_string())?;
         }
     }
+    Ok(input)
+}
 
-    let output = if let Some(policy) = policy {
-        // fault-handling flags were given: run under the dispatch
-        // supervisor (which records the subgraph span per attempt)
-        let (output, attempts) =
-            exl_engine::run_on_target_supervised(&analyzed, &input, target, policy, metrics)
-                .map_err(|e| e.to_string())?;
-        if attempts.len() > 1 {
-            eprintln!("exlc: run succeeded after {} attempts", attempts.len());
-        }
-        output
-    } else {
-        // the whole program runs as one subgraph on the chosen target
-        let _span = exl_obs::span(recorder, format!("engine.subgraph.{target}"));
-        exl_engine::run_on_target_recorded(&analyzed, &input, target, recorder)
-            .map_err(|e| e.to_string())?
-    };
-    let mut result: BTreeMap<String, JsonCube> = BTreeMap::new();
-    for id in analyzed.program.derived_ids() {
-        let data = output
+/// Build a full [`ExlEngine`] wired to the CLI's tracer, metrics
+/// registry, policy and progress sink, with the program registered and
+/// its elementary inputs loaded.
+fn build_engine(
+    path: &str,
+    analyzed: &exl_lang::AnalyzedProgram,
+    input: &Dataset,
+    metrics: Option<&Arc<MetricsRegistry>>,
+    globals: &Globals,
+    tracer: &Tracer,
+) -> Result<ExlEngine, String> {
+    let source = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let mut e = ExlEngine::new();
+    e.set_tracer(tracer.clone());
+    if let Some(registry) = metrics {
+        e.set_metrics_registry(registry.clone());
+    }
+    if let Some(policy) = &globals.policy {
+        e.policy = policy.clone();
+    }
+    if globals.progress {
+        e.progress = Some(ProgressSink::new(|ev| {
+            let status = match ev.status {
+                SubgraphStatus::Computed => "computed",
+                SubgraphStatus::Failed => "failed",
+                SubgraphStatus::Skipped => "skipped",
+            };
+            let cubes: Vec<String> = ev.cubes.iter().map(|c| c.to_string()).collect();
+            eprintln!(
+                "exlc: [{}/{}] {status} {} on {}",
+                ev.done,
+                ev.total,
+                cubes.join(","),
+                ev.target.name()
+            );
+        }));
+    }
+    e.register_program("main", &source)
+        .map_err(|e| e.to_string())?;
+    for id in analyzed.elementary_inputs() {
+        let data = input
             .data(&id)
-            .ok_or_else(|| format!("target produced no data for {id}"))?;
-        result.insert(id.to_string(), data.to_tuples());
+            .ok_or_else(|| format!("no data for elementary cube {id}"))?;
+        e.load_elementary(&id, data.clone())
+            .map_err(|e| e.to_string())?;
+    }
+    Ok(e)
+}
+
+fn do_run(
+    args: &[String],
+    recorder: &dyn Recorder,
+    metrics: Option<&Arc<MetricsRegistry>>,
+    globals: &Globals,
+    tracer: &Tracer,
+) -> Result<(), String> {
+    let (path, data_path, target) = match args {
+        [p, d] => (p, d, TargetKind::Native),
+        [p, d, t] => (p, d, parse_target(t)?),
+        _ => return Err("usage: exlc run <program.exl> <data.json|dir> [target]".into()),
+    };
+    let analyzed = load_program(path, recorder)?;
+    let input = load_input(data_path, &analyzed)?;
+    let keep_going = globals
+        .policy
+        .as_ref()
+        .is_some_and(|policy| policy.keep_going);
+
+    let mut result: BTreeMap<String, JsonCube> = BTreeMap::new();
+    if globals.trace_path.is_some() || globals.progress {
+        // tracing or progress asked for: run through the full engine so
+        // the span tree covers real per-subgraph dispatch
+        let mut e = build_engine(path, &analyzed, &input, metrics, globals, tracer)?;
+        e.default_target = target;
+        e.run_all().map_err(|e| e.to_string())?;
+        for id in analyzed.program.derived_ids() {
+            match e.data(&id) {
+                Some(data) => {
+                    result.insert(id.to_string(), data.to_tuples());
+                }
+                None if keep_going => {}
+                None => return Err(format!("target produced no data for {id}")),
+            }
+        }
+    } else {
+        let output = if let Some(policy) = &globals.policy {
+            // fault-handling flags were given: run under the dispatch
+            // supervisor (which records the subgraph span per attempt)
+            let (output, attempts) =
+                exl_engine::run_on_target_supervised(&analyzed, &input, target, policy, metrics)
+                    .map_err(|e| e.to_string())?;
+            if attempts.len() > 1 {
+                eprintln!("exlc: run succeeded after {} attempts", attempts.len());
+            }
+            output
+        } else {
+            // the whole program runs as one subgraph on the chosen target
+            let _span = exl_obs::span(recorder, format!("engine.subgraph.{target}"));
+            exl_engine::run_on_target_recorded(&analyzed, &input, target, recorder)
+                .map_err(|e| e.to_string())?
+        };
+        for id in analyzed.program.derived_ids() {
+            let data = output
+                .data(&id)
+                .ok_or_else(|| format!("target produced no data for {id}"))?;
+            result.insert(id.to_string(), data.to_tuples());
+        }
     }
     out!(
         "{}",
         serde_json::to_string_pretty(&result).map_err(|e| e.to_string())?
     );
+    Ok(())
+}
+
+fn explain(
+    args: &[String],
+    recorder: &dyn Recorder,
+    metrics: Option<&Arc<MetricsRegistry>>,
+    globals: &Globals,
+    tracer: &Tracer,
+) -> Result<(), String> {
+    let [path, data_path, cube] = args else {
+        return Err("usage: exlc explain <program.exl> <data.json|dir> <cube>".into());
+    };
+    let analyzed = load_program(path, recorder)?;
+    let id = cube.as_str().into();
+    if !analyzed.schemas.contains_key(&id) {
+        return Err(format!("unknown cube `{cube}` in {path}"));
+    }
+    let input = load_input(data_path, &analyzed)?;
+    // explain needs span data: reuse the CLI tracer when --trace armed
+    // one (so the trace file also captures this run), else arm our own
+    let tracer = if tracer.is_enabled() {
+        tracer.clone()
+    } else {
+        Tracer::new()
+    };
+    let mut e = build_engine(path, &analyzed, &input, metrics, globals, &tracer)?;
+    e.apply_suggested_affinities().map_err(|e| e.to_string())?;
+    e.run_all().map_err(|e| e.to_string())?;
+    let report = LineageReport::from_trace(&tracer.snapshot(), e.graph());
+    out!("{}", report.chain_text(&id).trim_end());
     Ok(())
 }

@@ -17,8 +17,47 @@ use exl_obs::{MetricsRegistry, MetricsSnapshot, NoopRecorder, Recorder};
 use crate::catalog::Catalog;
 use crate::determination::{GlobalGraph, Subgraph};
 use crate::error::EngineError;
-use crate::supervise::{run_supervised, Attempt, DispatchPolicy, SubgraphStatus};
-use crate::target::{input_schemas, subprogram, translate, TargetCode, TargetKind};
+use crate::supervise::{run_supervised_traced, Attempt, DispatchPolicy, SubgraphStatus};
+use crate::target::{dataset_rows, input_schemas, subprogram, translate, TargetCode, TargetKind};
+
+/// A callback invoked as each subgraph finishes during a run — the
+/// engine-side hook behind the CLI's `--progress` live status line.
+/// Subgraph results are staged in dispatch order on the dispatching
+/// thread, so the callback never races with itself.
+#[derive(Clone)]
+pub struct ProgressSink(Arc<dyn Fn(&ProgressEvent) + Send + Sync>);
+
+impl ProgressSink {
+    /// Wrap a callback.
+    pub fn new(f: impl Fn(&ProgressEvent) + Send + Sync + 'static) -> ProgressSink {
+        ProgressSink(Arc::new(f))
+    }
+
+    fn emit(&self, event: &ProgressEvent) {
+        (self.0)(event)
+    }
+}
+
+impl std::fmt::Debug for ProgressSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("ProgressSink(..)")
+    }
+}
+
+/// One subgraph finished (computed, failed, or skipped).
+#[derive(Debug, Clone)]
+pub struct ProgressEvent {
+    /// Subgraphs finished so far in this run, this one included.
+    pub done: usize,
+    /// Total subgraphs in this run.
+    pub total: usize,
+    /// Cubes the subgraph computes.
+    pub cubes: Vec<CubeId>,
+    /// Target that executed (or would have executed) the subgraph.
+    pub target: TargetKind,
+    /// How the subgraph ended.
+    pub status: SubgraphStatus,
+}
 
 /// The engine.
 #[derive(Debug, Clone)]
@@ -37,6 +76,11 @@ pub struct ExlEngine {
     /// [`ExlEngine::enable_metrics`]. When `None` every instrumented path
     /// uses the no-op recorder, adding no overhead.
     metrics: Option<Arc<MetricsRegistry>>,
+    /// Hierarchical tracer, armed via [`ExlEngine::enable_tracing`].
+    /// Disabled by default: every traced path takes the inert no-op route.
+    tracer: exl_obs::Tracer,
+    /// Per-subgraph completion callback (see [`ProgressSink`]).
+    pub progress: Option<ProgressSink>,
 }
 
 /// What happened to one subgraph during a run.
@@ -86,12 +130,52 @@ impl Default for ExlEngine {
             parallel_dispatch: false,
             policy: DispatchPolicy::default(),
             metrics: None,
+            tracer: exl_obs::Tracer::disabled(),
+            progress: None,
         }
     }
 }
 
 /// Shared no-op recorder used when metrics are disabled.
 static NOOP: NoopRecorder = NoopRecorder;
+
+/// Comma-joined cube list for the `cubes` span attribute.
+fn join_ids(ids: &[CubeId]) -> String {
+    ids.iter()
+        .map(|id| id.as_str())
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+/// Stamp a finished subgraph span with its outcome: `status`, `attempts`,
+/// total `rows_out`, and one `rows_out.<CUBE>` attribute per produced cube
+/// (the lineage report reads these).
+fn finish_subgraph_span(
+    span: &exl_obs::Span,
+    result: &Result<exl_model::Dataset, EngineError>,
+    attempts: &[Attempt],
+    wanted: &[CubeId],
+) {
+    if !span.is_enabled() {
+        return;
+    }
+    span.set_attr("attempts", attempts.len() as u64);
+    match result {
+        Ok(ds) => {
+            span.set_attr("status", "computed");
+            span.set_attr("rows_out", dataset_rows(ds));
+            for id in wanted {
+                if let Some(data) = ds.data(id) {
+                    span.set_attr(&format!("rows_out.{id}"), data.len() as u64);
+                }
+            }
+        }
+        Err(e) => {
+            span.set_attr("status", "failed");
+            span.add_event(e.to_string());
+        }
+    }
+}
 
 impl ExlEngine {
     /// Fresh engine with an empty catalog.
@@ -112,6 +196,36 @@ impl ExlEngine {
     /// The engine's metrics registry, if observability is enabled.
     pub fn metrics(&self) -> Option<&Arc<MetricsRegistry>> {
         self.metrics.as_ref()
+    }
+
+    /// Turn on hierarchical tracing: every subsequent run records a span
+    /// tree (run → plan/stage → subgraph → attempt → execute.\<target\> →
+    /// backend steps) into the returned tracer. The tracer accumulates
+    /// across runs; export a snapshot with
+    /// [`Tracer::snapshot`](exl_obs::Tracer::snapshot).
+    pub fn enable_tracing(&mut self) -> exl_obs::Tracer {
+        if !self.tracer.is_enabled() {
+            self.tracer = exl_obs::Tracer::new();
+        }
+        self.tracer.clone()
+    }
+
+    /// The engine's tracer (disabled unless [`ExlEngine::enable_tracing`]
+    /// was called).
+    pub fn tracer(&self) -> &exl_obs::Tracer {
+        &self.tracer
+    }
+
+    /// Use an externally owned tracer (e.g. the CLI's, so several engine
+    /// runs and the command's own spans land in one tree).
+    pub fn set_tracer(&mut self, tracer: exl_obs::Tracer) {
+        self.tracer = tracer;
+    }
+
+    /// Use an externally owned metrics registry instead of creating one
+    /// via [`ExlEngine::enable_metrics`].
+    pub fn set_metrics_registry(&mut self, registry: Arc<MetricsRegistry>) {
+        self.metrics = Some(registry);
     }
 
     /// Register an EXL program: parse, analyze against the catalog's
@@ -310,9 +424,20 @@ impl ExlEngine {
             Some(r) => r.as_ref(),
             None => &NOOP,
         };
+        let tracer = self.tracer.clone();
         let mut report = {
             let _run_span = exl_obs::span(recorder, "engine.recompute");
-            self.recompute_recorded(changed, registry.as_ref(), recorder)?
+            let run_span = tracer.root("run");
+            run_span.set_attr("changed", changed.len() as u64);
+            let result = self.recompute_recorded(changed, registry.as_ref(), recorder, &run_span);
+            match &result {
+                Ok(_) => run_span.set_attr("status", "ok"),
+                Err(e) => {
+                    run_span.set_attr("status", "failed");
+                    run_span.add_event(e.to_string());
+                }
+            }
+            result?
         };
         if let Some(registry) = &registry {
             report.metrics = registry.snapshot();
@@ -325,10 +450,14 @@ impl ExlEngine {
         changed: &[CubeId],
         registry: Option<&Arc<MetricsRegistry>>,
         recorder: &dyn Recorder,
+        run_span: &exl_obs::Span,
     ) -> Result<RunReport, EngineError> {
         let translated = {
             let _span = exl_obs::span(recorder, "engine.plan_and_translate");
-            self.plan_and_translate(changed)?
+            let plan_span = run_span.child("plan");
+            let translated = self.plan_and_translate(changed)?;
+            plan_span.set_attr("subgraphs", translated.len() as u64);
+            translated
         };
         if translated.is_empty() {
             return Ok(RunReport::default());
@@ -373,17 +502,27 @@ impl ExlEngine {
         // them is skipped in turn (keep_going degradation)
         let mut poisoned: BTreeSet<CubeId> = BTreeSet::new();
         let policy = self.policy.clone();
+        let total_subgraphs = translated.len();
+        let mut done_subgraphs = 0usize;
 
-        for stage in &stages {
+        for (stage_no, stage) in stages.iter().enumerate() {
+            let stage_span = run_span.child("stage");
+            stage_span.set_attr("index", stage_no as u64);
+            stage_span.set_attr("subgraphs", stage.len() as u64);
             // each subgraph's inputs are satisfied by earlier stages
             let mut results: Vec<(usize, Result<exl_model::Dataset, EngineError>, Vec<Attempt>)> =
                 Vec::with_capacity(stage.len());
-            let mut jobs: Vec<(usize, exl_model::Dataset, Vec<CubeId>)> = Vec::new();
+            let mut jobs: Vec<(usize, exl_model::Dataset, Vec<CubeId>, exl_obs::Span)> = Vec::new();
             for &si in stage {
-                let (sub, _, _) = &translated[si];
+                let (sub, code, fallback) = &translated[si];
                 let wanted = self.targets_of(sub);
+                let span = stage_span.child("subgraph");
+                span.set_attr("cubes", join_ids(&wanted));
+                span.set_attr("target", code.target_name());
+                span.set_attr("fallback", *fallback);
                 let input_ids = self.input_ids_of(sub)?;
                 if input_ids.iter().any(|id| poisoned.contains(id)) {
+                    span.set_attr("status", "skipped");
                     recorder.incr_counter("engine.subgraphs_skipped", 1);
                     poisoned.extend(wanted.iter().cloned());
                     report.skipped.extend(wanted.iter().cloned());
@@ -394,26 +533,42 @@ impl ExlEngine {
                         Vec::new(),
                         None,
                     ));
+                    self.emit_progress(
+                        &mut done_subgraphs,
+                        total_subgraphs,
+                        si,
+                        &translated,
+                        SubgraphStatus::Skipped,
+                    );
                     continue;
                 }
                 match self.prepare_inputs_staged(sub, &staged) {
-                    Ok(prepared) => jobs.push((si, prepared, wanted)),
+                    Ok(prepared) => {
+                        span.set_attr("rows_in", dataset_rows(&prepared));
+                        jobs.push((si, prepared, wanted, span));
+                    }
                     // a missing input is a deterministic failure of this
                     // subgraph, not of the whole run
-                    Err(e) => results.push((si, Err(e), Vec::new())),
+                    Err(e) => {
+                        span.set_attr("status", "failed");
+                        span.add_event(e.to_string());
+                        results.push((si, Err(e), Vec::new()));
+                    }
                 }
             }
             if self.parallel_dispatch && jobs.len() > 1 {
                 let outputs = std::thread::scope(|scope| {
                     let handles: Vec<_> = jobs
                         .into_iter()
-                        .map(|(si, input, wanted)| {
+                        .map(|(si, input, wanted, span)| {
                             let (_, code, _) = &translated[si];
                             let native = natives[si].as_ref();
                             let policy = &policy;
                             scope.spawn(move || {
-                                let (r, attempts) =
-                                    run_supervised(code, native, &input, &wanted, policy, registry);
+                                let (r, attempts) = run_supervised_traced(
+                                    code, native, &input, &wanted, policy, registry, &span,
+                                );
+                                finish_subgraph_span(&span, &r, &attempts, &wanted);
                                 (si, r, attempts)
                             })
                         })
@@ -439,16 +594,18 @@ impl ExlEngine {
                 });
                 results.extend(outputs);
             } else {
-                for (si, input, wanted) in jobs {
+                for (si, input, wanted, span) in jobs {
                     let (_, code, _) = &translated[si];
-                    let (r, attempts) = run_supervised(
+                    let (r, attempts) = run_supervised_traced(
                         code,
                         natives[si].as_ref(),
                         &input,
                         &wanted,
                         &policy,
                         registry,
+                        &span,
                     );
+                    finish_subgraph_span(&span, &r, &attempts, &wanted);
                     results.push((si, r, attempts));
                 }
             }
@@ -488,6 +645,13 @@ impl ExlEngine {
                             attempts,
                             None,
                         ));
+                        self.emit_progress(
+                            &mut done_subgraphs,
+                            total_subgraphs,
+                            si,
+                            &translated,
+                            SubgraphStatus::Computed,
+                        );
                     }
                     Err(e) if policy.keep_going => {
                         recorder.incr_counter("engine.subgraphs_failed", 1);
@@ -500,6 +664,13 @@ impl ExlEngine {
                             attempts,
                             Some(e.to_string()),
                         ));
+                        self.emit_progress(
+                            &mut done_subgraphs,
+                            total_subgraphs,
+                            si,
+                            &translated,
+                            SubgraphStatus::Failed,
+                        );
                     }
                     Err(e) => {
                         // default policy: abort the run; the staged
@@ -521,6 +692,32 @@ impl ExlEngine {
         self.catalog.commit_versions(items)?;
         report.subgraphs = sub_reports.into_iter().flatten().collect();
         Ok(report)
+    }
+
+    /// Count a finished subgraph and notify the progress sink, if any.
+    fn emit_progress(
+        &self,
+        done: &mut usize,
+        total: usize,
+        si: usize,
+        translated: &[(Subgraph, TargetCode, bool)],
+        status: SubgraphStatus,
+    ) {
+        *done += 1;
+        if let Some(sink) = &self.progress {
+            let (sub, _, fallback) = &translated[si];
+            sink.emit(&ProgressEvent {
+                done: *done,
+                total,
+                cubes: self.targets_of(sub),
+                target: if *fallback {
+                    TargetKind::Native
+                } else {
+                    sub.target
+                },
+                status,
+            });
+        }
     }
 
     /// Build one subgraph's report entry.

@@ -25,20 +25,22 @@ pub mod catalog;
 pub mod determination;
 pub mod engine;
 pub mod error;
+pub mod lineage;
 pub mod supervise;
 pub mod target;
 
 pub use catalog::{Catalog, CubeMeta, CubeVersion};
 pub use determination::{GlobalGraph, Subgraph};
-pub use engine::{ExlEngine, RunReport, SubgraphReport};
+pub use engine::{ExlEngine, ProgressEvent, ProgressSink, RunReport, SubgraphReport};
 pub use error::EngineError;
+pub use lineage::{LineageReport, LineageStep};
 pub use supervise::{
-    run_on_target_supervised, run_supervised, Attempt, AttemptOutcome, DispatchPolicy,
-    SubgraphStatus,
+    run_on_target_supervised, run_on_target_supervised_traced, run_supervised,
+    run_supervised_traced, Attempt, AttemptOutcome, DispatchPolicy, SubgraphStatus,
 };
 pub use target::{
-    execute, execute_recorded, run_on_target, run_on_target_recorded, translate, TargetCode,
-    TargetKind,
+    execute, execute_in_context, execute_recorded, execute_traced, run_on_target,
+    run_on_target_recorded, translate, TargetCode, TargetKind,
 };
 
 #[cfg(test)]

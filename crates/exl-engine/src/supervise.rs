@@ -31,7 +31,7 @@ use exl_model::Dataset;
 use exl_obs::{MetricsRegistry, NoopRecorder, Recorder};
 
 use crate::error::EngineError;
-use crate::target::{execute_recorded, TargetCode, TargetKind};
+use crate::target::{execute_in_context, execute_traced, TargetCode, TargetKind};
 
 /// Shared no-op recorder for metric-less supervision.
 static NOOP: NoopRecorder = NoopRecorder;
@@ -114,17 +114,46 @@ pub fn run_supervised(
     policy: &DispatchPolicy,
     metrics: Option<&Arc<MetricsRegistry>>,
 ) -> (Result<Dataset, EngineError>, Vec<Attempt>) {
+    run_supervised_traced(
+        code,
+        native,
+        input,
+        wanted,
+        policy,
+        metrics,
+        &exl_obs::Span::disabled(),
+    )
+}
+
+/// [`run_supervised`] with hierarchical tracing: every execution attempt
+/// (retries and runtime-fallback attempts included) becomes an `attempt`
+/// child span of `trace`, siblings of each other, carrying `target`,
+/// `attempt` (ordinal) and `status` attributes.
+pub fn run_supervised_traced(
+    code: &TargetCode,
+    native: Option<&TargetCode>,
+    input: &Dataset,
+    wanted: &[CubeId],
+    policy: &DispatchPolicy,
+    metrics: Option<&Arc<MetricsRegistry>>,
+    trace: &exl_obs::Span,
+) -> (Result<Dataset, EngineError>, Vec<Attempt>) {
     let recorder: &dyn Recorder = match metrics {
         Some(m) => m.as_ref(),
         None => &NOOP,
     };
     let mut attempts = Vec::new();
-    let primary = attempt_chain(code, input, wanted, policy, metrics, &mut attempts);
+    let primary = attempt_chain(code, input, wanted, policy, metrics, &mut attempts, trace);
     let result = match primary {
         Err(e) if e.is_retryable() && policy.runtime_fallback => match native {
             Some(native) => {
                 recorder.incr_counter("engine.runtime_fallbacks", 1);
-                attempt_chain(native, input, wanted, policy, metrics, &mut attempts)
+                trace.add_event(format!(
+                    "runtime fallback: {} -> {}",
+                    code.target_name(),
+                    native.target_name()
+                ));
+                attempt_chain(native, input, wanted, policy, metrics, &mut attempts, trace)
             }
             None => Err(e),
         },
@@ -135,6 +164,7 @@ pub fn run_supervised(
 
 /// Try one target up to `1 + retries` times, backing off exponentially
 /// between retryable failures.
+#[allow(clippy::too_many_arguments)]
 fn attempt_chain(
     code: &TargetCode,
     input: &Dataset,
@@ -142,6 +172,7 @@ fn attempt_chain(
     policy: &DispatchPolicy,
     metrics: Option<&Arc<MetricsRegistry>>,
     attempts: &mut Vec<Attempt>,
+    trace: &exl_obs::Span,
 ) -> Result<Dataset, EngineError> {
     let recorder: &dyn Recorder = match metrics {
         Some(m) => m.as_ref(),
@@ -150,7 +181,10 @@ fn attempt_chain(
     let target = code.target_kind();
     let mut attempt = 0u32;
     loop {
-        let result = execute_guarded(code, input, wanted, policy.subgraph_timeout, metrics);
+        let span = trace.child("attempt");
+        span.set_attr("target", target.name());
+        span.set_attr("attempt", attempts.len() as u64 + 1);
+        let result = execute_guarded(code, input, wanted, policy.subgraph_timeout, metrics, &span);
         let outcome = match &result {
             Ok(_) => AttemptOutcome::Success,
             Err(EngineError::Panic { message, .. }) => {
@@ -163,6 +197,19 @@ fn attempt_chain(
             }
             Err(e) => AttemptOutcome::Error(e.to_string()),
         };
+        span.set_attr(
+            "status",
+            match &outcome {
+                AttemptOutcome::Success => "ok",
+                AttemptOutcome::Error(_) => "error",
+                AttemptOutcome::Panicked(_) => "panicked",
+                AttemptOutcome::TimedOut => "timeout",
+            },
+        );
+        if let Err(e) = &result {
+            span.add_event(e.to_string());
+        }
+        drop(span);
         attempts.push(Attempt { target, outcome });
         match result {
             Ok(ds) => return Ok(ds),
@@ -190,6 +237,7 @@ fn execute_guarded(
     wanted: &[CubeId],
     timeout: Option<Duration>,
     metrics: Option<&Arc<MetricsRegistry>>,
+    trace: &exl_obs::Span,
 ) -> Result<Dataset, EngineError> {
     let target = code.target_name();
     let Some(deadline) = timeout else {
@@ -199,7 +247,7 @@ fn execute_guarded(
         };
         let _span = exl_obs::span(recorder, format!("engine.subgraph.{target}"));
         return catch_unwind(AssertUnwindSafe(|| {
-            execute_recorded(code, input, wanted, recorder)
+            execute_traced(code, input, wanted, recorder, trace)
         }))
         .unwrap_or_else(|payload| {
             Err(EngineError::Panic {
@@ -213,6 +261,9 @@ fn execute_guarded(
     let input = input.clone();
     let wanted = wanted.to_vec();
     let metrics = metrics.cloned();
+    // keep the worker's spans parented under the attempt span even though
+    // it runs (and may outlive the deadline) on its own thread
+    let ctx = trace.context();
     let (tx, rx) = mpsc::channel();
     std::thread::Builder::new()
         .name(format!("exl-dispatch-{target}"))
@@ -223,7 +274,7 @@ fn execute_guarded(
             };
             let _span = exl_obs::span(recorder, format!("engine.subgraph.{}", code.target_name()));
             let result = catch_unwind(AssertUnwindSafe(|| {
-                execute_recorded(&code, &input, &wanted, recorder)
+                execute_in_context(&code, &input, &wanted, recorder, &ctx)
             }))
             .unwrap_or_else(|payload| {
                 Err(EngineError::Panic {
@@ -261,6 +312,26 @@ pub fn run_on_target_supervised(
     policy: &DispatchPolicy,
     metrics: Option<&Arc<MetricsRegistry>>,
 ) -> Result<(Dataset, Vec<Attempt>), EngineError> {
+    run_on_target_supervised_traced(
+        analyzed,
+        input,
+        target,
+        policy,
+        metrics,
+        &exl_obs::Span::disabled(),
+    )
+}
+
+/// [`run_on_target_supervised`] with every attempt traced under `trace`
+/// (see [`run_supervised_traced`]).
+pub fn run_on_target_supervised_traced(
+    analyzed: &exl_lang::analyze::AnalyzedProgram,
+    input: &Dataset,
+    target: TargetKind,
+    policy: &DispatchPolicy,
+    metrics: Option<&Arc<MetricsRegistry>>,
+    trace: &exl_obs::Span,
+) -> Result<(Dataset, Vec<Attempt>), EngineError> {
     let recorder: &dyn Recorder = match metrics {
         Some(m) => m.as_ref(),
         None => &NOOP,
@@ -284,13 +355,14 @@ pub fn run_on_target_supervised(
             )));
         }
     }
-    let (result, attempts) = run_supervised(
+    let (result, attempts) = run_supervised_traced(
         &code,
         native.as_ref(),
         &restricted,
         &wanted,
         policy,
         metrics,
+        trace,
     );
     result.map(|ds| (ds, attempts))
 }

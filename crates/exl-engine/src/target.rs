@@ -10,7 +10,7 @@
 
 use std::collections::BTreeMap;
 
-use exl_chase::{chase_recorded, ChaseMode};
+use exl_chase::ChaseMode;
 use exl_lang::analyze::{analyze, AnalyzedProgram};
 use exl_lang::ast::{Program, Statement};
 use exl_map::dep::Mapping;
@@ -290,7 +290,65 @@ pub fn execute_recorded(
     wanted: &[CubeId],
     recorder: &dyn exl_obs::Recorder,
 ) -> Result<Dataset, EngineError> {
+    execute_traced(code, input, wanted, recorder, &exl_obs::Span::disabled())
+}
+
+/// [`execute_recorded`] with hierarchical tracing: the whole backend call
+/// runs under an `execute.<target>` child span of `trace`, and each
+/// backend records its internal steps as grandchildren (`chase.tgd`,
+/// `sql.stmt`, `rmini.stmt`, `matmini.stmt`, `etl.flow`, …).
+pub fn execute_traced(
+    code: &TargetCode,
+    input: &Dataset,
+    wanted: &[CubeId],
+    recorder: &dyn exl_obs::Recorder,
+    trace: &exl_obs::Span,
+) -> Result<Dataset, EngineError> {
+    execute_in_context(code, input, wanted, recorder, &trace.context())
+}
+
+/// [`execute_traced`] parented via a [`SpanContext`](exl_obs::SpanContext)
+/// instead of a live [`Span`](exl_obs::Span) handle — the form the
+/// supervisor uses to keep the span tree connected across its worker
+/// threads.
+pub fn execute_in_context(
+    code: &TargetCode,
+    input: &Dataset,
+    wanted: &[CubeId],
+    recorder: &dyn exl_obs::Recorder,
+    ctx: &exl_obs::SpanContext,
+) -> Result<Dataset, EngineError> {
     let _span = exl_obs::span(recorder, format!("target.execute.{}", code.target_name()));
+    let exec = ctx.child(format!("execute.{}", code.target_name()));
+    exec.set_attr("target", code.target_name());
+    exec.set_attr("rows_in", dataset_rows(input));
+    let out = execute_traced_inner(code, input, wanted, recorder, &exec);
+    match &out {
+        Ok(ds) => {
+            exec.set_attr("rows_out", dataset_rows(ds));
+            exec.set_attr("status", "ok");
+        }
+        Err(e) => {
+            exec.add_event(e.to_string());
+            exec.set_attr("status", "failed");
+        }
+    }
+    out
+}
+
+/// Total fact count across a dataset's cubes (the `rows_in`/`rows_out`
+/// trace attributes).
+pub(crate) fn dataset_rows(ds: &Dataset) -> u64 {
+    ds.iter().map(|(_, cube)| cube.data.len() as u64).sum()
+}
+
+fn execute_traced_inner(
+    code: &TargetCode,
+    input: &Dataset,
+    wanted: &[CubeId],
+    recorder: &dyn exl_obs::Recorder,
+    trace: &exl_obs::Span,
+) -> Result<Dataset, EngineError> {
     // chaos hook: `exec.<target>` covers the whole backend execution
     exl_fault::check(&format!("exec.{}", code.target_name()))
         .map_err(|e| EngineError::Execution(e.to_string()))?;
@@ -298,8 +356,15 @@ pub fn execute_recorded(
         TargetCode::Native { analyzed } => exl_eval::run_program(analyzed, input)
             .map_err(|e| EngineError::Execution(e.to_string()))?,
         TargetCode::Chase { mapping, schemas } => {
-            let result = chase_recorded(mapping, schemas, input, ChaseMode::Stratified, recorder)
-                .map_err(|e| EngineError::Execution(e.to_string()))?;
+            let result = exl_chase::chase_traced(
+                mapping,
+                schemas,
+                input,
+                ChaseMode::Stratified,
+                recorder,
+                trace,
+            )
+            .map_err(|e| EngineError::Execution(e.to_string()))?;
             let mut solution = result.solution;
             // relations the chase never derived a fact for are still part
             // of the target schema: surface them as empty cubes
@@ -332,7 +397,7 @@ pub fn execute_recorded(
             }
             for stmt in statements {
                 engine
-                    .execute_script(stmt)
+                    .execute_traced(stmt, trace)
                     .map_err(|e| EngineError::Execution(format!("{e}\nstatement:\n{stmt}")))?;
             }
             let mut out = Dataset::new();
@@ -357,7 +422,7 @@ pub fn execute_recorded(
                 interp.bind_frame(id.as_str(), exl_rmini::frame_from_cube(cube));
             }
             interp
-                .run(script)
+                .run_traced(script, trace)
                 .map_err(|e| EngineError::Execution(format!("{e}\nscript:\n{script}")))?;
             let mut out = Dataset::new();
             for id in wanted {
@@ -380,7 +445,7 @@ pub fn execute_recorded(
                 interp.bind(id.as_str(), session.encode(cube));
             }
             interp
-                .run(script)
+                .run_traced(script, trace)
                 .map_err(|e| EngineError::Execution(format!("{e}\nscript:\n{script}")))?;
             let mut out = Dataset::new();
             for id in wanted {
@@ -399,9 +464,9 @@ pub fn execute_recorded(
         }
         TargetCode::Etl { job, parallel } => {
             let run = if *parallel {
-                exl_etl::run_job_parallel_recorded(job, input, recorder)
+                exl_etl::run_job_parallel_traced(job, input, recorder, trace)
             } else {
-                job.run(input)
+                job.run_traced(input, trace)
             };
             run.map_err(|e| EngineError::Execution(e.to_string()))?
         }

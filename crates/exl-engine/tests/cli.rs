@@ -285,3 +285,204 @@ fn fault_flags_run_through_the_supervisor() {
     assert!(!out.status.success());
     assert!(String::from_utf8(out.stderr).unwrap().contains("--retries"));
 }
+
+#[test]
+fn trace_flag_writes_chrome_trace_json() {
+    let p = write_tmp("trace.exl", PROGRAM);
+    let d = write_tmp("trace-data.json", RUN_DATA);
+    let t = std::env::temp_dir().join(format!("exlc-test-{}-trace.out.json", std::process::id()));
+    let out = exlc(&[
+        "--trace",
+        t.to_str().unwrap(),
+        "run",
+        p.to_str().unwrap(),
+        d.to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    // the run itself still prints its derived cubes
+    let parsed: serde_json::Value =
+        serde_json::from_str(&String::from_utf8(out.stdout).unwrap()).unwrap();
+    assert_eq!(parsed["C"][1][1].as_f64(), Some(8.0));
+    // and the trace file is valid Chrome trace-event JSON with a rooted
+    // span tree: a `run` root, and a subgraph span with cube/target attrs
+    let trace: serde_json::Value =
+        serde_json::from_str(&std::fs::read_to_string(&t).unwrap()).unwrap();
+    let events = trace["traceEvents"].as_array().unwrap();
+    assert!(!events.is_empty());
+    let run = events
+        .iter()
+        .find(|e| e["name"].as_str() == Some("run"))
+        .expect("run span");
+    assert!(run["args"]["parent_id"].as_u64().is_none(), "run is a root");
+    assert_eq!(run["args"]["status"].as_str(), Some("ok"));
+    let subgraphs: Vec<&serde_json::Value> = events
+        .iter()
+        .filter(|e| e["name"].as_str() == Some("subgraph"))
+        .collect();
+    assert!(!subgraphs.is_empty(), "at least one subgraph span");
+    for sub in &subgraphs {
+        assert_eq!(sub["args"]["target"].as_str(), Some("native"));
+        assert_eq!(sub["args"]["status"].as_str(), Some("computed"));
+        assert!(sub["args"]["cubes"].as_str().is_some());
+        assert!(sub["args"]["rows_out"].as_u64().is_some());
+    }
+    let cubes: Vec<&str> = subgraphs
+        .iter()
+        .flat_map(|s| s["args"]["cubes"].as_str().unwrap().split(','))
+        .collect();
+    assert!(cubes.contains(&"B") && cubes.contains(&"C"), "{cubes:?}");
+    // every subgraph span sits under an ancestor chain that reaches `run`
+    let attempt = events
+        .iter()
+        .find(|e| e["name"].as_str() == Some("attempt"))
+        .expect("attempt span");
+    assert_eq!(attempt["args"]["status"].as_str(), Some("ok"));
+}
+
+#[test]
+fn unwritable_trace_path_fails_before_running() {
+    let p = write_tmp("tval.exl", PROGRAM);
+    let out = exlc(&[
+        "--trace",
+        "/nonexistent-dir/trace.json",
+        "check",
+        p.to_str().unwrap(),
+    ]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("not writable"), "{stderr}");
+    assert!(out.stdout.is_empty());
+}
+
+#[test]
+fn duplicate_global_flags_are_rejected() {
+    let p = write_tmp("dup.exl", PROGRAM);
+    let d = write_tmp("dup.json", RUN_DATA);
+    for dup in [
+        &["--trace", "a.json", "--trace", "b.json"][..],
+        &["--metrics", "a.json", "--metrics", "b.json"][..],
+        &["--retries", "1", "--retries", "2"][..],
+        &["--keep-going", "--keep-going"][..],
+        &["--progress", "--progress"][..],
+    ] {
+        let mut args: Vec<&str> = dup.to_vec();
+        args.extend(["run", p.to_str().unwrap(), d.to_str().unwrap()]);
+        let out = exlc(&args);
+        assert!(!out.status.success(), "{dup:?}");
+        let stderr = String::from_utf8(out.stderr).unwrap();
+        assert!(stderr.contains("duplicate"), "{dup:?}: {stderr}");
+        assert!(stderr.contains(dup[0]), "{dup:?}: {stderr}");
+    }
+}
+
+#[test]
+fn progress_flag_reports_each_subgraph() {
+    let p = write_tmp("prog.exl", PROGRAM);
+    let d = write_tmp("prog.json", RUN_DATA);
+    let out = exlc(&[
+        "--progress",
+        "run",
+        p.to_str().unwrap(),
+        d.to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    let lines: Vec<&str> = stderr.lines().filter(|l| l.contains("computed")).collect();
+    assert!(!lines.is_empty(), "{stderr}");
+    // [done/total] counts up to completion on the last line
+    let last = lines.last().unwrap();
+    let n = lines.len();
+    assert!(last.contains(&format!("[{n}/{n}]")), "{stderr}");
+    assert!(last.contains("on native"), "{stderr}");
+}
+
+/// The paper's Fig. 1 GDP pipeline as CSV inputs: PDR (population per
+/// region per sample day) and RGDPPC (real GDP per capita per quarter).
+fn write_gdp_csv_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("exlc-gdp-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let mut pdr = String::from("d,r,p\n");
+    let mut rgdppc = String::from("q,r,g\n");
+    for qi in 0..12u32 {
+        let year = 2015 + qi / 4;
+        let quarter = qi % 4 + 1;
+        for (ri, region) in ["north", "south"].iter().enumerate() {
+            let base = 1000.0 + ri as f64 * 250.0;
+            for di in 0..2u32 {
+                let month = (quarter - 1) * 3 + 1 + di;
+                pdr.push_str(&format!(
+                    "{year}-{month:02}-15,{region},{}\n",
+                    base + qi as f64 * 2.0 + di as f64
+                ));
+            }
+            rgdppc.push_str(&format!(
+                "{year}-Q{quarter},{region},{}\n",
+                30.0 + ri as f64 * 2.0 + qi as f64 * 0.4
+            ));
+        }
+    }
+    std::fs::write(dir.join("PDR.csv"), pdr).unwrap();
+    std::fs::write(dir.join("RGDPPC.csv"), rgdppc).unwrap();
+    dir
+}
+
+const GDP_PROGRAM: &str = r#"
+cube PDR(d: time[day], r: text) -> p;
+cube RGDPPC(q: time[quarter], r: text) -> g;
+PQR := avg(PDR, group by quarter(d) as q, r);
+RGDP := RGDPPC * PQR;
+GDP := sum(RGDP, group by q);
+GDPT := stl_trend(GDP);
+PCHNG := 100 * (GDPT - shift(GDPT, 1)) / GDPT;
+"#;
+
+#[test]
+fn explain_prints_the_full_derivation_chain() {
+    let p = write_tmp("explain.exl", GDP_PROGRAM);
+    let dir = write_gdp_csv_dir("explain");
+    let out = exlc(&[
+        "explain",
+        p.to_str().unwrap(),
+        dir.to_str().unwrap(),
+        "PCHNG",
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    // the whole multi-hop chain, down to the elementary leaves
+    let first = stdout.lines().next().unwrap();
+    assert!(first.starts_with("PCHNG"), "{stdout}");
+    for cube in ["GDPT", "GDP", "RGDP", "RGDPPC", "PQR"] {
+        assert!(stdout.contains(cube), "{cube} missing:\n{stdout}");
+    }
+    assert!(stdout.contains("PDR (elementary)"), "{stdout}");
+    assert!(stdout.contains("RGDPPC (elementary)"), "{stdout}");
+    // run facts per derived step: backend, status, row counts, timing
+    assert!(first.contains("backend="), "{stdout}");
+    assert!(first.contains("status=computed"), "{stdout}");
+    assert!(first.contains("rows_out="), "{stdout}");
+    assert!(first.contains("attempts=1"), "{stdout}");
+
+    // an unknown cube is a clear error
+    let out = exlc(&[
+        "explain",
+        p.to_str().unwrap(),
+        dir.to_str().unwrap(),
+        "NOPE",
+    ]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8(out.stderr)
+        .unwrap()
+        .contains("unknown cube"));
+}

@@ -175,35 +175,81 @@ impl Flow {
     /// Execute the flow sequentially against a dataset, returning the
     /// produced cube data.
     pub fn run(&self, data: &Dataset) -> Result<CubeData, EtlError> {
+        self.run_traced(data, &exl_obs::Span::disabled())
+    }
+
+    /// [`Flow::run`] with hierarchical tracing: the flow runs under an
+    /// `etl.flow` child span of `trace`, with one child span per step
+    /// (`etl.source`, `etl.merge`, `etl.transform`, `etl.output`)
+    /// carrying the step's row counts.
+    pub fn run_traced(&self, data: &Dataset, trace: &exl_obs::Span) -> Result<CubeData, EtlError> {
         if self.sources.is_empty() {
             return Err(EtlError(format!("flow {}: no data sources", self.id)));
         }
         exl_fault::check("etl.flow").map_err(|e| EtlError(e.to_string()))?;
+        let flow_span = trace.child("etl.flow");
+        flow_span.set_attr("flow", self.id.clone());
+        flow_span.set_attr("cube", self.output.relation.to_string());
         // sources
         let mut streams: Vec<Vec<Row>> = Vec::with_capacity(self.sources.len());
         for s in &self.sources {
-            streams.push(read_source(s, data)?);
+            let span = flow_span.child("etl.source");
+            span.set_attr("relation", s.relation.to_string());
+            let rows = read_source(s, data)?;
+            span.set_attr("rows_out", rows.len() as u64);
+            streams.push(rows);
         }
         // merges
         let mut rows = streams.remove(0);
         for (merge, right) in self.merges.iter().zip(streams) {
+            let span = flow_span.child("etl.merge");
+            span.set_attr("rows_in", (rows.len() + right.len()) as u64);
             rows = merge_rows(rows, right, merge)?;
+            span.set_attr("rows_out", rows.len() as u64);
         }
         // transforms
         for t in &self.transforms {
+            let span = flow_span.child("etl.transform");
+            span.set_attr("kind", t.kind());
+            span.set_attr("rows_in", rows.len() as u64);
             rows = apply_transform(t, rows)?;
+            span.set_attr("rows_out", rows.len() as u64);
         }
         // output
-        write_output(&self.output, rows)
+        let span = flow_span.child("etl.output");
+        span.set_attr("rows_in", rows.len() as u64);
+        let out = write_output(&self.output, rows)?;
+        flow_span.set_attr("rows_out", out.len() as u64);
+        Ok(out)
+    }
+}
+
+impl TransformStep {
+    /// Short step-kind name for traces and listings.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            TransformStep::Calculator { .. } => "calculator",
+            TransformStep::FiniteFilter { .. } => "finite-filter",
+            TransformStep::ShiftDim { .. } => "shift-dim",
+            TransformStep::ConvertDim { .. } => "convert-dim",
+            TransformStep::RenameDim { .. } => "rename-dim",
+            TransformStep::Aggregator { .. } => "aggregator",
+            TransformStep::Series { .. } => "series",
+        }
     }
 }
 
 impl Job {
     /// Run every flow in order, extending the dataset with each result.
     pub fn run(&self, input: &Dataset) -> Result<Dataset, EtlError> {
+        self.run_traced(input, &exl_obs::Span::disabled())
+    }
+
+    /// [`Job::run`] with per-flow and per-step trace spans under `trace`.
+    pub fn run_traced(&self, input: &Dataset, trace: &exl_obs::Span) -> Result<Dataset, EtlError> {
         let mut ds = input.clone();
         for flow in &self.flows {
-            let data = flow.run(&ds)?;
+            let data = flow.run_traced(&ds, trace)?;
             let schema = self
                 .schemas
                 .get(&flow.output.relation)

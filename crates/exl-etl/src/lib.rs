@@ -19,7 +19,8 @@ pub use flow::{
 };
 pub use flowgen::{mapping_to_job, tgd_to_flow};
 pub use parallel::{
-    run_flow_parallel, run_flow_parallel_recorded, run_job_parallel, run_job_parallel_recorded,
+    run_flow_parallel, run_flow_parallel_recorded, run_flow_parallel_traced, run_job_parallel,
+    run_job_parallel_recorded, run_job_parallel_traced,
 };
 pub use row::{Field, Row};
 

@@ -48,10 +48,28 @@ pub fn run_flow_parallel_recorded(
     data: &Dataset,
     recorder: &dyn Recorder,
 ) -> Result<CubeData, EtlError> {
+    run_flow_parallel_traced(flow, data, recorder, &exl_obs::Span::disabled())
+}
+
+/// [`run_flow_parallel_recorded`] with hierarchical tracing: the flow
+/// runs under an `etl.flow` child span of `trace`, and every pipeline
+/// stage records its own span (`etl.source`, `etl.merge`,
+/// `etl.transform`, `etl.output`) *from its worker thread*, so the
+/// exported trace shows the stages genuinely overlapping in time.
+pub fn run_flow_parallel_traced(
+    flow: &Flow,
+    data: &Dataset,
+    recorder: &dyn Recorder,
+    trace: &exl_obs::Span,
+) -> Result<CubeData, EtlError> {
     if flow.sources.is_empty() {
         return Err(EtlError(format!("flow {}: no data sources", flow.id)));
     }
     exl_fault::check("etl.flow").map_err(|e| EtlError(e.to_string()))?;
+    let flow_span = trace.child("etl.flow");
+    flow_span.set_attr("flow", flow.id.clone());
+    flow_span.set_attr("cube", flow.output.relation.to_string());
+    let flow_ctx = flow_span.context();
 
     std::thread::scope(|scope| -> Result<CubeData, EtlError> {
         // source stages
@@ -59,16 +77,21 @@ pub fn run_flow_parallel_recorded(
         for source in &flow.sources {
             let (tx, rx) = bounded::<RowResult>(CHANNEL_CAP);
             stream_rx.push(rx);
+            let ctx = flow_ctx.clone();
             scope.spawn(move || {
+                let span = ctx.child("etl.source");
+                span.set_attr("relation", source.relation.to_string());
                 let mut sent = 0u64;
                 match read_source(source, data) {
                     Ok(rows) => {
                         send_rows(&tx, rows, recorder, &mut sent);
                     }
                     Err(e) => {
+                        span.add_event(e.to_string());
                         let _ = tx.send(Err(e));
                     }
                 }
+                span.set_attr("rows_out", sent);
                 recorder.incr_counter("etl.rows.source", sent);
             });
         }
@@ -80,20 +103,27 @@ pub fn run_flow_parallel_recorded(
             let (tx, rx) = bounded::<RowResult>(CHANNEL_CAP);
             let left_rx = acc;
             acc = rx;
+            let ctx = flow_ctx.clone();
             scope.spawn(move || {
                 // build from the right stream, then probe with the left
+                let span = ctx.child("etl.merge");
                 let mut sent = 0u64;
                 let merged = collect_rows(right_rx)
                     .and_then(|right| collect_rows(left_rx).map(|left| (left, right)))
-                    .and_then(|(left, right)| merge_rows(left, right, merge));
+                    .and_then(|(left, right)| {
+                        span.set_attr("rows_in", (left.len() + right.len()) as u64);
+                        merge_rows(left, right, merge)
+                    });
                 match merged {
                     Ok(rows) => {
                         send_rows(&tx, rows, recorder, &mut sent);
                     }
                     Err(e) => {
+                        span.add_event(e.to_string());
                         let _ = tx.send(Err(e));
                     }
                 }
+                span.set_attr("rows_out", sent);
                 recorder.incr_counter("etl.rows.merge", sent);
             });
         }
@@ -103,7 +133,10 @@ pub fn run_flow_parallel_recorded(
             let (tx, rx) = bounded::<RowResult>(CHANNEL_CAP);
             let input = acc;
             acc = rx;
+            let ctx = flow_ctx.clone();
             scope.spawn(move || {
+                let span = ctx.child("etl.transform");
+                span.set_attr("kind", t.kind());
                 let mut sent = 0u64;
                 if is_streaming(t) {
                     // row-at-a-time
@@ -116,6 +149,7 @@ pub fn run_flow_parallel_recorded(
                                     }
                                 }
                                 Err(e) => {
+                                    span.add_event(e.to_string());
                                     let _ = tx.send(Err(e));
                                     break;
                                 }
@@ -134,19 +168,25 @@ pub fn run_flow_parallel_recorded(
                             send_rows(&tx, rows, recorder, &mut sent);
                         }
                         Err(e) => {
+                            span.add_event(e.to_string());
                             let _ = tx.send(Err(e));
                         }
                     }
                 }
+                span.set_attr("rows_out", sent);
                 recorder.incr_counter("etl.rows.transform", sent);
             });
         }
 
         // output stage (on this thread); a failure here drops every
         // receiver we still hold, which cascades the shutdown upstream
+        let span = flow_span.child("etl.output");
         let rows = collect_rows(acc)?;
+        span.set_attr("rows_in", rows.len() as u64);
         recorder.incr_counter("etl.rows.output", rows.len() as u64);
-        write_output(&flow.output, rows)
+        let out = write_output(&flow.output, rows)?;
+        flow_span.set_attr("rows_out", out.len() as u64);
+        Ok(out)
     })
 }
 
@@ -202,10 +242,21 @@ pub fn run_job_parallel_recorded(
     input: &Dataset,
     recorder: &dyn Recorder,
 ) -> Result<Dataset, EtlError> {
+    run_job_parallel_traced(job, input, recorder, &exl_obs::Span::disabled())
+}
+
+/// [`run_job_parallel_recorded`] with each flow traced under an
+/// `etl.flow` child span of `trace` (see [`run_flow_parallel_traced`]).
+pub fn run_job_parallel_traced(
+    job: &Job,
+    input: &Dataset,
+    recorder: &dyn Recorder,
+    trace: &exl_obs::Span,
+) -> Result<Dataset, EtlError> {
     let _span = exl_obs::span(recorder, "etl.job");
     let mut ds = input.clone();
     for flow in &job.flows {
-        let data = run_flow_parallel_recorded(flow, &ds, recorder)?;
+        let data = run_flow_parallel_traced(flow, &ds, recorder, trace)?;
         let schema = job
             .schemas
             .get(&flow.output.relation)

@@ -449,9 +449,23 @@ impl MatInterp {
 
     /// Run a script.
     pub fn run(&mut self, src: &str) -> Result<(), MatError> {
+        self.run_traced(src, &exl_obs::Span::disabled())
+    }
+
+    /// [`run`](MatInterp::run) with one `matmini.stmt` child span of
+    /// `trace` per executed statement (attrs: `index`, `var`).
+    pub fn run_traced(&mut self, src: &str, trace: &exl_obs::Span) -> Result<(), MatError> {
         exl_fault::check("matmini.run").map_err(|e| MatError::eval(e.to_string()))?;
-        for stmt in parse(src)? {
-            self.exec(&stmt)?;
+        for (i, stmt) in parse(src)?.iter().enumerate() {
+            let span = trace.child("matmini.stmt");
+            span.set_attr("index", i as u64);
+            let (MStmt::Assign { var, .. } | MStmt::IndexAssign { var, .. }) = stmt;
+            span.set_attr("var", var.clone());
+            if let Err(e) = self.exec(stmt) {
+                span.add_event(e.to_string());
+                span.set_attr("status", "failed");
+                return Err(e);
+            }
         }
         Ok(())
     }

@@ -15,6 +15,12 @@
 
 #![warn(missing_docs)]
 
+pub mod trace;
+
+pub use trace::{
+    fmt_duration, AttrValue, Span, SpanContext, TraceEvent, TraceSnapshot, TraceSpan, Tracer,
+};
+
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::sync::Mutex;
@@ -95,8 +101,13 @@ pub struct GaugeStat {
     pub max: i64,
 }
 
+/// Retained observations per histogram for quantile estimation; when the
+/// buffer fills, every other sample is dropped and the sampling stride
+/// doubles (deterministic systematic subsampling — no RNG).
+pub const HISTOGRAM_SAMPLE_CAP: usize = 512;
+
 /// Aggregate over a histogram's observations.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct HistogramStat {
     /// Number of observations.
     pub count: u64,
@@ -106,9 +117,48 @@ pub struct HistogramStat {
     pub min: f64,
     /// Largest observation.
     pub max: f64,
+    /// Every `stride`-th observation, capped at
+    /// [`HISTOGRAM_SAMPLE_CAP`]; the basis of the quantile estimates.
+    pub samples: Vec<f64>,
+    /// Current sampling stride (1 until the buffer first fills).
+    pub stride: u64,
 }
 
 impl HistogramStat {
+    fn new(value: f64) -> HistogramStat {
+        HistogramStat {
+            count: 1,
+            sum: value,
+            min: value,
+            max: value,
+            samples: vec![value],
+            stride: 1,
+        }
+    }
+
+    fn observe(&mut self, value: f64) {
+        self.count += 1;
+        self.sum += value;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+        if (self.count - 1).is_multiple_of(self.stride) {
+            if self.samples.len() >= HISTOGRAM_SAMPLE_CAP {
+                // halve the retained set, double the stride: stays a
+                // systematic every-stride-th subsample of the stream
+                let mut keep = false;
+                self.samples.retain(|_| {
+                    keep = !keep;
+                    keep
+                });
+                self.stride = self.stride.saturating_mul(2);
+                if !(self.count - 1).is_multiple_of(self.stride) {
+                    return;
+                }
+            }
+            self.samples.push(value);
+        }
+    }
+
     /// Arithmetic mean of the observations.
     pub fn mean(&self) -> f64 {
         if self.count == 0 {
@@ -116,6 +166,21 @@ impl HistogramStat {
         } else {
             self.sum / self.count as f64
         }
+    }
+
+    /// Nearest-rank quantile estimate (`q` in `0..=1`) over the retained
+    /// samples. Exact until the histogram exceeds
+    /// [`HISTOGRAM_SAMPLE_CAP`] observations, an estimate from the
+    /// systematic subsample after.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let n = sorted.len();
+        let rank = ((q * n as f64).ceil() as usize).clamp(1, n);
+        sorted[rank - 1]
     }
 }
 
@@ -172,12 +237,16 @@ impl MetricsSnapshot {
         write_entries(&mut out, &self.histograms, |out, v| {
             let _ = write!(
                 out,
-                "{{\"count\": {}, \"sum\": {}, \"min\": {}, \"max\": {}, \"mean\": {}}}",
+                "{{\"count\": {}, \"sum\": {}, \"min\": {}, \"max\": {}, \"mean\": {}, \
+                 \"p50\": {}, \"p95\": {}, \"p99\": {}}}",
                 v.count,
                 json_f64(v.sum),
                 json_f64(v.min),
                 json_f64(v.max),
-                json_f64(v.mean())
+                json_f64(v.mean()),
+                json_f64(v.quantile(0.50)),
+                json_f64(v.quantile(0.95)),
+                json_f64(v.quantile(0.99))
             );
         });
         out.push_str("},\n  \"spans\": {");
@@ -297,18 +366,8 @@ impl Recorder for MetricsRegistry {
         inner
             .histograms
             .entry(name.to_string())
-            .and_modify(|h| {
-                h.count += 1;
-                h.sum += value;
-                h.min = h.min.min(value);
-                h.max = h.max.max(value);
-            })
-            .or_insert(HistogramStat {
-                count: 1,
-                sum: value,
-                min: value,
-                max: value,
-            });
+            .and_modify(|h| h.observe(value))
+            .or_insert_with(|| HistogramStat::new(value));
     }
 
     fn record_span(&self, name: &str, nanos: u64) {
@@ -382,12 +441,53 @@ mod tests {
         for v in [1.0, 3.0, 2.0] {
             reg.observe("h", v);
         }
-        let h = reg.snapshot().histograms["h"];
+        let snap = reg.snapshot();
+        let h = &snap.histograms["h"];
         assert_eq!(h.count, 3);
         assert_eq!(h.sum, 6.0);
         assert_eq!(h.min, 1.0);
         assert_eq!(h.max, 3.0);
         assert_eq!(h.mean(), 2.0);
+        assert_eq!(h.quantile(0.50), 2.0);
+        assert_eq!(h.quantile(0.99), 3.0);
+    }
+
+    #[test]
+    fn histogram_quantiles_are_exact_below_the_cap() {
+        let reg = MetricsRegistry::new();
+        // 1..=100 in a scrambled but deterministic order
+        for i in 0..100u64 {
+            reg.observe("h", ((i * 37) % 100 + 1) as f64);
+        }
+        let snap = reg.snapshot();
+        let h = &snap.histograms["h"];
+        assert_eq!(h.quantile(0.50), 50.0);
+        assert_eq!(h.quantile(0.95), 95.0);
+        assert_eq!(h.quantile(0.99), 99.0);
+        assert_eq!(h.quantile(0.0), 1.0);
+        assert_eq!(h.quantile(1.0), 100.0);
+    }
+
+    #[test]
+    fn histogram_sampling_degrades_gracefully_past_the_cap() {
+        let reg = MetricsRegistry::new();
+        let n = (HISTOGRAM_SAMPLE_CAP * 8) as u64;
+        for i in 0..n {
+            reg.observe("h", i as f64);
+        }
+        let snap = reg.snapshot();
+        let h = &snap.histograms["h"];
+        assert_eq!(h.count, n);
+        assert!(h.samples.len() <= HISTOGRAM_SAMPLE_CAP);
+        assert!(h.samples.len() >= HISTOGRAM_SAMPLE_CAP / 4);
+        assert!(h.stride > 1);
+        // the estimate over a uniform ramp stays within a stride of truth
+        let p50 = h.quantile(0.50);
+        assert!(
+            (p50 - n as f64 / 2.0).abs() <= 2.0 * h.stride as f64,
+            "p50 {p50} for n {n} stride {}",
+            h.stride
+        );
     }
 
     #[test]

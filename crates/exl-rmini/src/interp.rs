@@ -71,9 +71,24 @@ impl RInterp {
 
     /// Run a script.
     pub fn run(&mut self, src: &str) -> Result<(), RError> {
+        self.run_traced(src, &exl_obs::Span::disabled())
+    }
+
+    /// [`run`](RInterp::run) with one `rmini.stmt` child span of `trace`
+    /// per executed statement (attrs: `index`, `var` for assignments).
+    pub fn run_traced(&mut self, src: &str, trace: &exl_obs::Span) -> Result<(), RError> {
         exl_fault::check("rmini.run").map_err(|e| RError::eval(e.to_string()))?;
-        for stmt in parse(src)? {
-            self.exec(&stmt)?;
+        for (i, stmt) in parse(src)?.iter().enumerate() {
+            let span = trace.child("rmini.stmt");
+            span.set_attr("index", i as u64);
+            if let RStmt::Assign { var, .. } = stmt {
+                span.set_attr("var", var.clone());
+            }
+            if let Err(e) = self.exec(stmt) {
+                span.add_event(e.to_string());
+                span.set_attr("status", "failed");
+                return Err(e);
+            }
         }
         Ok(())
     }

@@ -27,10 +27,33 @@ impl Engine {
 
     /// Execute one SQL statement; `Some(table)` is returned for SELECT.
     pub fn execute(&mut self, sql: &str) -> Result<Option<Table>, SqlError> {
+        self.execute_traced(sql, &exl_obs::Span::disabled())
+    }
+
+    /// [`execute`](Engine::execute) with one `sql.stmt` child span of
+    /// `trace` per executed statement (attrs: `index`, `kind`, `table`).
+    pub fn execute_traced(
+        &mut self,
+        sql: &str,
+        trace: &exl_obs::Span,
+    ) -> Result<Option<Table>, SqlError> {
         exl_fault::check("sqlengine.execute").map_err(|e| SqlError::Execution(e.to_string()))?;
         let mut last = None;
-        for stmt in parse_script(sql)? {
-            last = self.execute_stmt(stmt)?;
+        for (i, stmt) in parse_script(sql)?.into_iter().enumerate() {
+            let span = trace.child("sql.stmt");
+            span.set_attr("index", i as u64);
+            span.set_attr("kind", stmt_kind(&stmt));
+            if let Some(table) = stmt_table(&stmt) {
+                span.set_attr("table", table.to_string());
+            }
+            match self.execute_stmt(stmt) {
+                Ok(out) => last = out,
+                Err(e) => {
+                    span.add_event(e.to_string());
+                    span.set_attr("status", "failed");
+                    return Err(e);
+                }
+            }
         }
         Ok(last)
     }
@@ -279,6 +302,29 @@ fn infer_column_types(t: &mut Table) {
         if let Some(ty) = inferred {
             col.ty = ty;
         }
+    }
+}
+
+/// Short statement label for trace spans.
+fn stmt_kind(stmt: &SqlStmt) -> &'static str {
+    match stmt {
+        SqlStmt::CreateTable { .. } => "create-table",
+        SqlStmt::CreateView { .. } => "create-view",
+        SqlStmt::DropTable { .. } => "drop-table",
+        SqlStmt::InsertValues { .. } => "insert-values",
+        SqlStmt::InsertSelect { .. } => "insert-select",
+        SqlStmt::Select(_) => "select",
+    }
+}
+
+/// The table (or view) a statement targets, if any.
+fn stmt_table(stmt: &SqlStmt) -> Option<&str> {
+    match stmt {
+        SqlStmt::CreateTable { name, .. }
+        | SqlStmt::CreateView { name, .. }
+        | SqlStmt::DropTable { name } => Some(name),
+        SqlStmt::InsertValues { table, .. } | SqlStmt::InsertSelect { table, .. } => Some(table),
+        SqlStmt::Select(_) => None,
     }
 }
 

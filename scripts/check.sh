@@ -16,6 +16,41 @@ RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps
 echo "== tier-1 =="
 cargo build --release && cargo test -q
 
+echo "== traced run =="
+# one end-to-end exlc run with tracing + progress on; the emitted Chrome
+# trace JSON must parse, be rooted, and hold one subgraph span (with
+# cube/target/status attrs) per subgraph the progress stream reported
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+cat > "$tmp/prog.exl" <<'EOF'
+cube A(q: time[quarter]) -> y;
+B := 2 * A;
+C := cumsum(B);
+EOF
+cat > "$tmp/data.json" <<'EOF'
+{ "A": [ [[{"Time": {"Quarter": {"year": 2020, "quarter": 1}}}], 1.5],
+         [[{"Time": {"Quarter": {"year": 2020, "quarter": 2}}}], 2.5] ] }
+EOF
+cargo run -q --release -p exl-engine --bin exlc -- \
+    --trace "$tmp/trace.json" --progress \
+    run "$tmp/prog.exl" "$tmp/data.json" > "$tmp/out.json" 2> "$tmp/progress.txt"
+python3 - "$tmp/trace.json" "$tmp/progress.txt" <<'PY'
+import json, sys
+trace = json.load(open(sys.argv[1]))
+events = trace["traceEvents"]
+subs = [e for e in events if e["name"] == "subgraph"]
+assert subs, "no subgraph spans in trace"
+for s in subs:
+    for key in ("cubes", "target", "status"):
+        assert key in s["args"], f"subgraph span missing {key}: {s}"
+assert any(e["name"] == "run" and "parent_id" not in e["args"] for e in events), \
+    "no rooted run span"
+progress = [l for l in open(sys.argv[2])
+            if "computed" in l or "failed" in l or "skipped" in l]
+assert len(subs) >= len(progress) >= 1, (len(subs), len(progress))
+print(f"trace ok: {len(subs)} subgraph span(s), {len(progress)} progress line(s)")
+PY
+
 echo "== chaos =="
 scripts/chaos.sh 0 1 2 3
 

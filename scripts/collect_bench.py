@@ -55,7 +55,8 @@ def print_metrics(root: pathlib.Path) -> None:
             data = json.load(f)
         spans = data.get("spans", {})
         counters = data.get("counters", {})
-        if not spans and not counters:
+        histograms = data.get("histograms", {})
+        if not spans and not counters and not histograms:
             continue
         print(f"\n### {rel} — recorded metrics\n")
         if spans:
@@ -69,6 +70,22 @@ def print_metrics(root: pathlib.Path) -> None:
             print("|---|---|")
             for name in sorted(counters):
                 print(f"| `{name}` | {counters[name]} |")
+        if histograms:
+            print("\n| histogram | count | mean | p50 | p95 | p99 | max |")
+            print("|---|---|---|---|---|---|---|")
+            for name in sorted(histograms):
+                h = histograms[name]
+                cells = [qty(h.get(k)) for k in ("mean", "p50", "p95", "p99", "max")]
+                print(f"| `{name}` | {h['count']} | " + " | ".join(cells) + " |")
+
+
+def qty(v) -> str:
+    """Render one histogram statistic (a plain number, unit unknown)."""
+    if v is None:
+        return "–"
+    if float(v) == int(v):
+        return str(int(v))
+    return f"{float(v):.2f}"
 
 
 if __name__ == "__main__":

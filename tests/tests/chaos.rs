@@ -315,3 +315,78 @@ fn interpreter_level_faults_are_retryable() {
         assert_eq!(guard.fired_count(), 1, "{site}");
     }
 }
+
+/// Tracing × chaos: a retried execution shows up in the span tree as two
+/// sibling `attempt` spans under one `subgraph` span — the failed try
+/// with `status=error` and an error event, the successful one with
+/// `status=ok`.
+#[test]
+fn retried_attempts_are_sibling_spans_with_status() {
+    let mut e = gdp_engine(TargetKind::Native);
+    let tracer = e.enable_tracing();
+    e.policy = DispatchPolicy {
+        retries: 1,
+        backoff_base: Duration::ZERO,
+        ..DispatchPolicy::default()
+    };
+    let _guard = exl_fault::install(FaultPlan::fail_once("exec.native"));
+    e.run_all().unwrap();
+
+    let snap = tracer.snapshot();
+    let attempts = snap.spans_named("attempt");
+    assert_eq!(attempts.len(), 2, "one failed + one retried attempt");
+    // same parent subgraph span — true siblings
+    assert_eq!(attempts[0].parent, attempts[1].parent);
+    let parent = snap.span(attempts[0].parent.unwrap()).unwrap();
+    assert_eq!(parent.name, "subgraph");
+    assert_eq!(parent.attr_str("status"), Some("computed"));
+    assert_eq!(parent.attr_u64("attempts"), Some(2));
+    // per-attempt outcome attrs
+    assert_eq!(attempts[0].attr_str("status"), Some("error"));
+    assert_eq!(attempts[0].attr_u64("attempt"), Some(1));
+    assert!(!attempts[0].events.is_empty(), "failed attempt logs why");
+    assert_eq!(attempts[1].attr_str("status"), Some("ok"));
+    assert_eq!(attempts[1].attr_u64("attempt"), Some(2));
+    assert_eq!(attempts[1].attr_str("target"), Some("native"));
+}
+
+/// Same for the runtime fallback chain: the failing SQL attempt and the
+/// native fallback attempt are siblings, distinguished by their `target`
+/// attrs, and the subgraph records the fallback transition as an event.
+#[test]
+fn fallback_attempts_are_siblings_with_target_attrs() {
+    let mut e = gdp_engine(TargetKind::Sql);
+    let tracer = e.enable_tracing();
+    e.policy = DispatchPolicy {
+        runtime_fallback: true,
+        backoff_base: Duration::ZERO,
+        ..DispatchPolicy::default()
+    };
+    let _guard = exl_fault::install(FaultPlan::fail_always("exec.sql"));
+    e.run_all().unwrap();
+
+    let snap = tracer.snapshot();
+    let attempts = snap.spans_named("attempt");
+    assert!(attempts.len() >= 2, "sql attempt + native fallback");
+    assert!(
+        attempts.windows(2).all(|w| w[0].parent == w[1].parent),
+        "all under one subgraph"
+    );
+    let first = attempts.first().unwrap();
+    let last = attempts.last().unwrap();
+    assert_eq!(first.attr_str("target"), Some("sql"));
+    assert_eq!(first.attr_str("status"), Some("error"));
+    assert_eq!(last.attr_str("target"), Some("native"));
+    assert_eq!(last.attr_str("status"), Some("ok"));
+    // the parent subgraph logged the reroute
+    let parent = snap.span(first.parent.unwrap()).unwrap();
+    assert!(
+        parent
+            .events
+            .iter()
+            .any(|ev| ev.message.contains("fallback")),
+        "{:?}",
+        parent.events
+    );
+    assert_eq!(parent.attr_str("status"), Some("computed"));
+}
