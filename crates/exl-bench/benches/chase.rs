@@ -4,8 +4,8 @@
 //! against the classical fair chase, whose repeated passes re-scan every
 //! rule until the fixpoint is *detected* rather than known.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use exl_bench::{gdp_at_scale, write_bench_metrics};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use exl_bench::{dataset_rows, gdp_at_scale, write_bench_metrics};
 use exl_chase::{chase, chase_recorded, ChaseMode};
 use exl_map::generate::{generate_mapping, GenMode};
 use exl_workload::{random_scenario, RandomConfig};
@@ -16,6 +16,7 @@ fn bench_chase(c: &mut Criterion) {
     for (regions, quarters) in [(4usize, 12usize), (8, 24), (16, 48)] {
         let (analyzed, data, label) = gdp_at_scale(regions, quarters);
         let (mapping, re) = generate_mapping(&analyzed, GenMode::Fused).unwrap();
+        group.throughput(Throughput::Elements(dataset_rows(&data) as u64));
         group.bench_with_input(BenchmarkId::new("eval", &label), &(), |b, _| {
             b.iter(|| exl_eval::run_program(&analyzed, &data).unwrap())
         });
@@ -38,6 +39,7 @@ fn bench_chase(c: &mut Criterion) {
             ..RandomConfig::default()
         });
         let (mapping, re) = generate_mapping(&analyzed, GenMode::Fused).unwrap();
+        group.throughput(Throughput::Elements(dataset_rows(&data) as u64));
         group.bench_with_input(BenchmarkId::new("stratified", quarters), &(), |b, _| {
             b.iter(|| chase(&mapping, &re.schemas, &data, ChaseMode::Stratified).unwrap())
         });

@@ -1,0 +1,58 @@
+//! Repeatable wall-clock snapshots of the B-series hot paths.
+//!
+//! Complements the Criterion benches with a fixed-scale, JSON-emitting
+//! runner that `scripts/bench.sh` uses to write the `BENCH_B*.json`
+//! trajectory files at the repo root. Measures the join-heavy and
+//! aggregation paths of the GDP scenario through both the native
+//! evaluator and the stratified chase.
+//!
+//! Usage: `perf_snapshot [regions] [quarters] [reps]` — defaults 64 120 5.
+//! Prints one JSON object to stdout.
+
+use std::time::Instant;
+
+use exl_bench::gdp_at_scale;
+use exl_chase::{chase, ChaseMode};
+use exl_map::generate::{generate_mapping, GenMode};
+
+fn median_ns(mut samples: Vec<f64>) -> f64 {
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+fn time_reps(reps: usize, mut f: impl FnMut()) -> f64 {
+    let mut samples = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        let t = Instant::now();
+        f();
+        samples.push(t.elapsed().as_nanos() as f64);
+    }
+    median_ns(samples)
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let regions: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(64);
+    let quarters: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(120);
+    let reps: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(5);
+
+    let (analyzed, data, label) = gdp_at_scale(regions, quarters);
+    let rows = exl_bench::dataset_rows(&data);
+    let (mapping, re) = generate_mapping(&analyzed, GenMode::Fused).expect("mapping generates");
+
+    let eval_ns = time_reps(reps, || {
+        std::hint::black_box(exl_eval::run_program(&analyzed, &data).unwrap());
+    });
+    let chase_ns = time_reps(reps, || {
+        std::hint::black_box(chase(&mapping, &re.schemas, &data, ChaseMode::Stratified).unwrap());
+    });
+
+    let rows_per_s = |ns: f64| rows as f64 / (ns / 1e9);
+    println!(
+        "{{\"label\":\"{label}\",\"rows\":{rows},\"reps\":{reps},\
+         \"eval\":{{\"median_ns\":{eval_ns},\"rows_per_s\":{:.1}}},\
+         \"chase\":{{\"median_ns\":{chase_ns},\"rows_per_s\":{:.1}}}}}",
+        rows_per_s(eval_ns),
+        rows_per_s(chase_ns),
+    );
+}

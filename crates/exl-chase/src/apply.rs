@@ -1,29 +1,30 @@
 //! Application of a single extended tgd to an instance — one "chase step"
 //! in the sense of §4.2.
+//!
+//! A rule tgd is **compiled** before it runs: every lhs variable is
+//! numbered once into a slot, atoms become slot/transform programs, and
+//! the rhs measure expression is rewritten over measure slots. Execution
+//! is then a streaming hash join over the instance's interned keys — per
+//! atom, facts are indexed on the positions whose slots earlier atoms
+//! bound, and each homomorphism is *emitted* into fact construction (a
+//! buffered `(key, measure)` pair or an aggregation group) the moment its
+//! last atom matches, instead of materializing a binding map per match.
+//! Flat slot vectors replace the former per-candidate
+//! `BTreeMap<String, DimValue>` clones.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 
-use exl_map::dep::{Atom, DimTerm, MeasureTerm, Tgd};
+use exl_lang::ast::{BinOp, UnaryFn};
+use exl_map::dep::{DimTerm, MeasureTerm, ScalarExpr, Tgd};
+use exl_model::hash::FxHashMap;
+use exl_model::intern::{DimPool, IDim, IKey};
 use exl_model::schema::CubeSchema;
-use exl_model::value::DimValue;
-use exl_model::{CubeId, DimTuple};
+use exl_model::time::Frequency;
+use exl_model::CubeId;
+use exl_stats::descriptive::AggFn;
 
 use crate::error::ChaseError;
-use crate::instance::Instance;
-
-/// A variable binding: dimension variables bind dimension values, measure
-/// variables bind measures.
-#[derive(Debug, Clone, Default)]
-pub struct Binding {
-    dims: BTreeMap<String, DimValue>,
-    measures: BTreeMap<String, f64>,
-}
-
-impl Binding {
-    fn measure(&self, var: &str) -> f64 {
-        self.measures[var]
-    }
-}
+use crate::instance::{Instance, Relation};
 
 /// Outcome of one tgd application.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -42,55 +43,9 @@ pub fn apply_tgd(
     schemas: &BTreeMap<CubeId, CubeSchema>,
 ) -> Result<ApplyStats, ChaseError> {
     match tgd {
-        Tgd::Rule {
-            lhs,
-            rhs_relation,
-            rhs_dims,
-            rhs_measure,
-            outer_default,
-            ..
-        } => {
-            let bindings = match outer_default {
-                None => enumerate(lhs, instance)?,
-                Some(default) => enumerate_outer(lhs, instance, *default)?,
-            };
-            let homomorphisms = bindings.len();
-            let mut new_facts = 0;
-
-            match rhs_measure {
-                MeasureTerm::Scalar(expr) => {
-                    for b in &bindings {
-                        let key = rhs_key(rhs_dims, b)?;
-                        let v = expr.eval(&|name| b.measure(name));
-                        if v.is_finite() && instance.insert(rhs_relation, key, v) {
-                            new_facts += 1;
-                        }
-                    }
-                }
-                MeasureTerm::Aggregate { agg, expr } => {
-                    // group matches on the rhs dimension terms — the
-                    // semantics of §4.1's aggregation tgds
-                    let mut groups: BTreeMap<DimTuple, Vec<f64>> = BTreeMap::new();
-                    for b in &bindings {
-                        let key = rhs_key(rhs_dims, b)?;
-                        groups
-                            .entry(key)
-                            .or_default()
-                            .push(expr.eval(&|n| b.measure(n)));
-                    }
-                    for (key, bag) in groups {
-                        if let Some(v) = agg.apply(&bag) {
-                            if v.is_finite() && instance.insert(rhs_relation, key, v) {
-                                new_facts += 1;
-                            }
-                        }
-                    }
-                }
-            }
-            Ok(ApplyStats {
-                homomorphisms,
-                new_facts,
-            })
+        Tgd::Rule { .. } => {
+            let compiled = CompiledRule::compile(tgd)?;
+            compiled.apply(instance)
         }
         Tgd::TableFn {
             source, op, target, ..
@@ -105,12 +60,12 @@ pub fn apply_tgd(
                     if let Some((k, a, b)) = rel.egd_violation() {
                         return Err(ChaseError::EgdViolation {
                             relation: source.to_string(),
-                            key: exl_model::format_tuple(&k),
+                            key: exl_model::format_tuple(&instance.pool().resolve_tuple(k)),
                             left: a,
                             right: b,
                         });
                     }
-                    rel.to_cube_data()
+                    rel.to_cube_data(instance.pool())
                 }
                 None => exl_model::CubeData::new(),
             };
@@ -121,7 +76,7 @@ pub fn apply_tgd(
             })?;
             let mut new_facts = 0;
             let homomorphisms = data.len();
-            for (k, v) in out.iter() {
+            for (k, v) in out.iter_sorted() {
                 if instance.insert(target, k.clone(), v) {
                     new_facts += 1;
                 }
@@ -134,180 +89,694 @@ pub fn apply_tgd(
     }
 }
 
-/// Evaluate the rhs dimension terms under a binding.
-fn rhs_key(rhs_dims: &[DimTerm], b: &Binding) -> Result<DimTuple, ChaseError> {
-    rhs_dims
-        .iter()
-        .map(|t| eval_dim_term(t, b))
-        .collect::<Result<_, _>>()
+/// How a fact value at one atom position relates to its variable's
+/// binding-space value.
+#[derive(Debug, Clone, Copy)]
+enum Transform {
+    /// fact value == binding value
+    Ident,
+    /// fact value == binding value shifted by `offset` periods
+    Shift(i64),
+    /// `Converted` in an lhs is not invertible: the position never
+    /// matches any fact (the generator never emits this shape)
+    Convert,
 }
 
-fn eval_dim_term(term: &DimTerm, b: &Binding) -> Result<DimValue, ChaseError> {
-    match term {
-        DimTerm::Var(v) => Ok(b.dims[v].clone()),
-        DimTerm::Shifted { var, offset } => {
-            let t = b.dims[var].as_time().ok_or_else(|| ChaseError::BadTerm {
-                detail: format!("shift applied to non-time value {}", b.dims[var]),
-            })?;
-            Ok(DimValue::Time(t.shift(*offset)))
-        }
-        DimTerm::Converted { var, target } => {
-            let t = b.dims[var].as_time().ok_or_else(|| ChaseError::BadTerm {
-                detail: format!("frequency conversion of non-time value {}", b.dims[var]),
-            })?;
-            let converted = t.convert(*target).ok_or_else(|| ChaseError::BadTerm {
-                detail: format!("cannot convert {t} to {}", target.name()),
-            })?;
-            Ok(DimValue::Time(converted))
+impl Transform {
+    /// Fact space → binding space (inverting the term).
+    fn to_binding(self, v: IDim) -> Option<IDim> {
+        match self {
+            Transform::Ident => Some(v),
+            Transform::Shift(off) => match v {
+                IDim::Time(t) => Some(IDim::Time(t.shift(-off))),
+                IDim::Int(i) => Some(IDim::Int(i - off)),
+                IDim::Sym(_) => None,
+            },
+            Transform::Convert => None,
         }
     }
 }
 
-/// Enumerate homomorphisms of a conjunction of atoms into the instance.
-///
-/// Standard left-to-right hash join: for each atom, facts are indexed on
-/// the positions whose variables are already bound by earlier atoms; a
-/// `Shifted` term translates between binding space and fact space via the
-/// (invertible) period shift.
-fn enumerate(lhs: &[Atom], instance: &Instance) -> Result<Vec<Binding>, ChaseError> {
-    let mut bindings = vec![Binding::default()];
-    let mut bound: Vec<String> = Vec::new();
+/// What execution does with one atom position.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum PosAction {
+    /// Slot bound by an earlier atom: part of the hash-index probe.
+    Probe,
+    /// First occurrence on this path: bind the slot.
+    Bind,
+    /// Slot bound earlier in this same atom: equality check.
+    Check,
+}
 
-    for atom in lhs {
-        // positions of this atom whose variable is already bound
-        let bound_pos: Vec<usize> = atom
-            .dim_terms
-            .iter()
-            .enumerate()
-            .filter(|(_, t)| bound.contains(&t.var_name().to_string()))
-            .map(|(i, _)| i)
-            .collect();
+/// One compiled lhs atom.
+#[derive(Debug)]
+struct CAtom {
+    relation: CubeId,
+    /// Per position: (dim slot, transform, action).
+    terms: Vec<(usize, Transform, PosAction)>,
+    /// Positions with `Probe` action, in order — the index key layout.
+    probe_pos: Vec<usize>,
+    measure_slot: usize,
+    /// True when this atom is the first to bind its measure slot;
+    /// otherwise the measure is an equality constraint.
+    measure_first: bool,
+}
 
-        // index facts on those positions, expressed in *binding space*
-        // (un-shifting fact values so lookups are direct)
-        let facts: Vec<(DimTuple, f64)> = match instance.relation(&atom.relation) {
-            Some(rel) => rel.iter().map(|(k, v)| (k.clone(), v)).collect(),
-            None => Vec::new(),
+/// A compiled rhs dimension term over dim slots.
+#[derive(Debug, Clone, Copy)]
+enum CDimTerm {
+    Var(usize),
+    Shifted { slot: usize, offset: i64 },
+    Converted { slot: usize, target: Frequency },
+}
+
+/// A compiled scalar expression over measure slots.
+#[derive(Debug)]
+enum CExpr {
+    Var(usize),
+    Const(f64),
+    Unary(UnaryFn, Box<CExpr>),
+    Binary(BinOp, Box<CExpr>, Box<CExpr>),
+}
+
+impl CExpr {
+    fn eval(&self, meas: &[f64]) -> f64 {
+        match self {
+            CExpr::Var(s) => meas[*s],
+            CExpr::Const(c) => *c,
+            CExpr::Unary(op, a) => op.apply(a.eval(meas)),
+            CExpr::Binary(op, a, b) => op.apply(a.eval(meas), b.eval(meas)),
+        }
+    }
+}
+
+/// The compiled output side of a rule.
+#[derive(Debug)]
+enum COut {
+    Scalar(CExpr),
+    Aggregate { agg: AggFn, expr: CExpr },
+}
+
+/// A rule tgd compiled to slots. Compilation also performs the binding
+/// checks the interpreter used to discover by panicking: every variable
+/// the rhs references must be bound by some lhs atom
+/// ([`ChaseError::UnboundVar`] otherwise).
+#[derive(Debug)]
+struct CompiledRule {
+    atoms: Vec<CAtom>,
+    n_dim_slots: usize,
+    n_meas_slots: usize,
+    rhs_relation: CubeId,
+    rhs_dims: Vec<CDimTerm>,
+    out: COut,
+    outer_default: Option<f64>,
+}
+
+impl CompiledRule {
+    fn compile(tgd: &Tgd) -> Result<CompiledRule, ChaseError> {
+        let Tgd::Rule {
+            id,
+            lhs,
+            rhs_relation,
+            rhs_dims,
+            rhs_measure,
+            outer_default,
+        } = tgd
+        else {
+            unreachable!("compile is only called on rule tgds");
         };
-        let mut index: HashMap<Vec<DimValue>, Vec<usize>> = HashMap::with_capacity(facts.len());
-        'facts: for (fi, (key, _)) in facts.iter().enumerate() {
-            let mut probe = Vec::with_capacity(bound_pos.len());
-            for &p in &bound_pos {
-                match fact_to_binding_value(&atom.dim_terms[p], &key[p]) {
-                    Some(v) => probe.push(v),
-                    None => continue 'facts, // e.g. non-time value under a shift term
+
+        let mut dim_slots: FxHashMap<&str, usize> = FxHashMap::default();
+        let mut meas_slots: FxHashMap<&str, usize> = FxHashMap::default();
+        let mut atoms = Vec::with_capacity(lhs.len());
+
+        for atom in lhs {
+            let mut terms = Vec::with_capacity(atom.dim_terms.len());
+            let mut probe_pos = Vec::new();
+            let mut bound_here: Vec<usize> = Vec::new();
+            for (p, term) in atom.dim_terms.iter().enumerate() {
+                let name = term.var_name();
+                let transform = match term {
+                    DimTerm::Var(_) => Transform::Ident,
+                    DimTerm::Shifted { offset, .. } => Transform::Shift(*offset),
+                    DimTerm::Converted { .. } => Transform::Convert,
+                };
+                let (slot, action) = match dim_slots.get(name) {
+                    Some(&s) if bound_here.contains(&s) => (s, PosAction::Check),
+                    Some(&s) => (s, PosAction::Probe),
+                    None => {
+                        let s = dim_slots.len();
+                        dim_slots.insert(name, s);
+                        (s, PosAction::Bind)
+                    }
+                };
+                if action == PosAction::Probe {
+                    probe_pos.push(p);
+                } else {
+                    bound_here.push(slot);
                 }
+                terms.push((slot, transform, action));
             }
-            index.entry(probe).or_default().push(fi);
+            let (measure_slot, measure_first) = match meas_slots.get(atom.measure_var.as_str()) {
+                Some(&s) => (s, false),
+                None => {
+                    let s = meas_slots.len();
+                    meas_slots.insert(&atom.measure_var, s);
+                    (s, true)
+                }
+            };
+            atoms.push(CAtom {
+                relation: atom.relation.clone(),
+                terms,
+                probe_pos,
+                measure_slot,
+                measure_first,
+            });
         }
 
-        let mut next = Vec::new();
-        for b in &bindings {
-            let probe: Vec<DimValue> = bound_pos
-                .iter()
-                .map(|&p| b.dims[atom.dim_terms[p].var_name()].clone())
-                .collect();
-            let Some(candidates) = index.get(&probe) else {
-                continue;
-            };
-            'cand: for &fi in candidates {
-                let (key, value) = &facts[fi];
-                let mut nb = b.clone();
-                for (p, term) in atom.dim_terms.iter().enumerate() {
-                    let Some(bval) = fact_to_binding_value(term, &key[p]) else {
-                        continue 'cand;
+        // the atoms of the first atom have no earlier binders: every
+        // Probe there would read an unbound slot — cannot happen, since
+        // dim_slots was empty when atom 0 compiled
+
+        let unbound = |var: &str| ChaseError::UnboundVar {
+            var: var.to_string(),
+            tgd: id.clone(),
+        };
+
+        let rhs_dims = rhs_dims
+            .iter()
+            .map(|t| {
+                let slot = *dim_slots
+                    .get(t.var_name())
+                    .ok_or_else(|| unbound(t.var_name()))?;
+                Ok(match t {
+                    DimTerm::Var(_) => CDimTerm::Var(slot),
+                    DimTerm::Shifted { offset, .. } => CDimTerm::Shifted {
+                        slot,
+                        offset: *offset,
+                    },
+                    DimTerm::Converted { target, .. } => CDimTerm::Converted {
+                        slot,
+                        target: *target,
+                    },
+                })
+            })
+            .collect::<Result<Vec<_>, ChaseError>>()?;
+
+        let compile_expr = |expr: &ScalarExpr| -> Result<CExpr, ChaseError> {
+            fn go(
+                e: &ScalarExpr,
+                slots: &FxHashMap<&str, usize>,
+                unbound: &dyn Fn(&str) -> ChaseError,
+            ) -> Result<CExpr, ChaseError> {
+                Ok(match e {
+                    ScalarExpr::Var(v) => {
+                        CExpr::Var(*slots.get(v.as_str()).ok_or_else(|| unbound(v))?)
+                    }
+                    ScalarExpr::Const(c) => CExpr::Const(*c),
+                    ScalarExpr::Unary(op, a) => CExpr::Unary(*op, Box::new(go(a, slots, unbound)?)),
+                    ScalarExpr::Binary(op, a, b) => CExpr::Binary(
+                        *op,
+                        Box::new(go(a, slots, unbound)?),
+                        Box::new(go(b, slots, unbound)?),
+                    ),
+                })
+            }
+            go(expr, &meas_slots, &unbound)
+        };
+
+        let out = match rhs_measure {
+            MeasureTerm::Scalar(e) => COut::Scalar(compile_expr(e)?),
+            MeasureTerm::Aggregate { agg, expr } => COut::Aggregate {
+                agg: *agg,
+                expr: compile_expr(expr)?,
+            },
+        };
+
+        if outer_default.is_some() {
+            if lhs.len() != 2 {
+                return Err(ChaseError::BadTerm {
+                    detail: "outer tgd must have exactly two atoms".into(),
+                });
+            }
+            // each side must bind every slot the rhs reads, so that the
+            // anti-join halves can build complete keys on their own
+            for atom in &atoms {
+                let binds: Vec<usize> = atom.terms.iter().map(|(s, _, _)| *s).collect();
+                for t in &rhs_dims {
+                    let slot = match t {
+                        CDimTerm::Var(s)
+                        | CDimTerm::Shifted { slot: s, .. }
+                        | CDimTerm::Converted { slot: s, .. } => *s,
                     };
-                    match nb.dims.get(term.var_name()) {
-                        Some(existing) if existing != &bval => continue 'cand,
-                        Some(_) => {}
-                        None => {
-                            nb.dims.insert(term.var_name().to_string(), bval);
+                    if !binds.contains(&slot) {
+                        return Err(ChaseError::BadTerm {
+                            detail: format!(
+                                "outer tgd atoms must share the rhs dimensions of {rhs_relation}"
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+
+        Ok(CompiledRule {
+            atoms,
+            n_dim_slots: dim_slots.len(),
+            n_meas_slots: meas_slots.len(),
+            rhs_relation: rhs_relation.clone(),
+            rhs_dims,
+            out,
+            outer_default: *outer_default,
+        })
+    }
+
+    /// Run the rule against the instance, streaming homomorphisms into
+    /// buffered facts, then commit the buffer to the target relation.
+    fn apply(&self, instance: &mut Instance) -> Result<ApplyStats, ChaseError> {
+        let mut exec = Exec::new(self, instance);
+        exec.enumerate()?;
+        if let Some(default) = self.outer_default {
+            exec.enumerate_outer(default)?;
+        }
+        let Exec {
+            homomorphisms,
+            scalar_facts,
+            agg_groups,
+            agg_order,
+            ..
+        } = exec;
+
+        let mut new_facts = 0;
+        match &self.out {
+            COut::Scalar(_) => {
+                for (key, v) in scalar_facts {
+                    if v.is_finite() && instance.insert_interned(&self.rhs_relation, key, v) {
+                        new_facts += 1;
+                    }
+                }
+            }
+            COut::Aggregate { agg, .. } => {
+                let mut groups = agg_groups;
+                for key in agg_order {
+                    let bag = groups.remove(&key).expect("group recorded");
+                    if let Some(v) = agg.apply(&bag) {
+                        if v.is_finite() && instance.insert_interned(&self.rhs_relation, key, v) {
+                            new_facts += 1;
                         }
                     }
                 }
-                if let Some(existing) = nb.measures.get(&atom.measure_var) {
-                    if *existing != *value {
-                        continue 'cand;
+            }
+        }
+        Ok(ApplyStats {
+            homomorphisms,
+            new_facts,
+        })
+    }
+}
+
+/// Empty relation used in place of never-touched ones.
+fn empty_relation() -> &'static Relation {
+    use std::sync::OnceLock;
+    static EMPTY: OnceLock<Relation> = OnceLock::new();
+    EMPTY.get_or_init(Relation::default)
+}
+
+/// Hash index over binding-space probe keys for one lhs atom.
+type ProbeIndex = FxHashMap<Box<[IDim]>, Vec<u32>>;
+
+/// Streaming join state for one rule application.
+struct Exec<'a> {
+    rule: &'a CompiledRule,
+    pool: &'a DimPool,
+    relations: Vec<&'a Relation>,
+    /// Per atom: hash index over binding-space probe keys (`None` for
+    /// atoms with an empty probe, which scan).
+    indexes: Vec<Option<ProbeIndex>>,
+    dims: Vec<IDim>,
+    meas: Vec<f64>,
+    homomorphisms: usize,
+    scalar_facts: Vec<(IKey, f64)>,
+    agg_groups: FxHashMap<IKey, Vec<f64>>,
+    agg_order: Vec<IKey>,
+    probe_buf: Vec<IDim>,
+}
+
+impl<'a> Exec<'a> {
+    fn new(rule: &'a CompiledRule, instance: &'a Instance) -> Exec<'a> {
+        let relations: Vec<&Relation> = rule
+            .atoms
+            .iter()
+            .map(|a| {
+                instance
+                    .relation(&a.relation)
+                    .unwrap_or_else(|| empty_relation())
+            })
+            .collect();
+
+        // Build per-atom indexes on the probe positions, translating fact
+        // values into binding space once, at build time. Rows whose value
+        // is untranslatable (a string under a shift, anything under a
+        // conversion) can never match and are dropped here.
+        let indexes = rule
+            .atoms
+            .iter()
+            .zip(&relations)
+            .map(|(atom, rel)| {
+                if atom.probe_pos.is_empty() {
+                    return None;
+                }
+                let mut index: FxHashMap<Box<[IDim]>, Vec<u32>> =
+                    FxHashMap::with_capacity_and_hasher(rel.len(), Default::default());
+                'rows: for (row, (key, _)) in rel.iter().enumerate() {
+                    let mut probe = Vec::with_capacity(atom.probe_pos.len());
+                    for &p in &atom.probe_pos {
+                        let (_, transform, _) = atom.terms[p];
+                        match transform.to_binding(key[p]) {
+                            Some(v) => probe.push(v),
+                            None => continue 'rows,
+                        }
+                    }
+                    index
+                        .entry(probe.into_boxed_slice())
+                        .or_default()
+                        .push(row as u32);
+                }
+                Some(index)
+            })
+            .collect();
+
+        Exec {
+            rule,
+            pool: instance.pool(),
+            relations,
+            indexes,
+            dims: vec![IDim::Int(0); rule.n_dim_slots],
+            meas: vec![0.0; rule.n_meas_slots],
+            homomorphisms: 0,
+            scalar_facts: Vec::new(),
+            agg_groups: FxHashMap::default(),
+            agg_order: Vec::new(),
+            probe_buf: Vec::new(),
+        }
+    }
+
+    fn enumerate(&mut self) -> Result<(), ChaseError> {
+        self.dfs(0)
+    }
+
+    fn dfs(&mut self, depth: usize) -> Result<(), ChaseError> {
+        if depth == self.rule.atoms.len() {
+            return self.emit();
+        }
+        let atom = &self.rule.atoms[depth];
+        let rel = self.relations[depth];
+
+        match &self.indexes[depth] {
+            Some(index) => {
+                self.probe_buf.clear();
+                for &p in &atom.probe_pos {
+                    self.probe_buf.push(self.dims[atom.terms[p].0]);
+                }
+                let Some(candidates) = index.get(self.probe_buf.as_slice()) else {
+                    return Ok(());
+                };
+                // the bucket Vec is shared state; clone the row ids so the
+                // recursion can rebuild probe_buf freely (buckets are tiny)
+                let candidates = candidates.clone();
+                for row in candidates {
+                    self.try_row(depth, row as usize)?;
+                }
+            }
+            None => {
+                for row in 0..rel.rows() {
+                    self.try_row(depth, row)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Bind one candidate fact row against the atom at `depth`; on
+    /// success, recurse to the next atom.
+    fn try_row(&mut self, depth: usize, row: usize) -> Result<(), ChaseError> {
+        let atom = &self.rule.atoms[depth];
+        let rel = self.relations[depth];
+        let (key, value) = rel.row(row);
+
+        for (p, &(slot, transform, action)) in atom.terms.iter().enumerate() {
+            match action {
+                // probe positions already matched via the index key
+                PosAction::Probe => {}
+                PosAction::Bind => {
+                    let Some(v) = transform.to_binding(key[p]) else {
+                        return Ok(());
+                    };
+                    self.dims[slot] = v;
+                }
+                PosAction::Check => {
+                    let Some(v) = transform.to_binding(key[p]) else {
+                        return Ok(());
+                    };
+                    if self.dims[slot] != v {
+                        return Ok(());
                     }
                 }
-                nb.measures.insert(atom.measure_var.clone(), *value);
-                next.push(nb);
             }
         }
-        for t in &atom.dim_terms {
-            let v = t.var_name().to_string();
-            if !bound.contains(&v) {
-                bound.push(v);
+        if atom.measure_first {
+            self.meas[atom.measure_slot] = value;
+        } else if self.meas[atom.measure_slot] != value {
+            return Ok(());
+        }
+        self.dfs(depth + 1)
+    }
+
+    /// One homomorphism is complete: evaluate the rhs and buffer the fact.
+    fn emit(&mut self) -> Result<(), ChaseError> {
+        self.homomorphisms += 1;
+        let key = self.rhs_key()?;
+        match &self.rule.out {
+            COut::Scalar(expr) => {
+                let v = expr.eval(&self.meas);
+                self.scalar_facts.push((key, v));
+            }
+            COut::Aggregate { expr, .. } => {
+                let v = expr.eval(&self.meas);
+                match self.agg_groups.get_mut(&key) {
+                    Some(bag) => bag.push(v),
+                    None => {
+                        self.agg_order.push(key.clone());
+                        self.agg_groups.insert(key, vec![v]);
+                    }
+                }
             }
         }
-        bindings = next;
-        if bindings.is_empty() {
-            break;
-        }
+        Ok(())
     }
-    Ok(bindings)
+
+    /// Evaluate the rhs dimension terms over the current slots.
+    fn rhs_key(&self) -> Result<IKey, ChaseError> {
+        self.rule
+            .rhs_dims
+            .iter()
+            .map(|t| match *t {
+                CDimTerm::Var(slot) => Ok(self.dims[slot]),
+                CDimTerm::Shifted { slot, offset } => match self.dims[slot] {
+                    IDim::Time(t) => Ok(IDim::Time(t.shift(offset))),
+                    v => Err(ChaseError::BadTerm {
+                        detail: format!(
+                            "shift applied to non-time value {}",
+                            self.pool.resolve_value(v)
+                        ),
+                    }),
+                },
+                CDimTerm::Converted { slot, target } => match self.dims[slot] {
+                    IDim::Time(t) => {
+                        t.convert(target)
+                            .map(IDim::Time)
+                            .ok_or_else(|| ChaseError::BadTerm {
+                                detail: format!("cannot convert {t} to {}", target.name()),
+                            })
+                    }
+                    v => Err(ChaseError::BadTerm {
+                        detail: format!(
+                            "frequency conversion of non-time value {}",
+                            self.pool.resolve_value(v)
+                        ),
+                    }),
+                },
+            })
+            .collect()
+    }
+
+    /// The outer (default-value) extension: after the inner matches, each
+    /// side's unmatched keys produce a homomorphism with the other side's
+    /// measure defaulted — the paper's default-value vectorial variant.
+    /// The compiler guaranteed exactly two atoms over the rhs dimensions.
+    fn enumerate_outer(&mut self, default: f64) -> Result<(), ChaseError> {
+        for (here, there) in [(0usize, 1usize), (1, 0)] {
+            let rel_here = self.relations[here];
+            let rel_there = self.relations[there];
+            let atom_here = &self.rule.atoms[here];
+            let atom_there = &self.rule.atoms[there];
+            for row in 0..rel_here.rows() {
+                let (key, value) = rel_here.row(row);
+                if rel_there.contains_key(key) {
+                    continue;
+                }
+                for (p, &(slot, _, _)) in atom_here.terms.iter().enumerate() {
+                    self.dims[slot] = key[p];
+                }
+                self.meas[atom_here.measure_slot] = value;
+                self.meas[atom_there.measure_slot] = default;
+                self.emit()?;
+            }
+        }
+        Ok(())
+    }
 }
 
-/// Translate a fact's dimension value to binding space for a term:
-/// `Var` is identity, `Shifted{off}` inverts the shift (binding = fact −
-/// off), `Converted` cannot appear in an lhs (the generator never emits
-/// it there) — conversion is not invertible.
-fn fact_to_binding_value(term: &DimTerm, fact_val: &DimValue) -> Option<DimValue> {
-    match term {
-        DimTerm::Var(_) => Some(fact_val.clone()),
-        DimTerm::Shifted { offset, .. } => match fact_val {
-            DimValue::Time(t) => Some(DimValue::Time(t.shift(-offset))),
-            DimValue::Int(i) => Some(DimValue::Int(i - offset)),
-            _ => None,
-        },
-        DimTerm::Converted { .. } => None,
-    }
-}
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use exl_map::dep::Atom;
+    use exl_model::value::DimValue;
 
-/// Full outer join of exactly two atoms over identical dimension term
-/// lists (the generator guarantees this shape), with a default measure for
-/// the missing side — the paper's default-value vectorial variant.
-fn enumerate_outer(
-    lhs: &[Atom],
-    instance: &Instance,
-    default: f64,
-) -> Result<Vec<Binding>, ChaseError> {
-    let [a, b] = lhs else {
-        return Err(ChaseError::BadTerm {
-            detail: "outer tgd must have exactly two atoms".into(),
-        });
-    };
-    let mut out = enumerate(lhs, instance)?;
-    let collect = |atom: &Atom| -> Vec<(DimTuple, f64)> {
-        instance
-            .relation(&atom.relation)
-            .map(|r| r.iter().map(|(k, v)| (k.clone(), v)).collect())
-            .unwrap_or_default()
-    };
-    let facts_a = collect(a);
-    let facts_b = collect(b);
-    let keys_a: std::collections::HashSet<&DimTuple> = facts_a.iter().map(|(k, _)| k).collect();
-    let keys_b: std::collections::HashSet<&DimTuple> = facts_b.iter().map(|(k, _)| k).collect();
+    fn atom(rel: &str, dims: &[&str], m: &str) -> Atom {
+        Atom {
+            relation: CubeId::new(rel),
+            dim_terms: dims.iter().map(|d| DimTerm::Var(d.to_string())).collect(),
+            measure_var: m.to_string(),
+        }
+    }
 
-    let mk = |atom_here: &Atom, atom_missing: &Atom, key: &DimTuple, v: f64| -> Binding {
-        let mut bind = Binding::default();
-        for (t, val) in atom_here.dim_terms.iter().zip(key.iter()) {
-            bind.dims.insert(t.var_name().to_string(), val.clone());
-        }
-        bind.measures.insert(atom_here.measure_var.clone(), v);
-        bind.measures
-            .insert(atom_missing.measure_var.clone(), default);
-        bind
-    };
-    for (k, v) in &facts_a {
-        if !keys_b.contains(k) {
-            out.push(mk(a, b, k, *v));
-        }
+    fn schemas() -> BTreeMap<CubeId, CubeSchema> {
+        BTreeMap::new()
     }
-    for (k, v) in &facts_b {
-        if !keys_a.contains(k) {
-            out.push(mk(b, a, k, *v));
-        }
+
+    #[test]
+    fn unbound_measure_variable_is_an_error_not_a_panic() {
+        let tgd = Tgd::Rule {
+            id: "t".into(),
+            lhs: vec![atom("A", &["k"], "x")],
+            rhs_relation: CubeId::new("B"),
+            rhs_dims: vec![DimTerm::Var("k".into())],
+            rhs_measure: MeasureTerm::Scalar(ScalarExpr::Var("nosuch".into())),
+            outer_default: None,
+        };
+        let mut inst = Instance::new();
+        inst.insert(&CubeId::new("A"), vec![DimValue::Int(1)], 1.0);
+        let err = apply_tgd(&tgd, &mut inst, &schemas()).unwrap_err();
+        assert!(
+            matches!(err, ChaseError::UnboundVar { ref var, .. } if var == "nosuch"),
+            "{err:?}"
+        );
     }
-    Ok(out)
+
+    #[test]
+    fn unbound_dimension_variable_is_an_error_not_a_panic() {
+        let tgd = Tgd::Rule {
+            id: "t".into(),
+            lhs: vec![atom("A", &["k"], "x")],
+            rhs_relation: CubeId::new("B"),
+            rhs_dims: vec![DimTerm::Var("ghost".into())],
+            rhs_measure: MeasureTerm::Scalar(ScalarExpr::Var("x".into())),
+            outer_default: None,
+        };
+        let mut inst = Instance::new();
+        inst.insert(&CubeId::new("A"), vec![DimValue::Int(1)], 1.0);
+        let err = apply_tgd(&tgd, &mut inst, &schemas()).unwrap_err();
+        assert!(
+            matches!(err, ChaseError::UnboundVar { ref var, .. } if var == "ghost"),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn join_on_shared_variable() {
+        // A(k, x) ∧ B(k, y) -> C(k, x + y)
+        let tgd = Tgd::Rule {
+            id: "t".into(),
+            lhs: vec![atom("A", &["k"], "x"), atom("B", &["k"], "y")],
+            rhs_relation: CubeId::new("C"),
+            rhs_dims: vec![DimTerm::Var("k".into())],
+            rhs_measure: MeasureTerm::Scalar(ScalarExpr::Binary(
+                BinOp::Add,
+                Box::new(ScalarExpr::Var("x".into())),
+                Box::new(ScalarExpr::Var("y".into())),
+            )),
+            outer_default: None,
+        };
+        let mut inst = Instance::new();
+        let a = CubeId::new("A");
+        let b = CubeId::new("B");
+        inst.insert(&a, vec![DimValue::Int(1)], 10.0);
+        inst.insert(&a, vec![DimValue::Int(2)], 20.0);
+        inst.insert(&b, vec![DimValue::Int(2)], 2.0);
+        inst.insert(&b, vec![DimValue::Int(3)], 3.0);
+        let stats = apply_tgd(&tgd, &mut inst, &schemas()).unwrap();
+        assert_eq!(stats.homomorphisms, 1);
+        assert_eq!(stats.new_facts, 1);
+        let c = inst.relation(&CubeId::new("C")).unwrap();
+        let pool = inst.pool();
+        let facts: Vec<(Vec<DimValue>, f64)> =
+            c.iter().map(|(k, v)| (pool.resolve_tuple(k), v)).collect();
+        assert_eq!(facts, vec![(vec![DimValue::Int(2)], 22.0)]);
+    }
+
+    #[test]
+    fn repeated_variable_inside_one_atom_filters() {
+        // A(k, k, x) -> B(k, x): only diagonal facts match
+        let tgd = Tgd::Rule {
+            id: "t".into(),
+            lhs: vec![atom("A", &["k", "k"], "x")],
+            rhs_relation: CubeId::new("B"),
+            rhs_dims: vec![DimTerm::Var("k".into())],
+            rhs_measure: MeasureTerm::Scalar(ScalarExpr::Var("x".into())),
+            outer_default: None,
+        };
+        let mut inst = Instance::new();
+        let a = CubeId::new("A");
+        inst.insert(&a, vec![DimValue::Int(1), DimValue::Int(1)], 5.0);
+        inst.insert(&a, vec![DimValue::Int(1), DimValue::Int(2)], 7.0);
+        let stats = apply_tgd(&tgd, &mut inst, &schemas()).unwrap();
+        assert_eq!(stats.homomorphisms, 1);
+        assert_eq!(stats.new_facts, 1);
+    }
+
+    #[test]
+    fn aggregate_groups_on_rhs_dims() {
+        // A(k, r, x) -> B(k, sum(x)) grouping away r
+        let mut lhs_atom = atom("A", &["k", "r"], "x");
+        lhs_atom.dim_terms = vec![DimTerm::Var("k".into()), DimTerm::Var("r".into())];
+        let tgd = Tgd::Rule {
+            id: "t".into(),
+            lhs: vec![lhs_atom],
+            rhs_relation: CubeId::new("B"),
+            rhs_dims: vec![DimTerm::Var("k".into())],
+            rhs_measure: MeasureTerm::Aggregate {
+                agg: AggFn::Sum,
+                expr: ScalarExpr::Var("x".into()),
+            },
+            outer_default: None,
+        };
+        let mut inst = Instance::new();
+        let a = CubeId::new("A");
+        inst.insert(&a, vec![DimValue::Int(1), DimValue::str("n")], 1.0);
+        inst.insert(&a, vec![DimValue::Int(1), DimValue::str("s")], 2.0);
+        inst.insert(&a, vec![DimValue::Int(2), DimValue::str("n")], 5.0);
+        let stats = apply_tgd(&tgd, &mut inst, &schemas()).unwrap();
+        assert_eq!(stats.homomorphisms, 3);
+        assert_eq!(stats.new_facts, 2);
+        let b = inst.relation(&CubeId::new("B")).unwrap();
+        let pool = inst.pool();
+        let mut facts: Vec<(Vec<DimValue>, f64)> =
+            b.iter().map(|(k, v)| (pool.resolve_tuple(k), v)).collect();
+        facts.sort_by(|x, y| x.0.cmp(&y.0));
+        assert_eq!(
+            facts,
+            vec![(vec![DimValue::Int(1)], 3.0), (vec![DimValue::Int(2)], 5.0)]
+        );
+    }
 }

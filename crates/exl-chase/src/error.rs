@@ -22,6 +22,14 @@ pub enum ChaseError {
         /// The relation.
         cube: String,
     },
+    /// A tgd's rhs references a variable no lhs atom binds. Formerly a
+    /// panic deep in binding lookup; surfaced at compile time instead.
+    UnboundVar {
+        /// The unbound variable.
+        var: String,
+        /// The tgd that references it.
+        tgd: String,
+    },
     /// A dependency term was malformed for the data it met.
     BadTerm {
         /// Explanation.
@@ -53,6 +61,12 @@ impl fmt::Display for ChaseError {
                 "chase failure: egd violated on {relation}({key}): {left} vs {right}"
             ),
             ChaseError::MissingSchema { cube } => write!(f, "no schema for relation {cube}"),
+            ChaseError::UnboundVar { var, tgd } => {
+                write!(
+                    f,
+                    "tgd {tgd}: rhs variable {var} is not bound by any lhs atom"
+                )
+            }
             ChaseError::BadTerm { detail } => write!(f, "malformed dependency term: {detail}"),
             ChaseError::TableFn { detail } => write!(f, "table function failed: {detail}"),
             ChaseError::NoFixpoint { passes } => {

@@ -10,6 +10,7 @@ use std::collections::BTreeMap;
 use std::fmt;
 
 use exl_map::dep::ScalarExpr;
+use exl_model::hash::FxHashMap;
 use exl_model::schema::{CubeId, CubeSchema};
 use exl_model::time::Frequency;
 use exl_model::value::DimValue;
@@ -275,7 +276,7 @@ pub(crate) fn read_source(s: &DataSourceStep, data: &Dataset) -> Result<Vec<Row>
         )));
     }
     let mut out = Vec::with_capacity(cube.data.len());
-    for (k, v) in cube.data.iter() {
+    for (k, v) in cube.data.iter_sorted() {
         let mut row = Row::new();
         for ((field, unshift), value) in s.dim_fields.iter().zip(k.iter()) {
             let value = if *unshift != 0 {
@@ -306,7 +307,7 @@ pub(crate) fn merge_rows(
     right: Vec<Row>,
     step: &MergeJoinStep,
 ) -> Result<Vec<Row>, EtlError> {
-    let mut index: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+    let mut index: FxHashMap<String, Vec<usize>> = FxHashMap::default();
     for (i, r) in right.iter().enumerate() {
         let key = r
             .key_of(&step.keys)
@@ -438,7 +439,10 @@ pub(crate) fn apply_transform(t: &TransformStep, rows: Vec<Row>) -> Result<Vec<R
             input,
             output,
         } => {
-            let mut groups: BTreeMap<String, (Row, Vec<f64>)> = BTreeMap::new();
+            // hash-keyed groups, emitted in first-seen row order (bags
+            // fill in input order either way, so folds are unchanged)
+            let mut index: FxHashMap<String, usize> = FxHashMap::default();
+            let mut groups: Vec<(Row, Vec<f64>)> = Vec::new();
             for row in rows {
                 let key = row
                     .key_of(keys)
@@ -447,14 +451,16 @@ pub(crate) fn apply_transform(t: &TransformStep, rows: Vec<Row>) -> Result<Vec<R
                     .get(input)
                     .and_then(|f| f.as_num())
                     .ok_or_else(|| EtlError(format!("aggregator: missing measure {input}")))?;
-                groups
-                    .entry(key)
-                    .or_insert_with(|| (row, Vec::new()))
-                    .1
-                    .push(v);
+                match index.get(&key) {
+                    Some(&gi) => groups[gi].1.push(v),
+                    None => {
+                        index.insert(key, groups.len());
+                        groups.push((row, vec![v]));
+                    }
+                }
             }
             let mut out = Vec::with_capacity(groups.len());
-            for (_, (mut row, bag)) in groups {
+            for (mut row, bag) in groups {
                 if let Some(v) = agg.apply(&bag) {
                     row.set(output.clone(), Field::Num(v));
                     out.push(row);
@@ -469,7 +475,9 @@ pub(crate) fn apply_transform(t: &TransformStep, rows: Vec<Row>) -> Result<Vec<R
             measure_field,
             period,
         } => {
-            let mut slices: BTreeMap<String, Vec<(i64, usize)>> = BTreeMap::new();
+            // slices touch disjoint row indices, so iteration order is
+            // immaterial — hash-keyed slicing drops the sorted-map tax
+            let mut slices: FxHashMap<String, Vec<(i64, usize)>> = FxHashMap::default();
             for (i, row) in rows.iter().enumerate() {
                 let t = row
                     .get(time_field)

@@ -1,24 +1,53 @@
 //! Expression and program evaluation.
+//!
+//! The evaluator works directly on [`CubeData`]'s hash storage: operand
+//! cubes are borrowed (`Cow`), never cloned, binary operators probe the
+//! right-hand side by key in O(1), and aggregation groups through a hash
+//! map keyed on the output tuple. Aggregation reads its input in sorted
+//! key order, so each group's value bag — and therefore every float fold
+//! — is identical to the former ordered-map evaluator, bit for bit.
+//!
+//! Tuple-level operators and group-by partitions fan out across
+//! [`std::thread::scope`] workers when the machine has more than one core
+//! and the operand is large enough (`PAR_MIN_ROWS`); the partitioning
+//! preserves per-group row order, so parallel results are byte-identical
+//! to serial ones (covered by tests that force multi-worker runs).
 
-use std::collections::BTreeMap;
+use std::borrow::Cow;
+use std::hash::{Hash, Hasher};
 
 use exl_lang::analyze::AnalyzedProgram;
 use exl_lang::ast::{Expr, GroupKey, JoinPolicy, Statement};
+use exl_model::hash::{FxHashMap, FxHasher};
+use exl_model::intern::{DimPool, IDim};
 use exl_model::schema::Dimension;
 use exl_model::time::Frequency;
 use exl_model::value::DimValue;
 use exl_model::{Cube, CubeData, Dataset, DimTuple};
+use exl_stats::descriptive::AggFn;
 use exl_stats::seriesop::SeriesOp;
 
 use crate::error::EvalError;
 
+/// Minimum operand rows before an operator fans out across threads.
+const PAR_MIN_ROWS: usize = 4096;
+
+/// Worker count for data-parallel operators (1 on single-core machines,
+/// capped so oversubscription never pays for thread spawns it cannot use).
+fn workers() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(8)
+}
+
 /// Evaluation result of an expression: a bare scalar or cube data with its
-/// dimensions.
-enum Val {
+/// dimensions. Cube operands borrow straight from the environment.
+enum Val<'a> {
     Scalar(f64),
     Cube {
         dims: Vec<Dimension>,
-        data: CubeData,
+        data: Cow<'a, CubeData>,
     },
 }
 
@@ -57,12 +86,12 @@ pub fn run_program(analyzed: &AnalyzedProgram, input: &Dataset) -> Result<Datase
 /// operands (the stratified evaluation order of §4.2).
 pub fn eval_statement(stmt: &Statement, env: &Dataset) -> Result<CubeData, EvalError> {
     match eval_expr(&stmt.expr, env)? {
-        Val::Cube { data, .. } => Ok(data),
+        Val::Cube { data, .. } => Ok(data.into_owned()),
         Val::Scalar(_) => unreachable!("analysis rejects constant statements"),
     }
 }
 
-fn eval_expr(expr: &Expr, env: &Dataset) -> Result<Val, EvalError> {
+fn eval_expr<'a>(expr: &Expr, env: &'a Dataset) -> Result<Val<'a>, EvalError> {
     match expr {
         Expr::Number(n) => Ok(Val::Scalar(*n)),
         Expr::Cube(id) => {
@@ -71,17 +100,24 @@ fn eval_expr(expr: &Expr, env: &Dataset) -> Result<Val, EvalError> {
             })?;
             Ok(Val::Cube {
                 dims: cube.schema.dims.clone(),
-                data: cube.data.clone(),
+                data: Cow::Borrowed(&cube.data),
             })
         }
         Expr::Unary { op, arg } => match eval_expr(arg, env)? {
             Val::Scalar(v) => Ok(Val::Scalar(op.apply(v))),
             Val::Cube { dims, data } => {
-                let mut out = CubeData::new();
-                for (k, v) in data.iter() {
-                    store_if_finite(&mut out, k.clone(), op.apply(v));
-                }
-                Ok(Val::Cube { dims, data: out })
+                let out = map_entries(
+                    &data,
+                    &|k, v| {
+                        let r = op.apply(v);
+                        Ok(r.is_finite().then(|| (k.clone(), r)))
+                    },
+                    workers(),
+                )?;
+                Ok(Val::Cube {
+                    dims,
+                    data: Cow::Owned(out),
+                })
             }
         },
         Expr::Binary {
@@ -95,42 +131,70 @@ fn eval_expr(expr: &Expr, env: &Dataset) -> Result<Val, EvalError> {
             match (l, r) {
                 (Val::Scalar(a), Val::Scalar(b)) => Ok(Val::Scalar(op.apply(a, b))),
                 (Val::Scalar(a), Val::Cube { dims, data }) => {
-                    let mut out = CubeData::new();
-                    for (k, v) in data.iter() {
-                        store_if_finite(&mut out, k.clone(), op.apply(a, v));
-                    }
-                    Ok(Val::Cube { dims, data: out })
+                    let out = map_entries(
+                        &data,
+                        &|k, v| {
+                            let r = op.apply(a, v);
+                            Ok(r.is_finite().then(|| (k.clone(), r)))
+                        },
+                        workers(),
+                    )?;
+                    Ok(Val::Cube {
+                        dims,
+                        data: Cow::Owned(out),
+                    })
                 }
                 (Val::Cube { dims, data }, Val::Scalar(b)) => {
-                    let mut out = CubeData::new();
-                    for (k, v) in data.iter() {
-                        store_if_finite(&mut out, k.clone(), op.apply(v, b));
-                    }
-                    Ok(Val::Cube { dims, data: out })
+                    let out = map_entries(
+                        &data,
+                        &|k, v| {
+                            let r = op.apply(v, b);
+                            Ok(r.is_finite().then(|| (k.clone(), r)))
+                        },
+                        workers(),
+                    )?;
+                    Ok(Val::Cube {
+                        dims,
+                        data: Cow::Owned(out),
+                    })
                 }
                 (Val::Cube { dims, data: a }, Val::Cube { data: b, .. }) => {
-                    let mut out = CubeData::new();
-                    match policy {
-                        JoinPolicy::Inner => {
-                            for (k, va) in a.iter() {
-                                if let Some(vb) = b.get(k) {
-                                    store_if_finite(&mut out, k.clone(), op.apply(va, vb));
-                                }
-                            }
-                        }
-                        JoinPolicy::Outer { default } => {
-                            for (k, va) in a.iter() {
+                    let a = a.as_ref();
+                    let b = b.as_ref();
+                    let mut out = match policy {
+                        // hash join: stream the left side, probe the right
+                        JoinPolicy::Inner => map_entries(
+                            a,
+                            &|k, va| {
+                                Ok(b.get(k).and_then(|vb| {
+                                    let r = op.apply(va, vb);
+                                    r.is_finite().then(|| (k.clone(), r))
+                                }))
+                            },
+                            workers(),
+                        )?,
+                        JoinPolicy::Outer { default } => map_entries(
+                            a,
+                            &|k, va| {
                                 let vb = b.get(k).unwrap_or(*default);
-                                store_if_finite(&mut out, k.clone(), op.apply(va, vb));
-                            }
-                            for (k, vb) in b.iter() {
-                                if a.get(k).is_none() {
-                                    store_if_finite(&mut out, k.clone(), op.apply(*default, vb));
-                                }
+                                let r = op.apply(va, vb);
+                                Ok(r.is_finite().then(|| (k.clone(), r)))
+                            },
+                            workers(),
+                        )?,
+                    };
+                    if let JoinPolicy::Outer { default } = policy {
+                        // anti side: right keys the left never produced
+                        for (k, vb) in b.iter() {
+                            if a.get(k).is_none() {
+                                store_if_finite(&mut out, k.clone(), op.apply(*default, vb));
                             }
                         }
                     }
-                    Ok(Val::Cube { dims, data: out })
+                    Ok(Val::Cube {
+                        dims,
+                        data: Cow::Owned(out),
+                    })
                 }
             }
         }
@@ -139,45 +203,41 @@ fn eval_expr(expr: &Expr, env: &Dataset) -> Result<Val, EvalError> {
                 unreachable!("analysis rejects shift on scalars")
             };
             let idx = resolve_time_index(&dims, dim.as_deref());
-            let mut out = CubeData::new();
-            for (k, v) in data.iter() {
-                let mut nk = k.clone();
-                nk[idx] = match &nk[idx] {
-                    DimValue::Time(t) => DimValue::Time(t.shift(*offset)),
-                    // §3: shift is "a sum on the values of a numeric dimension"
-                    DimValue::Int(i) => DimValue::Int(i + offset),
-                    other => {
-                        return Err(EvalError::BadTimeValue {
-                            cube: "<shift operand>".into(),
-                            detail: format!("value {other} cannot be shifted"),
-                        })
-                    }
-                };
-                // shift is injective on its axis, so no conflicts
-                out.insert(nk, v)?;
-            }
-            Ok(Val::Cube { dims, data: out })
+            let offset = *offset;
+            // shift is injective on its axis, so keys cannot collide
+            let out = map_entries(
+                &data,
+                &|k, v| {
+                    let mut nk = k.clone();
+                    nk[idx] = match &nk[idx] {
+                        DimValue::Time(t) => DimValue::Time(t.shift(offset)),
+                        // §3: shift is "a sum on the values of a numeric dimension"
+                        DimValue::Int(i) => DimValue::Int(i + offset),
+                        other => {
+                            return Err(EvalError::BadTimeValue {
+                                cube: "<shift operand>".into(),
+                                detail: format!("value {other} cannot be shifted"),
+                            })
+                        }
+                    };
+                    Ok(Some((nk, v)))
+                },
+                workers(),
+            )?;
+            Ok(Val::Cube {
+                dims,
+                data: Cow::Owned(out),
+            })
         }
         Expr::Aggregate { agg, arg, group_by } => {
             let Val::Cube { dims, data } = eval_expr(arg, env)? else {
                 unreachable!("analysis rejects aggregation of scalars")
             };
             let out_dims = aggregate_out_dims(&dims, group_by);
-            let key_fns = group_key_extractors(&dims, group_by);
-            let mut groups: BTreeMap<DimTuple, Vec<f64>> = BTreeMap::new();
-            for (k, v) in data.iter() {
-                let out_key: DimTuple = key_fns.iter().map(|f| f(k)).collect();
-                groups.entry(out_key).or_default().push(v);
-            }
-            let mut out = CubeData::new();
-            for (k, bag) in groups {
-                if let Some(v) = agg.apply(&bag) {
-                    store_if_finite(&mut out, k, v);
-                }
-            }
+            let out = aggregate(&data, &dims, group_by, *agg, workers());
             Ok(Val::Cube {
                 dims: out_dims,
-                data: out,
+                data: Cow::Owned(out),
             })
         }
         Expr::SeriesFn { op, arg } => {
@@ -185,15 +245,316 @@ fn eval_expr(expr: &Expr, env: &Dataset) -> Result<Val, EvalError> {
                 unreachable!("analysis rejects series operators on scalars")
             };
             let data = apply_series_op(*op, &dims, &data)?;
-            Ok(Val::Cube { dims, data })
+            Ok(Val::Cube {
+                dims,
+                data: Cow::Owned(data),
+            })
         }
     }
+}
+
+/// Per-entry transform used by [`map_entries`]: `Ok(None)` drops the row.
+type EntryFn<'a> =
+    &'a (dyn Fn(&DimTuple, f64) -> Result<Option<(DimTuple, f64)>, EvalError> + Sync);
+
+/// Build an output cube by mapping every entry of `data` through `f`
+/// (`Ok(None)` drops the row), fanning out across up to `threads` workers
+/// for large operands. Chunked workers preserve nothing about output
+/// *order* — the output is a map — but compute each row independently, so
+/// the result is identical to the serial pass.
+fn map_entries(data: &CubeData, f: EntryFn<'_>, threads: usize) -> Result<CubeData, EvalError> {
+    if threads <= 1 || data.len() < PAR_MIN_ROWS {
+        let mut out = CubeData::with_capacity(data.len());
+        for (k, v) in data.iter() {
+            if let Some((nk, nv)) = f(k, v)? {
+                out.insert_overwrite(nk, nv);
+            }
+        }
+        return Ok(out);
+    }
+    let entries: Vec<(&DimTuple, f64)> = data.iter().collect();
+    let chunk = entries.len().div_ceil(threads);
+    let parts: Vec<Result<Vec<(DimTuple, f64)>, EvalError>> = std::thread::scope(|s| {
+        let handles: Vec<_> = entries
+            .chunks(chunk)
+            .map(|c| {
+                s.spawn(move || {
+                    let mut part = Vec::with_capacity(c.len());
+                    for (k, v) in c {
+                        if let Some(pair) = f(k, *v)? {
+                            part.push(pair);
+                        }
+                    }
+                    Ok(part)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("eval worker panicked"))
+            .collect()
+    });
+    let mut out = CubeData::with_capacity(data.len());
+    for part in parts {
+        for (k, v) in part? {
+            out.insert_overwrite(k, v);
+        }
+    }
+    Ok(out)
+}
+
+fn fx_hash<T: Hash + ?Sized>(t: &T) -> u64 {
+    let mut h = FxHasher::default();
+    t.hash(&mut h);
+    h.finish()
+}
+
+/// One component of an aggregation's output key, resolved per input row.
+enum KeyPart {
+    /// Pass dimension `idx` through.
+    Dim(usize),
+    /// Coarsen time dimension `idx` to `target`.
+    TimeMap { idx: usize, target: Frequency },
+}
+
+fn key_parts(dims: &[Dimension], group_by: &[GroupKey]) -> Vec<KeyPart> {
+    group_by
+        .iter()
+        .map(|k| match k {
+            GroupKey::Dim(name) => KeyPart::Dim(
+                dims.iter()
+                    .position(|d| &d.name == name)
+                    .expect("validated"),
+            ),
+            GroupKey::TimeMap { target, dim, .. } => KeyPart::TimeMap {
+                idx: dims.iter().position(|d| &d.name == dim).expect("validated"),
+                target: *target,
+            },
+        })
+        .collect()
+}
+
+/// A group key evaluated over one input row. Pass-through components
+/// borrow from the row — group keys allocate no strings until a group is
+/// actually emitted.
+type GroupKeyVal<'r> = Vec<Cow<'r, DimValue>>;
+
+/// A group key component as a flat interned value — what the serial
+/// aggregation kernel hashes and compares instead of [`DimValue`]s.
+fn part_idim(part: &KeyPart, t: &DimTuple, pool: &mut DimPool) -> IDim {
+    match part {
+        KeyPart::Dim(i) => pool.intern_value(&t[*i]),
+        KeyPart::TimeMap { idx, target } => {
+            let tp = t[*idx].as_time().expect("validated time dimension");
+            IDim::Time(tp.convert(*target).expect("coarsening validated"))
+        }
+    }
+}
+
+fn part_value<'r>(part: &KeyPart, t: &'r DimTuple) -> Cow<'r, DimValue> {
+    match part {
+        KeyPart::Dim(i) => Cow::Borrowed(&t[*i]),
+        KeyPart::TimeMap { idx, target } => {
+            let tp = t[*idx].as_time().expect("validated time dimension");
+            Cow::Owned(DimValue::Time(
+                tp.convert(*target).expect("coarsening validated"),
+            ))
+        }
+    }
+}
+
+/// Group-by aggregation as a hash kernel. Rows are bucketed by output key
+/// in storage order; each bucket is then sorted by its rows' full input
+/// keys before folding, which reproduces the former sorted-map
+/// evaluator's fold order — and therefore its float results — bit for
+/// bit, without sorting the whole operand. The parallel path partitions
+/// *groups* (by key hash) across workers, keeping every bag whole.
+fn aggregate(
+    data: &CubeData,
+    dims: &[Dimension],
+    group_by: &[GroupKey],
+    agg: AggFn,
+    threads: usize,
+) -> CubeData {
+    let parts = key_parts(dims, group_by);
+
+    // fold one bucket: sorted by full input key = the old fold order
+    let fold = |bag: &mut Vec<(&DimTuple, f64)>| -> Option<f64> {
+        bag.sort_unstable_by(|a, b| a.0.cmp(b.0));
+        let values: Vec<f64> = bag.iter().map(|(_, v)| *v).collect();
+        agg.apply(&values)
+    };
+
+    if threads <= 1 || data.len() < PAR_MIN_ROWS {
+        // Pass 1: assign each row a group slot. Group keys are interned
+        // through a run-local pool, so probing hashes and compares flat
+        // `Copy` symbols, not strings; keys live in one strided vector
+        // and only first-seen groups touch the pool's string table. The
+        // index maps key hashes to a head slot; (rare) same-hash groups
+        // chain through `next_slot`, checked by full key equality.
+        const NO_SLOT: u32 = u32::MAX;
+        let stride = parts.len();
+        let mut pool = DimPool::new();
+        let mut group_keys: Vec<IDim> = Vec::new();
+        let mut next_slot: Vec<u32> = Vec::new();
+        let mut counts: Vec<u32> = Vec::new();
+        let mut index: FxHashMap<u64, u32> = FxHashMap::default();
+        let mut rows: Vec<(&DimTuple, f64)> = Vec::with_capacity(data.len());
+        let mut row_slot: Vec<u32> = Vec::with_capacity(data.len());
+        let mut scratch: Vec<IDim> = Vec::with_capacity(stride);
+        for (k, v) in data.iter() {
+            scratch.clear();
+            for p in &parts {
+                scratch.push(part_idim(p, k, &mut pool));
+            }
+            let h = fx_hash(&scratch);
+            let slot = match index.entry(h) {
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    let gi = (group_keys.len() / stride.max(1)) as u32;
+                    group_keys.extend_from_slice(&scratch);
+                    next_slot.push(NO_SLOT);
+                    counts.push(0);
+                    *e.insert(gi)
+                }
+                std::collections::hash_map::Entry::Occupied(e) => {
+                    let mut gi = *e.get();
+                    loop {
+                        let at = gi as usize * stride;
+                        if group_keys[at..at + stride] == scratch[..] {
+                            break gi;
+                        }
+                        if next_slot[gi as usize] == NO_SLOT {
+                            let ni = (group_keys.len() / stride.max(1)) as u32;
+                            group_keys.extend_from_slice(&scratch);
+                            next_slot.push(NO_SLOT);
+                            counts.push(0);
+                            next_slot[gi as usize] = ni;
+                            break ni;
+                        }
+                        gi = next_slot[gi as usize];
+                    }
+                }
+            };
+            counts[slot as usize] += 1;
+            row_slot.push(slot);
+            rows.push((k, v));
+        }
+
+        // Pass 2: scatter row indices into one flat array segmented by
+        // group (no per-bag reallocation), then sort each segment by its
+        // rows' full input keys and fold — the old sorted-map fold order,
+        // bit for bit.
+        let n_groups = counts.len();
+        let mut offsets: Vec<u32> = Vec::with_capacity(n_groups + 1);
+        let mut acc = 0u32;
+        for &c in &counts {
+            offsets.push(acc);
+            acc += c;
+        }
+        offsets.push(acc);
+        let mut cursor: Vec<u32> = offsets[..n_groups].to_vec();
+        let mut flat: Vec<u32> = vec![0; rows.len()];
+        for (ri, &slot) in row_slot.iter().enumerate() {
+            let c = &mut cursor[slot as usize];
+            flat[*c as usize] = ri as u32;
+            *c += 1;
+        }
+        let mut out = CubeData::with_capacity(n_groups);
+        let mut values: Vec<f64> = Vec::new();
+        for gi in 0..n_groups {
+            let seg = &mut flat[offsets[gi] as usize..offsets[gi + 1] as usize];
+            seg.sort_unstable_by(|&a, &b| rows[a as usize].0.cmp(rows[b as usize].0));
+            values.clear();
+            values.extend(seg.iter().map(|&ri| rows[ri as usize].1));
+            if let Some(v) = agg.apply(&values) {
+                let gk: DimTuple = group_keys[gi * stride..(gi + 1) * stride]
+                    .iter()
+                    .map(|&d| pool.resolve_value(d))
+                    .collect();
+                store_if_finite(&mut out, gk, v);
+            }
+        }
+        return out;
+    }
+
+    // phase 1: evaluate per-row group keys (and their hashes) in chunks
+    let entries: Vec<(&DimTuple, f64)> = data.iter().collect();
+    let chunk = entries.len().div_ceil(threads);
+    let keyed: Vec<Vec<(u64, GroupKeyVal, &DimTuple, f64)>> = std::thread::scope(|s| {
+        let handles: Vec<_> = entries
+            .chunks(chunk)
+            .map(|c| {
+                let parts = &parts;
+                s.spawn(move || {
+                    c.iter()
+                        .map(|(k, v)| {
+                            let gk: GroupKeyVal = parts.iter().map(|p| part_value(p, k)).collect();
+                            (fx_hash(&gk), gk, *k, *v)
+                        })
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("eval worker panicked"))
+            .collect()
+    });
+    let keyed: Vec<(u64, GroupKeyVal, &DimTuple, f64)> = keyed.into_iter().flatten().collect();
+
+    // phase 2: each worker owns the groups whose key hash lands in its
+    // partition, so every bag stays whole
+    let results: Vec<Vec<(DimTuple, f64)>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads as u64)
+            .map(|t| {
+                let keyed = &keyed;
+                let fold = &fold;
+                s.spawn(move || {
+                    let mut groups: FxHashMap<&GroupKeyVal, Vec<(&DimTuple, f64)>> =
+                        FxHashMap::default();
+                    for (h, gk, k, v) in keyed {
+                        if h % threads as u64 != t {
+                            continue;
+                        }
+                        match groups.get_mut(gk) {
+                            Some(bag) => bag.push((*k, *v)),
+                            None => {
+                                groups.insert(gk, vec![(*k, *v)]);
+                            }
+                        }
+                    }
+                    groups
+                        .into_iter()
+                        .filter_map(|(gk, mut bag)| {
+                            fold(&mut bag).map(|v| {
+                                let key: DimTuple = gk.iter().map(|c| c.as_ref().clone()).collect();
+                                (key, v)
+                            })
+                        })
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("eval worker panicked"))
+            .collect()
+    });
+
+    let mut out = CubeData::new();
+    for part in results {
+        for (k, v) in part {
+            store_if_finite(&mut out, k, v);
+        }
+    }
+    out
 }
 
 /// Apply a black-box series operator to cube data: slice on the non-time
 /// dimensions, run the operator positionally over each chronologically
 /// sorted slice. Shared with the chase (which applies the same function for
-/// table-function tgds).
+/// table-function tgds). Slices are independent, so large operands fan the
+/// per-slice computation out across threads.
 pub fn apply_series_op(
     op: SeriesOp,
     dims: &[Dimension],
@@ -207,7 +568,7 @@ pub fn apply_series_op(
     let period = series_period(freq);
 
     // group rows by their non-time dimension values
-    let mut slices: BTreeMap<DimTuple, Vec<(i64, DimTuple, f64)>> = BTreeMap::new();
+    let mut slices: FxHashMap<DimTuple, Vec<(i64, &DimTuple, f64)>> = FxHashMap::default();
     for (k, v) in data.iter() {
         let slice_key: DimTuple = k
             .iter()
@@ -221,20 +582,60 @@ pub fn apply_series_op(
                 cube: "<series operand>".into(),
                 detail: format!("value {} is not a time point", k[time_idx]),
             })?;
-        slices
-            .entry(slice_key)
-            .or_default()
-            .push((t.index(), k.clone(), v));
+        slices.entry(slice_key).or_default().push((t.index(), k, v));
     }
+    let slice_list: Vec<Vec<(i64, &DimTuple, f64)>> = slices.into_values().collect();
 
-    let mut out = CubeData::new();
-    for (_, mut rows) in slices {
+    let run_slice = |mut rows: Vec<(i64, &DimTuple, f64)>| -> Vec<(DimTuple, f64)> {
         rows.sort_by_key(|(t, _, _)| *t);
         let indices: Vec<i64> = rows.iter().map(|(t, _, _)| *t).collect();
         let values: Vec<f64> = rows.iter().map(|(_, _, v)| *v).collect();
         let result = op.apply(&indices, &values, period);
-        for ((_, key, _), v) in rows.into_iter().zip(result) {
-            store_if_finite(&mut out, key, v);
+        rows.into_iter()
+            .zip(result)
+            .filter(|(_, v)| v.is_finite())
+            .map(|((_, key, _), v)| (key.clone(), v))
+            .collect()
+    };
+
+    let threads = workers();
+    let mut out = CubeData::with_capacity(data.len());
+    if threads <= 1 || data.len() < PAR_MIN_ROWS || slice_list.len() < 2 {
+        for rows in slice_list {
+            for (k, v) in run_slice(rows) {
+                out.insert_overwrite(k, v);
+            }
+        }
+        return Ok(out);
+    }
+    type Slice<'a> = Vec<(i64, &'a DimTuple, f64)>;
+    let chunk = slice_list.len().div_ceil(threads);
+    let mut slice_list = slice_list;
+    let mut chunks: Vec<Vec<Slice>> = Vec::new();
+    while !slice_list.is_empty() {
+        let rest = slice_list.split_off(chunk.min(slice_list.len()));
+        chunks.push(std::mem::replace(&mut slice_list, rest));
+    }
+    let parts: Vec<Vec<(DimTuple, f64)>> = std::thread::scope(|s| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|c| {
+                let run_slice = &run_slice;
+                s.spawn(move || {
+                    c.into_iter()
+                        .flat_map(run_slice)
+                        .collect::<Vec<(DimTuple, f64)>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("eval worker panicked"))
+            .collect()
+    });
+    for part in parts {
+        for (k, v) in part {
+            out.insert_overwrite(k, v);
         }
     }
     Ok(out)
@@ -252,35 +653,6 @@ pub fn aggregate_out_dims(dims: &[Dimension], group_by: &[GroupKey]) -> Vec<Dime
                 .clone(),
             GroupKey::TimeMap { target, alias, .. } => {
                 Dimension::new(alias.clone(), exl_model::DimType::Time(*target))
-            }
-        })
-        .collect()
-}
-
-type KeyFn = Box<dyn Fn(&DimTuple) -> DimValue>;
-
-/// Build per-key extractor closures mapping an input tuple to one output
-/// dimension value.
-fn group_key_extractors(dims: &[Dimension], group_by: &[GroupKey]) -> Vec<KeyFn> {
-    group_by
-        .iter()
-        .map(|k| -> KeyFn {
-            match k {
-                GroupKey::Dim(name) => {
-                    let idx = dims
-                        .iter()
-                        .position(|d| &d.name == name)
-                        .expect("validated");
-                    Box::new(move |t: &DimTuple| t[idx].clone())
-                }
-                GroupKey::TimeMap { target, dim, .. } => {
-                    let idx = dims.iter().position(|d| &d.name == dim).expect("validated");
-                    let target = *target;
-                    Box::new(move |t: &DimTuple| {
-                        let tp = t[idx].as_time().expect("validated time dimension");
-                        DimValue::Time(tp.convert(target).expect("coarsening validated"))
-                    })
-                }
             }
         })
         .collect()
@@ -593,5 +965,57 @@ mod tests {
         let b1 = out1.data(&CubeId::new("B")).unwrap();
         let b2 = out2.data(&CubeId::new("B")).unwrap();
         assert!(b1.approx_eq(b2, 1e-12), "{:?}", b1.diff(b2, 1e-12));
+    }
+
+    // ---- parallel kernels must be byte-identical to serial ones ----
+
+    fn big_cube(n: i64) -> CubeData {
+        let mut data = CubeData::with_capacity(n as usize);
+        for i in 0..n {
+            // irrational-ish measures so fold order matters at the ulp level
+            data.insert_overwrite(
+                vec![DimValue::Int(i), DimValue::str(format!("g{}", i % 7))],
+                (i as f64).sin() * 1e6 + 0.1,
+            );
+        }
+        data
+    }
+
+    fn bits(data: &CubeData) -> Vec<(DimTuple, u64)> {
+        let mut v: Vec<(DimTuple, u64)> =
+            data.iter().map(|(k, m)| (k.clone(), m.to_bits())).collect();
+        v.sort_by(|a, b| a.0.cmp(&b.0));
+        v
+    }
+
+    #[test]
+    fn parallel_map_entries_matches_serial_bitwise() {
+        let data = big_cube((PAR_MIN_ROWS + 100) as i64);
+        let f = |k: &DimTuple, v: f64| -> Result<Option<(DimTuple, f64)>, EvalError> {
+            let r = (v * 1.0000001).ln();
+            Ok(r.is_finite().then(|| (k.clone(), r)))
+        };
+        let serial = map_entries(&data, &f, 1).unwrap();
+        let parallel = map_entries(&data, &f, 4).unwrap();
+        assert_eq!(bits(&serial), bits(&parallel));
+    }
+
+    #[test]
+    fn parallel_aggregate_matches_serial_bitwise() {
+        // bags of ~740 floats per group: any fold-order difference between
+        // the serial and partitioned paths would show in the low bits
+        let data = big_cube((PAR_MIN_ROWS + 1073) as i64);
+        let dims = vec![
+            Dimension::new("k", exl_model::DimType::Int),
+            Dimension::new("g", exl_model::DimType::Str),
+        ];
+        let group_by = vec![GroupKey::Dim("g".into())];
+        let serial = aggregate(&data, &dims, &group_by, AggFn::Sum, 1);
+        let parallel = aggregate(&data, &dims, &group_by, AggFn::Sum, 4);
+        assert_eq!(serial.len(), 7);
+        assert_eq!(bits(&serial), bits(&parallel));
+        let avg_s = aggregate(&data, &dims, &group_by, AggFn::Avg, 1);
+        let avg_p = aggregate(&data, &dims, &group_by, AggFn::Avg, 4);
+        assert_eq!(bits(&avg_s), bits(&avg_p));
     }
 }

@@ -161,7 +161,7 @@ impl MatSession {
     /// Encode a cube into a matrix (dims in schema order, measure last).
     pub fn encode(&mut self, cube: &Cube) -> Matrix {
         let mut m = Matrix::new(cube.schema.arity() + 1);
-        for (k, v) in cube.data.iter() {
+        for (k, v) in cube.data.iter_sorted() {
             let mut row: Vec<f64> = k
                 .iter()
                 .map(|d| match d {
@@ -214,7 +214,7 @@ impl MatSession {
                                     dim.name
                                 ))
                             })?
-                            .to_string(),
+                            .into(),
                     ),
                     DimType::Time(f) => {
                         if raw.fract() != 0.0 {

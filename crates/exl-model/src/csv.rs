@@ -56,7 +56,7 @@ pub fn to_csv(cube: &Cube) -> String {
         .collect();
     out.push_str(&header.join(","));
     out.push('\n');
-    for (k, v) in cube.data.iter() {
+    for (k, v) in cube.data.iter_sorted() {
         let mut fields: Vec<String> = k.iter().map(|d| escape(&d.to_string())).collect();
         fields.push(format!("{v:?}"));
         out.push_str(&fields.join(","));
@@ -132,7 +132,7 @@ pub fn from_csv(text: &str, schema: &CubeSchema) -> Result<CubeData, CsvError> {
 pub fn parse_dim(raw: &str, ty: DimType) -> Option<DimValue> {
     match ty {
         DimType::Int => raw.parse().ok().map(DimValue::Int),
-        DimType::Str => Some(DimValue::Str(raw.to_string())),
+        DimType::Str => Some(DimValue::Str(raw.into())),
         DimType::Time(freq) => parse_time(raw, freq).map(DimValue::Time),
     }
 }

@@ -1,15 +1,22 @@
 //! Cube instances: finite, functional sets of cube tuples.
 //!
-//! A [`CubeData`] stores the graph of the partial function the cube denotes:
-//! a `BTreeMap` from dimension tuples to the measure. The map representation
-//! makes the functional egd of §4 hold *by construction* — the chase crate
-//! deliberately does not use this type for its running instance, so that egd
-//! checking is real work there.
+//! A [`CubeData`] stores the graph of the partial function the cube denotes
+//! as a hash map from dimension tuples to the measure. The map
+//! representation makes the functional egd of §4 hold *by construction* —
+//! the chase crate deliberately does not use this type for its running
+//! instance, so that egd checking is real work there.
+//!
+//! Storage is hashed (fast point lookups and inserts on the hot paths);
+//! every boundary where ordering is observable — serialization, display,
+//! diffs, [`CubeData::to_tuples`], [`CubeData::iter_sorted`] — sorts by the
+//! dimension tuple's total order, so exported artifacts are byte-identical
+//! to what the previous `BTreeMap` representation produced. Use
+//! [`CubeData::iter`] only where order genuinely does not matter.
 
-use std::collections::BTreeMap;
 use std::fmt;
 
 use crate::error::ModelError;
+use crate::hash::FxHashMap;
 use crate::schema::CubeSchema;
 use crate::value::DimValue;
 
@@ -18,15 +25,30 @@ pub type DimTuple = Vec<DimValue>;
 
 /// The data of one cube: a finite partial function from dimension tuples to
 /// an `f64` measure.
+///
+/// The entry map is shared (`Arc`) with copy-on-write mutation: cloning a
+/// cube — which evaluation does for every input it returns — bumps a
+/// refcount, and writers pay for a deep copy only when the map is actually
+/// shared (never on freshly built cubes).
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct CubeData {
-    entries: BTreeMap<DimTuple, f64>,
+    entries: std::sync::Arc<FxHashMap<DimTuple, f64>>,
 }
 
 impl CubeData {
     /// Empty cube.
     pub fn new() -> CubeData {
         CubeData::default()
+    }
+
+    /// Empty cube with room for `n` tuples.
+    pub fn with_capacity(n: usize) -> CubeData {
+        CubeData {
+            entries: std::sync::Arc::new(FxHashMap::with_capacity_and_hasher(
+                n,
+                Default::default(),
+            )),
+        }
     }
 
     /// Build from an iterator of `(dimension tuple, measure)` pairs.
@@ -59,7 +81,7 @@ impl CubeData {
             }
             Some(_) => Ok(()),
             None => {
-                self.entries.insert(key, value);
+                std::sync::Arc::make_mut(&mut self.entries).insert(key, value);
                 Ok(())
             }
         }
@@ -68,7 +90,7 @@ impl CubeData {
     /// Insert, silently overwriting any previous value. Used by data
     /// loading paths that model "latest observation wins" revisions.
     pub fn insert_overwrite(&mut self, key: DimTuple, value: f64) {
-        self.entries.insert(key, value);
+        std::sync::Arc::make_mut(&mut self.entries).insert(key, value);
     }
 
     /// Measure at a point, if defined.
@@ -86,14 +108,27 @@ impl CubeData {
         self.entries.is_empty()
     }
 
-    /// Iterate in deterministic (sorted) order.
+    /// Iterate in storage (hash) order — deterministic for a given
+    /// insertion sequence, but *not* sorted. Use only where order does
+    /// not matter; anything user-visible goes through
+    /// [`CubeData::iter_sorted`].
     pub fn iter(&self) -> impl Iterator<Item = (&DimTuple, f64)> {
         self.entries.iter().map(|(k, &v)| (k, v))
     }
 
+    /// Iterate in the dimension tuple's total order. This is the sorted
+    /// boundary: serialization, export, display, and backend loading all
+    /// observe this order, byte-identical to the former `BTreeMap`
+    /// storage.
+    pub fn iter_sorted(&self) -> impl Iterator<Item = (&DimTuple, f64)> {
+        let mut pairs: Vec<(&DimTuple, f64)> = self.entries.iter().map(|(k, &v)| (k, v)).collect();
+        pairs.sort_unstable_by(|a, b| a.0.cmp(b.0));
+        pairs.into_iter()
+    }
+
     /// Sorted list of `(tuple, measure)` pairs, cloning keys.
     pub fn to_tuples(&self) -> Vec<(DimTuple, f64)> {
-        self.entries.iter().map(|(k, &v)| (k.clone(), v)).collect()
+        self.iter_sorted().map(|(k, v)| (k.clone(), v)).collect()
     }
 
     /// Project keys on the given dimension indices, deduplicating.
@@ -103,7 +138,7 @@ impl CubeData {
             .keys()
             .map(|k| indices.iter().map(|&i| k[i].clone()).collect())
             .collect();
-        out.sort();
+        out.sort_unstable();
         out.dedup();
         out
     }
@@ -129,7 +164,7 @@ impl CubeData {
             return None;
         }
         let mut lines = Vec::new();
-        for (k, &v) in &self.entries {
+        for (k, v) in self.iter_sorted() {
             match other.entries.get(k) {
                 None => lines.push(format!("  only left : {} -> {v}", format_tuple(k))),
                 Some(&w) if !crate::value::approx_eq(v, w, rel_tol) => {
@@ -138,13 +173,9 @@ impl CubeData {
                 _ => {}
             }
         }
-        for k in other.entries.keys() {
+        for (k, v) in other.iter_sorted() {
             if !self.entries.contains_key(k) {
-                lines.push(format!(
-                    "  only right: {} -> {}",
-                    format_tuple(k),
-                    other.entries[k]
-                ));
+                lines.push(format!("  only right: {} -> {v}", format_tuple(k)));
             }
         }
         Some(lines.join("\n"))
@@ -153,8 +184,9 @@ impl CubeData {
 
 impl serde::Serialize for CubeData {
     fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
-        // JSON objects cannot key on tuples; serialize as a pair list
-        serializer.collect_seq(self.entries.iter())
+        // JSON objects cannot key on tuples; serialize as a sorted pair
+        // list so snapshots stay byte-stable
+        serializer.collect_seq(self.iter_sorted())
     }
 }
 
@@ -167,7 +199,7 @@ impl<'de> serde::Deserialize<'de> for CubeData {
 
 impl fmt::Display for CubeData {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        for (k, v) in self.iter() {
+        for (k, v) in self.iter_sorted() {
             writeln!(f, "({}) -> {v}", format_tuple(k))?;
         }
         Ok(())
@@ -273,13 +305,34 @@ mod tests {
     }
 
     #[test]
-    fn iteration_is_sorted() {
+    fn sorted_iteration_is_sorted() {
         let mut c = CubeData::new();
         c.insert(vec![DimValue::Int(3)], 1.0).unwrap();
         c.insert(vec![DimValue::Int(1)], 1.0).unwrap();
         c.insert(vec![DimValue::Int(2)], 1.0).unwrap();
-        let keys: Vec<i64> = c.iter().map(|(k, _)| k[0].as_int().unwrap()).collect();
+        let keys: Vec<i64> = c
+            .iter_sorted()
+            .map(|(k, _)| k[0].as_int().unwrap())
+            .collect();
         assert_eq!(keys, vec![1, 2, 3]);
+        // unsorted iteration still visits every tuple exactly once
+        let mut all: Vec<i64> = c.iter().map(|(k, _)| k[0].as_int().unwrap()).collect();
+        all.sort_unstable();
+        assert_eq!(all, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn to_tuples_is_sorted() {
+        let mut c = CubeData::new();
+        for i in [9i64, 4, 7, 1, 8] {
+            c.insert(vec![DimValue::Int(i)], i as f64).unwrap();
+        }
+        let keys: Vec<i64> = c
+            .to_tuples()
+            .into_iter()
+            .map(|(k, _)| k[0].as_int().unwrap())
+            .collect();
+        assert_eq!(keys, vec![1, 4, 7, 8, 9]);
     }
 
     #[test]
@@ -316,6 +369,26 @@ mod tests {
         let json = serde_json::to_string(&c).unwrap();
         let back: CubeData = serde_json::from_str(&json).unwrap();
         assert_eq!(c, back);
+    }
+
+    #[test]
+    fn serialization_order_is_insertion_independent() {
+        let mut fwd = CubeData::new();
+        let mut rev = CubeData::new();
+        let tuples: Vec<(DimTuple, f64)> = (0..50)
+            .map(|i| (vec![DimValue::Int(i), DimValue::str("r")], i as f64))
+            .collect();
+        for (k, v) in &tuples {
+            fwd.insert(k.clone(), *v).unwrap();
+        }
+        for (k, v) in tuples.iter().rev() {
+            rev.insert(k.clone(), *v).unwrap();
+        }
+        assert_eq!(
+            serde_json::to_string(&fwd).unwrap(),
+            serde_json::to_string(&rev).unwrap()
+        );
+        assert_eq!(fwd.to_string(), rev.to_string());
     }
 
     #[test]

@@ -12,7 +12,11 @@
 //! * [`value`] — dimension values ([`DimValue`]) and hashable measures;
 //! * [`schema`] — cube schemas with named, typed dimensions and the
 //!   elementary/derived split;
-//! * [`cube`] — functional cube instances with deterministic iteration;
+//! * [`hash`] — zero-dependency deterministic Fx-style hashing;
+//! * [`intern`] — the dimension-string interner and flat `Copy` keys the
+//!   keyed join/aggregation kernels run on;
+//! * [`cube`] — functional cube instances with hashed storage and sorted
+//!   boundary iteration;
 //! * [`dataset`] — named cube collections, the instances programs run over;
 //! * [`csv`] — flat-file import/export for cube data.
 //!
@@ -25,6 +29,8 @@ pub mod csv;
 pub mod cube;
 pub mod dataset;
 pub mod error;
+pub mod hash;
+pub mod intern;
 pub mod schema;
 pub mod time;
 pub mod value;
@@ -32,6 +38,8 @@ pub mod value;
 pub use cube::{format_tuple, Cube, CubeData, DimTuple};
 pub use dataset::Dataset;
 pub use error::ModelError;
+pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
+pub use intern::{DimPool, IDim, IKey, Sym};
 pub use schema::{CubeId, CubeKind, CubeSchema, Dimension};
 pub use time::{Date, Frequency, TimePoint};
 pub use value::{approx_eq, DimType, DimValue, Measure};

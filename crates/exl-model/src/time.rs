@@ -271,15 +271,18 @@ impl TimePoint {
         }
         Some(match (self, target) {
             (p, f) if p.frequency() == f => p,
-            (TimePoint::Day(d), Frequency::Monthly) => TimePoint::Month {
-                year: d.year(),
-                month: d.month(),
-            },
-            (TimePoint::Day(d), Frequency::Quarterly) => TimePoint::Quarter {
-                year: d.year(),
-                quarter: d.quarter(),
-            },
-            (TimePoint::Day(d), Frequency::Yearly) => TimePoint::Year(d.year()),
+            (TimePoint::Day(d), Frequency::Monthly) => {
+                let (year, month, _) = d.ymd();
+                TimePoint::Month { year, month }
+            }
+            (TimePoint::Day(d), Frequency::Quarterly) => {
+                let (year, month, _) = d.ymd();
+                TimePoint::Quarter {
+                    year,
+                    quarter: (month - 1) / 3 + 1,
+                }
+            }
+            (TimePoint::Day(d), Frequency::Yearly) => TimePoint::Year(d.ymd().0),
             (TimePoint::Month { year, month }, Frequency::Quarterly) => TimePoint::Quarter {
                 year,
                 quarter: (month - 1) / 3 + 1,

@@ -10,6 +10,7 @@
 use std::cmp::Ordering;
 use std::fmt;
 use std::hash::{Hash, Hasher};
+use std::sync::Arc;
 
 use crate::time::{Frequency, TimePoint};
 
@@ -20,15 +21,17 @@ use crate::time::{Frequency, TimePoint};
 pub enum DimValue {
     /// Integer-coded dimension (codes, counters, numeric categories).
     Int(i64),
-    /// Textual dimension (region names, instrument codes, …).
-    Str(String),
+    /// Textual dimension (region names, instrument codes, …). Shared
+    /// (`Arc`) so that cloning keys — pervasive in evaluation — bumps a
+    /// refcount instead of copying the string.
+    Str(Arc<str>),
     /// Time dimension value at some frequency.
     Time(TimePoint),
 }
 
 impl DimValue {
     /// Shorthand for a textual value.
-    pub fn str(s: impl Into<String>) -> DimValue {
+    pub fn str(s: impl Into<Arc<str>>) -> DimValue {
         DimValue::Str(s.into())
     }
 
@@ -60,7 +63,7 @@ impl DimValue {
     /// The contained string slice, if this is a textual value.
     pub fn as_str(&self) -> Option<&str> {
         match self {
-            DimValue::Str(s) => Some(s),
+            DimValue::Str(s) => Some(s.as_ref()),
             _ => None,
         }
     }
@@ -84,7 +87,7 @@ impl From<i64> for DimValue {
 
 impl From<&str> for DimValue {
     fn from(v: &str) -> Self {
-        DimValue::Str(v.to_string())
+        DimValue::Str(v.into())
     }
 }
 

@@ -46,7 +46,7 @@ impl Cell {
     pub fn from_dim(v: &DimValue) -> Cell {
         match v {
             DimValue::Int(i) => Cell::Num(*i as f64),
-            DimValue::Str(s) => Cell::Str(s.clone()),
+            DimValue::Str(s) => Cell::Str(s.to_string()),
             DimValue::Time(t) => Cell::Time(*t),
         }
     }
@@ -56,7 +56,7 @@ impl Cell {
     pub fn to_dim(&self) -> Option<DimValue> {
         match self {
             Cell::Num(n) if n.fract() == 0.0 => Some(DimValue::Int(*n as i64)),
-            Cell::Str(s) => Some(DimValue::Str(s.clone())),
+            Cell::Str(s) => Some(DimValue::Str(s.as_str().into())),
             Cell::Time(t) => Some(DimValue::Time(*t)),
             _ => None,
         }
@@ -251,7 +251,7 @@ pub fn frame_from_cube(cube: &Cube) -> Frame {
         .collect();
     cols.push((cube.schema.measure.clone(), Vec::new()));
     let mut f = Frame { cols };
-    for (k, v) in cube.data.iter() {
+    for (k, v) in cube.data.iter_sorted() {
         for (i, d) in k.iter().enumerate() {
             f.cols[i].1.push(Cell::from_dim(d));
         }
@@ -307,7 +307,7 @@ fn cell_to_dim(cell: &Cell, ty: exl_model::value::DimType) -> Option<DimValue> {
     use exl_model::value::DimType;
     match (cell, ty) {
         (Cell::Num(n), DimType::Int) if n.fract() == 0.0 => Some(DimValue::Int(*n as i64)),
-        (Cell::Str(s), DimType::Str) => Some(DimValue::Str(s.clone())),
+        (Cell::Str(s), DimType::Str) => Some(DimValue::Str(s.as_str().into())),
         (Cell::Time(t), DimType::Time(f)) if t.frequency() == f => Some(DimValue::Time(*t)),
         _ => None,
     }

@@ -96,7 +96,7 @@ impl Table {
             ty: SqlType::Double,
         });
         let mut t = Table::new(cube.schema.id.to_string(), columns);
-        for (k, v) in cube.data.iter() {
+        for (k, v) in cube.data.iter_sorted() {
             let mut row: Vec<SqlValue> = k.iter().map(SqlValue::from_dim).collect();
             row.push(SqlValue::Double(v));
             t.rows.push(row);

@@ -119,7 +119,7 @@ impl SqlValue {
     pub fn from_dim(v: &DimValue) -> SqlValue {
         match v {
             DimValue::Int(i) => SqlValue::Int(*i),
-            DimValue::Str(s) => SqlValue::Text(s.clone()),
+            DimValue::Str(s) => SqlValue::Text(s.to_string()),
             DimValue::Time(t) => SqlValue::Time(*t),
         }
     }
@@ -128,7 +128,7 @@ impl SqlValue {
     pub fn to_dim(&self) -> Option<DimValue> {
         match self {
             SqlValue::Int(i) => Some(DimValue::Int(*i)),
-            SqlValue::Text(s) => Some(DimValue::Str(s.clone())),
+            SqlValue::Text(s) => Some(DimValue::Str(s.as_str().into())),
             SqlValue::Time(t) => Some(DimValue::Time(*t)),
             _ => None,
         }

@@ -187,7 +187,7 @@ pub fn random_scenario(cfg: RandomConfig) -> (AnalyzedProgram, Dataset) {
                             year: 2015 + (qi / 4) as i32,
                             quarter: (qi % 4 + 1) as u32,
                         }),
-                        DimValue::Str(format!("r{ri:02}")),
+                        DimValue::Str(format!("r{ri:02}").into()),
                     ],
                     5.0 + qi as f64 * 0.5 + ri as f64 + rng.gen_range(0.0..4.0),
                 );
@@ -204,7 +204,7 @@ pub fn random_scenario(cfg: RandomConfig) -> (AnalyzedProgram, Dataset) {
                         year: 2015 + (mi / 12) as i32,
                         month: (mi % 12 + 1) as u32,
                     }),
-                    DimValue::Str(format!("r{ri:02}")),
+                    DimValue::Str(format!("r{ri:02}").into()),
                 ],
                 3.0 + mi as f64 * 0.2 + ri as f64 + rng.gen_range(0.0..2.0),
             );

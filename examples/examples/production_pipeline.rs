@@ -54,7 +54,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                         year: 2015 + (qi / 4) as i32,
                         quarter: (qi % 4 + 1) as u32,
                     }),
-                    exl_model::DimValue::Str(format!("r{r:02}")),
+                    exl_model::DimValue::Str(format!("r{r:02}").into()),
                 ],
                 40.0 + qi as f64 + r as f64 * 5.0,
             );

@@ -46,7 +46,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 3. run and inspect
     let output = exl_eval::run_program(&analyzed, &input)?;
     println!("PCHNG (quarter-on-quarter trend change, %):");
-    for (key, value) in output.data(&"PCHNG".into()).unwrap().iter() {
+    for (key, value) in output.data(&"PCHNG".into()).unwrap().iter_sorted() {
         println!("  {} -> {value:.3}", exl_model::format_tuple(key));
     }
 

@@ -58,7 +58,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // compare month-over-month variability
     let swing = |id: &str| -> f64 {
         let cube = out.data(&id.into()).unwrap();
-        let vals: Vec<f64> = cube.iter().map(|(_, v)| v).collect();
+        let vals: Vec<f64> = cube.iter_sorted().map(|(_, v)| v).collect();
         vals.windows(2).map(|w| (w[1] - w[0]).abs()).sum::<f64>() / (vals.len() - 1) as f64
     };
     let raw_swing = swing("TOTAL");
@@ -73,7 +73,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // (0.8 × 2 regions × 12 months on a ~430 base ≈ 4–6 %/yr)
     println!("\nYoY growth of seasonally adjusted sales (%):");
     let yoy = out.data(&"YOY".into()).unwrap();
-    for (k, v) in yoy.iter().take(6) {
+    for (k, v) in yoy.iter_sorted().take(6) {
         println!("  {} -> {v:+.2}", exl_model::format_tuple(k));
     }
     for (_, v) in yoy.iter() {
@@ -82,7 +82,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let annual = out.data(&"ANNUAL".into()).unwrap();
     println!("\nannual raw totals:");
-    for (k, v) in annual.iter() {
+    for (k, v) in annual.iter_sorted() {
         println!("  {} -> {v:.0}", exl_model::format_tuple(k));
     }
     assert_eq!(annual.len(), 5);

@@ -7,8 +7,7 @@ echo "== fmt =="
 cargo fmt --all -- --check
 
 echo "== clippy =="
-cargo clippy --workspace --tests -- -D warnings
-cargo clippy --workspace -- -D warnings
+cargo clippy --workspace --all-targets -- -D warnings
 
 echo "== docs =="
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps

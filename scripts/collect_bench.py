@@ -3,10 +3,17 @@
 
 Reads target/criterion/**/new/estimates.json and prints one markdown table
 per benchmark group (B1..B7), using the median point estimate. Benches
-that record structured run metrics (via exl-obs) drop a metrics.json next
-to their estimates; those spans and counters are printed as extra tables.
+that declare Criterion element throughput also get a rows/s column.
+Benches that record structured run metrics (via exl-obs) drop a
+metrics.json next to their estimates; those spans and counters are
+printed as extra tables.
 
 Usage: python3 scripts/collect_bench.py [criterion_dir]
+       python3 scripts/collect_bench.py --snapshot [repo_root] [criterion_dir]
+
+With --snapshot, additionally writes BENCH_<group>.json trajectory files
+(one per B-series group present, e.g. BENCH_B1.json) into repo_root,
+each listing every bench's median ns and rows/s.
 """
 import json
 import pathlib
@@ -21,9 +28,9 @@ def fmt(ns: float) -> str:
     return f"{ns:.0f} ns"
 
 
-def main() -> None:
-    root = pathlib.Path(sys.argv[1] if len(sys.argv) > 1 else "target/criterion")
-    groups: dict[str, list[tuple[str, float]]] = defaultdict(list)
+def load_groups(root: pathlib.Path):
+    """Group -> [(name, median_ns, rows, rows_per_s)] from Criterion output."""
+    groups = defaultdict(list)
     for est in sorted(root.glob("**/new/estimates.json")):
         bench_dir = est.parent.parent
         rel = bench_dir.relative_to(root)
@@ -35,16 +42,63 @@ def main() -> None:
         with open(est) as f:
             data = json.load(f)
         median = data["median"]["point_estimate"]
-        groups[group].append((name, median))
+        rows = rows_per_s = None
+        bench_meta = est.parent / "benchmark.json"
+        if bench_meta.exists():
+            with open(bench_meta) as f:
+                throughput = json.load(f).get("throughput")
+            if throughput and "Elements" in throughput:
+                rows = throughput["Elements"]
+                rows_per_s = rows / (median / 1e9)
+        groups[group].append((name, median, rows, rows_per_s))
+    return groups
+
+
+def main() -> None:
+    args = sys.argv[1:]
+    snapshot_root = None
+    if args and args[0] == "--snapshot":
+        snapshot_root = pathlib.Path(args[1] if len(args) > 1 else ".")
+        args = args[2:]
+    root = pathlib.Path(args[0] if args else "target/criterion")
+    groups = load_groups(root)
 
     for group in sorted(groups):
         print(f"\n### {group}\n")
-        print("| benchmark | median |")
-        print("|---|---|")
-        for name, median in groups[group]:
-            print(f"| `{name}` | {fmt(median)} |")
+        print("| benchmark | median | rows/s |")
+        print("|---|---|---|")
+        for name, median, _rows, rows_per_s in groups[group]:
+            rate = f"{rows_per_s:,.0f}" if rows_per_s is not None else "–"
+            print(f"| `{name}` | {fmt(median)} | {rate} |")
+
+    if snapshot_root is not None:
+        write_snapshots(snapshot_root, groups)
 
     print_metrics(root)
+
+
+def write_snapshots(repo_root: pathlib.Path, groups) -> None:
+    """Write one BENCH_<group>.json per B-series group."""
+    for group, entries in sorted(groups.items()):
+        if not (group.startswith("B") and group[1:].isdigit()):
+            continue
+        out = {
+            "group": group,
+            "unit": "ns",
+            "benches": [
+                {
+                    "name": name,
+                    "median_ns": median,
+                    "rows": rows,
+                    "rows_per_s": rows_per_s,
+                }
+                for name, median, rows, rows_per_s in entries
+            ],
+        }
+        path = repo_root / f"BENCH_{group}.json"
+        with open(path, "w") as f:
+            json.dump(out, f, indent=2)
+            f.write("\n")
 
 
 def print_metrics(root: pathlib.Path) -> None:

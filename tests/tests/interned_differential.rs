@@ -1,0 +1,83 @@
+//! Differential coverage of the interned fast path: random `exl-workload`
+//! programs are executed through the compiled, interned chase and through
+//! the native evaluator's keyed kernels, and the two derived datasets
+//! must agree. This is the safety net for the data-layer rewrite — the
+//! chase runs on `DimPool`-interned columnar relations and the evaluator
+//! on hash-grouped kernels, so any divergence in interning, hashing, or
+//! fold order between the two shows up here as a reported diff.
+
+use exl_chase::{chase, ChaseMode};
+use exl_lang::analyze::AnalyzedProgram;
+use exl_map::generate::{generate_mapping, GenMode};
+use exl_model::Dataset;
+use exl_workload::{random_scenario, RandomConfig};
+use proptest::prelude::*;
+
+/// The derived cubes of a run, as their own dataset (inputs excluded, so
+/// the comparison is exactly over what the program computed).
+fn derived_only(analyzed: &AnalyzedProgram, full: &Dataset) -> Dataset {
+    let mut out = Dataset::new();
+    for id in analyzed.program.derived_ids() {
+        if let Some(cube) = full.get(&id) {
+            out.put(cube.clone());
+        }
+    }
+    out
+}
+
+fn differential(cfg: RandomConfig) -> Result<(), String> {
+    let (analyzed, input) = random_scenario(cfg);
+    let reference = exl_eval::run_program(&analyzed, &input)
+        .unwrap_or_else(|e| panic!("seed {}: eval failed: {e}", cfg.seed));
+    let (mapping, re) = generate_mapping(&analyzed, GenMode::Fused)
+        .unwrap_or_else(|e| panic!("seed {}: {e}", cfg.seed));
+    let chased = chase(&mapping, &re.schemas, &input, ChaseMode::Stratified)
+        .unwrap_or_else(|e| panic!("seed {}: chase failed: {e}", cfg.seed));
+
+    let eval_side = derived_only(&analyzed, &reference);
+    let chase_side = derived_only(&analyzed, &chased.solution);
+    prop_assert!(
+        chase_side.approx_eq_report(&eval_side, 1e-9).is_ok(),
+        "seed {}: chase and evaluator disagree\nprogram:\n{}\n{}",
+        cfg.seed,
+        exl_lang::program_to_string(&analyzed.program),
+        chase_side.approx_eq_report(&eval_side, 1e-9).unwrap_err()
+    );
+
+    // both backends are individually deterministic, bit for bit: a second
+    // run over the same inputs reproduces the exact same floats
+    let again = exl_eval::run_program(&analyzed, &input).unwrap();
+    prop_assert!(derived_only(&analyzed, &again)
+        .approx_eq_report(&eval_side, 0.0)
+        .is_ok());
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Full-menu random programs (aggregations, frequency maps, series
+    /// operators) at the default panel scale.
+    #[test]
+    fn interned_chase_matches_native_eval(seed in 0u64..10_000, statements in 3usize..10) {
+        differential(RandomConfig {
+            seed,
+            statements,
+            multituple: true,
+            ..RandomConfig::default()
+        })?;
+    }
+
+    /// Wider panels: more regions and quarters push group-bys and joins
+    /// across larger key spaces (more interned symbols, deeper buckets).
+    #[test]
+    fn interned_chase_matches_native_eval_wide(seed in 0u64..10_000) {
+        differential(RandomConfig {
+            seed,
+            statements: 6,
+            regions: 9,
+            quarters: 28,
+            multituple: true,
+        })?;
+    }
+}

@@ -99,6 +99,7 @@ impl Criterion {
             criterion: self,
             name: name.into(),
             sample_size: 10,
+            throughput: None,
         }
     }
 }
@@ -127,6 +128,7 @@ pub struct BenchmarkGroup<'a> {
     criterion: &'a mut Criterion,
     name: String,
     sample_size: usize,
+    throughput: Option<Throughput>,
 }
 
 impl BenchmarkGroup<'_> {
@@ -136,8 +138,11 @@ impl BenchmarkGroup<'_> {
         self
     }
 
-    /// Record the per-iteration throughput (accepted, not reported).
-    pub fn throughput(&mut self, _throughput: Throughput) -> &mut Self {
+    /// Record the per-iteration throughput; written to each bench's
+    /// `benchmark.json` (criterion's shape) so reporting can derive
+    /// rows/s.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
         self
     }
 
@@ -214,6 +219,13 @@ impl BenchmarkGroup<'_> {
                \"mean\":{{\"point_estimate\":{mean_ns}}}}}"
         );
         let _ = std::fs::write(dir.join("estimates.json"), json);
+        let throughput = match self.throughput {
+            Some(Throughput::Elements(n)) => format!("{{\"Elements\":{n}}}"),
+            Some(Throughput::Bytes(n)) => format!("{{\"Bytes\":{n}}}"),
+            None => "null".into(),
+        };
+        let meta = format!("{{\"full_id\":\"{full_id}\",\"throughput\":{throughput}}}");
+        let _ = std::fs::write(dir.join("benchmark.json"), meta);
     }
 }
 

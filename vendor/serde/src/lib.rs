@@ -207,6 +207,12 @@ impl Serialize for String {
     }
 }
 
+impl Serialize for std::sync::Arc<str> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(Value::String(self.to_string()))
+    }
+}
+
 impl<T: Serialize> Serialize for Option<T> {
     fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
         match self {
@@ -348,6 +354,18 @@ impl<'de> Deserialize<'de> for String {
     fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
         match take(d)? {
             Value::String(s) => Ok(s),
+            other => Err(reerr(ValueError::msg(format!(
+                "expected string, got {}",
+                other.kind()
+            )))),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for std::sync::Arc<str> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match take(d)? {
+            Value::String(s) => Ok(s.into()),
             other => Err(reerr(ValueError::msg(format!(
                 "expected string, got {}",
                 other.kind()
