@@ -1,0 +1,125 @@
+//! B4 — incremental recomputation: the vintage-update scenario. A
+//! statistical office revises one input cube (a handful of quarterly
+//! per-capita GDP observations) and re-runs the whole program. Cold, the
+//! engine recomputes every statement — including the expensive
+//! daily-panel aggregation whose inputs never changed. Warm, the
+//! content-addressed run cache serves the clean statements as exact hits
+//! and patches the dirty chain with delta kernels, so the re-run touches
+//! a fraction of the plan.
+//!
+//! Both sides time the identical sequence: apply a fresh seeded 1-cube
+//! delta, then `run_all` over the full 5-statement GDP program at
+//! 64 regions × 120 quarters. After the timed loops, one instrumented
+//! warm run drops its cache counters (hits / delta hits / misses) as a
+//! `metrics.json` next to the Criterion estimates so
+//! `scripts/collect_bench.py` surfaces how much of the plan was pruned.
+
+use std::path::PathBuf;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use exl_engine::ExlEngine;
+use exl_model::schema::CubeId;
+use exl_model::Dataset;
+use exl_workload::{gdp_scenario, DeltaGen, GdpConfig, GDP_PROGRAM};
+
+const CFG: GdpConfig = GdpConfig {
+    regions: 64,
+    quarters: 120,
+    days_per_quarter: 8,
+    seed: 42,
+};
+
+/// Revisions per vintage: a realistic trickle, tiny against 7 680 rows.
+const DELTA_OPS: usize = 3;
+
+fn build_engine(data: &Dataset, cache: bool) -> ExlEngine {
+    let (analyzed, _) = gdp_scenario(CFG);
+    let mut e = ExlEngine::new();
+    e.register_program("gdp", GDP_PROGRAM).unwrap();
+    if cache {
+        e.enable_cache();
+    }
+    for id in analyzed.elementary_inputs() {
+        e.load_elementary(&id, data.data(&id).unwrap().clone())
+            .unwrap();
+    }
+    // the first vintage: cold for both engines, warms the cache on one
+    e.run_all().unwrap();
+    e
+}
+
+fn dataset_rows(data: &Dataset) -> usize {
+    data.ids()
+        .iter()
+        .map(|id| data.data(id).unwrap().len())
+        .sum()
+}
+
+/// `target/criterion`, located like the vendored Criterion does (the
+/// bench executable lives in `target/<profile>/deps/`).
+fn criterion_dir() -> PathBuf {
+    if let Ok(exe) = std::env::current_exe() {
+        for dir in exe.ancestors() {
+            if dir.file_name().is_some_and(|n| n == "target") {
+                return dir.join("criterion");
+            }
+        }
+    }
+    PathBuf::from("target/criterion")
+}
+
+fn bench_vintage(c: &mut Criterion) {
+    let (_, data) = gdp_scenario(CFG);
+    let revised: CubeId = "RGDPPC".into();
+    let base = data.data(&revised).unwrap().clone();
+    let label = format!("{}rx{}q", CFG.regions, CFG.quarters);
+
+    let mut group = c.benchmark_group("B4/vintage-update");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(dataset_rows(&data) as u64));
+
+    // cold: no cache — the delta forces the full plan to re-execute
+    let mut cold = build_engine(&data, false);
+    let mut cold_gen = DeltaGen::new(7);
+    group.bench_with_input(BenchmarkId::new("cold", &label), &(), |b, _| {
+        b.iter(|| {
+            let patch = cold_gen.patch_cube(&base, DELTA_OPS);
+            cold.load_elementary(&revised, patch).unwrap();
+            cold.run_all().unwrap()
+        })
+    });
+
+    // warm: run cache on — clean statements replay, dirty ones patch.
+    // Every iteration applies a *distinct* delta (the generator's fresh
+    // counter advances), so this measures incremental recomputation, not
+    // a pure replay of an unchanged program.
+    let mut warm = build_engine(&data, true);
+    let mut warm_gen = DeltaGen::new(7);
+    group.bench_with_input(BenchmarkId::new("warm", &label), &(), |b, _| {
+        b.iter(|| {
+            let patch = warm_gen.patch_cube(&base, DELTA_OPS);
+            warm.load_elementary(&revised, patch).unwrap();
+            warm.run_all().unwrap()
+        })
+    });
+    group.finish();
+
+    // one instrumented warm vintage: surface the plan-pruning counters
+    let mut metered = build_engine(&data, true);
+    metered.enable_metrics();
+    let patch = DeltaGen::new(11).patch_cube(&base, DELTA_OPS);
+    metered.load_elementary(&revised, patch).unwrap();
+    let report = metered.run_all().unwrap();
+    assert!(
+        report.cache.hits + report.cache.delta_hits > 0,
+        "warm vintage never used the cache: {:?}",
+        report.cache
+    );
+    let dir = criterion_dir().join("B4");
+    if std::fs::create_dir_all(&dir).is_ok() {
+        let _ = std::fs::write(dir.join("metrics.json"), report.metrics.to_json());
+    }
+}
+
+criterion_group!(benches, bench_vintage);
+criterion_main!(benches);

@@ -39,6 +39,14 @@
 //! * `--keep-going` — degradation mode: complete everything not
 //!   downstream of a failure (meaningful for multi-subgraph runs).
 //!
+//! Run-cache options for `run` (see `docs/INCREMENTAL.md`):
+//!
+//! * `--cache-dir <dir>` — arm the content-addressed run cache with a
+//!   persistent store under `<dir>`: statements whose inputs are
+//!   bit-identical to a previous run (this process or any earlier one)
+//!   are skipped, and a one-line hit/miss summary is printed to stderr;
+//! * `--no-cache` — force a cold run; overrides `--cache-dir`.
+//!
 //! `data.json` holds `{ "CUBE": [ [[dims…], measure], … ], … }` — dimension
 //! values use the serde encoding of `exl_model::DimValue`. CSV files use the
 //! flat format of `exl_model::csv` (header = dimensions + measure).
@@ -71,6 +79,8 @@ struct Globals {
     trace_path: Option<String>,
     progress: bool,
     policy: Option<DispatchPolicy>,
+    cache_dir: Option<String>,
+    no_cache: bool,
 }
 
 fn main() -> ExitCode {
@@ -141,11 +151,15 @@ fn extract_globals(args: &mut Vec<String>) -> Result<Globals, String> {
     let trace_path = extract_value_flag(args, "--trace")?;
     let progress = extract_bool_flag(args, "--progress")?;
     let policy = extract_policy(args)?;
+    let cache_dir = extract_value_flag(args, "--cache-dir")?;
+    let no_cache = extract_bool_flag(args, "--no-cache")?;
     Ok(Globals {
         metrics_path,
         trace_path,
         progress,
         policy,
+        cache_dir,
+        no_cache,
     })
 }
 
@@ -217,8 +231,8 @@ fn run(
     tracer: &Tracer,
 ) -> Result<(), String> {
     let usage = "usage: exlc [--metrics <path>] [--trace <path>] [--progress] [--retries <n>] \
-                 [--subgraph-timeout-ms <n>] [--keep-going] <check|tgds|translate|run|explain> …  \
-                 (see crate docs)";
+                 [--subgraph-timeout-ms <n>] [--keep-going] [--cache-dir <dir>] [--no-cache] \
+                 <check|tgds|translate|run|explain> …  (see crate docs)";
     match args {
         [cmd, rest @ ..] => match cmd.as_str() {
             "check" => check(rest, recorder),
@@ -355,6 +369,7 @@ fn build_engine(
         e.progress = Some(ProgressSink::new(|ev| {
             let status = match ev.status {
                 SubgraphStatus::Computed => "computed",
+                SubgraphStatus::Cached => "cached",
                 SubgraphStatus::Failed => "failed",
                 SubgraphStatus::Skipped => "skipped",
             };
@@ -367,6 +382,11 @@ fn build_engine(
                 ev.target.name()
             );
         }));
+    }
+    if !globals.no_cache {
+        if let Some(dir) = &globals.cache_dir {
+            e.enable_disk_cache(dir).map_err(|e| e.to_string())?;
+        }
     }
     e.register_program("main", &source)
         .map_err(|e| e.to_string())?;
@@ -400,12 +420,23 @@ fn do_run(
         .is_some_and(|policy| policy.keep_going);
 
     let mut result: BTreeMap<String, JsonCube> = BTreeMap::new();
-    if globals.trace_path.is_some() || globals.progress {
-        // tracing or progress asked for: run through the full engine so
-        // the span tree covers real per-subgraph dispatch
+    let use_cache = globals.cache_dir.is_some() && !globals.no_cache;
+    if globals.trace_path.is_some() || globals.progress || use_cache {
+        // tracing, progress, or the run cache asked for: run through the
+        // full engine so per-subgraph dispatch (and cache resolution) is
+        // real
         let mut e = build_engine(path, &analyzed, &input, metrics, globals, tracer)?;
         e.default_target = target;
-        e.run_all().map_err(|e| e.to_string())?;
+        let report = e.run_all().map_err(|e| e.to_string())?;
+        if use_cache {
+            eprintln!(
+                "exlc: cache: {} hit, {} delta, {} miss ({} stored)",
+                report.cache.hits,
+                report.cache.delta_hits,
+                report.cache.misses,
+                report.cache.stores
+            );
+        }
         for id in analyzed.program.derived_ids() {
             match e.data(&id) {
                 Some(data) => {

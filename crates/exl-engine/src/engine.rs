@@ -14,6 +14,7 @@ use exl_model::schema::{CubeId, CubeKind};
 use exl_model::CubeData;
 use exl_obs::{MetricsRegistry, MetricsSnapshot, NoopRecorder, Recorder};
 
+use crate::cache::{CacheStats, RunCache, StmtCacheCounts};
 use crate::catalog::Catalog;
 use crate::determination::{GlobalGraph, Subgraph};
 use crate::error::EngineError;
@@ -44,7 +45,7 @@ impl std::fmt::Debug for ProgressSink {
     }
 }
 
-/// One subgraph finished (computed, failed, or skipped).
+/// One subgraph finished (computed, cached, failed, or skipped).
 #[derive(Debug, Clone)]
 pub struct ProgressEvent {
     /// Subgraphs finished so far in this run, this one included.
@@ -81,6 +82,10 @@ pub struct ExlEngine {
     tracer: exl_obs::Tracer,
     /// Per-subgraph completion callback (see [`ProgressSink`]).
     pub progress: Option<ProgressSink>,
+    /// The run cache, armed via [`ExlEngine::enable_cache`] or
+    /// [`ExlEngine::enable_disk_cache`]. When `None` every statement is
+    /// recomputed from scratch (cold semantics).
+    cache: Option<RunCache>,
 }
 
 /// What happened to one subgraph during a run.
@@ -95,10 +100,14 @@ pub struct SubgraphReport {
     pub cubes: Vec<CubeId>,
     /// Final status under the dispatch supervisor.
     pub status: SubgraphStatus,
-    /// Execution attempts, in order (empty for skipped subgraphs).
+    /// Execution attempts, in order (empty for skipped and cached
+    /// subgraphs).
     pub attempts: Vec<Attempt>,
     /// The error that failed the subgraph, when it failed.
     pub error: Option<String>,
+    /// Statement-level cache resolution counts (all zero when the run
+    /// cache is disabled).
+    pub cache: StmtCacheCounts,
 }
 
 /// Report of one recomputation run.
@@ -119,6 +128,11 @@ pub struct RunReport {
     /// Metrics gathered during the run (empty unless the engine has
     /// observability enabled via [`ExlEngine::enable_metrics`]).
     pub metrics: MetricsSnapshot,
+    /// Run-cache activity during this run (all zero when the cache is
+    /// disabled): statements skipped on exact hits, statements patched
+    /// incrementally, statements executed in full, plus the disk store's
+    /// I/O health counters.
+    pub cache: CacheStats,
 }
 
 impl Default for ExlEngine {
@@ -132,6 +146,7 @@ impl Default for ExlEngine {
             metrics: None,
             tracer: exl_obs::Tracer::disabled(),
             progress: None,
+            cache: None,
         }
     }
 }
@@ -196,6 +211,44 @@ impl ExlEngine {
     /// The engine's metrics registry, if observability is enabled.
     pub fn metrics(&self) -> Option<&Arc<MetricsRegistry>> {
         self.metrics.as_ref()
+    }
+
+    /// Turn on the in-memory run cache: subsequent runs skip every
+    /// statement whose statement text, target, schemas, and input cube
+    /// contents are unchanged, and patch incrementally where the delta
+    /// kernels apply. No-op if a cache (of either kind) is already armed.
+    pub fn enable_cache(&mut self) {
+        if self.cache.is_none() {
+            self.cache = Some(RunCache::in_memory());
+        }
+    }
+
+    /// Turn on the run cache with a disk mirror rooted at `dir`, so
+    /// cached results survive the process (and entries written by earlier
+    /// processes are reused). Replaces any previously armed cache.
+    pub fn enable_disk_cache(
+        &mut self,
+        dir: impl Into<std::path::PathBuf>,
+    ) -> Result<(), EngineError> {
+        self.cache = Some(RunCache::with_dir(dir)?);
+        Ok(())
+    }
+
+    /// Drop the run cache; subsequent runs are cold.
+    pub fn disable_cache(&mut self) {
+        self.cache = None;
+    }
+
+    /// Whether a run cache is armed.
+    pub fn cache_enabled(&self) -> bool {
+        self.cache.is_some()
+    }
+
+    /// Cumulative I/O statistics of the armed cache (stores, corrupt
+    /// entries, write failures), if any. Per-run hit/miss counts live in
+    /// [`RunReport::cache`].
+    pub fn cache_stats(&self) -> Option<CacheStats> {
+        self.cache.as_ref().map(|c| c.stats())
     }
 
     /// Turn on hierarchical tracing: every subsequent run records a span
@@ -452,6 +505,23 @@ impl ExlEngine {
         recorder: &dyn Recorder,
         run_span: &exl_obs::Span,
     ) -> Result<RunReport, EngineError> {
+        // move the cache out of `self` for the duration of the run so the
+        // dispatcher can consult it mutably while borrowing the catalog
+        let mut cache = self.cache.take();
+        let result = self.recompute_inner(changed, registry, recorder, run_span, &mut cache);
+        self.cache = cache;
+        result
+    }
+
+    fn recompute_inner(
+        &mut self,
+        changed: &[CubeId],
+        registry: Option<&Arc<MetricsRegistry>>,
+        recorder: &dyn Recorder,
+        run_span: &exl_obs::Span,
+        cache: &mut Option<RunCache>,
+    ) -> Result<RunReport, EngineError> {
+        let cache_io_start = cache.as_ref().map(|c| c.stats()).unwrap_or_default();
         let translated = {
             let _span = exl_obs::span(recorder, "engine.plan_and_translate");
             let plan_span = run_span.child("plan");
@@ -532,6 +602,7 @@ impl ExlEngine {
                         SubgraphStatus::Skipped,
                         Vec::new(),
                         None,
+                        StmtCacheCounts::default(),
                     ));
                     self.emit_progress(
                         &mut done_subgraphs,
@@ -545,6 +616,68 @@ impl ExlEngine {
                 match self.prepare_inputs_staged(sub, &staged) {
                     Ok(prepared) => {
                         span.set_attr("rows_in", dataset_rows(&prepared));
+                        // consult the run cache: if every statement of the
+                        // subgraph resolves (exact content hit or delta
+                        // patch), stage the cached outputs and never spawn
+                        if let Some(c) = cache.as_mut() {
+                            let effective = if *fallback {
+                                TargetKind::Native
+                            } else {
+                                sub.target
+                            };
+                            let stmts = self.statements_of(sub);
+                            if let Some((outputs, counts)) =
+                                c.resolve_statements(&stmts, effective, &prepared, &|id| {
+                                    self.catalog.schema(id).cloned()
+                                })
+                            {
+                                // a subgraph with inline-evaluated dirty
+                                // statements still computed something: only
+                                // a fully cache-served one reports Cached
+                                let status = if counts.misses == 0 {
+                                    SubgraphStatus::Cached
+                                } else {
+                                    SubgraphStatus::Computed
+                                };
+                                span.set_attr("cache_hit", counts.misses == 0);
+                                span.set_attr(
+                                    "status",
+                                    if counts.misses == 0 {
+                                        "cached"
+                                    } else {
+                                        "computed"
+                                    },
+                                );
+                                recorder.incr_counter("engine.subgraphs_cached", 1);
+                                recorder.incr_counter("cache.hits", counts.hits);
+                                recorder.incr_counter("cache.delta_hits", counts.delta_hits);
+                                recorder.incr_counter("cache.misses", counts.misses);
+                                report.cache.hits += counts.hits;
+                                report.cache.delta_hits += counts.delta_hits;
+                                report.cache.misses += counts.misses;
+                                for (id, data) in outputs {
+                                    staged.insert(id.clone(), data);
+                                    commit_order.push(id.clone());
+                                    report.computed.push(id);
+                                }
+                                sub_reports[si] = Some(self.make_report(
+                                    si,
+                                    &translated,
+                                    status,
+                                    Vec::new(),
+                                    None,
+                                    counts,
+                                ));
+                                self.emit_progress(
+                                    &mut done_subgraphs,
+                                    total_subgraphs,
+                                    si,
+                                    &translated,
+                                    status,
+                                );
+                                continue;
+                            }
+                        }
                         jobs.push((si, prepared, wanted, span));
                     }
                     // a missing input is a deterministic failure of this
@@ -633,6 +766,41 @@ impl ExlEngine {
                 });
                 match staging {
                     Ok(items) => {
+                        let mut counts = StmtCacheCounts::default();
+                        if let Some(c) = cache.as_mut() {
+                            let (sub, _, fallback) = &translated[si];
+                            let effective = if *fallback {
+                                TargetKind::Native
+                            } else {
+                                sub.target
+                            };
+                            counts.misses = items.len() as u64;
+                            report.cache.misses += counts.misses;
+                            recorder.incr_counter("cache.misses", counts.misses);
+                            // record the results for future runs — but only
+                            // when the effective target actually produced
+                            // them (a runtime-fallback result under another
+                            // target's key would replay the wrong engine)
+                            let executed_effective = attempts
+                                .last()
+                                .map(|a| a.target == effective)
+                                .unwrap_or(false);
+                            if executed_effective {
+                                // same-stage subgraphs never feed each other,
+                                // so re-preparing against the current staging
+                                // area reproduces this subgraph's inputs
+                                if let Ok(prepared) = self.prepare_inputs_staged(sub, &staged) {
+                                    let stmts = self.statements_of(sub);
+                                    c.store_statements(
+                                        &stmts,
+                                        effective,
+                                        &prepared,
+                                        &items,
+                                        &|id| self.catalog.schema(id).cloned(),
+                                    );
+                                }
+                            }
+                        }
                         for (id, data) in items {
                             staged.insert(id.clone(), data);
                             commit_order.push(id.clone());
@@ -644,6 +812,7 @@ impl ExlEngine {
                             SubgraphStatus::Computed,
                             attempts,
                             None,
+                            counts,
                         ));
                         self.emit_progress(
                             &mut done_subgraphs,
@@ -663,6 +832,7 @@ impl ExlEngine {
                             SubgraphStatus::Failed,
                             attempts,
                             Some(e.to_string()),
+                            StmtCacheCounts::default(),
                         ));
                         self.emit_progress(
                             &mut done_subgraphs,
@@ -680,6 +850,16 @@ impl ExlEngine {
                     }
                 }
             }
+        }
+        // fold the cache store's I/O activity of this run into the report
+        if let Some(c) = cache.as_ref() {
+            let io = c.stats().since(&cache_io_start);
+            report.cache.stores = io.stores;
+            report.cache.corrupt_entries = io.corrupt_entries;
+            report.cache.write_failures = io.write_failures;
+            recorder.incr_counter("cache.stores", io.stores);
+            recorder.incr_counter("cache.corrupt", io.corrupt_entries);
+            recorder.incr_counter("cache.write_failures", io.write_failures);
         }
         // the transactional commit: all-or-nothing, in dispatch order
         let items: Vec<(CubeId, CubeData)> = commit_order
@@ -728,6 +908,7 @@ impl ExlEngine {
         status: SubgraphStatus,
         attempts: Vec<Attempt>,
         error: Option<String>,
+        cache: StmtCacheCounts,
     ) -> SubgraphReport {
         let (sub, _, fallback) = &translated[si];
         SubgraphReport {
@@ -741,7 +922,16 @@ impl ExlEngine {
             status,
             attempts,
             error,
+            cache,
         }
+    }
+
+    /// The statements of a subgraph, in execution order.
+    fn statements_of(&self, sub: &Subgraph) -> Vec<exl_lang::ast::Statement> {
+        sub.statements
+            .iter()
+            .map(|&i| self.graph.statements()[i].clone())
+            .collect()
     }
 
     /// Translate a subgraph for the native engine (the runtime fallback

@@ -17,10 +17,16 @@
 //!   optional stage-level parallelism, store results as new versions;
 //! * [`supervise`] — the fault boundary around dispatch: panic
 //!   containment, per-subgraph deadlines, retries with backoff, the
-//!   runtime fallback chain, and the `keep_going` degradation mode.
+//!   runtime fallback chain, and the `keep_going` degradation mode;
+//! * [`cache`] — the content-addressed run cache behind incremental
+//!   recomputation: statements whose text, target, schemas, and input
+//!   cube contents are unchanged are skipped (or patched by the delta
+//!   kernels), in memory and optionally across processes via a
+//!   versioned disk store.
 
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod catalog;
 pub mod determination;
 pub mod engine;
@@ -29,6 +35,7 @@ pub mod lineage;
 pub mod supervise;
 pub mod target;
 
+pub use cache::{CacheStats, RunCache, StmtCacheCounts};
 pub use catalog::{Catalog, CubeMeta, CubeVersion};
 pub use determination::{GlobalGraph, Subgraph};
 pub use engine::{ExlEngine, ProgressEvent, ProgressSink, RunReport, SubgraphReport};
@@ -321,6 +328,99 @@ mod tests {
             assert!(got.approx_eq(want, 1e-9), "{id}");
         }
         let _ = data;
+    }
+
+    /// A bit-identical warm re-run resolves every subgraph from the run
+    /// cache: no statement executes a second time.
+    #[test]
+    fn warm_rerun_is_fully_cached() {
+        let mut e = engine_with_gdp();
+        e.enable_cache();
+        let cold = e.run_all().unwrap();
+        assert_eq!(cold.cache.hits, 0);
+        assert_eq!(cold.cache.delta_hits, 0);
+        assert_eq!(cold.cache.misses, 5);
+        assert_eq!(cold.cache.stores, 5);
+        let snapshot: Vec<(exl_model::schema::CubeId, CubeData)> = cold
+            .computed
+            .iter()
+            .map(|id| (id.clone(), e.data(id).unwrap().clone()))
+            .collect();
+
+        let warm = e.run_all().unwrap();
+        assert_eq!(warm.cache.hits, 5);
+        assert_eq!(warm.cache.misses, 0);
+        assert!(warm
+            .subgraphs
+            .iter()
+            .all(|s| s.status == SubgraphStatus::Cached));
+        assert_eq!(warm.computed, cold.computed);
+        for (id, want) in &snapshot {
+            assert!(e.data(id).unwrap().approx_eq(want, 0.0), "{id}");
+        }
+    }
+
+    /// A one-cube delta re-run patches the eligible statements
+    /// incrementally and stays bit-identical to a cold engine.
+    #[test]
+    fn delta_rerun_matches_cold_engine() {
+        let mut warm = engine_with_gdp();
+        warm.enable_cache();
+        warm.run_all().unwrap();
+        // nudge a single observation of RGDPPC
+        let mut new_data = warm.data(&"RGDPPC".into()).unwrap().clone();
+        let (key, value) = {
+            let (k, v) = new_data.iter().next().unwrap();
+            (k.to_vec(), v)
+        };
+        new_data.insert_overwrite(key, value + 1.0);
+
+        let mut cold = engine_with_gdp();
+        cold.load_elementary(&"RGDPPC".into(), new_data.clone())
+            .unwrap();
+        cold.run_all().unwrap();
+
+        warm.load_elementary(&"RGDPPC".into(), new_data).unwrap();
+        let report = warm.recompute(&["RGDPPC".into()]).unwrap();
+        // RGDP (join) and PCHNG (shift arithmetic) patch incrementally;
+        // GDP (grouped sum) patches by group; GDPT is a whole-series
+        // operator and must recompute in full
+        assert!(
+            report.cache.delta_hits >= 2,
+            "delta hits: {:?}",
+            report.cache
+        );
+        assert!(report.cache.misses >= 1, "misses: {:?}", report.cache);
+        for id in ["RGDP", "GDP", "GDPT", "PCHNG"] {
+            let id: exl_model::schema::CubeId = id.into();
+            assert!(
+                warm.data(&id)
+                    .unwrap()
+                    .approx_eq(cold.data(&id).unwrap(), 0.0),
+                "{id} diverged from the cold engine"
+            );
+        }
+    }
+
+    /// The disk store survives the engine: a fresh engine pointed at the
+    /// same directory resolves everything without executing.
+    #[test]
+    fn disk_cache_survives_engine() {
+        let dir = std::env::temp_dir().join(format!("exl-cache-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        let mut first = engine_with_gdp();
+        first.enable_disk_cache(&dir).unwrap();
+        let cold = first.run_all().unwrap();
+        assert_eq!(cold.cache.misses, 5);
+        drop(first);
+
+        let mut second = engine_with_gdp();
+        second.enable_disk_cache(&dir).unwrap();
+        let warm = second.run_all().unwrap();
+        assert_eq!(warm.cache.hits, 5, "{:?}", warm.cache);
+        assert_eq!(warm.cache.misses, 0);
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     /// Historicity at the engine level: a consistent as-of snapshot of

@@ -96,6 +96,10 @@ pub struct Attempt {
 pub enum SubgraphStatus {
     /// Executed; its cubes are part of the run's commit.
     Computed,
+    /// Not executed: every statement was resolved from the run cache
+    /// (exact content hit or delta re-evaluation); its cubes are part of
+    /// the run's commit.
+    Cached,
     /// Every attempt (and any fallback) failed.
     Failed,
     /// Not executed: an upstream subgraph failed (only under

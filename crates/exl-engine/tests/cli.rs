@@ -486,3 +486,62 @@ fn explain_prints_the_full_derivation_chain() {
         .unwrap()
         .contains("unknown cube"));
 }
+
+/// `--cache-dir` persists the run cache across processes: the second
+/// invocation resolves every statement from disk, prints identical JSON,
+/// and says so on stderr. `--no-cache` forces a cold run even with a
+/// cache directory on the line.
+#[test]
+fn run_cache_dir_warms_across_processes() {
+    let p = write_tmp("cache.exl", PROGRAM);
+    let d = write_tmp(
+        "cache.json",
+        r#"{ "A": [
+            [[{"Time": {"Quarter": {"year": 2020, "quarter": 1}}}], 1.5],
+            [[{"Time": {"Quarter": {"year": 2020, "quarter": 2}}}], 2.5]
+        ]}"#,
+    );
+    let dir = std::env::temp_dir().join(format!("exlc-cache-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let run = |extra: &[&str]| {
+        let mut args = vec!["run", p.to_str().unwrap(), d.to_str().unwrap()];
+        args.extend_from_slice(extra);
+        exlc(&args)
+    };
+
+    let cold = run(&["--cache-dir", dir.to_str().unwrap()]);
+    assert!(
+        cold.status.success(),
+        "{}",
+        String::from_utf8_lossy(&cold.stderr)
+    );
+    let cold_err = String::from_utf8(cold.stderr).unwrap();
+    assert!(cold_err.contains("cache: 0 hit"), "{cold_err}");
+
+    // fresh process, same directory: everything replays from disk
+    let warm = run(&["--cache-dir", dir.to_str().unwrap()]);
+    assert!(
+        warm.status.success(),
+        "{}",
+        String::from_utf8_lossy(&warm.stderr)
+    );
+    let warm_err = String::from_utf8(warm.stderr).unwrap();
+    assert!(warm_err.contains("0 miss"), "{warm_err}");
+    assert!(!warm_err.contains("cache: 0 hit"), "{warm_err}");
+    assert_eq!(
+        cold.stdout, warm.stdout,
+        "warm output must be bit-identical"
+    );
+
+    // --no-cache wins over --cache-dir: cold semantics, no summary line
+    let off = run(&["--cache-dir", dir.to_str().unwrap(), "--no-cache"]);
+    assert!(
+        off.status.success(),
+        "{}",
+        String::from_utf8_lossy(&off.stderr)
+    );
+    assert!(!String::from_utf8(off.stderr).unwrap().contains("cache:"));
+    assert_eq!(cold.stdout, off.stdout);
+    std::fs::remove_dir_all(&dir).unwrap();
+}

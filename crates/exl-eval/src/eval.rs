@@ -310,14 +310,14 @@ fn fx_hash<T: Hash + ?Sized>(t: &T) -> u64 {
 }
 
 /// One component of an aggregation's output key, resolved per input row.
-enum KeyPart {
+pub(crate) enum KeyPart {
     /// Pass dimension `idx` through.
     Dim(usize),
     /// Coarsen time dimension `idx` to `target`.
     TimeMap { idx: usize, target: Frequency },
 }
 
-fn key_parts(dims: &[Dimension], group_by: &[GroupKey]) -> Vec<KeyPart> {
+pub(crate) fn key_parts(dims: &[Dimension], group_by: &[GroupKey]) -> Vec<KeyPart> {
     group_by
         .iter()
         .map(|k| match k {
@@ -351,7 +351,7 @@ fn part_idim(part: &KeyPart, t: &DimTuple, pool: &mut DimPool) -> IDim {
     }
 }
 
-fn part_value<'r>(part: &KeyPart, t: &'r DimTuple) -> Cow<'r, DimValue> {
+pub(crate) fn part_value<'r>(part: &KeyPart, t: &'r DimTuple) -> Cow<'r, DimValue> {
     match part {
         KeyPart::Dim(i) => Cow::Borrowed(&t[*i]),
         KeyPart::TimeMap { idx, target } => {

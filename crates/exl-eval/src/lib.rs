@@ -20,8 +20,10 @@
 
 #![warn(missing_docs)]
 
+pub mod delta;
 pub mod error;
 pub mod eval;
 
+pub use delta::{changed_keys, delta_shape, eval_statement_delta, DeltaShape};
 pub use error::EvalError;
 pub use eval::{eval_statement, run_program, series_period};

@@ -93,6 +93,25 @@ impl CubeData {
         std::sync::Arc::make_mut(&mut self.entries).insert(key, value);
     }
 
+    /// Remove a point, returning its measure if it was defined. Used by
+    /// vintage-update deltas that retract observations. A miss does not
+    /// trigger the copy-on-write clone.
+    pub fn remove(&mut self, key: &[DimValue]) -> Option<f64> {
+        if !self.entries.contains_key(key) {
+            return None;
+        }
+        std::sync::Arc::make_mut(&mut self.entries).remove(key)
+    }
+
+    /// Address of the shared entry storage. Two cubes with equal
+    /// `storage_ptr` hold the *same* `Arc`'d map and are therefore equal;
+    /// the engine uses this for per-run fingerprint memoization (the memo
+    /// retains a clone of the cube, keeping the address alive and unique
+    /// for as long as the memo entry exists).
+    pub fn storage_ptr(&self) -> usize {
+        std::sync::Arc::as_ptr(&self.entries) as usize
+    }
+
     /// Measure at a point, if defined.
     pub fn get(&self, key: &[DimValue]) -> Option<f64> {
         self.entries.get(key).copied()

@@ -17,6 +17,9 @@
 //!   keyed join/aggregation kernels run on;
 //! * [`cube`] — functional cube instances with hashed storage and sorted
 //!   boundary iteration;
+//! * [`fingerprint`] — order-independent 128-bit content hashes of cubes
+//!   and ordered fingerprint chains for derivation steps, the identities
+//!   the incremental run cache keys on;
 //! * [`dataset`] — named cube collections, the instances programs run over;
 //! * [`csv`] — flat-file import/export for cube data.
 //!
@@ -29,6 +32,7 @@ pub mod csv;
 pub mod cube;
 pub mod dataset;
 pub mod error;
+pub mod fingerprint;
 pub mod hash;
 pub mod intern;
 pub mod schema;
@@ -38,6 +42,7 @@ pub mod value;
 pub use cube::{format_tuple, Cube, CubeData, DimTuple};
 pub use dataset::Dataset;
 pub use error::ModelError;
+pub use fingerprint::{Fingerprint, FingerprintBuilder};
 pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use intern::{DimPool, IDim, IKey, Sym};
 pub use schema::{CubeId, CubeKind, CubeSchema, Dimension};

@@ -1,0 +1,218 @@
+//! Seeded random deltas against elementary cubes.
+//!
+//! The incremental-recomputation harness needs realistic *vintage
+//! updates*: a statistical office revises a handful of observations,
+//! appends a new period, or withdraws a series — it does not reload the
+//! world. [`DeltaGen`] produces such patches deterministically from a
+//! seed, mixing the three tuple-level mutation kinds the run cache's
+//! delta kernels must handle:
+//!
+//! * **update** — overwrite the measure of an existing key;
+//! * **insert** — a fresh key derived from an existing one by mutating a
+//!   single dimension value (time points move out of range, regions get
+//!   new names, integers jump), so the key is valid for the schema but
+//!   absent from the cube;
+//! * **delete** — remove an existing key (the generator keeps at least
+//!   one row so a cube never collapses to empty unless asked).
+//!
+//! All inserted and updated measures stay strictly positive, matching
+//! the invariant of [`random_scenario`](crate::random_scenario) data
+//! (`ln`/`sqrt` stay defined almost everywhere).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use exl_model::schema::CubeId;
+use exl_model::value::DimValue;
+use exl_model::{CubeData, Dataset};
+
+/// Deterministic generator of random insert/update/delete patches.
+#[derive(Debug)]
+pub struct DeltaGen {
+    rng: StdRng,
+    /// Monotonic counter making synthesized keys unique across patches.
+    fresh: u64,
+}
+
+impl DeltaGen {
+    /// A generator with a fixed seed: the same seed and call sequence
+    /// produce the same patches.
+    pub fn new(seed: u64) -> DeltaGen {
+        DeltaGen {
+            rng: StdRng::seed_from_u64(seed),
+            fresh: 0,
+        }
+    }
+
+    /// Patch one cube with `ops` random mutations and return the result.
+    /// The input is untouched (copy-on-write clone). An empty cube can
+    /// only grow: updates and deletes need existing rows.
+    pub fn patch_cube(&mut self, data: &CubeData, ops: usize) -> CubeData {
+        let mut out = data.clone();
+        for _ in 0..ops {
+            let keys: Vec<Vec<DimValue>> = out.iter().map(|(k, _)| k.clone()).collect();
+            let kind = self.rng.gen_range(0..3);
+            match kind {
+                // update an existing measure
+                0 if !keys.is_empty() => {
+                    let key = keys[self.rng.gen_range(0..keys.len())].clone();
+                    let old = out.get(&key).unwrap_or(1.0);
+                    let bump = self.rng.gen_range(0.25..4.0);
+                    out.insert_overwrite(key, old + bump);
+                }
+                // delete an existing row, but never the last one
+                1 if keys.len() > 1 => {
+                    let key = &keys[self.rng.gen_range(0..keys.len())];
+                    out.remove(key);
+                }
+                // insert a fresh key mutated from an existing one
+                _ if !keys.is_empty() => {
+                    let template = keys[self.rng.gen_range(0..keys.len())].clone();
+                    if let Some(key) = self.fresh_key(&out, template) {
+                        let value = self.rng.gen_range(1.0..9.0);
+                        out.insert_overwrite(key, value);
+                    }
+                }
+                _ => {}
+            }
+        }
+        out
+    }
+
+    /// Patch up to `cubes` cubes of a dataset (each with `ops`
+    /// mutations) and return the patched replacements, in id order.
+    /// Cubes are chosen deterministically from the seed.
+    pub fn patch_dataset(
+        &mut self,
+        ds: &Dataset,
+        cubes: usize,
+        ops: usize,
+    ) -> Vec<(CubeId, CubeData)> {
+        let mut ids = ds.ids();
+        ids.sort();
+        while ids.len() > cubes {
+            let drop = self.rng.gen_range(0..ids.len());
+            ids.remove(drop);
+        }
+        ids.into_iter()
+            .map(|id| {
+                let patched = self.patch_cube(ds.data(&id).expect("id from this dataset"), ops);
+                (id, patched)
+            })
+            .collect()
+    }
+
+    /// Derive a key absent from `data` by mutating one dimension value of
+    /// `template`. Gives up (rarely) after a bounded number of attempts.
+    fn fresh_key(&mut self, data: &CubeData, template: Vec<DimValue>) -> Option<Vec<DimValue>> {
+        for _ in 0..8 {
+            let mut key = template.clone();
+            let di = self.rng.gen_range(0..key.len());
+            self.fresh += 1;
+            key[di] = match &key[di] {
+                // move past the observed range (a new vintage period) or,
+                // occasionally, into a gap before it
+                DimValue::Time(t) => {
+                    let span = data.len() as i64 + self.fresh as i64;
+                    let off = if self.rng.gen_bool(0.8) { span } else { -span };
+                    DimValue::Time(t.shift(off))
+                }
+                DimValue::Str(_) => DimValue::Str(format!("zz{:04}", self.fresh).into()),
+                DimValue::Int(i) => DimValue::Int(i + 1_000 + self.fresh as i64),
+            };
+            if data.get(&key).is_none() {
+                return Some(key);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{random_scenario, RandomConfig};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let (_, ds) = random_scenario(RandomConfig::default());
+        let a = DeltaGen::new(42).patch_dataset(&ds, 2, 5);
+        let b = DeltaGen::new(42).patch_dataset(&ds, 2, 5);
+        assert_eq!(a.len(), b.len());
+        for ((ia, da), (ib, db)) in a.iter().zip(b.iter()) {
+            assert_eq!(ia, ib);
+            assert!(da.approx_eq(db, 0.0));
+        }
+    }
+
+    #[test]
+    fn seeds_vary_patches() {
+        let (_, ds) = random_scenario(RandomConfig::default());
+        let a = DeltaGen::new(1).patch_dataset(&ds, 1, 4);
+        let b = DeltaGen::new(2).patch_dataset(&ds, 1, 4);
+        let same = a.len() == b.len()
+            && a.iter()
+                .zip(b.iter())
+                .all(|((ia, da), (ib, db))| ia == ib && da.approx_eq(db, 0.0));
+        assert!(!same, "two seeds produced the same patch");
+    }
+
+    #[test]
+    fn patches_actually_mutate() {
+        let (_, ds) = random_scenario(RandomConfig::default());
+        for seed in 0..20 {
+            let patched = DeltaGen::new(seed).patch_dataset(&ds, 2, 6);
+            assert!(!patched.is_empty(), "seed {seed}: nothing patched");
+            let changed = patched
+                .iter()
+                .any(|(id, data)| !data.approx_eq(ds.data(id).unwrap(), 0.0));
+            assert!(changed, "seed {seed}: patch was a no-op");
+        }
+    }
+
+    #[test]
+    fn inserts_updates_and_deletes_all_occur() {
+        let (_, ds) = random_scenario(RandomConfig::default());
+        let (mut grew, mut shrank, mut updated) = (false, false, false);
+        for seed in 0..40 {
+            for (id, data) in DeltaGen::new(seed).patch_dataset(&ds, 1, 3) {
+                let before = ds.data(&id).unwrap();
+                let b: std::collections::BTreeSet<_> =
+                    before.iter().map(|(k, _)| k.clone()).collect();
+                let a: std::collections::BTreeSet<_> =
+                    data.iter().map(|(k, _)| k.clone()).collect();
+                if a.difference(&b).next().is_some() {
+                    grew = true;
+                }
+                if b.difference(&a).next().is_some() {
+                    shrank = true;
+                }
+                if b.intersection(&a)
+                    .any(|k| before.get(k).map(f64::to_bits) != data.get(k).map(f64::to_bits))
+                {
+                    updated = true;
+                }
+            }
+        }
+        assert!(grew, "no insert across 40 seeds");
+        assert!(shrank, "no delete across 40 seeds");
+        assert!(updated, "no update across 40 seeds");
+    }
+
+    #[test]
+    fn never_empties_a_cube_and_stays_positive() {
+        let (_, ds) = random_scenario(RandomConfig {
+            quarters: 2,
+            regions: 1,
+            ..RandomConfig::default()
+        });
+        for seed in 0..20 {
+            for (_, data) in DeltaGen::new(seed).patch_dataset(&ds, 4, 30) {
+                assert!(!data.is_empty());
+                for (_, v) in data.iter() {
+                    assert!(v > 0.0, "non-positive measure {v}");
+                }
+            }
+        }
+    }
+}

@@ -15,8 +15,10 @@
 #![warn(missing_docs)]
 
 pub mod chains;
+pub mod delta;
 pub mod gdp;
 pub mod random;
 
+pub use delta::DeltaGen;
 pub use gdp::{gdp_dataset, gdp_scenario, GdpConfig, GDP_PROGRAM};
 pub use random::{random_scenario, RandomConfig};

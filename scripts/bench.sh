@@ -1,8 +1,8 @@
 #!/usr/bin/env bash
 # Run the B-series Criterion groups (B1 translation, B2 backends, B3
-# chase) at their built-in small scales, then snapshot each group's
-# medians (ns) and throughput (rows/s, where the bench records element
-# counts) into BENCH_B1.json..BENCH_B3.json at the repo root.
+# chase, B4 vintage-update) at their built-in small scales, then
+# snapshot each group's medians (ns) and throughput (rows/s, where the
+# bench records element counts) into BENCH_B*.json at the repo root.
 #
 # Measurement and warm-up windows are short by default so the whole
 # series stays in CI budget; override with BENCH_MEASURE_SECS /
@@ -13,7 +13,7 @@ cd "$(dirname "$0")/.."
 MEAS="${BENCH_MEASURE_SECS:-2}"
 WARM="${BENCH_WARMUP_SECS:-1}"
 
-for bench in translation backends chase; do
+for bench in translation backends chase vintage; do
   cargo bench -q -p exl-bench --bench "$bench" -- \
     --measurement-time "$MEAS" --warm-up-time "$WARM" "$@"
 done

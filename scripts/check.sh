@@ -15,6 +15,12 @@ RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps
 echo "== tier-1 =="
 cargo build --release && cargo test -q
 
+echo "== incremental differential (fixed-seed matrix) =="
+# cold≡warm over the full fixed-seed corpus: 100 random program/delta
+# pairs plus disk-reload and forest 1-cube-delta skip-ratio checks,
+# compared bit for bit against cache-free engines
+cargo test -q -p exl-integration-tests --test incremental_differential
+
 echo "== traced run =="
 # one end-to-end exlc run with tracing + progress on; the emitted Chrome
 # trace JSON must parse, be rooted, and hold one subgraph span (with

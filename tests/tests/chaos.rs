@@ -390,3 +390,172 @@ fn fallback_attempts_are_siblings_with_target_attrs() {
     );
     assert_eq!(parent.attr_str("status"), Some("computed"));
 }
+
+// ---------------------------------------------------------------------
+// Run-cache chaos: the persistent store must only ever *lose* work, never
+// corrupt a result. Every fault below degrades the run to a cold
+// recompute — counted, committed, and bit-identical to a cache-free
+// engine. Each phase holds a fault guard (a no-op plan where no fault is
+// wanted) because the guard is what serializes chaos tests process-wide.
+// ---------------------------------------------------------------------
+
+use std::path::PathBuf;
+
+/// A clean per-test cache directory under the system temp dir.
+fn chaos_cache_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("exl-chaos-cache-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Every derived GDP cube of `e`, bit-compared against the reference run.
+fn assert_gdp_reference(e: &ExlEngine, label: &str) {
+    let (analyzed, data) = gdp_scenario(GdpConfig::default());
+    let reference = exl_eval::run_program(&analyzed, &data).unwrap();
+    for id in analyzed.program.derived_ids() {
+        let got = e
+            .data(&id)
+            .unwrap_or_else(|| panic!("{label}: {id} never committed"));
+        assert!(
+            got.approx_eq(reference.data(&id).unwrap(), 0.0),
+            "{label}: {id} diverged from the cache-free reference"
+        );
+    }
+}
+
+/// Disk writes that always fail leave the run itself untouched: every
+/// statement still computes and commits, the failures are counted, and a
+/// later engine simply finds an empty (cold) store.
+#[test]
+fn cache_write_faults_degrade_to_cold_store() {
+    let dir = chaos_cache_dir("write-always");
+    {
+        let mut e = gdp_engine(TargetKind::Native);
+        e.enable_disk_cache(&dir).unwrap();
+        let _guard = exl_fault::install(FaultPlan::fail_always("cache.write"));
+        let report = e.run_all().unwrap();
+        assert!(report.failed.is_empty() && report.skipped.is_empty());
+        assert_eq!(report.cache.misses, 5, "{:?}", report.cache);
+        assert!(
+            report.cache.write_failures >= 1,
+            "no write failure recorded: {:?}",
+            report.cache
+        );
+        assert_gdp_reference(&e, "write-fault run");
+    }
+    // nothing was persisted, so a fresh engine runs fully cold — a miss,
+    // not an error
+    let _guard = exl_fault::install(FaultPlan::fail_once("chaos.unused"));
+    let mut e = gdp_engine(TargetKind::Native);
+    e.enable_disk_cache(&dir).unwrap();
+    let report = e.run_all().unwrap();
+    assert_eq!(report.cache.hits + report.cache.delta_hits, 0);
+    assert_eq!(report.cache.misses, 5);
+    assert_eq!(report.cache.corrupt_entries, 0, "{:?}", report.cache);
+    assert_gdp_reference(&e, "post-write-fault cold run");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// A single write failure mid-run is transactional: the run commits, the
+/// failure is counted, and the partial store never poisons a fresh
+/// engine — stale or absent entries are plain misses, recomputed to the
+/// same bits.
+#[test]
+fn mid_run_cache_write_failure_stays_transactional() {
+    let dir = chaos_cache_dir("write-once");
+    {
+        let mut e = gdp_engine(TargetKind::Native);
+        e.enable_disk_cache(&dir).unwrap();
+        let guard = exl_fault::install(FaultPlan::fail_once("cache.write"));
+        let report = e.run_all().unwrap();
+        assert_eq!(guard.fired_count(), 1);
+        assert_eq!(report.cache.write_failures, 1, "{:?}", report.cache);
+        assert!(report.failed.is_empty() && report.skipped.is_empty());
+        assert_gdp_reference(&e, "one-shot write fault");
+    }
+    let _guard = exl_fault::install(FaultPlan::fail_once("chaos.unused"));
+    let mut e = gdp_engine(TargetKind::Native);
+    e.enable_disk_cache(&dir).unwrap();
+    let report = e.run_all().unwrap();
+    assert_eq!(report.cache.corrupt_entries, 0, "{:?}", report.cache);
+    assert_eq!(
+        report.cache.hits + report.cache.delta_hits + report.cache.misses,
+        5,
+        "{:?}",
+        report.cache
+    );
+    assert_gdp_reference(&e, "replay over partial store");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// Disk reads that always fail turn a fully warm store into a cold run:
+/// every entry is treated as corrupt, every statement recomputes, and the
+/// results still match.
+#[test]
+fn cache_read_faults_degrade_to_cold_run() {
+    let dir = chaos_cache_dir("read-always");
+    {
+        let _guard = exl_fault::install(FaultPlan::fail_once("chaos.unused"));
+        let mut e = gdp_engine(TargetKind::Native);
+        e.enable_disk_cache(&dir).unwrap();
+        let report = e.run_all().unwrap();
+        assert_eq!(report.cache.stores, 5, "warm store never filled");
+    }
+    let _guard = exl_fault::install(FaultPlan::fail_always("cache.read"));
+    let mut e = gdp_engine(TargetKind::Native);
+    e.enable_disk_cache(&dir).unwrap();
+    let report = e.run_all().unwrap();
+    assert_eq!(report.cache.hits + report.cache.delta_hits, 0);
+    assert_eq!(report.cache.misses, 5, "{:?}", report.cache);
+    assert!(
+        report.cache.corrupt_entries >= 1,
+        "faulted reads not counted: {:?}",
+        report.cache
+    );
+    assert_gdp_reference(&e, "read-fault run");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// Truncated and garbage disk entries — the crash-mid-write and
+/// bit-rot cases — are detected (version header, JSON parse, content
+/// hash), counted as corrupt, and recomputed cold.
+#[test]
+fn truncated_and_garbage_entries_are_cold_misses() {
+    let dir = chaos_cache_dir("truncate");
+    {
+        let _guard = exl_fault::install(FaultPlan::fail_once("chaos.unused"));
+        let mut e = gdp_engine(TargetKind::Native);
+        e.enable_disk_cache(&dir).unwrap();
+        e.run_all().unwrap();
+    }
+    // mangle every entry three different ways
+    for (kind, mangle) in [
+        ("cubes", 0usize), // truncate: parses never or hashes wrong
+        ("keys", 1),       // garbage: not JSON at all
+        ("stmts", 2),      // stale: valid JSON, wrong version header
+    ] {
+        for entry in std::fs::read_dir(dir.join(kind)).unwrap() {
+            let path = entry.unwrap().path();
+            let text = std::fs::read_to_string(&path).unwrap();
+            let mangled = match mangle {
+                0 => text[..text.len() / 2].to_string(),
+                1 => "{ this is not json".to_string(),
+                _ => text.replace("exl-cache-v1", "exl-cache-v0"),
+            };
+            std::fs::write(&path, mangled).unwrap();
+        }
+    }
+    let _guard = exl_fault::install(FaultPlan::fail_once("chaos.unused"));
+    let mut e = gdp_engine(TargetKind::Native);
+    e.enable_disk_cache(&dir).unwrap();
+    let report = e.run_all().unwrap();
+    assert_eq!(report.cache.hits + report.cache.delta_hits, 0);
+    assert_eq!(report.cache.misses, 5, "{:?}", report.cache);
+    assert!(
+        report.cache.corrupt_entries >= 1,
+        "mangled entries not counted: {:?}",
+        report.cache
+    );
+    assert_gdp_reference(&e, "mangled-store run");
+    std::fs::remove_dir_all(&dir).unwrap();
+}

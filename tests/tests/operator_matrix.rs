@@ -269,3 +269,147 @@ fn deep_chain_of_everything() {
          E := abs(D);
          F := cumsum(E);");
 }
+
+// ---------------------------------------------------------------------
+// Gap shapes surfaced by the incremental work: holes in the time axis,
+// groups emptied by delete deltas, and cubes that shrink between
+// vintages. The matrix above only ever grows data; these make sure the
+// operators — and the delta kernels behind the run cache — agree with a
+// cold engine when data disappears.
+// ---------------------------------------------------------------------
+
+use exl_engine::ExlEngine;
+use exl_model::schema::CubeId;
+
+/// Warm cached engine (base vintage, then `patch` replacing cube `A`)
+/// against a cold engine that only ever saw the patch — bit for bit.
+fn warm_delta_vs_cold(src: &str, base: CubeData, patch: CubeData) -> ExlEngine {
+    let analyzed = exl_lang::analyze(&exl_lang::parse_program(src).unwrap(), &[]).unwrap();
+    let id: CubeId = "A".into();
+
+    let mut warm = ExlEngine::new();
+    warm.register_program("m", src).unwrap();
+    warm.load_elementary(&id, base).unwrap();
+    warm.enable_cache();
+    warm.run_all().unwrap();
+    warm.load_elementary(&id, patch.clone()).unwrap();
+    warm.recompute(std::slice::from_ref(&id)).unwrap();
+
+    let mut cold = ExlEngine::new();
+    cold.register_program("m", src).unwrap();
+    cold.load_elementary(&id, patch).unwrap();
+    cold.run_all().unwrap();
+
+    for did in analyzed.program.derived_ids() {
+        let got = warm
+            .data(&did)
+            .unwrap_or_else(|| panic!("{did} missing in warm engine"));
+        let want = cold
+            .data(&did)
+            .unwrap_or_else(|| panic!("{did} missing in cold engine"));
+        assert!(
+            got.approx_eq(want, 0.0),
+            "{did} diverged after delete delta:\n{:?}",
+            got.diff(want, 0.0)
+        );
+    }
+    warm
+}
+
+/// Shift, cumsum and movavg over a time axis with holes: entire quarters
+/// missing, plus one region absent from one period. Every backend must
+/// agree with the reference on where values land and where they don't.
+#[test]
+fn shift_across_missing_periods() {
+    let src = "cube A(q: quarter, r: text) -> y;
+               B := shift(A, 1); C := shift(A, -2); D := cumsum(A); E := movavg(A, 2);";
+    let analyzed = exl_lang::analyze(&exl_lang::parse_program(src).unwrap(), &[]).unwrap();
+    let mut data = CubeData::new();
+    for qi in 0..12u32 {
+        if matches!(qi, 3 | 4 | 7) {
+            continue; // whole quarters missing from the vintage
+        }
+        for r in ["north", "south", "west"] {
+            if qi == 9 && r == "south" {
+                continue; // one region missing from one period
+            }
+            data.insert_overwrite(
+                vec![q(2018 + (qi / 4) as i32, qi % 4 + 1), DimValue::str(r)],
+                5.0 + qi as f64 * 1.5,
+            );
+        }
+    }
+    let mut input = Dataset::new();
+    input.put(Cube::new(analyzed.schemas[&"A".into()].clone(), data));
+    let reference = exl_eval::run_program(&analyzed, &input).unwrap();
+    // shift relabels, it does not fill: B carries exactly A's support
+    let b = reference.data(&"B".into()).unwrap();
+    assert_eq!(b.len(), input.data(&"A".into()).unwrap().len());
+    assert_eq!(
+        b.get(&[q(2019, 1), DimValue::str("north")]),
+        None,
+        "q4 was missing"
+    );
+    for target in TargetKind::ALL {
+        let out =
+            run_on_target(&analyzed, &input, target).unwrap_or_else(|e| panic!("{target}: {e}"));
+        for id in analyzed.program.derived_ids() {
+            let want = reference.data(&id).unwrap();
+            let got = out.data(&id).unwrap();
+            assert!(
+                got.approx_eq(want, 1e-9),
+                "{target} {id}: {:?}",
+                got.diff(want, 1e-9)
+            );
+        }
+    }
+}
+
+/// A delete delta that empties an entire group: the aggregates must drop
+/// the group's key, not keep a stale cached value for it.
+#[test]
+fn aggregation_over_group_emptied_by_delete_delta() {
+    let src = "cube A(q: quarter, r: text) -> y;
+               S := sum(A, group by q); V := avg(A, group by q); CT := count(A, group by q);";
+    let analyzed = exl_lang::analyze(&exl_lang::parse_program(src).unwrap(), &[]).unwrap();
+    let base = panel_input(&analyzed, "A", 8).data;
+    let mut patch = base.clone();
+    for r in ["north", "south", "west"] {
+        patch.remove(&[q(2018, 3), DimValue::str(r)]); // 2018q3 vanishes entirely
+    }
+    let warm = warm_delta_vs_cold(src, base, patch);
+    for id in ["S", "V", "CT"] {
+        let cube = warm.data(&id.into()).unwrap();
+        assert_eq!(cube.get(&[q(2018, 3)]), None, "{id} kept the emptied group");
+        assert_eq!(cube.len(), 7, "{id} lost more than the emptied group");
+    }
+}
+
+/// Scalar and unary operators on a shrinking cube: a vintage that only
+/// deletes rows must shrink every derived cube identically to a cold run.
+#[test]
+fn scalar_ops_on_shrinking_cubes() {
+    let src = "cube A(q: quarter, r: text) -> y;
+               B := 3 * A; C := A + 10; D := sqrt(A); E := A ^ 2;";
+    let analyzed = exl_lang::analyze(&exl_lang::parse_program(src).unwrap(), &[]).unwrap();
+    let base = panel_input(&analyzed, "A", 8).data;
+    let mut patch = base.clone();
+    // drop a scattered third of the rows, across periods and regions
+    let keys: Vec<_> = patch.iter().map(|(k, _)| k.clone()).collect();
+    for key in keys.iter().step_by(3) {
+        patch.remove(key);
+    }
+    assert!(patch.len() < base.len());
+    let warm = warm_delta_vs_cold(src, base, patch.clone());
+    for id in ["B", "C", "D", "E"] {
+        let cube = warm.data(&id.into()).unwrap();
+        assert_eq!(
+            cube.len(),
+            patch.len(),
+            "{id} did not shrink with its input"
+        );
+        for key in keys.iter().step_by(3) {
+            assert_eq!(cube.get(key), None, "{id} kept a deleted key");
+        }
+    }
+}
