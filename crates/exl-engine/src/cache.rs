@@ -215,6 +215,10 @@ impl RunCache {
         let mut env = inputs.clone();
         let mut outputs = Vec::with_capacity(stmts.len());
         let mut counts = StmtCacheCounts::default();
+        // one interned working set for the whole subgraph: statements
+        // evaluated inline hand their result batches to later inline
+        // statements directly, without re-interning at each boundary
+        let mut session = exl_eval::EvalSession::new();
         for stmt in stmts {
             let (stmt_fp, key_fp, input_fps) = self.statement_keys(stmt, target, &env)?;
             let data = if let Some(data) = self.lookup_output(key_fp) {
@@ -234,9 +238,17 @@ impl RunCache {
                 // evaluate it inline (same kernels as the native backend,
                 // honoring its fault-injection site)
                 exl_fault::check("exec.native").ok()?;
-                let data = catch_unwind(AssertUnwindSafe(|| exl_eval::eval_statement(stmt, &env)))
-                    .ok()?
-                    .ok()?;
+                for id in stmt.expr.cube_refs() {
+                    if !session.is_loaded(&id) {
+                        let cube = env.get(&id)?;
+                        session.load(id.clone(), cube.schema.dims.clone(), &cube.data);
+                    }
+                }
+                let data = catch_unwind(AssertUnwindSafe(|| {
+                    session.eval(stmt).map(|()| session.resolve(&stmt.target))
+                }))
+                .ok()?
+                .ok()??;
                 counts.misses += 1;
                 self.store_result(stmt_fp, key_fp, &input_fps, &env, &data);
                 data

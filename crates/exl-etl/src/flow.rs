@@ -17,6 +17,7 @@ use exl_model::value::DimValue;
 use exl_model::{Cube, CubeData, Dataset};
 use exl_stats::descriptive::AggFn;
 use exl_stats::seriesop::SeriesOp;
+use exl_stats::state::{AggState, ExactState};
 
 use crate::row::{Field, Row};
 
@@ -439,10 +440,13 @@ pub(crate) fn apply_transform(t: &TransformStep, rows: Vec<Row>) -> Result<Vec<R
             input,
             output,
         } => {
-            // hash-keyed groups, emitted in first-seen row order (bags
-            // fill in input order either way, so folds are unchanged)
+            // hash-keyed groups, emitted in first-seen row order; each
+            // group folds an [`ExactState`] machine in input row order
+            // (= the canonical accumulation order), so `finish` matches
+            // the old whole-bag `AggFn::apply` bit for bit while
+            // count/min/max shrink to O(1) state
             let mut index: FxHashMap<String, usize> = FxHashMap::default();
-            let mut groups: Vec<(Row, Vec<f64>)> = Vec::new();
+            let mut groups: Vec<(Row, ExactState)> = Vec::new();
             for row in rows {
                 let key = row
                     .key_of(keys)
@@ -452,16 +456,18 @@ pub(crate) fn apply_transform(t: &TransformStep, rows: Vec<Row>) -> Result<Vec<R
                     .and_then(|f| f.as_num())
                     .ok_or_else(|| EtlError(format!("aggregator: missing measure {input}")))?;
                 match index.get(&key) {
-                    Some(&gi) => groups[gi].1.push(v),
+                    Some(&gi) => groups[gi].1.accumulate(v),
                     None => {
                         index.insert(key, groups.len());
-                        groups.push((row, vec![v]));
+                        let mut state = ExactState::init(*agg);
+                        state.accumulate(v);
+                        groups.push((row, state));
                     }
                 }
             }
             let mut out = Vec::with_capacity(groups.len());
-            for (mut row, bag) in groups {
-                if let Some(v) = agg.apply(&bag) {
+            for (mut row, state) in groups {
+                if let Some(v) = state.finish() {
                     row.set(output.clone(), Field::Num(v));
                     out.push(row);
                 }

@@ -279,7 +279,13 @@ fn eval_keyed(
         out.remove(k);
     }
     for (k, v) in patch.iter() {
-        out.insert_overwrite(k.clone(), v);
+        // the restricted inputs are complete only for the affected keys;
+        // a key outside the set (e.g. an outer join defaulting where a
+        // partner row was restricted away) is computed from partial
+        // inputs and must NOT overwrite its still-correct previous value
+        if affected.contains(k) {
+            out.insert_overwrite(k.clone(), v);
+        }
     }
     Ok(Some(out))
 }
@@ -303,11 +309,15 @@ fn eval_grouped(
     }) {
         return Ok(None);
     }
-    let parts = key_parts(&arg_dims, group_by);
-    let group_of = |k: &DimTuple| -> DimTuple {
+    let Ok(parts) = key_parts(&arg_dims, group_by) else {
+        return Ok(None);
+    };
+    // a key the group-by rejects (wrong arity, non-time value where the
+    // schema promised one) bails to the cold path, which raises the error
+    let group_of = |k: &DimTuple| -> Option<DimTuple> {
         parts
             .iter()
-            .map(|p| part_value(p, k).into_owned())
+            .map(|p| part_value(p, k).ok().map(std::borrow::Cow::into_owned))
             .collect()
     };
 
@@ -323,9 +333,9 @@ fn eval_grouped(
             continue;
         };
         for k in delta {
-            match shift_key(k, &leaf.chain, 1) {
-                Some(out_k) => {
-                    affected.insert(group_of(&out_k));
+            match shift_key(k, &leaf.chain, 1).and_then(|out_k| group_of(&out_k)) {
+                Some(g) => {
+                    affected.insert(g);
                 }
                 None => return Ok(None),
             }
@@ -341,11 +351,11 @@ fn eval_grouped(
         let mut r = CubeData::new();
         for (k, v) in cube.data.iter() {
             for leaf in &chains {
-                let Some(out_k) = shift_key(k, &leaf.chain, 1) else {
-                    // the cold path would reject this row inside shift
+                let Some(g) = shift_key(k, &leaf.chain, 1).as_ref().and_then(&group_of) else {
+                    // the cold path would reject this row
                     return Ok(None);
                 };
-                if affected.contains(&group_of(&out_k)) {
+                if affected.contains(&g) {
                     r.insert_overwrite(k.clone(), v);
                     break;
                 }

@@ -24,6 +24,23 @@ pub enum EvalError {
         /// Explanation.
         detail: String,
     },
+    /// A statement references dimensions its operands do not have. The
+    /// analyzer rejects such programs, but statements can reach the
+    /// evaluator through paths that skip re-analysis (delta kernels,
+    /// cached-statement replay), so the mismatch must surface as an
+    /// error rather than a panic.
+    InvalidStatement {
+        /// Explanation.
+        detail: String,
+    },
+    /// A data-parallel evaluator worker failed: it panicked, or an
+    /// injected fault tripped its `eval.worker` site. Reported as a
+    /// typed error so the supervisor degrades per-subgraph instead of
+    /// re-panicking in the caller.
+    WorkerPanicked {
+        /// The worker's panic message (or injected-fault description).
+        detail: String,
+    },
 }
 
 impl fmt::Display for EvalError {
@@ -38,6 +55,12 @@ impl fmt::Display for EvalError {
             EvalError::Model(e) => write!(f, "data model error: {e}"),
             EvalError::BadTimeValue { cube, detail } => {
                 write!(f, "bad time value in cube {cube}: {detail}")
+            }
+            EvalError::InvalidStatement { detail } => {
+                write!(f, "statement does not fit its operands: {detail}")
+            }
+            EvalError::WorkerPanicked { detail } => {
+                write!(f, "evaluator worker panicked: {detail}")
             }
         }
     }
@@ -64,5 +87,14 @@ mod tests {
             detail: "not a time point".into(),
         };
         assert!(e.to_string().contains("not a time point"));
+        let e = EvalError::InvalidStatement {
+            detail: "group-by key z is not a dimension of the operand".into(),
+        };
+        assert!(e.to_string().contains("group-by key z"));
+        let e = EvalError::WorkerPanicked {
+            detail: "boom".into(),
+        };
+        assert!(e.to_string().contains("panicked"));
+        assert!(e.to_string().contains("boom"));
     }
 }

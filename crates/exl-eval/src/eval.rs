@@ -1,31 +1,44 @@
 //! Expression and program evaluation.
 //!
-//! The evaluator works directly on [`CubeData`]'s hash storage: operand
-//! cubes are borrowed (`Cow`), never cloned, binary operators probe the
-//! right-hand side by key in O(1), and aggregation groups through a hash
-//! map keyed on the output tuple. Aggregation reads its input in sorted
-//! key order, so each group's value bag — and therefore every float fold
-//! — is identical to the former ordered-map evaluator, bit for bit.
+//! The evaluator executes on columnar batches ([`CubeBatch`]): each run
+//! owns an [`EvalSession`] with a run-local [`DimPool`], every operand
+//! cube is interned into a batch once, and derived batches cross
+//! statement boundaries as-is — downstream statements probe and group on
+//! flat `Copy` keys without re-hashing strings or materializing
+//! intermediate hash maps of [`DimTuple`]s. Hash-stored [`CubeData`] is
+//! produced only at the session boundary ([`EvalSession::resolve`]).
 //!
-//! Tuple-level operators and group-by partitions fan out across
-//! [`std::thread::scope`] workers when the machine has more than one core
-//! and the operand is large enough (`PAR_MIN_ROWS`); the partitioning
-//! preserves per-group row order, so parallel results are byte-identical
-//! to serial ones (covered by tests that force multi-worker runs).
+//! Aggregation runs as a mergeable state machine
+//! ([`exl_stats::state::AggState`]): partitioned workers fold local
+//! per-group states over their rows and the results are merged once, in
+//! ascending partition order. Order-sensitive aggregations keep row
+//! *indices* and replay [`ExactState`] over the group's bag sorted by
+//! full input key — the former sorted-map evaluator's fold order — so
+//! every float is bit-identical to the serial kernel for any partition
+//! count (pinned by the interned differential suite).
+//!
+//! Tuple-level operators, group-by partitions, and series slices fan out
+//! across [`std::thread::scope`] workers when the machine has more than
+//! one core and the operand is large enough (`PAR_MIN_ROWS`). A worker
+//! that panics (or trips the `eval.worker` fault site) surfaces as
+//! [`EvalError::WorkerPanicked`] — a typed, per-statement error the
+//! supervisor can contain — never as a re-panic in the caller.
 
 use std::borrow::Cow;
 use std::hash::{Hash, Hasher};
 
 use exl_lang::analyze::AnalyzedProgram;
 use exl_lang::ast::{Expr, GroupKey, JoinPolicy, Statement};
+use exl_model::batch::CubeBatch;
 use exl_model::hash::{FxHashMap, FxHasher};
-use exl_model::intern::{DimPool, IDim};
-use exl_model::schema::Dimension;
+use exl_model::intern::{DimPool, IDim, IKey};
+use exl_model::schema::{CubeId, Dimension};
 use exl_model::time::Frequency;
 use exl_model::value::DimValue;
 use exl_model::{Cube, CubeData, Dataset, DimTuple};
 use exl_stats::descriptive::AggFn;
 use exl_stats::seriesop::SeriesOp;
+use exl_stats::state::{AggState, ExactState};
 
 use crate::error::EvalError;
 
@@ -34,27 +47,85 @@ const PAR_MIN_ROWS: usize = 4096;
 
 /// Worker count for data-parallel operators (1 on single-core machines,
 /// capped so oversubscription never pays for thread spawns it cannot use).
+/// `EXL_EVAL_THREADS` overrides the probe — pinning worker counts for
+/// reproducing parallel-path behavior on any machine. The fold-then-merge
+/// contract makes the setting invisible in the results: every float is
+/// bit-identical for any worker count.
 fn workers() -> usize {
+    if let Some(n) = std::env::var("EXL_EVAL_THREADS")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+    {
+        return n.max(1);
+    }
     std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1)
         .min(8)
 }
 
-/// Evaluation result of an expression: a bare scalar or cube data with its
-/// dimensions. Cube operands borrow straight from the environment.
-enum Val<'a> {
-    Scalar(f64),
-    Cube {
-        dims: Vec<Dimension>,
-        data: Cow<'a, CubeData>,
-    },
-}
-
 /// Seasonal period implied by a time frequency, shared by every backend so
 /// that `stl_*` means the same thing everywhere.
 pub fn series_period(freq: Frequency) -> usize {
     exl_model::TimePoint::periods_per_year(freq)
+}
+
+/// One evaluation run's working set: a run-local interning pool plus the
+/// columnar batch of every cube loaded or derived so far.
+///
+/// The engine's dispatcher keeps one session per recomputation and feeds
+/// each statement's result to the next without leaving the interned
+/// representation; [`run_program`] does the same internally. Loading is
+/// idempotent per id (a reload replaces the batch), and
+/// [`EvalSession::resolve`] converts a batch back to hash storage at the
+/// boundary.
+#[derive(Debug, Default)]
+pub struct EvalSession {
+    pool: DimPool,
+    cubes: FxHashMap<CubeId, SessionCube>,
+}
+
+#[derive(Debug)]
+struct SessionCube {
+    dims: Vec<Dimension>,
+    batch: CubeBatch,
+}
+
+impl EvalSession {
+    /// Fresh session with an empty pool.
+    pub fn new() -> EvalSession {
+        EvalSession::default()
+    }
+
+    /// Intern a cube's data into the session, replacing any batch already
+    /// stored under `id`.
+    pub fn load(&mut self, id: CubeId, dims: Vec<Dimension>, data: &CubeData) {
+        let batch = CubeBatch::from_data(data, &mut self.pool);
+        self.cubes.insert(id, SessionCube { dims, batch });
+    }
+
+    /// True when `id` already has a batch in this session.
+    pub fn is_loaded(&self, id: &CubeId) -> bool {
+        self.cubes.contains_key(id)
+    }
+
+    /// Evaluate one statement over the loaded batches and store the
+    /// result batch under the statement's target. Every cube the
+    /// expression references must have been loaded (or derived) first.
+    pub fn eval(&mut self, stmt: &Statement) -> Result<(), EvalError> {
+        let (dims, batch) = match eval_expr(&stmt.expr, self)? {
+            BVal::Batch { dims, batch } => (dims, batch.into_owned()),
+            BVal::Scalar(_) => unreachable!("analysis rejects constant statements"),
+        };
+        self.cubes
+            .insert(stmt.target.clone(), SessionCube { dims, batch });
+        Ok(())
+    }
+
+    /// Resolve a loaded or derived cube back to hash-stored data.
+    pub fn resolve(&self, id: &CubeId) -> Option<CubeData> {
+        self.cubes.get(id).map(|c| c.batch.to_data(&self.pool))
+    }
 }
 
 /// Run an analyzed program over an input dataset.
@@ -64,6 +135,7 @@ pub fn series_period(freq: Frequency) -> usize {
 /// Fails when an elementary input is missing or base data is malformed.
 pub fn run_program(analyzed: &AnalyzedProgram, input: &Dataset) -> Result<Dataset, EvalError> {
     let mut env = Dataset::new();
+    let mut session = EvalSession::new();
     // load and validate elementary inputs
     for id in analyzed.elementary_inputs() {
         let cube = input.get(&id).ok_or_else(|| EvalError::MissingInput {
@@ -72,12 +144,27 @@ pub fn run_program(analyzed: &AnalyzedProgram, input: &Dataset) -> Result<Datase
         let mut checked = cube.clone();
         checked.schema = analyzed.schemas[&id].clone();
         checked.validate()?;
+        session.load(id.clone(), checked.schema.dims.clone(), &checked.data);
         env.put(checked);
     }
-    for stmt in &analyzed.program.statements {
-        let data = eval_statement(stmt, &env)?;
+    // last statement index referencing each cube: a batch whose last
+    // reader has run is dead weight (its hash storage already lives in
+    // `env`), and evicting it keeps the session's footprint proportional
+    // to the program's live width instead of its length
+    let mut last_use: FxHashMap<CubeId, usize> = FxHashMap::default();
+    for (i, stmt) in analyzed.program.statements.iter().enumerate() {
+        for id in stmt.expr.cube_refs() {
+            last_use.insert(id, i);
+        }
+    }
+    for (i, stmt) in analyzed.program.statements.iter().enumerate() {
+        session.eval(stmt)?;
+        let data = session.resolve(&stmt.target).expect("target just derived");
         let schema = analyzed.schemas[&stmt.target].clone();
         env.put(Cube::new(schema, data));
+        session
+            .cubes
+            .retain(|id, _| last_use.get(id).is_some_and(|&l| l > i));
     }
     Ok(env)
 }
@@ -85,38 +172,46 @@ pub fn run_program(analyzed: &AnalyzedProgram, input: &Dataset) -> Result<Datase
 /// Evaluate one statement against an environment that already contains its
 /// operands (the stratified evaluation order of §4.2).
 pub fn eval_statement(stmt: &Statement, env: &Dataset) -> Result<CubeData, EvalError> {
-    match eval_expr(&stmt.expr, env)? {
-        Val::Cube { data, .. } => Ok(data.into_owned()),
-        Val::Scalar(_) => unreachable!("analysis rejects constant statements"),
+    let mut session = EvalSession::new();
+    for id in stmt.expr.cube_refs() {
+        let cube = env.get(&id).ok_or_else(|| EvalError::MissingInput {
+            cube: id.to_string(),
+        })?;
+        session.load(id.clone(), cube.schema.dims.clone(), &cube.data);
     }
+    session.eval(stmt)?;
+    Ok(session.resolve(&stmt.target).expect("target just derived"))
 }
 
-fn eval_expr<'a>(expr: &Expr, env: &'a Dataset) -> Result<Val<'a>, EvalError> {
+/// Evaluation result of an expression: a bare scalar or a batch with its
+/// dimensions. Cube operands borrow straight from the session.
+enum BVal<'a> {
+    Scalar(f64),
+    Batch {
+        dims: Vec<Dimension>,
+        batch: Cow<'a, CubeBatch>,
+    },
+}
+
+fn eval_expr<'a>(expr: &Expr, s: &'a EvalSession) -> Result<BVal<'a>, EvalError> {
     match expr {
-        Expr::Number(n) => Ok(Val::Scalar(*n)),
+        Expr::Number(n) => Ok(BVal::Scalar(*n)),
         Expr::Cube(id) => {
-            let cube = env.get(id).ok_or_else(|| EvalError::MissingInput {
+            let cube = s.cubes.get(id).ok_or_else(|| EvalError::MissingInput {
                 cube: id.to_string(),
             })?;
-            Ok(Val::Cube {
-                dims: cube.schema.dims.clone(),
-                data: Cow::Borrowed(&cube.data),
+            Ok(BVal::Batch {
+                dims: cube.dims.clone(),
+                batch: Cow::Borrowed(&cube.batch),
             })
         }
-        Expr::Unary { op, arg } => match eval_expr(arg, env)? {
-            Val::Scalar(v) => Ok(Val::Scalar(op.apply(v))),
-            Val::Cube { dims, data } => {
-                let out = map_entries(
-                    &data,
-                    &|k, v| {
-                        let r = op.apply(v);
-                        Ok(r.is_finite().then(|| (k.clone(), r)))
-                    },
-                    workers(),
-                )?;
-                Ok(Val::Cube {
+        Expr::Unary { op, arg } => match eval_expr(arg, s)? {
+            BVal::Scalar(v) => Ok(BVal::Scalar(op.apply(v))),
+            BVal::Batch { dims, batch } => {
+                let out = map_measures(batch, &|v| op.apply(v), workers())?;
+                Ok(BVal::Batch {
                     dims,
-                    data: Cow::Owned(out),
+                    batch: Cow::Owned(out),
                 })
             }
         },
@@ -126,180 +221,247 @@ fn eval_expr<'a>(expr: &Expr, env: &'a Dataset) -> Result<Val<'a>, EvalError> {
             lhs,
             rhs,
         } => {
-            let l = eval_expr(lhs, env)?;
-            let r = eval_expr(rhs, env)?;
+            let l = eval_expr(lhs, s)?;
+            let r = eval_expr(rhs, s)?;
             match (l, r) {
-                (Val::Scalar(a), Val::Scalar(b)) => Ok(Val::Scalar(op.apply(a, b))),
-                (Val::Scalar(a), Val::Cube { dims, data }) => {
-                    let out = map_entries(
-                        &data,
-                        &|k, v| {
-                            let r = op.apply(a, v);
-                            Ok(r.is_finite().then(|| (k.clone(), r)))
-                        },
-                        workers(),
-                    )?;
-                    Ok(Val::Cube {
+                (BVal::Scalar(a), BVal::Scalar(b)) => Ok(BVal::Scalar(op.apply(a, b))),
+                (BVal::Scalar(a), BVal::Batch { dims, batch }) => {
+                    let out = map_measures(batch, &|v| op.apply(a, v), workers())?;
+                    Ok(BVal::Batch {
                         dims,
-                        data: Cow::Owned(out),
+                        batch: Cow::Owned(out),
                     })
                 }
-                (Val::Cube { dims, data }, Val::Scalar(b)) => {
-                    let out = map_entries(
-                        &data,
-                        &|k, v| {
-                            let r = op.apply(v, b);
-                            Ok(r.is_finite().then(|| (k.clone(), r)))
-                        },
-                        workers(),
-                    )?;
-                    Ok(Val::Cube {
+                (BVal::Batch { dims, batch }, BVal::Scalar(b)) => {
+                    let out = map_measures(batch, &|v| op.apply(v, b), workers())?;
+                    Ok(BVal::Batch {
                         dims,
-                        data: Cow::Owned(out),
+                        batch: Cow::Owned(out),
                     })
                 }
-                (Val::Cube { dims, data: a }, Val::Cube { data: b, .. }) => {
-                    let a = a.as_ref();
-                    let b = b.as_ref();
-                    let mut out = match policy {
-                        // hash join: stream the left side, probe the right
-                        JoinPolicy::Inner => map_entries(
-                            a,
-                            &|k, va| {
-                                Ok(b.get(k).and_then(|vb| {
-                                    let r = op.apply(va, vb);
-                                    r.is_finite().then(|| (k.clone(), r))
-                                }))
-                            },
-                            workers(),
-                        )?,
-                        JoinPolicy::Outer { default } => map_entries(
-                            a,
-                            &|k, va| {
-                                let vb = b.get(k).unwrap_or(*default);
-                                let r = op.apply(va, vb);
-                                Ok(r.is_finite().then(|| (k.clone(), r)))
-                            },
-                            workers(),
-                        )?,
-                    };
-                    if let JoinPolicy::Outer { default } = policy {
-                        // anti side: right keys the left never produced
-                        for (k, vb) in b.iter() {
-                            if a.get(k).is_none() {
-                                store_if_finite(&mut out, k.clone(), op.apply(*default, vb));
-                            }
-                        }
-                    }
-                    Ok(Val::Cube {
+                (BVal::Batch { dims, batch: a }, BVal::Batch { batch: b, .. }) => {
+                    let out = probe_combine(a, &b, &|va, vb| op.apply(va, vb), policy, workers())?;
+                    Ok(BVal::Batch {
                         dims,
-                        data: Cow::Owned(out),
+                        batch: Cow::Owned(out),
                     })
                 }
             }
         }
         Expr::Shift { arg, offset, dim } => {
-            let Val::Cube { dims, data } = eval_expr(arg, env)? else {
+            let BVal::Batch { dims, batch } = eval_expr(arg, s)? else {
                 unreachable!("analysis rejects shift on scalars")
             };
-            let idx = resolve_time_index(&dims, dim.as_deref());
+            let idx = resolve_time_index(&dims, dim.as_deref())?;
             let offset = *offset;
-            // shift is injective on its axis, so keys cannot collide
-            let out = map_entries(
-                &data,
-                &|k, v| {
-                    let mut nk = k.clone();
-                    nk[idx] = match &nk[idx] {
-                        DimValue::Time(t) => DimValue::Time(t.shift(offset)),
-                        // §3: shift is "a sum on the values of a numeric dimension"
-                        DimValue::Int(i) => DimValue::Int(i + offset),
-                        other => {
-                            return Err(EvalError::BadTimeValue {
-                                cube: "<shift operand>".into(),
-                                detail: format!("value {other} cannot be shifted"),
-                            })
-                        }
-                    };
-                    Ok(Some((nk, v)))
-                },
-                workers(),
-            )?;
-            Ok(Val::Cube {
+            // shift is injective on its axis, so keys cannot collide;
+            // rewriting the key column in place costs no allocation
+            let mut out = batch.into_owned();
+            for k in out.keys_mut() {
+                k[idx] = match k[idx] {
+                    IDim::Time(t) => IDim::Time(t.shift(offset)),
+                    // §3: shift is "a sum on the values of a numeric dimension"
+                    IDim::Int(i) => IDim::Int(i + offset),
+                    other => {
+                        return Err(EvalError::BadTimeValue {
+                            cube: "<shift operand>".into(),
+                            detail: format!(
+                                "value {} cannot be shifted",
+                                s.pool.resolve_value(other)
+                            ),
+                        })
+                    }
+                };
+            }
+            Ok(BVal::Batch {
                 dims,
-                data: Cow::Owned(out),
+                batch: Cow::Owned(out),
             })
         }
         Expr::Aggregate { agg, arg, group_by } => {
-            let Val::Cube { dims, data } = eval_expr(arg, env)? else {
+            let BVal::Batch { dims, batch } = eval_expr(arg, s)? else {
                 unreachable!("analysis rejects aggregation of scalars")
             };
-            let out_dims = aggregate_out_dims(&dims, group_by);
-            let out = aggregate(&data, &dims, group_by, *agg, workers());
-            Ok(Val::Cube {
+            let parts = key_parts(&dims, group_by)?;
+            // output dimensions, derived from the resolved key parts so a
+            // statement that reaches us without re-analysis fails above,
+            // in key_parts, instead of panicking here
+            let out_dims: Vec<Dimension> = group_by
+                .iter()
+                .zip(&parts)
+                .map(|(g, p)| match (g, p) {
+                    (GroupKey::TimeMap { target, alias, .. }, _) => {
+                        Dimension::new(alias.clone(), exl_model::DimType::Time(*target))
+                    }
+                    (_, KeyPart::Dim(i)) => dims[*i].clone(),
+                    _ => unreachable!("key parts mirror group keys"),
+                })
+                .collect();
+            let partitions = if batch.len() < PAR_MIN_ROWS {
+                1
+            } else {
+                workers()
+            };
+            let out = aggregate_batch(&batch, &s.pool, &parts, *agg, partitions)?;
+            Ok(BVal::Batch {
                 dims: out_dims,
-                data: Cow::Owned(out),
+                batch: Cow::Owned(out),
             })
         }
         Expr::SeriesFn { op, arg } => {
-            let Val::Cube { dims, data } = eval_expr(arg, env)? else {
+            let BVal::Batch { dims, batch } = eval_expr(arg, s)? else {
                 unreachable!("analysis rejects series operators on scalars")
             };
-            let data = apply_series_op(*op, &dims, &data)?;
-            Ok(Val::Cube {
+            let out = series_batch(*op, &dims, &batch, &s.pool, workers())?;
+            Ok(BVal::Batch {
                 dims,
-                data: Cow::Owned(data),
+                batch: Cow::Owned(out),
             })
         }
     }
 }
 
-/// Per-entry transform used by [`map_entries`]: `Ok(None)` drops the row.
-type EntryFn<'a> =
-    &'a (dyn Fn(&DimTuple, f64) -> Result<Option<(DimTuple, f64)>, EvalError> + Sync);
+/// Message of a worker's panic payload, for [`EvalError::WorkerPanicked`].
+fn panic_detail(p: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".into()
+    }
+}
 
-/// Build an output cube by mapping every entry of `data` through `f`
-/// (`Ok(None)` drops the row), fanning out across up to `threads` workers
-/// for large operands. Chunked workers preserve nothing about output
-/// *order* — the output is a map — but compute each row independently, so
-/// the result is identical to the serial pass.
-fn map_entries(data: &CubeData, f: EntryFn<'_>, threads: usize) -> Result<CubeData, EvalError> {
-    if threads <= 1 || data.len() < PAR_MIN_ROWS {
-        let mut out = CubeData::with_capacity(data.len());
-        for (k, v) in data.iter() {
-            if let Some((nk, nv)) = f(k, v)? {
-                out.insert_overwrite(nk, nv);
+/// Join one scoped worker, converting a panic into the typed error the
+/// supervisor contains per-statement (never a re-panic in the caller).
+fn join_worker<T>(
+    h: std::thread::ScopedJoinHandle<'_, Result<T, EvalError>>,
+) -> Result<T, EvalError> {
+    match h.join() {
+        Ok(r) => r,
+        Err(payload) => Err(EvalError::WorkerPanicked {
+            detail: panic_detail(payload.as_ref()),
+        }),
+    }
+}
+
+/// An injected `eval.worker` fault surfaces exactly like a worker failure.
+fn worker_fault(e: exl_fault::FaultError) -> EvalError {
+    EvalError::WorkerPanicked {
+        detail: e.to_string(),
+    }
+}
+
+/// Apply a pure measure transform to a batch **in place**: keys are
+/// untouched, measures are rewritten (fanning out across `threads`
+/// workers for large operands), and rows whose result is non-finite are
+/// dropped afterwards (the §3 partiality rule). Borrowed operands pay
+/// one column clone; owned intermediates pay nothing but the arithmetic —
+/// no key clones, no index build.
+fn map_measures(
+    batch: Cow<'_, CubeBatch>,
+    f: &(dyn Fn(f64) -> f64 + Sync),
+    threads: usize,
+) -> Result<CubeBatch, EvalError> {
+    let mut out = batch.into_owned();
+    let n = out.len();
+    let measures = out.measures_mut();
+    if threads <= 1 || n < PAR_MIN_ROWS {
+        for v in measures.iter_mut() {
+            *v = f(*v);
+        }
+    } else {
+        let chunk = n.div_ceil(threads);
+        let joined: Vec<Result<(), EvalError>> = std::thread::scope(|s| {
+            let handles: Vec<_> = measures
+                .chunks_mut(chunk)
+                .map(|mc| {
+                    s.spawn(move || {
+                        exl_fault::check("eval.worker").map_err(worker_fault)?;
+                        for v in mc.iter_mut() {
+                            *v = f(*v);
+                        }
+                        Ok(())
+                    })
+                })
+                .collect();
+            handles.into_iter().map(join_worker).collect()
+        });
+        joined.into_iter().collect::<Result<(), EvalError>>()?;
+    }
+    out.retain_finite();
+    Ok(out)
+}
+
+/// Vectorial binary operator: stream the left side, probe the right, and
+/// write each combined measure back **in place** over the left operand's
+/// columns. An inner-join miss marks the row `NaN`, which the final
+/// [`CubeBatch::retain_finite`] sweep removes together with non-finite
+/// results (the §3 partiality rule — both are "no tuple"). For an outer
+/// join the anti side (right keys the left never had) is collected
+/// *before* the sweep, while the batch still holds every left key, and
+/// appended after.
+fn probe_combine(
+    a: Cow<'_, CubeBatch>,
+    b: &CubeBatch,
+    f: &(dyn Fn(f64, f64) -> f64 + Sync),
+    policy: &JoinPolicy,
+    threads: usize,
+) -> Result<CubeBatch, EvalError> {
+    b.ensure_indexed();
+    let miss = match policy {
+        JoinPolicy::Inner => f64::NAN,
+        JoinPolicy::Outer { default } => *default,
+    };
+    let mut out = a.into_owned();
+    let (keys, measures) = out.columns_mut();
+    let combine = |k: &IKey, va: f64| match b.get(k) {
+        Some(vb) => f(va, vb),
+        None if miss.is_nan() => f64::NAN,
+        None => f(va, miss),
+    };
+    if threads <= 1 || keys.len() < PAR_MIN_ROWS {
+        for (k, v) in keys.iter().zip(measures.iter_mut()) {
+            *v = combine(k, *v);
+        }
+    } else {
+        let chunk = keys.len().div_ceil(threads);
+        let joined: Vec<Result<(), EvalError>> = std::thread::scope(|s| {
+            let handles: Vec<_> = keys
+                .chunks(chunk)
+                .zip(measures.chunks_mut(chunk))
+                .map(|(kc, mc)| {
+                    s.spawn(move || {
+                        exl_fault::check("eval.worker").map_err(worker_fault)?;
+                        for (k, v) in kc.iter().zip(mc.iter_mut()) {
+                            *v = combine(k, *v);
+                        }
+                        Ok(())
+                    })
+                })
+                .collect();
+            handles.into_iter().map(join_worker).collect()
+        });
+        joined.into_iter().collect::<Result<(), EvalError>>()?;
+    }
+    if let JoinPolicy::Outer { default } = policy {
+        // anti side, probed against the still-complete left key set;
+        // buffered so the appends don't invalidate the probe index mid-loop
+        out.ensure_indexed();
+        let mut extra = Vec::new();
+        for (k, vb) in b.iter() {
+            if !out.contains(k) {
+                let r = f(*default, vb);
+                if r.is_finite() {
+                    extra.push((k.clone(), r));
+                }
             }
         }
-        return Ok(out);
-    }
-    let entries: Vec<(&DimTuple, f64)> = data.iter().collect();
-    let chunk = entries.len().div_ceil(threads);
-    let parts: Vec<Result<Vec<(DimTuple, f64)>, EvalError>> = std::thread::scope(|s| {
-        let handles: Vec<_> = entries
-            .chunks(chunk)
-            .map(|c| {
-                s.spawn(move || {
-                    let mut part = Vec::with_capacity(c.len());
-                    for (k, v) in c {
-                        if let Some(pair) = f(k, *v)? {
-                            part.push(pair);
-                        }
-                    }
-                    Ok(part)
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("eval worker panicked"))
-            .collect()
-    });
-    let mut out = CubeData::with_capacity(data.len());
-    for part in parts {
-        for (k, v) in part? {
-            out.insert_overwrite(k, v);
+        for (k, r) in extra {
+            out.push(k, r);
         }
     }
+    out.retain_finite();
     Ok(out)
 }
 
@@ -317,325 +479,461 @@ pub(crate) enum KeyPart {
     TimeMap { idx: usize, target: Frequency },
 }
 
-pub(crate) fn key_parts(dims: &[Dimension], group_by: &[GroupKey]) -> Vec<KeyPart> {
+/// Resolve group-by keys against the operand's dimensions. Statements can
+/// reach the evaluator through paths that skip re-analysis (the delta
+/// kernels, cached-statement replay), so an unresolvable name is a typed
+/// error here, not a panic.
+pub(crate) fn key_parts(
+    dims: &[Dimension],
+    group_by: &[GroupKey],
+) -> Result<Vec<KeyPart>, EvalError> {
+    let find = |name: &str| {
+        dims.iter()
+            .position(|d| d.name == name)
+            .ok_or_else(|| EvalError::InvalidStatement {
+                detail: format!("group-by key {name} is not a dimension of the operand"),
+            })
+    };
     group_by
         .iter()
         .map(|k| match k {
-            GroupKey::Dim(name) => KeyPart::Dim(
-                dims.iter()
-                    .position(|d| &d.name == name)
-                    .expect("validated"),
-            ),
-            GroupKey::TimeMap { target, dim, .. } => KeyPart::TimeMap {
-                idx: dims.iter().position(|d| &d.name == dim).expect("validated"),
+            GroupKey::Dim(name) => Ok(KeyPart::Dim(find(name)?)),
+            GroupKey::TimeMap { target, dim, .. } => Ok(KeyPart::TimeMap {
+                idx: find(dim)?,
                 target: *target,
-            },
+            }),
         })
         .collect()
 }
 
-/// A group key evaluated over one input row. Pass-through components
-/// borrow from the row — group keys allocate no strings until a group is
-/// actually emitted.
-type GroupKeyVal<'r> = Vec<Cow<'r, DimValue>>;
+fn bad_group_time(detail: String) -> EvalError {
+    EvalError::BadTimeValue {
+        cube: "<aggregation operand>".into(),
+        detail,
+    }
+}
 
-/// A group key component as a flat interned value — what the serial
-/// aggregation kernel hashes and compares instead of [`DimValue`]s.
-fn part_idim(part: &KeyPart, t: &DimTuple, pool: &mut DimPool) -> IDim {
+/// A group key component as a flat interned value — what the aggregation
+/// kernels hash and compare. Data that skipped validation (delta paths)
+/// can hold non-time values or non-coarsenable points where the schema
+/// promised otherwise; both surface as typed errors.
+fn part_idim(part: &KeyPart, key: &[IDim], pool: &DimPool) -> Result<IDim, EvalError> {
+    let fetch = |i: usize| {
+        key.get(i)
+            .copied()
+            .ok_or_else(|| EvalError::InvalidStatement {
+                detail: format!(
+                    "row has {} dimensions, group key needs index {i}",
+                    key.len()
+                ),
+            })
+    };
     match part {
-        KeyPart::Dim(i) => pool.intern_value(&t[*i]),
+        KeyPart::Dim(i) => fetch(*i),
+        KeyPart::TimeMap { idx, target } => match fetch(*idx)? {
+            IDim::Time(t) => t.convert(*target).map(IDim::Time).ok_or_else(|| {
+                bad_group_time(format!("time point {t} cannot be coarsened to {target:?}"))
+            }),
+            other => Err(bad_group_time(format!(
+                "value {} is not a time point",
+                pool.resolve_value(other)
+            ))),
+        },
+    }
+}
+
+/// [`part_idim`]'s [`DimValue`]-level twin, used by the delta kernels to
+/// compute group keys of tuple-level forward images.
+pub(crate) fn part_value<'r>(
+    part: &KeyPart,
+    t: &'r DimTuple,
+) -> Result<Cow<'r, DimValue>, EvalError> {
+    let fetch = |i: usize| {
+        t.get(i).ok_or_else(|| EvalError::InvalidStatement {
+            detail: format!("row has {} dimensions, group key needs index {i}", t.len()),
+        })
+    };
+    match part {
+        KeyPart::Dim(i) => Ok(Cow::Borrowed(fetch(*i)?)),
         KeyPart::TimeMap { idx, target } => {
-            let tp = t[*idx].as_time().expect("validated time dimension");
-            IDim::Time(tp.convert(*target).expect("coarsening validated"))
+            let v = fetch(*idx)?;
+            let tp = v
+                .as_time()
+                .ok_or_else(|| bad_group_time(format!("value {v} is not a time point")))?;
+            let c = tp.convert(*target).ok_or_else(|| {
+                bad_group_time(format!("time point {v} cannot be coarsened to {target:?}"))
+            })?;
+            Ok(Cow::Owned(DimValue::Time(c)))
         }
     }
 }
 
-pub(crate) fn part_value<'r>(part: &KeyPart, t: &'r DimTuple) -> Cow<'r, DimValue> {
-    match part {
-        KeyPart::Dim(i) => Cow::Borrowed(&t[*i]),
-        KeyPart::TimeMap { idx, target } => {
-            let tp = t[*idx].as_time().expect("validated time dimension");
-            Cow::Owned(DimValue::Time(
-                tp.convert(*target).expect("coarsening validated"),
-            ))
+/// Per-worker partial state of one group: the mergeable-state-machine
+/// side of the fold-then-merge aggregate. Order-free aggregations
+/// (`count`) accumulate an O(1) [`ExactState`] directly; order-sensitive
+/// ones collect row indices so `finish` can replay the canonical
+/// full-key-sorted fold (bit-identical to the serial kernel).
+enum GroupAcc {
+    Direct(ExactState),
+    Rows(Vec<u32>),
+}
+
+impl GroupAcc {
+    fn init(agg: AggFn) -> GroupAcc {
+        if ExactState::order_sensitive(agg) {
+            GroupAcc::Rows(Vec::new())
+        } else {
+            GroupAcc::Direct(ExactState::init(agg))
+        }
+    }
+
+    fn add(&mut self, row: u32, v: f64) {
+        match self {
+            GroupAcc::Direct(st) => st.accumulate(v),
+            GroupAcc::Rows(rows) => rows.push(row),
+        }
+    }
+
+    /// Absorb the next partition's state, in ascending partition order.
+    fn merge(&mut self, next: GroupAcc) {
+        match (self, next) {
+            (GroupAcc::Direct(a), GroupAcc::Direct(b)) => a.merge(b),
+            (GroupAcc::Rows(a), GroupAcc::Rows(mut b)) => a.append(&mut b),
+            _ => unreachable!("one aggregation, one state shape"),
         }
     }
 }
 
-/// Group-by aggregation as a hash kernel. Rows are bucketed by output key
-/// in storage order; each bucket is then sorted by its rows' full input
-/// keys before folding, which reproduces the former sorted-map
-/// evaluator's fold order — and therefore its float results — bit for
-/// bit, without sorting the whole operand. The parallel path partitions
-/// *groups* (by key hash) across workers, keeping every bag whole.
-fn aggregate(
+/// Group-by aggregation over a batch. `partitions <= 1` runs the serial
+/// hash kernel; otherwise rows are split into `partitions` contiguous
+/// chunks, each worker folds local per-group states, and the states are
+/// merged in ascending partition order ([`GroupAcc`]). Either way each
+/// group's bag is folded by [`ExactState`] in full-input-key-sorted
+/// order, which reproduces the former sorted-map evaluator's fold order
+/// — and therefore its float results — bit for bit, independent of the
+/// partition count.
+fn aggregate_batch(
+    batch: &CubeBatch,
+    pool: &DimPool,
+    parts: &[KeyPart],
+    agg: AggFn,
+    partitions: usize,
+) -> Result<CubeBatch, EvalError> {
+    if partitions <= 1 {
+        aggregate_serial(batch, pool, parts, agg)
+    } else {
+        aggregate_partitioned(batch, pool, parts, agg, partitions)
+    }
+}
+
+/// Serial aggregation: one pass assigns each row a group slot (group keys
+/// in one strided vector, hash-chained on collisions), a scatter pass
+/// segments row indices by group, then each segment is sorted by its
+/// rows' full input keys and folded through [`ExactState`].
+fn aggregate_serial(
+    batch: &CubeBatch,
+    pool: &DimPool,
+    parts: &[KeyPart],
+    agg: AggFn,
+) -> Result<CubeBatch, EvalError> {
+    const NO_SLOT: u32 = u32::MAX;
+    let stride = parts.len();
+    let keys = batch.keys();
+    let measures = batch.measures();
+    let mut group_keys: Vec<IDim> = Vec::new();
+    let mut next_slot: Vec<u32> = Vec::new();
+    let mut counts: Vec<u32> = Vec::new();
+    let mut index: FxHashMap<u64, u32> = FxHashMap::default();
+    let mut row_slot: Vec<u32> = Vec::with_capacity(keys.len());
+    let mut scratch: Vec<IDim> = Vec::with_capacity(stride);
+    for k in keys {
+        scratch.clear();
+        for p in parts {
+            scratch.push(part_idim(p, k, pool)?);
+        }
+        let h = fx_hash(&scratch);
+        let slot = match index.entry(h) {
+            std::collections::hash_map::Entry::Vacant(e) => {
+                let gi = (group_keys.len() / stride.max(1)) as u32;
+                group_keys.extend_from_slice(&scratch);
+                next_slot.push(NO_SLOT);
+                counts.push(0);
+                *e.insert(gi)
+            }
+            std::collections::hash_map::Entry::Occupied(e) => {
+                let mut gi = *e.get();
+                loop {
+                    let at = gi as usize * stride;
+                    if group_keys[at..at + stride] == scratch[..] {
+                        break gi;
+                    }
+                    if next_slot[gi as usize] == NO_SLOT {
+                        let ni = (group_keys.len() / stride.max(1)) as u32;
+                        group_keys.extend_from_slice(&scratch);
+                        next_slot.push(NO_SLOT);
+                        counts.push(0);
+                        next_slot[gi as usize] = ni;
+                        break ni;
+                    }
+                    gi = next_slot[gi as usize];
+                }
+            }
+        };
+        counts[slot as usize] += 1;
+        row_slot.push(slot);
+    }
+
+    // scatter row indices into one flat array segmented by group (no
+    // per-bag reallocation)
+    let n_groups = counts.len();
+    let mut offsets: Vec<u32> = Vec::with_capacity(n_groups + 1);
+    let mut acc = 0u32;
+    for &c in &counts {
+        offsets.push(acc);
+        acc += c;
+    }
+    offsets.push(acc);
+    let mut cursor: Vec<u32> = offsets[..n_groups].to_vec();
+    let mut flat: Vec<u32> = vec![0; keys.len()];
+    for (ri, &slot) in row_slot.iter().enumerate() {
+        let c = &mut cursor[slot as usize];
+        flat[*c as usize] = ri as u32;
+        *c += 1;
+    }
+    let sort_rows = ExactState::order_sensitive(agg);
+    let mut out = CubeBatch::with_capacity(n_groups);
+    for gi in 0..n_groups {
+        let seg = &mut flat[offsets[gi] as usize..offsets[gi + 1] as usize];
+        if sort_rows {
+            seg.sort_unstable_by(|&a, &b| pool.cmp_keys(&keys[a as usize], &keys[b as usize]));
+        }
+        let mut st = ExactState::init(agg);
+        for &ri in seg.iter() {
+            st.accumulate(measures[ri as usize]);
+        }
+        if let Some(v) = st.finish() {
+            if v.is_finite() {
+                out.push(group_keys[gi * stride..(gi + 1) * stride].into(), v);
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Partitioned fold-then-merge aggregation: contiguous row chunks fold
+/// local per-group [`GroupAcc`] states in parallel; the local maps are
+/// merged in ascending partition order; each merged group finishes by
+/// replaying [`ExactState`] over its bag sorted by full input key.
+fn aggregate_partitioned(
+    batch: &CubeBatch,
+    pool: &DimPool,
+    parts: &[KeyPart],
+    agg: AggFn,
+    partitions: usize,
+) -> Result<CubeBatch, EvalError> {
+    let keys = batch.keys();
+    let measures = batch.measures();
+    let chunk = keys.len().div_ceil(partitions).max(1);
+    let locals: Vec<Result<FxHashMap<IKey, GroupAcc>, EvalError>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..partitions)
+            .map(|w| (w * chunk, ((w + 1) * chunk).min(keys.len())))
+            .filter(|(lo, hi)| lo < hi)
+            .map(|(lo, hi)| {
+                s.spawn(move || {
+                    exl_fault::check("eval.worker").map_err(worker_fault)?;
+                    let mut local: FxHashMap<IKey, GroupAcc> = FxHashMap::default();
+                    let mut scratch: Vec<IDim> = Vec::with_capacity(parts.len());
+                    for ri in lo..hi {
+                        scratch.clear();
+                        for p in parts {
+                            scratch.push(part_idim(p, &keys[ri], pool)?);
+                        }
+                        let (ri, v) = (ri as u32, measures[ri]);
+                        match local.get_mut(scratch.as_slice()) {
+                            Some(acc) => acc.add(ri, v),
+                            None => {
+                                let mut acc = GroupAcc::init(agg);
+                                acc.add(ri, v);
+                                local.insert(scratch.as_slice().into(), acc);
+                            }
+                        }
+                    }
+                    Ok(local)
+                })
+            })
+            .collect();
+        handles.into_iter().map(join_worker).collect()
+    });
+
+    // merge partition states in ascending partition order (the canonical
+    // merge order of the state-machine contract)
+    let mut merged: FxHashMap<IKey, GroupAcc> = FxHashMap::default();
+    for local in locals {
+        for (gk, acc) in local? {
+            match merged.entry(gk) {
+                std::collections::hash_map::Entry::Occupied(mut e) => e.get_mut().merge(acc),
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(acc);
+                }
+            }
+        }
+    }
+
+    let mut out = CubeBatch::with_capacity(merged.len());
+    for (gk, acc) in merged {
+        let v = match acc {
+            GroupAcc::Direct(st) => st.finish(),
+            GroupAcc::Rows(mut rows) => {
+                // the canonical bag order: sorted by full input key,
+                // exactly as the serial kernel folds
+                rows.sort_unstable_by(|&a, &b| pool.cmp_keys(&keys[a as usize], &keys[b as usize]));
+                let mut st = ExactState::init(agg);
+                for &ri in &rows {
+                    st.accumulate(measures[ri as usize]);
+                }
+                st.finish()
+            }
+        };
+        if let Some(v) = v {
+            if v.is_finite() {
+                out.push(gk, v);
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Group-by aggregation over cube data with an explicit partition count —
+/// the fold-then-merge kernel behind `Expr::Aggregate`, exposed so the
+/// differential suite can pin partition-count independence bit for bit.
+/// `partitions <= 1` runs the serial kernel; any larger count forces the
+/// partitioned path regardless of operand size.
+pub fn aggregate_data(
     data: &CubeData,
     dims: &[Dimension],
     group_by: &[GroupKey],
     agg: AggFn,
-    threads: usize,
-) -> CubeData {
-    let parts = key_parts(dims, group_by);
-
-    // fold one bucket: sorted by full input key = the old fold order
-    let fold = |bag: &mut Vec<(&DimTuple, f64)>| -> Option<f64> {
-        bag.sort_unstable_by(|a, b| a.0.cmp(b.0));
-        let values: Vec<f64> = bag.iter().map(|(_, v)| *v).collect();
-        agg.apply(&values)
-    };
-
-    if threads <= 1 || data.len() < PAR_MIN_ROWS {
-        // Pass 1: assign each row a group slot. Group keys are interned
-        // through a run-local pool, so probing hashes and compares flat
-        // `Copy` symbols, not strings; keys live in one strided vector
-        // and only first-seen groups touch the pool's string table. The
-        // index maps key hashes to a head slot; (rare) same-hash groups
-        // chain through `next_slot`, checked by full key equality.
-        const NO_SLOT: u32 = u32::MAX;
-        let stride = parts.len();
-        let mut pool = DimPool::new();
-        let mut group_keys: Vec<IDim> = Vec::new();
-        let mut next_slot: Vec<u32> = Vec::new();
-        let mut counts: Vec<u32> = Vec::new();
-        let mut index: FxHashMap<u64, u32> = FxHashMap::default();
-        let mut rows: Vec<(&DimTuple, f64)> = Vec::with_capacity(data.len());
-        let mut row_slot: Vec<u32> = Vec::with_capacity(data.len());
-        let mut scratch: Vec<IDim> = Vec::with_capacity(stride);
-        for (k, v) in data.iter() {
-            scratch.clear();
-            for p in &parts {
-                scratch.push(part_idim(p, k, &mut pool));
-            }
-            let h = fx_hash(&scratch);
-            let slot = match index.entry(h) {
-                std::collections::hash_map::Entry::Vacant(e) => {
-                    let gi = (group_keys.len() / stride.max(1)) as u32;
-                    group_keys.extend_from_slice(&scratch);
-                    next_slot.push(NO_SLOT);
-                    counts.push(0);
-                    *e.insert(gi)
-                }
-                std::collections::hash_map::Entry::Occupied(e) => {
-                    let mut gi = *e.get();
-                    loop {
-                        let at = gi as usize * stride;
-                        if group_keys[at..at + stride] == scratch[..] {
-                            break gi;
-                        }
-                        if next_slot[gi as usize] == NO_SLOT {
-                            let ni = (group_keys.len() / stride.max(1)) as u32;
-                            group_keys.extend_from_slice(&scratch);
-                            next_slot.push(NO_SLOT);
-                            counts.push(0);
-                            next_slot[gi as usize] = ni;
-                            break ni;
-                        }
-                        gi = next_slot[gi as usize];
-                    }
-                }
-            };
-            counts[slot as usize] += 1;
-            row_slot.push(slot);
-            rows.push((k, v));
-        }
-
-        // Pass 2: scatter row indices into one flat array segmented by
-        // group (no per-bag reallocation), then sort each segment by its
-        // rows' full input keys and fold — the old sorted-map fold order,
-        // bit for bit.
-        let n_groups = counts.len();
-        let mut offsets: Vec<u32> = Vec::with_capacity(n_groups + 1);
-        let mut acc = 0u32;
-        for &c in &counts {
-            offsets.push(acc);
-            acc += c;
-        }
-        offsets.push(acc);
-        let mut cursor: Vec<u32> = offsets[..n_groups].to_vec();
-        let mut flat: Vec<u32> = vec![0; rows.len()];
-        for (ri, &slot) in row_slot.iter().enumerate() {
-            let c = &mut cursor[slot as usize];
-            flat[*c as usize] = ri as u32;
-            *c += 1;
-        }
-        let mut out = CubeData::with_capacity(n_groups);
-        let mut values: Vec<f64> = Vec::new();
-        for gi in 0..n_groups {
-            let seg = &mut flat[offsets[gi] as usize..offsets[gi + 1] as usize];
-            seg.sort_unstable_by(|&a, &b| rows[a as usize].0.cmp(rows[b as usize].0));
-            values.clear();
-            values.extend(seg.iter().map(|&ri| rows[ri as usize].1));
-            if let Some(v) = agg.apply(&values) {
-                let gk: DimTuple = group_keys[gi * stride..(gi + 1) * stride]
-                    .iter()
-                    .map(|&d| pool.resolve_value(d))
-                    .collect();
-                store_if_finite(&mut out, gk, v);
-            }
-        }
-        return out;
-    }
-
-    // phase 1: evaluate per-row group keys (and their hashes) in chunks
-    let entries: Vec<(&DimTuple, f64)> = data.iter().collect();
-    let chunk = entries.len().div_ceil(threads);
-    let keyed: Vec<Vec<(u64, GroupKeyVal, &DimTuple, f64)>> = std::thread::scope(|s| {
-        let handles: Vec<_> = entries
-            .chunks(chunk)
-            .map(|c| {
-                let parts = &parts;
-                s.spawn(move || {
-                    c.iter()
-                        .map(|(k, v)| {
-                            let gk: GroupKeyVal = parts.iter().map(|p| part_value(p, k)).collect();
-                            (fx_hash(&gk), gk, *k, *v)
-                        })
-                        .collect::<Vec<_>>()
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("eval worker panicked"))
-            .collect()
-    });
-    let keyed: Vec<(u64, GroupKeyVal, &DimTuple, f64)> = keyed.into_iter().flatten().collect();
-
-    // phase 2: each worker owns the groups whose key hash lands in its
-    // partition, so every bag stays whole
-    let results: Vec<Vec<(DimTuple, f64)>> = std::thread::scope(|s| {
-        let handles: Vec<_> = (0..threads as u64)
-            .map(|t| {
-                let keyed = &keyed;
-                let fold = &fold;
-                s.spawn(move || {
-                    let mut groups: FxHashMap<&GroupKeyVal, Vec<(&DimTuple, f64)>> =
-                        FxHashMap::default();
-                    for (h, gk, k, v) in keyed {
-                        if h % threads as u64 != t {
-                            continue;
-                        }
-                        match groups.get_mut(gk) {
-                            Some(bag) => bag.push((*k, *v)),
-                            None => {
-                                groups.insert(gk, vec![(*k, *v)]);
-                            }
-                        }
-                    }
-                    groups
-                        .into_iter()
-                        .filter_map(|(gk, mut bag)| {
-                            fold(&mut bag).map(|v| {
-                                let key: DimTuple = gk.iter().map(|c| c.as_ref().clone()).collect();
-                                (key, v)
-                            })
-                        })
-                        .collect::<Vec<_>>()
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("eval worker panicked"))
-            .collect()
-    });
-
-    let mut out = CubeData::new();
-    for part in results {
-        for (k, v) in part {
-            store_if_finite(&mut out, k, v);
-        }
-    }
-    out
+    partitions: usize,
+) -> Result<CubeData, EvalError> {
+    let mut pool = DimPool::new();
+    let batch = CubeBatch::from_data(data, &mut pool);
+    let parts = key_parts(dims, group_by)?;
+    let out = aggregate_batch(&batch, &pool, &parts, agg, partitions)?;
+    Ok(out.to_data(&pool))
 }
 
 /// Apply a black-box series operator to cube data: slice on the non-time
 /// dimensions, run the operator positionally over each chronologically
 /// sorted slice. Shared with the chase (which applies the same function for
-/// table-function tgds). Slices are independent, so large operands fan the
-/// per-slice computation out across threads.
+/// table-function tgds).
 pub fn apply_series_op(
     op: SeriesOp,
     dims: &[Dimension],
     data: &CubeData,
 ) -> Result<CubeData, EvalError> {
-    let time_idx = resolve_time_index(dims, None);
+    let mut pool = DimPool::new();
+    let batch = CubeBatch::from_data(data, &mut pool);
+    let out = series_batch(op, dims, &batch, &pool, workers())?;
+    Ok(out.to_data(&pool))
+}
+
+/// Series-operator kernel over a batch: group row indices into slices by
+/// non-time dimension values, sort each slice chronologically, apply the
+/// operator positionally. Slices are independent, so large operands fan
+/// the per-slice computation out across threads.
+fn series_batch(
+    op: SeriesOp,
+    dims: &[Dimension],
+    batch: &CubeBatch,
+    pool: &DimPool,
+    threads: usize,
+) -> Result<CubeBatch, EvalError> {
+    let time_idx = resolve_time_index(dims, None)?;
     let freq = dims[time_idx]
         .ty
         .frequency()
-        .expect("analysis guarantees a time dimension");
+        .ok_or_else(|| EvalError::InvalidStatement {
+            detail: format!(
+                "series operator needs a time dimension, {} is not one",
+                dims[time_idx].name
+            ),
+        })?;
     let period = series_period(freq);
+    let keys = batch.keys();
+    let measures = batch.measures();
 
-    // group rows by their non-time dimension values
-    let mut slices: FxHashMap<DimTuple, Vec<(i64, &DimTuple, f64)>> = FxHashMap::default();
-    for (k, v) in data.iter() {
-        let slice_key: DimTuple = k
-            .iter()
-            .enumerate()
-            .filter(|(i, _)| *i != time_idx)
-            .map(|(_, d)| d.clone())
-            .collect();
-        let t = k[time_idx]
-            .as_time()
-            .ok_or_else(|| EvalError::BadTimeValue {
+    // group row indices by their non-time dimension values
+    let mut slices: FxHashMap<IKey, Vec<(i64, u32)>> = FxHashMap::default();
+    let mut scratch: Vec<IDim> = Vec::new();
+    for (ri, k) in keys.iter().enumerate() {
+        let IDim::Time(t) = k[time_idx] else {
+            return Err(EvalError::BadTimeValue {
                 cube: "<series operand>".into(),
-                detail: format!("value {} is not a time point", k[time_idx]),
-            })?;
-        slices.entry(slice_key).or_default().push((t.index(), k, v));
+                detail: format!(
+                    "value {} is not a time point",
+                    pool.resolve_value(k[time_idx])
+                ),
+            });
+        };
+        scratch.clear();
+        scratch.extend(
+            k.iter()
+                .enumerate()
+                .filter(|(i, _)| *i != time_idx)
+                .map(|(_, &d)| d),
+        );
+        match slices.get_mut(scratch.as_slice()) {
+            Some(rows) => rows.push((t.index(), ri as u32)),
+            None => {
+                slices.insert(scratch.as_slice().into(), vec![(t.index(), ri as u32)]);
+            }
+        }
     }
-    let slice_list: Vec<Vec<(i64, &DimTuple, f64)>> = slices.into_values().collect();
+    let slice_list: Vec<Vec<(i64, u32)>> = slices.into_values().collect();
 
-    let run_slice = |mut rows: Vec<(i64, &DimTuple, f64)>| -> Vec<(DimTuple, f64)> {
-        rows.sort_by_key(|(t, _, _)| *t);
-        let indices: Vec<i64> = rows.iter().map(|(t, _, _)| *t).collect();
-        let values: Vec<f64> = rows.iter().map(|(_, _, v)| *v).collect();
+    let run_slice = |rows: &[(i64, u32)]| -> Vec<(IKey, f64)> {
+        let mut rows: Vec<(i64, u32)> = rows.to_vec();
+        rows.sort_by_key(|(t, _)| *t);
+        let indices: Vec<i64> = rows.iter().map(|(t, _)| *t).collect();
+        let values: Vec<f64> = rows.iter().map(|(_, ri)| measures[*ri as usize]).collect();
         let result = op.apply(&indices, &values, period);
         rows.into_iter()
             .zip(result)
             .filter(|(_, v)| v.is_finite())
-            .map(|((_, key, _), v)| (key.clone(), v))
+            .map(|((_, ri), v)| (keys[ri as usize].clone(), v))
             .collect()
     };
 
-    let threads = workers();
-    let mut out = CubeData::with_capacity(data.len());
-    if threads <= 1 || data.len() < PAR_MIN_ROWS || slice_list.len() < 2 {
-        for rows in slice_list {
+    let mut out = CubeBatch::with_capacity(batch.len());
+    if threads <= 1 || batch.len() < PAR_MIN_ROWS || slice_list.len() < 2 {
+        for rows in &slice_list {
             for (k, v) in run_slice(rows) {
-                out.insert_overwrite(k, v);
+                out.push(k, v);
             }
         }
         return Ok(out);
     }
-    type Slice<'a> = Vec<(i64, &'a DimTuple, f64)>;
     let chunk = slice_list.len().div_ceil(threads);
-    let mut slice_list = slice_list;
-    let mut chunks: Vec<Vec<Slice>> = Vec::new();
-    while !slice_list.is_empty() {
-        let rest = slice_list.split_off(chunk.min(slice_list.len()));
-        chunks.push(std::mem::replace(&mut slice_list, rest));
-    }
-    let parts: Vec<Vec<(DimTuple, f64)>> = std::thread::scope(|s| {
-        let handles: Vec<_> = chunks
-            .into_iter()
+    let parts: Vec<Result<Vec<(IKey, f64)>, EvalError>> = std::thread::scope(|s| {
+        let run_slice = &run_slice;
+        let handles: Vec<_> = slice_list
+            .chunks(chunk)
             .map(|c| {
-                let run_slice = &run_slice;
                 s.spawn(move || {
-                    c.into_iter()
-                        .flat_map(run_slice)
-                        .collect::<Vec<(DimTuple, f64)>>()
+                    exl_fault::check("eval.worker").map_err(worker_fault)?;
+                    let mut part = Vec::new();
+                    for rows in c {
+                        part.extend(run_slice(rows));
+                    }
+                    Ok(part)
                 })
             })
             .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("eval worker panicked"))
-            .collect()
+        handles.into_iter().map(join_worker).collect()
     });
     for part in parts {
-        for (k, v) in part {
-            out.insert_overwrite(k, v);
+        for (k, v) in part? {
+            out.push(k, v);
         }
     }
     Ok(out)
@@ -658,27 +956,32 @@ pub fn aggregate_out_dims(dims: &[Dimension], group_by: &[GroupKey]) -> Vec<Dime
         .collect()
 }
 
-/// Index of the time dimension an operator acts on (validated upstream).
-pub fn resolve_time_index(dims: &[Dimension], named: Option<&str>) -> usize {
+/// Index of the time dimension an operator acts on. Statements arriving
+/// without re-analysis (delta kernels, cached replay) can fail to
+/// resolve; that is an error, not a panic.
+pub fn resolve_time_index(dims: &[Dimension], named: Option<&str>) -> Result<usize, EvalError> {
     match named {
-        Some(name) => dims.iter().position(|d| d.name == name).expect("validated"),
-        None => dims
-            .iter()
-            .position(|d| d.ty.is_time())
-            .expect("analysis guarantees a time dimension"),
-    }
-}
-
-/// Store a measure unless it is non-finite (partial operator semantics).
-fn store_if_finite(out: &mut CubeData, key: DimTuple, v: f64) {
-    if v.is_finite() {
-        out.insert_overwrite(key, v);
+        Some(name) => {
+            dims.iter()
+                .position(|d| d.name == name)
+                .ok_or_else(|| EvalError::InvalidStatement {
+                    detail: format!("{name} is not a dimension of the operand"),
+                })
+        }
+        None => {
+            dims.iter()
+                .position(|d| d.ty.is_time())
+                .ok_or_else(|| EvalError::InvalidStatement {
+                    detail: "operand has no time dimension".into(),
+                })
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use exl_fault::FaultPlan;
     use exl_lang::{analyze, parse_program};
     use exl_model::schema::CubeId;
     use exl_model::time::{Date, TimePoint};
@@ -967,6 +1270,102 @@ mod tests {
         assert!(b1.approx_eq(b2, 1e-12), "{:?}", b1.diff(b2, 1e-12));
     }
 
+    // ---- typed errors on paths that skip re-analysis ----
+
+    /// Build an environment for `eval_statement` whose cube carries
+    /// `data` under the analyzed schema, *without* re-validating — the
+    /// shape of data arriving through the delta kernels or cached replay.
+    fn raw_env(analyzed: &AnalyzedProgram, cube: &str, data: CubeData) -> Dataset {
+        let mut env = Dataset::new();
+        env.put(Cube::new(
+            analyzed.schemas[&CubeId::new(cube)].clone(),
+            data,
+        ));
+        env
+    }
+
+    #[test]
+    fn malformed_day_value_in_aggregation_is_a_typed_error() {
+        // the schema promises days, the data smuggles in an integer where
+        // the date should be: coarsening must fail, not panic
+        let analyzed = analyze(
+            &parse_program("cube P(d: day); Q := avg(P, group by quarter(d) as q);").unwrap(),
+            &[],
+        )
+        .unwrap();
+        let data = CubeData::from_tuples(vec![(vec![DimValue::Int(20200132)], 1.0)]).unwrap();
+        let env = raw_env(&analyzed, "P", data);
+        let err = eval_statement(&analyzed.program.statements[0], &env).unwrap_err();
+        assert!(matches!(err, EvalError::BadTimeValue { .. }), "{err}");
+        assert!(err.to_string().contains("not a time point"), "{err}");
+    }
+
+    #[test]
+    fn non_coarsenable_time_point_is_a_typed_error() {
+        // a yearly point cannot be coarsened to quarters: the conversion
+        // is undefined and must surface as an error
+        let analyzed = analyze(
+            &parse_program("cube P(d: day); Q := sum(P, group by quarter(d) as q);").unwrap(),
+            &[],
+        )
+        .unwrap();
+        let data = CubeData::from_tuples(vec![(vec![DimValue::Time(TimePoint::Year(2020))], 1.0)])
+            .unwrap();
+        let env = raw_env(&analyzed, "P", data);
+        let err = eval_statement(&analyzed.program.statements[0], &env).unwrap_err();
+        assert!(matches!(err, EvalError::BadTimeValue { .. }), "{err}");
+        assert!(err.to_string().contains("cannot be coarsened"), "{err}");
+    }
+
+    #[test]
+    fn unresolvable_group_key_is_a_typed_error() {
+        // the statement groups by a dimension the (stale) schema no
+        // longer has — reachable when a cached statement is replayed
+        // against a changed catalog without re-analysis
+        let analyzed = analyze(
+            &parse_program("cube R(q: quarter, r: text); G := sum(R, group by r);").unwrap(),
+            &[],
+        )
+        .unwrap();
+        let stale = analyze(
+            &parse_program("cube R(q: quarter, z: text); G2 := 2 * R;").unwrap(),
+            &[],
+        )
+        .unwrap();
+        let data =
+            CubeData::from_tuples(vec![(vec![q(2020, 1), DimValue::str("n")], 1.0)]).unwrap();
+        let env = raw_env(&stale, "R", data);
+        let err = eval_statement(&analyzed.program.statements[0], &env).unwrap_err();
+        assert!(matches!(err, EvalError::InvalidStatement { .. }), "{err}");
+    }
+
+    // ---- worker containment ----
+
+    #[test]
+    fn panicking_worker_surfaces_as_typed_error() {
+        let data = big_cube((PAR_MIN_ROWS + 100) as i64);
+        let mut pool = DimPool::new();
+        let batch = CubeBatch::from_data(&data, &mut pool);
+        let _guard = exl_fault::install(FaultPlan::panic_once("eval.worker"));
+        let err = map_measures(Cow::Borrowed(&batch), &|v| v * 2.0, 4).unwrap_err();
+        assert!(matches!(err, EvalError::WorkerPanicked { .. }), "{err}");
+        // the panic was contained: later evaluations on this thread work
+        assert!(map_measures(Cow::Borrowed(&batch), &|v| v * 2.0, 4).is_ok());
+    }
+
+    #[test]
+    fn injected_worker_fault_surfaces_as_typed_error() {
+        let data = big_cube((PAR_MIN_ROWS + 100) as i64);
+        let dims = vec![
+            Dimension::new("k", exl_model::DimType::Int),
+            Dimension::new("g", exl_model::DimType::Str),
+        ];
+        let group_by = vec![GroupKey::Dim("g".into())];
+        let _guard = exl_fault::install(FaultPlan::fail_once("eval.worker"));
+        let err = aggregate_data(&data, &dims, &group_by, AggFn::Sum, 4).unwrap_err();
+        assert!(matches!(err, EvalError::WorkerPanicked { .. }), "{err}");
+    }
+
     // ---- parallel kernels must be byte-identical to serial ones ----
 
     fn big_cube(n: i64) -> CubeData {
@@ -989,19 +1388,42 @@ mod tests {
     }
 
     #[test]
-    fn parallel_map_entries_matches_serial_bitwise() {
+    fn parallel_map_measures_matches_serial_bitwise() {
         let data = big_cube((PAR_MIN_ROWS + 100) as i64);
-        let f = |k: &DimTuple, v: f64| -> Result<Option<(DimTuple, f64)>, EvalError> {
-            let r = (v * 1.0000001).ln();
-            Ok(r.is_finite().then(|| (k.clone(), r)))
-        };
-        let serial = map_entries(&data, &f, 1).unwrap();
-        let parallel = map_entries(&data, &f, 4).unwrap();
-        assert_eq!(bits(&serial), bits(&parallel));
+        let mut pool = DimPool::new();
+        let batch = CubeBatch::from_data(&data, &mut pool);
+        let f = |v: f64| (v * 1.0000001).ln();
+        let serial = map_measures(Cow::Borrowed(&batch), &f, 1).unwrap();
+        let parallel = map_measures(Cow::Borrowed(&batch), &f, 4).unwrap();
+        assert_eq!(bits(&serial.to_data(&pool)), bits(&parallel.to_data(&pool)));
     }
 
     #[test]
-    fn parallel_aggregate_matches_serial_bitwise() {
+    fn parallel_probe_combine_matches_serial_bitwise() {
+        let data = big_cube((PAR_MIN_ROWS + 100) as i64);
+        // a shifted partner so both the hit and the miss paths run
+        let mut partner = CubeData::with_capacity(data.len());
+        for (k, v) in data.iter() {
+            let DimValue::Int(i) = k[0] else {
+                unreachable!()
+            };
+            if i % 3 != 0 {
+                partner.insert_overwrite(k.clone(), v.sqrt().abs() + 0.5);
+            }
+        }
+        let mut pool = DimPool::new();
+        let a = CubeBatch::from_data(&data, &mut pool);
+        let b = CubeBatch::from_data(&partner, &mut pool);
+        let f = |va: f64, vb: f64| va / vb;
+        for policy in [JoinPolicy::Inner, JoinPolicy::Outer { default: 1.0 }] {
+            let serial = probe_combine(Cow::Borrowed(&a), &b, &f, &policy, 1).unwrap();
+            let parallel = probe_combine(Cow::Borrowed(&a), &b, &f, &policy, 4).unwrap();
+            assert_eq!(bits(&serial.to_data(&pool)), bits(&parallel.to_data(&pool)));
+        }
+    }
+
+    #[test]
+    fn partitioned_aggregate_matches_serial_bitwise() {
         // bags of ~740 floats per group: any fold-order difference between
         // the serial and partitioned paths would show in the low bits
         let data = big_cube((PAR_MIN_ROWS + 1073) as i64);
@@ -1010,12 +1432,14 @@ mod tests {
             Dimension::new("g", exl_model::DimType::Str),
         ];
         let group_by = vec![GroupKey::Dim("g".into())];
-        let serial = aggregate(&data, &dims, &group_by, AggFn::Sum, 1);
-        let parallel = aggregate(&data, &dims, &group_by, AggFn::Sum, 4);
+        let serial = aggregate_data(&data, &dims, &group_by, AggFn::Sum, 1).unwrap();
         assert_eq!(serial.len(), 7);
-        assert_eq!(bits(&serial), bits(&parallel));
-        let avg_s = aggregate(&data, &dims, &group_by, AggFn::Avg, 1);
-        let avg_p = aggregate(&data, &dims, &group_by, AggFn::Avg, 4);
-        assert_eq!(bits(&avg_s), bits(&avg_p));
+        for agg in AggFn::ALL {
+            let one = aggregate_data(&data, &dims, &group_by, agg, 1).unwrap();
+            for partitions in [2, 4, 17] {
+                let many = aggregate_data(&data, &dims, &group_by, agg, partitions).unwrap();
+                assert_eq!(bits(&one), bits(&many), "{agg} x{partitions}");
+            }
+        }
     }
 }

@@ -26,4 +26,4 @@ pub mod eval;
 
 pub use delta::{changed_keys, delta_shape, eval_statement_delta, DeltaShape};
 pub use error::EvalError;
-pub use eval::{eval_statement, run_program, series_period};
+pub use eval::{aggregate_data, eval_statement, run_program, series_period, EvalSession};

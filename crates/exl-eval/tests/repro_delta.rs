@@ -9,7 +9,10 @@ use exl_model::value::DimValue;
 use exl_model::{Cube, CubeData, Dataset};
 
 fn q(y: i32, n: u32) -> DimValue {
-    DimValue::Time(TimePoint::Quarter { year: y, quarter: n })
+    DimValue::Time(TimePoint::Quarter {
+        year: y,
+        quarter: n,
+    })
 }
 
 #[test]
@@ -19,11 +22,15 @@ fn addz_shift_patch_bit_identity() {
     let stmt = analyzed.program.statements.last().unwrap();
     let mut env = Dataset::new();
     let old = CubeData::from_tuples(vec![
-        (vec![q(2022, 1)], 1.0),  // "A[8]"
-        (vec![q(2022, 2)], 2.0),  // "A[9]"
-        (vec![q(2022, 3)], 5.0),  // "A[10]"
-    ]).unwrap();
-    env.put(Cube::new(analyzed.schemas[&CubeId::new("A")].clone(), old.clone()));
+        (vec![q(2022, 1)], 1.0), // "A[8]"
+        (vec![q(2022, 2)], 2.0), // "A[9]"
+        (vec![q(2022, 3)], 5.0), // "A[10]"
+    ])
+    .unwrap();
+    env.put(Cube::new(
+        analyzed.schemas[&CubeId::new("A")].clone(),
+        old.clone(),
+    ));
     let prev_output = eval_statement(stmt, &env).unwrap();
     let mut prev_inputs: FxHashMap<CubeId, CubeData> = FxHashMap::default();
     prev_inputs.insert(CubeId::new("A"), old.clone());

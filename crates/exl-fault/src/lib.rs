@@ -30,6 +30,7 @@ use std::time::Duration;
 /// draw from this list; ad-hoc plans may name any site string.
 pub const SITES: &[&str] = &[
     "exec.native",
+    "eval.worker",
     "exec.chase",
     "exec.sql",
     "exec.r",

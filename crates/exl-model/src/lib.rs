@@ -17,6 +17,8 @@
 //!   keyed join/aggregation kernels run on;
 //! * [`cube`] — functional cube instances with hashed storage and sorted
 //!   boundary iteration;
+//! * [`batch`] — the columnar batch view over cube data (parallel
+//!   key/measure vectors over interned keys) the evaluator executes on;
 //! * [`fingerprint`] — order-independent 128-bit content hashes of cubes
 //!   and ordered fingerprint chains for derivation steps, the identities
 //!   the incremental run cache keys on;
@@ -28,6 +30,7 @@
 
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod csv;
 pub mod cube;
 pub mod dataset;
@@ -39,6 +42,7 @@ pub mod schema;
 pub mod time;
 pub mod value;
 
+pub use batch::CubeBatch;
 pub use cube::{format_tuple, Cube, CubeData, DimTuple};
 pub use dataset::Dataset;
 pub use error::ModelError;

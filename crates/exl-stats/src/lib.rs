@@ -6,7 +6,8 @@
 //! ([`regression`]), moving-window transforms ([`moving`]), classical
 //! additive seasonal decomposition ([`mod@decompose`]) — the stand-in for R's
 //! `stl` — and the whole-series black-box operators ([`seriesop::SeriesOp`])
-//! that every execution backend shares.
+//! that every execution backend shares. The mergeable aggregation state
+//! machines behind the partitioned group-by kernels live in [`state`].
 
 #![warn(missing_docs)]
 
@@ -15,8 +16,10 @@ pub mod descriptive;
 pub mod moving;
 pub mod regression;
 pub mod seriesop;
+pub mod state;
 
 pub use decompose::{decompose, Decomposition};
 pub use descriptive::AggFn;
 pub use regression::LinearFit;
 pub use seriesop::SeriesOp;
+pub use state::{AggState, ExactState, Welford};

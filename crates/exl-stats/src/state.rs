@@ -1,0 +1,410 @@
+//! Mergeable aggregation state machines.
+//!
+//! Gray et al.'s data-cube paper classifies aggregates by how they
+//! distribute over partitions: *distributive* aggregates (count, min,
+//! max, sum) can be computed per-partition and combined, *algebraic*
+//! ones (average, variance) combine through a fixed-size intermediate
+//! state. This module casts every [`AggFn`] as such a state machine —
+//! [`AggState`]: `init`/`accumulate`/`merge`/`finish` — so partitioned
+//! workers fold local states over their rows and a single merge pass, in
+//! a fixed canonical order, produces the group's result.
+//!
+//! The engine's contract is stronger than Gray et al.'s: results must be
+//! **bit-identical** to the sequential fold [`AggFn::apply`] performs on
+//! the group's bag in canonical order, because goldens, `exlc` output,
+//! and the incremental run cache all compare floats by their bits.
+//! Floating-point addition is not associative, so a sum recombined from
+//! partial sums moves low bits whenever the partition count changes.
+//! [`ExactState`] therefore splits the menu:
+//!
+//! * `count` keeps a single integer — exactly mergeable in any order;
+//! * `min`/`max` keep one running extremum — mergeable, with the one
+//!   caveat that IEEE `min`/`max` may pick either operand of a
+//!   `-0.0`/`+0.0` tie, so callers that must be bit-stable across
+//!   *reorderings* treat them as order-sensitive (see
+//!   [`ExactState::order_sensitive`]);
+//! * everything else retains its value bag in accumulation order, merge
+//!   concatenates (canonical order: ascending partition index), and
+//!   `finish` replays `AggFn::apply` on the concatenated sequence — so
+//!   `finish(merge(s₀, s₁, …))` is bit-identical to the single-threaded
+//!   fold for *every* partitioning of the same canonical sequence.
+//!
+//! [`Welford`] is the classical algebraic state for mean/variance
+//! (Welford's update, Chan et al.'s pairwise combine). It is the state
+//! to use where streams cannot be replayed (sharded or out-of-core
+//! ingestion); it is *not* used on the engine's bit-compatible path,
+//! because its running recurrence rounds differently from the two-pass
+//! `avg`/`stddev` folds the goldens pin.
+
+use crate::descriptive::AggFn;
+
+/// A mergeable aggregation state machine: fold values in with
+/// [`AggState::accumulate`], combine partitioned states with
+/// [`AggState::merge`] (in the caller's canonical partition order), and
+/// read the aggregate off with [`AggState::finish`].
+pub trait AggState: Sized {
+    /// Fold one value into the state.
+    fn accumulate(&mut self, v: f64);
+    /// Absorb the state of the *next* partition in canonical order.
+    fn merge(&mut self, next: Self);
+    /// The aggregate of everything accumulated, `None` for the empty bag
+    /// (the paper's §3 semantics: no tuple for an empty `V`).
+    fn finish(&self) -> Option<f64>;
+}
+
+/// The bit-exact state machine behind [`AggFn`]: for any sequence of
+/// `accumulate` calls distributed over partitions and merged back in
+/// partition order, `finish` returns exactly what [`AggFn::apply`] would
+/// on the whole sequence — bit for bit.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExactState {
+    /// Bag size only — O(1), mergeable in any order.
+    Count(u64),
+    /// Running minimum (`f64::min` fold) and bag size — O(1).
+    Min {
+        /// Values folded so far.
+        n: u64,
+        /// `f64::min` of the values folded so far.
+        acc: f64,
+    },
+    /// Running maximum (`f64::max` fold) and bag size — O(1).
+    Max {
+        /// Values folded so far.
+        n: u64,
+        /// `f64::max` of the values folded so far.
+        acc: f64,
+    },
+    /// Order-sensitive aggregations retain the bag in accumulation
+    /// order; `finish` replays the canonical sequential fold.
+    Bag {
+        /// Which fold to replay.
+        agg: AggFn,
+        /// The bag, in accumulation (= canonical) order.
+        values: Vec<f64>,
+    },
+}
+
+impl ExactState {
+    /// Fresh state for one aggregation function.
+    pub fn init(agg: AggFn) -> ExactState {
+        match agg {
+            AggFn::Count => ExactState::Count(0),
+            AggFn::Min => ExactState::Min {
+                n: 0,
+                acc: f64::INFINITY,
+            },
+            AggFn::Max => ExactState::Max {
+                n: 0,
+                acc: f64::NEG_INFINITY,
+            },
+            agg => ExactState::Bag {
+                agg,
+                values: Vec::new(),
+            },
+        }
+    }
+
+    /// True when `AggFn::apply` on a *reordered* bag can differ at the
+    /// bits level, i.e. the caller must accumulate in canonical order.
+    /// `count` is the only aggregation that is order-free outright;
+    /// `min`/`max` are excluded because IEEE `min`/`max` may return
+    /// either operand of a `-0.0`/`+0.0` tie, which reorderings can flip.
+    pub fn order_sensitive(agg: AggFn) -> bool {
+        !matches!(agg, AggFn::Count)
+    }
+
+    /// True when the state is O(1) regardless of bag size (Gray et al.'s
+    /// distributive aggregates minus the order-sensitive `sum`).
+    pub fn constant_size(agg: AggFn) -> bool {
+        matches!(agg, AggFn::Count | AggFn::Min | AggFn::Max)
+    }
+}
+
+impl AggState for ExactState {
+    fn accumulate(&mut self, v: f64) {
+        match self {
+            ExactState::Count(n) => *n += 1,
+            ExactState::Min { n, acc } => {
+                *n += 1;
+                *acc = acc.min(v);
+            }
+            ExactState::Max { n, acc } => {
+                *n += 1;
+                *acc = acc.max(v);
+            }
+            ExactState::Bag { values, .. } => values.push(v),
+        }
+    }
+
+    fn merge(&mut self, next: Self) {
+        match (self, next) {
+            (ExactState::Count(a), ExactState::Count(b)) => *a += b,
+            (ExactState::Min { n, acc }, ExactState::Min { n: m, acc: b }) => {
+                *n += m;
+                *acc = acc.min(b);
+            }
+            (ExactState::Max { n, acc }, ExactState::Max { n: m, acc: b }) => {
+                *n += m;
+                *acc = acc.max(b);
+            }
+            (
+                ExactState::Bag { agg, values },
+                ExactState::Bag {
+                    agg: b,
+                    values: mut tail,
+                },
+            ) => {
+                debug_assert_eq!(*agg, b, "merging states of different aggregations");
+                values.append(&mut tail);
+            }
+            _ => unreachable!("merging states of different aggregations"),
+        }
+    }
+
+    fn finish(&self) -> Option<f64> {
+        match self {
+            ExactState::Count(0) => None,
+            ExactState::Count(n) => Some(*n as f64),
+            ExactState::Min { n: 0, .. } | ExactState::Max { n: 0, .. } => None,
+            ExactState::Min { acc, .. } | ExactState::Max { acc, .. } => Some(*acc),
+            ExactState::Bag { agg, values } => agg.apply(values),
+        }
+    }
+}
+
+/// Welford's single-pass mean/variance state with Chan et al.'s parallel
+/// combine: the algebraic state machine for streams that cannot be
+/// replayed. Numerically stable, O(1), and partition-order independent up
+/// to rounding — but *not* bit-identical to the two-pass `avg`/`stddev`
+/// folds, which is why the engine's golden-pinned path replays
+/// [`ExactState`] instead (see the module docs).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Welford {
+    n: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl Welford {
+    /// Empty state.
+    pub fn new() -> Welford {
+        Welford::default()
+    }
+
+    /// Number of values folded in.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Running mean; NaN before the first value.
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            f64::NAN
+        } else {
+            self.mean
+        }
+    }
+
+    /// Sample variance (n−1 denominator); 0 for singletons, NaN empty.
+    pub fn variance_sample(&self) -> f64 {
+        match self.n {
+            0 => f64::NAN,
+            1 => 0.0,
+            n => self.m2 / (n as f64 - 1.0),
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn stddev_sample(&self) -> f64 {
+        self.variance_sample().sqrt()
+    }
+
+    /// Population variance (n denominator); NaN empty.
+    pub fn variance_population(&self) -> f64 {
+        match self.n {
+            0 => f64::NAN,
+            n => self.m2 / n as f64,
+        }
+    }
+}
+
+impl AggState for Welford {
+    fn accumulate(&mut self, v: f64) {
+        self.n += 1;
+        let d = v - self.mean;
+        self.mean += d / self.n as f64;
+        self.m2 += d * (v - self.mean);
+    }
+
+    fn merge(&mut self, next: Self) {
+        if next.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = next;
+            return;
+        }
+        let (na, nb) = (self.n as f64, next.n as f64);
+        let d = next.mean - self.mean;
+        let n = na + nb;
+        self.mean += d * nb / n;
+        self.m2 += next.m2 + d * d * na * nb / n;
+        self.n += next.n;
+    }
+
+    fn finish(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.mean)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const V: [f64; 9] = [3.25, 1.5, 4.125, 1.0, 5.75, 9.5, 2.625, 6.0, 5.375];
+
+    fn fold(agg: AggFn, values: &[f64]) -> ExactState {
+        let mut st = ExactState::init(agg);
+        for &v in values {
+            st.accumulate(v);
+        }
+        st
+    }
+
+    #[test]
+    fn finish_matches_apply_bitwise() {
+        for agg in AggFn::ALL {
+            let a = fold(agg, &V).finish();
+            let b = agg.apply(&V);
+            assert_eq!(a.map(f64::to_bits), b.map(f64::to_bits), "{agg}");
+        }
+    }
+
+    #[test]
+    fn empty_state_finishes_to_none() {
+        for agg in AggFn::ALL {
+            assert_eq!(ExactState::init(agg).finish(), None, "{agg}");
+        }
+    }
+
+    #[test]
+    fn any_partitioning_merges_to_the_sequential_fold() {
+        // every way to cut V into 1..4 ordered runs must reproduce the
+        // single-threaded fold bit for bit
+        let cuts: &[&[usize]] = &[
+            &[9],
+            &[1, 8],
+            &[4, 5],
+            &[8, 1],
+            &[3, 3, 3],
+            &[1, 1, 7],
+            &[2, 3, 2, 2],
+            &[1, 1, 1, 1, 1, 1, 1, 1, 1],
+        ];
+        for agg in AggFn::ALL {
+            let reference = fold(agg, &V).finish().map(f64::to_bits);
+            for cut in cuts {
+                let mut at = 0usize;
+                let mut merged: Option<ExactState> = None;
+                for &len in *cut {
+                    let part = fold(agg, &V[at..at + len]);
+                    at += len;
+                    match merged.as_mut() {
+                        Some(m) => m.merge(part),
+                        None => merged = Some(part),
+                    }
+                }
+                assert_eq!(at, V.len());
+                let got = merged.unwrap().finish().map(f64::to_bits);
+                assert_eq!(got, reference, "{agg} under cut {cut:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn distributive_states_are_constant_size() {
+        for agg in [AggFn::Count, AggFn::Min, AggFn::Max] {
+            assert!(ExactState::constant_size(agg));
+            assert!(!matches!(ExactState::init(agg), ExactState::Bag { .. }));
+        }
+        for agg in [
+            AggFn::Sum,
+            AggFn::Avg,
+            AggFn::Median,
+            AggFn::StdDev,
+            AggFn::Product,
+        ] {
+            assert!(!ExactState::constant_size(agg));
+            assert!(ExactState::order_sensitive(agg));
+        }
+        assert!(!ExactState::order_sensitive(AggFn::Count));
+    }
+
+    #[test]
+    fn welford_tracks_two_pass_moments() {
+        let mut w = Welford::new();
+        for &v in &V {
+            w.accumulate(v);
+        }
+        assert_eq!(w.count(), V.len() as u64);
+        let mean = crate::descriptive::mean(&V);
+        let var = crate::descriptive::variance_sample(&V);
+        assert!((w.mean() - mean).abs() < 1e-12);
+        assert!((w.variance_sample() - var).abs() < 1e-12);
+        assert!((w.stddev_sample() - var.sqrt()).abs() < 1e-12);
+        assert!(
+            (w.variance_population() - crate::descriptive::variance_population(&V)).abs() < 1e-12
+        );
+    }
+
+    #[test]
+    fn welford_combine_matches_single_stream() {
+        let mut whole = Welford::new();
+        for &v in &V {
+            whole.accumulate(v);
+        }
+        for cut in 1..V.len() {
+            let mut a = Welford::new();
+            let mut b = Welford::new();
+            for &v in &V[..cut] {
+                a.accumulate(v);
+            }
+            for &v in &V[cut..] {
+                b.accumulate(v);
+            }
+            a.merge(b);
+            assert_eq!(a.count(), whole.count());
+            assert!((a.mean() - whole.mean()).abs() < 1e-12, "cut {cut}");
+            assert!(
+                (a.variance_sample() - whole.variance_sample()).abs() < 1e-12,
+                "cut {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn welford_merge_with_empty_sides() {
+        let mut w = Welford::new();
+        w.merge(Welford::new());
+        assert_eq!(w.finish(), None);
+        let mut filled = Welford::new();
+        filled.accumulate(2.0);
+        w.merge(filled);
+        assert_eq!(w.finish(), Some(2.0));
+        w.merge(Welford::new());
+        assert_eq!(w.count(), 1);
+    }
+
+    #[test]
+    fn singleton_states() {
+        for agg in AggFn::ALL {
+            let mut st = ExactState::init(agg);
+            st.accumulate(7.5);
+            assert_eq!(
+                st.finish().map(f64::to_bits),
+                agg.apply(&[7.5]).map(f64::to_bits),
+                "{agg}"
+            );
+        }
+    }
+}

@@ -15,6 +15,12 @@ RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps
 echo "== tier-1 =="
 cargo build --release && cargo test -q
 
+echo "== fold-then-merge determinism =="
+# partitioned aggregation over mergeable states must be bit-identical to
+# the single-threaded fold for every AggFn and any partition count
+cargo test -q -p exl-integration-tests --test interned_differential \
+    fold_then_merge_is_bit_identical_for_any_partition_count
+
 echo "== incremental differential (fixed-seed matrix) =="
 # cold≡warm over the full fixed-seed corpus: 100 random program/delta
 # pairs plus disk-reload and forest 1-cube-delta skip-ratio checks,

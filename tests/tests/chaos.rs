@@ -140,6 +140,69 @@ fn keep_going_commits_independent_subgraphs() {
     assert_eq!(status_of("E"), Some(SubgraphStatus::Skipped));
 }
 
+/// A panic inside one of the evaluator's data-parallel workers degrades
+/// the run *per subgraph*, not per process: the scoped worker's panic is
+/// joined into a typed `EvalError::WorkerPanicked`, the owning subgraph
+/// fails, independent subgraphs still commit, and the same engine
+/// recovers completely on the next fault-free run.
+#[test]
+fn eval_worker_panic_degrades_per_subgraph() {
+    let guard = exl_fault::install(FaultPlan::panic_once("eval.worker"));
+    // pin the evaluator to 4 workers so the partitioned path (and with it
+    // the `eval.worker` fault site) engages even on a single-core CI box;
+    // mutated under the fault guard, which serializes chaos tests
+    std::env::set_var("EXL_EVAL_THREADS", "4");
+    let mut e = ExlEngine::new();
+    e.register_program("diamond", DIAMOND).unwrap();
+    // A is wide enough for `C := 2 * A` to cross the evaluator's parallel
+    // threshold; B stays a single row, so D's evaluation never reaches a
+    // worker and the one-shot panic can only land inside C's subgraph
+    let big: Vec<(Vec<DimValue>, f64)> = (0..5000)
+        .map(|i| (vec![DimValue::Int(i)], i as f64))
+        .collect();
+    e.load_elementary(&"A".into(), CubeData::from_tuples(big).unwrap())
+        .unwrap();
+    e.load_elementary(
+        &"B".into(),
+        CubeData::from_tuples(vec![(vec![DimValue::Int(1)], 10.0)]).unwrap(),
+    )
+    .unwrap();
+    e.catalog
+        .set_affinity(&"C".into(), Some(TargetKind::Native))
+        .unwrap();
+    e.catalog
+        .set_affinity(&"D".into(), Some(TargetKind::Sql))
+        .unwrap();
+    e.catalog
+        .set_affinity(&"E".into(), Some(TargetKind::Chase))
+        .unwrap();
+    e.policy.keep_going = true;
+    let report = e.run_all().unwrap();
+    assert_eq!(guard.fired_count(), 1, "worker fault never engaged");
+    assert_eq!(report.failed, vec!["C".into()]);
+    assert_eq!(report.skipped, vec!["E".into()]);
+    assert_eq!(report.computed, vec!["D".into()]);
+    assert!(e.data(&"C".into()).is_none());
+    assert_eq!(
+        e.data(&"D".into()).unwrap().get(&[DimValue::Int(1)]),
+        Some(30.0)
+    );
+    // the process survived the panic; a fault-free rerun recovers C and E
+    drop(guard);
+    let _guard = exl_fault::install(FaultPlan::fail_once("chaos.unused"));
+    let report = e.run_all().unwrap();
+    assert!(report.failed.is_empty() && report.skipped.is_empty());
+    assert_eq!(
+        e.data(&"C".into()).unwrap().get(&[DimValue::Int(7)]),
+        Some(14.0)
+    );
+    assert_eq!(
+        e.data(&"E".into()).unwrap().get(&[DimValue::Int(7)]),
+        Some(28.0)
+    );
+    std::env::remove_var("EXL_EVAL_THREADS");
+}
+
 /// Without `keep_going` the same fault aborts the whole run and nothing
 /// commits — not even the independent subgraph.
 #[test]

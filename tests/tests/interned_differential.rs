@@ -8,8 +8,13 @@
 
 use exl_chase::{chase, ChaseMode};
 use exl_lang::analyze::AnalyzedProgram;
+use exl_lang::ast::GroupKey;
 use exl_map::generate::{generate_mapping, GenMode};
-use exl_model::Dataset;
+use exl_model::schema::Dimension;
+use exl_model::time::{Frequency, TimePoint};
+use exl_model::value::{DimType, DimValue};
+use exl_model::{CubeData, Dataset};
+use exl_stats::descriptive::AggFn;
 use exl_workload::{random_scenario, RandomConfig};
 use proptest::prelude::*;
 
@@ -53,6 +58,78 @@ fn differential(cfg: RandomConfig) -> Result<(), String> {
     Ok(())
 }
 
+/// Bit-level equality of two cube payloads: same keys, and every measure
+/// identical down to its bit pattern (`PartialEq` on `f64` would let
+/// `-0.0` and `+0.0` slip through).
+fn assert_bit_identical(a: &CubeData, b: &CubeData, label: &str) -> Result<(), String> {
+    prop_assert_eq!(a.len(), b.len(), "{}: cardinality differs", label);
+    for (k, v) in a.iter_sorted() {
+        let w = b.get(k);
+        prop_assert!(
+            w.map(f64::to_bits) == Some(v.to_bits()),
+            "{}: {:?} -> {:?} vs {:?}",
+            label,
+            k,
+            v,
+            w
+        );
+    }
+    Ok(())
+}
+
+/// Fold-then-merge determinism: partitioned aggregation over worker-local
+/// mergeable states, combined in canonical partition order, must be
+/// bit-identical to the single-threaded fold for *any* partition count —
+/// for every aggregation function and for plain, coarsening, and
+/// collapsed group-bys alike.
+fn merge_determinism(rows: Vec<(usize, usize, f64)>) -> Result<(), String> {
+    let dims = vec![
+        Dimension::new("r", DimType::Str),
+        Dimension::new("d", DimType::Time(Frequency::Quarterly)),
+    ];
+    let mut data = CubeData::new();
+    for (r, q, v) in rows {
+        let key = vec![
+            DimValue::Str(format!("r{r}").into()),
+            DimValue::Time(TimePoint::Quarter {
+                year: 2000 + (q / 4) as i32,
+                quarter: (q % 4) as u32 + 1,
+            }),
+        ];
+        data.insert_overwrite(key, v);
+    }
+    let year = GroupKey::TimeMap {
+        target: Frequency::Yearly,
+        dim: "d".into(),
+        alias: "year".into(),
+    };
+    let groupings: [&[GroupKey]; 3] = [
+        &[GroupKey::Dim("r".into())],
+        std::slice::from_ref(&year),
+        &[GroupKey::Dim("r".into()), year.clone()],
+    ];
+    let nproc = std::thread::available_parallelism().map_or(1, |n| n.get());
+    for group_by in groupings {
+        for agg in AggFn::ALL {
+            let serial = exl_eval::aggregate_data(&data, &dims, group_by, agg, 1)
+                .map_err(|e| format!("{agg:?}: {e}"))?;
+            for partitions in [2, nproc, 17] {
+                let merged = exl_eval::aggregate_data(&data, &dims, group_by, agg, partitions)
+                    .map_err(|e| format!("{agg:?}/{partitions}: {e}"))?;
+                assert_bit_identical(
+                    &serial,
+                    &merged,
+                    &format!(
+                        "{agg:?} x {partitions} partitions ({} keys)",
+                        group_by.len()
+                    ),
+                )?;
+            }
+        }
+    }
+    Ok(())
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(16))]
 
@@ -79,5 +156,18 @@ proptest! {
             quarters: 28,
             multituple: true,
         })?;
+    }
+
+    /// Partitioned fold-then-merge aggregation is bit-identical to the
+    /// single-threaded fold for every aggregation function and any
+    /// partition count (2, the machine's core count, and an awkward 17).
+    #[test]
+    fn fold_then_merge_is_bit_identical_for_any_partition_count(
+        rows in proptest::collection::vec(
+            (0usize..7, 0usize..24, -1e6f64..1e6),
+            1..200,
+        )
+    ) {
+        merge_determinism(rows)?;
     }
 }
