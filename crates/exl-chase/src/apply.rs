@@ -42,6 +42,9 @@ pub fn apply_tgd(
     instance: &mut Instance,
     schemas: &BTreeMap<CubeId, CubeSchema>,
 ) -> Result<ApplyStats, ChaseError> {
+    // governance checkpoint per tgd-application round: a cancelled or
+    // over-budget chase stops between rounds, never mid-join
+    exl_fault::govern::checkpoint()?;
     match tgd {
         Tgd::Rule { .. } => {
             let compiled = CompiledRule::compile(tgd)?;

@@ -130,6 +130,12 @@ fn apply_tgd_traced(
         span.set_attr("reads", deps.join(","));
     }
     let applied = apply_tgd(tgd, instance, schemas)?;
+    // derived facts count against the run budget (key + measure cells,
+    // coarsely; dimension arity is not known here, assume two cells)
+    exl_fault::govern::charge(
+        applied.new_facts as u64,
+        exl_fault::govern::approx_cube_bytes(applied.new_facts as u64, 2),
+    );
     if span.is_enabled() {
         span.set_attr("homomorphisms", applied.homomorphisms as u64);
         span.set_attr("new_facts", applied.new_facts as u64);

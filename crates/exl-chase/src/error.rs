@@ -46,6 +46,27 @@ pub enum ChaseError {
         /// Number of passes executed.
         passes: usize,
     },
+    /// The chase was stopped by the run governor — cooperative
+    /// cancellation or budget exhaustion observed at a tgd-round
+    /// checkpoint. The engine maps this to its non-retryable
+    /// `Cancelled`/`BudgetExceeded` variants.
+    Governed(exl_fault::govern::GovernError),
+}
+
+impl ChaseError {
+    /// The governance stop behind this error, if that is what it is.
+    pub fn govern_cause(&self) -> Option<&exl_fault::govern::GovernError> {
+        match self {
+            ChaseError::Governed(g) => Some(g),
+            _ => None,
+        }
+    }
+}
+
+impl From<exl_fault::govern::GovernError> for ChaseError {
+    fn from(e: exl_fault::govern::GovernError) -> Self {
+        ChaseError::Governed(e)
+    }
 }
 
 impl fmt::Display for ChaseError {
@@ -75,6 +96,7 @@ impl fmt::Display for ChaseError {
                     "fair chase did not reach a fixpoint after {passes} passes"
                 )
             }
+            ChaseError::Governed(e) => write!(f, "chase stopped: {e}"),
         }
     }
 }

@@ -39,6 +39,17 @@
 //! * `--keep-going` — degradation mode: complete everything not
 //!   downstream of a failure (meaningful for multi-subgraph runs).
 //!
+//! Governance options for `run`/`explain` (see `docs/GOVERNANCE.md`):
+//!
+//! * `--run-deadline-ms <n>` — wall-clock budget for the whole run; when
+//!   it passes the run is cancelled cooperatively and rolled back;
+//! * `--max-memory-mb <n>` — byte-accounted ceiling on materialized
+//!   intermediates; exceeding it cancels the run;
+//! * **SIGINT** (Ctrl-C) cancels the same per-run token: the running
+//!   backend stops at its next checkpoint, the transaction rolls back,
+//!   and `exlc` exits with a diagnostic instead of a half-committed
+//!   catalog.
+//!
 //! Run-cache options for `run` (see `docs/INCREMENTAL.md`):
 //!
 //! * `--cache-dir <dir>` — arm the content-addressed run cache with a
@@ -81,6 +92,48 @@ struct Globals {
     policy: Option<DispatchPolicy>,
     cache_dir: Option<String>,
     no_cache: bool,
+    run_deadline_ms: Option<u64>,
+    max_memory_mb: Option<u64>,
+}
+
+/// The process-wide external cancellation token. SIGINT cancels it; every
+/// engine run (and supervised run) derives its run token from it, so one
+/// Ctrl-C gracefully cancels whatever is executing and rolls it back.
+static CANCEL: std::sync::OnceLock<exl_engine::CancelToken> = std::sync::OnceLock::new();
+
+/// SIGINT handler: a single atomic store (`raw_cancel`), the only form
+/// that is async-signal-safe — no lock, no allocation, no I/O.
+extern "C" fn on_sigint(_sig: i32) {
+    if let Some(token) = CANCEL.get() {
+        token.raw_cancel();
+    }
+}
+
+/// Install the SIGINT → [`CANCEL`] bridge and return the token.
+fn install_sigint() -> exl_engine::CancelToken {
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    let token = CANCEL.get_or_init(exl_engine::CancelToken::new).clone();
+    unsafe {
+        signal(SIGINT, on_sigint as *const () as usize);
+    }
+    token
+}
+
+/// The governance config for this invocation: the SIGINT token plus any
+/// budget flags. All three routes (SIGINT, `--run-deadline-ms`,
+/// `--max-memory-mb`) converge on the same per-run token tree.
+fn govern_config(globals: &Globals) -> exl_engine::GovernConfig {
+    exl_engine::GovernConfig {
+        cancel: install_sigint(),
+        run_deadline: globals
+            .run_deadline_ms
+            .map(std::time::Duration::from_millis),
+        max_memory_bytes: globals.max_memory_mb.map(|mb| mb * 1024 * 1024),
+        max_rows: None,
+    }
 }
 
 fn main() -> ExitCode {
@@ -153,6 +206,20 @@ fn extract_globals(args: &mut Vec<String>) -> Result<Globals, String> {
     let policy = extract_policy(args)?;
     let cache_dir = extract_value_flag(args, "--cache-dir")?;
     let no_cache = extract_bool_flag(args, "--no-cache")?;
+    let run_deadline_ms = match extract_value_flag(args, "--run-deadline-ms")? {
+        Some(v) => Some(
+            v.parse()
+                .map_err(|_| format!("--run-deadline-ms: `{v}` is not a number of milliseconds"))?,
+        ),
+        None => None,
+    };
+    let max_memory_mb = match extract_value_flag(args, "--max-memory-mb")? {
+        Some(v) => Some(
+            v.parse()
+                .map_err(|_| format!("--max-memory-mb: `{v}` is not a number of megabytes"))?,
+        ),
+        None => None,
+    };
     Ok(Globals {
         metrics_path,
         trace_path,
@@ -160,6 +227,8 @@ fn extract_globals(args: &mut Vec<String>) -> Result<Globals, String> {
         policy,
         cache_dir,
         no_cache,
+        run_deadline_ms,
+        max_memory_mb,
     })
 }
 
@@ -232,6 +301,7 @@ fn run(
 ) -> Result<(), String> {
     let usage = "usage: exlc [--metrics <path>] [--trace <path>] [--progress] [--retries <n>] \
                  [--subgraph-timeout-ms <n>] [--keep-going] [--cache-dir <dir>] [--no-cache] \
+                 [--run-deadline-ms <n>] [--max-memory-mb <n>] \
                  <check|tgds|translate|run|explain> …  (see crate docs)";
     match args {
         [cmd, rest @ ..] => match cmd.as_str() {
@@ -372,6 +442,8 @@ fn build_engine(
                 SubgraphStatus::Cached => "cached",
                 SubgraphStatus::Failed => "failed",
                 SubgraphStatus::Skipped => "skipped",
+                SubgraphStatus::Cancelled => "cancelled",
+                SubgraphStatus::BudgetExceeded => "budget-exceeded",
             };
             let cubes: Vec<String> = ev.cubes.iter().map(|c| c.to_string()).collect();
             eprintln!(
@@ -388,6 +460,7 @@ fn build_engine(
             e.enable_disk_cache(dir).map_err(|e| e.to_string())?;
         }
     }
+    e.govern = govern_config(globals);
     e.register_program("main", &source)
         .map_err(|e| e.to_string())?;
     for id in analyzed.elementary_inputs() {
@@ -412,6 +485,9 @@ fn do_run(
         [p, d, t] => (p, d, parse_target(t)?),
         _ => return Err("usage: exlc run <program.exl> <data.json|dir> [target]".into()),
     };
+    // bridge SIGINT before the (potentially long) data load, so a
+    // Ctrl-C during it is remembered and aborts at the first checkpoint
+    install_sigint();
     let analyzed = load_program(path, recorder)?;
     let input = load_input(data_path, &analyzed)?;
     let keep_going = globals
@@ -447,6 +523,10 @@ fn do_run(
             }
         }
     } else {
+        // no engine in this branch, so install the run governor as the
+        // ambient one: SIGINT and the budget flags still reach every
+        // backend checkpoint
+        let _governor = exl_engine::govern::set_governor(govern_config(globals).run_governor());
         let output = if let Some(policy) = &globals.policy {
             // fault-handling flags were given: run under the dispatch
             // supervisor (which records the subgraph span per attempt)

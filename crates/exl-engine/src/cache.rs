@@ -476,10 +476,12 @@ impl RunCache {
         );
     }
 
-    /// Write one disk entry via temp-file + rename. Any failure —
-    /// including an injected `cache.write` fault — counts as a write
-    /// failure and is otherwise ignored: the in-memory cache stays
-    /// authoritative and the run proceeds.
+    /// Write one disk entry via temp-file + fsync + rename, so a crash or
+    /// cancellation at any instant leaves either the old entry, no entry,
+    /// or the complete new entry — never a torn file under the final
+    /// name. Any failure — including an injected `cache.write` fault —
+    /// counts as a write failure and is otherwise ignored: the in-memory
+    /// cache stays authoritative and the run proceeds.
     fn write_json<T: serde::Serialize>(&mut self, kind: &str, fp: Fingerprint, value: &T) {
         let Some(path) = self.entry_path(kind, fp) else {
             return;
@@ -489,10 +491,14 @@ impl RunCache {
             return;
         }
         let write = || -> std::io::Result<()> {
+            use std::io::Write as _;
             let text = serde_json::to_string(value)
                 .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
             let tmp = path.with_extension("json.tmp");
-            std::fs::write(&tmp, text)?;
+            let mut file = std::fs::File::create(&tmp)?;
+            file.write_all(text.as_bytes())?;
+            file.sync_all()?;
+            drop(file);
             std::fs::rename(&tmp, &path)
         };
         if write().is_err() {

@@ -18,6 +18,7 @@ use crate::cache::{CacheStats, RunCache, StmtCacheCounts};
 use crate::catalog::Catalog;
 use crate::determination::{GlobalGraph, Subgraph};
 use crate::error::EngineError;
+use crate::govern::GovernConfig;
 use crate::supervise::{run_supervised_traced, Attempt, DispatchPolicy, SubgraphStatus};
 use crate::target::{dataset_rows, input_schemas, subprogram, translate, TargetCode, TargetKind};
 
@@ -73,6 +74,11 @@ pub struct ExlEngine {
     /// Fault-handling policy for dispatch (retries, deadlines, fallback,
     /// degradation mode).
     pub policy: DispatchPolicy,
+    /// Run governance: the external cancellation token and per-run
+    /// resource budgets. Every [`ExlEngine::recompute`] derives a run
+    /// governor from this config and installs it for the duration of the
+    /// run; see [`crate::govern`] for the token topology.
+    pub govern: GovernConfig,
     /// Metrics registry, populated when observability is enabled via
     /// [`ExlEngine::enable_metrics`]. When `None` every instrumented path
     /// uses the no-op recorder, adding no overhead.
@@ -143,6 +149,7 @@ impl Default for ExlEngine {
             default_target: TargetKind::Native,
             parallel_dispatch: false,
             policy: DispatchPolicy::default(),
+            govern: GovernConfig::default(),
             metrics: None,
             tracer: exl_obs::Tracer::disabled(),
             progress: None,
@@ -186,7 +193,14 @@ fn finish_subgraph_span(
             }
         }
         Err(e) => {
-            span.set_attr("status", "failed");
+            span.set_attr(
+                "status",
+                match e {
+                    EngineError::Cancelled { .. } => "cancelled",
+                    EngineError::BudgetExceeded { .. } => "budget-exceeded",
+                    _ => "failed",
+                },
+            );
             span.add_event(e.to_string());
         }
     }
@@ -478,14 +492,41 @@ impl ExlEngine {
             None => &NOOP,
         };
         let tracer = self.tracer.clone();
+        // every run gets its own governor (a child of the external token
+        // over a fresh budget), installed as the dispatching thread's
+        // ambient governor for the duration of the run
+        let run_governor = self.govern.run_governor();
         let mut report = {
             let _run_span = exl_obs::span(recorder, "engine.recompute");
             let run_span = tracer.root("run");
             run_span.set_attr("changed", changed.len() as u64);
-            let result = self.recompute_recorded(changed, registry.as_ref(), recorder, &run_span);
+            let result = {
+                let _governor = crate::govern::set_governor(run_governor.clone());
+                self.recompute_recorded(changed, registry.as_ref(), recorder, &run_span)
+            };
+            // governance observability: peak accounted memory, whether
+            // the run was cancelled, and why
+            if run_governor.budget().mem_peak_bytes() > 0 {
+                recorder.set_gauge(
+                    "govern.mem_peak_bytes",
+                    run_governor.budget().mem_peak_bytes() as i64,
+                );
+            }
+            let cancelled = run_governor.token().is_cancelled()
+                || matches!(&result, Err(e) if e.is_governance());
+            run_span.set_attr("cancelled", cancelled);
             match &result {
                 Ok(_) => run_span.set_attr("status", "ok"),
                 Err(e) => {
+                    if e.is_governance() {
+                        recorder.incr_counter("run.cancelled", 1);
+                        if matches!(
+                            run_governor.budget().verdict(),
+                            Err(crate::govern::GovernError::DeadlineExceeded { .. })
+                        ) {
+                            recorder.incr_counter("govern.deadline_exceeded", 1);
+                        }
+                    }
                     run_span.set_attr("status", "failed");
                     run_span.add_event(e.to_string());
                 }
@@ -576,6 +617,17 @@ impl ExlEngine {
         let mut done_subgraphs = 0usize;
 
         for (stage_no, stage) in stages.iter().enumerate() {
+            // a run-level cancel (SIGINT, external token) between stages
+            // aborts before any more work is dispatched — fatal under
+            // every policy, so the staged results roll back. Budget
+            // verdicts are deliberately not checked here: they surface
+            // per subgraph, where keep_going can degrade around them.
+            if let Some(g) = crate::govern::governor() {
+                if let Some(err) = g.token().cancellation() {
+                    recorder.incr_counter("engine.rollbacks", 1);
+                    return Err(err.into());
+                }
+            }
             let stage_span = run_span.child("stage");
             stage_span.set_attr("index", stage_no as u64);
             stage_span.set_attr("subgraphs", stage.len() as u64);
@@ -690,6 +742,10 @@ impl ExlEngine {
                 }
             }
             if self.parallel_dispatch && jobs.len() > 1 {
+                // dispatch workers can't see this thread's ambient
+                // governor: hand each one a per-subgraph child of it
+                let ambient = crate::govern::governor();
+                let ambient = &ambient;
                 let outputs = std::thread::scope(|scope| {
                     let handles: Vec<_> = jobs
                         .into_iter()
@@ -698,6 +754,9 @@ impl ExlEngine {
                             let native = natives[si].as_ref();
                             let policy = &policy;
                             scope.spawn(move || {
+                                let _governor = ambient
+                                    .as_ref()
+                                    .map(|g| crate::govern::set_governor(g.child()));
                                 let (r, attempts) = run_supervised_traced(
                                     code, native, &input, &wanted, policy, registry, &span,
                                 );
@@ -729,6 +788,10 @@ impl ExlEngine {
             } else {
                 for (si, input, wanted, span) in jobs {
                     let (_, code, _) = &translated[si];
+                    // a per-subgraph child governor scopes injected
+                    // cancels and subgraph deadlines to this subgraph
+                    let _governor =
+                        crate::govern::governor().map(|g| crate::govern::set_governor(g.child()));
                     let (r, attempts) = run_supervised_traced(
                         code,
                         natives[si].as_ref(),
@@ -822,14 +885,31 @@ impl ExlEngine {
                             SubgraphStatus::Computed,
                         );
                     }
-                    Err(e) if policy.keep_going => {
+                    Err(e) => {
+                        // a cancelled *run* token (SIGINT, external
+                        // cancel) aborts even under keep_going: no later
+                        // subgraph could execute anyway, so the staged
+                        // results roll back. A subgraph-local cancel or a
+                        // tripped run budget degrades like any failure —
+                        // the report then shows the typed status.
+                        let run_cancelled =
+                            crate::govern::governor().is_some_and(|g| g.token().is_cancelled());
+                        if !policy.keep_going || (e.is_governance() && run_cancelled) {
+                            recorder.incr_counter("engine.rollbacks", 1);
+                            return Err(e);
+                        }
+                        let status = match &e {
+                            EngineError::Cancelled { .. } => SubgraphStatus::Cancelled,
+                            EngineError::BudgetExceeded { .. } => SubgraphStatus::BudgetExceeded,
+                            _ => SubgraphStatus::Failed,
+                        };
                         recorder.incr_counter("engine.subgraphs_failed", 1);
                         poisoned.extend(wanted.iter().cloned());
                         report.failed.extend(wanted.iter().cloned());
                         sub_reports[si] = Some(self.make_report(
                             si,
                             &translated,
-                            SubgraphStatus::Failed,
+                            status,
                             attempts,
                             Some(e.to_string()),
                             StmtCacheCounts::default(),
@@ -839,14 +919,8 @@ impl ExlEngine {
                             total_subgraphs,
                             si,
                             &translated,
-                            SubgraphStatus::Failed,
+                            status,
                         );
-                    }
-                    Err(e) => {
-                        // default policy: abort the run; the staged
-                        // results are dropped and the catalog is untouched
-                        recorder.incr_counter("engine.rollbacks", 1);
-                        return Err(e);
                     }
                 }
             }
@@ -860,6 +934,15 @@ impl ExlEngine {
             recorder.incr_counter("cache.stores", io.stores);
             recorder.incr_counter("cache.corrupt", io.corrupt_entries);
             recorder.incr_counter("cache.write_failures", io.write_failures);
+        }
+        // last checkpoint before the point of no return: a run-level
+        // cancel that raced the final stage (a SIGINT during the cache
+        // flush, say) must roll back, not commit
+        if let Some(g) = crate::govern::governor() {
+            if let Some(err) = g.token().cancellation() {
+                recorder.incr_counter("engine.rollbacks", 1);
+                return Err(err.into());
+            }
         }
         // the transactional commit: all-or-nothing, in dispatch order
         let items: Vec<(CubeId, CubeData)> = commit_order

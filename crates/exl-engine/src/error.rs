@@ -21,8 +21,8 @@ pub enum EngineError {
     },
     /// Execution failure on a target engine.
     Execution(String),
-    /// A subgraph execution exceeded its deadline (the worker is
-    /// abandoned; its eventual result is discarded).
+    /// A subgraph execution exceeded its deadline (the worker's token is
+    /// cancelled and the thread joined; its result is discarded).
     Timeout {
         /// The target that stalled.
         target: String,
@@ -41,6 +41,20 @@ pub enum EngineError {
     Catalog(String),
     /// Persistence (serde) failure.
     Persistence(String),
+    /// The run (or one subgraph) was cancelled cooperatively — an
+    /// external cancel, SIGINT, a supervisor deadline's cancel-then-join,
+    /// or an injected cancel. Never retried: the cancellation is sticky.
+    Cancelled {
+        /// Why the work was cancelled.
+        reason: String,
+    },
+    /// A [`RunBudget`](crate::govern::RunBudget) limit — wall-clock
+    /// deadline, memory ceiling, or row limit — was exhausted. Never
+    /// retried: re-running cannot un-spend the budget.
+    BudgetExceeded {
+        /// Which budget, and by how much.
+        what: String,
+    },
 }
 
 impl EngineError {
@@ -48,11 +62,34 @@ impl EngineError {
     /// Execution failures, timeouts, and contained panics are presumed
     /// transient (a backend hiccup); language, mapping, translation, and
     /// catalog errors are deterministic and retrying cannot help.
+    /// Cancellation and budget exhaustion are *never* retryable: the
+    /// token stays cancelled and the budget stays spent.
     pub fn is_retryable(&self) -> bool {
         matches!(
             self,
             EngineError::Execution(_) | EngineError::Timeout { .. } | EngineError::Panic { .. }
         )
+    }
+
+    /// Whether this error is a governance stop (cancellation or budget
+    /// exhaustion) rather than a backend failure.
+    pub fn is_governance(&self) -> bool {
+        matches!(
+            self,
+            EngineError::Cancelled { .. } | EngineError::BudgetExceeded { .. }
+        )
+    }
+}
+
+impl From<exl_fault::govern::GovernError> for EngineError {
+    fn from(e: exl_fault::govern::GovernError) -> EngineError {
+        use exl_fault::govern::GovernError;
+        match e {
+            GovernError::Cancelled { reason } => EngineError::Cancelled { reason },
+            budget => EngineError::BudgetExceeded {
+                what: budget.to_string(),
+            },
+        }
     }
 }
 
@@ -74,6 +111,8 @@ impl fmt::Display for EngineError {
             }
             EngineError::Catalog(m) => write!(f, "catalog error: {m}"),
             EngineError::Persistence(m) => write!(f, "persistence error: {m}"),
+            EngineError::Cancelled { reason } => write!(f, "run cancelled: {reason}"),
+            EngineError::BudgetExceeded { what } => write!(f, "budget exceeded: {what}"),
         }
     }
 }
@@ -94,5 +133,33 @@ mod tests {
         assert!(EngineError::Catalog("x".into())
             .to_string()
             .contains("catalog"));
+    }
+
+    #[test]
+    fn governance_errors_are_typed_and_never_retryable() {
+        use exl_fault::govern::GovernError;
+        let c: EngineError = GovernError::Cancelled {
+            reason: "SIGINT".into(),
+        }
+        .into();
+        assert_eq!(
+            c,
+            EngineError::Cancelled {
+                reason: "SIGINT".into()
+            }
+        );
+        assert!(c.is_governance() && !c.is_retryable());
+        for g in [
+            GovernError::DeadlineExceeded { millis: 5 },
+            GovernError::MemoryExceeded {
+                limit_bytes: 1,
+                used_bytes: 2,
+            },
+            GovernError::RowLimitExceeded { limit: 1, rows: 2 },
+        ] {
+            let e: EngineError = g.into();
+            assert!(matches!(e, EngineError::BudgetExceeded { .. }), "{e}");
+            assert!(e.is_governance() && !e.is_retryable());
+        }
     }
 }

@@ -18,6 +18,11 @@
 //! * [`supervise`] — the fault boundary around dispatch: panic
 //!   containment, per-subgraph deadlines, retries with backoff, the
 //!   runtime fallback chain, and the `keep_going` degradation mode;
+//! * [`govern`] — run-level governance: cooperative cancellation tokens
+//!   (external cancel / SIGINT / supervisor deadlines all route through
+//!   one `CancelToken` tree) and resource budgets (wall-clock deadline,
+//!   byte-accounted memory ceiling, row limit) checked cooperatively at
+//!   batch boundaries in every backend;
 //! * [`cache`] — the content-addressed run cache behind incremental
 //!   recomputation: statements whose text, target, schemas, and input
 //!   cube contents are unchanged are skipped (or patched by the delta
@@ -31,6 +36,7 @@ pub mod catalog;
 pub mod determination;
 pub mod engine;
 pub mod error;
+pub mod govern;
 pub mod lineage;
 pub mod supervise;
 pub mod target;
@@ -40,6 +46,7 @@ pub use catalog::{Catalog, CubeMeta, CubeVersion};
 pub use determination::{GlobalGraph, Subgraph};
 pub use engine::{ExlEngine, ProgressEvent, ProgressSink, RunReport, SubgraphReport};
 pub use error::EngineError;
+pub use govern::{CancelToken, GovernConfig, GovernError, Governor, RunBudget};
 pub use lineage::{LineageReport, LineageStep};
 pub use supervise::{
     run_on_target_supervised, run_on_target_supervised_traced, run_supervised,

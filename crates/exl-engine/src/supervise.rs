@@ -7,8 +7,10 @@
 //! * a **panic** inside a target engine is contained (`catch_unwind`) and
 //!   surfaces as [`EngineError::Panic`], never as an engine panic;
 //! * a **stalled** backend is cut off by a per-subgraph deadline
-//!   ([`DispatchPolicy::subgraph_timeout`]) — the worker thread is
-//!   abandoned and its eventual result discarded;
+//!   ([`DispatchPolicy::subgraph_timeout`]) — the supervisor cancels the
+//!   worker's [`CancelToken`](crate::govern::CancelToken) and **joins**
+//!   it: the worker observes the cancellation at its next governance
+//!   checkpoint and exits, so no busy thread is ever leaked;
 //! * **transient failures** are retried with exponential backoff
 //!   ([`DispatchPolicy::retries`], [`DispatchPolicy::backoff_base`]);
 //! * when a non-native backend keeps failing *at execution time*, the
@@ -105,6 +107,12 @@ pub enum SubgraphStatus {
     /// Not executed: an upstream subgraph failed (only under
     /// [`DispatchPolicy::keep_going`]).
     Skipped,
+    /// The run was cancelled (external request, SIGINT, or an injected
+    /// cancel) before or while this subgraph executed.
+    Cancelled,
+    /// A resource budget (run deadline, memory ceiling, row limit) was
+    /// exhausted before or while this subgraph executed.
+    BudgetExceeded,
 }
 
 /// Execute translated code under the full fault boundary: panic
@@ -231,10 +239,14 @@ fn attempt_chain(
 }
 
 /// One execution attempt behind the fault boundary. Without a deadline
-/// the backend runs on the calling thread under `catch_unwind`; with one
-/// it runs on a worker thread that is abandoned if the deadline passes
-/// (threads cannot be killed — the worker's eventual result is simply
-/// discarded, which is safe because it only ever touches clones).
+/// the backend runs on the calling thread under `catch_unwind` (and under
+/// whatever governor the caller installed); with one it runs on a worker
+/// thread holding a **child** governor. When the deadline passes the
+/// supervisor cancels the child's token and joins the worker: the
+/// backend observes the cancellation at its next checkpoint and exits,
+/// so the thread is reclaimed instead of abandoned. The child token
+/// keeps the cancellation local to this attempt — a retry (or the
+/// native fallback) starts with a fresh, uncancelled child.
 fn execute_guarded(
     code: &TargetCode,
     input: &Dataset,
@@ -261,17 +273,25 @@ fn execute_guarded(
         });
     };
 
+    // the worker governs under a child of the caller's governor: run-level
+    // cancels still reach it, while the deadline cancel below stays local
+    let attempt_governor = crate::govern::governor()
+        .unwrap_or_else(crate::govern::Governor::detached)
+        .child();
+    let attempt_token = attempt_governor.token().clone();
+
     let code = code.clone();
     let input = input.clone();
     let wanted = wanted.to_vec();
     let metrics = metrics.cloned();
     // keep the worker's spans parented under the attempt span even though
-    // it runs (and may outlive the deadline) on its own thread
+    // it runs on its own thread
     let ctx = trace.context();
     let (tx, rx) = mpsc::channel();
-    std::thread::Builder::new()
+    let worker = std::thread::Builder::new()
         .name(format!("exl-dispatch-{target}"))
         .spawn(move || {
+            let _governor = crate::govern::set_governor(attempt_governor);
             let recorder: &dyn Recorder = match &metrics {
                 Some(m) => m.as_ref(),
                 None => &NOOP,
@@ -290,19 +310,31 @@ fn execute_guarded(
             let _ = tx.send(result);
         })
         .map_err(|e| EngineError::Execution(format!("cannot spawn dispatch worker: {e}")))?;
-    match rx.recv_timeout(deadline) {
+    let result = match rx.recv_timeout(deadline) {
         Ok(result) => result,
-        Err(mpsc::RecvTimeoutError::Timeout) => Err(EngineError::Timeout {
-            target: target.to_string(),
-            millis: deadline.as_millis() as u64,
-        }),
+        Err(mpsc::RecvTimeoutError::Timeout) => {
+            attempt_token.cancel(format!(
+                "subgraph deadline of {} ms exceeded",
+                deadline.as_millis()
+            ));
+            Err(EngineError::Timeout {
+                target: target.to_string(),
+                millis: deadline.as_millis() as u64,
+            })
+        }
         // unreachable in practice: the worker always sends (panics are
         // caught), but a vanished worker must not hang the dispatcher
         Err(mpsc::RecvTimeoutError::Disconnected) => Err(EngineError::Panic {
             target: target.to_string(),
             message: "dispatch worker vanished without a result".to_string(),
         }),
-    }
+    };
+    // cancel-then-join: after a timeout the worker sees the cancelled
+    // token at its next checkpoint (injected delays are sliced and abort
+    // early) and exits; on the success/error paths it has already sent,
+    // so the join is immediate either way
+    let _ = worker.join();
+    result
 }
 
 /// Run a whole analyzed program on one target under the supervisor —
@@ -412,6 +444,11 @@ mod tests {
         assert_eq!(attempts[0].target, TargetKind::Native);
     }
 
+    /// Live threads in this process (Linux: one entry per task).
+    fn live_threads() -> usize {
+        std::fs::read_dir("/proc/self/task").map_or(1, |d| d.count())
+    }
+
     #[test]
     fn deadline_cuts_off_a_stalled_backend() {
         let (code, input, wanted) = native_setup();
@@ -426,8 +463,33 @@ mod tests {
             "{result:?}"
         );
         assert_eq!(attempts.last().unwrap().outcome, AttemptOutcome::TimedOut);
-        // let the abandoned worker drain before the next test's plan
-        std::thread::sleep(Duration::from_millis(250));
+        // cancel-then-join: the worker was reclaimed before run_supervised
+        // returned, so the next test's fault plan never sees it
+    }
+
+    #[test]
+    fn timed_out_workers_are_joined_not_leaked() {
+        let (code, input, wanted) = native_setup();
+        let policy = DispatchPolicy {
+            subgraph_timeout: Some(Duration::from_millis(10)),
+            ..DispatchPolicy::default()
+        };
+        let before = live_threads();
+        for _ in 0..8 {
+            let _guard = exl_fault::install(exl_fault::FaultPlan::delay_once("exec.native", 500));
+            let (result, _) = run_supervised(&code, None, &input, &wanted, &policy, None);
+            assert!(
+                matches!(result, Err(EngineError::Timeout { .. })),
+                "{result:?}"
+            );
+        }
+        // every deadline-cut worker must have been joined: were workers
+        // abandoned, eight of them would still be sleeping here
+        let after = live_threads();
+        assert!(
+            after <= before,
+            "leaked dispatch workers: {before} threads before, {after} after"
+        );
     }
 
     #[test]

@@ -342,6 +342,24 @@ pub(crate) fn dataset_rows(ds: &Dataset) -> u64 {
     ds.iter().map(|(_, cube)| cube.data.len() as u64).sum()
 }
 
+/// Map a backend failure onto the engine's typed error surface: a
+/// governance stop (cancellation, budget exhaustion) becomes the
+/// non-retryable `Cancelled`/`BudgetExceeded` variant; anything else
+/// stays a generic `Execution` failure, optionally with extra context.
+fn governed_or<E: std::fmt::Display>(
+    cause: Option<&exl_fault::govern::GovernError>,
+    e: &E,
+    detail: Option<&str>,
+) -> EngineError {
+    if let Some(g) = cause {
+        return EngineError::from(g.clone());
+    }
+    match detail {
+        Some(d) => EngineError::Execution(format!("{e}\n{d}")),
+        None => EngineError::Execution(e.to_string()),
+    }
+}
+
 fn execute_traced_inner(
     code: &TargetCode,
     input: &Dataset,
@@ -352,9 +370,12 @@ fn execute_traced_inner(
     // chaos hook: `exec.<target>` covers the whole backend execution
     exl_fault::check(&format!("exec.{}", code.target_name()))
         .map_err(|e| EngineError::Execution(e.to_string()))?;
+    // governance checkpoint before dispatch: a run cancelled while this
+    // subgraph was queued never starts its backend at all
+    exl_fault::govern::checkpoint()?;
     let full = match code {
         TargetCode::Native { analyzed } => exl_eval::run_program(analyzed, input)
-            .map_err(|e| EngineError::Execution(e.to_string()))?,
+            .map_err(|e| governed_or(e.govern_cause(), &e, None))?,
         TargetCode::Chase { mapping, schemas } => {
             let result = exl_chase::chase_traced(
                 mapping,
@@ -364,7 +385,7 @@ fn execute_traced_inner(
                 recorder,
                 trace,
             )
-            .map_err(|e| EngineError::Execution(e.to_string()))?;
+            .map_err(|e| governed_or(e.govern_cause(), &e, None))?;
             let mut solution = result.solution;
             // relations the chase never derived a fact for are still part
             // of the target schema: surface them as empty cubes
@@ -388,17 +409,17 @@ fn execute_traced_inner(
             for (_, cube) in input.iter() {
                 engine
                     .execute_script(&exl_sqlgen::create_table_sql(&cube.schema))
-                    .map_err(|e| EngineError::Execution(e.to_string()))?;
+                    .map_err(|e| governed_or(e.govern_cause(), &e, None))?;
                 for stmt in exl_sqlgen::insert_data_sql(cube, 256) {
                     engine
                         .execute_script(&stmt)
-                        .map_err(|e| EngineError::Execution(e.to_string()))?;
+                        .map_err(|e| governed_or(e.govern_cause(), &e, None))?;
                 }
             }
             for stmt in statements {
-                engine
-                    .execute_traced(stmt, trace)
-                    .map_err(|e| EngineError::Execution(format!("{e}\nstatement:\n{stmt}")))?;
+                engine.execute_traced(stmt, trace).map_err(|e| {
+                    governed_or(e.govern_cause(), &e, Some(&format!("statement:\n{stmt}")))
+                })?;
             }
             let mut out = Dataset::new();
             for id in wanted {
@@ -421,9 +442,9 @@ fn execute_traced_inner(
             for (id, cube) in input.iter() {
                 interp.bind_frame(id.as_str(), exl_rmini::frame_from_cube(cube));
             }
-            interp
-                .run_traced(script, trace)
-                .map_err(|e| EngineError::Execution(format!("{e}\nscript:\n{script}")))?;
+            interp.run_traced(script, trace).map_err(|e| {
+                governed_or(e.govern_cause(), &e, Some(&format!("script:\n{script}")))
+            })?;
             let mut out = Dataset::new();
             for id in wanted {
                 let schema = schemas
@@ -444,9 +465,9 @@ fn execute_traced_inner(
             for (id, cube) in input.iter() {
                 interp.bind(id.as_str(), session.encode(cube));
             }
-            interp
-                .run_traced(script, trace)
-                .map_err(|e| EngineError::Execution(format!("{e}\nscript:\n{script}")))?;
+            interp.run_traced(script, trace).map_err(|e| {
+                governed_or(e.govern_cause(), &e, Some(&format!("script:\n{script}")))
+            })?;
             let mut out = Dataset::new();
             for id in wanted {
                 let schema = schemas
@@ -468,7 +489,7 @@ fn execute_traced_inner(
             } else {
                 job.run_traced(input, trace)
             };
-            run.map_err(|e| EngineError::Execution(e.to_string()))?
+            run.map_err(|e| governed_or(e.govern_cause(), &e, None))?
         }
     };
     Ok(full.restrict(wanted))

@@ -23,11 +23,43 @@ use crate::row::{Field, Row};
 
 /// ETL execution failure.
 #[derive(Debug, Clone, PartialEq)]
-pub struct EtlError(pub String);
+pub enum EtlError {
+    /// A step failed (missing cube, arity mismatch, bad transform, …).
+    Message(String),
+    /// The run governor stopped the flow — cooperative cancellation or
+    /// budget exhaustion observed at a flow/step checkpoint. The engine
+    /// maps this to its non-retryable `Cancelled`/`BudgetExceeded`
+    /// variants instead of a generic execution failure.
+    Governed(exl_fault::govern::GovernError),
+}
+
+impl EtlError {
+    /// A plain message failure.
+    pub fn msg(s: impl Into<String>) -> Self {
+        EtlError::Message(s.into())
+    }
+
+    /// The governance stop behind this error, if that is what it is.
+    pub fn govern_cause(&self) -> Option<&exl_fault::govern::GovernError> {
+        match self {
+            EtlError::Governed(g) => Some(g),
+            _ => None,
+        }
+    }
+}
+
+impl From<exl_fault::govern::GovernError> for EtlError {
+    fn from(e: exl_fault::govern::GovernError) -> Self {
+        EtlError::Governed(e)
+    }
+}
 
 impl fmt::Display for EtlError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "ETL error: {}", self.0)
+        match self {
+            EtlError::Message(m) => write!(f, "ETL error: {m}"),
+            EtlError::Governed(e) => write!(f, "ETL stopped: {e}"),
+        }
     }
 }
 
@@ -186,9 +218,12 @@ impl Flow {
     /// carrying the step's row counts.
     pub fn run_traced(&self, data: &Dataset, trace: &exl_obs::Span) -> Result<CubeData, EtlError> {
         if self.sources.is_empty() {
-            return Err(EtlError(format!("flow {}: no data sources", self.id)));
+            return Err(EtlError::msg(format!("flow {}: no data sources", self.id)));
         }
-        exl_fault::check("etl.flow").map_err(|e| EtlError(e.to_string()))?;
+        exl_fault::check("etl.flow").map_err(|e| EtlError::msg(e.to_string()))?;
+        // governance checkpoint per flow: cancellation and budget stops
+        // land between flows, never mid-step
+        exl_fault::govern::checkpoint()?;
         let flow_span = trace.child("etl.flow");
         flow_span.set_attr("flow", self.id.clone());
         flow_span.set_attr("cube", self.output.relation.to_string());
@@ -211,6 +246,7 @@ impl Flow {
         }
         // transforms
         for t in &self.transforms {
+            exl_fault::govern::checkpoint()?;
             let span = flow_span.child("etl.transform");
             span.set_attr("kind", t.kind());
             span.set_attr("rows_in", rows.len() as u64);
@@ -222,6 +258,13 @@ impl Flow {
         span.set_attr("rows_in", rows.len() as u64);
         let out = write_output(&self.output, rows)?;
         flow_span.set_attr("rows_out", out.len() as u64);
+        exl_fault::govern::charge(
+            out.len() as u64,
+            exl_fault::govern::approx_cube_bytes(
+                out.len() as u64,
+                self.output.dim_fields.len() as u64,
+            ),
+        );
         Ok(out)
     }
 }
@@ -255,7 +298,7 @@ impl Job {
             let schema = self
                 .schemas
                 .get(&flow.output.relation)
-                .ok_or_else(|| EtlError(format!("no schema for {}", flow.output.relation)))?
+                .ok_or_else(|| EtlError::msg(format!("no schema for {}", flow.output.relation)))?
                 .clone();
             ds.put(Cube::new(schema, data));
         }
@@ -267,9 +310,9 @@ impl Job {
 pub(crate) fn read_source(s: &DataSourceStep, data: &Dataset) -> Result<Vec<Row>, EtlError> {
     let cube = data
         .get(&s.relation)
-        .ok_or_else(|| EtlError(format!("missing input cube {}", s.relation)))?;
+        .ok_or_else(|| EtlError::msg(format!("missing input cube {}", s.relation)))?;
     if s.dim_fields.len() != cube.schema.arity() {
-        return Err(EtlError(format!(
+        return Err(EtlError::msg(format!(
             "source {}: {} dimension fields for arity {}",
             s.relation,
             s.dim_fields.len(),
@@ -285,7 +328,7 @@ pub(crate) fn read_source(s: &DataSourceStep, data: &Dataset) -> Result<Vec<Row>
                     DimValue::Time(t) => DimValue::Time(t.shift(*unshift)),
                     DimValue::Int(i) => DimValue::Int(i + unshift),
                     other => {
-                        return Err(EtlError(format!(
+                        return Err(EtlError::msg(format!(
                             "source {}: shift on unshiftable value {other}",
                             s.relation
                         )))
@@ -312,7 +355,7 @@ pub(crate) fn merge_rows(
     for (i, r) in right.iter().enumerate() {
         let key = r
             .key_of(&step.keys)
-            .ok_or_else(|| EtlError("merge: key field missing on right stream".into()))?;
+            .ok_or_else(|| EtlError::msg("merge: key field missing on right stream"))?;
         index.entry(key).or_default().push(i);
     }
     let mut out = Vec::new();
@@ -320,7 +363,7 @@ pub(crate) fn merge_rows(
     for l in &left {
         let key = l
             .key_of(&step.keys)
-            .ok_or_else(|| EtlError("merge: key field missing on left stream".into()))?;
+            .ok_or_else(|| EtlError::msg("merge: key field missing on left stream"))?;
         match index.get(&key) {
             Some(matches) => {
                 for &i in matches {
@@ -368,7 +411,7 @@ pub(crate) fn apply_transform(t: &TransformStep, rows: Vec<Row>) -> Result<Vec<R
                 // validate field availability first (eval's lookup is Fn)
                 for name in expr.vars() {
                     if row.get(name).and_then(|f| f.as_num()).is_none() {
-                        return Err(EtlError(format!("calculator: missing field {name}")));
+                        return Err(EtlError::msg(format!("calculator: missing field {name}")));
                     }
                 }
                 // validated above; NaN (absorbed downstream by the finite
@@ -399,7 +442,9 @@ pub(crate) fn apply_transform(t: &TransformStep, rows: Vec<Row>) -> Result<Vec<R
                     .get(input)
                     .and_then(|f| f.as_dim())
                     .and_then(|d| d.as_time())
-                    .ok_or_else(|| EtlError(format!("shift: field {input} is not temporal")))?;
+                    .ok_or_else(|| {
+                        EtlError::msg(format!("shift: field {input} is not temporal"))
+                    })?;
                 row.set(output.clone(), Field::Dim(DimValue::Time(t.shift(*offset))));
                 Ok(row)
             })
@@ -415,10 +460,12 @@ pub(crate) fn apply_transform(t: &TransformStep, rows: Vec<Row>) -> Result<Vec<R
                     .get(input)
                     .and_then(|f| f.as_dim())
                     .and_then(|d| d.as_time())
-                    .ok_or_else(|| EtlError(format!("convert: field {input} is not temporal")))?;
-                let c = t
-                    .convert(*target)
-                    .ok_or_else(|| EtlError(format!("cannot convert {t} to {}", target.name())))?;
+                    .ok_or_else(|| {
+                        EtlError::msg(format!("convert: field {input} is not temporal"))
+                    })?;
+                let c = t.convert(*target).ok_or_else(|| {
+                    EtlError::msg(format!("cannot convert {t} to {}", target.name()))
+                })?;
                 row.set(output.clone(), Field::Dim(DimValue::Time(c)));
                 Ok(row)
             })
@@ -429,7 +476,7 @@ pub(crate) fn apply_transform(t: &TransformStep, rows: Vec<Row>) -> Result<Vec<R
                 let v = row
                     .get(input)
                     .cloned()
-                    .ok_or_else(|| EtlError(format!("rename: missing field {input}")))?;
+                    .ok_or_else(|| EtlError::msg(format!("rename: missing field {input}")))?;
                 row.set(output.clone(), v);
                 Ok(row)
             })
@@ -450,11 +497,11 @@ pub(crate) fn apply_transform(t: &TransformStep, rows: Vec<Row>) -> Result<Vec<R
             for row in rows {
                 let key = row
                     .key_of(keys)
-                    .ok_or_else(|| EtlError("aggregator: missing key field".into()))?;
+                    .ok_or_else(|| EtlError::msg("aggregator: missing key field"))?;
                 let v = row
                     .get(input)
                     .and_then(|f| f.as_num())
-                    .ok_or_else(|| EtlError(format!("aggregator: missing measure {input}")))?;
+                    .ok_or_else(|| EtlError::msg(format!("aggregator: missing measure {input}")))?;
                 match index.get(&key) {
                     Some(&gi) => groups[gi].1.accumulate(v),
                     None => {
@@ -490,11 +537,11 @@ pub(crate) fn apply_transform(t: &TransformStep, rows: Vec<Row>) -> Result<Vec<R
                     .and_then(|f| f.as_dim())
                     .and_then(|d| d.as_time())
                     .ok_or_else(|| {
-                        EtlError(format!("series: field {time_field} is not temporal"))
+                        EtlError::msg(format!("series: field {time_field} is not temporal"))
                     })?;
                 let key = row
                     .key_of(slice_fields)
-                    .ok_or_else(|| EtlError("series: missing slice field".into()))?;
+                    .ok_or_else(|| EtlError::msg("series: missing slice field"))?;
                 slices.entry(key).or_default().push((t.index(), i));
             }
             let mut rows = rows;
@@ -507,7 +554,7 @@ pub(crate) fn apply_transform(t: &TransformStep, rows: Vec<Row>) -> Result<Vec<R
                         rows[*i]
                             .get(measure_field)
                             .and_then(|f| f.as_num())
-                            .ok_or_else(|| EtlError("series: missing measure field".into()))
+                            .ok_or_else(|| EtlError::msg("series: missing measure field"))
                     })
                     .collect::<Result<_, _>>()?;
                 let result = op.apply(&indices, &values, *period);
@@ -525,7 +572,7 @@ pub(crate) fn write_output(output: &OutputStep, rows: Vec<Row>) -> Result<CubeDa
     let mut data = CubeData::new();
     for row in rows {
         let Some(m) = row.get(&output.measure_field).and_then(|f| f.as_num()) else {
-            return Err(EtlError(format!(
+            return Err(EtlError::msg(format!(
                 "output: missing measure field {}",
                 output.measure_field
             )));
@@ -538,11 +585,11 @@ pub(crate) fn write_output(output: &OutputStep, rows: Vec<Row>) -> Result<CubeDa
             let d = row
                 .get(f)
                 .and_then(|x| x.as_dim())
-                .ok_or_else(|| EtlError(format!("output: missing dimension field {f}")))?;
+                .ok_or_else(|| EtlError::msg(format!("output: missing dimension field {f}")))?;
             key.push(d.clone());
         }
         data.insert(key, m)
-            .map_err(|e| EtlError(format!("output violates functionality: {e}")))?;
+            .map_err(|e| EtlError::msg(format!("output violates functionality: {e}")))?;
     }
     Ok(data)
 }

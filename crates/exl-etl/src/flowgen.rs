@@ -35,17 +35,17 @@ pub fn tgd_to_flow(
             op,
             target,
         } => {
-            let src =
-                schema_of(source).ok_or_else(|| EtlError(format!("no schema for {source}")))?;
+            let src = schema_of(source)
+                .ok_or_else(|| EtlError::msg(format!("no schema for {source}")))?;
             let time_dims = src.time_dims();
             let [tdim] = time_dims.as_slice() else {
-                return Err(EtlError(format!(
+                return Err(EtlError::msg(format!(
                     "{source} must have exactly one time dimension"
                 )));
             };
             let time_field = src.dims[*tdim].name.clone();
             let freq = src.dims[*tdim].ty.frequency().ok_or_else(|| {
-                EtlError(format!(
+                EtlError::msg(format!(
                     "{source}: dimension {time_field} has no time frequency"
                 ))
             })?;
@@ -109,7 +109,7 @@ pub fn tgd_to_flow(
             // merges on the shared dimension variables
             let first = lhs
                 .first()
-                .ok_or_else(|| EtlError(format!("tgd {id}: empty body")))?;
+                .ok_or_else(|| EtlError::msg(format!("tgd {id}: empty body")))?;
             let keys: Vec<String> = first
                 .dim_terms
                 .iter()
@@ -207,7 +207,7 @@ pub fn mapping_to_job(mapping: &Mapping) -> Result<Job, EtlError> {
     for tgd in &mapping.statement_tgds {
         let schema = mapping
             .schema(tgd.target_relation())
-            .ok_or_else(|| EtlError(format!("no schema for {}", tgd.target_relation())))?;
+            .ok_or_else(|| EtlError::msg(format!("no schema for {}", tgd.target_relation())))?;
         let lookup = |id: &exl_model::CubeId| mapping.schema(id).cloned();
         flows.push(tgd_to_flow(tgd, schema, &lookup)?);
     }

@@ -63,13 +63,18 @@ pub fn run_flow_parallel_traced(
     trace: &exl_obs::Span,
 ) -> Result<CubeData, EtlError> {
     if flow.sources.is_empty() {
-        return Err(EtlError(format!("flow {}: no data sources", flow.id)));
+        return Err(EtlError::msg(format!("flow {}: no data sources", flow.id)));
     }
-    exl_fault::check("etl.flow").map_err(|e| EtlError(e.to_string()))?;
+    exl_fault::check("etl.flow").map_err(|e| EtlError::msg(e.to_string()))?;
+    exl_fault::govern::checkpoint()?;
     let flow_span = trace.child("etl.flow");
     flow_span.set_attr("flow", flow.id.clone());
     flow_span.set_attr("cube", flow.output.relation.to_string());
     let flow_ctx = flow_span.context();
+    // stage threads can't see the spawning thread's ambient governor, so
+    // capture it here and check it explicitly at each stage entry
+    let governor = exl_fault::govern::governor();
+    let governor = &governor;
 
     std::thread::scope(|scope| -> Result<CubeData, EtlError> {
         // source stages
@@ -82,7 +87,7 @@ pub fn run_flow_parallel_traced(
                 let span = ctx.child("etl.source");
                 span.set_attr("relation", source.relation.to_string());
                 let mut sent = 0u64;
-                match read_source(source, data) {
+                match stage_entry(governor).and_then(|()| read_source(source, data)) {
                     Ok(rows) => {
                         send_rows(&tx, rows, recorder, &mut sent);
                     }
@@ -108,7 +113,8 @@ pub fn run_flow_parallel_traced(
                 // build from the right stream, then probe with the left
                 let span = ctx.child("etl.merge");
                 let mut sent = 0u64;
-                let merged = collect_rows(right_rx)
+                let merged = stage_entry(governor)
+                    .and_then(|()| collect_rows(right_rx))
                     .and_then(|right| collect_rows(left_rx).map(|left| (left, right)))
                     .and_then(|(left, right)| {
                         span.set_attr("rows_in", (left.len() + right.len()) as u64);
@@ -138,7 +144,10 @@ pub fn run_flow_parallel_traced(
                 let span = ctx.child("etl.transform");
                 span.set_attr("kind", t.kind());
                 let mut sent = 0u64;
-                if is_streaming(t) {
+                if let Err(e) = stage_entry(governor) {
+                    span.add_event(e.to_string());
+                    let _ = tx.send(Err(e));
+                } else if is_streaming(t) {
                     // row-at-a-time
                     loop {
                         match input.recv() {
@@ -182,12 +191,31 @@ pub fn run_flow_parallel_traced(
         // receiver we still hold, which cascades the shutdown upstream
         let span = flow_span.child("etl.output");
         let rows = collect_rows(acc)?;
+        exl_fault::govern::checkpoint()?;
         span.set_attr("rows_in", rows.len() as u64);
         recorder.incr_counter("etl.rows.output", rows.len() as u64);
         let out = write_output(&flow.output, rows)?;
         flow_span.set_attr("rows_out", out.len() as u64);
+        exl_fault::govern::charge(
+            out.len() as u64,
+            exl_fault::govern::approx_cube_bytes(
+                out.len() as u64,
+                flow.output.dim_fields.len() as u64,
+            ),
+        );
         Ok(out)
     })
+}
+
+/// Per-stage governance check for pipeline worker threads: the captured
+/// governor stands in for the spawning thread's ambient one. A stop is
+/// sent in-band like any other stage failure, so it cascades downstream
+/// and unwinds the pipeline without leaving a stage blocked.
+fn stage_entry(governor: &Option<exl_fault::govern::Governor>) -> Result<(), EtlError> {
+    if let Some(g) = governor {
+        g.checkpoint()?;
+    }
+    Ok(())
 }
 
 /// Drain a stage's input completely, or stop at the first in-band error
@@ -260,7 +288,7 @@ pub fn run_job_parallel_traced(
         let schema = job
             .schemas
             .get(&flow.output.relation)
-            .ok_or_else(|| EtlError(format!("no schema for {}", flow.output.relation)))?
+            .ok_or_else(|| EtlError::msg(format!("no schema for {}", flow.output.relation)))?
             .clone();
         ds.put(exl_model::Cube::new(schema, data));
     }

@@ -41,6 +41,27 @@ pub enum EvalError {
         /// The worker's panic message (or injected-fault description).
         detail: String,
     },
+    /// Evaluation was stopped by the run governor — cooperative
+    /// cancellation or budget exhaustion observed at a batch-boundary
+    /// checkpoint. The engine maps this to its non-retryable
+    /// `Cancelled`/`BudgetExceeded` variants.
+    Governed(exl_fault::govern::GovernError),
+}
+
+impl EvalError {
+    /// The governance stop behind this error, if that is what it is.
+    pub fn govern_cause(&self) -> Option<&exl_fault::govern::GovernError> {
+        match self {
+            EvalError::Governed(g) => Some(g),
+            _ => None,
+        }
+    }
+}
+
+impl From<exl_fault::govern::GovernError> for EvalError {
+    fn from(e: exl_fault::govern::GovernError) -> Self {
+        EvalError::Governed(e)
+    }
 }
 
 impl fmt::Display for EvalError {
@@ -62,6 +83,7 @@ impl fmt::Display for EvalError {
             EvalError::WorkerPanicked { detail } => {
                 write!(f, "evaluator worker panicked: {detail}")
             }
+            EvalError::Governed(e) => write!(f, "evaluation stopped: {e}"),
         }
     }
 }

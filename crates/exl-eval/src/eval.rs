@@ -113,10 +113,17 @@ impl EvalSession {
     /// result batch under the statement's target. Every cube the
     /// expression references must have been loaded (or derived) first.
     pub fn eval(&mut self, stmt: &Statement) -> Result<(), EvalError> {
+        // governance checkpoint at the statement boundary: a cancelled or
+        // over-budget run stops before the next batch is materialized
+        exl_fault::govern::checkpoint()?;
         let (dims, batch) = match eval_expr(&stmt.expr, self)? {
             BVal::Batch { dims, batch } => (dims, batch.into_owned()),
             BVal::Scalar(_) => unreachable!("analysis rejects constant statements"),
         };
+        exl_fault::govern::charge(
+            batch.len() as u64,
+            exl_fault::govern::approx_cube_bytes(batch.len() as u64, dims.len() as u64),
+        );
         self.cubes
             .insert(stmt.target.clone(), SessionCube { dims, batch });
         Ok(())
@@ -352,6 +359,23 @@ fn worker_fault(e: exl_fault::FaultError) -> EvalError {
     }
 }
 
+/// Worker-entry hook: the `eval.worker` fault site plus one governance
+/// checkpoint against the dispatching thread's governor (thread-locals do
+/// not cross `thread::scope`, so the governor is captured outside and
+/// checked here). Checked once per partition — the partition body stays
+/// checkpoint-free so the fold-then-merge bit discipline is untouched.
+fn worker_entry(governor: &Option<exl_fault::govern::Governor>) -> Result<(), EvalError> {
+    // the captured governor is ambient while the fault site runs, so an
+    // injected `cancel` lands on the shared attempt token instead of
+    // evaporating on the governor-less worker thread
+    let _ambient = governor.clone().map(exl_fault::govern::set_governor);
+    exl_fault::check("eval.worker").map_err(worker_fault)?;
+    if let Some(g) = governor {
+        g.checkpoint()?;
+    }
+    Ok(())
+}
+
 /// Apply a pure measure transform to a batch **in place**: keys are
 /// untouched, measures are rewritten (fanning out across `threads`
 /// workers for large operands), and rows whose result is non-finite are
@@ -372,12 +396,14 @@ fn map_measures(
         }
     } else {
         let chunk = n.div_ceil(threads);
+        let governor = exl_fault::govern::governor();
         let joined: Vec<Result<(), EvalError>> = std::thread::scope(|s| {
+            let governor = &governor;
             let handles: Vec<_> = measures
                 .chunks_mut(chunk)
                 .map(|mc| {
                     s.spawn(move || {
-                        exl_fault::check("eval.worker").map_err(worker_fault)?;
+                        worker_entry(governor)?;
                         for v in mc.iter_mut() {
                             *v = f(*v);
                         }
@@ -426,13 +452,15 @@ fn probe_combine(
         }
     } else {
         let chunk = keys.len().div_ceil(threads);
+        let governor = exl_fault::govern::governor();
         let joined: Vec<Result<(), EvalError>> = std::thread::scope(|s| {
+            let governor = &governor;
             let handles: Vec<_> = keys
                 .chunks(chunk)
                 .zip(measures.chunks_mut(chunk))
                 .map(|(kc, mc)| {
                     s.spawn(move || {
-                        exl_fault::check("eval.worker").map_err(worker_fault)?;
+                        worker_entry(governor)?;
                         for (k, v) in kc.iter().zip(mc.iter_mut()) {
                             *v = combine(k, *v);
                         }
@@ -734,13 +762,15 @@ fn aggregate_partitioned(
     let keys = batch.keys();
     let measures = batch.measures();
     let chunk = keys.len().div_ceil(partitions).max(1);
+    let governor = exl_fault::govern::governor();
     let locals: Vec<Result<FxHashMap<IKey, GroupAcc>, EvalError>> = std::thread::scope(|s| {
+        let governor = &governor;
         let handles: Vec<_> = (0..partitions)
             .map(|w| (w * chunk, ((w + 1) * chunk).min(keys.len())))
             .filter(|(lo, hi)| lo < hi)
             .map(|(lo, hi)| {
                 s.spawn(move || {
-                    exl_fault::check("eval.worker").map_err(worker_fault)?;
+                    worker_entry(governor)?;
                     let mut local: FxHashMap<IKey, GroupAcc> = FxHashMap::default();
                     let mut scratch: Vec<IDim> = Vec::with_capacity(parts.len());
                     for ri in lo..hi {
@@ -914,13 +944,15 @@ fn series_batch(
         return Ok(out);
     }
     let chunk = slice_list.len().div_ceil(threads);
+    let governor = exl_fault::govern::governor();
     let parts: Vec<Result<Vec<(IKey, f64)>, EvalError>> = std::thread::scope(|s| {
         let run_slice = &run_slice;
+        let governor = &governor;
         let handles: Vec<_> = slice_list
             .chunks(chunk)
             .map(|c| {
                 s.spawn(move || {
-                    exl_fault::check("eval.worker").map_err(worker_fault)?;
+                    worker_entry(governor)?;
                     let mut part = Vec::new();
                     for rows in c {
                         part.extend(run_slice(rows));

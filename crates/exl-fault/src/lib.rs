@@ -20,6 +20,8 @@
 
 #![warn(missing_docs)]
 
+pub mod govern;
+
 use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -41,6 +43,8 @@ pub const SITES: &[&str] = &[
     "rmini.run",
     "matmini.run",
     "sqlengine.execute",
+    "cache.read",
+    "cache.write",
 ];
 
 /// What an armed site does to the execution that trips it.
@@ -51,8 +55,20 @@ pub enum FaultAction {
     /// Panic at the site (exercises panic isolation).
     Panic,
     /// Sleep for the given number of milliseconds, then continue
-    /// (exercises deadlines); the execution itself succeeds.
+    /// (exercises deadlines); the execution itself succeeds. The sleep
+    /// is cooperative: it is sliced and aborts early when the ambient
+    /// [`govern`] token is cancelled, so a stall never outlives a
+    /// cancel-then-join.
     Delay(u64),
+    /// Cancel the ambient [`govern::Governor`]'s token at the site and
+    /// continue; the cancellation surfaces at the next governance
+    /// checkpoint (exercises cooperative cancellation). A no-op when the
+    /// executing thread is ungoverned.
+    Cancel,
+    /// Charge the given number of bytes against the ambient budget at
+    /// the site and continue (exercises memory-ceiling exhaustion). A
+    /// no-op when the executing thread is ungoverned.
+    MemPressure(u64),
 }
 
 impl FaultAction {
@@ -61,6 +77,8 @@ impl FaultAction {
             FaultAction::Error => "error",
             FaultAction::Panic => "panic",
             FaultAction::Delay(_) => "delay",
+            FaultAction::Cancel => "cancel",
+            FaultAction::MemPressure(_) => "mem-pressure",
         }
     }
 }
@@ -111,6 +129,18 @@ impl FaultPlan {
         FaultPlan::one(site, 0, FaultAction::Error)
     }
 
+    /// Plan a cooperative cancellation of the ambient governor on the
+    /// first execution of `site`.
+    pub fn cancel_once(site: &str) -> FaultPlan {
+        FaultPlan::one(site, 1, FaultAction::Cancel)
+    }
+
+    /// Plan a budget charge of `bytes` against the ambient governor on
+    /// the first execution of `site`.
+    pub fn mem_pressure_once(site: &str, bytes: u64) -> FaultPlan {
+        FaultPlan::one(site, 1, FaultAction::MemPressure(bytes))
+    }
+
     /// Plan a single fault.
     pub fn one(site: &str, nth: u64, action: FaultAction) -> FaultPlan {
         FaultPlan {
@@ -146,6 +176,21 @@ impl FaultPlan {
             FaultAction::Panic
         };
         FaultPlan::one(site, nth, action)
+    }
+
+    /// Derive a one-fault *cancellation* plan deterministically from a
+    /// seed: pick a site from `sites` and an occurrence in `1..=3`, with
+    /// [`FaultAction::Cancel`] as the action. Drives the cancellation
+    /// half of the chaos matrix (`scripts/chaos.sh --storm`).
+    pub fn cancel_from_seed(seed: u64, sites: &[&str]) -> FaultPlan {
+        assert!(
+            !sites.is_empty(),
+            "cancel_from_seed needs at least one site"
+        );
+        let mut s = seed ^ 0xC0FF_EE00_CA4C_E1ED;
+        let site = sites[(splitmix64(&mut s) % sites.len() as u64) as usize];
+        let nth = 1 + splitmix64(&mut s) % 3;
+        FaultPlan::one(site, nth, FaultAction::Cancel)
     }
 }
 
@@ -284,7 +329,30 @@ pub fn check(site: &str) -> Result<(), FaultError> {
         }),
         FaultAction::Panic => panic!("injected panic at {site}"),
         FaultAction::Delay(millis) => {
-            std::thread::sleep(Duration::from_millis(millis));
+            // sliced so a cancelled governor cuts the stall short — the
+            // supervisor's cancel-then-join must never wait out a full
+            // injected delay
+            let deadline = std::time::Instant::now() + Duration::from_millis(millis);
+            let governor = govern::governor();
+            loop {
+                let now = std::time::Instant::now();
+                if now >= deadline {
+                    return Ok(());
+                }
+                if let Some(g) = &governor {
+                    if g.token().is_cancelled() {
+                        return Ok(());
+                    }
+                }
+                std::thread::sleep((deadline - now).min(Duration::from_millis(5)));
+            }
+        }
+        FaultAction::Cancel => {
+            govern::cancel_current(&format!("injected cancel at {site}"));
+            Ok(())
+        }
+        FaultAction::MemPressure(bytes) => {
+            govern::charge(0, bytes);
             Ok(())
         }
     }
@@ -349,6 +417,68 @@ mod tests {
         let start = std::time::Instant::now();
         assert!(check("d").is_ok());
         assert!(start.elapsed() < Duration::from_millis(20));
+    }
+
+    #[test]
+    fn cancel_action_cancels_the_ambient_governor() {
+        let _guard = install(FaultPlan::cancel_once("c"));
+        let governor = govern::Governor::detached();
+        let _g = govern::set_governor(governor.clone());
+        assert!(check("c").is_ok(), "cancel action itself succeeds");
+        assert!(governor.token().is_cancelled());
+        assert!(governor
+            .token()
+            .reason()
+            .unwrap()
+            .contains("injected cancel at c"));
+    }
+
+    #[test]
+    fn cancel_action_without_governor_is_inert() {
+        let _guard = install(FaultPlan::cancel_once("c"));
+        assert!(check("c").is_ok());
+        assert!(govern::checkpoint().is_ok());
+    }
+
+    #[test]
+    fn mem_pressure_action_charges_the_ambient_budget() {
+        let _guard = install(FaultPlan::mem_pressure_once("m", 4096));
+        let governor = govern::Governor::new(
+            govern::CancelToken::new(),
+            govern::RunBudget::unlimited().with_memory_limit(1024),
+        );
+        let _g = govern::set_governor(governor.clone());
+        assert!(check("m").is_ok(), "pressure action itself succeeds");
+        let err = governor.checkpoint().unwrap_err();
+        assert!(
+            matches!(err, govern::GovernError::MemoryExceeded { .. }),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn cancelled_governor_cuts_an_injected_delay_short() {
+        let _guard = install(FaultPlan::delay_once("d", 10_000));
+        let governor = govern::Governor::detached();
+        governor.token().cancel("already cancelled");
+        let _g = govern::set_governor(governor);
+        let start = std::time::Instant::now();
+        assert!(check("d").is_ok());
+        assert!(
+            start.elapsed() < Duration::from_millis(1000),
+            "delay ignored the cancelled governor: {:?}",
+            start.elapsed()
+        );
+    }
+
+    #[test]
+    fn seeded_cancel_plans_are_deterministic() {
+        for seed in 0..16 {
+            let a = FaultPlan::cancel_from_seed(seed, SITES);
+            assert_eq!(a, FaultPlan::cancel_from_seed(seed, SITES));
+            assert_eq!(a.specs[0].action, FaultAction::Cancel);
+            assert!((1..=3).contains(&a.specs[0].nth));
+        }
     }
 
     #[test]

@@ -457,6 +457,9 @@ impl MatInterp {
     pub fn run_traced(&mut self, src: &str, trace: &exl_obs::Span) -> Result<(), MatError> {
         exl_fault::check("matmini.run").map_err(|e| MatError::eval(e.to_string()))?;
         for (i, stmt) in parse(src)?.iter().enumerate() {
+            // governance checkpoint per statement: a cancelled or
+            // over-budget run stops between statements
+            exl_fault::govern::checkpoint()?;
             let span = trace.child("matmini.stmt");
             span.set_attr("index", i as u64);
             let (MStmt::Assign { var, .. } | MStmt::IndexAssign { var, .. }) = stmt;

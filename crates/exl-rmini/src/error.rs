@@ -9,6 +9,11 @@ pub struct RError {
     pub phase: &'static str,
     /// Message.
     pub message: String,
+    /// Set when the interpreter was stopped by the run governor —
+    /// cooperative cancellation or budget exhaustion observed at a
+    /// statement checkpoint. The engine maps this to its non-retryable
+    /// `Cancelled`/`BudgetExceeded` variants.
+    pub govern: Option<exl_fault::govern::GovernError>,
 }
 
 impl RError {
@@ -17,6 +22,7 @@ impl RError {
         RError {
             phase: "parse",
             message: message.into(),
+            govern: None,
         }
     }
 
@@ -25,6 +31,22 @@ impl RError {
         RError {
             phase: "eval",
             message: message.into(),
+            govern: None,
+        }
+    }
+
+    /// The governance stop behind this error, if that is what it is.
+    pub fn govern_cause(&self) -> Option<&exl_fault::govern::GovernError> {
+        self.govern.as_ref()
+    }
+}
+
+impl From<exl_fault::govern::GovernError> for RError {
+    fn from(e: exl_fault::govern::GovernError) -> Self {
+        RError {
+            phase: "eval",
+            message: format!("stopped: {e}"),
+            govern: Some(e),
         }
     }
 }

@@ -79,6 +79,9 @@ impl RInterp {
     pub fn run_traced(&mut self, src: &str, trace: &exl_obs::Span) -> Result<(), RError> {
         exl_fault::check("rmini.run").map_err(|e| RError::eval(e.to_string()))?;
         for (i, stmt) in parse(src)?.iter().enumerate() {
+            // governance checkpoint per statement: a cancelled or
+            // over-budget run stops between statements
+            exl_fault::govern::checkpoint()?;
             let span = trace.child("rmini.stmt");
             span.set_attr("index", i as u64);
             if let RStmt::Assign { var, .. } = stmt {

@@ -9,6 +9,27 @@ pub enum SqlError {
     Parse(String),
     /// Runtime error (unknown table/column, arity mismatch, …).
     Execution(String),
+    /// Execution was stopped by the run governor — cooperative
+    /// cancellation or budget exhaustion observed at a statement
+    /// checkpoint. The engine maps this to its non-retryable
+    /// `Cancelled`/`BudgetExceeded` variants.
+    Governed(exl_fault::govern::GovernError),
+}
+
+impl SqlError {
+    /// The governance stop behind this error, if that is what it is.
+    pub fn govern_cause(&self) -> Option<&exl_fault::govern::GovernError> {
+        match self {
+            SqlError::Governed(g) => Some(g),
+            _ => None,
+        }
+    }
+}
+
+impl From<exl_fault::govern::GovernError> for SqlError {
+    fn from(e: exl_fault::govern::GovernError) -> Self {
+        SqlError::Governed(e)
+    }
 }
 
 impl fmt::Display for SqlError {
@@ -16,6 +37,7 @@ impl fmt::Display for SqlError {
         match self {
             SqlError::Parse(m) => write!(f, "SQL parse error: {m}"),
             SqlError::Execution(m) => write!(f, "SQL execution error: {m}"),
+            SqlError::Governed(e) => write!(f, "SQL execution stopped: {e}"),
         }
     }
 }

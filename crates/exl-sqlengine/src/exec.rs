@@ -40,6 +40,9 @@ impl Engine {
         exl_fault::check("sqlengine.execute").map_err(|e| SqlError::Execution(e.to_string()))?;
         let mut last = None;
         for (i, stmt) in parse_script(sql)?.into_iter().enumerate() {
+            // governance checkpoint per statement: a cancelled or
+            // over-budget run stops between statements
+            exl_fault::govern::checkpoint()?;
             let span = trace.child("sql.stmt");
             span.set_attr("index", i as u64);
             span.set_attr("kind", stmt_kind(&stmt));

@@ -3,14 +3,31 @@
 #
 # Each seed drives exl_fault::FaultPlan::from_seed, which picks a backend
 # execution site, an occurrence (1..=3), and an error-or-panic action
-# deterministically. The seeded test requires the engine to converge to
-# the reference result under retries no matter where the fault lands; the
-# rest of the chaos suite (atomicity, keep_going, panic containment,
-# deadlines, fallback) runs alongside it on every seed.
+# deterministically — and FaultPlan::cancel_from_seed, which does the
+# same with a cooperative cancellation as the action. The seeded tests
+# require the engine to converge to the reference under retries no
+# matter where a failure lands, and to abort typed + rolled-back no
+# matter where a cancel lands; the rest of the chaos suite (atomicity,
+# keep_going, panic containment, deadlines, budgets, fallback) runs
+# alongside them on every seed.
 #
-# Usage: scripts/chaos.sh [seed ...]    (default: 0..7)
+# Usage: scripts/chaos.sh [seed ...]       matrix over seeds (default 0..7)
+#        scripts/chaos.sh --storm [N]      cancellation storm: N seeded
+#                                          cancel -> rollback -> recovery
+#                                          rounds (default 16) in one
+#                                          process, with a thread-leak
+#                                          check across the whole storm
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+if [ "${1:-}" = "--storm" ]; then
+    rounds="${2:-16}"
+    echo "== cancellation storm ($rounds rounds) =="
+    CHAOS_STORM="$rounds" cargo test -q -p exl-integration-tests --test chaos \
+        cancellation_storm_is_atomic_and_leaks_no_threads
+    echo "cancellation storm passed ($rounds rounds)"
+    exit 0
+fi
 
 seeds=("$@")
 if [ ${#seeds[@]} -eq 0 ]; then

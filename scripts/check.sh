@@ -64,6 +64,7 @@ PY
 
 echo "== chaos =="
 scripts/chaos.sh 0 1 2 3
+scripts/chaos.sh --storm 12
 
 echo "== examples =="
 for ex in quickstart multi_target production_pipeline data_exchange seasonal_adjustment; do

@@ -218,7 +218,9 @@ fn fail_fast_aborts_the_whole_run() {
     assert!(e.data(&"D".into()).is_none());
 }
 
-/// A stalled backend is cut off by the per-subgraph deadline.
+/// A stalled backend is cut off by the per-subgraph deadline. The
+/// supervisor cancels the worker's token and joins it before returning,
+/// so no drain period is needed — the worker is gone when this returns.
 #[test]
 fn deadline_cuts_off_stalled_backend() {
     let mut e = gdp_engine(TargetKind::Native);
@@ -229,9 +231,6 @@ fn deadline_cuts_off_stalled_backend() {
         matches!(err, EngineError::Timeout { millis: 30, .. }),
         "{err}"
     );
-    // let the abandoned worker drain before the guard drops, so it cannot
-    // observe the next test's fault plan
-    std::thread::sleep(Duration::from_millis(350));
 }
 
 /// The runtime fallback chain: a backend that keeps failing at execution
@@ -620,5 +619,351 @@ fn truncated_and_garbage_entries_are_cold_misses() {
         report.cache
     );
     assert_gdp_reference(&e, "mangled-store run");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+// ---------------------------------------------------------------------
+// Cancellation & budget chaos: cooperative cancellation injected at
+// every fault site must abort with a *typed* error, skip the retry
+// machinery, and leave the catalog byte-identical; budget exhaustion
+// does the same unless `keep_going` degrades it per subgraph. See
+// docs/GOVERNANCE.md for the token topology these tests pin down.
+// ---------------------------------------------------------------------
+
+/// Every governed fault site paired with a target whose execution
+/// reaches it: the backend dispatch sites plus the interpreter-internal
+/// ones.
+fn cancellable_sites() -> Vec<(String, TargetKind)> {
+    let mut sites: Vec<(String, TargetKind)> = TargetKind::ALL
+        .into_iter()
+        .map(|t| (format!("exec.{t}"), t))
+        .collect();
+    for (s, t) in [
+        ("rmini.run", TargetKind::R),
+        ("matmini.run", TargetKind::Matlab),
+        ("sqlengine.execute", TargetKind::Sql),
+        ("etl.flow", TargetKind::Etl),
+    ] {
+        sites.push((s.to_string(), t));
+    }
+    sites
+}
+
+/// Kernel threads of this process (the main thread plus every live
+/// worker), straight from the kernel's accounting.
+fn live_threads() -> usize {
+    std::fs::read_dir("/proc/self/task").map_or(1, |d| d.count())
+}
+
+/// The cancellation matrix: an injected cancel at any site aborts with
+/// `EngineError::Cancelled`, is *not* retried despite a generous retry
+/// budget, and rolls the catalog back byte-identically.
+#[test]
+fn injected_cancel_rolls_back_and_is_not_retried() {
+    for (site, target) in cancellable_sites() {
+        let mut e = gdp_engine(target);
+        e.policy = DispatchPolicy {
+            retries: 3,
+            backoff_base: Duration::ZERO,
+            ..DispatchPolicy::default()
+        };
+        let before = e.catalog.to_json().unwrap();
+        let guard = exl_fault::install(FaultPlan::cancel_once(&site));
+        let err = e.run_all().unwrap_err();
+        assert!(
+            matches!(err, EngineError::Cancelled { .. }),
+            "{site}: {err}"
+        );
+        // non-retryable: the site fired exactly once — retries would have
+        // re-executed it (the one-shot plan is spent) and committed
+        assert_eq!(guard.fired_count(), 1, "{site}");
+        assert_eq!(
+            e.catalog.to_json().unwrap(),
+            before,
+            "{site}: cancelled run touched the catalog"
+        );
+    }
+}
+
+/// A cancel landing inside one of the evaluator's data-parallel workers
+/// aborts the run typed and rolled-back, and — because the cancel is
+/// attempt-scoped — the same engine recovers completely on a fault-free
+/// rerun.
+#[test]
+fn eval_worker_cancel_rolls_back_and_recovers() {
+    let guard = exl_fault::install(FaultPlan::cancel_once("eval.worker"));
+    // pin the evaluator to 4 workers so the partitioned path engages
+    // even on a single-core box; mutated under the fault guard, which
+    // serializes chaos tests
+    std::env::set_var("EXL_EVAL_THREADS", "4");
+    let mut e = ExlEngine::new();
+    e.register_program("diamond", DIAMOND).unwrap();
+    let big: Vec<(Vec<DimValue>, f64)> = (0..5000)
+        .map(|i| (vec![DimValue::Int(i)], i as f64))
+        .collect();
+    e.load_elementary(&"A".into(), CubeData::from_tuples(big).unwrap())
+        .unwrap();
+    e.load_elementary(
+        &"B".into(),
+        CubeData::from_tuples(vec![(vec![DimValue::Int(1)], 10.0)]).unwrap(),
+    )
+    .unwrap();
+    let before = e.catalog.to_json().unwrap();
+    let err = e.run_all().unwrap_err();
+    assert!(matches!(err, EngineError::Cancelled { .. }), "{err}");
+    assert_eq!(guard.fired_count(), 1, "worker cancel never engaged");
+    assert_eq!(e.catalog.to_json().unwrap(), before);
+    drop(guard);
+    let _guard = exl_fault::install(FaultPlan::fail_once("chaos.unused"));
+    e.run_all().unwrap();
+    assert_eq!(
+        e.data(&"C".into()).unwrap().get(&[DimValue::Int(7)]),
+        Some(14.0)
+    );
+    std::env::remove_var("EXL_EVAL_THREADS");
+}
+
+/// A run-level cancel (SIGINT, external token) is fatal under *every*
+/// policy: `keep_going` degrades around subgraph failures, but nothing
+/// may commit once the run itself is cancelled.
+#[test]
+fn external_cancel_aborts_even_under_keep_going() {
+    let mut e = diamond_engine();
+    e.policy.keep_going = true;
+    let before = e.catalog.to_json().unwrap();
+    e.govern.cancel.cancel("operator requested stop");
+    let _guard = exl_fault::install(FaultPlan::fail_once("chaos.unused"));
+    let err = e.run_all().unwrap_err();
+    let EngineError::Cancelled { reason } = &err else {
+        panic!("expected a typed cancel, got {err}");
+    };
+    assert!(reason.contains("operator requested stop"), "{reason}");
+    assert_eq!(e.catalog.to_json().unwrap(), before);
+    assert!(
+        e.data(&"D".into()).is_none(),
+        "keep_going committed past a run-level cancel"
+    );
+}
+
+/// A *subgraph-local* cancel under `keep_going` degrades instead:
+/// independent subgraphs commit, downstream ones are skipped, and the
+/// report carries the typed `Cancelled` status.
+#[test]
+fn keep_going_reports_cancelled_subgraph_typed() {
+    let mut e = diamond_engine();
+    e.catalog
+        .set_affinity(&"C".into(), Some(TargetKind::Sql))
+        .unwrap();
+    e.catalog
+        .set_affinity(&"E".into(), Some(TargetKind::Chase))
+        .unwrap();
+    e.policy.keep_going = true;
+    let _guard = exl_fault::install(FaultPlan::cancel_once("exec.sql"));
+    let report = e.run_all().unwrap();
+    assert_eq!(report.failed, vec!["C".into()]);
+    assert_eq!(report.skipped, vec!["E".into()]);
+    assert_eq!(report.computed, vec!["D".into()]);
+    let cancelled = report
+        .subgraphs
+        .iter()
+        .find(|s| s.cubes.contains(&"C".into()))
+        .unwrap();
+    assert_eq!(cancelled.status, SubgraphStatus::Cancelled);
+    assert!(
+        cancelled.error.as_deref().unwrap_or("").contains("cancel"),
+        "{:?}",
+        cancelled.error
+    );
+    assert_eq!(
+        e.data(&"D".into()).unwrap().get(&[DimValue::Int(1)]),
+        Some(30.0)
+    );
+}
+
+/// An already-expired run deadline trips the first checkpoint: typed
+/// `BudgetExceeded`, nothing committed.
+#[test]
+fn run_deadline_budget_aborts_with_typed_error() {
+    let mut e = gdp_engine(TargetKind::Native);
+    e.govern.run_deadline = Some(Duration::ZERO);
+    let before = e.catalog.to_json().unwrap();
+    let _guard = exl_fault::install(FaultPlan::fail_once("chaos.unused"));
+    let err = e.run_all().unwrap_err();
+    let EngineError::BudgetExceeded { what } = &err else {
+        panic!("expected a typed budget error, got {err}");
+    };
+    assert!(what.contains("deadline"), "{what}");
+    assert_eq!(e.catalog.to_json().unwrap(), before);
+}
+
+/// A memory ceiling below the first materialized intermediate rolls the
+/// run back by default...
+#[test]
+fn memory_budget_rolls_back_by_default() {
+    let mut e = gdp_engine(TargetKind::Etl);
+    e.govern.max_memory_bytes = Some(1);
+    let before = e.catalog.to_json().unwrap();
+    let _guard = exl_fault::install(FaultPlan::fail_once("chaos.unused"));
+    let err = e.run_all().unwrap_err();
+    assert!(matches!(err, EngineError::BudgetExceeded { .. }), "{err}");
+    assert_eq!(e.catalog.to_json().unwrap(), before);
+}
+
+/// ...and degrades under `keep_going`: the run returns a report whose
+/// affected subgraphs carry the typed `BudgetExceeded` status instead of
+/// aborting the process-level workflow.
+#[test]
+fn memory_budget_degrades_under_keep_going() {
+    let mut e = gdp_engine(TargetKind::Etl);
+    e.govern.max_memory_bytes = Some(1);
+    e.policy.keep_going = true;
+    let _guard = exl_fault::install(FaultPlan::fail_once("chaos.unused"));
+    let report = e.run_all().unwrap();
+    assert!(!report.failed.is_empty(), "budget never tripped");
+    assert!(
+        report
+            .subgraphs
+            .iter()
+            .any(|s| s.status == SubgraphStatus::BudgetExceeded),
+        "no typed BudgetExceeded status: {:?}",
+        report
+            .subgraphs
+            .iter()
+            .map(|s| s.status)
+            .collect::<Vec<_>>()
+    );
+}
+
+/// One seeded cancellation round (the `scripts/chaos.sh` storm): derive
+/// a cancel plan from the seed, run until it fires, and require a typed
+/// rollback followed by full recovery on a fault-free rerun.
+fn cancellation_round(seed: u64) {
+    let sites = cancellable_sites();
+    let site_refs: Vec<&str> = sites.iter().map(|(s, _)| s.as_str()).collect();
+    let plan = FaultPlan::cancel_from_seed(seed, &site_refs);
+    let site = plan.specs[0].site.clone();
+    let target = sites.iter().find(|(s, _)| *s == site).unwrap().1;
+
+    let mut e = gdp_engine(target);
+    e.policy = DispatchPolicy {
+        retries: 1,
+        backoff_base: Duration::ZERO,
+        ..DispatchPolicy::default()
+    };
+    let guard = exl_fault::install(plan);
+    // the cancel arms on the 1st..=3rd visit of its site: run repeatedly
+    // until it fires; every armed run must abort typed and rolled-back
+    let mut aborted = false;
+    for round in 0..3 {
+        let before = e.catalog.to_json().unwrap();
+        match e.run_all() {
+            Ok(_) => {}
+            Err(err) => {
+                assert!(
+                    matches!(err, EngineError::Cancelled { .. }),
+                    "seed {seed} ({site}) round {round}: {err}"
+                );
+                assert_eq!(
+                    e.catalog.to_json().unwrap(),
+                    before,
+                    "seed {seed} ({site}) round {round}: not rolled back"
+                );
+                aborted = true;
+                break;
+            }
+        }
+    }
+    assert_eq!(guard.fired_count(), 1, "seed {seed} ({site}): never fired");
+    assert!(
+        aborted,
+        "seed {seed} ({site}): cancel fired but run committed"
+    );
+    drop(guard);
+    let _guard = exl_fault::install(FaultPlan::fail_once("chaos.unused"));
+    e.run_all()
+        .unwrap_or_else(|err| panic!("seed {seed}: recovery run failed: {err}"));
+    // backends agree with the native reference to tolerance, not bits
+    let (analyzed, data) = gdp_scenario(GdpConfig::default());
+    let reference = exl_eval::run_program(&analyzed, &data).unwrap();
+    for id in analyzed.program.derived_ids() {
+        let got = e
+            .data(&id)
+            .unwrap_or_else(|| panic!("seed {seed}: {id} never committed after recovery"));
+        assert!(
+            got.approx_eq(reference.data(&id).unwrap(), 1e-9),
+            "seed {seed}: {id} diverged after post-cancel recovery"
+        );
+    }
+}
+
+/// Seed-driven cancellation (one round per `CHAOS_SEED`, mirroring the
+/// failure-seeded test above).
+#[test]
+fn seeded_cancellation_is_atomic() {
+    let seed: u64 = std::env::var("CHAOS_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0);
+    cancellation_round(seed);
+}
+
+/// The cancellation storm: many seeded rounds back to back, each a
+/// cancel → rollback → recovery cycle, with the kernel's own thread
+/// accounting pinning that the supervisor joined every worker it
+/// cancelled. `CHAOS_STORM` scales the round count
+/// (`scripts/chaos.sh --storm N`).
+#[test]
+fn cancellation_storm_is_atomic_and_leaks_no_threads() {
+    let rounds: u64 = std::env::var("CHAOS_STORM")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(4);
+    let before = live_threads();
+    for seed in 0..rounds {
+        cancellation_round(seed);
+    }
+    let after = live_threads();
+    // small slack: sibling test threads of this binary come and go under
+    // the parallel runner — what must not appear is one leaked worker
+    // per cancelled round
+    assert!(
+        after <= before + 2,
+        "thread leak across {rounds} storm rounds: {before} -> {after}"
+    );
+}
+
+/// Satellite of the fsync'd cache store: a cancel that fires during a
+/// disk-cache write aborts the run typed and rolled-back, and the store
+/// left behind is fully readable — entries written before the cancel
+/// replay as hits, everything else is a plain miss, never a corruption.
+#[test]
+fn cancel_during_cache_write_leaves_store_readable() {
+    let dir = chaos_cache_dir("cancel-write");
+    {
+        let mut e = gdp_engine(TargetKind::Native);
+        e.enable_disk_cache(&dir).unwrap();
+        let before = e.catalog.to_json().unwrap();
+        let guard = exl_fault::install(FaultPlan::cancel_once("cache.write"));
+        let err = e.run_all().unwrap_err();
+        assert!(matches!(err, EngineError::Cancelled { .. }), "{err}");
+        assert_eq!(guard.fired_count(), 1);
+        assert_eq!(e.catalog.to_json().unwrap(), before);
+    }
+    let _guard = exl_fault::install(FaultPlan::fail_once("chaos.unused"));
+    let mut e = gdp_engine(TargetKind::Native);
+    e.enable_disk_cache(&dir).unwrap();
+    let report = e.run_all().unwrap();
+    assert_eq!(
+        report.cache.corrupt_entries, 0,
+        "cancelled write poisoned the store: {:?}",
+        report.cache
+    );
+    assert_eq!(
+        report.cache.hits + report.cache.delta_hits + report.cache.misses,
+        5,
+        "{:?}",
+        report.cache
+    );
+    assert_gdp_reference(&e, "replay over cancel-interrupted store");
     std::fs::remove_dir_all(&dir).unwrap();
 }
