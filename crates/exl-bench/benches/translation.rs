@@ -36,6 +36,22 @@ fn bench_translation(c: &mut Criterion) {
         });
     }
     group.finish();
+
+    // the same execution with the flight recorder armed: the overhead
+    // guard — medians must stay within noise of the disarmed run above
+    // (`scripts/bench.sh` runs both; tests/tests/flight_overhead.rs pins
+    // the disarmed path to zero allocations)
+    let mut group = c.benchmark_group("B1/execute-native-recorder-armed");
+    group.sample_size(10);
+    exl_obs::flight::arm_default();
+    for depth in [5usize, 20, 80] {
+        let (analyzed, data) = chain_scenario(depth, 2000);
+        group.bench_with_input(BenchmarkId::from_parameter(depth), &depth, |b, _| {
+            b.iter(|| exl_eval::run_program(&analyzed, &data).unwrap())
+        });
+    }
+    exl_obs::flight::disarm();
+    group.finish();
 }
 
 criterion_group!(benches, bench_translation);

@@ -18,6 +18,10 @@
 //! exlc explain <program.exl> <data.json|dir> <cube>
 //!                                          run traced, then print the
 //!                                          derivation chain of one cube
+//! exlc perf <ledger-dir> [--threshold <x>] [--min-runs <n>]
+//!                                          judge the latest run of each
+//!                                          statement against its ledger
+//!                                          baseline; exit 1 on regression
 //! ```
 //!
 //! The global option `--metrics <path>` (before or after the subcommand)
@@ -58,6 +62,22 @@
 //!   are skipped, and a one-line hit/miss summary is printed to stderr;
 //! * `--no-cache` — force a cold run; overrides `--cache-dir`.
 //!
+//! Observability options for `run`/`explain` (see
+//! `docs/OBSERVABILITY.md`; the full flag table is in the README):
+//!
+//! * `--metrics-prom <path>` — write the metrics registry in Prometheus
+//!   text exposition format when the command finishes;
+//! * `--bundle-dir <dir>` — arm the flight recorder; any failed run
+//!   dumps a crash bundle (event tail, metrics, governance state,
+//!   per-subgraph statuses) into `<dir>` and prints its path to stderr;
+//! * `--ledger-dir <dir>` — append one JSONL record per run to
+//!   `<dir>/ledger.jsonl`, the input of `exlc perf`;
+//! * `--inject-fault <site>:<nth>:<action>[:<arg>]` — chaos-testing
+//!   hook: arm one deterministic fault (action `error`, `panic`,
+//!   `cancel`, `delay:<ms>`, or `mem:<bytes>`; `nth` = 0 arms every
+//!   occurrence) for the duration of the run. Used by `scripts/check.sh`
+//!   to validate crash bundles end to end.
+//!
 //! `data.json` holds `{ "CUBE": [ [[dims…], measure], … ], … }` — dimension
 //! values use the serde encoding of `exl_model::DimValue`. CSV files use the
 //! flat format of `exl_model::csv` (header = dimensions + measure).
@@ -78,15 +98,14 @@ macro_rules! out {
 
 use std::sync::Arc;
 
-use exl_engine::{
-    translate, DispatchPolicy, ExlEngine, LineageReport, ProgressSink, SubgraphStatus, TargetKind,
-};
+use exl_engine::{translate, DispatchPolicy, ExlEngine, LineageReport, ProgressSink, TargetKind};
 use exl_model::{Cube, CubeData, Dataset, DimTuple};
 use exl_obs::{MetricsRegistry, NoopRecorder, Recorder, Tracer};
 
 /// Everything pulled off the command line before the subcommand runs.
 struct Globals {
     metrics_path: Option<String>,
+    metrics_prom: Option<String>,
     trace_path: Option<String>,
     progress: bool,
     policy: Option<DispatchPolicy>,
@@ -94,6 +113,9 @@ struct Globals {
     no_cache: bool,
     run_deadline_ms: Option<u64>,
     max_memory_mb: Option<u64>,
+    bundle_dir: Option<String>,
+    ledger_dir: Option<String>,
+    inject_fault: Option<String>,
 }
 
 /// The process-wide external cancellation token. SIGINT cancels it; every
@@ -149,6 +171,7 @@ fn main() -> ExitCode {
     // than a lost run later
     for (path, what) in [
         (&globals.metrics_path, "metrics"),
+        (&globals.metrics_prom, "prometheus metrics"),
         (&globals.trace_path, "trace"),
     ] {
         if let Some(path) = path {
@@ -163,13 +186,31 @@ fn main() -> ExitCode {
             }
         }
     }
+    // same fail-fast discipline for the observability directories
+    for (dir, what) in [
+        (&globals.bundle_dir, "bundle"),
+        (&globals.ledger_dir, "ledger"),
+    ] {
+        if let Some(dir) = dir {
+            if let Err(e) = probe_dir_writable(dir) {
+                eprintln!("exlc: {what} dir {dir} is not writable: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    // crash bundles embed a metrics snapshot and ledger records carry
+    // cache/throughput counters, so both sinks want a live registry
+    let want_metrics = globals.metrics_path.is_some()
+        || globals.metrics_prom.is_some()
+        || globals.bundle_dir.is_some()
+        || globals.ledger_dir.is_some();
     let registry = Arc::new(MetricsRegistry::new());
-    let recorder: &dyn Recorder = if globals.metrics_path.is_some() {
+    let recorder: &dyn Recorder = if want_metrics {
         registry.as_ref()
     } else {
         &NoopRecorder
     };
-    let metrics = globals.metrics_path.is_some().then_some(&registry);
+    let metrics = want_metrics.then_some(&registry);
     let tracer = if globals.trace_path.is_some() {
         Tracer::new()
     } else {
@@ -179,6 +220,12 @@ fn main() -> ExitCode {
     if let Some(path) = &globals.metrics_path {
         if let Err(e) = std::fs::write(path, registry.to_json()) {
             eprintln!("exlc: cannot write metrics to {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    if let Some(path) = &globals.metrics_prom {
+        if let Err(e) = std::fs::write(path, registry.to_prometheus_text()) {
+            eprintln!("exlc: cannot write prometheus metrics to {path}: {e}");
             return ExitCode::FAILURE;
         }
     }
@@ -220,8 +267,13 @@ fn extract_globals(args: &mut Vec<String>) -> Result<Globals, String> {
         ),
         None => None,
     };
+    let metrics_prom = extract_value_flag(args, "--metrics-prom")?;
+    let bundle_dir = extract_value_flag(args, "--bundle-dir")?;
+    let ledger_dir = extract_value_flag(args, "--ledger-dir")?;
+    let inject_fault = extract_value_flag(args, "--inject-fault")?;
     Ok(Globals {
         metrics_path,
+        metrics_prom,
         trace_path,
         progress,
         policy,
@@ -229,6 +281,9 @@ fn extract_globals(args: &mut Vec<String>) -> Result<Globals, String> {
         no_cache,
         run_deadline_ms,
         max_memory_mb,
+        bundle_dir,
+        ledger_dir,
+        inject_fault,
     })
 }
 
@@ -292,6 +347,45 @@ fn extract_bool_flag(args: &mut Vec<String>, flag: &str) -> Result<bool, String>
     Ok(true)
 }
 
+/// Create `dir` if needed and prove it is writable by round-tripping a
+/// probe file — the same fail-fast discipline as the flat output paths.
+fn probe_dir_writable(dir: &str) -> std::io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    let probe = std::path::Path::new(dir).join(format!(".exlc-probe-{}", std::process::id()));
+    std::fs::write(&probe, b"probe")?;
+    std::fs::remove_file(&probe)
+}
+
+/// Parse an `--inject-fault` spec: `<site>:<nth>:<action>[:<arg>]` where
+/// the action is `error`, `panic`, `cancel`, `delay:<ms>` or
+/// `mem:<bytes>`, and `nth` is 1-based (0 = every occurrence).
+fn parse_fault_plan(spec: &str) -> Result<exl_fault::FaultPlan, String> {
+    let bad = |why: &str| {
+        format!("bad --inject-fault spec `{spec}`: {why} (want <site>:<nth>:<action>[:<arg>])")
+    };
+    let parts: Vec<&str> = spec.split(':').collect();
+    let [site, nth, action @ ..] = parts.as_slice() else {
+        return Err(bad("too few fields"));
+    };
+    if site.is_empty() {
+        return Err(bad("empty site"));
+    }
+    let nth: u64 = nth.parse().map_err(|_| bad("nth is not a number"))?;
+    let action = match action {
+        ["error"] => exl_fault::FaultAction::Error,
+        ["panic"] => exl_fault::FaultAction::Panic,
+        ["cancel"] => exl_fault::FaultAction::Cancel,
+        ["delay", ms] => {
+            exl_fault::FaultAction::Delay(ms.parse().map_err(|_| bad("delay wants <ms>"))?)
+        }
+        ["mem", bytes] => exl_fault::FaultAction::MemPressure(
+            bytes.parse().map_err(|_| bad("mem wants <bytes>"))?,
+        ),
+        _ => return Err(bad("unknown action")),
+    };
+    Ok(exl_fault::FaultPlan::one(site, nth, action))
+}
+
 fn run(
     args: &[String],
     recorder: &dyn Recorder,
@@ -299,10 +393,12 @@ fn run(
     globals: &Globals,
     tracer: &Tracer,
 ) -> Result<(), String> {
-    let usage = "usage: exlc [--metrics <path>] [--trace <path>] [--progress] [--retries <n>] \
+    let usage = "usage: exlc [--metrics <path>] [--metrics-prom <path>] [--trace <path>] \
+                 [--progress] [--retries <n>] \
                  [--subgraph-timeout-ms <n>] [--keep-going] [--cache-dir <dir>] [--no-cache] \
                  [--run-deadline-ms <n>] [--max-memory-mb <n>] \
-                 <check|tgds|translate|run|explain> …  (see crate docs)";
+                 [--bundle-dir <dir>] [--ledger-dir <dir>] [--inject-fault <spec>] \
+                 <check|tgds|translate|run|explain|perf> …  (see crate docs)";
     match args {
         [cmd, rest @ ..] => match cmd.as_str() {
             "check" => check(rest, recorder),
@@ -310,6 +406,7 @@ fn run(
             "translate" => do_translate(rest, recorder),
             "run" => do_run(rest, recorder, metrics, globals, tracer),
             "explain" => explain(rest, recorder, metrics, globals, tracer),
+            "perf" => perf(rest),
             other => Err(format!("unknown command `{other}`\n{usage}")),
         },
         _ => Err(usage.to_string()),
@@ -437,14 +534,7 @@ fn build_engine(
     }
     if globals.progress {
         e.progress = Some(ProgressSink::new(|ev| {
-            let status = match ev.status {
-                SubgraphStatus::Computed => "computed",
-                SubgraphStatus::Cached => "cached",
-                SubgraphStatus::Failed => "failed",
-                SubgraphStatus::Skipped => "skipped",
-                SubgraphStatus::Cancelled => "cancelled",
-                SubgraphStatus::BudgetExceeded => "budget-exceeded",
-            };
+            let status = ev.status.name();
             let cubes: Vec<String> = ev.cubes.iter().map(|c| c.to_string()).collect();
             eprintln!(
                 "exlc: [{}/{}] {status} {} on {}",
@@ -459,6 +549,12 @@ fn build_engine(
         if let Some(dir) = &globals.cache_dir {
             e.enable_disk_cache(dir).map_err(|e| e.to_string())?;
         }
+    }
+    if let Some(dir) = &globals.bundle_dir {
+        e.set_bundle_dir(dir).map_err(|e| e.to_string())?;
+    }
+    if let Some(dir) = &globals.ledger_dir {
+        e.set_ledger_dir(dir).map_err(|e| e.to_string())?;
     }
     e.govern = govern_config(globals);
     e.register_program("main", &source)
@@ -495,15 +591,30 @@ fn do_run(
         .as_ref()
         .is_some_and(|policy| policy.keep_going);
 
+    // chaos injection: hold the installed plan for the whole run so
+    // every backend sees it
+    let _fault_guard = match &globals.inject_fault {
+        Some(spec) => Some(exl_fault::install(parse_fault_plan(spec)?)),
+        None => None,
+    };
     let mut result: BTreeMap<String, JsonCube> = BTreeMap::new();
     let use_cache = globals.cache_dir.is_some() && !globals.no_cache;
-    if globals.trace_path.is_some() || globals.progress || use_cache {
-        // tracing, progress, or the run cache asked for: run through the
-        // full engine so per-subgraph dispatch (and cache resolution) is
-        // real
+    let use_engine = globals.trace_path.is_some()
+        || globals.progress
+        || use_cache
+        || globals.bundle_dir.is_some()
+        || globals.ledger_dir.is_some();
+    if use_engine {
+        // tracing, progress, the run cache, or an observability sink
+        // asked for: run through the full engine so per-subgraph
+        // dispatch (and cache resolution) is real
         let mut e = build_engine(path, &analyzed, &input, metrics, globals, tracer)?;
         e.default_target = target;
-        let report = e.run_all().map_err(|e| e.to_string())?;
+        let run_result = e.run_all();
+        if let Some(bundle) = e.last_bundle() {
+            eprintln!("exlc: crash bundle written to {}", bundle.display());
+        }
+        let report = run_result.map_err(|e| e.to_string())?;
         if use_cache {
             eprintln!(
                 "exlc: cache: {} hit, {} delta, {} miss ({} stored)",
@@ -586,4 +697,88 @@ fn explain(
     let report = LineageReport::from_trace(&tracer.snapshot(), e.graph());
     out!("{}", report.chain_text(&id).trim_end());
     Ok(())
+}
+
+/// `exlc perf <ledger-dir> [--threshold <x>] [--min-runs <n>]` — the
+/// perf-regression sentinel. Reads the run ledger, computes per-
+/// (program, statement) baselines and exits non-zero when the latest
+/// sample regressed beyond the threshold, so CI can gate on it.
+fn perf(args: &[String]) -> Result<(), String> {
+    let mut args = args.to_vec();
+    let mut config = exl_engine::ledger::SentinelConfig::default();
+    if let Some(v) = extract_value_flag(&mut args, "--threshold")? {
+        config.threshold = v
+            .parse::<f64>()
+            .map_err(|e| format!("bad --threshold {v}: {e}"))?;
+        if !config.threshold.is_finite() || config.threshold <= 1.0 {
+            return Err(format!("bad --threshold {v}: want a finite ratio > 1"));
+        }
+    }
+    if let Some(v) = extract_value_flag(&mut args, "--min-runs")? {
+        config.min_runs = v
+            .parse::<usize>()
+            .map_err(|e| format!("bad --min-runs {v}: {e}"))?;
+    }
+    let [dir] = args.as_slice() else {
+        return Err("usage: exlc perf <ledger-dir> [--threshold <x>] [--min-runs <n>]".into());
+    };
+    let (records, skipped) =
+        exl_engine::ledger::read_ledger(std::path::Path::new(dir)).map_err(|e| e.to_string())?;
+    if skipped > 0 {
+        eprintln!("exlc: perf: skipped {skipped} unreadable ledger line(s)");
+    }
+    if records.is_empty() {
+        out!("perf: ledger in {dir} is empty; nothing to judge");
+        return Ok(());
+    }
+    let baselines = exl_engine::ledger::analyze(&records, &config);
+    out!(
+        "perf: {} run(s), {} statement group(s), threshold {:.2}x over ≥{} run(s)",
+        records.len(),
+        baselines.len(),
+        config.threshold,
+        config.min_runs
+    );
+    out!(
+        "{:<10} {:<28} {:>5} {:>10} {:>10} {:>10} {:>7}",
+        "program",
+        "statement",
+        "runs",
+        "median ms",
+        "p95 ms",
+        "latest ms",
+        "ratio"
+    );
+    let mut regressions = Vec::new();
+    for b in &baselines {
+        let program = &b.program[..b.program.len().min(10)];
+        let flag = if b.regressed { "  REGRESSED" } else { "" };
+        out!(
+            "{:<10} {:<28} {:>5} {:>10.2} {:>10.2} {:>10.2} {:>6.2}x{flag}",
+            program,
+            b.statement,
+            b.history_runs,
+            b.median_ms,
+            b.p95_ms,
+            b.latest_ms,
+            b.ratio
+        );
+        if b.regressed {
+            regressions.push(format!(
+                "{} [{}]: {:.2} ms vs median {:.2} ms ({:.2}x)",
+                b.statement, program, b.latest_ms, b.median_ms, b.ratio
+            ));
+        }
+    }
+    if regressions.is_empty() {
+        out!("perf: no regressions");
+        Ok(())
+    } else {
+        Err(format!(
+            "perf: {} regression(s) beyond {:.2}x:\n  {}",
+            regressions.len(),
+            config.threshold,
+            regressions.join("\n  ")
+        ))
+    }
 }

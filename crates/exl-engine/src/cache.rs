@@ -408,6 +408,17 @@ impl RunCache {
         self.cube(out_fp)
     }
 
+    /// Count one corrupt (or unreadable) disk entry and leave a trace in
+    /// the flight recorder's event ring.
+    fn note_corrupt(&mut self, kind: &str, fp: Fingerprint, why: &str) {
+        self.stats.corrupt_entries += 1;
+        exl_obs::flight::record_with(
+            exl_obs::flight::FlightKind::CacheCorrupt,
+            "cache.read",
+            || format!("{kind}/{fp}: {why}"),
+        );
+    }
+
     /// A cube from the content-addressed store (memory, then disk).
     fn cube(&mut self, fp: Fingerprint) -> Option<CubeData> {
         if let Some(c) = self.cubes.get(&fp) {
@@ -417,7 +428,7 @@ impl RunCache {
         // a stored cube must hash to its own name; anything else is a
         // truncated or tampered entry
         if Fingerprint::of_cube(&disk.cube) != fp {
-            self.stats.corrupt_entries += 1;
+            self.note_corrupt("cubes", fp, "content hash mismatch");
             return None;
         }
         self.cubes.insert(fp, disk.cube.clone());
@@ -443,7 +454,7 @@ impl RunCache {
     ) -> Option<T> {
         let path = self.entry_path(kind, fp)?;
         if exl_fault::check("cache.read").is_err() {
-            self.stats.corrupt_entries += 1;
+            self.note_corrupt(kind, fp, "injected read fault");
             return None;
         }
         if !path.exists() {
@@ -452,14 +463,14 @@ impl RunCache {
         let text = match std::fs::read_to_string(&path) {
             Ok(t) => t,
             Err(_) => {
-                self.stats.corrupt_entries += 1;
+                self.note_corrupt(kind, fp, "unreadable");
                 return None;
             }
         };
         match serde_json::from_str::<T>(&text) {
             Ok(v) if v.version() == CACHE_VERSION => Some(v),
             _ => {
-                self.stats.corrupt_entries += 1;
+                self.note_corrupt(kind, fp, "unparsable or version mismatch");
                 None
             }
         }

@@ -92,6 +92,15 @@ pub struct ExlEngine {
     /// [`ExlEngine::enable_disk_cache`]. When `None` every statement is
     /// recomputed from scratch (cold semantics).
     cache: Option<RunCache>,
+    /// Crash-bundle directory, armed via [`ExlEngine::set_bundle_dir`].
+    /// When set, every failed run dumps a bundle there (and arming it
+    /// arms the process-global flight recorder).
+    bundle_dir: Option<std::path::PathBuf>,
+    /// Run-ledger directory, armed via [`ExlEngine::set_ledger_dir`].
+    /// When set, every run appends one JSONL record there.
+    ledger_dir: Option<std::path::PathBuf>,
+    /// Path of the most recently written crash bundle, if any.
+    last_bundle: Option<std::path::PathBuf>,
 }
 
 /// What happened to one subgraph during a run.
@@ -114,6 +123,12 @@ pub struct SubgraphReport {
     /// Statement-level cache resolution counts (all zero when the run
     /// cache is disabled).
     pub cache: StmtCacheCounts,
+    /// Wall-clock time this subgraph spent executing (cache resolution
+    /// included; 0 for skipped subgraphs).
+    pub wall_nanos: u64,
+    /// Total rows across the cubes this subgraph produced (0 when it
+    /// produced none).
+    pub rows_out: u64,
 }
 
 /// Report of one recomputation run.
@@ -141,6 +156,19 @@ pub struct RunReport {
     pub cache: CacheStats,
 }
 
+/// What the observability sinks need from a run, collected even when the
+/// run aborts. Unlike [`RunReport`], which an aborted run never returns,
+/// this survives the error path — crash bundles and ledger records are
+/// built from it.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct RunObservation {
+    /// Per-subgraph reports seen so far, the aborting subgraph's failing
+    /// report included.
+    pub(crate) subgraphs: Vec<SubgraphReport>,
+    /// Dispatch stages of the run's plan.
+    pub(crate) stages: usize,
+}
+
 impl Default for ExlEngine {
     fn default() -> Self {
         ExlEngine {
@@ -154,6 +182,9 @@ impl Default for ExlEngine {
             tracer: exl_obs::Tracer::disabled(),
             progress: None,
             cache: None,
+            bundle_dir: None,
+            ledger_dir: None,
+            last_bundle: None,
         }
     }
 }
@@ -293,6 +324,73 @@ impl ExlEngine {
     /// via [`ExlEngine::enable_metrics`].
     pub fn set_metrics_registry(&mut self, registry: Arc<MetricsRegistry>) {
         self.metrics = Some(registry);
+    }
+
+    /// Arm crash-bundle dumping: any subsequent run that fails (aborts
+    /// with an error, or degrades under
+    /// [`DispatchPolicy::keep_going`](crate::DispatchPolicy)) writes one
+    /// self-describing JSON bundle — the flight recorder's event tail, a
+    /// metrics snapshot, governance state, and per-subgraph statuses —
+    /// into `dir`. Arming the bundle dir also arms the process-global
+    /// [`exl_obs::flight`] recorder so the event tail is populated.
+    pub fn set_bundle_dir(
+        &mut self,
+        dir: impl Into<std::path::PathBuf>,
+    ) -> Result<(), EngineError> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir).map_err(|e| {
+            EngineError::Persistence(format!("cannot create bundle dir {}: {e}", dir.display()))
+        })?;
+        exl_obs::flight::arm_default();
+        self.bundle_dir = Some(dir);
+        Ok(())
+    }
+
+    /// The crash bundle written by the most recent failed run, if any.
+    pub fn last_bundle(&self) -> Option<&std::path::Path> {
+        self.last_bundle.as_deref()
+    }
+
+    /// Arm the run ledger: every subsequent run — successful or not —
+    /// appends one JSONL record (program/input fingerprints, per-statement
+    /// wall times, cache counts, throughput, status) to
+    /// `<dir>/ledger.jsonl`. `exlc perf` mines these records for
+    /// per-statement performance baselines.
+    pub fn set_ledger_dir(
+        &mut self,
+        dir: impl Into<std::path::PathBuf>,
+    ) -> Result<(), EngineError> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir).map_err(|e| {
+            EngineError::Persistence(format!("cannot create ledger dir {}: {e}", dir.display()))
+        })?;
+        self.ledger_dir = Some(dir);
+        Ok(())
+    }
+
+    /// Content fingerprint of the registered program set: the canonical
+    /// text of every statement in the global graph, in graph order. Two
+    /// engines running the same programs share it regardless of data, so
+    /// ledger baselines survive process restarts.
+    pub fn program_fingerprint(&self) -> exl_model::fingerprint::Fingerprint {
+        let mut b = exl_model::fingerprint::FingerprintBuilder::new("exl.program.v1");
+        for stmt in self.graph.statements() {
+            b.push_str(&exl_lang::pretty::statement_to_string(stmt));
+        }
+        b.finish()
+    }
+
+    /// Content fingerprint of one run's inputs: the changed cube ids and
+    /// the current contents of each.
+    pub fn inputs_fingerprint(&self, changed: &[CubeId]) -> exl_model::fingerprint::Fingerprint {
+        let mut b = exl_model::fingerprint::FingerprintBuilder::new("exl.inputs.v1");
+        for id in changed {
+            b.push_str(id.as_str());
+            if let Some(data) = self.catalog.current(id) {
+                b.push(exl_model::fingerprint::Fingerprint::of_cube(data));
+            }
+        }
+        b.finish()
     }
 
     /// Register an EXL program: parse, analyze against the catalog's
@@ -496,13 +594,19 @@ impl ExlEngine {
         // over a fresh budget), installed as the dispatching thread's
         // ambient governor for the duration of the run
         let run_governor = self.govern.run_governor();
-        let mut report = {
+        let started = std::time::Instant::now();
+        // observability collected alongside the report, surviving aborts
+        let mut obs = RunObservation::default();
+        exl_obs::flight::record_with(exl_obs::flight::FlightKind::Run, "engine.run", || {
+            format!("start: {} changed cube(s)", changed.len())
+        });
+        let mut result = {
             let _run_span = exl_obs::span(recorder, "engine.recompute");
             let run_span = tracer.root("run");
             run_span.set_attr("changed", changed.len() as u64);
             let result = {
                 let _governor = crate::govern::set_governor(run_governor.clone());
-                self.recompute_recorded(changed, registry.as_ref(), recorder, &run_span)
+                self.recompute_recorded(changed, registry.as_ref(), recorder, &run_span, &mut obs)
             };
             // governance observability: peak accounted memory, whether
             // the run was cancelled, and why
@@ -531,12 +635,67 @@ impl ExlEngine {
                     run_span.add_event(e.to_string());
                 }
             }
-            result?
+            result
         };
-        if let Some(registry) = &registry {
+        let wall = started.elapsed();
+        if let (Some(registry), Ok(report)) = (&registry, result.as_mut()) {
             report.metrics = registry.snapshot();
         }
-        Ok(report)
+        exl_obs::flight::record_with(exl_obs::flight::FlightKind::Run, "engine.run", || {
+            match &result {
+                Ok(r) if r.failed.is_empty() => "end: ok".to_string(),
+                Ok(r) => format!("end: degraded, {} failed cube(s)", r.failed.len()),
+                Err(e) => format!("end: {e}"),
+            }
+        });
+        self.finish_run_observability(changed, &result, &obs, &run_governor, wall);
+        result
+    }
+
+    /// After a run: dump a crash bundle when it failed (and a bundle dir
+    /// is armed) and append the run's ledger record (when a ledger dir is
+    /// armed). Sink failures are reported on stderr, never as run errors
+    /// — observability must not fail an otherwise sound run.
+    fn finish_run_observability(
+        &mut self,
+        changed: &[CubeId],
+        result: &Result<RunReport, EngineError>,
+        obs: &RunObservation,
+        governor: &crate::govern::Governor,
+        wall: std::time::Duration,
+    ) {
+        let failed = match result {
+            Err(_) => true,
+            Ok(r) => !r.failed.is_empty(),
+        };
+        if failed {
+            if let Some(dir) = self.bundle_dir.clone() {
+                match crate::bundle::write_crash_bundle(
+                    &dir,
+                    result,
+                    obs,
+                    governor,
+                    &self.govern,
+                    self.metrics.as_deref(),
+                ) {
+                    Ok(path) => self.last_bundle = Some(path),
+                    Err(e) => eprintln!("exl-engine: crash bundle not written: {e}"),
+                }
+            }
+        }
+        if let Some(dir) = self.ledger_dir.clone() {
+            let record = crate::ledger::LedgerRecord::of_run(
+                self.program_fingerprint(),
+                self.inputs_fingerprint(changed),
+                result,
+                obs,
+                governor,
+                wall,
+            );
+            if let Err(e) = crate::ledger::append(&dir, &record) {
+                eprintln!("exl-engine: ledger record not written: {e}");
+            }
+        }
     }
 
     fn recompute_recorded(
@@ -545,11 +704,12 @@ impl ExlEngine {
         registry: Option<&Arc<MetricsRegistry>>,
         recorder: &dyn Recorder,
         run_span: &exl_obs::Span,
+        obs: &mut RunObservation,
     ) -> Result<RunReport, EngineError> {
         // move the cache out of `self` for the duration of the run so the
         // dispatcher can consult it mutably while borrowing the catalog
         let mut cache = self.cache.take();
-        let result = self.recompute_inner(changed, registry, recorder, run_span, &mut cache);
+        let result = self.recompute_inner(changed, registry, recorder, run_span, &mut cache, obs);
         self.cache = cache;
         result
     }
@@ -561,6 +721,7 @@ impl ExlEngine {
         recorder: &dyn Recorder,
         run_span: &exl_obs::Span,
         cache: &mut Option<RunCache>,
+        obs: &mut RunObservation,
     ) -> Result<RunReport, EngineError> {
         let cache_io_start = cache.as_ref().map(|c| c.stats()).unwrap_or_default();
         let translated = {
@@ -598,6 +759,7 @@ impl ExlEngine {
         let subgraphs: Vec<Subgraph> = translated.iter().map(|(s, _, _)| s.clone()).collect();
         let stages = self.graph.stages(&subgraphs);
         recorder.incr_counter("engine.stages", stages.len() as u64);
+        obs.stages = stages.len();
 
         let mut report = RunReport {
             stages: stages.len(),
@@ -632,8 +794,14 @@ impl ExlEngine {
             stage_span.set_attr("index", stage_no as u64);
             stage_span.set_attr("subgraphs", stage.len() as u64);
             // each subgraph's inputs are satisfied by earlier stages
-            let mut results: Vec<(usize, Result<exl_model::Dataset, EngineError>, Vec<Attempt>)> =
-                Vec::with_capacity(stage.len());
+            // (subgraph index, outcome, attempts, wall nanos)
+            type JobResult = (
+                usize,
+                Result<exl_model::Dataset, EngineError>,
+                Vec<Attempt>,
+                u64,
+            );
+            let mut results: Vec<JobResult> = Vec::with_capacity(stage.len());
             let mut jobs: Vec<(usize, exl_model::Dataset, Vec<CubeId>, exl_obs::Span)> = Vec::new();
             for &si in stage {
                 let (sub, code, fallback) = &translated[si];
@@ -648,14 +816,18 @@ impl ExlEngine {
                     recorder.incr_counter("engine.subgraphs_skipped", 1);
                     poisoned.extend(wanted.iter().cloned());
                     report.skipped.extend(wanted.iter().cloned());
-                    sub_reports[si] = Some(self.make_report(
+                    let r = self.make_report(
                         si,
                         &translated,
                         SubgraphStatus::Skipped,
                         Vec::new(),
                         None,
                         StmtCacheCounts::default(),
-                    ));
+                        0,
+                        0,
+                    );
+                    obs.subgraphs.push(r.clone());
+                    sub_reports[si] = Some(r);
                     self.emit_progress(
                         &mut done_subgraphs,
                         total_subgraphs,
@@ -678,11 +850,17 @@ impl ExlEngine {
                                 sub.target
                             };
                             let stmts = self.statements_of(sub);
+                            let resolve_started = std::time::Instant::now();
                             if let Some((outputs, counts)) =
                                 c.resolve_statements(&stmts, effective, &prepared, &|id| {
                                     self.catalog.schema(id).cloned()
                                 })
                             {
+                                let wall_nanos =
+                                    u64::try_from(resolve_started.elapsed().as_nanos())
+                                        .unwrap_or(u64::MAX);
+                                let rows_out: u64 =
+                                    outputs.iter().map(|(_, d)| d.len() as u64).sum();
                                 // a subgraph with inline-evaluated dirty
                                 // statements still computed something: only
                                 // a fully cache-served one reports Cached
@@ -704,6 +882,25 @@ impl ExlEngine {
                                 recorder.incr_counter("cache.hits", counts.hits);
                                 recorder.incr_counter("cache.delta_hits", counts.delta_hits);
                                 recorder.incr_counter("cache.misses", counts.misses);
+                                if exl_obs::flight::is_armed() {
+                                    let site = join_ids(&wanted);
+                                    for (kind, n) in [
+                                        (exl_obs::flight::FlightKind::CacheHit, counts.hits),
+                                        (
+                                            exl_obs::flight::FlightKind::CacheDelta,
+                                            counts.delta_hits,
+                                        ),
+                                        (exl_obs::flight::FlightKind::CacheMiss, counts.misses),
+                                    ] {
+                                        if n > 0 {
+                                            exl_obs::flight::record(
+                                                kind,
+                                                &site,
+                                                format!("{n} statement(s)"),
+                                            );
+                                        }
+                                    }
+                                }
                                 report.cache.hits += counts.hits;
                                 report.cache.delta_hits += counts.delta_hits;
                                 report.cache.misses += counts.misses;
@@ -712,14 +909,18 @@ impl ExlEngine {
                                     commit_order.push(id.clone());
                                     report.computed.push(id);
                                 }
-                                sub_reports[si] = Some(self.make_report(
+                                let r = self.make_report(
                                     si,
                                     &translated,
                                     status,
                                     Vec::new(),
                                     None,
                                     counts,
-                                ));
+                                    wall_nanos,
+                                    rows_out,
+                                );
+                                obs.subgraphs.push(r.clone());
+                                sub_reports[si] = Some(r);
                                 self.emit_progress(
                                     &mut done_subgraphs,
                                     total_subgraphs,
@@ -737,7 +938,7 @@ impl ExlEngine {
                     Err(e) => {
                         span.set_attr("status", "failed");
                         span.add_event(e.to_string());
-                        results.push((si, Err(e), Vec::new()));
+                        results.push((si, Err(e), Vec::new(), 0));
                     }
                 }
             }
@@ -757,11 +958,14 @@ impl ExlEngine {
                                 let _governor = ambient
                                     .as_ref()
                                     .map(|g| crate::govern::set_governor(g.child()));
+                                let job_started = std::time::Instant::now();
                                 let (r, attempts) = run_supervised_traced(
                                     code, native, &input, &wanted, policy, registry, &span,
                                 );
+                                let wall = u64::try_from(job_started.elapsed().as_nanos())
+                                    .unwrap_or(u64::MAX);
                                 finish_subgraph_span(&span, &r, &attempts, &wanted);
-                                (si, r, attempts)
+                                (si, r, attempts, wall)
                             })
                         })
                         .collect();
@@ -779,6 +983,7 @@ impl ExlEngine {
                                         message,
                                     }),
                                     Vec::new(),
+                                    0,
                                 )
                             })
                         })
@@ -792,6 +997,7 @@ impl ExlEngine {
                     // cancels and subgraph deadlines to this subgraph
                     let _governor =
                         crate::govern::governor().map(|g| crate::govern::set_governor(g.child()));
+                    let job_started = std::time::Instant::now();
                     let (r, attempts) = run_supervised_traced(
                         code,
                         natives[si].as_ref(),
@@ -801,14 +1007,15 @@ impl ExlEngine {
                         registry,
                         &span,
                     );
+                    let wall = u64::try_from(job_started.elapsed().as_nanos()).unwrap_or(u64::MAX);
                     finish_subgraph_span(&span, &r, &attempts, &wanted);
-                    results.push((si, r, attempts));
+                    results.push((si, r, attempts, wall));
                 }
             }
             // stage the results (dispatch order) — nothing touches the
             // catalog yet
-            results.sort_by_key(|(si, _, _)| *si);
-            for (si, outcome, attempts) in results {
+            results.sort_by_key(|(si, _, _, _)| *si);
+            for (si, outcome, attempts, wall_nanos) in results {
                 if si == usize::MAX {
                     // dispatcher-side panic: not attributable to a
                     // subgraph, always fatal
@@ -840,6 +1047,11 @@ impl ExlEngine {
                             counts.misses = items.len() as u64;
                             report.cache.misses += counts.misses;
                             recorder.incr_counter("cache.misses", counts.misses);
+                            exl_obs::flight::record_with(
+                                exl_obs::flight::FlightKind::CacheMiss,
+                                &join_ids(&wanted),
+                                || format!("{} statement(s) executed in full", counts.misses),
+                            );
                             // record the results for future runs — but only
                             // when the effective target actually produced
                             // them (a runtime-fallback result under another
@@ -864,19 +1076,24 @@ impl ExlEngine {
                                 }
                             }
                         }
+                        let rows_out: u64 = items.iter().map(|(_, d)| d.len() as u64).sum();
                         for (id, data) in items {
                             staged.insert(id.clone(), data);
                             commit_order.push(id.clone());
                             report.computed.push(id);
                         }
-                        sub_reports[si] = Some(self.make_report(
+                        let r = self.make_report(
                             si,
                             &translated,
                             SubgraphStatus::Computed,
                             attempts,
                             None,
                             counts,
-                        ));
+                            wall_nanos,
+                            rows_out,
+                        );
+                        obs.subgraphs.push(r.clone());
+                        sub_reports[si] = Some(r);
                         self.emit_progress(
                             &mut done_subgraphs,
                             total_subgraphs,
@@ -894,26 +1111,32 @@ impl ExlEngine {
                         // the report then shows the typed status.
                         let run_cancelled =
                             crate::govern::governor().is_some_and(|g| g.token().is_cancelled());
-                        if !policy.keep_going || (e.is_governance() && run_cancelled) {
-                            recorder.incr_counter("engine.rollbacks", 1);
-                            return Err(e);
-                        }
                         let status = match &e {
                             EngineError::Cancelled { .. } => SubgraphStatus::Cancelled,
                             EngineError::BudgetExceeded { .. } => SubgraphStatus::BudgetExceeded,
                             _ => SubgraphStatus::Failed,
                         };
-                        recorder.incr_counter("engine.subgraphs_failed", 1);
-                        poisoned.extend(wanted.iter().cloned());
-                        report.failed.extend(wanted.iter().cloned());
-                        sub_reports[si] = Some(self.make_report(
+                        let r = self.make_report(
                             si,
                             &translated,
                             status,
                             attempts,
                             Some(e.to_string()),
                             StmtCacheCounts::default(),
-                        ));
+                            wall_nanos,
+                            0,
+                        );
+                        // the failing subgraph's report reaches the crash
+                        // bundle even when the run aborts right here
+                        obs.subgraphs.push(r.clone());
+                        if !policy.keep_going || (e.is_governance() && run_cancelled) {
+                            recorder.incr_counter("engine.rollbacks", 1);
+                            return Err(e);
+                        }
+                        recorder.incr_counter("engine.subgraphs_failed", 1);
+                        poisoned.extend(wanted.iter().cloned());
+                        report.failed.extend(wanted.iter().cloned());
+                        sub_reports[si] = Some(r);
                         self.emit_progress(
                             &mut done_subgraphs,
                             total_subgraphs,
@@ -983,7 +1206,10 @@ impl ExlEngine {
         }
     }
 
-    /// Build one subgraph's report entry.
+    /// Build one subgraph's report entry. Called exactly once per
+    /// subgraph outcome, so it doubles as the flight recorder's
+    /// subgraph-completion hook.
+    #[allow(clippy::too_many_arguments)]
     fn make_report(
         &self,
         si: usize,
@@ -992,20 +1218,32 @@ impl ExlEngine {
         attempts: Vec<Attempt>,
         error: Option<String>,
         cache: StmtCacheCounts,
+        wall_nanos: u64,
+        rows_out: u64,
     ) -> SubgraphReport {
         let (sub, _, fallback) = &translated[si];
+        let target = if *fallback {
+            TargetKind::Native
+        } else {
+            sub.target
+        };
+        let cubes = self.targets_of(sub);
+        exl_obs::flight::record_with(exl_obs::flight::FlightKind::Subgraph, target.name(), || {
+            match &error {
+                Some(e) => format!("{}: {} ({e})", join_ids(&cubes), status.name()),
+                None => format!("{}: {}", join_ids(&cubes), status.name()),
+            }
+        });
         SubgraphReport {
-            target: if *fallback {
-                TargetKind::Native
-            } else {
-                sub.target
-            },
+            target,
             fallback: *fallback,
-            cubes: self.targets_of(sub),
+            cubes,
             status,
             attempts,
             error,
             cache,
+            wall_nanos,
+            rows_out,
         }
     }
 

@@ -71,6 +71,24 @@ impl EngineError {
         )
     }
 
+    /// Stable lowercase kind name, the `error.kind` field of crash
+    /// bundles and the `status` field of failed ledger records.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            EngineError::Lang(_) => "lang",
+            EngineError::Mapping(_) => "mapping",
+            EngineError::Translation(_) => "translation",
+            EngineError::Unsupported { .. } => "unsupported",
+            EngineError::Execution(_) => "execution",
+            EngineError::Timeout { .. } => "timeout",
+            EngineError::Panic { .. } => "panic",
+            EngineError::Catalog(_) => "catalog",
+            EngineError::Persistence(_) => "persistence",
+            EngineError::Cancelled { .. } => "cancelled",
+            EngineError::BudgetExceeded { .. } => "budget-exceeded",
+        }
+    }
+
     /// Whether this error is a governance stop (cancellation or budget
     /// exhaustion) rather than a backend failure.
     pub fn is_governance(&self) -> bool {

@@ -27,26 +27,36 @@
 //!   recomputation: statements whose text, target, schemas, and input
 //!   cube contents are unchanged are skipped (or patched by the delta
 //!   kernels), in memory and optionally across processes via a
-//!   versioned disk store.
+//!   versioned disk store;
+//! * [`bundle`] — crash bundles: on any failed run the engine dumps the
+//!   flight recorder's event tail, metrics, governance state, and
+//!   per-subgraph statuses into one self-describing JSON artifact;
+//! * [`ledger`] — the cross-run ledger (one JSONL record per run, with
+//!   fingerprints and per-statement wall times) and the perf-regression
+//!   sentinel that mines it for baselines (`exlc perf`).
 
 #![warn(missing_docs)]
 
+pub mod bundle;
 pub mod cache;
 pub mod catalog;
 pub mod determination;
 pub mod engine;
 pub mod error;
 pub mod govern;
+pub mod ledger;
 pub mod lineage;
 pub mod supervise;
 pub mod target;
 
+pub use bundle::{BundleEvent, BundleSubgraph, CrashBundle, BUNDLE_VERSION};
 pub use cache::{CacheStats, RunCache, StmtCacheCounts};
 pub use catalog::{Catalog, CubeMeta, CubeVersion};
 pub use determination::{GlobalGraph, Subgraph};
 pub use engine::{ExlEngine, ProgressEvent, ProgressSink, RunReport, SubgraphReport};
 pub use error::EngineError;
 pub use govern::{CancelToken, GovernConfig, GovernError, Governor, RunBudget};
+pub use ledger::{Baseline, LedgerRecord, LedgerStatement, SentinelConfig, LEDGER_VERSION};
 pub use lineage::{LineageReport, LineageStep};
 pub use supervise::{
     run_on_target_supervised, run_on_target_supervised_traced, run_supervised,

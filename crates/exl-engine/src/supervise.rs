@@ -115,6 +115,21 @@ pub enum SubgraphStatus {
     BudgetExceeded,
 }
 
+impl SubgraphStatus {
+    /// Stable lowercase name, shared by `exlc` output, the run ledger,
+    /// and the crash-bundle schema.
+    pub fn name(self) -> &'static str {
+        match self {
+            SubgraphStatus::Computed => "computed",
+            SubgraphStatus::Cached => "cached",
+            SubgraphStatus::Failed => "failed",
+            SubgraphStatus::Skipped => "skipped",
+            SubgraphStatus::Cancelled => "cancelled",
+            SubgraphStatus::BudgetExceeded => "budget-exceeded",
+        }
+    }
+}
+
 /// Execute translated code under the full fault boundary: panic
 /// containment, deadline, retry with backoff, and the native fallback
 /// chain. Returns the result together with the per-attempt history.
@@ -160,6 +175,11 @@ pub fn run_supervised_traced(
         Err(e) if e.is_retryable() && policy.runtime_fallback => match native {
             Some(native) => {
                 recorder.incr_counter("engine.runtime_fallbacks", 1);
+                exl_obs::flight::record_with(
+                    exl_obs::flight::FlightKind::Fallback,
+                    code.target_name(),
+                    || format!("runtime fallback to {}: {e}", native.target_name()),
+                );
                 trace.add_event(format!(
                     "runtime fallback: {} -> {}",
                     code.target_name(),
@@ -201,10 +221,20 @@ fn attempt_chain(
             Ok(_) => AttemptOutcome::Success,
             Err(EngineError::Panic { message, .. }) => {
                 recorder.incr_counter("engine.panics_caught", 1);
+                exl_obs::flight::record_with(
+                    exl_obs::flight::FlightKind::PanicCaught,
+                    target.name(),
+                    || message.clone(),
+                );
                 AttemptOutcome::Panicked(message.clone())
             }
-            Err(EngineError::Timeout { .. }) => {
+            Err(EngineError::Timeout { millis, .. }) => {
                 recorder.incr_counter("engine.timeouts", 1);
+                exl_obs::flight::record_with(
+                    exl_obs::flight::FlightKind::Timeout,
+                    target.name(),
+                    || format!("deadline of {millis} ms exceeded"),
+                );
                 AttemptOutcome::TimedOut
             }
             Err(e) => AttemptOutcome::Error(e.to_string()),
@@ -227,6 +257,11 @@ fn attempt_chain(
             Ok(ds) => return Ok(ds),
             Err(e) if e.is_retryable() && attempt < policy.retries => {
                 recorder.incr_counter("engine.retries", 1);
+                exl_obs::flight::record_with(
+                    exl_obs::flight::FlightKind::Retry,
+                    target.name(),
+                    || format!("attempt {} failed: {e}", attempt + 1),
+                );
                 let backoff = policy.backoff_base.saturating_mul(1 << attempt.min(16));
                 if !backoff.is_zero() {
                     std::thread::sleep(backoff);

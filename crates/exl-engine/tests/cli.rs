@@ -545,3 +545,183 @@ fn run_cache_dir_warms_across_processes() {
     assert_eq!(cold.stdout, off.stdout);
     std::fs::remove_dir_all(&dir).unwrap();
 }
+
+#[test]
+fn metrics_prom_flag_writes_prometheus_text() {
+    let p = write_tmp("prom.exl", PROGRAM);
+    let d = write_tmp("prom.json", RUN_DATA);
+    let m = std::env::temp_dir().join(format!("exlc-test-{}-metrics.prom", std::process::id()));
+    let out = exlc(&[
+        "--metrics-prom",
+        m.to_str().unwrap(),
+        "run",
+        p.to_str().unwrap(),
+        d.to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = std::fs::read_to_string(&m).unwrap();
+    assert!(
+        text.contains("# TYPE exl_lang_parse_spans_total counter"),
+        "{text}"
+    );
+    assert!(text.contains("exl_lang_parse_ns_total"), "{text}");
+    std::fs::remove_file(&m).unwrap();
+}
+
+#[test]
+fn unwritable_bundle_and_ledger_dirs_fail_before_running() {
+    let p = write_tmp("bval.exl", PROGRAM);
+    for flag in ["--bundle-dir", "--ledger-dir"] {
+        let out = exlc(&[flag, "/proc/nonexistent/dir", "check", p.to_str().unwrap()]);
+        assert!(!out.status.success(), "{flag}");
+        let stderr = String::from_utf8(out.stderr).unwrap();
+        assert!(stderr.contains("not writable"), "{flag}: {stderr}");
+        assert!(out.stdout.is_empty(), "{flag}");
+    }
+}
+
+/// The full observability loop at the process level: an injected panic
+/// writes a crash bundle (path announced on stderr), a clean run over
+/// the same directory writes nothing more.
+#[test]
+fn inject_fault_run_writes_a_crash_bundle() {
+    let p = write_tmp("bundle.exl", PROGRAM);
+    let d = write_tmp("bundle.json", RUN_DATA);
+    let dir = std::env::temp_dir().join(format!("exlc-bundle-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let out = exlc(&[
+        "--bundle-dir",
+        dir.to_str().unwrap(),
+        "--inject-fault",
+        "exec.native:1:panic",
+        "run",
+        p.to_str().unwrap(),
+        d.to_str().unwrap(),
+    ]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("crash bundle written to"), "{stderr}");
+    let bundles: Vec<_> = std::fs::read_dir(&dir).unwrap().collect();
+    assert_eq!(bundles.len(), 1);
+    let text = std::fs::read_to_string(bundles[0].as_ref().unwrap().path()).unwrap();
+    let bundle: exl_engine::CrashBundle = serde_json::from_str(&text).unwrap();
+    assert_eq!(bundle.error.kind, "panic");
+    assert_eq!(bundle.fault_sites, vec!["exec.native".to_string()]);
+    assert!(bundle.failing_subgraph.is_some());
+
+    // a clean run over the same directory adds nothing
+    let out = exlc(&[
+        "--bundle-dir",
+        dir.to_str().unwrap(),
+        "run",
+        p.to_str().unwrap(),
+        d.to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert_eq!(std::fs::read_dir(&dir).unwrap().count(), 1);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn bad_inject_fault_spec_is_rejected() {
+    let p = write_tmp("badfault.exl", PROGRAM);
+    let d = write_tmp("badfault.json", RUN_DATA);
+    for spec in [
+        "exec.native",
+        "exec.native:x:panic",
+        "exec.native:1:explode",
+    ] {
+        let out = exlc(&[
+            "--inject-fault",
+            spec,
+            "run",
+            p.to_str().unwrap(),
+            d.to_str().unwrap(),
+        ]);
+        assert!(!out.status.success(), "{spec}");
+        assert!(
+            String::from_utf8(out.stderr)
+                .unwrap()
+                .contains("--inject-fault"),
+            "{spec}"
+        );
+    }
+}
+
+/// `exlc perf` end to end: two real runs build a ledger, a planted 2×
+/// slowdown in a forged third record trips the sentinel with a non-zero
+/// exit, and the healthy ledger exits clean.
+#[test]
+fn perf_sentinel_detects_a_planted_slowdown() {
+    let p = write_tmp("perf.exl", PROGRAM);
+    let d = write_tmp("perf.json", RUN_DATA);
+    let dir = std::env::temp_dir().join(format!("exlc-perf-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    for _ in 0..3 {
+        let out = exlc(&[
+            "--ledger-dir",
+            dir.to_str().unwrap(),
+            "run",
+            p.to_str().unwrap(),
+            d.to_str().unwrap(),
+        ]);
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+    }
+    // healthy ledger: clean exit
+    let out = exlc(&["perf", dir.to_str().unwrap(), "--min-runs", "2"]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("no regressions"), "{stdout}");
+
+    // plant a 10x slowdown: clone the last record with inflated wall
+    // times, append it, and the sentinel must exit non-zero naming it
+    let path = dir.join("ledger.jsonl");
+    let text = std::fs::read_to_string(&path).unwrap();
+    let last = text.lines().last().unwrap();
+    let mut rec: exl_engine::LedgerRecord = serde_json::from_str(last).unwrap();
+    rec.statements[0].wall_ms *= 10.0;
+    let forged = serde_json::to_string(&rec).unwrap();
+    std::fs::write(&path, format!("{text}{forged}\n")).unwrap();
+    let out = exlc(&[
+        "perf",
+        dir.to_str().unwrap(),
+        "--min-runs",
+        "2",
+        "--threshold",
+        "2.0",
+    ]);
+    assert!(!out.status.success(), "sentinel missed the slowdown");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stdout.contains("REGRESSED"), "{stdout}");
+    assert!(stderr.contains("regression"), "{stderr}");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn perf_rejects_bad_flags() {
+    let out = exlc(&["perf"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8(out.stderr).unwrap().contains("usage"));
+    let out = exlc(&["perf", "/tmp", "--threshold", "0.5"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8(out.stderr)
+        .unwrap()
+        .contains("--threshold"));
+}

@@ -227,6 +227,9 @@ impl Flow {
         let flow_span = trace.child("etl.flow");
         flow_span.set_attr("flow", self.id.clone());
         flow_span.set_attr("cube", self.output.relation.to_string());
+        exl_obs::flight::record_with(exl_obs::flight::FlightKind::Statement, "etl.flow", || {
+            format!("flow {} -> {}", self.id, self.output.relation)
+        });
         // sources
         let mut streams: Vec<Vec<Row>> = Vec::with_capacity(self.sources.len());
         for s in &self.sources {

@@ -18,9 +18,13 @@
 //! not cross `thread::spawn`). With no governor installed a checkpoint
 //! is a thread-local read and nothing else.
 //!
-//! This module lives in `exl-fault` (the lowest zero-dependency layer
-//! the backends already share) so every backend can observe the token;
-//! the engine re-exports and drives it from `exl_engine::govern`.
+//! This module lives in `exl-fault` (the lowest shared layer — its only
+//! dependency is the equally foundation-level `exl-obs`) so every
+//! backend can observe the token; the engine re-exports and drives it
+//! from `exl_engine::govern`. A *tripped* checkpoint — cancellation
+//! observed or a budget limit exceeded — is recorded into the
+//! [`exl_obs::flight`] event ring (inert when disarmed); the vastly more
+//! common passing checkpoint records nothing.
 
 use std::cell::RefCell;
 use std::fmt;
@@ -332,13 +336,24 @@ impl Governor {
 
     /// The cooperative checkpoint: cancellation first, then budget
     /// limits. A budget violation also cancels the token so sibling
-    /// threads stop at their own next checkpoint.
+    /// threads stop at their own next checkpoint. Trips land in the
+    /// flight recorder's event ring; passing checkpoints stay free.
     pub fn checkpoint(&self) -> Result<(), GovernError> {
         if let Some(err) = self.token.cancellation() {
+            exl_obs::flight::record_with(
+                exl_obs::flight::FlightKind::GovernTrip,
+                "govern.checkpoint",
+                || err.to_string(),
+            );
             return Err(err);
         }
         if let Err(err) = self.budget.verdict() {
             self.token.cancel(err.to_string());
+            exl_obs::flight::record_with(
+                exl_obs::flight::FlightKind::GovernTrip,
+                "govern.checkpoint",
+                || err.to_string(),
+            );
             return Err(err);
         }
         Ok(())

@@ -6,7 +6,9 @@
 //! a single relaxed atomic load and nothing else. In a chaos test, a
 //! [`FaultPlan`] is [`install`]ed — "make the *Nth* execution of site *S*
 //! fail / panic / stall" — and the chosen executions misbehave exactly as
-//! planned, so every chaos run is reproducible from its seed.
+//! planned, so every chaos run is reproducible from its seed. A firing
+//! is also recorded into the [`exl_obs::flight`] event ring (inert when
+//! that recorder is disarmed), so crash bundles name the fault site.
 //!
 //! Installation is process-global (the instrumented code must not carry
 //! an injector through every signature), therefore [`install`] serializes
@@ -299,7 +301,7 @@ pub fn check(site: &str) -> Result<(), FaultError> {
     if !ARMED.load(Ordering::Relaxed) {
         return Ok(());
     }
-    let action = {
+    let (action, occurrence) = {
         let mut guard = state();
         let Some(active) = guard.as_mut() else {
             return Ok(());
@@ -320,9 +322,15 @@ pub fn check(site: &str) -> Result<(), FaultError> {
             occurrence,
             action: action.name(),
         });
-        action
+        (action, occurrence)
         // the state lock drops here — never panic or sleep under it
     };
+    // a firing is rare by construction: tell the flight recorder (one
+    // relaxed load when it is disarmed) before performing the action, so
+    // even an injected panic leaves its trace in the event ring
+    exl_obs::flight::record_with(exl_obs::flight::FlightKind::FaultFired, site, || {
+        format!("occurrence {occurrence}, action {}", action.name())
+    });
     match action {
         FaultAction::Error => Err(FaultError {
             site: site.to_string(),

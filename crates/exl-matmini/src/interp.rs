@@ -464,6 +464,11 @@ impl MatInterp {
             span.set_attr("index", i as u64);
             let (MStmt::Assign { var, .. } | MStmt::IndexAssign { var, .. }) = stmt;
             span.set_attr("var", var.clone());
+            exl_obs::flight::record_with(
+                exl_obs::flight::FlightKind::Statement,
+                "matmini.run",
+                || format!("stmt {i}: assign {var}"),
+            );
             if let Err(e) = self.exec(stmt) {
                 span.add_event(e.to_string());
                 span.set_attr("status", "failed");

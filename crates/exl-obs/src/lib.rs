@@ -15,8 +15,10 @@
 
 #![warn(missing_docs)]
 
+pub mod flight;
 pub mod trace;
 
+pub use flight::{FlightEvent, FlightKind};
 pub use trace::{
     fmt_duration, AttrValue, Span, SpanContext, TraceEvent, TraceSnapshot, TraceSpan, Tracer,
 };
@@ -73,8 +75,13 @@ impl SpanGuard<'_> {
 
 impl Drop for SpanGuard<'_> {
     fn drop(&mut self) {
-        self.recorder
-            .record_span(&self.name, nanos_u64(self.start.elapsed().as_nanos()));
+        let nanos = nanos_u64(self.start.elapsed().as_nanos());
+        self.recorder.record_span(&self.name, nanos);
+        // span closes also feed the flight recorder's event ring — one
+        // relaxed atomic load when it is disarmed (the default)
+        flight::record_with(flight::FlightKind::SpanClose, &self.name, || {
+            format!("{nanos} ns")
+        });
     }
 }
 
@@ -260,6 +267,73 @@ impl MetricsSnapshot {
         out.push_str("}\n}");
         out
     }
+
+    /// Render as Prometheus text exposition format (the payload a
+    /// `/metrics` endpoint serves; `exlc --metrics-prom` writes it to a
+    /// file). Metric names get an `exl_` prefix and dots become
+    /// underscores: `engine.subgraphs` → `exl_engine_subgraphs`.
+    /// Counters map to `counter`, gauges to a pair of `gauge` series
+    /// (last value and observed maximum), histograms to a `summary`
+    /// with p50/p95/p99 quantiles, and spans to a nanosecond-total
+    /// counter plus a completion counter.
+    pub fn to_prometheus_text(&self) -> String {
+        fn prom_name(name: &str) -> String {
+            let mut out = String::with_capacity(name.len() + 4);
+            out.push_str("exl_");
+            for c in name.chars() {
+                if c.is_ascii_alphanumeric() {
+                    out.push(c);
+                } else {
+                    out.push('_');
+                }
+            }
+            out
+        }
+        fn prom_f64(v: f64) -> String {
+            if v.is_finite() {
+                format!("{v}")
+            } else {
+                "NaN".to_string()
+            }
+        }
+        let mut out = String::new();
+        for (name, v) in &self.counters {
+            let n = prom_name(name);
+            let _ = writeln!(out, "# TYPE {n} counter\n{n} {v}");
+        }
+        for (name, g) in &self.gauges {
+            let n = prom_name(name);
+            let _ = writeln!(out, "# TYPE {n} gauge\n{n} {}", g.last);
+            let _ = writeln!(out, "# TYPE {n}_max gauge\n{n}_max {}", g.max);
+        }
+        for (name, h) in &self.histograms {
+            let n = prom_name(name);
+            let _ = writeln!(out, "# TYPE {n} summary");
+            for (q, label) in [(0.50, "0.5"), (0.95, "0.95"), (0.99, "0.99")] {
+                let _ = writeln!(
+                    out,
+                    "{n}{{quantile=\"{label}\"}} {}",
+                    prom_f64(h.quantile(q))
+                );
+            }
+            let _ = writeln!(out, "{n}_sum {}", prom_f64(h.sum));
+            let _ = writeln!(out, "{n}_count {}", h.count);
+        }
+        for (name, s) in &self.spans {
+            let n = prom_name(name);
+            let _ = writeln!(
+                out,
+                "# TYPE {n}_ns_total counter\n{n}_ns_total {}",
+                s.total_nanos
+            );
+            let _ = writeln!(
+                out,
+                "# TYPE {n}_spans_total counter\n{n}_spans_total {}",
+                s.count
+            );
+        }
+        out
+    }
 }
 
 fn json_f64(v: f64) -> String {
@@ -336,6 +410,12 @@ impl MetricsRegistry {
     /// JSON rendering of [`MetricsRegistry::snapshot`].
     pub fn to_json(&self) -> String {
         self.snapshot().to_json()
+    }
+
+    /// Prometheus text rendering of [`MetricsRegistry::snapshot`] (see
+    /// [`MetricsSnapshot::to_prometheus_text`]).
+    pub fn to_prometheus_text(&self) -> String {
+        self.snapshot().to_prometheus_text()
     }
 }
 
@@ -555,6 +635,39 @@ mod tests {
             v["spans"]["engine.subgraph.native"]["min_ns"].as_u64(),
             Some(1_500)
         );
+    }
+
+    #[test]
+    fn prometheus_text_renders_every_metric_kind() {
+        let reg = MetricsRegistry::new();
+        reg.incr_counter("engine.subgraphs", 3);
+        reg.set_gauge("govern.mem_peak_bytes", 4096);
+        reg.observe("etl.rows_per_step", 10.0);
+        reg.observe("etl.rows_per_step", 30.0);
+        reg.record_span("engine.subgraph.native", 2_000);
+        let text = reg.to_prometheus_text();
+        assert!(text.contains("# TYPE exl_engine_subgraphs counter"));
+        assert!(text.contains("exl_engine_subgraphs 3"));
+        assert!(text.contains("exl_govern_mem_peak_bytes 4096"));
+        assert!(text.contains("exl_govern_mem_peak_bytes_max 4096"));
+        assert!(text.contains("exl_etl_rows_per_step{quantile=\"0.95\"} 30"));
+        assert!(text.contains("exl_etl_rows_per_step_sum 40"));
+        assert!(text.contains("exl_etl_rows_per_step_count 2"));
+        assert!(text.contains("exl_engine_subgraph_native_ns_total 2000"));
+        assert!(text.contains("exl_engine_subgraph_native_spans_total 1"));
+        // well-formed exposition: every line is a comment or `name value`
+        // with a finite value, and no metric name is type-declared twice
+        let mut types = std::collections::BTreeSet::new();
+        for line in text.lines() {
+            if let Some(rest) = line.strip_prefix("# TYPE ") {
+                let name = rest.split_whitespace().next().unwrap();
+                assert!(types.insert(name.to_string()), "duplicate TYPE {name}");
+            } else {
+                let (name, value) = line.rsplit_once(' ').unwrap();
+                assert!(!name.is_empty());
+                assert!(value.parse::<f64>().unwrap().is_finite(), "{line}");
+            }
+        }
     }
 
     #[test]

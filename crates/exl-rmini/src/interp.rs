@@ -87,6 +87,14 @@ impl RInterp {
             if let RStmt::Assign { var, .. } = stmt {
                 span.set_attr("var", var.clone());
             }
+            exl_obs::flight::record_with(
+                exl_obs::flight::FlightKind::Statement,
+                "rmini.run",
+                || match stmt {
+                    RStmt::Assign { var, .. } => format!("stmt {i}: assign {var}"),
+                    _ => format!("stmt {i}"),
+                },
+            );
             if let Err(e) = self.exec(stmt) {
                 span.add_event(e.to_string());
                 span.set_attr("status", "failed");

@@ -46,6 +46,11 @@ impl Engine {
             let span = trace.child("sql.stmt");
             span.set_attr("index", i as u64);
             span.set_attr("kind", stmt_kind(&stmt));
+            exl_obs::flight::record_with(
+                exl_obs::flight::FlightKind::Statement,
+                "sqlengine.execute",
+                || format!("stmt {i}: {}", stmt_kind(&stmt)),
+            );
             if let Some(table) = stmt_table(&stmt) {
                 span.set_attr("table", table.to_string());
             }

@@ -62,6 +62,48 @@ assert len(subs) >= len(progress) >= 1, (len(subs), len(progress))
 print(f"trace ok: {len(subs)} subgraph span(s), {len(progress)} progress line(s)")
 PY
 
+echo "== observability =="
+# chaos-injected exlc run: the crash bundle must appear, parse, and
+# match the documented exl-bundle-v1 shape (docs/OBSERVABILITY.md); a
+# clean run over the same directory must add nothing. Then a two-run
+# ledger feeds `exlc perf`, which must exit clean on healthy history.
+cargo run -q --release -p exl-engine --bin exlc -- \
+    --bundle-dir "$tmp/bundles" --inject-fault exec.native:1:panic \
+    run "$tmp/prog.exl" "$tmp/data.json" > /dev/null 2> "$tmp/chaos.txt" \
+    && { echo "chaos run unexpectedly succeeded"; exit 1; } || true
+grep -q "crash bundle written to" "$tmp/chaos.txt"
+python3 - "$tmp/bundles" <<'PY'
+import json, pathlib, sys
+bundles = list(pathlib.Path(sys.argv[1]).glob("bundle-*.json"))
+assert len(bundles) == 1, f"expected one crash bundle, got {bundles}"
+b = json.load(open(bundles[0]))
+assert b["version"] == "exl-bundle-v1", b["version"]
+# the documented top-level schema, in full
+for key in ("version", "unix_ms", "error", "failing_subgraph", "subgraphs",
+            "fault_sites", "events", "metrics", "govern", "env"):
+    assert key in b, f"bundle missing {key}"
+assert b["error"]["kind"] == "panic", b["error"]
+assert b["fault_sites"] == ["exec.native"], b["fault_sites"]
+failing = b["failing_subgraph"]
+assert failing and failing["status"] == "failed" and failing["cubes"], failing
+for key in ("cancelled", "mem_peak_bytes", "deadline_ms"):
+    assert key in b["govern"], f"govern missing {key}"
+kinds = {e["kind"] for e in b["events"]}
+assert "panic.caught" in kinds and "fault.fired" in kinds, kinds
+print(f"crash bundle ok: {bundles[0].name}, {len(b['events'])} event(s)")
+PY
+for i in 1 2; do
+    cargo run -q --release -p exl-engine --bin exlc -- \
+        --bundle-dir "$tmp/bundles" --ledger-dir "$tmp/ledger" \
+        run "$tmp/prog.exl" "$tmp/data.json" > /dev/null
+done
+[ "$(ls "$tmp/bundles" | wc -l)" -eq 1 ] || {
+    echo "successful runs wrote crash bundles"; exit 1; }
+[ "$(wc -l < "$tmp/ledger/ledger.jsonl")" -eq 2 ] || {
+    echo "expected a two-run ledger"; exit 1; }
+cargo run -q --release -p exl-engine --bin exlc -- perf "$tmp/ledger" --min-runs 1
+echo "observability gate ok"
+
 echo "== chaos =="
 scripts/chaos.sh 0 1 2 3
 scripts/chaos.sh --storm 12

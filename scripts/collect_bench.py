@@ -10,13 +10,22 @@ printed as extra tables.
 
 Usage: python3 scripts/collect_bench.py [criterion_dir]
        python3 scripts/collect_bench.py --snapshot [repo_root] [criterion_dir]
+       python3 scripts/collect_bench.py --trajectory [repo_root]
 
 With --snapshot, additionally writes BENCH_<group>.json trajectory files
 (one per B-series group present, e.g. BENCH_B1.json) into repo_root,
 each listing every bench's median ns and rows/s.
+
+With --trajectory, folds every committed revision of BENCH_B*.json
+across the git history into one trend table per group: one row per
+bench, one column per commit (oldest first, work tree last when it
+differs), each cell the median — with rows/s where the bench records
+element throughput — so per-tier performance drift is visible at a
+glance.
 """
 import json
 import pathlib
+import subprocess
 import sys
 from collections import defaultdict
 
@@ -57,6 +66,9 @@ def load_groups(root: pathlib.Path):
 def main() -> None:
     args = sys.argv[1:]
     snapshot_root = None
+    if args and args[0] == "--trajectory":
+        trajectory(pathlib.Path(args[1] if len(args) > 1 else "."))
+        return
     if args and args[0] == "--snapshot":
         snapshot_root = pathlib.Path(args[1] if len(args) > 1 else ".")
         args = args[2:]
@@ -99,6 +111,71 @@ def write_snapshots(repo_root: pathlib.Path, groups) -> None:
         with open(path, "w") as f:
             json.dump(out, f, indent=2)
             f.write("\n")
+
+
+def git(repo_root: pathlib.Path, *argv: str) -> str:
+    return subprocess.run(
+        ["git", "-C", str(repo_root), *argv],
+        capture_output=True,
+        text=True,
+        check=True,
+    ).stdout
+
+
+def snapshot_cell(bench: dict) -> str:
+    """One trend-table cell: median, plus rows/s when recorded."""
+    cell = fmt(bench["median_ns"])
+    if bench.get("rows_per_s"):
+        cell += f" ({bench['rows_per_s']:,.0f} rows/s)"
+    return cell
+
+
+def trajectory(repo_root: pathlib.Path) -> None:
+    """Fold BENCH_B*.json across git history into per-tier trend tables."""
+    names = sorted(
+        set(
+            git(repo_root, "log", "--all", "--format=", "--name-only", "--diff-filter=A")
+            .split()
+        )
+    )
+    names = [n for n in names if n.startswith("BENCH_B") and n.endswith(".json")]
+    if not names:
+        print("no BENCH_B*.json in the git history")
+        return
+    for name in names:
+        group = name[len("BENCH_") : -len(".json")]
+        # oldest first: each commit that touched this snapshot
+        log = git(
+            repo_root, "log", "--reverse", "--format=%h %ad", "--date=short", "--", name
+        ).splitlines()
+        columns = []  # (label, {bench name -> bench dict})
+        for line in log:
+            sha, date = line.split()
+            try:
+                text = git(repo_root, "show", f"{sha}:{name}")
+            except subprocess.CalledProcessError:
+                continue  # the commit deleted the snapshot
+            data = json.loads(text)
+            columns.append((f"{sha} {date}", {b["name"]: b for b in data["benches"]}))
+        work_tree = repo_root / name
+        if work_tree.exists():
+            with open(work_tree) as f:
+                data = json.load(f)
+            benches = {b["name"]: b for b in data["benches"]}
+            if not columns or columns[-1][1] != benches:
+                columns.append(("work tree", benches))
+        if not columns:
+            continue
+        bench_names = sorted({n for _, benches in columns for n in benches})
+        print(f"\n### {group} trajectory\n")
+        print("| benchmark | " + " | ".join(label for label, _ in columns) + " |")
+        print("|---" * (len(columns) + 1) + "|")
+        for bn in bench_names:
+            cells = [
+                snapshot_cell(benches[bn]) if bn in benches else "–"
+                for _, benches in columns
+            ]
+            print(f"| `{bn}` | " + " | ".join(cells) + " |")
 
 
 def print_metrics(root: pathlib.Path) -> None:
