@@ -37,6 +37,19 @@ fn bench_translation(c: &mut Criterion) {
     }
     group.finish();
 
+    // the statement-at-a-time reference path: the guard group that keeps
+    // the plan-compilation win visible — `collect_bench.py --trajectory`
+    // shows execute-native (fused) dropping away from this line
+    let mut group = c.benchmark_group("B1/execute-native-unfused");
+    group.sample_size(10);
+    for depth in [5usize, 20, 80] {
+        let (analyzed, data) = chain_scenario(depth, 2000);
+        group.bench_with_input(BenchmarkId::from_parameter(depth), &depth, |b, _| {
+            b.iter(|| exl_eval::run_program_unfused(&analyzed, &data).unwrap())
+        });
+    }
+    group.finish();
+
     // the same execution with the flight recorder armed: the overhead
     // guard — medians must stay within noise of the disarmed run above
     // (`scripts/bench.sh` runs both; tests/tests/flight_overhead.rs pins

@@ -398,13 +398,14 @@ fn run(
                  [--subgraph-timeout-ms <n>] [--keep-going] [--cache-dir <dir>] [--no-cache] \
                  [--run-deadline-ms <n>] [--max-memory-mb <n>] \
                  [--bundle-dir <dir>] [--ledger-dir <dir>] [--inject-fault <spec>] \
-                 <check|tgds|translate|run|explain|perf> …  (see crate docs)";
+                 <check|tgds|translate|run|plan|explain|perf> …  (see crate docs)";
     match args {
         [cmd, rest @ ..] => match cmd.as_str() {
             "check" => check(rest, recorder),
             "tgds" => tgds(rest, recorder),
             "translate" => do_translate(rest, recorder),
             "run" => do_run(rest, recorder, metrics, globals, tracer),
+            "plan" => do_plan(rest, recorder, metrics, globals, tracer),
             "explain" => explain(rest, recorder, metrics, globals, tracer),
             "perf" => perf(rest),
             other => Err(format!("unknown command `{other}`\n{usage}")),
@@ -569,6 +570,46 @@ fn build_engine(
     Ok(e)
 }
 
+/// Render every native subgraph's compiled-plan description: fusion
+/// regions, CSE reuses, and materialization points.
+fn render_plan_overview(e: &ExlEngine) -> Result<String, String> {
+    let overview = e.plan_overview().map_err(|e| e.to_string())?;
+    if overview.is_empty() {
+        return Ok("plan: no native subgraphs".into());
+    }
+    let mut s = String::new();
+    for (cubes, desc) in &overview {
+        let cubes: Vec<String> = cubes.iter().map(|c| c.to_string()).collect();
+        s.push_str(&format!("subgraph [{}]\n", cubes.join(",")));
+        for line in desc.render().lines() {
+            s.push_str("  ");
+            s.push_str(line);
+            s.push('\n');
+        }
+    }
+    Ok(s.trim_end().to_string())
+}
+
+/// `exlc plan <program.exl> <data.json|dir>` — offline plan
+/// introspection: prints each native subgraph's fusion regions, CSE
+/// hits, and materialization points without executing anything.
+fn do_plan(
+    args: &[String],
+    recorder: &dyn Recorder,
+    metrics: Option<&Arc<MetricsRegistry>>,
+    globals: &Globals,
+    tracer: &Tracer,
+) -> Result<(), String> {
+    let [path, data_path] = args else {
+        return Err("usage: exlc plan <program.exl> <data.json|dir>".into());
+    };
+    let analyzed = load_program(path, recorder)?;
+    let input = load_input(data_path, &analyzed)?;
+    let e = build_engine(path, &analyzed, &input, metrics, globals, tracer)?;
+    out!("{}", render_plan_overview(&e)?);
+    Ok(())
+}
+
 fn do_run(
     args: &[String],
     recorder: &dyn Recorder,
@@ -576,10 +617,17 @@ fn do_run(
     globals: &Globals,
     tracer: &Tracer,
 ) -> Result<(), String> {
-    let (path, data_path, target) = match args {
+    let mut args = args.to_vec();
+    let dump_plan = extract_value_flag(&mut args, "--dump-plan")?;
+    let (path, data_path, target) = match args.as_slice() {
         [p, d] => (p, d, TargetKind::Native),
         [p, d, t] => (p, d, parse_target(t)?),
-        _ => return Err("usage: exlc run <program.exl> <data.json|dir> [target]".into()),
+        _ => {
+            return Err(
+                "usage: exlc run <program.exl> <data.json|dir> [target] [--dump-plan <path>]"
+                    .into(),
+            )
+        }
     };
     // bridge SIGINT before the (potentially long) data load, so a
     // Ctrl-C during it is remembered and aborts at the first checkpoint
@@ -597,6 +645,14 @@ fn do_run(
         Some(spec) => Some(exl_fault::install(parse_fault_plan(spec)?)),
         None => None,
     };
+    // --dump-plan: write the compiled-plan overview before executing, so
+    // the dump exists even if the run itself fails
+    if let Some(dump) = &dump_plan {
+        let e = build_engine(path, &analyzed, &input, metrics, globals, tracer)?;
+        let text = render_plan_overview(&e)?;
+        std::fs::write(dump, text + "\n").map_err(|e| format!("{dump}: {e}"))?;
+        eprintln!("exlc: plan dumped to {dump}");
+    }
     let mut result: BTreeMap<String, JsonCube> = BTreeMap::new();
     let use_cache = globals.cache_dir.is_some() && !globals.no_cache;
     let use_engine = globals.trace_path.is_some()
@@ -696,6 +752,23 @@ fn explain(
     e.run_all().map_err(|e| e.to_string())?;
     let report = LineageReport::from_trace(&tracer.snapshot(), e.graph());
     out!("{}", report.chain_text(&id).trim_end());
+    // plan-compilation lineage: which fused region each derived step of
+    // the explained cube's subgraph executed in
+    for (cubes, desc) in e.plan_overview().map_err(|e| e.to_string())? {
+        if !cubes.contains(&id) {
+            continue;
+        }
+        for r in &desc.regions {
+            if let Some(target) = &r.target {
+                out!(
+                    "plan: {target} -> region {} [{}] fused={}",
+                    r.id,
+                    r.kind,
+                    r.fused_ops
+                );
+            }
+        }
+    }
     Ok(())
 }
 
@@ -750,9 +823,19 @@ fn perf(args: &[String]) -> Result<(), String> {
         "ratio"
     );
     let mut regressions = Vec::new();
+    let mut retired = 0usize;
     for b in &baselines {
         let program = &b.program[..b.program.len().min(10)];
-        let flag = if b.regressed { "  REGRESSED" } else { "" };
+        let flag = if b.retired {
+            // key absent from the program's latest record: fused away by
+            // plan compilation (or re-partitioned) — skipped, not judged
+            retired += 1;
+            "  retired (skipped)"
+        } else if b.regressed {
+            "  REGRESSED"
+        } else {
+            ""
+        };
         out!(
             "{:<10} {:<28} {:>5} {:>10.2} {:>10.2} {:>10.2} {:>6.2}x{flag}",
             program,
@@ -769,6 +852,9 @@ fn perf(args: &[String]) -> Result<(), String> {
                 b.statement, program, b.latest_ms, b.median_ms, b.ratio
             ));
         }
+    }
+    if retired > 0 {
+        out!("perf: {retired} retired group(s) skipped (not in the latest record)");
     }
     if regressions.is_empty() {
         out!("perf: no regressions");

@@ -28,6 +28,18 @@
 //! [`exl_eval::delta::eval_statement_delta`], which patches only the keys
 //! or groups the input delta can reach — bit-identical to a cold run by
 //! construction, and pinned by the `incremental_differential` suite.
+//!
+//! **Interaction with plan compilation.** The cache consults and stores
+//! at *statement* granularity, and fusion (`exl_eval::plan`) respects
+//! that boundary: statement targets are always materialization points,
+//! so every statement still produces the exact batch its fingerprint
+//! names. A warm run therefore splits each subgraph at the dirty
+//! frontier — clean statements replay from the store or patch through
+//! delta kernels (both statement-at-a-time, fusion never engages), and
+//! only the fully-dirty remainder reaches the batch evaluator, where
+//! regions fuse within it as usual. Cold ≡ warm stays bit for bit with
+//! fusion on, pinned by the warm-cache matrix in
+//! `tests/tests/fusion_differential.rs`.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};

@@ -1268,6 +1268,28 @@ impl ExlEngine {
         translate(&analyzed, TargetKind::Native)
     }
 
+    /// Compiled-plan introspection for every native subgraph a full run
+    /// would dispatch: the subgraph's derived cubes paired with the plan
+    /// description (fusion regions, CSE reuses, materialization points).
+    /// Subgraphs assigned to external backends are skipped — they have
+    /// no fused plan. Touches no data; like
+    /// [`plan_and_translate`](ExlEngine::plan_and_translate) this is
+    /// purely offline.
+    pub fn plan_overview(
+        &self,
+    ) -> Result<Vec<(Vec<CubeId>, exl_eval::PlanDescription)>, EngineError> {
+        let changed: Vec<CubeId> = self.catalog.elementary_ids();
+        let mut out = Vec::new();
+        for (sub, code, _) in self.plan_and_translate(&changed)? {
+            if let TargetCode::Native { analyzed } = &code {
+                let desc = exl_eval::plan_description(analyzed)
+                    .map_err(|e| EngineError::Execution(e.to_string()))?;
+                out.push((self.targets_of(&sub), desc));
+            }
+        }
+        Ok(out)
+    }
+
     /// Recompute every derived cube from all loaded elementary cubes.
     pub fn run_all(&mut self) -> Result<RunReport, EngineError> {
         let changed: Vec<CubeId> = self

@@ -256,6 +256,12 @@ pub struct Baseline {
     /// Whether the latest sample breaches the threshold (only ever true
     /// with at least [`SentinelConfig::min_runs`] history samples).
     pub regressed: bool,
+    /// True when the statement key no longer appears in the program's
+    /// most recent record: the plan compiler fused it away (or the
+    /// program's partitioning changed), so its "latest" sample is stale
+    /// history, not a fresh measurement. Retired groups are never
+    /// regressions.
+    pub retired: bool,
 }
 
 fn percentile(sorted: &[f64], p: f64) -> f64 {
@@ -285,7 +291,16 @@ fn median(sorted: &[f64]) -> f64 {
 pub fn analyze(records: &[LedgerRecord], config: &SentinelConfig) -> Vec<Baseline> {
     let mut groups: std::collections::BTreeMap<(String, String), Vec<f64>> =
         std::collections::BTreeMap::new();
+    // keys present in each program's most recent record, whatever their
+    // status: a key missing here was not dispatched at all in the latest
+    // run — typically fused away by plan compilation — and its group is
+    // retired rather than judged against stale samples
+    let mut live_keys: std::collections::BTreeMap<String, std::collections::BTreeSet<String>> =
+        std::collections::BTreeMap::new();
     for record in records {
+        let keys = live_keys.entry(record.program.clone()).or_default();
+        keys.clear();
+        keys.extend(record.statements.iter().map(|s| s.key.clone()));
         for stmt in &record.statements {
             if stmt.status == "computed" {
                 groups
@@ -298,6 +313,9 @@ pub fn analyze(records: &[LedgerRecord], config: &SentinelConfig) -> Vec<Baselin
     groups
         .into_iter()
         .map(|((program, statement), samples)| {
+            let retired = !live_keys
+                .get(&program)
+                .is_some_and(|keys| keys.contains(&statement));
             let (history, latest) = match samples.split_last() {
                 Some((latest, history)) => (history.to_vec(), *latest),
                 None => (Vec::new(), 0.0),
@@ -319,9 +337,11 @@ pub fn analyze(records: &[LedgerRecord], config: &SentinelConfig) -> Vec<Baselin
                 p95_ms,
                 latest_ms: latest,
                 ratio,
-                regressed: history.len() >= config.min_runs
+                regressed: !retired
+                    && history.len() >= config.min_runs
                     && median_ms > 0.0
                     && ratio >= config.threshold,
+                retired,
             }
         })
         .collect()
@@ -402,6 +422,36 @@ mod tests {
         let baselines = analyze(&records, &SentinelConfig::default());
         assert_eq!(baselines.len(), 2);
         assert!(baselines.iter().all(|b| !b.regressed));
+    }
+
+    #[test]
+    fn fused_away_statements_retire_instead_of_regressing() {
+        // four runs time both keys, then plan compilation fuses B away:
+        // the fifth record only carries A. B's "latest" sample is stale
+        // history — it must be retired, never judged as a regression
+        let two_keys = |wall_a: f64, wall_b: f64| {
+            let mut r = record("p", "A", wall_a);
+            let mut b = record("p", "B", wall_b).statements.remove(0);
+            b.wall_ms = wall_b;
+            r.statements.push(b);
+            r
+        };
+        let mut records: Vec<LedgerRecord> = (0..4).map(|_| two_keys(10.0, 10.0)).collect();
+        records.push(record("p", "A", 10.0)); // B fused away
+        let baselines = analyze(&records, &SentinelConfig::default());
+        let a = baselines.iter().find(|b| b.statement == "A").unwrap();
+        let b = baselines.iter().find(|b| b.statement == "B").unwrap();
+        assert!(!a.retired);
+        assert!(!a.regressed);
+        assert!(b.retired, "fused-away key must retire");
+        assert!(!b.regressed, "retired keys are never regressions");
+        // even a wildly slow stale sample stays quiet once retired
+        let mut records: Vec<LedgerRecord> = (0..4).map(|_| two_keys(10.0, 10.0)).collect();
+        records.push(two_keys(10.0, 100.0));
+        records.push(record("p", "A", 10.0));
+        let baselines = analyze(&records, &SentinelConfig::default());
+        let b = baselines.iter().find(|b| b.statement == "B").unwrap();
+        assert!(b.retired && !b.regressed, "{b:?}");
     }
 
     #[test]

@@ -374,8 +374,40 @@ fn execute_traced_inner(
     // subgraph was queued never starts its backend at all
     exl_fault::govern::checkpoint()?;
     let full = match code {
-        TargetCode::Native { analyzed } => exl_eval::run_program(analyzed, input)
-            .map_err(|e| governed_or(e.govern_cause(), &e, None))?,
+        TargetCode::Native { analyzed } => {
+            let (full, plan) = exl_eval::run_program_with_stats(analyzed, input)
+                .map_err(|e| governed_or(e.govern_cause(), &e, None))?;
+            // plan-compilation telemetry: counters accumulate per run,
+            // flight events mark which subgraphs actually fused or CSE'd
+            recorder.incr_counter("plan.regions", plan.regions);
+            recorder.incr_counter("plan.fused_statements", plan.fused_statements);
+            recorder.incr_counter("plan.fused_ops", plan.fused_ops);
+            recorder.incr_counter("plan.cse_reuses", plan.cse_reuses);
+            recorder.incr_counter("plan.bytes_not_materialized", plan.bytes_not_materialized);
+            if plan.fused_ops > 0 {
+                exl_obs::flight::record_with(
+                    exl_obs::flight::FlightKind::PlanFuse,
+                    "native",
+                    || {
+                        format!(
+                            "regions={} fused_statements={} fused_ops={} bytes_not_materialized={}",
+                            plan.regions,
+                            plan.fused_statements,
+                            plan.fused_ops,
+                            plan.bytes_not_materialized
+                        )
+                    },
+                );
+            }
+            if plan.cse_reuses > 0 {
+                exl_obs::flight::record_with(
+                    exl_obs::flight::FlightKind::PlanCse,
+                    "native",
+                    || format!("cse_reuses={}", plan.cse_reuses),
+                );
+            }
+            full
+        }
         TargetCode::Chase { mapping, schemas } => {
             let result = exl_chase::chase_traced(
                 mapping,

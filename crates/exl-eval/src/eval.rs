@@ -43,7 +43,7 @@ use exl_stats::state::{AggState, ExactState};
 use crate::error::EvalError;
 
 /// Minimum operand rows before an operator fans out across threads.
-const PAR_MIN_ROWS: usize = 4096;
+pub(crate) const PAR_MIN_ROWS: usize = 4096;
 
 /// Worker count for data-parallel operators (1 on single-core machines,
 /// capped so oversubscription never pays for thread spawns it cannot use).
@@ -51,7 +51,7 @@ const PAR_MIN_ROWS: usize = 4096;
 /// reproducing parallel-path behavior on any machine. The fold-then-merge
 /// contract makes the setting invisible in the results: every float is
 /// bit-identical for any worker count.
-fn workers() -> usize {
+pub(crate) fn workers() -> usize {
     if let Some(n) = std::env::var("EXL_EVAL_THREADS")
         .ok()
         .and_then(|s| s.parse::<usize>().ok())
@@ -81,14 +81,14 @@ pub fn series_period(freq: Frequency) -> usize {
 /// boundary.
 #[derive(Debug, Default)]
 pub struct EvalSession {
-    pool: DimPool,
-    cubes: FxHashMap<CubeId, SessionCube>,
+    pub(crate) pool: DimPool,
+    pub(crate) cubes: FxHashMap<CubeId, SessionCube>,
 }
 
 #[derive(Debug)]
-struct SessionCube {
-    dims: Vec<Dimension>,
-    batch: CubeBatch,
+pub(crate) struct SessionCube {
+    pub(crate) dims: Vec<Dimension>,
+    pub(crate) batch: CubeBatch,
 }
 
 impl EvalSession {
@@ -140,7 +140,42 @@ impl EvalSession {
 /// Returns a dataset containing the input cubes plus every derived cube
 /// (including normalization temporaries, when the program was normalized).
 /// Fails when an elementary input is missing or base data is malformed.
+///
+/// By default the program is compiled into a fused region plan
+/// ([`crate::plan`]) before execution; setting `EXL_NO_FUSION` (any
+/// value) falls back to the statement-at-a-time evaluator. Both paths
+/// produce bit-identical results — the escape hatch exists for
+/// differential testing and for isolating fusion when debugging.
 pub fn run_program(analyzed: &AnalyzedProgram, input: &Dataset) -> Result<Dataset, EvalError> {
+    if std::env::var_os("EXL_NO_FUSION").is_some() {
+        return run_program_unfused(analyzed, input);
+    }
+    run_program_fused(analyzed, input).map(|(env, _)| env)
+}
+
+/// [`run_program`] variant that also reports the compiled plan's
+/// statistics (regions formed, statements fused, CSE reuses, bytes not
+/// materialized) so dispatchers can surface them as metrics. Honors the
+/// same `EXL_NO_FUSION` escape hatch, returning zeroed stats.
+pub fn run_program_with_stats(
+    analyzed: &AnalyzedProgram,
+    input: &Dataset,
+) -> Result<(Dataset, crate::plan::PlanStats), EvalError> {
+    if std::env::var_os("EXL_NO_FUSION").is_some() {
+        let env = run_program_unfused(analyzed, input)?;
+        return Ok((env, crate::plan::PlanStats::default()));
+    }
+    run_program_fused(analyzed, input)
+}
+
+/// Statement-at-a-time evaluation: every intermediate cube is
+/// materialized as its own batch. This is the reference semantics the
+/// fused plan must reproduce bit for bit, kept public for differential
+/// tests and the `B1/execute-native-unfused` bench guard.
+pub fn run_program_unfused(
+    analyzed: &AnalyzedProgram,
+    input: &Dataset,
+) -> Result<Dataset, EvalError> {
     let mut env = Dataset::new();
     let mut session = EvalSession::new();
     // load and validate elementary inputs
@@ -174,6 +209,162 @@ pub fn run_program(analyzed: &AnalyzedProgram, input: &Dataset) -> Result<Datase
             .retain(|id, _| last_use.get(id).is_some_and(|&l| l > i));
     }
     Ok(env)
+}
+
+/// Fused execution: compile the program into a region plan, then run
+/// regions in statement order. Single-consumer map/shift/probe chains
+/// execute as one streaming pass with no intermediate materialization;
+/// barriers (aggregation, series, outer joins) and statement targets
+/// still materialize. Governance parity with the unfused path: one
+/// checkpoint per statement turn (plus one per region, so cancellation
+/// lands between fused regions too) and one `charge` per statement at
+/// the statement's output size.
+fn run_program_fused(
+    analyzed: &AnalyzedProgram,
+    input: &Dataset,
+) -> Result<(Dataset, crate::plan::PlanStats), EvalError> {
+    use crate::plan::{self, CNode, Region, Step};
+
+    let plan = plan::compile(analyzed, &analyzed.program.statements)?;
+    let mut env = Dataset::new();
+    let mut session = EvalSession::new();
+    for id in analyzed.elementary_inputs() {
+        let cube = input.get(&id).ok_or_else(|| EvalError::MissingInput {
+            cube: id.to_string(),
+        })?;
+        let mut checked = cube.clone();
+        checked.schema = analyzed.schemas[&id].clone();
+        checked.validate()?;
+        session.load(id.clone(), checked.schema.dims.clone(), &checked.data);
+        env.put(checked);
+    }
+    // source lifetimes come from the plan, not the statement text: CSE
+    // can alias a later statement's root to a source node (`B := A`), so
+    // the textual last-reference underestimates how long the batch is
+    // needed
+    let mut source_last_use: FxHashMap<CubeId, usize> = FxHashMap::default();
+    for (n, node) in plan.nodes.iter().enumerate() {
+        if let CNode::Source(id) = node {
+            source_last_use.insert(id.clone(), plan.last_use_stmt[n]);
+        }
+    }
+
+    // interior node results live here until their last consuming
+    // statement has run; sources resolve straight from the session
+    let mut store: Vec<Option<CubeBatch>> = (0..plan.nodes.len()).map(|_| None).collect();
+    let mut stats = plan.stats;
+    let threads = workers();
+    let mut cursor = 0usize;
+    for (i, stmt) in analyzed.program.statements.iter().enumerate() {
+        exl_fault::govern::checkpoint()?;
+        let node_end = plan.stmt_node_end[i];
+        while cursor < plan.regions.len() && plan.regions[cursor].out() < node_end {
+            // a region boundary is a cancellation point even when several
+            // regions serve one statement
+            exl_fault::govern::checkpoint()?;
+            let region = &plan.regions[cursor];
+            let out = match region {
+                Region::Stream(sr) => {
+                    let base = resolve_node(&plan, &store, &session, sr.base)?;
+                    let mut probes: Vec<(plan::NodeId, &CubeBatch)> = Vec::new();
+                    for step in &sr.steps {
+                        if let Step::Probe { input, .. } = step {
+                            probes.push((*input, resolve_node(&plan, &store, &session, *input)?));
+                        }
+                    }
+                    let rows = base.len() as u64;
+                    let out = plan::run_stream(sr, base, &probes, &session.pool, threads)?;
+                    stats.bytes_not_materialized += sr.fused
+                        * exl_fault::govern::approx_cube_bytes(
+                            rows,
+                            plan.dims[sr.out].len() as u64,
+                        );
+                    out
+                }
+                Region::Combine {
+                    out: _,
+                    op,
+                    default,
+                    lhs,
+                    rhs,
+                } => {
+                    let a = resolve_node(&plan, &store, &session, *lhs)?;
+                    let b = resolve_node(&plan, &store, &session, *rhs)?;
+                    let op = *op;
+                    probe_combine(
+                        Cow::Borrowed(a),
+                        b,
+                        &move |va, vb| op.apply(va, vb),
+                        &JoinPolicy::Outer { default: *default },
+                        threads,
+                    )?
+                }
+                Region::Aggregate {
+                    out: _,
+                    arg,
+                    agg,
+                    group_by,
+                } => {
+                    let batch = resolve_node(&plan, &store, &session, *arg)?;
+                    let parts = key_parts(&plan.dims[*arg], group_by)?;
+                    let partitions = if batch.len() < PAR_MIN_ROWS {
+                        1
+                    } else {
+                        threads
+                    };
+                    aggregate_batch(batch, &session.pool, &parts, *agg, partitions)?
+                }
+                Region::Series { out: _, arg, op } => {
+                    let batch = resolve_node(&plan, &store, &session, *arg)?;
+                    series_batch(*op, &plan.dims[*arg], batch, &session.pool, threads)?
+                }
+            };
+            store[region.out()] = Some(out);
+            cursor += 1;
+        }
+        let (_, root) = plan.roots[i];
+        let batch = resolve_node(&plan, &store, &session, root)?;
+        exl_fault::govern::charge(
+            batch.len() as u64,
+            exl_fault::govern::approx_cube_bytes(batch.len() as u64, plan.dims[root].len() as u64),
+        );
+        let data = batch.to_data(&session.pool);
+        let schema = analyzed.schemas[&stmt.target].clone();
+        env.put(Cube::new(schema, data));
+        session
+            .cubes
+            .retain(|id, _| source_last_use.get(id).is_some_and(|&l| l > i));
+        for (n, slot) in store.iter_mut().enumerate() {
+            if slot.is_some() && plan.last_use_stmt[n] <= i {
+                *slot = None;
+            }
+        }
+    }
+    Ok((env, stats))
+}
+
+/// Borrow the batch a plan node resolved to: sources live in the
+/// session, every other node in the region store.
+fn resolve_node<'a>(
+    plan: &crate::plan::CompiledPlan,
+    store: &'a [Option<CubeBatch>],
+    session: &'a EvalSession,
+    n: crate::plan::NodeId,
+) -> Result<&'a CubeBatch, EvalError> {
+    match &plan.nodes[n] {
+        crate::plan::CNode::Source(id) => {
+            session
+                .cubes
+                .get(id)
+                .map(|c| &c.batch)
+                .ok_or_else(|| EvalError::MissingInput {
+                    cube: id.to_string(),
+                })
+        }
+        _ => Ok(store[n]
+            .as_ref()
+            .expect("dependency region evaluated before its consumers")),
+    }
 }
 
 /// Evaluate one statement against an environment that already contains its
@@ -262,10 +453,11 @@ fn eval_expr<'a>(expr: &Expr, s: &'a EvalSession) -> Result<BVal<'a>, EvalError>
             let idx = resolve_time_index(&dims, dim.as_deref())?;
             let offset = *offset;
             // shift is injective on its axis, so keys cannot collide;
-            // rewriting the key column in place costs no allocation
+            // uniquely-owned keys rewrite in place, shared ones (the key
+            // `Arc` is aliased by another batch) reallocate once
             let mut out = batch.into_owned();
             for k in out.keys_mut() {
-                k[idx] = match k[idx] {
+                let shifted = match k[idx] {
                     IDim::Time(t) => IDim::Time(t.shift(offset)),
                     // §3: shift is "a sum on the values of a numeric dimension"
                     IDim::Int(i) => IDim::Int(i + offset),
@@ -279,6 +471,14 @@ fn eval_expr<'a>(expr: &Expr, s: &'a EvalSession) -> Result<BVal<'a>, EvalError>
                         })
                     }
                 };
+                match std::sync::Arc::get_mut(k) {
+                    Some(slice) => slice[idx] = shifted,
+                    None => {
+                        let mut fresh: Vec<IDim> = k.iter().copied().collect();
+                        fresh[idx] = shifted;
+                        *k = fresh.into();
+                    }
+                }
             }
             Ok(BVal::Batch {
                 dims,
@@ -341,7 +541,7 @@ fn panic_detail(p: &(dyn std::any::Any + Send)) -> String {
 
 /// Join one scoped worker, converting a panic into the typed error the
 /// supervisor contains per-statement (never a re-panic in the caller).
-fn join_worker<T>(
+pub(crate) fn join_worker<T>(
     h: std::thread::ScopedJoinHandle<'_, Result<T, EvalError>>,
 ) -> Result<T, EvalError> {
     match h.join() {
@@ -364,7 +564,9 @@ fn worker_fault(e: exl_fault::FaultError) -> EvalError {
 /// not cross `thread::scope`, so the governor is captured outside and
 /// checked here). Checked once per partition — the partition body stays
 /// checkpoint-free so the fold-then-merge bit discipline is untouched.
-fn worker_entry(governor: &Option<exl_fault::govern::Governor>) -> Result<(), EvalError> {
+pub(crate) fn worker_entry(
+    governor: &Option<exl_fault::govern::Governor>,
+) -> Result<(), EvalError> {
     // the captured governor is ambient while the fault site runs, so an
     // injected `cancel` lands on the shared attempt token instead of
     // evaporating on the governor-less worker thread
@@ -427,7 +629,7 @@ fn map_measures(
 /// join the anti side (right keys the left never had) is collected
 /// *before* the sweep, while the batch still holds every left key, and
 /// appended after.
-fn probe_combine(
+pub(crate) fn probe_combine(
     a: Cow<'_, CubeBatch>,
     b: &CubeBatch,
     f: &(dyn Fn(f64, f64) -> f64 + Sync),
@@ -640,7 +842,7 @@ impl GroupAcc {
 /// order, which reproduces the former sorted-map evaluator's fold order
 /// — and therefore its float results — bit for bit, independent of the
 /// partition count.
-fn aggregate_batch(
+pub(crate) fn aggregate_batch(
     batch: &CubeBatch,
     pool: &DimPool,
     parts: &[KeyPart],
@@ -871,7 +1073,7 @@ pub fn apply_series_op(
 /// non-time dimension values, sort each slice chronologically, apply the
 /// operator positionally. Slices are independent, so large operands fan
 /// the per-slice computation out across threads.
-fn series_batch(
+pub(crate) fn series_batch(
     op: SeriesOp,
     dims: &[Dimension],
     batch: &CubeBatch,

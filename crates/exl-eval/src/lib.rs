@@ -23,7 +23,12 @@
 pub mod delta;
 pub mod error;
 pub mod eval;
+pub mod plan;
 
 pub use delta::{changed_keys, delta_shape, eval_statement_delta, DeltaShape};
 pub use error::EvalError;
-pub use eval::{aggregate_data, eval_statement, run_program, series_period, EvalSession};
+pub use eval::{
+    aggregate_data, eval_statement, run_program, run_program_unfused, run_program_with_stats,
+    series_period, EvalSession,
+};
+pub use plan::{plan_description, PlanDescription, PlanStats, RegionDesc};

@@ -187,6 +187,14 @@ impl CubeBatch {
         self.index().lookup(key, &self.keys).is_some()
     }
 
+    /// Row position of a key, if defined. Builds the index on first use.
+    /// Probe loops that walk a batch in key order use this to re-seat a
+    /// sequential cursor after a miss, then read neighbouring rows
+    /// index-free.
+    pub fn row_of(&self, key: &[IDim]) -> Option<u32> {
+        self.index().lookup(key, &self.keys)
+    }
+
     /// Append a row. The batch stays functional only if the caller never
     /// pushes the same key twice (see the module doc); a previously built
     /// index is discarded and rebuilt on the next probe.
@@ -195,6 +203,23 @@ impl CubeBatch {
         self.keys.push(key);
         self.measures.push(value);
         self.index.take();
+    }
+
+    /// Adopt fully built key/measure columns in one move — the bulk
+    /// variant of [`CubeBatch::push`] for kernels that stream rows into
+    /// plain vectors first. Same functional contract: the caller must
+    /// not have produced a duplicate key.
+    ///
+    /// # Panics
+    /// Panics when the columns disagree in length or exceed `u32` rows.
+    pub fn from_columns(keys: Vec<IKey>, measures: Vec<f64>) -> CubeBatch {
+        assert_eq!(keys.len(), measures.len(), "column length mismatch");
+        u32::try_from(keys.len()).expect("batch row overflow");
+        CubeBatch {
+            keys,
+            measures,
+            index: OnceLock::new(),
+        }
     }
 
     /// The key column.
@@ -314,8 +339,8 @@ mod tests {
     #[test]
     fn pushes_after_a_probe_invalidate_the_index() {
         let mut batch = CubeBatch::new();
-        let k1: IKey = vec![IDim::Int(1)].into_boxed_slice();
-        let k2: IKey = vec![IDim::Int(2)].into_boxed_slice();
+        let k1: IKey = vec![IDim::Int(1)].into();
+        let k2: IKey = vec![IDim::Int(2)].into();
         batch.push(k1.clone(), 1.0);
         assert_eq!(batch.get(&k1), Some(1.0)); // forces the index
         batch.push(k2.clone(), 2.0);
@@ -327,7 +352,7 @@ mod tests {
     fn in_place_mutation_and_partiality() {
         let mut batch = CubeBatch::new();
         for i in 0..4 {
-            batch.push(vec![IDim::Int(i)].into_boxed_slice(), i as f64);
+            batch.push(vec![IDim::Int(i)].into(), i as f64);
         }
         for v in batch.measures_mut() {
             *v = 1.0 / *v; // 1/0 = inf at row 0
@@ -336,10 +361,14 @@ mod tests {
         assert_eq!(batch.len(), 3);
         assert_eq!(batch.get(&[IDim::Int(0)]), None);
         assert_eq!(batch.get(&[IDim::Int(2)]), Some(0.5));
-        // key rewrite through keys_mut stays probe-consistent
+        // key rewrite through keys_mut stays probe-consistent (uniquely
+        // owned keys mutate in place; aliased ones get a fresh `Arc`)
         for k in batch.keys_mut() {
             let IDim::Int(i) = k[0] else { unreachable!() };
-            k[0] = IDim::Int(i + 10);
+            match std::sync::Arc::get_mut(k) {
+                Some(slice) => slice[0] = IDim::Int(i + 10),
+                None => *k = vec![IDim::Int(i + 10)].into(),
+            }
         }
         assert_eq!(batch.get(&[IDim::Int(12)]), Some(0.5));
         assert_eq!(batch.get(&[IDim::Int(2)]), None);

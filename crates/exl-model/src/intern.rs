@@ -45,7 +45,13 @@ pub enum IDim {
 }
 
 /// A flat, interned dimension tuple: the key type of the keyed kernels.
-pub type IKey = Box<[IDim]>;
+///
+/// Shared (`Arc`), not boxed: batch kernels clone keys on every
+/// surviving row (stream regions, join outputs, group extraction), and
+/// a reference-count bump beats a heap allocation plus copy on each of
+/// those clones. Equality, ordering, and hashing all deref to the
+/// slice, so the change is invisible to the keyed kernels.
+pub type IKey = std::sync::Arc<[IDim]>;
 
 /// Append-only interning pool for dimension strings.
 ///

@@ -58,6 +58,12 @@ pub enum FlightKind {
     Subgraph,
     /// A run started or ended (site = `engine.run`).
     Run,
+    /// The plan compiler fused statements into a streaming region
+    /// (site = target, detail = region/fusion counts).
+    PlanFuse,
+    /// The plan compiler reused a structurally identical subexpression
+    /// across statements (site = target, detail = reuse count).
+    PlanCse,
 }
 
 impl FlightKind {
@@ -78,6 +84,8 @@ impl FlightKind {
             FlightKind::Statement => "stmt",
             FlightKind::Subgraph => "subgraph",
             FlightKind::Run => "run",
+            FlightKind::PlanFuse => "plan.fuse",
+            FlightKind::PlanCse => "plan.cse",
         }
     }
 }
@@ -264,10 +272,14 @@ mod tests {
             FlightKind::Statement,
             FlightKind::Subgraph,
             FlightKind::Run,
+            FlightKind::PlanFuse,
+            FlightKind::PlanCse,
         ];
         let names: std::collections::BTreeSet<&str> = kinds.iter().map(|k| k.as_str()).collect();
         assert_eq!(names.len(), kinds.len());
         assert!(names.contains("fault.fired"));
         assert!(names.contains("govern.trip"));
+        assert!(names.contains("plan.fuse"));
+        assert!(names.contains("plan.cse"));
     }
 }

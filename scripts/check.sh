@@ -27,6 +27,12 @@ echo "== incremental differential (fixed-seed matrix) =="
 # compared bit for bit against cache-free engines
 cargo test -q -p exl-integration-tests --test incremental_differential
 
+echo "== fusion differential (fixed-seed matrix) =="
+# fused ≡ unfused bitwise over 120 random programs (+ the interned chase
+# within 1e-9 on a quarter of them), deep-chain shapes, and warm-cache
+# delta runs split at the dirty frontier
+cargo test -q -p exl-integration-tests --test fusion_differential
+
 echo "== traced run =="
 # one end-to-end exlc run with tracing + progress on; the emitted Chrome
 # trace JSON must parse, be rooted, and hold one subgraph span (with
