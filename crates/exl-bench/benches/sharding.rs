@@ -1,0 +1,71 @@
+//! B5 (sharding tier) — the sharded dispatcher on a million-row wide
+//! cube: one native subgraph, its data partitioned on the region
+//! dimension, one evaluator instance per shard. `shards-1` is the
+//! sharding layer's overhead baseline (same code path, one partition);
+//! `shards-auto` uses the host's core count. On a multi-core host the
+//! auto tier is expected to beat the single shard roughly by the core
+//! count for this embarrassingly-row-wise chain; on a single-core host
+//! the two tiers measure the same work plus the split/merge overhead.
+//! Either way the outputs are bit-identical — the invariance suite
+//! (`tests/tests/shard_differential.rs`) pins that, this bench only
+//! times it.
+//!
+//! The default tier is 1M rows (2 500 regions × 400 quarters). The 10M
+//! tier (25 000 × 400) is opt-in via `EXL_BENCH_B5_10M=1` — it takes
+//! minutes on small hosts and CI budgets are finite.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use exl_engine::ExlEngine;
+use exl_workload::{wide_program, wide_scenario, WideConfig};
+
+fn build_engine(cfg: WideConfig, shards: Option<usize>) -> ExlEngine {
+    let (analyzed, data) = wide_scenario(cfg);
+    let mut e = ExlEngine::new();
+    e.shards = shards;
+    e.register_program("wide", &wide_program(cfg.barrier))
+        .unwrap();
+    for id in analyzed.elementary_inputs() {
+        e.load_elementary(&id, data.data(&id).unwrap().clone())
+            .unwrap();
+    }
+    e
+}
+
+fn bench_sharding(c: &mut Criterion) {
+    let mut tiers = vec![(2_500usize, 400usize, "1M")];
+    if std::env::var("EXL_BENCH_B5_10M").is_ok_and(|v| !v.is_empty() && v != "0") {
+        tiers.push((25_000, 400, "10M"));
+    }
+    let auto = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut group = c.benchmark_group("B5/sharding");
+    group.sample_size(10);
+    for (regions, quarters, label) in tiers {
+        let cfg = WideConfig {
+            regions,
+            quarters,
+            seed: 7,
+            barrier: true,
+        };
+        group.throughput(Throughput::Elements((regions * quarters) as u64));
+        let mut one = build_engine(cfg, Some(1));
+        // one untimed full pass before anything is measured: the first
+        // series would otherwise pay the process's allocator cold-start
+        // and look slower than the same code path measured second
+        one.run_all().unwrap();
+        group.bench_with_input(BenchmarkId::new("shards-1", label), &(), |b, _| {
+            b.iter(|| one.run_all().unwrap())
+        });
+        let mut many = build_engine(cfg, Some(0));
+        group.bench_with_input(
+            BenchmarkId::new(format!("shards-auto{auto}"), label),
+            &(),
+            |b, _| b.iter(|| many.run_all().unwrap()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sharding);
+criterion_main!(benches);

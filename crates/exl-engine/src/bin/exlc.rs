@@ -43,6 +43,16 @@
 //! * `--keep-going` — degradation mode: complete everything not
 //!   downstream of a failure (meaningful for multi-subgraph runs).
 //!
+//! Sharded dispatch for `run` (see `docs/PERFORMANCE.md`):
+//!
+//! * `--shards <n|auto>` — partition each native subgraph's data on an
+//!   automatically chosen dimension and execute one evaluator instance
+//!   per shard in parallel (`auto` = host core count). Results are
+//!   bit-identical for every shard count. Forces the full-engine path.
+//!   `EXL_NO_FUSION=1` in the environment disables plan fusion for the
+//!   invocation (a CLI-level default; the library takes the switch
+//!   per run via `ExecOpts`).
+//!
 //! Governance options for `run`/`explain` (see `docs/GOVERNANCE.md`):
 //!
 //! * `--run-deadline-ms <n>` — wall-clock budget for the whole run; when
@@ -116,6 +126,20 @@ struct Globals {
     bundle_dir: Option<String>,
     ledger_dir: Option<String>,
     inject_fault: Option<String>,
+    /// `--shards <n|auto>`: shard native subgraphs (`Some(0)` = auto by
+    /// host core count). Forces the full-engine run path.
+    shards: Option<usize>,
+}
+
+/// The CLI-level execution defaults: `EXL_NO_FUSION=1` disables plan
+/// fusion for this invocation. The env var is read exactly here — the
+/// library takes the switch per run via [`exl_engine::ExecOpts`], so
+/// parallel test harnesses are never exposed to a process-global toggle.
+fn exec_from_env() -> exl_engine::ExecOpts {
+    exl_engine::ExecOpts {
+        no_fusion: std::env::var("EXL_NO_FUSION").is_ok_and(|v| !v.is_empty() && v != "0"),
+        eval_threads: None,
+    }
 }
 
 /// The process-wide external cancellation token. SIGINT cancels it; every
@@ -271,6 +295,19 @@ fn extract_globals(args: &mut Vec<String>) -> Result<Globals, String> {
     let bundle_dir = extract_value_flag(args, "--bundle-dir")?;
     let ledger_dir = extract_value_flag(args, "--ledger-dir")?;
     let inject_fault = extract_value_flag(args, "--inject-fault")?;
+    let shards = match extract_value_flag(args, "--shards")? {
+        Some(v) if v == "auto" => Some(0),
+        Some(v) => {
+            let n: usize = v
+                .parse()
+                .map_err(|_| format!("--shards: `{v}` is not a shard count (or `auto`)"))?;
+            if n == 0 {
+                return Err("--shards: the count must be at least 1 (or `auto`)".into());
+            }
+            Some(n)
+        }
+        None => None,
+    };
     Ok(Globals {
         metrics_path,
         metrics_prom,
@@ -284,6 +321,7 @@ fn extract_globals(args: &mut Vec<String>) -> Result<Globals, String> {
         bundle_dir,
         ledger_dir,
         inject_fault,
+        shards,
     })
 }
 
@@ -558,6 +596,8 @@ fn build_engine(
         e.set_ledger_dir(dir).map_err(|e| e.to_string())?;
     }
     e.govern = govern_config(globals);
+    e.shards = globals.shards;
+    e.exec = exec_from_env();
     e.register_program("main", &source)
         .map_err(|e| e.to_string())?;
     for id in analyzed.elementary_inputs() {
@@ -659,7 +699,8 @@ fn do_run(
         || globals.progress
         || use_cache
         || globals.bundle_dir.is_some()
-        || globals.ledger_dir.is_some();
+        || globals.ledger_dir.is_some()
+        || globals.shards.is_some();
     if use_engine {
         // tracing, progress, the run cache, or an observability sink
         // asked for: run through the full engine so per-subgraph
@@ -697,9 +738,16 @@ fn do_run(
         let output = if let Some(policy) = &globals.policy {
             // fault-handling flags were given: run under the dispatch
             // supervisor (which records the subgraph span per attempt)
-            let (output, attempts) =
-                exl_engine::run_on_target_supervised(&analyzed, &input, target, policy, metrics)
-                    .map_err(|e| e.to_string())?;
+            let (output, attempts) = exl_engine::run_on_target_supervised_opts(
+                &analyzed,
+                &input,
+                target,
+                policy,
+                metrics,
+                &exl_obs::Span::disabled(),
+                exec_from_env(),
+            )
+            .map_err(|e| e.to_string())?;
             if attempts.len() > 1 {
                 eprintln!("exlc: run succeeded after {} attempts", attempts.len());
             }
@@ -707,7 +755,7 @@ fn do_run(
         } else {
             // the whole program runs as one subgraph on the chosen target
             let _span = exl_obs::span(recorder, format!("engine.subgraph.{target}"));
-            exl_engine::run_on_target_recorded(&analyzed, &input, target, recorder)
+            exl_engine::run_on_target_opts(&analyzed, &input, target, recorder, exec_from_env())
                 .map_err(|e| e.to_string())?
         };
         for id in analyzed.program.derived_ids() {

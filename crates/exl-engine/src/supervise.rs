@@ -33,7 +33,7 @@ use exl_model::Dataset;
 use exl_obs::{MetricsRegistry, NoopRecorder, Recorder};
 
 use crate::error::EngineError;
-use crate::target::{execute_in_context, execute_traced, TargetCode, TargetKind};
+use crate::target::{execute_in_context_opts, ExecOpts, TargetCode, TargetKind};
 
 /// Shared no-op recorder for metric-less supervision.
 static NOOP: NoopRecorder = NoopRecorder;
@@ -165,12 +165,48 @@ pub fn run_supervised_traced(
     metrics: Option<&Arc<MetricsRegistry>>,
     trace: &exl_obs::Span,
 ) -> (Result<Dataset, EngineError>, Vec<Attempt>) {
+    run_supervised_opts(
+        code,
+        native,
+        input,
+        wanted,
+        policy,
+        metrics,
+        trace,
+        ExecOpts::default(),
+    )
+}
+
+/// [`run_supervised_traced`] with explicit [`ExecOpts`]: every attempt
+/// (retries and fallbacks included) executes with the given fusion /
+/// evaluator-thread settings. The sharded dispatcher runs each shard
+/// worker through this form with `eval_threads = Some(1)`.
+#[allow(clippy::too_many_arguments)]
+pub fn run_supervised_opts(
+    code: &TargetCode,
+    native: Option<&TargetCode>,
+    input: &Dataset,
+    wanted: &[CubeId],
+    policy: &DispatchPolicy,
+    metrics: Option<&Arc<MetricsRegistry>>,
+    trace: &exl_obs::Span,
+    opts: ExecOpts,
+) -> (Result<Dataset, EngineError>, Vec<Attempt>) {
     let recorder: &dyn Recorder = match metrics {
         Some(m) => m.as_ref(),
         None => &NOOP,
     };
     let mut attempts = Vec::new();
-    let primary = attempt_chain(code, input, wanted, policy, metrics, &mut attempts, trace);
+    let primary = attempt_chain(
+        code,
+        input,
+        wanted,
+        policy,
+        metrics,
+        &mut attempts,
+        trace,
+        opts,
+    );
     let result = match primary {
         Err(e) if e.is_retryable() && policy.runtime_fallback => match native {
             Some(native) => {
@@ -185,7 +221,16 @@ pub fn run_supervised_traced(
                     code.target_name(),
                     native.target_name()
                 ));
-                attempt_chain(native, input, wanted, policy, metrics, &mut attempts, trace)
+                attempt_chain(
+                    native,
+                    input,
+                    wanted,
+                    policy,
+                    metrics,
+                    &mut attempts,
+                    trace,
+                    opts,
+                )
             }
             None => Err(e),
         },
@@ -205,6 +250,7 @@ fn attempt_chain(
     metrics: Option<&Arc<MetricsRegistry>>,
     attempts: &mut Vec<Attempt>,
     trace: &exl_obs::Span,
+    opts: ExecOpts,
 ) -> Result<Dataset, EngineError> {
     let recorder: &dyn Recorder = match metrics {
         Some(m) => m.as_ref(),
@@ -216,7 +262,15 @@ fn attempt_chain(
         let span = trace.child("attempt");
         span.set_attr("target", target.name());
         span.set_attr("attempt", attempts.len() as u64 + 1);
-        let result = execute_guarded(code, input, wanted, policy.subgraph_timeout, metrics, &span);
+        let result = execute_guarded(
+            code,
+            input,
+            wanted,
+            policy.subgraph_timeout,
+            metrics,
+            &span,
+            opts,
+        );
         let outcome = match &result {
             Ok(_) => AttemptOutcome::Success,
             Err(EngineError::Panic { message, .. }) => {
@@ -282,6 +336,7 @@ fn attempt_chain(
 /// so the thread is reclaimed instead of abandoned. The child token
 /// keeps the cancellation local to this attempt — a retry (or the
 /// native fallback) starts with a fresh, uncancelled child.
+#[allow(clippy::too_many_arguments)]
 fn execute_guarded(
     code: &TargetCode,
     input: &Dataset,
@@ -289,6 +344,7 @@ fn execute_guarded(
     timeout: Option<Duration>,
     metrics: Option<&Arc<MetricsRegistry>>,
     trace: &exl_obs::Span,
+    opts: ExecOpts,
 ) -> Result<Dataset, EngineError> {
     let target = code.target_name();
     let Some(deadline) = timeout else {
@@ -298,7 +354,7 @@ fn execute_guarded(
         };
         let _span = exl_obs::span(recorder, format!("engine.subgraph.{target}"));
         return catch_unwind(AssertUnwindSafe(|| {
-            execute_traced(code, input, wanted, recorder, trace)
+            execute_in_context_opts(code, input, wanted, recorder, &trace.context(), opts)
         }))
         .unwrap_or_else(|payload| {
             Err(EngineError::Panic {
@@ -333,7 +389,7 @@ fn execute_guarded(
             };
             let _span = exl_obs::span(recorder, format!("engine.subgraph.{}", code.target_name()));
             let result = catch_unwind(AssertUnwindSafe(|| {
-                execute_in_context(&code, &input, &wanted, recorder, &ctx)
+                execute_in_context_opts(&code, &input, &wanted, recorder, &ctx, opts)
             }))
             .unwrap_or_else(|payload| {
                 Err(EngineError::Panic {
@@ -403,6 +459,30 @@ pub fn run_on_target_supervised_traced(
     metrics: Option<&Arc<MetricsRegistry>>,
     trace: &exl_obs::Span,
 ) -> Result<(Dataset, Vec<Attempt>), EngineError> {
+    run_on_target_supervised_opts(
+        analyzed,
+        input,
+        target,
+        policy,
+        metrics,
+        trace,
+        ExecOpts::default(),
+    )
+}
+
+/// [`run_on_target_supervised_traced`] with explicit [`ExecOpts`] — how
+/// `exlc` threads its env-derived defaults (`EXL_NO_FUSION`) into a
+/// supervised whole-program run.
+#[allow(clippy::too_many_arguments)]
+pub fn run_on_target_supervised_opts(
+    analyzed: &exl_lang::analyze::AnalyzedProgram,
+    input: &Dataset,
+    target: TargetKind,
+    policy: &DispatchPolicy,
+    metrics: Option<&Arc<MetricsRegistry>>,
+    trace: &exl_obs::Span,
+    opts: ExecOpts,
+) -> Result<(Dataset, Vec<Attempt>), EngineError> {
     let recorder: &dyn Recorder = match metrics {
         Some(m) => m.as_ref(),
         None => &NOOP,
@@ -426,7 +506,7 @@ pub fn run_on_target_supervised_traced(
             )));
         }
     }
-    let (result, attempts) = run_supervised_traced(
+    let (result, attempts) = run_supervised_opts(
         &code,
         native.as_ref(),
         &restricted,
@@ -434,6 +514,7 @@ pub fn run_on_target_supervised_traced(
         policy,
         metrics,
         trace,
+        opts,
     );
     result.map(|ds| (ds, attempts))
 }

@@ -270,6 +270,23 @@ pub fn translate(
     }
 }
 
+/// Per-dispatch execution options, threaded from the engine (or `exlc`)
+/// down to the native evaluator. These replace the process-global
+/// `EXL_NO_FUSION` / `EXL_EVAL_THREADS` environment toggles inside the
+/// engine: the env vars remain CLI-level defaults only, so parallel test
+/// harnesses (and parallel shard workers) can pick different settings
+/// per run without racing on `set_var`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExecOpts {
+    /// Run native subgraphs on the statement-at-a-time evaluator instead
+    /// of the fused streaming plans.
+    pub no_fusion: bool,
+    /// Fixed native-evaluator worker count (`None` probes the machine).
+    /// The sharded dispatcher pins this to 1 per shard worker so shard
+    /// parallelism does not multiply with intra-evaluator parallelism.
+    pub eval_threads: Option<usize>,
+}
+
 /// Execute translated code against input data, returning the cubes named
 /// in `wanted` (normally the subgraph's statement targets — rewrite
 /// auxiliaries are filtered out here).
@@ -318,11 +335,25 @@ pub fn execute_in_context(
     recorder: &dyn exl_obs::Recorder,
     ctx: &exl_obs::SpanContext,
 ) -> Result<Dataset, EngineError> {
+    execute_in_context_opts(code, input, wanted, recorder, ctx, ExecOpts::default())
+}
+
+/// [`execute_in_context`] with explicit [`ExecOpts`] — the form the
+/// engine and the sharded dispatcher use to control fusion and evaluator
+/// parallelism per run instead of via process-global environment state.
+pub fn execute_in_context_opts(
+    code: &TargetCode,
+    input: &Dataset,
+    wanted: &[CubeId],
+    recorder: &dyn exl_obs::Recorder,
+    ctx: &exl_obs::SpanContext,
+    opts: ExecOpts,
+) -> Result<Dataset, EngineError> {
     let _span = exl_obs::span(recorder, format!("target.execute.{}", code.target_name()));
     let exec = ctx.child(format!("execute.{}", code.target_name()));
     exec.set_attr("target", code.target_name());
     exec.set_attr("rows_in", dataset_rows(input));
-    let out = execute_traced_inner(code, input, wanted, recorder, &exec);
+    let out = execute_traced_inner(code, input, wanted, recorder, &exec, opts);
     match &out {
         Ok(ds) => {
             exec.set_attr("rows_out", dataset_rows(ds));
@@ -366,6 +397,7 @@ fn execute_traced_inner(
     wanted: &[CubeId],
     recorder: &dyn exl_obs::Recorder,
     trace: &exl_obs::Span,
+    opts: ExecOpts,
 ) -> Result<Dataset, EngineError> {
     // chaos hook: `exec.<target>` covers the whole backend execution
     exl_fault::check(&format!("exec.{}", code.target_name()))
@@ -375,7 +407,11 @@ fn execute_traced_inner(
     exl_fault::govern::checkpoint()?;
     let full = match code {
         TargetCode::Native { analyzed } => {
-            let (full, plan) = exl_eval::run_program_with_stats(analyzed, input)
+            let eval_opts = exl_eval::EvalOptions {
+                no_fusion: opts.no_fusion,
+                threads: opts.eval_threads,
+            };
+            let (full, plan) = exl_eval::run_program_with_stats_opts(analyzed, input, eval_opts)
                 .map_err(|e| governed_or(e.govern_cause(), &e, None))?;
             // plan-compilation telemetry: counters accumulate per run,
             // flight events mark which subgraphs actually fused or CSE'd
@@ -545,6 +581,19 @@ pub fn run_on_target_recorded(
     target: TargetKind,
     recorder: &dyn exl_obs::Recorder,
 ) -> Result<Dataset, EngineError> {
+    run_on_target_opts(analyzed, input, target, recorder, ExecOpts::default())
+}
+
+/// [`run_on_target_recorded`] with explicit [`ExecOpts`] — used by `exlc`
+/// to apply its CLI-level fusion/thread defaults without mutating
+/// process-global environment state.
+pub fn run_on_target_opts(
+    analyzed: &AnalyzedProgram,
+    input: &Dataset,
+    target: TargetKind,
+    recorder: &dyn exl_obs::Recorder,
+    opts: ExecOpts,
+) -> Result<Dataset, EngineError> {
     let code = {
         let _span = exl_obs::span(recorder, "engine.translate");
         translate(analyzed, target)?
@@ -560,7 +609,14 @@ pub fn run_on_target_recorded(
             )));
         }
     }
-    execute_recorded(&code, &restricted, &wanted, recorder)
+    execute_in_context_opts(
+        &code,
+        &restricted,
+        &wanted,
+        recorder,
+        &exl_obs::Span::disabled().context(),
+        opts,
+    )
 }
 
 /// Schemas for a statement subset's *external inputs*: every cube the

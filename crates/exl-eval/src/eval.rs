@@ -52,6 +52,9 @@ pub(crate) const PAR_MIN_ROWS: usize = 4096;
 /// contract makes the setting invisible in the results: every float is
 /// bit-identical for any worker count.
 pub(crate) fn workers() -> usize {
+    if let Some(n) = THREAD_OVERRIDE.get() {
+        return n.max(1);
+    }
     if let Some(n) = std::env::var("EXL_EVAL_THREADS")
         .ok()
         .and_then(|s| s.parse::<usize>().ok())
@@ -62,6 +65,54 @@ pub(crate) fn workers() -> usize {
         .map(|n| n.get())
         .unwrap_or(1)
         .min(8)
+}
+
+thread_local! {
+    /// Per-run worker-count override installed by [`run_program_opts`]
+    /// for the duration of the run. Thread-local rather than process
+    /// global: the sharded dispatcher runs several evaluations
+    /// concurrently with different counts, and a process-global setting
+    /// (like the old `EXL_NO_FUSION` env toggle) would race under the
+    /// parallel test harness.
+    static THREAD_OVERRIDE: std::cell::Cell<Option<usize>> =
+        const { std::cell::Cell::new(None) };
+}
+
+/// RAII restore of the thread-local worker override.
+struct ThreadsGuard(Option<usize>);
+
+impl ThreadsGuard {
+    fn install(n: Option<usize>) -> ThreadsGuard {
+        let prev = THREAD_OVERRIDE.get();
+        if n.is_some() {
+            THREAD_OVERRIDE.set(n);
+        }
+        ThreadsGuard(prev)
+    }
+}
+
+impl Drop for ThreadsGuard {
+    fn drop(&mut self) {
+        THREAD_OVERRIDE.set(self.0);
+    }
+}
+
+/// Per-run evaluation options.
+///
+/// Both switches default to the fast path and exist so that callers — the
+/// engine dispatcher, differential tests, `exlc` — can pin behavior *per
+/// run* instead of through process-global environment variables, which
+/// race under a parallel test harness. `exlc` still reads `EXL_NO_FUSION`
+/// and `EXL_EVAL_THREADS` as CLI-level defaults.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EvalOptions {
+    /// Skip plan compilation and run the statement-at-a-time reference
+    /// evaluator. Bit-identical results either way.
+    pub no_fusion: bool,
+    /// Fixed worker count for data-parallel operators; `None` probes the
+    /// machine (capped at 8). The fold-then-merge contract makes the
+    /// setting invisible in results.
+    pub threads: Option<usize>,
 }
 
 /// Seasonal period implied by a time frequency, shared by every backend so
@@ -141,27 +192,44 @@ impl EvalSession {
 /// (including normalization temporaries, when the program was normalized).
 /// Fails when an elementary input is missing or base data is malformed.
 ///
-/// By default the program is compiled into a fused region plan
-/// ([`crate::plan`]) before execution; setting `EXL_NO_FUSION` (any
-/// value) falls back to the statement-at-a-time evaluator. Both paths
-/// produce bit-identical results — the escape hatch exists for
-/// differential testing and for isolating fusion when debugging.
+/// The program is compiled into a fused region plan ([`crate::plan`])
+/// before execution; [`run_program_opts`] with
+/// [`EvalOptions::no_fusion`] falls back to the statement-at-a-time
+/// evaluator. Both paths produce bit-identical results — the escape
+/// hatch exists for differential testing and for isolating fusion when
+/// debugging.
 pub fn run_program(analyzed: &AnalyzedProgram, input: &Dataset) -> Result<Dataset, EvalError> {
-    if std::env::var_os("EXL_NO_FUSION").is_some() {
-        return run_program_unfused(analyzed, input);
-    }
-    run_program_fused(analyzed, input).map(|(env, _)| env)
+    run_program_opts(analyzed, input, EvalOptions::default())
+}
+
+/// [`run_program`] with explicit per-run [`EvalOptions`].
+pub fn run_program_opts(
+    analyzed: &AnalyzedProgram,
+    input: &Dataset,
+    opts: EvalOptions,
+) -> Result<Dataset, EvalError> {
+    run_program_with_stats_opts(analyzed, input, opts).map(|(env, _)| env)
 }
 
 /// [`run_program`] variant that also reports the compiled plan's
 /// statistics (regions formed, statements fused, CSE reuses, bytes not
-/// materialized) so dispatchers can surface them as metrics. Honors the
-/// same `EXL_NO_FUSION` escape hatch, returning zeroed stats.
+/// materialized) so dispatchers can surface them as metrics.
 pub fn run_program_with_stats(
     analyzed: &AnalyzedProgram,
     input: &Dataset,
 ) -> Result<(Dataset, crate::plan::PlanStats), EvalError> {
-    if std::env::var_os("EXL_NO_FUSION").is_some() {
+    run_program_with_stats_opts(analyzed, input, EvalOptions::default())
+}
+
+/// [`run_program_with_stats`] with explicit per-run [`EvalOptions`].
+/// Unfused runs return zeroed stats.
+pub fn run_program_with_stats_opts(
+    analyzed: &AnalyzedProgram,
+    input: &Dataset,
+    opts: EvalOptions,
+) -> Result<(Dataset, crate::plan::PlanStats), EvalError> {
+    let _threads = ThreadsGuard::install(opts.threads);
+    if opts.no_fusion {
         let env = run_program_unfused(analyzed, input)?;
         return Ok((env, crate::plan::PlanStats::default()));
     }

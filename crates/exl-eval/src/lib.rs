@@ -24,11 +24,13 @@ pub mod delta;
 pub mod error;
 pub mod eval;
 pub mod plan;
+pub mod shard;
 
 pub use delta::{changed_keys, delta_shape, eval_statement_delta, DeltaShape};
 pub use error::EvalError;
 pub use eval::{
-    aggregate_data, eval_statement, run_program, run_program_unfused, run_program_with_stats,
-    series_period, EvalSession,
+    aggregate_data, eval_statement, run_program, run_program_opts, run_program_unfused,
+    run_program_with_stats, run_program_with_stats_opts, series_period, EvalOptions, EvalSession,
 };
 pub use plan::{plan_description, PlanDescription, PlanStats, RegionDesc};
+pub use shard::{plan_shards, ShardPlan, ShardSegment};

@@ -64,6 +64,16 @@ pub enum FlightKind {
     /// The plan compiler reused a structurally identical subexpression
     /// across statements (site = target, detail = reuse count).
     PlanCse,
+    /// The dispatcher partitioned a native subgraph across shards
+    /// (site = target, detail = shard dim + count).
+    ShardDispatch,
+    /// Per-shard outputs were concatenated at a subgraph boundary
+    /// (site = target, detail = shard + row counts).
+    ShardMerge,
+    /// One shard of a warm run actually re-executed instead of
+    /// replaying from its per-shard cache entry (site = target,
+    /// detail = shard index).
+    ShardReplay,
 }
 
 impl FlightKind {
@@ -86,6 +96,9 @@ impl FlightKind {
             FlightKind::Run => "run",
             FlightKind::PlanFuse => "plan.fuse",
             FlightKind::PlanCse => "plan.cse",
+            FlightKind::ShardDispatch => "shard.dispatch",
+            FlightKind::ShardMerge => "shard.merge",
+            FlightKind::ShardReplay => "shard.replay",
         }
     }
 }
@@ -274,6 +287,9 @@ mod tests {
             FlightKind::Run,
             FlightKind::PlanFuse,
             FlightKind::PlanCse,
+            FlightKind::ShardDispatch,
+            FlightKind::ShardMerge,
+            FlightKind::ShardReplay,
         ];
         let names: std::collections::BTreeSet<&str> = kinds.iter().map(|k| k.as_str()).collect();
         assert_eq!(names.len(), kinds.len());
@@ -281,5 +297,7 @@ mod tests {
         assert!(names.contains("govern.trip"));
         assert!(names.contains("plan.fuse"));
         assert!(names.contains("plan.cse"));
+        assert!(names.contains("shard.dispatch"));
+        assert!(names.contains("shard.replay"));
     }
 }

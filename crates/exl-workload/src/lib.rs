@@ -10,7 +10,9 @@
 //!   used by the property-based equivalence tests and by the chase
 //!   benchmarks;
 //! * [`chains`] — deep tuple-level statement chains for the translation
-//!   (B1) and fusion (B6) benchmarks.
+//!   (B1) and fusion (B6) benchmarks;
+//! * [`wide`] — million-row wide cubes over a high-cardinality text
+//!   dimension, the workload of the sharded-dispatch benchmark (B5).
 
 #![warn(missing_docs)]
 
@@ -18,7 +20,9 @@ pub mod chains;
 pub mod delta;
 pub mod gdp;
 pub mod random;
+pub mod wide;
 
 pub use delta::DeltaGen;
 pub use gdp::{gdp_dataset, gdp_scenario, GdpConfig, GDP_PROGRAM};
 pub use random::{random_scenario, RandomConfig};
+pub use wide::{wide_program, wide_scenario, WideConfig};

@@ -33,6 +33,12 @@ echo "== fusion differential (fixed-seed matrix) =="
 # delta runs split at the dirty frontier
 cargo test -q -p exl-integration-tests --test fusion_differential
 
+echo "== shard differential (fixed-seed matrix) =="
+# sharded ≡ unsharded bitwise over 100 random programs at shard counts
+# 1/2/4/8 (fused and unfused), the B5 wide workload, and warm one-shard
+# delta replays pinned by `shard.replayed` counters
+cargo test -q -p exl-integration-tests --test shard_differential
+
 echo "== traced run =="
 # one end-to-end exlc run with tracing + progress on; the emitted Chrome
 # trace JSON must parse, be rooted, and hold one subgraph span (with
@@ -109,6 +115,44 @@ done
     echo "expected a two-run ledger"; exit 1; }
 cargo run -q --release -p exl-engine --bin exlc -- perf "$tmp/ledger" --min-runs 1
 echo "observability gate ok"
+
+echo "== sharded dispatch =="
+# the same program run sharded must match the unsharded output byte for
+# byte, and a two-run sharded ledger must carry per-shard statement keys
+# (`{cubes}#s{i}/{n}`) that `exlc perf` tracks as independent series
+cat > "$tmp/wide.exl" <<'EOF'
+cube W(q: time[quarter], r: text) -> v;
+A := 2 * W;
+T := sum(A, group by q);
+EOF
+cat > "$tmp/wide.json" <<'EOF'
+{ "W": [ [[{"Time": {"Quarter": {"year": 2020, "quarter": 1}}}, {"Str": "north"}], 1.0],
+         [[{"Time": {"Quarter": {"year": 2020, "quarter": 1}}}, {"Str": "south"}], 2.0],
+         [[{"Time": {"Quarter": {"year": 2020, "quarter": 2}}}, {"Str": "north"}], 3.0],
+         [[{"Time": {"Quarter": {"year": 2020, "quarter": 2}}}, {"Str": "south"}], 4.0] ] }
+EOF
+cargo run -q --release -p exl-engine --bin exlc -- \
+    run "$tmp/wide.exl" "$tmp/wide.json" > "$tmp/wide-unsharded.json"
+for i in 1 2; do
+    cargo run -q --release -p exl-engine --bin exlc -- \
+        --shards 2 --ledger-dir "$tmp/shard-ledger" \
+        run "$tmp/wide.exl" "$tmp/wide.json" > "$tmp/wide-sharded.json"
+done
+cmp "$tmp/wide-unsharded.json" "$tmp/wide-sharded.json" || {
+    echo "sharded output diverged from unsharded"; exit 1; }
+python3 - "$tmp/shard-ledger/ledger.jsonl" <<'PY'
+import json, sys
+runs = [json.loads(l) for l in open(sys.argv[1])]
+assert len(runs) == 2, f"expected a two-run sharded ledger, got {len(runs)}"
+for rec in runs:
+    keys = [s["key"] for s in rec["statements"]]
+    for shard in ("#s0/2", "#s1/2"):
+        assert any(k.endswith(shard) for k in keys), (shard, keys)
+print(f"sharded ledger ok: {len(runs)} runs, "
+      f"keys {sorted({k for r in runs for s in r['statements'] for k in [s['key']]})}")
+PY
+cargo run -q --release -p exl-engine --bin exlc -- perf "$tmp/shard-ledger" --min-runs 1
+echo "sharded dispatch gate ok"
 
 echo "== chaos =="
 scripts/chaos.sh 0 1 2 3

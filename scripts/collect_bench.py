@@ -24,6 +24,7 @@ element throughput — so per-tier performance drift is visible at a
 glance.
 """
 import json
+import os
 import pathlib
 import subprocess
 import sys
@@ -97,6 +98,9 @@ def write_snapshots(repo_root: pathlib.Path, groups) -> None:
         out = {
             "group": group,
             "unit": "ns",
+            # medians are only comparable across hosts with the same
+            # parallelism — the sharded tiers (B5) scale with it
+            "host_cores": os.cpu_count(),
             "benches": [
                 {
                     "name": name,
@@ -132,12 +136,13 @@ def snapshot_cell(bench: dict) -> str:
 
 def trajectory(repo_root: pathlib.Path) -> None:
     """Fold BENCH_B*.json across git history into per-tier trend tables."""
-    names = sorted(
-        set(
-            git(repo_root, "log", "--all", "--format=", "--name-only", "--diff-filter=A")
-            .split()
-        )
+    committed = set(
+        git(repo_root, "log", "--all", "--format=", "--name-only", "--diff-filter=A").split()
     )
+    # a snapshot that exists only in the work tree (fresh bench, not yet
+    # committed) still gets a trajectory column
+    in_tree = {p.name for p in repo_root.glob("BENCH_B*.json")}
+    names = sorted(committed | in_tree)
     names = [n for n in names if n.startswith("BENCH_B") and n.endswith(".json")]
     if not names:
         print("no BENCH_B*.json in the git history")

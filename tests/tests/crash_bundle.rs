@@ -294,3 +294,47 @@ fn failed_run_still_appends_a_ledger_record() {
     assert_eq!(records[0].program.len(), 32);
     std::fs::remove_dir_all(&dir).unwrap();
 }
+
+/// A panic inside one shard of a sharded native subgraph produces a
+/// bundle whose error message names the failing shard (`shard {i}/{n}:`)
+/// and whose failing subgraph lists the sharded cubes — the post-mortem
+/// starts with the partition, not just the subgraph.
+#[test]
+fn sharded_panic_bundle_names_the_failing_shard() {
+    use exl_workload::{wide_program, wide_scenario, WideConfig};
+    let dir = bundle_dir("shard");
+    let cfg = WideConfig {
+        regions: 24,
+        quarters: 8,
+        seed: 11,
+        barrier: true,
+    };
+    let (analyzed, data) = wide_scenario(cfg);
+    let mut e = ExlEngine::new();
+    e.shards = Some(4);
+    e.register_program("wide", &wide_program(cfg.barrier))
+        .unwrap();
+    for id in analyzed.elementary_inputs() {
+        e.load_elementary(&id, data.data(&id).unwrap().clone())
+            .unwrap();
+    }
+    e.set_bundle_dir(&dir).unwrap();
+    let _guard = exl_fault::install(FaultPlan::panic_once("exec.native"));
+    e.run_all().unwrap_err();
+    let bundle = read_single_bundle(&dir);
+    assert_eq!(bundle.error.kind, "panic");
+    assert!(
+        bundle.error.message.contains("shard ") && bundle.error.message.contains("/4: "),
+        "bundle error does not name the failing shard: {}",
+        bundle.error.message
+    );
+    let failing = bundle.failing_subgraph.expect("failing subgraph named");
+    assert_eq!(failing.status, "failed");
+    assert!(
+        failing.cubes.contains(&"C".to_string()),
+        "{:?}",
+        failing.cubes
+    );
+    assert_eq!(bundle.fault_sites, vec!["exec.native".to_string()]);
+    std::fs::remove_dir_all(&dir).unwrap();
+}

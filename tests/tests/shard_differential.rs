@@ -1,0 +1,286 @@
+//! Shard-invariance differential coverage of the sharded dispatcher.
+//!
+//! Sharding is only allowed to change *where* a native subgraph's rows
+//! are computed, never a single bit of what comes out. Each case builds
+//! a seeded random program with matching data and runs it through the
+//! full engine at shard counts 1, 2, 4 and 8 — fused and unfused — and
+//! every run must be bit-identical (`approx_eq` tolerance `0.0`) to the
+//! unsharded reference. A corpus-wide tally asserts the matrix is not
+//! vacuous: a healthy fraction of the seeded programs must actually
+//! admit a shard plan and dispatch sharded.
+//!
+//! The warm half pins per-shard cache replay: with the run cache armed,
+//! a vintage delta that touches exactly one region replays exactly one
+//! shard (`shard.replayed` counter delta of 1, every other shard an
+//! exact-hit replay), and the patched outputs still match a cold
+//! unsharded run over the patched data bit for bit.
+
+use exl_engine::ExlEngine;
+use exl_lang::analyze::AnalyzedProgram;
+use exl_model::value::DimValue;
+use exl_model::Dataset;
+use exl_workload::{random_scenario, wide_program, wide_scenario, RandomConfig, WideConfig};
+
+/// A full engine over `src`/`input`, sharded `shards` ways (`None` =
+/// unsharded reference), with the per-run fusion switch set — the
+/// `ExecOpts` route, not an env var, so the parallel test harness never
+/// races on process state.
+fn engine_for(
+    src: &str,
+    analyzed: &AnalyzedProgram,
+    input: &Dataset,
+    shards: Option<usize>,
+    no_fusion: bool,
+) -> ExlEngine {
+    let mut e = ExlEngine::new();
+    e.shards = shards;
+    e.exec.no_fusion = no_fusion;
+    e.register_program("p", src).expect("program registers");
+    for id in analyzed.elementary_inputs() {
+        e.load_elementary(&id, input.data(&id).expect("input data").clone())
+            .expect("elementary loads");
+    }
+    e
+}
+
+/// Run to completion and pull every derived cube out of the catalog.
+/// Returns the run's report alongside, so callers can inspect whether
+/// (and how) sharding engaged.
+fn run_collect(e: &mut ExlEngine, analyzed: &AnalyzedProgram) -> (Dataset, bool) {
+    let report = e.run_all().expect("run succeeds");
+    let sharded = report.subgraphs.iter().any(|s| !s.shards.is_empty());
+    let mut out = Dataset::new();
+    for id in analyzed.program.derived_ids() {
+        let data = e.data(&id).expect("derived cube computed").clone();
+        let schema = analyzed.schemas[&id].clone();
+        out.put(exl_model::Cube::new(schema, data));
+    }
+    (out, sharded)
+}
+
+fn assert_bit_identical(analyzed: &AnalyzedProgram, a: &Dataset, b: &Dataset, label: &str) {
+    for id in analyzed.program.derived_ids() {
+        let x = a.data(&id).expect("reference derived");
+        let y = b
+            .data(&id)
+            .unwrap_or_else(|| panic!("{label}: {id} missing on the sharded side"));
+        assert!(
+            x.approx_eq(y, 0.0),
+            "{label}: {id} is not bit-identical\nprogram:\n{}\n{:?}",
+            exl_lang::program_to_string(&analyzed.program),
+            x.diff(y, 0.0)
+        );
+    }
+}
+
+/// The headline matrix: 100 seeded random programs, each executed at
+/// shard counts 1/2/4/8, fused and unfused, all bit-identical to the
+/// unsharded fused reference — with a corpus-wide floor on how many
+/// cases really dispatched sharded, so a planner regression that stops
+/// sharding everything cannot pass vacuously.
+#[test]
+fn sharded_runs_are_bit_identical_over_100_seeded_programs() {
+    let mut sharded_cases = 0usize;
+    for seed in 0..100u64 {
+        let cfg = RandomConfig {
+            seed,
+            statements: 3 + (seed as usize % 7),
+            multituple: true,
+            ..RandomConfig::default()
+        };
+        let (analyzed, input) = random_scenario(cfg);
+        let src = exl_lang::program_to_string(&analyzed.program);
+        let mut reference = engine_for(&src, &analyzed, &input, None, false);
+        let (want, _) = run_collect(&mut reference, &analyzed);
+        let mut case_sharded = false;
+        for no_fusion in [false, true] {
+            for shards in [1usize, 2, 4, 8] {
+                let label = format!(
+                    "seed {seed}, {} shard(s), fusion {}",
+                    shards,
+                    if no_fusion { "off" } else { "on" }
+                );
+                let mut e = engine_for(&src, &analyzed, &input, Some(shards), no_fusion);
+                let (got, sharded) = run_collect(&mut e, &analyzed);
+                assert_bit_identical(&analyzed, &want, &got, &label);
+                assert!(
+                    shards >= 2 || !sharded,
+                    "{label}: a single-shard run reported shard dispatch"
+                );
+                case_sharded |= sharded;
+            }
+        }
+        if case_sharded {
+            sharded_cases += 1;
+        }
+    }
+    // the corpus is seeded and fixed, so this floor is deterministic; it
+    // guards against the matrix silently degenerating to 100 unsharded
+    // self-comparisons
+    assert!(
+        sharded_cases >= 30,
+        "only {sharded_cases}/100 seeded programs dispatched sharded — \
+         the invariance matrix has gone vacuous"
+    );
+}
+
+/// The wide workload (the B5 bench shape, scaled down): a five-statement
+/// shard-local chain over `(q, r)` capped by a cross-region merge
+/// barrier, pinned bit-identical across shard counts, fused and unfused.
+#[test]
+fn wide_workload_is_bit_identical_across_shard_counts() {
+    let cfg = WideConfig {
+        regions: 50,
+        quarters: 16,
+        seed: 7,
+        barrier: true,
+    };
+    let (analyzed, input) = wide_scenario(cfg);
+    let src = wide_program(cfg.barrier);
+    let mut reference = engine_for(&src, &analyzed, &input, None, false);
+    let (want, _) = run_collect(&mut reference, &analyzed);
+    for no_fusion in [false, true] {
+        for shards in [1usize, 2, 4, 8] {
+            let mut e = engine_for(&src, &analyzed, &input, Some(shards), no_fusion);
+            let (got, sharded) = run_collect(&mut e, &analyzed);
+            assert_eq!(sharded, shards >= 2, "wide workload must shard");
+            assert_bit_identical(
+                &analyzed,
+                &want,
+                &got,
+                &format!("wide, {shards} shard(s), fusion {}", !no_fusion),
+            );
+        }
+    }
+}
+
+/// Warm-cache shard replay: after a cold sharded run, a vintage delta
+/// touching exactly one region must replay exactly one shard — the
+/// other shards resolve on per-shard exact hits — and the patched
+/// outputs must match a cold unsharded run over the patched data.
+#[test]
+fn one_region_delta_replays_exactly_one_shard_warm() {
+    for shards in [2usize, 4, 8] {
+        let cfg = WideConfig {
+            regions: 40,
+            quarters: 12,
+            seed: 3,
+            barrier: true,
+        };
+        let (analyzed, input) = wide_scenario(cfg);
+        let src = wide_program(cfg.barrier);
+        let mut e = engine_for(&src, &analyzed, &input, Some(shards), false);
+        let registry = e.enable_metrics();
+        e.enable_cache();
+        e.run_all().expect("cold sharded vintage");
+        let cold = registry.snapshot();
+        assert_eq!(
+            cold.counter("shard.replayed"),
+            shards as u64,
+            "cold run: every shard executes"
+        );
+
+        // patch one region's first observation; the region pins which
+        // shard goes dirty
+        let region = DimValue::Str("r00007".into());
+        let dirty = exl_model::shard::shard_of(&region, shards);
+        let w_schema = analyzed.schemas[&"W".into()].clone();
+        let mut patched = input.data(&"W".into()).expect("wide input").clone();
+        patched.insert_overwrite(
+            vec![
+                exl_model::value::DimValue::Time(exl_model::TimePoint::Quarter {
+                    year: 2000,
+                    quarter: 1,
+                }),
+                region,
+            ],
+            999.25,
+        );
+        e.load_elementary(&"W".into(), patched.clone())
+            .expect("patch loads");
+        let report = e.recompute(&["W".into()]).expect("warm delta recompute");
+        let warm = registry.snapshot();
+        assert_eq!(
+            warm.counter("shard.replayed") - cold.counter("shard.replayed"),
+            1,
+            "{shards} shards: a one-region delta must replay exactly one shard"
+        );
+        let sharded_report = report
+            .subgraphs
+            .iter()
+            .find(|s| !s.shards.is_empty())
+            .expect("warm run dispatched sharded");
+        for shard in &sharded_report.shards {
+            assert_eq!(
+                shard.replayed,
+                shard.index == dirty,
+                "shard {}/{shards}: replayed={} but dirty shard is {dirty}",
+                shard.index,
+                shard.replayed
+            );
+        }
+
+        // and the mixed replay must still be bit-identical to a cold
+        // unsharded run over the patched vintage
+        let mut patched_input = input.clone();
+        patched_input.put(exl_model::Cube::new(w_schema, patched));
+        let mut reference = engine_for(&src, &analyzed, &patched_input, None, false);
+        let (want, _) = run_collect(&mut reference, &analyzed);
+        for id in analyzed.program.derived_ids() {
+            let got = e.data(&id).expect("warm derived");
+            let x = want.data(&id).expect("cold derived");
+            assert!(
+                got.approx_eq(x, 0.0),
+                "{shards} shards: {id} diverged after the one-shard replay\n{:?}",
+                got.diff(x, 0.0)
+            );
+        }
+    }
+}
+
+/// Warm invariance on the random corpus: a 25-seed delta matrix — cold
+/// sharded run, one-cube vintage patch, warm sharded recompute — pinned
+/// bit-identical against a cold unsharded engine over the patched data,
+/// at shard counts 2 and 4.
+#[test]
+fn warm_sharded_delta_runs_stay_bit_identical() {
+    use exl_workload::DeltaGen;
+    for seed in 0..25u64 {
+        let cfg = RandomConfig {
+            seed,
+            statements: 3 + (seed as usize % 5),
+            ..RandomConfig::default()
+        };
+        let (analyzed, input) = random_scenario(cfg);
+        let src = exl_lang::program_to_string(&analyzed.program);
+        for shards in [2usize, 4] {
+            let mut warm = engine_for(&src, &analyzed, &input, Some(shards), false);
+            warm.enable_cache();
+            warm.run_all().expect("first vintage");
+
+            let patch =
+                DeltaGen::new(seed ^ 0x5a4d).patch_dataset(&input, 1, 1 + seed as usize % 3);
+            let mut changed = Vec::new();
+            let mut patched_input = input.clone();
+            for (id, data) in &patch {
+                warm.load_elementary(id, data.clone()).expect("patch loads");
+                let schema = patched_input.get(id).expect("patched cube").schema.clone();
+                patched_input.put(exl_model::Cube::new(schema, data.clone()));
+                changed.push(id.clone());
+            }
+            warm.recompute(&changed).expect("warm delta recompute");
+
+            let mut reference = engine_for(&src, &analyzed, &patched_input, None, false);
+            let (want, _) = run_collect(&mut reference, &analyzed);
+            for id in analyzed.program.derived_ids() {
+                let got = warm.data(&id).expect("warm derived");
+                let x = want.data(&id).expect("cold derived");
+                assert!(
+                    got.approx_eq(x, 0.0),
+                    "seed {seed}, {shards} shards: {id} diverged on the warm delta\n{:?}",
+                    got.diff(x, 0.0)
+                );
+            }
+        }
+    }
+}
